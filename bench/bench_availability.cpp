@@ -1,0 +1,134 @@
+// Availability analysis (paper §1/§2 motivation): quorum sizing trades read
+// availability against write availability; unanimous update is the
+// degenerate worst case for updates.
+//
+// Two parts:
+//   1. Exact availability (with Monte-Carlo cross-check) for representative
+//      configurations across per-replica up-probabilities.
+//   2. A live experiment: run actual suite operations against a deployment
+//      whose nodes are up/down per Bernoulli(p) before each operation, and
+//      compare the measured success rate with the exact prediction.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/unanimous.h"
+#include "net/inproc_transport.h"
+#include "rep/availability.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "sim/network_model.h"
+#include "wl/key_gen.h"
+
+namespace {
+
+using namespace repdir;
+
+void AnalysisTable() {
+  struct Named {
+    const char* name;
+    rep::QuorumConfig config;
+  };
+  const Named configs[] = {
+      {"3-2-2 (balanced)", rep::QuorumConfig::Uniform(3, 2, 2)},
+      {"3-1-3 (unanimous W)", baseline::UnanimousConfig(3)},
+      {"3-3-1 (read-all)", baseline::ReadAllWriteOneConfig(3)},
+      {"5-3-3 (balanced)", rep::QuorumConfig::Uniform(5, 3, 3)},
+      {"5-1-5 (unanimous W)", baseline::UnanimousConfig(5)},
+      {"5-2-4 (write-heavy)", rep::QuorumConfig::Uniform(5, 2, 4)},
+      {"weighted 2+1+1, R2 W3",
+       rep::QuorumConfig({{1, 2}, {2, 1}, {3, 1}}, 2, 3)},
+  };
+
+  std::printf("Exact availability (read / write / modify):\n");
+  std::printf("%-24s", "config \\ p(up)");
+  const double ps[] = {0.50, 0.80, 0.90, 0.95, 0.99};
+  for (const double p : ps) std::printf("        p=%.2f       ", p);
+  std::printf("\n");
+
+  Rng rng(1234);
+  for (const Named& named : configs) {
+    std::printf("%-24s", named.name);
+    for (const double p : ps) {
+      const auto a = rep::ExactAvailability(named.config, p);
+      std::printf("  %.3f/%.3f/%.3f", a.read, a.write, a.modify);
+    }
+    std::printf("\n");
+
+    // Monte-Carlo cross-check at p = 0.9 (fails loudly on drift).
+    const auto exact = rep::ExactAvailability(named.config, 0.9);
+    const auto mc =
+        rep::SimulatedAvailability(named.config, 0.9, 100'000, rng);
+    if (std::abs(mc.modify - exact.modify) > 0.01) {
+      std::fprintf(stderr, "Monte-Carlo drift for %s: %.4f vs %.4f\n",
+                   named.name, mc.modify, exact.modify);
+      std::exit(1);
+    }
+  }
+  std::printf(
+      "\nShape: write availability collapses for unanimous update as p "
+      "drops;\nbalanced quorums keep both sides high - the paper's case "
+      "for weighted voting.\n\n");
+}
+
+void LiveExperiment(double p_up, std::uint64_t trials) {
+  const auto config = rep::QuorumConfig::Uniform(3, 2, 2);
+  rep::DirRepNodeOptions node_options;
+  node_options.participant.blocking_locks = false;
+
+  sim::NetworkModel network(7);
+  net::InProcTransport transport(nullptr, &network);
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  for (const auto& replica : config.replicas()) {
+    nodes.push_back(
+        std::make_unique<rep::DirRepNode>(replica.node, node_options));
+    transport.RegisterNode(replica.node, nodes.back()->server());
+  }
+
+  rep::DirectorySuite::Options options;
+  options.config = config;
+  options.policy_seed = 99;
+  rep::DirectorySuite suite(transport, 100, std::move(options));
+
+  // Seed entries (everyone up during the fill).
+  for (int i = 0; i < 50; ++i) {
+    if (!suite.Insert(wl::NumericKey(i), "v").ok()) std::exit(1);
+  }
+
+  Rng rng(31337);
+  std::uint64_t read_ok = 0;
+  std::uint64_t modify_ok = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (const auto& replica : config.replicas()) {
+      network.SetNodeUp(replica.node, rng.Chance(p_up));
+    }
+    const UserKey key = wl::NumericKey(rng.Range(0, 49));
+    if (suite.Lookup(key).ok()) ++read_ok;
+    if (suite.Update(key, "w").ok()) ++modify_ok;
+  }
+  for (const auto& replica : config.replicas()) {
+    network.SetNodeUp(replica.node, true);
+  }
+
+  const auto exact = rep::ExactAvailability(config, p_up);
+  std::printf(
+      "Live 3-2-2 experiment at p(up)=%.2f over %llu trials:\n"
+      "  reads    succeeded %.3f   (exact prediction %.3f)\n"
+      "  modifies succeeded %.3f   (exact prediction %.3f)\n\n",
+      p_up, static_cast<unsigned long long>(trials),
+      static_cast<double>(read_ok) / static_cast<double>(trials), exact.read,
+      static_cast<double>(modify_ok) / static_cast<double>(trials),
+      exact.modify);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t trials = 2000;
+  if (argc > 1) trials = std::strtoull(argv[1], nullptr, 10);
+
+  AnalysisTable();
+  LiveExperiment(0.90, trials);
+  LiveExperiment(0.70, trials);
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Concurrency comparison (paper §2 motivation): a directory stored as a
+// replicated FILE serializes every modification on the file's single
+// version number, while the replicated DIRECTORY's per-range versions and
+// range locks let transactions on different entries proceed in parallel.
+//
+// Setup: 3-2-2 deployment over the threaded transport with a simulated
+// 200us one-way RPC latency (so holding locks across RPCs is what costs,
+// exactly as in a distributed system). T client threads each update their
+// own disjoint key. We report throughput and lock-wait counts for:
+//   * DirectorySuite  (per-entry RepModify locks -> parallel),
+//   * FileDirectory   (whole-file lock held across the RMW -> serialized).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baseline/file_directory.h"
+#include "lock/deadlock.h"
+#include "net/threaded_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+
+namespace {
+
+using namespace repdir;
+using Clock = std::chrono::steady_clock;
+
+constexpr DurationMicros kLinkLatency = 200;
+
+double RunSuite(int threads, int ops_per_thread, std::uint64_t& waits) {
+  lock::DeadlockDetector detector;
+  rep::DirRepNodeOptions node_options;
+  node_options.detector = &detector;
+  node_options.participant.blocking_locks = true;
+
+  const auto config = rep::QuorumConfig::Uniform(3, 2, 2);
+  sim::NetworkModel network(1);
+  network.SetDefaultLink(sim::LinkSpec{kLinkLatency, 0, 0.0});
+  net::ThreadedTransport transport(&network);
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  for (const auto& replica : config.replicas()) {
+    nodes.push_back(
+        std::make_unique<rep::DirRepNode>(replica.node, node_options));
+    transport.RegisterNode(replica.node, nodes.back()->server());
+  }
+
+  // Seed one key per thread.
+  {
+    rep::DirectorySuite::Options options;
+    options.config = config;
+    rep::DirectorySuite seeder(transport, 99, std::move(options));
+    for (int t = 0; t < threads; ++t) {
+      if (!seeder.Insert("key-" + std::to_string(t), "0").ok()) std::exit(1);
+    }
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      rep::DirectorySuite::Options options;
+      options.config = config;
+      options.policy_seed = 1000 + t;
+      rep::DirectorySuite suite(transport, static_cast<NodeId>(100 + t),
+                                std::move(options));
+      const std::string key = "key-" + std::to_string(t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        if (!suite.Update(key, std::to_string(i)).ok()) std::exit(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  waits = 0;
+  for (auto& node : nodes) {
+    waits += node->participant().lock_manager().stats().waits;
+  }
+  return threads * ops_per_thread / secs;
+}
+
+double RunFileBaseline(int threads, int ops_per_thread, std::uint64_t seed) {
+  lock::DeadlockDetector detector;
+  sim::NetworkModel network(2);
+  network.SetDefaultLink(sim::LinkSpec{kLinkLatency, 0, 0.0});
+  net::ThreadedTransport transport(&network);
+  std::vector<std::unique_ptr<baseline::FileRepNode>> nodes;
+  for (NodeId id : {1u, 2u, 3u}) {
+    nodes.push_back(std::make_unique<baseline::FileRepNode>(
+        id, &detector, /*blocking_locks=*/true));
+    transport.RegisterNode(id, nodes.back()->server());
+  }
+
+  {
+    baseline::VotingFile::Options options;
+    options.config = rep::QuorumConfig::Uniform(3, 2, 2);
+    baseline::FileDirectory seeder(transport, 99, std::move(options));
+    for (int t = 0; t < threads; ++t) {
+      if (!seeder.Insert("key-" + std::to_string(t), "0").ok()) std::exit(1);
+    }
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      baseline::VotingFile::Options options;
+      options.config = rep::QuorumConfig::Uniform(3, 2, 2);
+      options.policy_seed = seed + t;
+      baseline::FileDirectory dir(transport, static_cast<NodeId>(100 + t),
+                                  std::move(options));
+      const std::string key = "key-" + std::to_string(t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        // Whole-file RMW transactions conflict even on different keys; they
+        // abort (deadlock victim) or wait - retry until committed.
+        while (true) {
+          const Status st = dir.Update(key, std::to_string(i));
+          if (st.ok()) break;
+          if (st.code() != StatusCode::kAborted) std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return threads * ops_per_thread / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ops_per_thread = 150;
+  if (argc > 1) ops_per_thread = std::atoi(argv[1]);
+
+  std::printf(
+      "Concurrency: disjoint-key update throughput (ops/s), 3-2-2 suite,\n"
+      "simulated %lluus one-way RPC latency, vs. directory-as-voting-file\n\n",
+      static_cast<unsigned long long>(kLinkLatency));
+  std::printf("%8s %16s %18s %12s %12s\n", "threads", "suite ops/s",
+              "file-dir ops/s", "speedup", "suite waits");
+
+  double suite_base = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::uint64_t waits = 0;
+    const double suite = RunSuite(threads, ops_per_thread, waits);
+    const double file = RunFileBaseline(threads, ops_per_thread, 500);
+    if (threads == 1) suite_base = suite;
+    std::printf("%8d %16.0f %18.0f %11.2fx %12llu\n", threads, suite, file,
+                suite / file, static_cast<unsigned long long>(waits));
+  }
+  std::printf(
+      "\nShape: the suite scales with threads (disjoint entries never "
+      "conflict;\nwaits stay ~0) while the file baseline stays flat near its "
+      "single-threaded\nrate (%0.0f ops/s here) because every modification "
+      "serializes on the file.\n",
+      suite_base);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Reproduces the Figure 16 locality example (paper §5):
+//
+//   "consider a 4-2-3 directory suite with key values in the range of 1 to
+//    100, and locality such that transactions of Type A operate on entries
+//    having keys 1 to 50, and transactions of Type B operate on entries
+//    having keys 51 to 100. ... Type A transactions read from
+//    representatives A1 and A2 and direct their updates to A1, A2, and
+//    either B1 or B2. ... all inquiries can be done locally and the
+//    non-local write that is required for modification operations is evenly
+//    distributed among the remote representatives."
+//
+// We run both client types with the LocalityQuorumPolicy and report, per
+// client type, how many data RPCs went to each representative - reads must
+// be 100% local and the single remote write per modification must split
+// ~50/50 between the two remote representatives.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/inproc_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "wl/key_gen.h"
+
+namespace {
+
+using namespace repdir;
+
+constexpr NodeId kA1 = 1, kA2 = 2, kB1 = 3, kB2 = 4;
+
+const char* NodeName(NodeId n) {
+  switch (n) {
+    case kA1: return "A1";
+    case kA2: return "A2";
+    case kB1: return "B1";
+    case kB2: return "B2";
+  }
+  return "?";
+}
+
+void Report(const char* type, const rep::DirectorySuite& suite,
+            const std::vector<NodeId>& local) {
+  std::uint64_t local_reads = 0, remote_reads = 0;
+  std::uint64_t local_writes = 0, remote_writes = 0;
+  std::printf("Type %s data RPCs by representative:\n", type);
+  std::printf("  %-4s %10s %10s\n", "rep", "reads", "writes");
+  for (const NodeId node : {kA1, kA2, kB1, kB2}) {
+    const auto rit = suite.read_rpcs_by_node().find(node);
+    const auto wit = suite.write_rpcs_by_node().find(node);
+    const std::uint64_t reads =
+        rit == suite.read_rpcs_by_node().end() ? 0 : rit->second;
+    const std::uint64_t writes =
+        wit == suite.write_rpcs_by_node().end() ? 0 : wit->second;
+    const bool is_local =
+        std::find(local.begin(), local.end(), node) != local.end();
+    std::printf("  %-4s %10llu %10llu%s\n", NodeName(node),
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes),
+                is_local ? "  (local)" : "  (remote)");
+    (is_local ? local_reads : remote_reads) += reads;
+    (is_local ? local_writes : remote_writes) += writes;
+  }
+  const double read_local_pct =
+      100.0 * static_cast<double>(local_reads) /
+      static_cast<double>(local_reads + remote_reads);
+  const double write_remote_share =
+      static_cast<double>(remote_writes) /
+      static_cast<double>(local_writes + remote_writes);
+  std::printf(
+      "  => %.1f%% of reads local (paper: all inquiries local);\n"
+      "     remote share of writes %.2f (paper: exactly one of three "
+      "write-quorum members remote => 0.33)\n\n",
+      read_local_pct, write_remote_share);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t ops_per_type = 3000;
+  if (argc > 1) ops_per_type = std::strtoull(argv[1], nullptr, 10);
+
+  rep::DirRepNodeOptions node_options;
+  node_options.participant.blocking_locks = false;
+
+  const rep::QuorumConfig config(
+      {{kA1, 1}, {kA2, 1}, {kB1, 1}, {kB2, 1}}, /*read=*/2, /*write=*/3);
+  net::InProcTransport transport;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  for (const auto& replica : config.replicas()) {
+    nodes.push_back(
+        std::make_unique<rep::DirRepNode>(replica.node, node_options));
+    transport.RegisterNode(replica.node, nodes.back()->server());
+  }
+
+  auto make_suite = [&](NodeId client, std::vector<NodeId> local,
+                        std::vector<NodeId> remote) {
+    rep::DirectorySuite::Options options;
+    options.config = config;
+    options.policy = std::make_unique<rep::LocalityQuorumPolicy>(
+        std::move(local), std::move(remote));
+    return std::make_unique<rep::DirectorySuite>(transport, client,
+                                                 std::move(options));
+  };
+
+  auto suite_a = make_suite(100, {kA1, kA2}, {kB1, kB2});
+  auto suite_b = make_suite(101, {kB1, kB2}, {kA1, kA2});
+
+  // Seed the directory: keys 1..50 for type A, 51..100 for type B.
+  for (int k = 1; k <= 50; ++k) {
+    if (!suite_a->Insert(wl::NumericKey(k), "a").ok()) return 1;
+  }
+  for (int k = 51; k <= 100; ++k) {
+    if (!suite_b->Insert(wl::NumericKey(k), "b").ok()) return 1;
+  }
+
+  std::printf(
+      "Figure 16: locality quorum assignment on a 4-2-3 suite, %llu ops per "
+      "transaction type\n\n",
+      static_cast<unsigned long long>(ops_per_type));
+
+  // Steady mixed workload: 50%% lookups, 50%% updates within each type's
+  // half of the key space (the §5 example's inquiry/update mix).
+  Rng rng(42);
+  for (std::uint64_t i = 0; i < ops_per_type; ++i) {
+    const UserKey ka = wl::NumericKey(rng.Range(1, 50));
+    const UserKey kb = wl::NumericKey(rng.Range(51, 100));
+    if (i % 2 == 0) {
+      if (!suite_a->Lookup(ka).ok() || !suite_b->Lookup(kb).ok()) return 1;
+    } else {
+      if (!suite_a->Update(ka, "a2").ok() || !suite_b->Update(kb, "b2").ok())
+        return 1;
+    }
+  }
+
+  Report("A", *suite_a, {kA1, kA2});
+  Report("B", *suite_b, {kB1, kB2});
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Micro-benchmarks (google-benchmark) for the §4 claim that per-key version
+// numbers cost nothing except on Delete:
+//   * representative operations on both storage backends,
+//   * end-to-end suite operations over the in-process transport,
+//   * serialization, CRC, and lock-manager primitives.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "net/inproc_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "storage/btree_storage.h"
+#include "storage/dir_rep_core.h"
+#include "storage/map_storage.h"
+#include "storage/wal.h"
+#include "wl/key_gen.h"
+
+namespace {
+
+using namespace repdir;
+
+std::unique_ptr<storage::RepStorage> MakeBackend(bool btree) {
+  if (btree) return std::make_unique<storage::BTreeStorage>(16);
+  return std::make_unique<storage::MapStorage>();
+}
+
+void FillBackend(storage::RepStorage& stg, int n) {
+  storage::DirRepCore core(stg);
+  for (int i = 0; i < n; ++i) {
+    (void)core.Insert(storage::RepKey::User(wl::NumericKey(i * 2)), 1, "v");
+  }
+}
+
+void BM_RepLookup(benchmark::State& state) {
+  auto stg = MakeBackend(state.range(0) != 0);
+  FillBackend(*stg, static_cast<int>(state.range(1)));
+  storage::DirRepCore core(*stg);
+  Rng rng(1);
+  for (auto _ : state) {
+    // Alternate hits (even keys) and gap misses (odd keys).
+    const auto k = storage::RepKey::User(
+        wl::NumericKey(rng.Below(2 * state.range(1))));
+    benchmark::DoNotOptimize(core.Lookup(k));
+  }
+}
+BENCHMARK(BM_RepLookup)
+    ->ArgsProduct({{0, 1}, {100, 10000}})
+    ->ArgNames({"btree", "entries"});
+
+void BM_RepInsertErase(benchmark::State& state) {
+  auto stg = MakeBackend(state.range(0) != 0);
+  FillBackend(*stg, 1000);
+  storage::DirRepCore core(*stg);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto k = storage::RepKey::User(wl::NumericKey(1'000'000 + (i++ % 512)));
+    benchmark::DoNotOptimize(core.Insert(k, 2, "v"));
+    stg->Erase(k);
+  }
+}
+BENCHMARK(BM_RepInsertErase)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"btree"});
+
+void BM_RepCoalesce(benchmark::State& state) {
+  // Coalesce a 1-entry range between two bounds, then undo, repeatedly -
+  // the steady-state delete's representative-side cost.
+  auto stg = MakeBackend(state.range(0) != 0);
+  storage::DirRepCore core(*stg);
+  (void)core.Insert(storage::RepKey::User("a"), 1, "v");
+  (void)core.Insert(storage::RepKey::User("b"), 1, "v");
+  (void)core.Insert(storage::RepKey::User("c"), 1, "v");
+  for (auto _ : state) {
+    auto effect =
+        core.Coalesce(storage::RepKey::User("a"), storage::RepKey::User("c"), 2);
+    core.UndoCoalesce(storage::RepKey::User("a"), *effect);
+  }
+}
+BENCHMARK(BM_RepCoalesce)->Arg(0)->Arg(1)->ArgNames({"btree"});
+
+struct SuiteFixture {
+  SuiteFixture() {
+    rep::DirRepNodeOptions node_options;
+    node_options.participant.blocking_locks = false;
+    const auto config = rep::QuorumConfig::Uniform(3, 2, 2);
+    for (const auto& replica : config.replicas()) {
+      nodes.push_back(
+          std::make_unique<rep::DirRepNode>(replica.node, node_options));
+      transport.RegisterNode(replica.node, nodes.back()->server());
+    }
+    rep::DirectorySuite::Options options;
+    options.config = config;
+    suite = std::make_unique<rep::DirectorySuite>(transport, 100,
+                                                  std::move(options));
+    for (int i = 0; i < 200; ++i) {
+      (void)suite->Insert(wl::NumericKey(i), "v");
+    }
+  }
+
+  net::InProcTransport transport;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  std::unique_ptr<rep::DirectorySuite> suite;
+};
+
+void BM_SuiteLookup(benchmark::State& state) {
+  SuiteFixture fx;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.suite->Lookup(wl::NumericKey(rng.Below(200))));
+  }
+}
+BENCHMARK(BM_SuiteLookup);
+
+void BM_SuiteUpdate(benchmark::State& state) {
+  SuiteFixture fx;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.suite->Update(wl::NumericKey(rng.Below(200)), "w"));
+  }
+}
+BENCHMARK(BM_SuiteUpdate);
+
+void BM_SuiteInsertDeleteCycle(benchmark::State& state) {
+  SuiteFixture fx;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const UserKey key = wl::NumericKey(10'000 + (i++ % 64));
+    benchmark::DoNotOptimize(fx.suite->Insert(key, "v"));
+    benchmark::DoNotOptimize(fx.suite->Delete(key));
+  }
+}
+BENCHMARK(BM_SuiteInsertDeleteCycle);
+
+void BM_SerdeEntryRoundTrip(benchmark::State& state) {
+  const storage::StoredEntry entry{storage::RepKey::User("some-moderate-key"),
+                                   123456, std::string(64, 'x'), 789};
+  for (auto _ : state) {
+    const std::string bytes = EncodeToString(entry);
+    storage::StoredEntry decoded;
+    benchmark::DoNotOptimize(DecodeFromString(bytes, decoded));
+  }
+}
+BENCHMARK(BM_SerdeEntryRoundTrip);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  lock::RangeLockManager mgr;
+  const auto range =
+      lock::KeyRange::Point(storage::RepKey::User("k"));
+  TxnId txn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.TryAcquire(txn, lock::LockMode::kModify, range));
+    mgr.ReleaseAll(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_WalAppendFlush(benchmark::State& state) {
+  storage::MemLogDevice device;
+  storage::WalWriter writer(device);
+  const auto op = storage::WalOp::Insert(storage::RepKey::User("key"), 1,
+                                         std::string(32, 'v'));
+  TxnId txn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.AppendOp(txn, op));
+    benchmark::DoNotOptimize(
+        writer.AppendDecision(storage::WalRecordType::kCommit, txn));
+    ++txn;
+  }
+}
+BENCHMARK(BM_WalAppendFlush);
+
+}  // namespace
+
+BENCHMARK_MAIN();

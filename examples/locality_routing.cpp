@@ -1,0 +1,98 @@
+// Two-datacenter deployment with locality-aware quorums (paper §5, Fig 16).
+//
+// A 4-2-3 suite split across two sites. Each site's clients read entirely
+// from their local pair of representatives; each modification writes the
+// two local representatives plus ONE remote one, alternating between the
+// remote pair so the cross-site write load is balanced.
+//
+//   $ ./locality_routing
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "net/inproc_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "sim/network_model.h"
+
+using namespace repdir;
+
+int main() {
+  // Representatives 1,2 live in datacenter EAST; 3,4 in WEST. Cross-site
+  // links are 40x slower.
+  constexpr NodeId kEast1 = 1, kEast2 = 2, kWest1 = 3, kWest2 = 4;
+  const rep::QuorumConfig config(
+      {{kEast1, 1}, {kEast2, 1}, {kWest1, 1}, {kWest2, 1}}, /*read=*/2,
+      /*write=*/3);
+
+  sim::NetworkModel network;
+  network.SetDefaultLink(sim::LinkSpec{2000, 0, 0.0});  // cross-site: 2ms
+  // Same-site links: 50us. Client 100 sits in EAST, client 200 in WEST.
+  for (NodeId a : {100u, kEast1, kEast2}) {
+    for (NodeId b : {100u, kEast1, kEast2}) {
+      network.SetLink(a, b, sim::LinkSpec{50, 0, 0.0});
+    }
+  }
+  for (NodeId a : {200u, kWest1, kWest2}) {
+    for (NodeId b : {200u, kWest1, kWest2}) {
+      network.SetLink(a, b, sim::LinkSpec{50, 0, 0.0});
+    }
+  }
+
+  VirtualClock clock;
+  net::InProcTransport transport(&clock, &network);
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  for (const auto& replica : config.replicas()) {
+    nodes.push_back(std::make_unique<rep::DirRepNode>(replica.node));
+    transport.RegisterNode(replica.node, nodes.back()->server());
+  }
+
+  auto make_suite = [&](NodeId client, std::vector<NodeId> local,
+                        std::vector<NodeId> remote) {
+    rep::DirectorySuite::Options options;
+    options.config = config;
+    options.policy = std::make_unique<rep::LocalityQuorumPolicy>(
+        std::move(local), std::move(remote));
+    return std::make_unique<rep::DirectorySuite>(transport, client,
+                                                 std::move(options));
+  };
+  auto east = make_suite(100, {kEast1, kEast2}, {kWest1, kWest2});
+  auto west = make_suite(200, {kWest1, kWest2}, {kEast1, kEast2});
+
+  std::printf("== Mixed workload from both sites\n");
+  for (int i = 0; i < 100; ++i) {
+    if (!east->Insert("east-user-" + std::to_string(i), "e").ok()) return 1;
+    if (!west->Insert("west-user-" + std::to_string(i), "w").ok()) return 1;
+  }
+
+  // Reads are all-local: measure virtual time per lookup.
+  const TimeMicros before_reads = clock.Now();
+  for (int i = 0; i < 100; ++i) {
+    if (!east->Lookup("east-user-" + std::to_string(i))->found) return 1;
+  }
+  const TimeMicros read_time = clock.Now() - before_reads;
+
+  const TimeMicros before_updates = clock.Now();
+  for (int i = 0; i < 100; ++i) {
+    if (!east->Update("east-user-" + std::to_string(i), "e2").ok()) return 1;
+  }
+  const TimeMicros update_time = clock.Now() - before_updates;
+
+  std::printf("   east lookup avg latency: %6.2f ms (all-local quorum)\n",
+              read_time / 100 / 1000.0);
+  std::printf("   east update avg latency: %6.2f ms (one cross-site write)\n\n",
+              update_time / 100 / 1000.0);
+
+  std::printf("== Cross-site write balancing (east client's writes)\n");
+  for (const NodeId node : {kEast1, kEast2, kWest1, kWest2}) {
+    const auto it = east->write_rpcs_by_node().find(node);
+    std::printf("   node %u (%s): %llu writes\n", node,
+                node <= 2 ? "east" : "west",
+                static_cast<unsigned long long>(
+                    it == east->write_rpcs_by_node().end() ? 0 : it->second));
+  }
+  std::printf(
+      "\nEvery read stayed in-region; each modification paid exactly one\n"
+      "cross-site representative, alternating west-1/west-2 (Figure 16).\n");
+  return 0;
+}

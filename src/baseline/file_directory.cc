@@ -1,0 +1,82 @@
+#include "baseline/file_directory.h"
+
+namespace repdir::baseline {
+
+std::string FileDirectory::EncodeImage(
+    const std::map<UserKey, Value>& entries) {
+  ByteWriter w;
+  w.PutVarint(entries.size());
+  for (const auto& [key, value] : entries) {
+    w.PutString(key);
+    w.PutString(value);
+  }
+  return w.TakeString();
+}
+
+Result<std::map<UserKey, Value>> FileDirectory::DecodeImage(
+    const std::string& bytes) {
+  if (bytes.empty()) return std::map<UserKey, Value>{};  // fresh file
+  ByteReader r(bytes);
+  std::uint64_t count = 0;
+  REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+  std::map<UserKey, Value> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    UserKey key;
+    Value value;
+    REPDIR_RETURN_IF_ERROR(r.GetString(key));
+    REPDIR_RETURN_IF_ERROR(r.GetString(value));
+    entries.emplace(std::move(key), std::move(value));
+  }
+  REPDIR_RETURN_IF_ERROR(r.ExpectEnd());
+  return entries;
+}
+
+Result<FileDirectory::LookupResult> FileDirectory::Lookup(const UserKey& key) {
+  REPDIR_ASSIGN_OR_RETURN(const std::string image, file_.Read());
+  REPDIR_ASSIGN_OR_RETURN(const auto entries, DecodeImage(image));
+  LookupResult out;
+  const auto it = entries.find(key);
+  if (it != entries.end()) {
+    out.found = true;
+    out.value = it->second;
+  }
+  return out;
+}
+
+Status FileDirectory::Insert(const UserKey& key, const Value& value) {
+  return file_.Modify([&](std::string& image) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(auto entries, DecodeImage(image));
+    if (entries.contains(key)) {
+      return Status::AlreadyExists("entry exists for key " + key);
+    }
+    entries.emplace(key, value);
+    image = EncodeImage(entries);
+    return Status::Ok();
+  });
+}
+
+Status FileDirectory::Update(const UserKey& key, const Value& value) {
+  return file_.Modify([&](std::string& image) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(auto entries, DecodeImage(image));
+    const auto it = entries.find(key);
+    if (it == entries.end()) {
+      return Status::NotFound("no entry for key " + key);
+    }
+    it->second = value;
+    image = EncodeImage(entries);
+    return Status::Ok();
+  });
+}
+
+Status FileDirectory::Delete(const UserKey& key) {
+  return file_.Modify([&](std::string& image) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(auto entries, DecodeImage(image));
+    if (entries.erase(key) == 0) {
+      return Status::NotFound("no entry for key " + key);
+    }
+    image = EncodeImage(entries);
+    return Status::Ok();
+  });
+}
+
+}  // namespace repdir::baseline

@@ -1,0 +1,42 @@
+// FileDirectory: a directory stored as a single replicated file (the
+// strawman the paper's §2 rejects).
+//
+// The whole (key -> value) map is serialized into one VotingFile. Every
+// lookup ships the entire directory; every modification is a whole-file
+// read-modify-write, so concurrent modifications - even of different
+// entries - conflict on the file's single version number and serialize.
+// bench_concurrency quantifies this against the directory suite.
+#pragma once
+
+#include <map>
+
+#include "baseline/voting_file.h"
+
+namespace repdir::baseline {
+
+class FileDirectory {
+ public:
+  FileDirectory(net::Transport& transport, NodeId client_node,
+                VotingFile::Options options)
+      : file_(transport, client_node, std::move(options)) {}
+
+  struct LookupResult {
+    bool found = false;
+    Value value;
+  };
+
+  Result<LookupResult> Lookup(const UserKey& key);
+  Status Insert(const UserKey& key, const Value& value);
+  Status Update(const UserKey& key, const Value& value);
+  Status Delete(const UserKey& key);
+
+  /// Decodes a serialized directory image (exposed for tests).
+  static Result<std::map<UserKey, Value>> DecodeImage(
+      const std::string& bytes);
+  static std::string EncodeImage(const std::map<UserKey, Value>& entries);
+
+ private:
+  VotingFile file_;
+};
+
+}  // namespace repdir::baseline

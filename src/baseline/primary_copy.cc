@@ -1,0 +1,79 @@
+#include "baseline/primary_copy.h"
+
+namespace repdir::baseline {
+
+PrimaryCopyDirectory::PrimaryCopyDirectory(std::size_t replicas)
+    : replicas_(replicas == 0 ? 1 : replicas) {}
+
+void PrimaryCopyDirectory::ApplyToPrimaryAndQueue(RelayOp op) {
+  auto& primary = replicas_.front();
+  if (op.is_delete) {
+    primary.erase(op.key);
+  } else {
+    primary[op.key] = op.value;
+  }
+  if (replicas_.size() > 1) relay_queue_.push_back(std::move(op));
+}
+
+Status PrimaryCopyDirectory::Insert(const UserKey& key, const Value& value) {
+  if (replicas_.front().contains(key)) {
+    return Status::AlreadyExists("entry exists for key " + key);
+  }
+  ApplyToPrimaryAndQueue(RelayOp{false, key, value});
+  return Status::Ok();
+}
+
+Status PrimaryCopyDirectory::Update(const UserKey& key, const Value& value) {
+  if (!replicas_.front().contains(key)) {
+    return Status::NotFound("no entry for key " + key);
+  }
+  ApplyToPrimaryAndQueue(RelayOp{false, key, value});
+  return Status::Ok();
+}
+
+Status PrimaryCopyDirectory::Delete(const UserKey& key) {
+  if (!replicas_.front().contains(key)) {
+    return Status::NotFound("no entry for key " + key);
+  }
+  ApplyToPrimaryAndQueue(RelayOp{true, key, {}});
+  return Status::Ok();
+}
+
+Result<PrimaryCopyDirectory::ReadResult> PrimaryCopyDirectory::Lookup(
+    std::size_t replica, const UserKey& key) {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  ReadResult out;
+  const auto& copy = replicas_[replica];
+  const auto it = copy.find(key);
+  if (it != copy.end()) {
+    out.found = true;
+    out.value = it->second;
+  }
+  // Staleness check against the primary's current answer.
+  const auto& primary = replicas_.front();
+  const auto pit = primary.find(key);
+  const bool primary_found = pit != primary.end();
+  out.stale = (out.found != primary_found) ||
+              (out.found && out.value != pit->second);
+  if (out.stale) ++stale_reads_;
+  return out;
+}
+
+void PrimaryCopyDirectory::FlushRelays(std::size_t n) {
+  std::size_t remaining = (n == 0) ? relay_queue_.size() : n;
+  while (remaining-- > 0 && !relay_queue_.empty()) {
+    const RelayOp op = std::move(relay_queue_.front());
+    relay_queue_.pop_front();
+    for (std::size_t i = 1; i < replicas_.size(); ++i) {
+      if (op.is_delete) {
+        replicas_[i].erase(op.key);
+      } else {
+        replicas_[i][op.key] = op.value;
+      }
+    }
+  }
+}
+
+}  // namespace repdir::baseline

@@ -1,0 +1,66 @@
+// Primary/secondary-copy replication baseline (paper §2).
+//
+// All updates go to the primary copy, which relays them to secondaries.
+// Inquiries may be served by any copy - but a secondary answers from
+// whatever it has received so far, so a read can miss recent updates.
+// This model quantifies that semantic deficiency: relays sit in a queue
+// until FlushRelays() (simulating propagation delay), and reads report
+// whether they were stale with respect to the primary.
+//
+// Modeled in-process (no RPC): the interesting property is semantic, not
+// mechanical, and the unanimous-update baseline already exercises the wire.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::baseline {
+
+class PrimaryCopyDirectory {
+ public:
+  /// `replicas` includes the primary (index 0).
+  explicit PrimaryCopyDirectory(std::size_t replicas);
+
+  Status Insert(const UserKey& key, const Value& value);
+  Status Update(const UserKey& key, const Value& value);
+  Status Delete(const UserKey& key);
+
+  struct ReadResult {
+    bool found = false;
+    Value value;
+    bool stale = false;  ///< Differs from the primary's current answer.
+  };
+
+  /// Reads from the given replica (0 = primary, always fresh).
+  Result<ReadResult> Lookup(std::size_t replica, const UserKey& key);
+
+  /// Delivers `n` queued relay operations to the secondaries (all if n==0).
+  void FlushRelays(std::size_t n = 0);
+
+  std::size_t pending_relays() const { return relay_queue_.size(); }
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  /// Reads observed to be stale so far (for the baseline report).
+  std::uint64_t stale_reads() const { return stale_reads_; }
+
+ private:
+  struct RelayOp {
+    bool is_delete = false;
+    UserKey key;
+    Value value;
+  };
+
+  void ApplyToPrimaryAndQueue(RelayOp op);
+
+  std::vector<std::map<UserKey, Value>> replicas_;
+  std::deque<RelayOp> relay_queue_;
+  std::uint64_t stale_reads_ = 0;
+};
+
+}  // namespace repdir::baseline

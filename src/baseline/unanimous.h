@@ -1,0 +1,29 @@
+// Unanimous-update configuration helper (paper §2).
+//
+// Unanimous update - "any update operation must be done on all replicas,
+// but reads may be directed to any replica" - is exactly the degenerate
+// quorum configuration R = 1, W = V over the directory suite. These
+// helpers build such configs so benchmarks can compare availability and
+// delete overhead against balanced quorums without duplicating machinery.
+#pragma once
+
+#include "rep/quorum.h"
+
+namespace repdir::baseline {
+
+/// n one-vote replicas, read-one / write-all.
+inline rep::QuorumConfig UnanimousConfig(std::uint32_t replicas,
+                                         NodeId first_node = 1) {
+  return rep::QuorumConfig::Uniform(replicas, /*read_quorum=*/1,
+                                    /*write_quorum=*/replicas, first_node);
+}
+
+/// n one-vote replicas, read-all / write-one (the opposite extreme; useful
+/// in availability sweeps).
+inline rep::QuorumConfig ReadAllWriteOneConfig(std::uint32_t replicas,
+                                               NodeId first_node = 1) {
+  return rep::QuorumConfig::Uniform(replicas, /*read_quorum=*/replicas,
+                                    /*write_quorum=*/1, first_node);
+}
+
+}  // namespace repdir::baseline

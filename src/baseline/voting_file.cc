@@ -1,0 +1,201 @@
+#include "baseline/voting_file.h"
+
+#include <cassert>
+
+#include "net/retry.h"
+
+namespace repdir::baseline {
+
+namespace {
+
+constexpr txn::TxnControlMethods kFileTxnMethods{kFilePrepare, kFileCommit,
+                                                 kFileAbort};
+
+/// The whole file is modeled as the single "key" LOW for locking purposes.
+lock::KeyRange WholeFile() {
+  return lock::KeyRange::Point(storage::RepKey::Low());
+}
+
+}  // namespace
+
+FileRepNode::FileRepNode(NodeId id, lock::DeadlockDetector* detector,
+                         bool blocking_locks)
+    : id_(id), blocking_locks_(blocking_locks), server_(id),
+      locks_(detector) {
+  RegisterHandlers();
+}
+
+Version FileRepNode::version() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return version_;
+}
+
+std::string FileRepNode::content() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return content_;
+}
+
+Status FileRepNode::AcquireLock(TxnId txn, lock::LockMode mode) {
+  if (blocking_locks_) return locks_.Acquire(txn, mode, WholeFile());
+  return locks_.TryAcquire(txn, mode, WholeFile());
+}
+
+void FileRepNode::RegisterHandlers() {
+  using net::Empty;
+  using net::RpcRequest;
+
+  server_.RegisterTyped<Empty, Empty>(
+      kFilePing,
+      [](const RpcRequest&, const Empty&, Empty&) { return Status::Ok(); });
+
+  server_.RegisterTyped<FileReadRequest, FileReadReply>(
+      kFileRead,
+      [this](const RpcRequest& env, const FileReadRequest& req,
+             FileReadReply& out) {
+        REPDIR_RETURN_IF_ERROR(AcquireLock(
+            env.txn, req.for_update ? lock::LockMode::kModify
+                                    : lock::LockMode::kLookup));
+        std::lock_guard<std::mutex> guard(mu_);
+        txns_[env.txn];  // participant state (so 2PC reaches us)
+        out.version = version_;
+        out.content = content_;
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<FileWriteRequest, Empty>(
+      kFileWrite,
+      [this](const RpcRequest& env, const FileWriteRequest& req, Empty&) {
+        REPDIR_RETURN_IF_ERROR(AcquireLock(env.txn, lock::LockMode::kModify));
+        std::lock_guard<std::mutex> guard(mu_);
+        TxnUndo& undo = txns_[env.txn];
+        if (!undo.has_write) {
+          undo.has_write = true;
+          undo.old_version = version_;
+          undo.old_content = content_;
+        }
+        version_ = req.version;
+        content_ = req.content;
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<Empty, Empty>(
+      kFilePrepare, [this](const RpcRequest& env, const Empty&, Empty&) {
+        std::lock_guard<std::mutex> guard(mu_);
+        return txns_.contains(env.txn)
+                   ? Status::Ok()
+                   : Status::FailedPrecondition("prepare of unknown txn");
+      });
+
+  server_.RegisterTyped<Empty, Empty>(
+      kFileCommit, [this](const RpcRequest& env, const Empty&, Empty&) {
+        {
+          std::lock_guard<std::mutex> guard(mu_);
+          txns_.erase(env.txn);
+        }
+        locks_.ReleaseAll(env.txn);
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<Empty, Empty>(
+      kFileAbort, [this](const RpcRequest& env, const Empty&, Empty&) {
+        {
+          std::lock_guard<std::mutex> guard(mu_);
+          const auto it = txns_.find(env.txn);
+          if (it != txns_.end()) {
+            if (it->second.has_write) {
+              version_ = it->second.old_version;
+              content_ = it->second.old_content;
+            }
+            txns_.erase(it);
+          }
+        }
+        locks_.ReleaseAll(env.txn);
+        return Status::Ok();
+      });
+}
+
+VotingFile::VotingFile(net::Transport& transport, NodeId client_node,
+                       Options options)
+    : client_(transport, client_node),
+      options_(std::move(options)),
+      txn_ids_(client_node),
+      committer_(client_, kFileTxnMethods) {
+  assert(options_.config.Validate(/*require_write_intersection=*/true).ok() &&
+         "voting files require W > V/2 (writes do not read first)");
+  if (options_.policy != nullptr) {
+    policy_ = std::move(options_.policy);
+  } else {
+    policy_ = std::make_unique<rep::RandomQuorumPolicy>(options_.config,
+                                                        options_.policy_seed);
+  }
+}
+
+Result<std::vector<NodeId>> VotingFile::CollectQuorum(OpClass klass) {
+  const Votes quota = klass == OpClass::kRead ? options_.config.read_quorum()
+                                              : options_.config.write_quorum();
+  std::vector<NodeId> members;
+  Votes votes = 0;
+  for (const NodeId node : policy_->PreferenceOrder(klass)) {
+    const Status st =
+        client_.Call<net::Empty>(node, kFilePing, net::Empty{}).status();
+    if (!st.ok()) continue;
+    members.push_back(node);
+    votes += options_.config.VotesOf(node);
+    if (votes >= quota) return members;
+  }
+  return Status::Unavailable("file quorum unavailable");
+}
+
+Result<FileReadReply> VotingFile::QuorumRead(OpCtx& ctx, bool for_update) {
+  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
+  FileReadReply best;
+  bool first = true;
+  for (const NodeId node : quorum) {
+    ctx.participants.insert(node);
+    REPDIR_ASSIGN_OR_RETURN(
+        const FileReadReply reply,
+        client_.Call<FileReadReply>(node, kFileRead,
+                                    FileReadRequest{for_update}, ctx.txn));
+    if (first || reply.version > best.version) {
+      best = reply;
+      first = false;
+    }
+  }
+  return best;
+}
+
+Status VotingFile::QuorumWrite(OpCtx& ctx, Version version,
+                               const std::string& content) {
+  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kWrite));
+  for (const NodeId node : quorum) {
+    ctx.participants.insert(node);
+    REPDIR_RETURN_IF_ERROR(
+        client_
+            .Call<net::Empty>(node, kFileWrite,
+                              FileWriteRequest{version, content}, ctx.txn)
+            .status());
+  }
+  return Status::Ok();
+}
+
+Result<std::string> VotingFile::Read() {
+  std::string out;
+  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(const FileReadReply reply,
+                            QuorumRead(ctx, /*for_update=*/false));
+    out = reply.content;
+    return Status::Ok();
+  });
+  REPDIR_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Status VotingFile::Write(const std::string& content) {
+  return RunTxn([&](OpCtx& ctx) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(const FileReadReply current,
+                            QuorumRead(ctx, /*for_update=*/true));
+    return QuorumWrite(ctx, current.version + 1, content);
+  });
+}
+
+}  // namespace repdir::baseline

@@ -1,0 +1,179 @@
+// Gifford's weighted voting for files (the algorithm the paper builds on),
+// used as the comparison baseline.
+//
+// A file representative stores one byte-string and ONE version number; a
+// read collects a read quorum and returns the highest-versioned copy; a
+// write reads the current version and writes version+1 to a write quorum.
+// Because there is a single version number per representative, any two
+// modifications conflict: a directory stored through this abstraction
+// serializes ALL of its updates (the paper's §2 motivation, measured by
+// bench_concurrency).
+//
+// The implementation mirrors the directory suite's machinery: RPC service
+// per replica, whole-object range locks under strict 2PL, undo on abort,
+// two-phase commit.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "lock/range_lock_manager.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "rep/quorum_policy.h"
+#include "txn/coordinator.h"
+#include "txn/txn_id.h"
+
+namespace repdir::baseline {
+
+using rep::OpClass;
+using rep::QuorumConfig;
+using rep::QuorumPolicy;
+
+/// Method id space of the file service (disjoint from DirRepMethod).
+enum FileRepMethod : net::MethodId {
+  kFilePing = 200,
+  kFileRead = 201,
+  kFileWrite = 202,
+  kFilePrepare = 210,
+  kFileCommit = 211,
+  kFileAbort = 212,
+};
+
+/// Read request; `for_update` makes the read take the whole-file write lock
+/// immediately (read-modify-write transactions would otherwise deadlock on
+/// the classic lock upgrade when run concurrently).
+struct FileReadRequest {
+  bool for_update = false;
+
+  void Encode(ByteWriter& w) const { w.PutBool(for_update); }
+  Status Decode(ByteReader& r) { return r.GetBool(for_update); }
+};
+
+struct FileReadReply {
+  Version version = kLowestVersion;
+  std::string content;
+
+  void Encode(ByteWriter& w) const {
+    w.PutU64(version);
+    w.PutString(content);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+    return r.GetString(content);
+  }
+};
+
+struct FileWriteRequest {
+  Version version = kLowestVersion;
+  std::string content;
+
+  void Encode(ByteWriter& w) const {
+    w.PutU64(version);
+    w.PutString(content);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+    return r.GetString(content);
+  }
+};
+
+/// One file representative: content + single version, whole-object locking,
+/// transactional via the same 2PC control verbs as the directory service.
+class FileRepNode {
+ public:
+  explicit FileRepNode(NodeId id, lock::DeadlockDetector* detector = nullptr,
+                       bool blocking_locks = true);
+
+  NodeId id() const { return id_; }
+  net::RpcServer& server() { return server_; }
+
+  Version version() const;
+  std::string content() const;
+
+ private:
+  struct TxnUndo {
+    bool has_write = false;
+    Version old_version = kLowestVersion;
+    std::string old_content;
+  };
+
+  Status AcquireLock(TxnId txn, lock::LockMode mode);
+  void RegisterHandlers();
+
+  NodeId id_;
+  bool blocking_locks_;
+  net::RpcServer server_;
+  lock::RangeLockManager locks_;
+  mutable std::mutex mu_;
+  Version version_ = kLowestVersion;
+  std::string content_;
+  std::map<TxnId, TxnUndo> txns_;
+};
+
+/// Client-side replicated file suite.
+class VotingFile {
+ public:
+  struct Options {
+    QuorumConfig config;
+    std::unique_ptr<QuorumPolicy> policy;  ///< default: random(policy_seed)
+    std::uint64_t policy_seed = 42;
+  };
+
+  VotingFile(net::Transport& transport, NodeId client_node, Options options);
+
+  /// Highest-versioned copy from a read quorum.
+  Result<std::string> Read();
+
+  /// Replaces the contents (read current version, write version+1).
+  Status Write(const std::string& content);
+
+  /// Atomic read-modify-write: `fn` receives the current content and edits
+  /// it in place; a non-OK return aborts without writing.
+  template <typename Fn>
+  Status Modify(Fn&& fn);
+
+ private:
+  struct OpCtx {
+    TxnId txn;
+    std::set<NodeId> participants;
+  };
+
+  Result<std::vector<NodeId>> CollectQuorum(OpClass klass);
+  Result<FileReadReply> QuorumRead(OpCtx& ctx, bool for_update);
+  Status QuorumWrite(OpCtx& ctx, Version version, const std::string& content);
+
+  template <typename Fn>
+  Status RunTxn(Fn&& body);
+
+  net::RpcClient client_;
+  Options options_;
+  std::unique_ptr<QuorumPolicy> policy_;
+  txn::TxnIdFactory txn_ids_;
+  txn::TwoPhaseCommitter committer_;
+};
+
+template <typename Fn>
+Status VotingFile::RunTxn(Fn&& body) {
+  OpCtx ctx{txn_ids_.Next(), {}};
+  const Status st = body(ctx);
+  if (!st.ok()) {
+    committer_.Abort(ctx.txn, ctx.participants);
+    return st;
+  }
+  return committer_.Commit(ctx.txn, ctx.participants);
+}
+
+template <typename Fn>
+Status VotingFile::Modify(Fn&& fn) {
+  return RunTxn([&](OpCtx& ctx) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(FileReadReply current,
+                            QuorumRead(ctx, /*for_update=*/true));
+    REPDIR_RETURN_IF_ERROR(fn(current.content));
+    return QuorumWrite(ctx, current.version + 1, current.content);
+  });
+}
+
+}  // namespace repdir::baseline

@@ -1,0 +1,32 @@
+#include "common/bytes.h"
+
+#include <array>
+
+namespace repdir {
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);  // CRC-32C reflected
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = BuildCrcTable();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace repdir

@@ -1,0 +1,160 @@
+// Binary serialization primitives used by the RPC layer and the write-ahead
+// log: a growable write buffer and a bounds-checked reader. Encoding is
+// little-endian fixed-width for integers plus LEB128 varints for lengths, so
+// encoded messages are portable and self-delimiting.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace repdir {
+
+/// Append-only binary writer.
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutU32(std::uint32_t v) { PutFixed(v); }
+  void PutU64(std::uint64_t v) { PutFixed(v); }
+
+  /// LEB128 unsigned varint: 1 byte for values < 128, used for lengths.
+  void PutVarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Length-prefixed byte string.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutRaw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+  /// Moves the accumulated bytes out; the writer is reusable afterwards.
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+  std::string TakeString() {
+    std::string s(reinterpret_cast<const char*>(buf_.data()), buf_.size());
+    buf_.clear();
+    return s;
+  }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    std::uint8_t tmp[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    PutRaw(tmp, sizeof(T));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked binary reader over a borrowed byte range. All getters
+/// report kCorruption instead of reading past the end, so a truncated or
+/// hostile message can never crash the server.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : p_(static_cast<const std::uint8_t*>(data)), end_(p_ + size) {}
+  explicit ByteReader(std::string_view s) : ByteReader(s.data(), s.size()) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& v)
+      : ByteReader(v.data(), v.size()) {}
+
+  Status GetU8(std::uint8_t& out) {
+    REPDIR_RETURN_IF_ERROR(Need(1));
+    out = *p_++;
+    return Status::Ok();
+  }
+
+  Status GetBool(bool& out) {
+    std::uint8_t v = 0;
+    REPDIR_RETURN_IF_ERROR(GetU8(v));
+    if (v > 1) return Status::Corruption("bool byte out of range");
+    out = v != 0;
+    return Status::Ok();
+  }
+
+  Status GetU32(std::uint32_t& out) { return GetFixed(out); }
+  Status GetU64(std::uint64_t& out) { return GetFixed(out); }
+
+  Status GetVarint(std::uint64_t& out) {
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      REPDIR_RETURN_IF_ERROR(Need(1));
+      const std::uint8_t b = *p_++;
+      out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return Status::Ok();
+    }
+    return Status::Corruption("varint too long");
+  }
+
+  Status GetString(std::string& out) {
+    std::uint64_t len = 0;
+    REPDIR_RETURN_IF_ERROR(GetVarint(len));
+    REPDIR_RETURN_IF_ERROR(Need(len));
+    out.assign(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return Status::Ok();
+  }
+
+  Status Skip(std::size_t n) {
+    REPDIR_RETURN_IF_ERROR(Need(n));
+    p_ += n;
+    return Status::Ok();
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool AtEnd() const { return p_ == end_; }
+
+  /// Fails unless every byte has been consumed - catches trailing garbage.
+  Status ExpectEnd() const {
+    return AtEnd() ? Status::Ok()
+                   : Status::Corruption("trailing bytes after message");
+  }
+
+ private:
+  Status Need(std::uint64_t n) const {
+    return remaining() >= n
+               ? Status::Ok()
+               : Status::Corruption("unexpected end of buffer");
+  }
+
+  template <typename T>
+  Status GetFixed(T& out) {
+    REPDIR_RETURN_IF_ERROR(Need(sizeof(T)));
+    out = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(p_[i]) << (8 * i);
+    }
+    p_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+/// CRC32 (Castagnoli polynomial, table-driven) for WAL record integrity.
+std::uint32_t Crc32c(const void* data, std::size_t n,
+                     std::uint32_t seed = 0);
+
+}  // namespace repdir

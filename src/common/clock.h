@@ -1,0 +1,54 @@
+// Time abstraction. Components that need time (RPC timeouts, latency
+// injection, WAL timestamps) take a Clock&, so the same code runs under the
+// discrete-event simulator (virtual time, deterministic) and under real
+// threads (wall-clock time).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/types.h"
+
+namespace repdir {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMicros Now() const = 0;
+};
+
+/// Wall-clock time (steady, monotonic).
+class RealClock final : public Clock {
+ public:
+  TimeMicros Now() const override {
+    const auto d = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<TimeMicros>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+
+  /// Process-wide instance (stateless, safe to share).
+  static RealClock& Instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+/// Manually advanced virtual clock; the event loop in src/sim drives it.
+/// Thread-safe so that threaded tests may also use it as a fake.
+class VirtualClock final : public Clock {
+ public:
+  TimeMicros Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceTo(TimeMicros t) {
+    now_.store(t, std::memory_order_relaxed);
+  }
+  void AdvanceBy(DurationMicros d) {
+    now_.fetch_add(d, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<TimeMicros> now_{0};
+};
+
+}  // namespace repdir

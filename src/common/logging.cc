@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+namespace repdir {
+namespace {
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void Logger::Write(LogLevel level, std::string_view file, int line,
+                   std::string_view msg) {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::cerr << '[' << LevelName(level) << ' ' << Basename(file) << ':' << line
+            << "] " << msg << '\n';
+}
+
+}  // namespace repdir

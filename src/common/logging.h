@@ -1,0 +1,66 @@
+// Minimal leveled logger. Logging is off by default (benches and sims emit
+// their own structured output); tests and examples can raise the level to
+// trace quorum and lock decisions.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace repdir {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  void Write(LogLevel level, std::string_view file, int line,
+             std::string_view msg);
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Logger::Instance().Write(level_, file_, line_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace repdir
+
+#define REPDIR_LOG(level)                                             \
+  if (!::repdir::Logger::Instance().Enabled(::repdir::LogLevel::level)) \
+    ;                                                                 \
+  else                                                                \
+    ::repdir::detail::LogLine(::repdir::LogLevel::level, __FILE__, __LINE__)
+
+#define REPDIR_TRACE() REPDIR_LOG(kTrace)
+#define REPDIR_DEBUG() REPDIR_LOG(kDebug)
+#define REPDIR_INFO() REPDIR_LOG(kInfo)
+#define REPDIR_WARN() REPDIR_LOG(kWarn)
+#define REPDIR_ERROR() REPDIR_LOG(kError)

@@ -1,0 +1,9 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace repdir {
+
+double Rng::Log(double v) { return std::log(v); }
+
+}  // namespace repdir

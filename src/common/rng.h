@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (quorum selection, workload generation, failure
+// injection, simulated latency) draw from an explicitly seeded Rng so that
+// every simulation and test run is reproducible from its seed. The core is
+// xoshiro256**, which is fast, has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace repdir {
+
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(x);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless method (bias negligible for 64-bit state).
+  std::uint64_t Below(std::uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;  // modulo bias < 2^-64 * bound: irrelevant here
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniformly chosen index into a container of the given size.
+  std::size_t Index(std::size_t size) {
+    return static_cast<std::size_t>(Below(size));
+  }
+
+  /// Picks a uniformly random element (container must be non-empty).
+  template <typename Container>
+  const typename Container::value_type& Pick(const Container& c) {
+    assert(!c.empty());
+    return c[Index(c.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  /// A uniformly random subset of k distinct indices from [0, n).
+  std::vector<std::size_t> Sample(std::size_t n, std::size_t k) {
+    assert(k <= n);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    // Partial Fisher-Yates: first k positions become the sample.
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + Index(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng Fork() { return Rng(Next()); }
+
+  /// Exponentially distributed value with the given mean (for simulated
+  /// network latency).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    // -mean * ln(u); ln via std would pull <cmath>: fine.
+    return -mean * Log(u);
+  }
+
+ private:
+  static std::uint64_t SplitMix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t Rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  static double Log(double v);
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace repdir

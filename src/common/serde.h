@@ -1,0 +1,43 @@
+// Serialization conventions shared by the RPC layer and the write-ahead
+// log. A type participates by providing:
+//   void Encode(ByteWriter&) const;
+//   Status Decode(ByteReader&);
+#pragma once
+
+#include <concepts>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace repdir {
+
+template <typename T>
+concept WireMessage = requires(const T ct, T t, ByteWriter& w, ByteReader& r) {
+  { ct.Encode(w) } -> std::same_as<void>;
+  { t.Decode(r) } -> std::same_as<Status>;
+};
+
+/// Serializes a message to a byte string.
+template <WireMessage T>
+std::string EncodeToString(const T& msg) {
+  ByteWriter w;
+  msg.Encode(w);
+  return w.TakeString();
+}
+
+/// Parses a message from a byte string, requiring full consumption.
+template <WireMessage T>
+Status DecodeFromString(const std::string& bytes, T& out) {
+  ByteReader r(bytes);
+  REPDIR_RETURN_IF_ERROR(out.Decode(r));
+  return r.ExpectEnd();
+}
+
+/// An empty payload, for requests or responses that carry no data.
+struct EmptyMessage {
+  void Encode(ByteWriter&) const {}
+  Status Decode(ByteReader&) { return Status::Ok(); }
+};
+
+}  // namespace repdir

@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace repdir {
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStat::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "avg=%.2f max=%.0f sd=%.2f", mean(), max(),
+                stddev());
+  return buf;
+}
+
+std::uint64_t CountHistogram::Quantile(double q) const {
+  if (total_ == 0) return 0;
+  const auto threshold =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= threshold) return i;
+  }
+  return buckets_.size() - 1;
+}
+
+std::string CountHistogram::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%zu%s:%llu ", i,
+                  i + 1 == buckets_.size() ? "+" : "",
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace repdir

@@ -1,0 +1,83 @@
+// Online statistics used by the simulation harness to report the paper's
+// measurements (Figures 14 and 15): average, maximum, and standard deviation
+// of per-operation counts, plus a simple fixed-bucket histogram.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace repdir {
+
+/// Welford's online algorithm: numerically stable mean / variance / extrema
+/// in O(1) space. This is what backs every "Avg / Max / Std Dev" row in the
+/// reproduced figures.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Population variance (the paper reports simulation-wide deviations).
+  double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStat& other);
+
+  /// "avg=1.33 max=9 sd=0.87" - compact rendering for bench output.
+  std::string ToString() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over non-negative integer observations with unit buckets up to
+/// `max_tracked`, and an overflow bucket. Used for distribution shape of the
+/// coalescing statistics.
+class CountHistogram {
+ public:
+  explicit CountHistogram(std::size_t max_tracked = 64)
+      : buckets_(max_tracked + 1, 0) {}
+
+  void Add(std::uint64_t value) {
+    const std::size_t idx =
+        std::min<std::uint64_t>(value, buckets_.size() - 1);
+    ++buckets_[idx];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Value v such that at least `q` (0..1] of observations are <= v.
+  std::uint64_t Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace repdir

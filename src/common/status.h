@@ -1,0 +1,115 @@
+// Error handling: Status (code + message) and Result<T> (Status or value).
+//
+// Modules report failures by value rather than by exception so that RPC
+// failures, lock conflicts, and quorum unavailability can flow through the
+// system uniformly (Core Guidelines E.27 style: no exceptions across module
+// boundaries in this library).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace repdir {
+
+/// Canonical error codes. Deliberately coarse: callers branch on the class
+/// of failure, and `message()` carries the specifics.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,        ///< Key or object does not exist.
+  kAlreadyExists,   ///< Insert of a key that is present.
+  kInvalidArgument, ///< Caller bug: bad config, sentinel key misuse, ...
+  kUnavailable,     ///< Quorum cannot be collected / node down / timeout.
+  kAborted,         ///< Transaction aborted (deadlock victim, conflict).
+  kFailedPrecondition, ///< Object in wrong state for this operation.
+  kCorruption,      ///< Storage invariant violated (WAL checksum, ...).
+  kInternal,        ///< Bug in this library.
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no message
+/// allocation); carries a human-readable message on failure.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>" — for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T>: either a value or a non-OK Status. Minimal expected<T,E>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { assert(ok()); return *value_; }
+  const T& value() const& { assert(ok()); return *value_; }
+  T&& value() && { assert(ok()); return *std::move(value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace repdir
+
+/// Propagate a non-OK Status from an expression that yields Status.
+#define REPDIR_RETURN_IF_ERROR(expr)                      \
+  do {                                                    \
+    ::repdir::Status _st = (expr);                        \
+    if (!_st.ok()) return _st;                            \
+  } while (false)
+
+/// Evaluate an expression yielding Result<T>; on error return its status,
+/// otherwise bind the value to `lhs`.
+#define REPDIR_ASSIGN_OR_RETURN(lhs, expr)                \
+  auto REPDIR_CONCAT_(_res, __LINE__) = (expr);           \
+  if (!REPDIR_CONCAT_(_res, __LINE__).ok())               \
+    return REPDIR_CONCAT_(_res, __LINE__).status();       \
+  lhs = std::move(REPDIR_CONCAT_(_res, __LINE__)).value()
+
+#define REPDIR_CONCAT_(a, b) REPDIR_CONCAT_IMPL_(a, b)
+#define REPDIR_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,39 @@
+// Fundamental type aliases shared by every repdir module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace repdir {
+
+/// Identifies a node (a process hosting one directory representative or a
+/// client). NodeId 0 is reserved for "unassigned".
+using NodeId = std::uint32_t;
+
+/// Version number attached to every entry and every gap. The paper (§5)
+/// notes that 48 or more bits may be required to prevent wrap-around; we use
+/// 64 bits so wrap-around is unreachable in practice.
+using Version = std::uint64_t;
+
+/// Globally unique transaction identifier (coordinator node in the high bits,
+/// per-coordinator sequence in the low bits; see txn/txn_id.h).
+using TxnId = std::uint64_t;
+
+/// Number of votes held by a representative in a voting configuration.
+using Votes = std::uint32_t;
+
+/// User-visible directory keys and values are opaque byte strings.
+using UserKey = std::string;
+using Value = std::string;
+
+/// Virtual or real time in microseconds since an arbitrary epoch.
+using TimeMicros = std::uint64_t;
+
+/// A duration in microseconds.
+using DurationMicros = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = 0;
+inline constexpr TxnId kInvalidTxn = 0;
+inline constexpr Version kLowestVersion = 0;  ///< "LowestVersion" constant of Fig. 8.
+
+}  // namespace repdir

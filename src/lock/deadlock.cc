@@ -1,0 +1,41 @@
+#include "lock/deadlock.h"
+
+#include <vector>
+
+namespace repdir::lock {
+
+bool DeadlockDetector::Reaches(TxnId from, TxnId target) const {
+  std::vector<TxnId> stack{from};
+  std::set<TxnId> visited;
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == target) return true;
+    if (!visited.insert(cur).second) continue;
+    const auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (const TxnId next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+Status DeadlockDetector::AddWait(TxnId waiter, const std::set<TxnId>& holders) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // A cycle forms iff some holder (transitively) waits for the waiter.
+  for (const TxnId holder : holders) {
+    if (holder == waiter || Reaches(holder, waiter)) {
+      ++deadlocks_;
+      return Status::Aborted("deadlock: txn " + std::to_string(waiter) +
+                             " would wait in a cycle");
+    }
+  }
+  waits_for_[waiter] = holders;
+  return Status::Ok();
+}
+
+void DeadlockDetector::ClearWait(TxnId waiter) {
+  std::lock_guard<std::mutex> guard(mu_);
+  waits_for_.erase(waiter);
+}
+
+}  // namespace repdir::lock

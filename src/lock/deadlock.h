@@ -1,0 +1,44 @@
+// Global deadlock detection for distributed two-phase locking.
+//
+// Every RangeLockManager in a deployment shares one DeadlockDetector, so
+// wait cycles that span representatives (txn A blocked at rep 1 by B, txn B
+// blocked at rep 2 by A) are caught. Before a transaction blocks, its
+// manager registers the wait edges; if adding them would close a cycle the
+// requester is chosen as the victim and told to abort (kAborted).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::lock {
+
+class DeadlockDetector {
+ public:
+  /// Replaces `waiter`'s outgoing wait edges with edges to `holders`.
+  /// Returns kAborted (without recording the edges) if that would create a
+  /// cycle - the requester is the deadlock victim.
+  Status AddWait(TxnId waiter, const std::set<TxnId>& holders);
+
+  /// Drops all wait edges out of `waiter` (it acquired, timed out, or
+  /// aborted).
+  void ClearWait(TxnId waiter);
+
+  std::uint64_t deadlocks_detected() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return deadlocks_;
+  }
+
+ private:
+  bool Reaches(TxnId from, TxnId target) const;  // mu_ held
+
+  mutable std::mutex mu_;
+  std::map<TxnId, std::set<TxnId>> waits_for_;
+  std::uint64_t deadlocks_ = 0;
+};
+
+}  // namespace repdir::lock

@@ -1,0 +1,53 @@
+// Lock classes for directory representatives (paper §3.1).
+//
+// Two type-specific lock modes over inclusive key ranges:
+//   RepLookup(σ,τ) - set by DirRepLookup / Predecessor / Successor,
+//   RepModify(σ,τ) - set by DirRepInsert / DirRepCoalesce.
+// Compatibility (Figure 7): any two locks over non-intersecting ranges are
+// compatible; over intersecting ranges only Lookup+Lookup is compatible.
+#pragma once
+
+#include <string>
+
+#include "storage/rep_key.h"
+
+namespace repdir::lock {
+
+using storage::RepKey;
+
+enum class LockMode : std::uint8_t { kLookup = 0, kModify = 1 };
+
+inline std::string_view LockModeName(LockMode m) {
+  return m == LockMode::kLookup ? "RepLookup" : "RepModify";
+}
+
+/// Inclusive key range [lo, hi]; lo <= hi required.
+struct KeyRange {
+  RepKey lo;
+  RepKey hi;
+
+  static KeyRange Point(RepKey k) { return KeyRange{k, k}; }
+
+  bool Valid() const { return !(hi < lo); }
+
+  bool Contains(const RepKey& k) const { return !(k < lo) && !(hi < k); }
+
+  bool Intersects(const KeyRange& other) const {
+    return !(hi < other.lo) && !(other.hi < lo);
+  }
+
+  std::string ToString() const {
+    return "[" + lo.ToString() + ".." + hi.ToString() + "]";
+  }
+};
+
+/// Figure 7: locks conflict iff their ranges intersect and at least one of
+/// them is RepModify.
+inline bool Compatible(LockMode held, LockMode requested,
+                       const KeyRange& held_range,
+                       const KeyRange& requested_range) {
+  if (!held_range.Intersects(requested_range)) return true;
+  return held == LockMode::kLookup && requested == LockMode::kLookup;
+}
+
+}  // namespace repdir::lock

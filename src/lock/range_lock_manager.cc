@@ -1,0 +1,97 @@
+#include "lock/range_lock_manager.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace repdir::lock {
+
+std::set<TxnId> RangeLockManager::ConflictingHolders(
+    TxnId txn, LockMode mode, const KeyRange& range) const {
+  std::set<TxnId> holders;
+  for (const Held& h : held_) {
+    if (h.txn == txn) continue;
+    if (!Compatible(h.mode, mode, h.range, range)) holders.insert(h.txn);
+  }
+  return holders;
+}
+
+Status RangeLockManager::Acquire(TxnId txn, LockMode mode,
+                                 const KeyRange& range,
+                                 DurationMicros timeout_micros) {
+  assert(range.Valid());
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  bool waited = false;
+  for (;;) {
+    const auto holders = ConflictingHolders(txn, mode, range);
+    if (holders.empty()) {
+      held_.push_back(Held{txn, mode, range});
+      ++stats_.acquisitions;
+      if (detector_ != nullptr && waited) detector_->ClearWait(txn);
+      return Status::Ok();
+    }
+    if (!waited) {
+      waited = true;
+      ++stats_.waits;
+    }
+    if (detector_ != nullptr) {
+      const Status st = detector_->AddWait(txn, holders);
+      if (!st.ok()) {
+        detector_->ClearWait(txn);
+        ++stats_.aborts;
+        return st;
+      }
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        !ConflictingHolders(txn, mode, range).empty()) {
+      if (detector_ != nullptr) detector_->ClearWait(txn);
+      ++stats_.aborts;
+      return Status::Aborted("lock wait timeout on " + range.ToString());
+    }
+  }
+}
+
+Status RangeLockManager::TryAcquire(TxnId txn, LockMode mode,
+                                    const KeyRange& range) {
+  assert(range.Valid());
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!ConflictingHolders(txn, mode, range).empty()) {
+    ++stats_.aborts;
+    return Status::Aborted(std::string(LockModeName(mode)) + " " +
+                           range.ToString() + " would block");
+  }
+  held_.push_back(Held{txn, mode, range});
+  ++stats_.acquisitions;
+  return Status::Ok();
+}
+
+void RangeLockManager::ReleaseAll(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    std::erase_if(held_, [txn](const Held& h) { return h.txn == txn; });
+  }
+  if (detector_ != nullptr) detector_->ClearWait(txn);
+  cv_.notify_all();
+}
+
+std::size_t RangeLockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::size_t n = 0;
+  for (const Held& h : held_) {
+    if (h.txn == txn) ++n;
+  }
+  return n;
+}
+
+std::size_t RangeLockManager::TotalHeld() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return held_.size();
+}
+
+LockStats RangeLockManager::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stats_;
+}
+
+}  // namespace repdir::lock

@@ -1,0 +1,75 @@
+// RangeLockManager: per-representative lock table implementing strict
+// two-phase locking over the Figure 7 lock classes.
+//
+// Transactions acquire range locks as their operations execute and release
+// everything at commit/abort (ReleaseAll), which together with the Fig. 7
+// compatibility relation makes each representative's schedules serializable;
+// Traiger et al. then give global serializability (paper §3.3).
+//
+// Acquire() blocks (threaded deployments); TryAcquire() is the
+// non-blocking variant used by the deterministic simulator. Deadlocks that
+// span representatives are caught by the shared DeadlockDetector; a local
+// wait that exceeds `timeout` resolves to kAborted as a safety net.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "lock/deadlock.h"
+#include "lock/range_lock.h"
+
+namespace repdir::lock {
+
+struct LockStats {
+  std::uint64_t acquisitions = 0;  ///< Granted lock requests.
+  std::uint64_t waits = 0;         ///< Requests that had to block.
+  std::uint64_t aborts = 0;        ///< Requests denied (deadlock/timeout).
+};
+
+class RangeLockManager {
+ public:
+  /// `detector` is shared across all managers of a deployment; may be null
+  /// (then only timeouts break deadlocks).
+  explicit RangeLockManager(DeadlockDetector* detector = nullptr)
+      : detector_(detector) {}
+
+  /// Blocks until the lock is granted, the wait would deadlock, or
+  /// `timeout_micros` elapses. Re-entrant per transaction (a transaction
+  /// never conflicts with itself).
+  Status Acquire(TxnId txn, LockMode mode, const KeyRange& range,
+                 DurationMicros timeout_micros = 10'000'000);
+
+  /// Grants immediately or returns kAborted("would block").
+  Status TryAcquire(TxnId txn, LockMode mode, const KeyRange& range);
+
+  /// Strict 2PL release point: drops every lock held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// Number of locks currently held by `txn` (tests/diagnostics).
+  std::size_t HeldCount(TxnId txn) const;
+
+  /// Total locks held by anyone.
+  std::size_t TotalHeld() const;
+
+  LockStats stats() const;
+
+ private:
+  struct Held {
+    TxnId txn;
+    LockMode mode;
+    KeyRange range;
+  };
+
+  /// Transactions (other than `txn`) holding conflicting locks. mu_ held.
+  std::set<TxnId> ConflictingHolders(TxnId txn, LockMode mode,
+                                     const KeyRange& range) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  DeadlockDetector* detector_;
+  std::vector<Held> held_;
+  LockStats stats_;
+};
+
+}  // namespace repdir::lock

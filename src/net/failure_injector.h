@@ -1,0 +1,78 @@
+// Transport decorator that injects failures for fault-tolerance tests:
+// fail-next-N, fail every call to a node, fail with a given probability.
+// Deterministic under its seed.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace repdir::net {
+
+class FailureInjector final : public Transport {
+ public:
+  explicit FailureInjector(Transport& inner, std::uint64_t seed = 7)
+      : inner_(&inner), rng_(seed) {}
+
+  /// Every call to `node` fails until ClearBlocked().
+  void BlockNode(NodeId node) {
+    std::lock_guard<std::mutex> guard(mu_);
+    blocked_.insert(node);
+  }
+  void UnblockNode(NodeId node) {
+    std::lock_guard<std::mutex> guard(mu_);
+    blocked_.erase(node);
+  }
+  void ClearBlocked() {
+    std::lock_guard<std::mutex> guard(mu_);
+    blocked_.clear();
+  }
+
+  /// The next `n` calls (to any node) fail.
+  void FailNext(std::uint32_t n) { fail_next_.store(n); }
+
+  /// Each call independently fails with probability `p`.
+  void SetFailureProbability(double p) {
+    std::lock_guard<std::mutex> guard(mu_);
+    probability_ = p;
+  }
+
+  Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (blocked_.contains(to)) {
+        return Status::Unavailable("injected: node blocked");
+      }
+      if (probability_ > 0.0 && rng_.Chance(probability_)) {
+        return Status::Unavailable("injected: random failure");
+      }
+    }
+    std::uint32_t expect = fail_next_.load();
+    while (expect > 0) {
+      if (fail_next_.compare_exchange_weak(expect, expect - 1)) {
+        return Status::Unavailable("injected: fail-next");
+      }
+    }
+    return inner_->Call(to, req, resp);
+  }
+
+  std::uint64_t DeliveredCount(NodeId from, NodeId to) const override {
+    return inner_->DeliveredCount(from, to);
+  }
+  std::uint64_t TotalAttempts() const override {
+    return inner_->TotalAttempts();
+  }
+
+ private:
+  Transport* inner_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::set<NodeId> blocked_;
+  double probability_ = 0.0;
+  std::atomic<std::uint32_t> fail_next_{0};
+};
+
+}  // namespace repdir::net

@@ -1,0 +1,47 @@
+#include "net/inproc_transport.h"
+
+namespace repdir::net {
+
+Status InProcTransport::Call(NodeId to, const RpcRequest& req,
+                             RpcResponse& resp) {
+  ++attempts_;
+
+  const auto it = servers_.find(to);
+  if (it == servers_.end()) {
+    return Status::Unavailable("no such node " + std::to_string(to));
+  }
+
+  DurationMicros round_trip = 0;
+  if (network_ != nullptr) {
+    Result<DurationMicros> outbound = network_->DeliveryDelay(req.from, to);
+    if (!outbound.ok()) return outbound.status();
+    round_trip += *outbound;
+  }
+
+  // Exercise the real wire format on every call so that serialization bugs
+  // cannot hide behind the in-process shortcut.
+  const std::string wire = EncodeToString(req);
+  RpcRequest decoded;
+  REPDIR_RETURN_IF_ERROR(DecodeFromString(wire, decoded));
+
+  ++delivered_[{req.from, to}];
+  RpcResponse server_resp = it->second->Dispatch(decoded);
+  if (network_ != nullptr && network_->ShouldDuplicate(req.from, to)) {
+    // The network delivered the request twice; the server executes twice
+    // and the client consumes the second response (handlers must be
+    // idempotent - exercised by the duplication tests).
+    server_resp = it->second->Dispatch(decoded);
+  }
+
+  if (network_ != nullptr) {
+    Result<DurationMicros> inbound = network_->DeliveryDelay(to, req.from);
+    if (!inbound.ok()) return inbound.status();
+    round_trip += *inbound;
+  }
+  if (clock_ != nullptr && round_trip > 0) clock_->AdvanceBy(round_trip);
+
+  const std::string resp_wire = EncodeToString(server_resp);
+  return DecodeFromString(resp_wire, resp);
+}
+
+}  // namespace repdir::net

@@ -1,0 +1,54 @@
+// Deterministic in-process transport for the discrete-event simulator.
+//
+// A Call serializes the envelope, consults the network model for the request
+// and the response legs (either may fail), advances the virtual clock by the
+// round-trip latency, and dispatches synchronously to the destination
+// server. Single-threaded by design.
+#pragma once
+
+#include <map>
+
+#include "common/clock.h"
+#include "net/rpc_server.h"
+#include "net/transport.h"
+#include "sim/network_model.h"
+
+namespace repdir::net {
+
+class InProcTransport final : public Transport {
+ public:
+  /// `clock` may be a VirtualClock (advanced by latency) or RealClock (then
+  /// latency is only accounted, not waited). `network` may be null for a
+  /// perfect network.
+  explicit InProcTransport(VirtualClock* clock = nullptr,
+                           sim::NetworkModel* network = nullptr)
+      : clock_(clock), network_(network) {}
+
+  /// Registers the server for a node. The server must outlive the transport.
+  void RegisterNode(NodeId node, RpcServer& server) {
+    servers_[node] = &server;
+  }
+
+  Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override;
+
+  std::uint64_t DeliveredCount(NodeId from, NodeId to) const override {
+    const auto it = delivered_.find({from, to});
+    return it == delivered_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t TotalAttempts() const override { return attempts_; }
+
+  void ResetCounters() {
+    delivered_.clear();
+    attempts_ = 0;
+  }
+
+ private:
+  VirtualClock* clock_;
+  sim::NetworkModel* network_;
+  std::map<NodeId, RpcServer*> servers_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> delivered_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace repdir::net

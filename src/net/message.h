@@ -1,0 +1,79 @@
+// RPC envelope: every call is a (method, txn, payload) request answered by a
+// (status, payload) response. Payloads are pre-serialized bytes so the
+// envelope layer is independent of any particular service schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::net {
+
+/// Method identifiers are per-service; services allocate them from disjoint
+/// ranges (see rep/dir_rep_service.h).
+using MethodId = std::uint16_t;
+
+struct RpcRequest {
+  NodeId from = kInvalidNode;   ///< Calling node (client or coordinator).
+  MethodId method = 0;          ///< Which handler to invoke.
+  TxnId txn = kInvalidTxn;      ///< Transaction this call executes within.
+  std::string payload;          ///< Serialized request body.
+
+  void Encode(ByteWriter& w) const {
+    w.PutU32(from);
+    w.PutU32(method);
+    w.PutU64(txn);
+    w.PutString(payload);
+  }
+
+  Status Decode(ByteReader& r) {
+    std::uint32_t method32 = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetU32(from));
+    REPDIR_RETURN_IF_ERROR(r.GetU32(method32));
+    if (method32 > 0xffff) return Status::Corruption("method id out of range");
+    method = static_cast<MethodId>(method32);
+    REPDIR_RETURN_IF_ERROR(r.GetU64(txn));
+    return r.GetString(payload);
+  }
+};
+
+struct RpcResponse {
+  StatusCode code = StatusCode::kOk;  ///< Application-level outcome.
+  std::string error_message;          ///< Non-empty iff code != kOk.
+  std::string payload;                ///< Serialized response body (if OK).
+
+  void Encode(ByteWriter& w) const {
+    w.PutU8(static_cast<std::uint8_t>(code));
+    w.PutString(error_message);
+    w.PutString(payload);
+  }
+
+  Status Decode(ByteReader& r) {
+    std::uint8_t code8 = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetU8(code8));
+    if (code8 > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+      return Status::Corruption("status code out of range");
+    }
+    code = static_cast<StatusCode>(code8);
+    REPDIR_RETURN_IF_ERROR(r.GetString(error_message));
+    return r.GetString(payload);
+  }
+
+  /// Converts the application-level outcome back into a Status.
+  Status ToStatus() const {
+    if (code == StatusCode::kOk) return Status::Ok();
+    return Status(code, error_message);
+  }
+
+  static RpcResponse FromStatus(const Status& s) {
+    RpcResponse resp;
+    resp.code = s.code();
+    resp.error_message = s.message();
+    return resp;
+  }
+};
+
+}  // namespace repdir::net

@@ -1,0 +1,35 @@
+// Retry policy for transient transport failures (drops, brief partitions).
+// Quorum collection uses this when a preferred representative does not
+// answer: retry a bounded number of times, then fall back to a different
+// representative.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace repdir::net {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;  ///< Total tries, including the first.
+
+  /// Whether `status` is worth retrying: only transport-level
+  /// unavailability; application errors (NotFound, Aborted, ...) are final.
+  static bool Retriable(const Status& status) {
+    return status.code() == StatusCode::kUnavailable;
+  }
+};
+
+/// Runs `fn` (returning Status) up to `policy.max_attempts` times while the
+/// failure is retriable. Returns the last status.
+template <typename Fn>
+Status WithRetry(const RetryPolicy& policy, Fn&& fn) {
+  Status last = Status::Internal("retry loop did not run");
+  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok() || !RetryPolicy::Retriable(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace repdir::net

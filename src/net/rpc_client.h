@@ -1,0 +1,43 @@
+// Typed RPC call helper: serializes a request struct, performs the call,
+// maps transport and application failures to Status, and decodes the typed
+// response.
+#pragma once
+
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace repdir::net {
+
+class RpcClient {
+ public:
+  RpcClient(Transport& transport, NodeId self)
+      : transport_(&transport), self_(self) {}
+
+  NodeId self() const { return self_; }
+  Transport& transport() const { return *transport_; }
+
+  /// Calls `method` on node `to` within transaction `txn`.
+  template <WireMessage Resp, WireMessage Req>
+  Result<Resp> Call(NodeId to, MethodId method, const Req& request,
+                    TxnId txn = kInvalidTxn) const {
+    RpcRequest req;
+    req.from = self_;
+    req.method = method;
+    req.txn = txn;
+    req.payload = EncodeToString(request);
+
+    RpcResponse resp;
+    REPDIR_RETURN_IF_ERROR(transport_->Call(to, req, resp));
+    REPDIR_RETURN_IF_ERROR(resp.ToStatus());
+
+    Resp typed;
+    REPDIR_RETURN_IF_ERROR(DecodeFromString(resp.payload, typed));
+    return typed;
+  }
+
+ private:
+  Transport* transport_;
+  NodeId self_;
+};
+
+}  // namespace repdir::net

@@ -1,0 +1,27 @@
+#include "net/rpc_server.h"
+
+#include <cassert>
+
+namespace repdir::net {
+
+void RpcServer::RegisterMethod(MethodId method, Handler handler) {
+  const auto [it, inserted] = handlers_.emplace(method, std::move(handler));
+  (void)it;
+  assert(inserted && "method registered twice");
+}
+
+RpcResponse RpcServer::Dispatch(const RpcRequest& req) const {
+  const auto it = handlers_.find(req.method);
+  if (it == handlers_.end()) {
+    return RpcResponse::FromStatus(Status::InvalidArgument(
+        "no handler for method " + std::to_string(req.method)));
+  }
+  ByteWriter out;
+  const Status st = it->second(req, out);
+  if (!st.ok()) return RpcResponse::FromStatus(st);
+  RpcResponse resp;
+  resp.payload = out.TakeString();
+  return resp;
+}
+
+}  // namespace repdir::net

@@ -1,0 +1,52 @@
+// Per-node RPC dispatcher: a registry of method handlers. Services (e.g.
+// rep::DirRepService) register their methods here; transports deliver
+// decoded requests via Dispatch().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/message.h"
+#include "net/wire.h"
+
+namespace repdir::net {
+
+class RpcServer {
+ public:
+  /// A handler consumes the envelope and, on success, writes its response
+  /// payload into `out`.
+  using Handler =
+      std::function<Status(const RpcRequest& req, ByteWriter& out)>;
+
+  explicit RpcServer(NodeId node) : node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  /// Registers a handler; each method id may be bound once.
+  void RegisterMethod(MethodId method, Handler handler);
+
+  /// Convenience registration for handlers with typed request/response:
+  /// `fn(const Req&, Resp&) -> Status`, with txn id available separately.
+  template <WireMessage Req, WireMessage Resp, typename Fn>
+  void RegisterTyped(MethodId method, Fn fn) {
+    RegisterMethod(method, [fn](const RpcRequest& req, ByteWriter& out) {
+      Req typed_req;
+      REPDIR_RETURN_IF_ERROR(DecodeFromString(req.payload, typed_req));
+      Resp typed_resp;
+      REPDIR_RETURN_IF_ERROR(fn(req, typed_req, typed_resp));
+      typed_resp.Encode(out);
+      return Status::Ok();
+    });
+  }
+
+  /// Runs the handler for `req`. Handler errors become application-level
+  /// error responses, never transport failures.
+  RpcResponse Dispatch(const RpcRequest& req) const;
+
+ private:
+  NodeId node_;
+  std::map<MethodId, Handler> handlers_;
+};
+
+}  // namespace repdir::net

@@ -1,0 +1,248 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace repdir::net {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB sanity cap
+
+Status WriteAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written <= 0) {
+      return Status::Unavailable("tcp send failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got == 0) return Status::Unavailable("tcp connection closed");
+    if (got < 0) {
+      return Status::Unavailable("tcp recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrame) {
+    return Status::InvalidArgument("frame too large");
+  }
+  // Single buffered write: little-endian length prefix + payload.
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+  }
+  frame += payload;
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Status ReadFrame(int fd, std::string& payload) {
+  unsigned char header[4];
+  REPDIR_RETURN_IF_ERROR(ReadAll(fd, header, 4));
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFrame) return Status::Corruption("oversized tcp frame");
+  payload.resize(len);
+  return len == 0 ? Status::Ok() : ReadAll(fd, payload.data(), len);
+}
+
+int ConnectTo(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<std::uint16_t> TcpServer::Start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed: shutting down
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    open_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  std::string request_bytes;
+  for (;;) {
+    if (!ReadFrame(fd, request_bytes).ok()) break;
+    RpcRequest req;
+    RpcResponse resp;
+    if (DecodeFromString(request_bytes, req).ok()) {
+      resp = service_->Dispatch(req);
+    } else {
+      resp = RpcResponse::FromStatus(
+          Status::Corruption("undecodable request frame"));
+    }
+    if (!WriteFrame(fd, EncodeToString(resp)).ok()) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(workers_);
+    open_fds_.clear();
+  }
+  for (auto& w : workers) w.join();
+  listen_fd_ = -1;
+}
+
+TcpTransport::~TcpTransport() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [node, fds] : idle_) {
+    for (const int fd : fds) ::close(fd);
+  }
+}
+
+void TcpTransport::AddRoute(NodeId node, const std::string& host,
+                            std::uint16_t port) {
+  std::lock_guard<std::mutex> guard(mu_);
+  routes_[node] = Route{host, port};
+}
+
+Result<int> TcpTransport::Checkout(NodeId to) {
+  Route route;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto r = routes_.find(to);
+    if (r == routes_.end()) {
+      return Status::Unavailable("no route to node " + std::to_string(to));
+    }
+    route = r->second;
+    auto& pool = idle_[to];
+    if (!pool.empty()) {
+      const int fd = pool.back();
+      pool.pop_back();
+      return fd;
+    }
+  }
+  const int fd = ConnectTo(route.host, route.port);
+  if (fd < 0) {
+    return Status::Unavailable("cannot connect to node " + std::to_string(to));
+  }
+  return fd;
+}
+
+void TcpTransport::CheckIn(NodeId to, int fd) {
+  std::lock_guard<std::mutex> guard(mu_);
+  idle_[to].push_back(fd);
+}
+
+Status TcpTransport::Call(NodeId to, const RpcRequest& req,
+                          RpcResponse& resp) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  REPDIR_ASSIGN_OR_RETURN(const int fd, Checkout(to));
+
+  const Status st = [&]() -> Status {
+    REPDIR_RETURN_IF_ERROR(WriteFrame(fd, EncodeToString(req)));
+    std::string response_bytes;
+    REPDIR_RETURN_IF_ERROR(ReadFrame(fd, response_bytes));
+    return DecodeFromString(response_bytes, resp);
+  }();
+
+  if (!st.ok()) {
+    ::close(fd);  // connection state unknown: drop it
+    return st;
+  }
+  CheckIn(to, fd);
+  std::lock_guard<std::mutex> guard(mu_);
+  ++delivered_[{req.from, to}];
+  return Status::Ok();
+}
+
+std::uint64_t TcpTransport::DeliveredCount(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = delivered_.find({from, to});
+  return it == delivered_.end() ? 0 : it->second;
+}
+
+}  // namespace repdir::net

@@ -1,0 +1,98 @@
+// Real-socket transport: directory representatives served over TCP.
+//
+// Wire format per call: [u32 frame length][RpcRequest bytes] from client to
+// server, [u32 frame length][RpcResponse bytes] back. One outstanding call
+// per connection; the client keeps a small pool of idle connections per
+// destination, so concurrent callers multiplex over parallel connections.
+//
+// TcpServer accepts on a loopback/host port and serves each connection on
+// its own thread (synchronous dispatch into the RpcServer, like the other
+// transports). TcpTransport implements the Transport interface over routes
+// (node id -> host:port), making DirectorySuite and the baselines runnable
+// across real processes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/rpc_server.h"
+#include "net/transport.h"
+
+namespace repdir::net {
+
+class TcpServer {
+ public:
+  explicit TcpServer(RpcServer& service) : service_(&service) {}
+  ~TcpServer() { Stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting. Returns
+  /// the bound port.
+  Result<std::uint16_t> Start(std::uint16_t port = 0);
+
+  /// Stops accepting, closes all connections, joins all threads.
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  RpcServer* service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> workers_;  // guarded by mu_
+  std::vector<int> open_fds_;         // guarded by mu_
+};
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport() = default;
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Registers where a node can be reached.
+  void AddRoute(NodeId node, const std::string& host, std::uint16_t port);
+
+  Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override;
+
+  std::uint64_t DeliveredCount(NodeId from, NodeId to) const override;
+  std::uint64_t TotalAttempts() const override {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string host;
+    std::uint16_t port;
+  };
+
+  /// Checks out an idle pooled connection or opens a new one.
+  Result<int> Checkout(NodeId to);
+  void CheckIn(NodeId to, int fd);
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Route> routes_;
+  std::map<NodeId, std::vector<int>> idle_;  // connection pool
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> delivered_;
+  std::atomic<std::uint64_t> attempts_{0};
+};
+
+}  // namespace repdir::net

@@ -1,0 +1,44 @@
+#include "net/threaded_transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace repdir::net {
+
+Status ThreadedTransport::Call(NodeId to, const RpcRequest& req,
+                               RpcResponse& resp) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+
+  RpcServer* server = nullptr;
+  DurationMicros round_trip = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto it = servers_.find(to);
+    if (it == servers_.end()) {
+      return Status::Unavailable("no such node " + std::to_string(to));
+    }
+    if (network_ != nullptr) {
+      Result<DurationMicros> outbound = network_->DeliveryDelay(req.from, to);
+      if (!outbound.ok()) return outbound.status();
+      Result<DurationMicros> inbound = network_->DeliveryDelay(to, req.from);
+      if (!inbound.ok()) return inbound.status();
+      round_trip = *outbound + *inbound;
+    }
+    server = it->second;
+    ++delivered_[{req.from, to}];
+  }
+
+  const std::string wire = EncodeToString(req);
+  RpcRequest decoded;
+  REPDIR_RETURN_IF_ERROR(DecodeFromString(wire, decoded));
+
+  if (round_trip > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(round_trip));
+  }
+
+  RpcResponse server_resp = server->Dispatch(decoded);
+  const std::string resp_wire = EncodeToString(server_resp);
+  return DecodeFromString(resp_wire, resp);
+}
+
+}  // namespace repdir::net

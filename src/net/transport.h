@@ -1,0 +1,34 @@
+// Transport abstraction: synchronous request/response between nodes.
+//
+// Two implementations exist:
+//   * InProcTransport  - deterministic, single-threaded, virtual-clock time;
+//                        used by the simulation experiments (Figs. 14/15).
+//   * ThreadedTransport - thread-safe loopback with real latency sleeps;
+//                        used by the concurrency benchmarks and stress tests.
+// Both serialize the envelope through the wire format, so encode/decode is
+// exercised on every call, and both honour a sim::NetworkModel for failures.
+#pragma once
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace repdir::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers `req` to node `to` and fills `resp`. A non-OK return means the
+  /// *transport* failed (node down, partition, drop, timeout); application
+  /// errors travel inside `resp.code`.
+  virtual Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) = 0;
+
+  /// Number of request messages successfully delivered from `from` to `to`.
+  /// Used by the Figure 16 locality experiment.
+  virtual std::uint64_t DeliveredCount(NodeId from, NodeId to) const = 0;
+
+  /// Total requests attempted (delivered or not).
+  virtual std::uint64_t TotalAttempts() const = 0;
+};
+
+}  // namespace repdir::net

@@ -1,0 +1,15 @@
+// Wire-format conventions for RPC messages: re-exports the shared serde
+// helpers (common/serde.h) into the net namespace, which owns the RPC-side
+// naming.
+#pragma once
+
+#include "common/serde.h"
+
+namespace repdir::net {
+
+using repdir::DecodeFromString;
+using repdir::EncodeToString;
+using repdir::WireMessage;
+using Empty = repdir::EmptyMessage;
+
+}  // namespace repdir::net

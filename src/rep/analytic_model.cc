@@ -1,0 +1,31 @@
+#include "rep/analytic_model.h"
+
+namespace repdir::rep {
+
+Result<AnalyticPrediction> PredictDeleteOverheads(const QuorumConfig& config,
+                                                  AnalyticInputs inputs) {
+  REPDIR_RETURN_IF_ERROR(config.Validate());
+  for (const Replica& r : config.replicas()) {
+    if (r.votes != 1) {
+      return Status::InvalidArgument(
+          "analytic model covers uniform one-vote suites");
+    }
+  }
+  if (inputs.updates_per_delete < 0) {
+    return Status::InvalidArgument("updates_per_delete must be >= 0");
+  }
+
+  const double v = static_cast<double>(config.size());
+  const double w = static_cast<double>(config.write_quorum());
+  const double q = 1.0 - w / v;  // miss probability per write
+  const double u = inputs.updates_per_delete;
+
+  AnalyticPrediction out;
+  out.present_at_rep = 1.0 - q / (1.0 + u * (1.0 - q));
+  out.deletions_while_coalescing = (v - w) * out.present_at_rep;
+  out.entries_in_ranges_coalesced = out.present_at_rep * v / w;
+  out.insertions_while_coalescing = 2.0 * w * (1.0 - out.present_at_rep);
+  return out;
+}
+
+}  // namespace repdir::rep

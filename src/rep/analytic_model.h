@@ -1,0 +1,65 @@
+// Analytic model of the delete-overhead statistics (paper §5: "initial
+// work on an analytical treatment indicates that we can obtain similar
+// results from simple analytic models").
+//
+// Setting: x-y-z suite with V one-vote representatives, write quorums drawn
+// uniformly at random (the §4 simulation), and a workload in which each
+// live entry receives on average `u` updates before it is deleted.
+//
+// Derivation. Consider the entry for key x at the moment it is deleted.
+// Since its insert, it has been written by 1 + G quorum operations (its
+// insert plus G updates), where G is geometric with mean u:
+//     P(G = g) = (1/(1+u)) * (u/(1+u))^g.
+// Each write lands on an independent uniform W-subset, so a given
+// representative holds a copy of x with probability
+//     p = 1 - E[(1 - W/V)^(1+G)] = 1 - q / (1 + u*(1-q)),   q = 1 - W/V.
+//
+// * Ghost creation: the delete coalesces x away at its W write-quorum
+//   members; the other V - W representatives keep whatever copy they have,
+//   each with probability p, so a delete mints (V-W)*p ghosts in
+//   expectation. Ghosts die only by a later coalesce sweeping over them
+//   (re-insertion of the exact key is negligible in a sparse key space), so
+//   at steady state ghost deaths per delete = ghost births per delete:
+//       deletions_while_coalescing ~= (V - W) * p.
+// * Entries in ranges coalesced (per write-quorum representative): the
+//   target itself (probability p) plus this representative's share of the
+//   ghost deaths, (V-W)*p / W:
+//       entries_in_ranges_coalesced ~= p * V / W.
+// * Insertions while coalescing: each of the W members needs the real
+//   predecessor and the real successor materialized when absent. To first
+//   order each neighbor is present with the same probability p:
+//       insertions_while_coalescing ~= 2 * W * (1 - p).
+//   This is an upper bound: materializations themselves raise neighbor
+//   presence, so the simulation runs somewhat below it (see
+//   bench_analytic_model for the measured gap).
+//
+// Sanity anchors: for 3-2-2 with u = 1 the model gives p = 0.8, ghosts/del
+// = 0.8, entries/rep = 1.2 against the paper's measured 0.88 / 1.33; with
+// u = 0 (no updates - entries written exactly once, e.g. a freshly filled
+// 10000-entry directory) p = 2/3 and ghosts/del = 0.67, exactly the paper's
+// 10000-entry figure that its footnote 5 flags as pre-steady-state.
+#pragma once
+
+#include "common/status.h"
+#include "rep/quorum.h"
+
+namespace repdir::rep {
+
+struct AnalyticInputs {
+  /// Expected updates each entry receives during its lifetime.
+  double updates_per_delete = 1.0;
+};
+
+struct AnalyticPrediction {
+  double present_at_rep = 0.0;  ///< p above.
+  double entries_in_ranges_coalesced = 0.0;  ///< Per write-quorum member.
+  double deletions_while_coalescing = 0.0;   ///< Ghosts per delete (suite).
+  double insertions_while_coalescing = 0.0;  ///< Upper bound (suite).
+};
+
+/// Valid for uniform one-vote configurations (the model's W/V inclusion
+/// probability assumes equal votes).
+Result<AnalyticPrediction> PredictDeleteOverheads(const QuorumConfig& config,
+                                                  AnalyticInputs inputs);
+
+}  // namespace repdir::rep

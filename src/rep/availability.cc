@@ -1,0 +1,63 @@
+#include "rep/availability.h"
+
+#include <cassert>
+
+namespace repdir::rep {
+
+AvailabilityPoint ExactAvailability(const QuorumConfig& config, double p_up) {
+  return ExactAvailability(
+      config, std::vector<double>(config.replicas().size(), p_up));
+}
+
+AvailabilityPoint ExactAvailability(const QuorumConfig& config,
+                                    const std::vector<double>& p_up) {
+  const auto& replicas = config.replicas();
+  assert(p_up.size() == replicas.size());
+  assert(replicas.size() <= 30 && "enumeration limited to small suites");
+
+  AvailabilityPoint point;
+  const std::uint32_t n = static_cast<std::uint32_t>(replicas.size());
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double prob = 1.0;
+    Votes up_votes = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        prob *= p_up[i];
+        up_votes += replicas[i].votes;
+      } else {
+        prob *= 1.0 - p_up[i];
+      }
+    }
+    const bool read_ok = up_votes >= config.read_quorum();
+    const bool write_ok = up_votes >= config.write_quorum();
+    if (read_ok) point.read += prob;
+    if (write_ok) point.write += prob;
+    if (read_ok && write_ok) point.modify += prob;
+  }
+  return point;
+}
+
+AvailabilityPoint SimulatedAvailability(const QuorumConfig& config,
+                                        double p_up, std::uint64_t trials,
+                                        Rng& rng) {
+  const auto& replicas = config.replicas();
+  std::uint64_t read_ok = 0;
+  std::uint64_t write_ok = 0;
+  std::uint64_t modify_ok = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Votes up_votes = 0;
+    for (const Replica& r : replicas) {
+      if (rng.Chance(p_up)) up_votes += r.votes;
+    }
+    const bool r_ok = up_votes >= config.read_quorum();
+    const bool w_ok = up_votes >= config.write_quorum();
+    read_ok += r_ok;
+    write_ok += w_ok;
+    modify_ok += (r_ok && w_ok);
+  }
+  const double denom = static_cast<double>(trials);
+  return AvailabilityPoint{read_ok / denom, write_ok / denom,
+                           modify_ok / denom};
+}
+
+}  // namespace repdir::rep

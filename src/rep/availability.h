@@ -1,0 +1,38 @@
+// Availability analysis for quorum configurations.
+//
+// Given independent per-replica up-probabilities, computes the probability
+// that a read / write / read-modify-write quorum can be collected. Exact
+// computation enumerates replica up/down outcomes (fine for the paper-scale
+// suites of <= ~20 replicas); a Monte-Carlo estimator cross-checks it and
+// scales further. Used by bench_availability to reproduce the paper's
+// motivation that quorum tuning trades read availability against write
+// availability, with unanimous update (W = V) as the degenerate worst case
+// for updates.
+#pragma once
+
+#include "common/rng.h"
+#include "rep/quorum.h"
+
+namespace repdir::rep {
+
+struct AvailabilityPoint {
+  double read = 0.0;    ///< P(read quorum collectable).
+  double write = 0.0;   ///< P(write quorum collectable).
+  double modify = 0.0;  ///< P(both collectable) - inserts/updates/deletes
+                        ///< need a read and a write quorum.
+};
+
+/// Exact availability by enumeration over the 2^n up/down outcomes.
+/// `p_up` is each replica's independent probability of being reachable.
+AvailabilityPoint ExactAvailability(const QuorumConfig& config, double p_up);
+
+/// Per-replica probabilities variant (heterogeneous nodes).
+AvailabilityPoint ExactAvailability(const QuorumConfig& config,
+                                    const std::vector<double>& p_up);
+
+/// Monte-Carlo estimate with `trials` samples.
+AvailabilityPoint SimulatedAvailability(const QuorumConfig& config,
+                                        double p_up, std::uint64_t trials,
+                                        Rng& rng);
+
+}  // namespace repdir::rep

@@ -1,0 +1,135 @@
+#include "rep/dir_rep_node.h"
+
+namespace repdir::rep {
+
+DirRepNode::DirRepNode(NodeId id, DirRepNodeOptions options)
+    : id_(id), options_(options), server_(id) {
+  storage_ = MakeBackend();
+  if (options_.enable_wal) {
+    log_device_ = std::make_unique<storage::MemLogDevice>();
+    wal_ = std::make_unique<storage::WalWriter>(*log_device_);
+  }
+  participant_ = std::make_unique<txn::TxnParticipant>(
+      *storage_, options_.detector, wal_.get(), options_.participant);
+  RegisterHandlers();
+}
+
+std::unique_ptr<storage::RepStorage> DirRepNode::MakeBackend() const {
+  if (options_.backend == DirRepNodeOptions::Backend::kBTree) {
+    return std::make_unique<storage::BTreeStorage>(options_.btree_fanout);
+  }
+  return std::make_unique<storage::MapStorage>();
+}
+
+void DirRepNode::Crash() {
+  if (log_device_ != nullptr) log_device_->Crash();
+  storage_->Clear();
+  // The participant's transaction table and lock table are volatile: a
+  // fresh participant models the post-crash process.
+  participant_ = std::make_unique<txn::TxnParticipant>(
+      *storage_, options_.detector, wal_.get(), options_.participant);
+}
+
+Result<storage::RecoveryOutcome> DirRepNode::Recover() {
+  if (log_device_ == nullptr) {
+    return Status::FailedPrecondition("recovery requires a WAL");
+  }
+  REPDIR_ASSIGN_OR_RETURN(const auto log, storage::ReadLog(*log_device_));
+  return storage::RecoverRepresentative(*storage_, log);
+}
+
+Status DirRepNode::ResolveInDoubt(TxnId txn, bool commit) {
+  if (log_device_ == nullptr || wal_ == nullptr) {
+    return Status::FailedPrecondition("recovery requires a WAL");
+  }
+  REPDIR_ASSIGN_OR_RETURN(const auto log, storage::ReadLog(*log_device_));
+  return storage::ResolveInDoubt(*storage_, log, txn, commit, *wal_);
+}
+
+void DirRepNode::RegisterHandlers() {
+  using net::Empty;
+  using net::RpcRequest;
+
+  server_.RegisterTyped<Empty, Empty>(
+      kPing, [](const RpcRequest&, const Empty&, Empty&) {
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<KeyRequest, LookupReply>(
+      kLookup,
+      [this](const RpcRequest& env, const KeyRequest& req, LookupReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(out, participant_->Lookup(env.txn, req.key));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<KeyRequest, NeighborReply>(
+      kPredecessor,
+      [this](const RpcRequest& env, const KeyRequest& req, NeighborReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(out,
+                                participant_->Predecessor(env.txn, req.key));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<KeyRequest, NeighborReply>(
+      kSuccessor,
+      [this](const RpcRequest& env, const KeyRequest& req, NeighborReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(out, participant_->Successor(env.txn, req.key));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<NeighborBatchRequest, NeighborBatchReply>(
+      kPredecessorBatch,
+      [this](const RpcRequest& env, const NeighborBatchRequest& req,
+             NeighborBatchReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(
+            out.steps,
+            participant_->PredecessorBatch(env.txn, req.key, req.count));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<NeighborBatchRequest, NeighborBatchReply>(
+      kSuccessorBatch,
+      [this](const RpcRequest& env, const NeighborBatchRequest& req,
+             NeighborBatchReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(
+            out.steps,
+            participant_->SuccessorBatch(env.txn, req.key, req.count));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<InsertRequest, Empty>(
+      kInsert,
+      [this](const RpcRequest& env, const InsertRequest& req, Empty&) {
+        return participant_->Insert(env.txn, req.key, req.version, req.value);
+      });
+
+  server_.RegisterTyped<CoalesceRequest, CoalesceReply>(
+      kCoalesce,
+      [this](const RpcRequest& env, const CoalesceRequest& req,
+             CoalesceReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(
+            const storage::CoalesceEffect effect,
+            participant_->Coalesce(env.txn, req.low, req.high,
+                                   req.gap_version));
+        out.erased.reserve(effect.erased.size());
+        for (const auto& e : effect.erased) out.erased.push_back(e.key);
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<Empty, Empty>(
+      kPrepare, [this](const RpcRequest& env, const Empty&, Empty&) {
+        return participant_->Prepare(env.txn);
+      });
+
+  server_.RegisterTyped<Empty, Empty>(
+      kCommit, [this](const RpcRequest& env, const Empty&, Empty&) {
+        return participant_->Commit(env.txn);
+      });
+
+  server_.RegisterTyped<Empty, Empty>(
+      kAbortTxn, [this](const RpcRequest& env, const Empty&, Empty&) {
+        return participant_->Abort(env.txn);
+      });
+}
+
+}  // namespace repdir::rep

@@ -1,0 +1,76 @@
+// DirRepNode: one complete directory representative - storage backend,
+// write-ahead log, transactional participant, and the RPC service that
+// exposes the Figure 6 operations plus two-phase-commit control.
+//
+// The node also models crash/recovery: Crash() wipes all volatile state
+// (storage structure, lock table, transaction table) and discards unflushed
+// log bytes; Recover() rebuilds from the surviving log and reports in-doubt
+// transactions for the coordinator to resolve.
+#pragma once
+
+#include <memory>
+
+#include "net/rpc_server.h"
+#include "rep/messages.h"
+#include "storage/btree_storage.h"
+#include "storage/log_device.h"
+#include "storage/map_storage.h"
+#include "storage/recovery.h"
+#include "txn/participant.h"
+
+namespace repdir::rep {
+
+struct DirRepNodeOptions {
+  enum class Backend : std::uint8_t { kMap, kBTree };
+
+  Backend backend = Backend::kMap;
+  int btree_fanout = 16;
+
+  /// Attach a write-ahead log (costs a little time in big simulations; the
+  /// statistical benches run without it, durability tests with it).
+  bool enable_wal = false;
+
+  /// Lock discipline for the participant.
+  txn::ParticipantOptions participant;
+
+  /// Shared deadlock detector (threaded deployments); may be null.
+  lock::DeadlockDetector* detector = nullptr;
+};
+
+class DirRepNode {
+ public:
+  explicit DirRepNode(NodeId id, DirRepNodeOptions options = {});
+
+  NodeId id() const { return id_; }
+  net::RpcServer& server() { return server_; }
+  txn::TxnParticipant& participant() { return *participant_; }
+  storage::RepStorage& storage() { return *storage_; }
+  const storage::RepStorage& storage() const { return *storage_; }
+
+  /// The simulated log medium; null when WAL is disabled.
+  storage::MemLogDevice* log_device() { return log_device_.get(); }
+
+  /// Simulated crash: volatile state gone, unflushed log bytes lost.
+  /// (Callers should also mark the node down in the network model.)
+  void Crash();
+
+  /// Rebuilds state from the durable log. Requires WAL.
+  Result<storage::RecoveryOutcome> Recover();
+
+  /// Resolves one in-doubt transaction discovered by Recover().
+  Status ResolveInDoubt(TxnId txn, bool commit);
+
+ private:
+  void RegisterHandlers();
+  std::unique_ptr<storage::RepStorage> MakeBackend() const;
+
+  NodeId id_;
+  DirRepNodeOptions options_;
+  std::unique_ptr<storage::RepStorage> storage_;
+  std::unique_ptr<storage::MemLogDevice> log_device_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  std::unique_ptr<txn::TxnParticipant> participant_;
+  net::RpcServer server_;
+};
+
+}  // namespace repdir::rep

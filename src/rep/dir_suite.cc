@@ -1,0 +1,540 @@
+#include "rep/dir_suite.h"
+
+#include <cassert>
+
+namespace repdir::rep {
+
+namespace {
+
+constexpr txn::TxnControlMethods kTxnMethods{kPrepare, kCommit, kAbortTxn};
+
+bool IsReadMethod(net::MethodId m) {
+  return m == kLookup || m == kPredecessor || m == kSuccessor ||
+         m == kPredecessorBatch || m == kSuccessorBatch;
+}
+
+/// Operation failures that leave no partial state and therefore do not
+/// force a multi-operation transaction to abort.
+bool IsCleanCheckFailure(const Status& st) {
+  return st.code() == StatusCode::kNotFound ||
+         st.code() == StatusCode::kAlreadyExists;
+}
+
+}  // namespace
+
+DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
+                               Options options)
+    : client_(transport, client_node),
+      options_(std::move(options)),
+      txn_ids_(client_node),
+      committer_(client_, kTxnMethods, options_.rpc_retry) {
+  assert(options_.config.Validate().ok() && "invalid quorum configuration");
+  weak_nodes_ = options_.config.WeakNodes();
+  if (options_.policy != nullptr) {
+    policy_ = std::move(options_.policy);
+  } else {
+    policy_ = std::make_unique<RandomQuorumPolicy>(options_.config,
+                                                   options_.policy_seed);
+  }
+}
+
+template <WireMessage Resp, WireMessage Req>
+Result<Resp> DirectorySuite::CallRep(OpCtx& ctx, NodeId node,
+                                     net::MethodId method, const Req& req) {
+  // Even a failed data call may have executed server-side (response lost),
+  // leaving locks behind: the node must learn the transaction's outcome.
+  ctx.participants.insert(node);
+  if (IsReadMethod(method)) {
+    ++read_rpcs_[node];
+  } else {
+    ++write_rpcs_[node];
+    ctx.wrote = true;
+  }
+  Result<Resp> out = client_.Call<Resp>(node, method, req, ctx.txn);
+  for (std::uint32_t attempt = 1;
+       attempt < options_.rpc_retry.max_attempts && !out.ok() &&
+       net::RetryPolicy::Retriable(out.status());
+       ++attempt) {
+    out = client_.Call<Resp>(node, method, req, ctx.txn);
+  }
+  return out;
+}
+
+template <WireMessage Resp, WireMessage Req>
+Result<Resp> DirectorySuite::CallWeak(OpCtx& ctx, NodeId node,
+                                      net::MethodId method, const Req& req) {
+  // Best-effort call to a zero-vote representative. Unlike CallRep, a
+  // transport failure must NOT enroll the node as a 2PC participant - an
+  // unreachable hint node would otherwise fail PREPARE and abort the whole
+  // transaction, defeating "best effort". If the node executed the request
+  // (success or application error) it may hold locks, so it does join; on a
+  // transport failure we fire a best-effort abort in case the request
+  // executed but the response was lost.
+  if (IsReadMethod(method)) {
+    ++read_rpcs_[node];
+  } else {
+    ++write_rpcs_[node];
+  }
+  Result<Resp> out = client_.Call<Resp>(node, method, req, ctx.txn);
+  if (out.ok() || out.status().code() != StatusCode::kUnavailable) {
+    ctx.participants.insert(node);
+    if (!IsReadMethod(method)) ctx.wrote = true;
+  } else {
+    (void)client_.Call<net::Empty>(node, kAbortTxn, net::Empty{}, ctx.txn);
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> DirectorySuite::CollectQuorum(OpClass klass) {
+  const Votes quota = klass == OpClass::kRead ? options_.config.read_quorum()
+                                              : options_.config.write_quorum();
+  const std::vector<NodeId> order = policy_->PreferenceOrder(klass);
+  std::vector<NodeId> members;
+  Votes votes = 0;
+  for (const NodeId node : order) {
+    if (options_.config.VotesOf(node) == 0) continue;  // weak: no votes
+    const Status st = net::WithRetry(options_.rpc_retry, [&] {
+      return client_.Call<net::Empty>(node, kPing, net::Empty{}).status();
+    });
+    if (!st.ok()) continue;  // unreachable: try the next preference
+    members.push_back(node);
+    votes += options_.config.VotesOf(node);
+    if (votes >= quota) return members;
+  }
+  return Status::Unavailable(
+      std::string(klass == OpClass::kRead ? "read" : "write") +
+      " quorum unavailable (" + std::to_string(votes) + "/" +
+      std::to_string(quota) + " votes)");
+}
+
+Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookup(
+    OpCtx& ctx, const RepKey& k) {
+  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
+  return SuiteLookupOn(ctx, quorum, k);
+}
+
+Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookupOn(
+    OpCtx& ctx, const std::vector<NodeId>& quorum, const RepKey& k) {
+  // Fig. 8: inquire at every quorum member; the reply with the largest
+  // version number is current. (A strict tie between "present" and "not
+  // present" cannot occur - see the version-invariant tests - but we
+  // prefer "present" defensively.)
+  VersionedLookup best;  // present=false, version=LowestVersion
+  bool first = true;
+  for (const NodeId node : quorum) {
+    REPDIR_ASSIGN_OR_RETURN(
+        const LookupReply reply,
+        CallRep<LookupReply>(ctx, node, kLookup, KeyRequest{k}));
+    const bool better =
+        first || reply.version > best.version ||
+        (reply.version == best.version && reply.present && !best.present);
+    if (better) {
+      best.present = reply.present;
+      best.version = reply.version;
+      best.value = reply.value;
+      first = false;
+    }
+  }
+  // Weak representatives (§2 "hints"): their replies carry no votes but can
+  // only be folded in safely - all of their data was written by committed
+  // transactions, so the highest-version rule still selects current data.
+  for (const NodeId node : weak_nodes_) {
+    const auto reply =
+        CallWeak<LookupReply>(ctx, node, kLookup, KeyRequest{k});
+    if (!reply.ok()) continue;  // best-effort
+    if (reply->version > best.version ||
+        (reply->version == best.version && reply->present && !best.present)) {
+      best.present = reply->present;
+      best.version = reply->version;
+      best.value = reply->value;
+      first = false;
+    }
+  }
+  return best;
+}
+
+Result<NeighborReply> DirectorySuite::NextBelow(OpCtx& ctx,
+                                                NeighborCursor& cursor,
+                                                const RepKey& k) {
+  // Cached chain entries are strictly decreasing; the local predecessor of
+  // k is the first one below it. While the chain holds entries >= k they
+  // were superseded by deeper candidates from other members - skip them.
+  while (cursor.idx < cursor.chain.size() &&
+         !(cursor.chain[cursor.idx].key < k)) {
+    ++cursor.idx;
+  }
+  if (cursor.idx == cursor.chain.size()) {
+    ++stats_.counters().neighbor_fetches;
+    REPDIR_ASSIGN_OR_RETURN(
+        NeighborBatchReply batch,
+        CallRep<NeighborBatchReply>(
+            ctx, cursor.node, kPredecessorBatch,
+            NeighborBatchRequest{k, options_.neighbor_batch}));
+    if (batch.steps.empty()) {
+      return Status::Internal("empty predecessor batch");
+    }
+    cursor.chain = std::move(batch.steps);
+    cursor.idx = 0;
+  }
+  return cursor.chain[cursor.idx];
+}
+
+Result<NeighborReply> DirectorySuite::NextAbove(OpCtx& ctx,
+                                                NeighborCursor& cursor,
+                                                const RepKey& k) {
+  while (cursor.idx < cursor.chain.size() &&
+         !(k < cursor.chain[cursor.idx].key)) {
+    ++cursor.idx;
+  }
+  if (cursor.idx == cursor.chain.size()) {
+    ++stats_.counters().neighbor_fetches;
+    REPDIR_ASSIGN_OR_RETURN(
+        NeighborBatchReply batch,
+        CallRep<NeighborBatchReply>(
+            ctx, cursor.node, kSuccessorBatch,
+            NeighborBatchRequest{k, options_.neighbor_batch}));
+    if (batch.steps.empty()) {
+      return Status::Internal("empty successor batch");
+    }
+    cursor.chain = std::move(batch.steps);
+    cursor.idx = 0;
+  }
+  return cursor.chain[cursor.idx];
+}
+
+Result<DirectorySuite::RealNeighbor> DirectorySuite::RealPredecessor(
+    OpCtx& ctx, const RepKey& x) {
+  // Fig. 12. Candidates move strictly downward, skipping ghosts, until a
+  // key current in the suite (or the LOW sentinel) is found. Each quorum
+  // member serves candidates through a batched cursor (§4): with
+  // neighbor_batch = 1 this is exactly the paper's sketch.
+  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
+  std::vector<NeighborCursor> cursors;
+  cursors.reserve(quorum.size());
+  for (const NodeId node : quorum) cursors.push_back(NeighborCursor{node, {}, 0});
+
+  RepKey k = x;
+  Version max_gap = kLowestVersion;
+  for (;;) {
+    RepKey pred = RepKey::Low();
+    for (NeighborCursor& cursor : cursors) {
+      REPDIR_ASSIGN_OR_RETURN(const NeighborReply reply,
+                              NextBelow(ctx, cursor, k));
+      if (pred < reply.key) pred = reply.key;
+      max_gap = std::max(max_gap, reply.gap_version);
+    }
+    REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, pred));
+    if (lk.present) {
+      return RealNeighbor{pred, lk.value, lk.version, max_gap};
+    }
+    // `pred` is a ghost: its current ("not present") version also bounds
+    // versions in the range being searched.
+    max_gap = std::max(max_gap, lk.version);
+    k = pred;
+  }
+}
+
+Result<DirectorySuite::RealNeighbor> DirectorySuite::RealSuccessor(
+    OpCtx& ctx, const RepKey& x) {
+  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
+  std::vector<NeighborCursor> cursors;
+  cursors.reserve(quorum.size());
+  for (const NodeId node : quorum) cursors.push_back(NeighborCursor{node, {}, 0});
+
+  RepKey k = x;
+  Version max_gap = kLowestVersion;
+  for (;;) {
+    RepKey succ = RepKey::High();
+    for (NeighborCursor& cursor : cursors) {
+      REPDIR_ASSIGN_OR_RETURN(const NeighborReply reply,
+                              NextAbove(ctx, cursor, k));
+      if (reply.key < succ) succ = reply.key;
+      max_gap = std::max(max_gap, reply.gap_version);
+    }
+    REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, succ));
+    if (lk.present) {
+      return RealNeighbor{succ, lk.value, lk.version, max_gap};
+    }
+    max_gap = std::max(max_gap, lk.version);
+    k = succ;
+  }
+}
+
+Status DirectorySuite::Finish(OpCtx& ctx, Status body_status) {
+  if (!body_status.ok()) {
+    committer_.Abort(ctx.txn, ctx.participants);
+    return body_status;
+  }
+  // Read-only transactions skip phase 1: nothing was written, so there is
+  // no durability promise to collect - one COMMIT round releases locks.
+  const Status st =
+      ctx.wrote ? committer_.Commit(ctx.txn, ctx.participants)
+                : committer_.CommitReadOnly(ctx.txn, ctx.participants);
+  if (st.ok()) {
+    for (const DeleteProbe& probe : ctx.probes) stats_.RecordDelete(probe);
+  }
+  return st;
+}
+
+template <typename Fn>
+Status DirectorySuite::RunTxn(Fn&& body) {
+  OpCtx ctx{txn_ids_.Next(), {}, {}};
+  return Finish(ctx, body(ctx));
+}
+
+Status DirectorySuite::Record(Status st, std::uint64_t OpCounters::*counter) {
+  if (st.ok()) {
+    ++(stats_.counters().*counter);
+  } else if (st.code() == StatusCode::kUnavailable) {
+    ++stats_.counters().unavailable;
+  } else if (st.code() == StatusCode::kAborted) {
+    ++stats_.counters().aborted;
+  }
+  return st;
+}
+
+// --- Operation bodies ---
+
+Result<DirectorySuite::LookupResult> DirectorySuite::LookupIn(
+    OpCtx& ctx, const UserKey& key) {
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk,
+                          SuiteLookup(ctx, RepKey::User(key)));
+  LookupResult result;
+  result.found = lk.present;
+  result.value = lk.value;
+  return result;
+}
+
+Status DirectorySuite::InsertIn(OpCtx& ctx, const UserKey& key,
+                                const Value& value) {
+  // Fig. 9: the new entry's version must exceed every version previously
+  // associated with the key, which the read-quorum lookup supplies.
+  const RepKey x = RepKey::User(key);
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x));
+  if (lk.present) {
+    return Status::AlreadyExists("entry exists for key " + key);
+  }
+  const Version version = lk.version + 1;
+  REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
+  for (const NodeId node : wq) {
+    REPDIR_RETURN_IF_ERROR(
+        CallRep<net::Empty>(ctx, node, kInsert,
+                            InsertRequest{x, version, value})
+            .status());
+  }
+  PropagateToWeak(ctx, x, version, value);
+  return Status::Ok();
+}
+
+Status DirectorySuite::UpdateIn(OpCtx& ctx, const UserKey& key,
+                                const Value& value) {
+  const RepKey x = RepKey::User(key);
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x));
+  if (!lk.present) {
+    return Status::NotFound("no entry for key " + key);
+  }
+  const Version version = lk.version + 1;
+  REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
+  for (const NodeId node : wq) {
+    REPDIR_RETURN_IF_ERROR(
+        CallRep<net::Empty>(ctx, node, kInsert,
+                            InsertRequest{x, version, value})
+            .status());
+  }
+  PropagateToWeak(ctx, x, version, value);
+  return Status::Ok();
+}
+
+// Deletes deliberately do NOT touch weak representatives: their stale
+// copies are ghosts with versions below the coalesced gap's, so every read
+// (which always includes a full voting quorum) still answers correctly.
+Status DirectorySuite::DeleteIn(OpCtx& ctx, const UserKey& key) {
+  const RepKey x = RepKey::User(key);
+  // Fig. 13, in the paper's order: write quorum first, then the real
+  // neighbors, then the target's own version.
+  REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
+  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor succ, RealSuccessor(ctx, x));
+  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor pred, RealPredecessor(ctx, x));
+
+  // The coalesced gap's version must exceed every version previously
+  // associated with any key in (pred, succ).
+  Version ver = std::max(succ.max_gap, pred.max_gap);
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x));
+  if (!lk.present) {
+    return Status::NotFound("no entry for key " + key);
+  }
+  ver = std::max(ver, lk.version);
+
+  // Materialize the real predecessor and successor on every write-quorum
+  // member that lacks them, so Coalesce's bounding entries exist.
+  DeleteProbe probe;
+  for (const NodeId node : wq) {
+    REPDIR_ASSIGN_OR_RETURN(
+        const LookupReply has_succ,
+        CallRep<LookupReply>(ctx, node, kLookup, KeyRequest{succ.key}));
+    if (!has_succ.present) {
+      REPDIR_RETURN_IF_ERROR(
+          CallRep<net::Empty>(ctx, node, kInsert,
+                              InsertRequest{succ.key, succ.version,
+                                            succ.value})
+              .status());
+      ++probe.materializing_insertions;
+    }
+    REPDIR_ASSIGN_OR_RETURN(
+        const LookupReply has_pred,
+        CallRep<LookupReply>(ctx, node, kLookup, KeyRequest{pred.key}));
+    if (!has_pred.present) {
+      REPDIR_RETURN_IF_ERROR(
+          CallRep<net::Empty>(ctx, node, kInsert,
+                              InsertRequest{pred.key, pred.version,
+                                            pred.value})
+              .status());
+      ++probe.materializing_insertions;
+    }
+  }
+
+  for (const NodeId node : wq) {
+    REPDIR_ASSIGN_OR_RETURN(
+        const CoalesceReply reply,
+        CallRep<CoalesceReply>(ctx, node, kCoalesce,
+                               CoalesceRequest{pred.key, succ.key, ver + 1}));
+    probe.entries_in_range_per_rep.push_back(
+        static_cast<std::uint32_t>(reply.erased.size()));
+    for (const RepKey& erased : reply.erased) {
+      if (!(erased == x)) ++probe.ghost_deletions;
+    }
+  }
+  ctx.probes.push_back(std::move(probe));
+  return Status::Ok();
+}
+
+void DirectorySuite::PropagateToWeak(OpCtx& ctx, const RepKey& x,
+                                     Version version, const Value& value) {
+  // Best-effort write to every zero-vote representative; failures are
+  // ignored (the write quorum already guarantees currency). The weak node
+  // still becomes a 2PC participant so any locks it took are resolved.
+  for (const NodeId node : weak_nodes_) {
+    (void)CallWeak<net::Empty>(ctx, node, kInsert,
+                               InsertRequest{x, version, value});
+  }
+}
+
+Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKeyIn(
+    OpCtx& ctx, const RepKey& from) {
+  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor succ, RealSuccessor(ctx, from));
+  NextKeyResult result;
+  if (succ.key.is_high()) return result;  // found = false
+  result.found = true;
+  result.key = succ.key.user();
+  result.value = succ.value;
+  return result;
+}
+
+// --- Single-shot public API ---
+
+Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
+    const UserKey& key) {
+  LookupResult result;
+  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(result, LookupIn(ctx, key));
+    return Status::Ok();
+  });
+  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups));
+  return result;
+}
+
+Status DirectorySuite::Insert(const UserKey& key, const Value& value) {
+  return Record(
+      RunTxn([&](OpCtx& ctx) { return InsertIn(ctx, key, value); }),
+      &OpCounters::inserts);
+}
+
+Status DirectorySuite::Update(const UserKey& key, const Value& value) {
+  return Record(
+      RunTxn([&](OpCtx& ctx) { return UpdateIn(ctx, key, value); }),
+      &OpCounters::updates);
+}
+
+Status DirectorySuite::Delete(const UserKey& key) {
+  return Record(RunTxn([&](OpCtx& ctx) { return DeleteIn(ctx, key); }),
+                &OpCounters::deletes);
+}
+
+Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKey(
+    const UserKey& key) {
+  NextKeyResult result;
+  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::User(key)));
+    return Status::Ok();
+  });
+  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups));
+  return result;
+}
+
+Result<DirectorySuite::NextKeyResult> DirectorySuite::FirstKey() {
+  NextKeyResult result;
+  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+    REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::Low()));
+    return Status::Ok();
+  });
+  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups));
+  return result;
+}
+
+SuiteTxn DirectorySuite::Begin() { return SuiteTxn(*this); }
+
+// --- SuiteTxn ---
+
+namespace {
+
+/// Applies the auto-abort policy: hard failures (lock aborts, quorum loss,
+/// transport errors) poison the transaction; clean check failures do not.
+Status TxnOpOutcome(SuiteTxn& txn, Status st) {
+  if (!st.ok() && !IsCleanCheckFailure(st)) txn.Abort();
+  return st;
+}
+
+}  // namespace
+
+Result<DirectorySuite::LookupResult> SuiteTxn::Lookup(const UserKey& key) {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  auto out = suite_->LookupIn(ctx_, key);
+  if (!out.ok()) (void)TxnOpOutcome(*this, out.status());
+  return out;
+}
+
+Status SuiteTxn::Insert(const UserKey& key, const Value& value) {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  return TxnOpOutcome(*this, suite_->InsertIn(ctx_, key, value));
+}
+
+Status SuiteTxn::Update(const UserKey& key, const Value& value) {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  return TxnOpOutcome(*this, suite_->UpdateIn(ctx_, key, value));
+}
+
+Status SuiteTxn::Delete(const UserKey& key) {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  return TxnOpOutcome(*this, suite_->DeleteIn(ctx_, key));
+}
+
+Result<DirectorySuite::NextKeyResult> SuiteTxn::NextKey(const UserKey& key) {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  auto out = suite_->NextKeyIn(ctx_, storage::RepKey::User(key));
+  if (!out.ok()) (void)TxnOpOutcome(*this, out.status());
+  return out;
+}
+
+Status SuiteTxn::Commit() {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  open_ = false;
+  return suite_->Finish(ctx_, Status::Ok());
+}
+
+void SuiteTxn::Abort() {
+  if (!open_) return;
+  open_ = false;
+  (void)suite_->Finish(ctx_, Status::Aborted("client abort"));
+}
+
+}  // namespace repdir::rep

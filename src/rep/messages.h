@@ -1,0 +1,138 @@
+// Wire messages of the directory-representative RPC service, and the
+// service's method identifiers.
+#pragma once
+
+#include "common/serde.h"
+#include "net/message.h"
+#include "storage/dir_rep_core.h"
+
+namespace repdir::rep {
+
+using storage::LookupReply;
+using storage::NeighborReply;
+using storage::RepKey;
+
+/// Method id space of DirRepService. Transaction control shares the service
+/// (participants are reached through the same server).
+enum DirRepMethod : net::MethodId {
+  kPing = 1,
+  kLookup = 2,
+  kPredecessor = 3,
+  kSuccessor = 4,
+  kInsert = 5,
+  kCoalesce = 6,
+  kPredecessorBatch = 7,
+  kSuccessorBatch = 8,
+  kPrepare = 100,
+  kCommit = 101,
+  kAbortTxn = 102,
+};
+
+struct KeyRequest {
+  RepKey key;
+
+  void Encode(ByteWriter& w) const { key.Encode(w); }
+  Status Decode(ByteReader& r) { return key.Decode(r); }
+};
+
+struct InsertRequest {
+  RepKey key;
+  Version version = kLowestVersion;
+  Value value;
+
+  void Encode(ByteWriter& w) const {
+    key.Encode(w);
+    w.PutU64(version);
+    w.PutString(value);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(key.Decode(r));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+    return r.GetString(value);
+  }
+};
+
+struct CoalesceRequest {
+  RepKey low;
+  RepKey high;
+  Version gap_version = kLowestVersion;
+
+  void Encode(ByteWriter& w) const {
+    low.Encode(w);
+    high.Encode(w);
+    w.PutU64(gap_version);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(low.Decode(r));
+    REPDIR_RETURN_IF_ERROR(high.Decode(r));
+    return r.GetU64(gap_version);
+  }
+};
+
+/// Batched neighbor search (paper §4: "if each member of a read quorum
+/// sends the results of three successive DirRepPredecessor and
+/// DirRepSuccessor operations in a single message, the real predecessor and
+/// real successor will often be located using one remote procedure call").
+struct NeighborBatchRequest {
+  RepKey key;
+  std::uint32_t count = 3;
+
+  void Encode(ByteWriter& w) const {
+    key.Encode(w);
+    w.PutU32(count);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(key.Decode(r));
+    return r.GetU32(count);
+  }
+};
+
+/// Successive neighbors walking away from the request key: strictly
+/// decreasing (predecessor batch) or increasing (successor batch), ending
+/// early at a sentinel.
+struct NeighborBatchReply {
+  std::vector<NeighborReply> steps;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(steps.size());
+    for (const auto& s : steps) s.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    steps.clear();
+    steps.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      NeighborReply s;
+      REPDIR_RETURN_IF_ERROR(s.Decode(r));
+      steps.push_back(std::move(s));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Coalesce reports which entries it physically erased; the suite uses this
+/// for the paper's §4 statistics (entries in ranges coalesced, deletions
+/// while coalescing).
+struct CoalesceReply {
+  std::vector<RepKey> erased;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(erased.size());
+    for (const auto& k : erased) k.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    erased.clear();
+    erased.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RepKey k;
+      REPDIR_RETURN_IF_ERROR(k.Decode(r));
+      erased.push_back(std::move(k));
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace repdir::rep

@@ -1,0 +1,108 @@
+#include "rep/quorum.h"
+
+#include <algorithm>
+
+namespace repdir::rep {
+
+QuorumConfig QuorumConfig::Uniform(std::uint32_t count, Votes read_quorum,
+                                   Votes write_quorum, NodeId first_node) {
+  std::vector<Replica> replicas;
+  replicas.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    replicas.push_back(Replica{first_node + i, 1});
+  }
+  return QuorumConfig(std::move(replicas), read_quorum, write_quorum);
+}
+
+Status QuorumConfig::Validate(bool require_write_intersection) const {
+  if (replicas_.empty()) {
+    return Status::InvalidArgument("suite has no representatives");
+  }
+  std::set<NodeId> seen;
+  for (const Replica& r : replicas_) {
+    if (r.node == kInvalidNode) {
+      return Status::InvalidArgument("replica with invalid node id");
+    }
+    if (!seen.insert(r.node).second) {
+      return Status::InvalidArgument("duplicate replica node " +
+                                     std::to_string(r.node));
+    }
+  }
+  const Votes total = TotalVotes();
+  if (total == 0) return Status::InvalidArgument("total votes is zero");
+  if (read_quorum_ == 0 || write_quorum_ == 0) {
+    return Status::InvalidArgument("quorums must be positive");
+  }
+  if (read_quorum_ > total || write_quorum_ > total) {
+    return Status::InvalidArgument("quorum exceeds total votes");
+  }
+  if (read_quorum_ + write_quorum_ <= total) {
+    return Status::InvalidArgument(
+        "R + W must exceed total votes (read/write intersection)");
+  }
+  if (require_write_intersection && 2 * write_quorum_ <= total) {
+    return Status::InvalidArgument(
+        "2W must exceed total votes (write/write intersection)");
+  }
+  return Status::Ok();
+}
+
+Votes QuorumConfig::TotalVotes() const {
+  Votes total = 0;
+  for (const Replica& r : replicas_) total += r.votes;
+  return total;
+}
+
+Votes QuorumConfig::VotesOf(NodeId node) const {
+  for (const Replica& r : replicas_) {
+    if (r.node == node) return r.votes;
+  }
+  return 0;
+}
+
+std::vector<NodeId> QuorumConfig::Nodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(replicas_.size());
+  for (const Replica& r : replicas_) nodes.push_back(r.node);
+  return nodes;
+}
+
+std::vector<NodeId> QuorumConfig::VotingNodes() const {
+  std::vector<NodeId> nodes;
+  for (const Replica& r : replicas_) {
+    if (r.votes > 0) nodes.push_back(r.node);
+  }
+  return nodes;
+}
+
+std::vector<NodeId> QuorumConfig::WeakNodes() const {
+  std::vector<NodeId> nodes;
+  for (const Replica& r : replicas_) {
+    if (r.votes == 0) nodes.push_back(r.node);
+  }
+  return nodes;
+}
+
+bool QuorumConfig::HasVotes(const std::set<NodeId>& nodes, Votes quota) const {
+  Votes total = 0;
+  for (const NodeId n : nodes) total += VotesOf(n);
+  return total >= quota;
+}
+
+std::string QuorumConfig::ToString() const {
+  std::string out = std::to_string(replicas_.size()) + "-" +
+                    std::to_string(read_quorum_) + "-" +
+                    std::to_string(write_quorum_);
+  const bool weighted = std::any_of(replicas_.begin(), replicas_.end(),
+                                    [](const Replica& r) { return r.votes != 1; });
+  if (weighted) {
+    out += " (votes:";
+    for (const Replica& r : replicas_) {
+      out += " " + std::to_string(r.node) + "=" + std::to_string(r.votes);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace repdir::rep

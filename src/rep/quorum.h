@@ -1,0 +1,84 @@
+// Quorum configuration for a directory suite (Gifford-style weighted
+// voting). Each representative holds some number of votes; reads gather R
+// votes, writes W votes, with R + W > V (every read quorum intersects every
+// write quorum) and W > V/2 (any two write quorums intersect, so version
+// numbers advance through a chain of intersecting writes).
+//
+// The paper's x-y-z notation (e.g. "3-2-2 directory") means x
+// representatives with one vote each, R = y, W = z.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::rep {
+
+struct Replica {
+  NodeId node = kInvalidNode;
+  Votes votes = 1;
+};
+
+class QuorumConfig {
+ public:
+  QuorumConfig() = default;
+  QuorumConfig(std::vector<Replica> replicas, Votes read_quorum,
+               Votes write_quorum)
+      : replicas_(std::move(replicas)),
+        read_quorum_(read_quorum),
+        write_quorum_(write_quorum) {}
+
+  /// Convenience for the paper's x-y-z suites: `count` one-vote replicas on
+  /// nodes `first_node .. first_node+count-1`.
+  static QuorumConfig Uniform(std::uint32_t count, Votes read_quorum,
+                              Votes write_quorum, NodeId first_node = 1);
+
+  /// Checks R + W > V, quorums achievable, non-empty suite, distinct node
+  /// ids. The paper requires only read/write intersection: every suite
+  /// modification performs a read-quorum lookup inside the same two-phase-
+  /// locked transaction, so same-key modifications serialize through the
+  /// read quorum even when two write quorums are disjoint (e.g. 4-3-2).
+  /// Pass `require_write_intersection` to additionally demand W > V/2
+  /// (Gifford's condition for plain files, where writes do not read first).
+  Status Validate(bool require_write_intersection = false) const;
+
+  const std::vector<Replica>& replicas() const { return replicas_; }
+  Votes read_quorum() const { return read_quorum_; }
+  Votes write_quorum() const { return write_quorum_; }
+
+  Votes TotalVotes() const;
+  Votes VotesOf(NodeId node) const;  ///< 0 if not a member.
+
+  std::size_t size() const { return replicas_.size(); }
+  std::vector<NodeId> Nodes() const;
+
+  /// Voting members only (vote count > 0).
+  std::vector<NodeId> VotingNodes() const;
+
+  /// Zero-vote "weak" representatives (paper §2: usable as hints). They
+  /// never count toward quorums; the suite propagates writes to them
+  /// best-effort and folds their replies into reads for freshness.
+  std::vector<NodeId> WeakNodes() const;
+
+  /// Whether the given nodes muster at least `quota` votes.
+  bool HasVotes(const std::set<NodeId>& nodes, Votes quota) const;
+  bool IsReadQuorum(const std::set<NodeId>& nodes) const {
+    return HasVotes(nodes, read_quorum_);
+  }
+  bool IsWriteQuorum(const std::set<NodeId>& nodes) const {
+    return HasVotes(nodes, write_quorum_);
+  }
+
+  /// "3-2-2" style description (vote-weighted configs show votes too).
+  std::string ToString() const;
+
+ private:
+  std::vector<Replica> replicas_;
+  Votes read_quorum_ = 0;
+  Votes write_quorum_ = 0;
+};
+
+}  // namespace repdir::rep

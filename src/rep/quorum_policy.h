@@ -1,0 +1,101 @@
+// Quorum selection policies.
+//
+// A policy answers "in what order should the suite try representatives for
+// this operation class?" The suite walks the order, skipping
+// representatives that do not respond, until the vote quota (R or W) is
+// met. This cleanly folds failure handling into selection:
+//   * RandomQuorumPolicy   - fresh uniform order per call; this is the
+//                            paper's §4 simulation setting ("members of
+//                            quorums ... selected randomly from a uniform
+//                            distribution").
+//   * StableQuorumPolicy   - a fixed preference order, so quorum membership
+//                            changes only on failures; the §5 discussion
+//                            predicts this makes coalescing nearly free
+//                            (bench_stable_quorums is the ablation).
+//   * LocalityQuorumPolicy - reads go to "local" representatives; the one
+//                            extra non-local write rotates across the
+//                            remote representatives (the Figure 16 setup).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "rep/quorum.h"
+
+namespace repdir::rep {
+
+enum class OpClass : std::uint8_t { kRead = 0, kWrite = 1 };
+
+class QuorumPolicy {
+ public:
+  virtual ~QuorumPolicy() = default;
+
+  /// Order in which to try representatives for an operation of class `op`.
+  /// Must be a permutation of the suite's nodes.
+  virtual std::vector<NodeId> PreferenceOrder(OpClass op) = 0;
+};
+
+class RandomQuorumPolicy final : public QuorumPolicy {
+ public:
+  RandomQuorumPolicy(const QuorumConfig& config, std::uint64_t seed)
+      : nodes_(config.Nodes()), rng_(seed) {}
+
+  std::vector<NodeId> PreferenceOrder(OpClass) override {
+    std::vector<NodeId> order = nodes_;
+    rng_.Shuffle(order);
+    return order;
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+  Rng rng_;
+};
+
+class StableQuorumPolicy final : public QuorumPolicy {
+ public:
+  /// Prefers nodes in the order they appear in the config.
+  explicit StableQuorumPolicy(const QuorumConfig& config)
+      : order_(config.Nodes()) {}
+
+  /// Prefers nodes in an explicit order (e.g. "closest first").
+  explicit StableQuorumPolicy(std::vector<NodeId> order)
+      : order_(std::move(order)) {}
+
+  std::vector<NodeId> PreferenceOrder(OpClass) override { return order_; }
+
+ private:
+  std::vector<NodeId> order_;
+};
+
+class LocalityQuorumPolicy final : public QuorumPolicy {
+ public:
+  /// `local` representatives are preferred for everything; for writes the
+  /// remaining quota spills onto `remote` representatives round-robin, so
+  /// the non-local write load spreads evenly (Figure 16).
+  LocalityQuorumPolicy(std::vector<NodeId> local, std::vector<NodeId> remote)
+      : local_(std::move(local)), remote_(std::move(remote)) {}
+
+  std::vector<NodeId> PreferenceOrder(OpClass op) override {
+    std::vector<NodeId> order = local_;
+    std::vector<NodeId> remote = remote_;
+    if (op == OpClass::kWrite && !remote.empty()) {
+      // Rotate which remote representative takes the spill-over write.
+      std::rotate(remote.begin(),
+                  remote.begin() + static_cast<std::ptrdiff_t>(
+                                       next_remote_ % remote.size()),
+                  remote.end());
+      ++next_remote_;
+    }
+    order.insert(order.end(), remote.begin(), remote.end());
+    return order;
+  }
+
+ private:
+  std::vector<NodeId> local_;
+  std::vector<NodeId> remote_;
+  std::size_t next_remote_ = 0;
+};
+
+}  // namespace repdir::rep

@@ -1,0 +1,58 @@
+// ReplicatedSet: the §1 remark made concrete - "Trivial modifications of
+// this algorithm may be used to implement sets or similar abstractions."
+//
+// A replicated set of byte strings over a DirectorySuite: elements are keys
+// with empty values; Add is idempotent (insert-if-absent), Remove is
+// idempotent (delete-if-present), and the ordered scan comes from the
+// suite's real-successor search.
+#pragma once
+
+#include <vector>
+
+#include "rep/dir_suite.h"
+
+namespace repdir::rep {
+
+class ReplicatedSet {
+ public:
+  explicit ReplicatedSet(DirectorySuite& suite) : suite_(&suite) {}
+
+  /// Adds the element; returns true if it was newly added.
+  Result<bool> Add(const UserKey& element) {
+    const Status st = suite_->Insert(element, {});
+    if (st.ok()) return true;
+    if (st.code() == StatusCode::kAlreadyExists) return false;
+    return st;
+  }
+
+  Result<bool> Contains(const UserKey& element) {
+    REPDIR_ASSIGN_OR_RETURN(const auto r, suite_->Lookup(element));
+    return r.found;
+  }
+
+  /// Removes the element; returns true if it was present.
+  Result<bool> Remove(const UserKey& element) {
+    const Status st = suite_->Delete(element);
+    if (st.ok()) return true;
+    if (st.code() == StatusCode::kNotFound) return false;
+    return st;
+  }
+
+  /// All elements in order (ordered scan via real successors; each step is
+  /// its own read transaction, so the scan is weakly consistent under
+  /// concurrent writers, like an ordinary cursor).
+  Result<std::vector<UserKey>> Elements() {
+    std::vector<UserKey> out;
+    REPDIR_ASSIGN_OR_RETURN(auto next, suite_->FirstKey());
+    while (next.found) {
+      out.push_back(next.key);
+      REPDIR_ASSIGN_OR_RETURN(next, suite_->NextKey(next.key));
+    }
+    return out;
+  }
+
+ private:
+  DirectorySuite* suite_;
+};
+
+}  // namespace repdir::rep

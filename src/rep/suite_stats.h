@@ -1,0 +1,75 @@
+// Instrumentation for the paper's §4 performance characterization.
+//
+// Three statistics (Figures 14 and 15):
+//   * "Entries in ranges coalesced"  - per representative in the write
+//     quorum of a delete: how many entries lay strictly between the real
+//     predecessor and real successor (the deleted entry where present,
+//     plus ghosts). One sample per (delete x write-quorum member).
+//   * "Deletions while coalescing"   - per delete: ghost entries physically
+//     removed across the suite (erased entries that were not the target).
+//   * "Insertions while coalescing"  - per delete: DirRepInsert calls
+//     needed to materialize the real predecessor/successor on write-quorum
+//     members that lacked them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace repdir::rep {
+
+/// Raw observation from one DirSuiteDelete.
+struct DeleteProbe {
+  std::vector<std::uint32_t> entries_in_range_per_rep;
+  std::uint32_t ghost_deletions = 0;
+  std::uint32_t materializing_insertions = 0;
+};
+
+struct OpCounters {
+  std::uint64_t lookups = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t aborted = 0;      ///< Transactions that rolled back.
+  std::uint64_t unavailable = 0;  ///< Ops that could not collect a quorum.
+  std::uint64_t neighbor_fetches = 0;  ///< Predecessor/successor batch RPCs
+                                       ///< issued by real-neighbor searches.
+};
+
+class SuiteStats {
+ public:
+  void RecordDelete(const DeleteProbe& probe) {
+    for (const std::uint32_t n : probe.entries_in_range_per_rep) {
+      entries_in_ranges_coalesced_.Add(n);
+      entries_hist_.Add(n);
+    }
+    deletions_while_coalescing_.Add(probe.ghost_deletions);
+    insertions_while_coalescing_.Add(probe.materializing_insertions);
+  }
+
+  const RunningStat& entries_in_ranges_coalesced() const {
+    return entries_in_ranges_coalesced_;
+  }
+  const RunningStat& deletions_while_coalescing() const {
+    return deletions_while_coalescing_;
+  }
+  const RunningStat& insertions_while_coalescing() const {
+    return insertions_while_coalescing_;
+  }
+  const CountHistogram& entries_histogram() const { return entries_hist_; }
+
+  OpCounters& counters() { return counters_; }
+  const OpCounters& counters() const { return counters_; }
+
+  void Reset() { *this = SuiteStats(); }
+
+ private:
+  RunningStat entries_in_ranges_coalesced_;
+  RunningStat deletions_while_coalescing_;
+  RunningStat insertions_while_coalescing_;
+  CountHistogram entries_hist_{64};
+  OpCounters counters_;
+};
+
+}  // namespace repdir::rep

@@ -1,0 +1,56 @@
+// Discrete-event queue: the heart of the deterministic simulator.
+//
+// Events are (time, sequence, closure) triples ordered by time with FIFO
+// tie-breaking, so a run is a pure function of the seed and the schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace repdir::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute virtual time `when`. Events at equal
+  /// times run in scheduling order.
+  void ScheduleAt(TimeMicros when, Action action) {
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Undefined when empty.
+  TimeMicros NextTime() const { return heap_.top().when; }
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  TimeMicros RunOne() {
+    // Move the action out before popping: the action may schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    ev.action();
+    return ev.when;
+  }
+
+ private:
+  struct Event {
+    TimeMicros when;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace repdir::sim

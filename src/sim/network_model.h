@@ -1,0 +1,106 @@
+// Network fault and latency model for the in-process transports.
+//
+// Decides, per message, whether delivery succeeds and how long it takes:
+//   * per-node up/down state (crashed nodes receive nothing),
+//   * symmetric partitions between node groups,
+//   * per-message drop probability,
+//   * latency = base + uniform jitter, with an optional per-link override
+//     (used by the Figure 16 locality experiment to make some
+//     representatives "local" and others "remote").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::sim {
+
+struct LinkSpec {
+  DurationMicros base_latency = 0;   ///< Minimum one-way latency.
+  DurationMicros jitter = 0;         ///< Uniform extra in [0, jitter].
+  double drop_probability = 0.0;     ///< Per-message loss.
+  double duplicate_probability = 0.0;  ///< Per-message duplication (the
+                                       ///< transport delivers it twice;
+                                       ///< handlers must be idempotent).
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Default behaviour for links without an override.
+  void SetDefaultLink(LinkSpec spec) { default_link_ = spec; }
+
+  /// Overrides the (from, to) link; direction-specific.
+  void SetLink(NodeId from, NodeId to, LinkSpec spec) {
+    links_[{from, to}] = spec;
+  }
+
+  void SetNodeUp(NodeId node, bool up) {
+    if (up) {
+      down_.erase(node);
+    } else {
+      down_.insert(node);
+    }
+  }
+  bool IsNodeUp(NodeId node) const { return !down_.contains(node); }
+
+  /// Cuts all traffic between `a` and `b` (both directions).
+  void Partition(NodeId a, NodeId b) {
+    partitions_.insert(Canonical(a, b));
+  }
+  void Heal(NodeId a, NodeId b) { partitions_.erase(Canonical(a, b)); }
+  void HealAll() { partitions_.clear(); }
+
+  /// Returns the one-way delivery delay, or kUnavailable if the message is
+  /// lost (destination down, link partitioned, or randomly dropped).
+  Result<DurationMicros> DeliveryDelay(NodeId from, NodeId to) {
+    if (down_.contains(to)) {
+      return Status::Unavailable("destination node down");
+    }
+    if (down_.contains(from)) {
+      return Status::Unavailable("source node down");
+    }
+    if (partitions_.contains(Canonical(from, to))) {
+      return Status::Unavailable("link partitioned");
+    }
+    const LinkSpec& spec = SpecFor(from, to);
+    if (spec.drop_probability > 0.0 && rng_.Chance(spec.drop_probability)) {
+      return Status::Unavailable("message dropped");
+    }
+    DurationMicros d = spec.base_latency;
+    if (spec.jitter > 0) d += rng_.Range(0, spec.jitter);
+    return d;
+  }
+
+  /// Rolls whether the (from, to) request should be delivered twice.
+  bool ShouldDuplicate(NodeId from, NodeId to) {
+    const LinkSpec& spec = SpecFor(from, to);
+    return spec.duplicate_probability > 0.0 &&
+           rng_.Chance(spec.duplicate_probability);
+  }
+
+  /// Latency spec lookup without rolling the dice (for diagnostics).
+  const LinkSpec& SpecFor(NodeId from, NodeId to) const {
+    const auto it = links_.find({from, to});
+    return it == links_.end() ? default_link_ : it->second;
+  }
+
+ private:
+  static std::pair<NodeId, NodeId> Canonical(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  Rng rng_;
+  LinkSpec default_link_;
+  std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
+  std::set<NodeId> down_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+};
+
+}  // namespace repdir::sim

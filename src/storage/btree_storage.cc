@@ -1,0 +1,460 @@
+#include "storage/btree_storage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repdir::storage {
+
+namespace {
+struct Row {
+  Version version;
+  Value value;
+  Version gap_after;
+};
+}  // namespace
+
+struct BTreeStorage::Node {
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+  virtual ~Node() = default;
+  bool leaf;
+};
+
+struct BTreeStorage::Leaf final : Node {
+  Leaf() : Node(true) {}
+  std::vector<RepKey> keys;
+  std::vector<Row> rows;
+  Leaf* prev = nullptr;
+  Leaf* next = nullptr;
+};
+
+struct BTreeStorage::Internal final : Node {
+  Internal() : Node(false) {}
+  std::vector<RepKey> seps;  // size == children.size() - 1
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+inline BTreeStorage::Leaf* LeafOf(BTreeStorage::Node* n) {
+  assert(n->leaf);
+  return static_cast<BTreeStorage::Leaf*>(n);
+}
+inline const BTreeStorage::Leaf* LeafOf(const BTreeStorage::Node* n) {
+  assert(n->leaf);
+  return static_cast<const BTreeStorage::Leaf*>(n);
+}
+inline BTreeStorage::Internal* InternalOf(BTreeStorage::Node* n) {
+  assert(!n->leaf);
+  return static_cast<BTreeStorage::Internal*>(n);
+}
+inline const BTreeStorage::Internal* InternalOf(const BTreeStorage::Node* n) {
+  assert(!n->leaf);
+  return static_cast<const BTreeStorage::Internal*>(n);
+}
+
+/// Index of the child subtree that covers key `k`.
+inline std::size_t ChildIndex(const BTreeStorage::Internal* node,
+                              const RepKey& k) {
+  const auto it =
+      std::upper_bound(node->seps.begin(), node->seps.end(), k);
+  return static_cast<std::size_t>(it - node->seps.begin());
+}
+
+inline StoredEntry MakeEntry(const RepKey& k, const Row& r) {
+  return StoredEntry{k, r.version, r.value, r.gap_after};
+}
+
+struct SplitResult {
+  RepKey sep;
+  std::unique_ptr<BTreeStorage::Node> right;
+};
+
+}  // namespace
+
+BTreeStorage::BTreeStorage(int max_keys)
+    : max_keys_(std::max(max_keys, 3)), min_keys_(max_keys_ / 2) {
+  Clear();
+}
+
+BTreeStorage::~BTreeStorage() = default;
+
+void BTreeStorage::Clear() {
+  auto leaf = std::make_unique<Leaf>();
+  leaf->keys = {RepKey::Low(), RepKey::High()};
+  leaf->rows = {Row{kLowestVersion, {}, kLowestVersion},
+                Row{kLowestVersion, {}, kLowestVersion}};
+  root_ = std::move(leaf);
+  size_ = 2;
+}
+
+BTreeStorage::Leaf* BTreeStorage::FindLeaf(const RepKey& k) const {
+  Node* n = root_.get();
+  while (!n->leaf) {
+    Internal* in = InternalOf(n);
+    n = in->children[ChildIndex(in, k)].get();
+  }
+  return LeafOf(n);
+}
+
+std::optional<StoredEntry> BTreeStorage::Get(const RepKey& k) const {
+  const Leaf* leaf = FindLeaf(k);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), k);
+  if (it == leaf->keys.end() || *it != k) return std::nullopt;
+  const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+  return MakeEntry(*it, leaf->rows[idx]);
+}
+
+StoredEntry BTreeStorage::Floor(const RepKey& k) const {
+  const Leaf* leaf = FindLeaf(k);
+  auto it = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), k);
+  if (it == leaf->keys.begin()) {
+    leaf = leaf->prev;
+    assert(leaf != nullptr && "Floor below LOW");
+    return MakeEntry(leaf->keys.back(), leaf->rows.back());
+  }
+  const auto idx = static_cast<std::size_t>(it - leaf->keys.begin()) - 1;
+  return MakeEntry(leaf->keys[idx], leaf->rows[idx]);
+}
+
+StoredEntry BTreeStorage::StrictPredecessor(const RepKey& k) const {
+  const Leaf* leaf = FindLeaf(k);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), k);
+  if (it == leaf->keys.begin()) {
+    leaf = leaf->prev;
+    assert(leaf != nullptr && "StrictPredecessor of LOW");
+    return MakeEntry(leaf->keys.back(), leaf->rows.back());
+  }
+  const auto idx = static_cast<std::size_t>(it - leaf->keys.begin()) - 1;
+  return MakeEntry(leaf->keys[idx], leaf->rows[idx]);
+}
+
+StoredEntry BTreeStorage::StrictSuccessor(const RepKey& k) const {
+  const Leaf* leaf = FindLeaf(k);
+  auto it = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), k);
+  if (it == leaf->keys.end()) {
+    leaf = leaf->next;
+    assert(leaf != nullptr && "StrictSuccessor of HIGH");
+    return MakeEntry(leaf->keys.front(), leaf->rows.front());
+  }
+  const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+  return MakeEntry(leaf->keys[idx], leaf->rows[idx]);
+}
+
+namespace {
+
+/// Recursive insert; returns a split to be absorbed by the parent when the
+/// node overflowed.
+std::optional<SplitResult> InsertRec(BTreeStorage::Node* n,
+                                     const StoredEntry& e, int max_keys,
+                                     bool& inserted_new) {
+  if (n->leaf) {
+    auto* leaf = LeafOf(n);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), e.key);
+    const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+    if (it != leaf->keys.end() && *it == e.key) {
+      leaf->rows[idx] = Row{e.version, e.value, e.gap_after};
+      inserted_new = false;
+      return std::nullopt;
+    }
+    inserted_new = true;
+    leaf->keys.insert(it, e.key);
+    leaf->rows.insert(leaf->rows.begin() + static_cast<std::ptrdiff_t>(idx),
+                      Row{e.version, e.value, e.gap_after});
+    if (leaf->keys.size() <= static_cast<std::size_t>(max_keys)) {
+      return std::nullopt;
+    }
+    // Split: right half moves to a new leaf.
+    const std::size_t half = leaf->keys.size() / 2;
+    auto right = std::make_unique<BTreeStorage::Leaf>();
+    right->keys.assign(leaf->keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       leaf->keys.end());
+    right->rows.assign(leaf->rows.begin() + static_cast<std::ptrdiff_t>(half),
+                       leaf->rows.end());
+    leaf->keys.resize(half);
+    leaf->rows.resize(half);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) leaf->next->prev = right.get();
+    leaf->next = right.get();
+    SplitResult split{right->keys.front(), std::move(right)};
+    return split;
+  }
+
+  auto* in = InternalOf(n);
+  const std::size_t idx = ChildIndex(in, e.key);
+  auto child_split = InsertRec(in->children[idx].get(), e, max_keys,
+                               inserted_new);
+  if (!child_split) return std::nullopt;
+
+  in->seps.insert(in->seps.begin() + static_cast<std::ptrdiff_t>(idx),
+                  child_split->sep);
+  in->children.insert(
+      in->children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+      std::move(child_split->right));
+  if (in->seps.size() <= static_cast<std::size_t>(max_keys)) {
+    return std::nullopt;
+  }
+  // Split internal node: middle separator moves up.
+  const std::size_t mid = in->seps.size() / 2;
+  auto right = std::make_unique<BTreeStorage::Internal>();
+  SplitResult split;
+  split.sep = in->seps[mid];
+  right->seps.assign(in->seps.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     in->seps.end());
+  for (std::size_t i = mid + 1; i < in->children.size(); ++i) {
+    right->children.push_back(std::move(in->children[i]));
+  }
+  in->seps.resize(mid);
+  in->children.resize(mid + 1);
+  split.right = std::move(right);
+  return split;
+}
+
+}  // namespace
+
+void BTreeStorage::Put(const StoredEntry& e) {
+  bool inserted_new = false;
+  auto split = InsertRec(root_.get(), e, max_keys_, inserted_new);
+  if (split) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->seps.push_back(split->sep);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  if (inserted_new) ++size_;
+}
+
+namespace {
+
+bool Underfull(const BTreeStorage::Node* n, int min_keys) {
+  if (n->leaf) {
+    return LeafOf(n)->keys.size() < static_cast<std::size_t>(min_keys);
+  }
+  return InternalOf(n)->seps.size() < static_cast<std::size_t>(min_keys);
+}
+
+bool HasSpare(const BTreeStorage::Node* n, int min_keys) {
+  if (n->leaf) {
+    return LeafOf(n)->keys.size() > static_cast<std::size_t>(min_keys);
+  }
+  return InternalOf(n)->seps.size() > static_cast<std::size_t>(min_keys);
+}
+
+/// Merges children[i+1] into children[i] of `parent`.
+void MergeChildren(BTreeStorage::Internal* parent, std::size_t i) {
+  BTreeStorage::Node* left = parent->children[i].get();
+  BTreeStorage::Node* right = parent->children[i + 1].get();
+  if (left->leaf) {
+    auto* l = LeafOf(left);
+    auto* r = LeafOf(right);
+    l->keys.insert(l->keys.end(), r->keys.begin(), r->keys.end());
+    l->rows.insert(l->rows.end(), r->rows.begin(), r->rows.end());
+    l->next = r->next;
+    if (r->next != nullptr) r->next->prev = l;
+  } else {
+    auto* l = InternalOf(left);
+    auto* r = InternalOf(right);
+    l->seps.push_back(parent->seps[i]);
+    l->seps.insert(l->seps.end(), r->seps.begin(), r->seps.end());
+    for (auto& c : r->children) l->children.push_back(std::move(c));
+  }
+  parent->seps.erase(parent->seps.begin() + static_cast<std::ptrdiff_t>(i));
+  parent->children.erase(parent->children.begin() +
+                         static_cast<std::ptrdiff_t>(i) + 1);
+}
+
+/// Fixes an underfull children[idx] by borrowing from a sibling or merging.
+void Rebalance(BTreeStorage::Internal* parent, std::size_t idx,
+               int min_keys) {
+  BTreeStorage::Node* child = parent->children[idx].get();
+
+  if (idx > 0 && HasSpare(parent->children[idx - 1].get(), min_keys)) {
+    BTreeStorage::Node* left = parent->children[idx - 1].get();
+    if (child->leaf) {
+      auto* c = LeafOf(child);
+      auto* l = LeafOf(left);
+      c->keys.insert(c->keys.begin(), l->keys.back());
+      c->rows.insert(c->rows.begin(), l->rows.back());
+      l->keys.pop_back();
+      l->rows.pop_back();
+      parent->seps[idx - 1] = c->keys.front();
+    } else {
+      auto* c = InternalOf(child);
+      auto* l = InternalOf(left);
+      c->seps.insert(c->seps.begin(), parent->seps[idx - 1]);
+      parent->seps[idx - 1] = l->seps.back();
+      l->seps.pop_back();
+      c->children.insert(c->children.begin(), std::move(l->children.back()));
+      l->children.pop_back();
+    }
+    return;
+  }
+
+  if (idx + 1 < parent->children.size() &&
+      HasSpare(parent->children[idx + 1].get(), min_keys)) {
+    BTreeStorage::Node* right = parent->children[idx + 1].get();
+    if (child->leaf) {
+      auto* c = LeafOf(child);
+      auto* r = LeafOf(right);
+      c->keys.push_back(r->keys.front());
+      c->rows.push_back(r->rows.front());
+      r->keys.erase(r->keys.begin());
+      r->rows.erase(r->rows.begin());
+      parent->seps[idx] = r->keys.front();
+    } else {
+      auto* c = InternalOf(child);
+      auto* r = InternalOf(right);
+      c->seps.push_back(parent->seps[idx]);
+      parent->seps[idx] = r->seps.front();
+      r->seps.erase(r->seps.begin());
+      c->children.push_back(std::move(r->children.front()));
+      r->children.erase(r->children.begin());
+    }
+    return;
+  }
+
+  // No sibling can lend: merge with a neighbor.
+  if (idx > 0) {
+    MergeChildren(parent, idx - 1);
+  } else {
+    MergeChildren(parent, idx);
+  }
+}
+
+void EraseRec(BTreeStorage::Node* n, const RepKey& k, int min_keys) {
+  if (n->leaf) {
+    auto* leaf = LeafOf(n);
+    const auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), k);
+    assert(it != leaf->keys.end() && *it == k && "Erase of absent key");
+    const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+    leaf->keys.erase(it);
+    leaf->rows.erase(leaf->rows.begin() + static_cast<std::ptrdiff_t>(idx));
+    return;
+  }
+  auto* in = InternalOf(n);
+  const std::size_t idx = ChildIndex(in, k);
+  EraseRec(in->children[idx].get(), k, min_keys);
+  if (Underfull(in->children[idx].get(), min_keys)) {
+    Rebalance(in, idx, min_keys);
+  }
+}
+
+}  // namespace
+
+void BTreeStorage::Erase(const RepKey& k) {
+  assert(k.is_user() && "cannot erase a sentinel");
+  EraseRec(root_.get(), k, min_keys_);
+  if (!root_->leaf) {
+    auto* in = InternalOf(root_.get());
+    if (in->children.size() == 1) {
+      root_ = std::move(in->children.front());
+    }
+  }
+  --size_;
+}
+
+void BTreeStorage::SetGapAfter(const RepKey& k, Version v) {
+  Leaf* leaf = FindLeaf(k);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), k);
+  assert(it != leaf->keys.end() && *it == k && "SetGapAfter of absent key");
+  leaf->rows[static_cast<std::size_t>(it - leaf->keys.begin())].gap_after = v;
+}
+
+std::vector<StoredEntry> BTreeStorage::Scan() const {
+  std::vector<StoredEntry> out;
+  out.reserve(size_);
+  const Node* n = root_.get();
+  while (!n->leaf) n = InternalOf(n)->children.front().get();
+  for (const Leaf* leaf = LeafOf(n); leaf != nullptr; leaf = leaf->next) {
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      out.push_back(MakeEntry(leaf->keys[i], leaf->rows[i]));
+    }
+  }
+  return out;
+}
+
+std::size_t BTreeStorage::UserEntryCount() const { return size_ - 2; }
+
+int BTreeStorage::Height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = InternalOf(n)->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+namespace {
+
+struct CheckResult {
+  bool ok;
+  int depth;
+};
+
+CheckResult CheckRec(const BTreeStorage::Node* n, const RepKey* lo,
+                     const RepKey* hi, bool is_root, int min_keys,
+                     int max_keys, const BTreeStorage::Leaf*& expected_leaf) {
+  if (n->leaf) {
+    const auto* leaf = LeafOf(n);
+    if (leaf != expected_leaf) return {false, 1};  // leaf chain broken
+    expected_leaf = leaf->next;
+    if (leaf->keys.size() != leaf->rows.size()) return {false, 1};
+    if (!is_root && (leaf->keys.size() < static_cast<std::size_t>(min_keys) ||
+                     leaf->keys.size() > static_cast<std::size_t>(max_keys))) {
+      return {false, 1};
+    }
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (i > 0 && !(leaf->keys[i - 1] < leaf->keys[i])) return {false, 1};
+      if (lo != nullptr && leaf->keys[i] < *lo) return {false, 1};
+      if (hi != nullptr && !(leaf->keys[i] < *hi)) return {false, 1};
+    }
+    return {true, 1};
+  }
+
+  const auto* in = InternalOf(n);
+  if (in->children.size() != in->seps.size() + 1) return {false, 1};
+  if (!is_root && (in->seps.size() < static_cast<std::size_t>(min_keys) ||
+                   in->seps.size() > static_cast<std::size_t>(max_keys))) {
+    return {false, 1};
+  }
+  for (std::size_t i = 1; i < in->seps.size(); ++i) {
+    if (!(in->seps[i - 1] < in->seps[i])) return {false, 1};
+  }
+  int depth = -1;
+  for (std::size_t i = 0; i < in->children.size(); ++i) {
+    const RepKey* child_lo = (i == 0) ? lo : &in->seps[i - 1];
+    const RepKey* child_hi = (i == in->seps.size()) ? hi : &in->seps[i];
+    const CheckResult r =
+        CheckRec(in->children[i].get(), child_lo, child_hi, false, min_keys,
+                 max_keys, expected_leaf);
+    if (!r.ok) return {false, 1};
+    if (depth == -1) depth = r.depth;
+    if (r.depth != depth) return {false, 1};  // non-uniform depth
+  }
+  return {true, depth + 1};
+}
+
+}  // namespace
+
+bool BTreeStorage::CheckStructure() const {
+  const Node* n = root_.get();
+  while (!n->leaf) n = InternalOf(n)->children.front().get();
+  const Leaf* expected = LeafOf(n);
+  if (expected->prev != nullptr) return false;
+  const CheckResult r = CheckRec(root_.get(), nullptr, nullptr, true,
+                                 min_keys_, max_keys_, expected);
+  if (!r.ok) return false;
+  if (expected != nullptr) return false;  // chain longer than the tree
+  // Sentinels present and total size consistent.
+  const auto scan = Scan();
+  if (scan.size() != size_) return false;
+  if (scan.empty() || !scan.front().key.is_low() || !scan.back().key.is_high()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace repdir::storage

@@ -1,0 +1,61 @@
+// BTreeStorage: B+-tree RepStorage backend.
+//
+// The paper (§5) envisions directories represented as B-trees with gap
+// version numbers stored in the bounding entries; this backend realizes
+// that. Values live in leaves; leaves are doubly linked for neighbor
+// queries and scans; internal nodes hold separator keys. Fanout is a
+// constructor parameter so tests can force deep trees with heavy
+// split/borrow/merge traffic.
+#pragma once
+
+#include <memory>
+
+#include "storage/rep_storage.h"
+
+namespace repdir::storage {
+
+class BTreeStorage final : public RepStorage {
+ public:
+  /// `max_keys` = maximum keys per node (>= 3). Nodes split above it and
+  /// rebalance below max_keys/2.
+  explicit BTreeStorage(int max_keys = 16);
+  ~BTreeStorage() override;
+
+  BTreeStorage(const BTreeStorage&) = delete;
+  BTreeStorage& operator=(const BTreeStorage&) = delete;
+
+  std::optional<StoredEntry> Get(const RepKey& k) const override;
+  StoredEntry Floor(const RepKey& k) const override;
+  StoredEntry StrictPredecessor(const RepKey& k) const override;
+  StoredEntry StrictSuccessor(const RepKey& k) const override;
+  void Put(const StoredEntry& e) override;
+  void Erase(const RepKey& k) override;
+  void SetGapAfter(const RepKey& k, Version v) override;
+  std::vector<StoredEntry> Scan() const override;
+  std::size_t UserEntryCount() const override;
+  void Clear() override;
+
+  /// Structural self-check (sorted keys, separator correctness, node fill,
+  /// uniform depth, leaf-chain consistency). Used by property tests.
+  bool CheckStructure() const;
+
+  /// Height of the tree (1 = root is a leaf). For structural tests.
+  int Height() const;
+
+  // Node types are declared here (not in the private section) so that the
+  // implementation file's free helper functions can name them; their
+  // definitions stay inside btree_storage.cc.
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+ private:
+  Leaf* FindLeaf(const RepKey& k) const;
+
+  int max_keys_;
+  int min_keys_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;  // total entries incl. sentinels
+};
+
+}  // namespace repdir::storage

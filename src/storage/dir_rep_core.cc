@@ -1,0 +1,138 @@
+#include "storage/dir_rep_core.h"
+
+#include <sstream>
+
+namespace repdir::storage {
+
+LookupReply DirRepCore::Lookup(const RepKey& k) const {
+  if (const auto entry = stg_->Get(k)) {
+    return LookupReply{true, entry->version, entry->value};
+  }
+  // Absent: report the version of the gap containing k, which is the
+  // gap_after of the greatest entry below k.
+  const StoredEntry floor = stg_->Floor(k);
+  return LookupReply{false, floor.gap_after, {}};
+}
+
+Result<NeighborReply> DirRepCore::Predecessor(const RepKey& k) const {
+  if (k.is_low()) {
+    return Status::InvalidArgument("Predecessor of LOW");
+  }
+  const StoredEntry pred = stg_->StrictPredecessor(k);
+  // No stored entry lies in (pred, k), so the gap bounded below by pred is
+  // exactly the gap between k and its predecessor.
+  return NeighborReply{pred.key, pred.version, pred.value, pred.gap_after};
+}
+
+Result<NeighborReply> DirRepCore::Successor(const RepKey& k) const {
+  if (k.is_high()) {
+    return Status::InvalidArgument("Successor of HIGH");
+  }
+  const StoredEntry succ = stg_->StrictSuccessor(k);
+  // The gap between k and succ is bounded below by the greatest entry <= k.
+  const StoredEntry floor = stg_->Floor(k);
+  return NeighborReply{succ.key, succ.version, succ.value, floor.gap_after};
+}
+
+Result<InsertEffect> DirRepCore::Insert(const RepKey& k, Version v,
+                                        const Value& value) {
+  if (!k.is_user()) {
+    return Status::InvalidArgument("Insert of sentinel key");
+  }
+  InsertEffect effect;
+  if (auto existing = stg_->Get(k)) {
+    effect.replaced = *existing;
+    // Overwrite in place; the gap partition is unchanged.
+    stg_->Put(StoredEntry{k, v, value, existing->gap_after});
+    return effect;
+  }
+  // Splitting a gap: both halves inherit the old gap's version, so no gap
+  // version changes on insert (this is what makes Insert pay no penalty for
+  // per-key version numbers - §1).
+  const StoredEntry floor = stg_->Floor(k);
+  stg_->Put(StoredEntry{k, v, value, floor.gap_after});
+  return effect;
+}
+
+Result<CoalesceEffect> DirRepCore::Coalesce(const RepKey& l, const RepKey& h,
+                                            Version gap_version) {
+  if (!(l < h)) {
+    return Status::InvalidArgument("Coalesce requires l < h: " + l.ToString() +
+                                   " .. " + h.ToString());
+  }
+  const auto low_entry = stg_->Get(l);
+  if (!low_entry) {
+    return Status::FailedPrecondition("Coalesce: no entry for lower bound " +
+                                      l.ToString());
+  }
+  if (!stg_->Get(h)) {
+    return Status::FailedPrecondition("Coalesce: no entry for upper bound " +
+                                      h.ToString());
+  }
+
+  CoalesceEffect effect;
+  effect.previous_gap_version = low_entry->gap_after;
+  for (StoredEntry next = stg_->StrictSuccessor(l); next.key < h;
+       next = stg_->StrictSuccessor(l)) {
+    effect.erased.push_back(next);
+    stg_->Erase(next.key);
+  }
+  stg_->SetGapAfter(l, gap_version);
+  return effect;
+}
+
+void DirRepCore::UndoInsert(const RepKey& k, const InsertEffect& effect) {
+  if (effect.replaced.has_value()) {
+    stg_->Put(*effect.replaced);
+  } else {
+    stg_->Erase(k);
+  }
+}
+
+void DirRepCore::UndoCoalesce(const RepKey& l, const CoalesceEffect& effect) {
+  for (const auto& e : effect.erased) stg_->Put(e);
+  stg_->SetGapAfter(l, effect.previous_gap_version);
+}
+
+Status CheckRepInvariants(const RepStorage& stg) {
+  const auto entries = stg.Scan();
+  if (entries.size() < 2) {
+    return Status::Corruption("representative has fewer than two entries");
+  }
+  if (!entries.front().key.is_low()) {
+    return Status::Corruption("first entry is not LOW");
+  }
+  if (!entries.back().key.is_high()) {
+    return Status::Corruption("last entry is not HIGH");
+  }
+  for (std::size_t i = 1; i + 1 < entries.size(); ++i) {
+    if (!entries[i].key.is_user()) {
+      return Status::Corruption("interior sentinel at index " +
+                                std::to_string(i));
+    }
+  }
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (!(entries[i - 1].key < entries[i].key)) {
+      return Status::Corruption("keys not strictly increasing at index " +
+                                std::to_string(i));
+    }
+  }
+  if (stg.UserEntryCount() != entries.size() - 2) {
+    return Status::Corruption("UserEntryCount inconsistent with Scan");
+  }
+  return Status::Ok();
+}
+
+std::string DumpRep(const RepStorage& stg) {
+  std::ostringstream os;
+  const auto entries = stg.Scan();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    os << e.key.ToString();
+    if (e.key.is_user()) os << "v" << e.version;
+    if (i + 1 < entries.size()) os << " |g" << e.gap_after << "| ";
+  }
+  return os.str();
+}
+
+}  // namespace repdir::storage

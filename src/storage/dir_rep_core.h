@@ -1,0 +1,137 @@
+// DirRepCore: the directory-representative operations of Figure 6, built on
+// a RepStorage backend.
+//
+//   DirRepLookup(x)       -> present? + entry version | gap version
+//   DirRepPredecessor(x)  -> nearest stored entry below x + bounding gap
+//   DirRepSuccessor(x)    -> nearest stored entry above x + bounding gap
+//   DirRepInsert(x,v,z)   -> create/overwrite entry (splits a gap; both
+//                            halves keep the gap's old version)
+//   DirRepCoalesce(l,h,v) -> delete all entries strictly inside (l,h) and
+//                            give the resulting single gap version v
+//
+// Mutating operations return the information the transaction layer needs to
+// undo them, and Coalesce additionally reports what it erased so the suite
+// can compute the paper's §4 statistics.
+//
+// Synchronization is NOT this class's job: the lock manager (src/lock) and
+// transaction participant (src/txn) wrap it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/rep_storage.h"
+
+namespace repdir::storage {
+
+/// Reply to DirRepLookup. When `present`, `version` is the entry's version
+/// and `value` its value; otherwise `version` is the version of the gap
+/// containing the key and `value` is empty.
+struct LookupReply {
+  bool present = false;
+  Version version = kLowestVersion;
+  Value value;
+
+  void Encode(ByteWriter& w) const {
+    w.PutBool(present);
+    w.PutU64(version);
+    w.PutString(value);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetBool(present));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+    return r.GetString(value);
+  }
+  bool operator==(const LookupReply&) const = default;
+};
+
+/// Reply to DirRepPredecessor / DirRepSuccessor: the neighboring stored
+/// entry (possibly a sentinel), its entry version and value, and the version
+/// of the gap between the query key and that neighbor.
+struct NeighborReply {
+  RepKey key;
+  Version entry_version = kLowestVersion;
+  Value value;
+  Version gap_version = kLowestVersion;
+
+  void Encode(ByteWriter& w) const {
+    key.Encode(w);
+    w.PutU64(entry_version);
+    w.PutString(value);
+    w.PutU64(gap_version);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(key.Decode(r));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(entry_version));
+    REPDIR_RETURN_IF_ERROR(r.GetString(value));
+    return r.GetU64(gap_version);
+  }
+  bool operator==(const NeighborReply&) const = default;
+};
+
+/// What a Coalesce physically did - enough to undo it and to account for
+/// the paper's coalescing statistics.
+struct CoalesceEffect {
+  std::vector<StoredEntry> erased;  ///< Entries removed, in key order.
+  Version previous_gap_version = kLowestVersion;  ///< Old gap_after of l.
+
+  /// Whether `k` was among the erased entries.
+  bool Erased(const RepKey& k) const {
+    for (const auto& e : erased) {
+      if (e.key == k) return true;
+    }
+    return false;
+  }
+};
+
+/// Effect of an Insert - the overwritten entry if there was one.
+struct InsertEffect {
+  std::optional<StoredEntry> replaced;  ///< nullopt: key was newly created.
+};
+
+class DirRepCore {
+ public:
+  explicit DirRepCore(RepStorage& stg) : stg_(&stg) {}
+
+  /// DirRepLookup(x). `k` may be a sentinel (sentinels are always present
+  /// with version 0) - RealPredecessor's termination relies on this.
+  LookupReply Lookup(const RepKey& k) const;
+
+  /// DirRepPredecessor(x); requires k > LOW.
+  Result<NeighborReply> Predecessor(const RepKey& k) const;
+
+  /// DirRepSuccessor(x); requires k < HIGH.
+  Result<NeighborReply> Successor(const RepKey& k) const;
+
+  /// DirRepInsert(x, v, z); requires a user key (sentinels are immutable).
+  Result<InsertEffect> Insert(const RepKey& k, Version v, const Value& value);
+
+  /// DirRepCoalesce(l, h, v); requires l < h and stored entries at both l
+  /// and h (paper: "An error is indicated if entries do not exist for keys
+  /// l and h").
+  Result<CoalesceEffect> Coalesce(const RepKey& l, const RepKey& h,
+                                  Version gap_version);
+
+  /// Applies the inverse of a recorded Insert.
+  void UndoInsert(const RepKey& k, const InsertEffect& effect);
+
+  /// Applies the inverse of a recorded Coalesce.
+  void UndoCoalesce(const RepKey& l, const CoalesceEffect& effect);
+
+  const RepStorage& storage() const { return *stg_; }
+  RepStorage& storage() { return *stg_; }
+
+ private:
+  RepStorage* stg_;
+};
+
+/// Structural invariants of a representative: sentinels present at the ends,
+/// keys strictly increasing, interior keys are user keys.
+Status CheckRepInvariants(const RepStorage& stg);
+
+/// Human-readable dump: "LOW |g0| "a"v1 |g0| "c"v1 |g2| HIGH".
+std::string DumpRep(const RepStorage& stg);
+
+}  // namespace repdir::storage

@@ -1,0 +1,60 @@
+#include "storage/log_device.h"
+
+namespace repdir::storage {
+
+FileLogDevice::~FileLogDevice() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileLogDevice::EnsureOpen() {
+  if (file_ != nullptr) return Status::Ok();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot open log file " + path_);
+  }
+  return Status::Ok();
+}
+
+Status FileLogDevice::Append(std::string_view bytes) {
+  REPDIR_RETURN_IF_ERROR(EnsureOpen());
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Unavailable("short write to log file " + path_);
+  }
+  return Status::Ok();
+}
+
+Status FileLogDevice::Flush() {
+  if (file_ == nullptr) return Status::Ok();
+  if (std::fflush(file_) != 0) {
+    return Status::Unavailable("fflush failed on " + path_);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> FileLogDevice::ReadDurable() const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return std::string{};  // no log yet
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status FileLogDevice::Truncate() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot truncate log file " + path_);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace repdir::storage

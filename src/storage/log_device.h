@@ -1,0 +1,96 @@
+// LogDevice: the append-only durable medium under the write-ahead log.
+//
+// MemLogDevice simulates a disk with an explicit flush boundary: bytes
+// appended but not flushed are lost on Crash(), and CrashTorn() additionally
+// keeps only a prefix of the unflushed tail (a torn write). FileLogDevice
+// is a thin real-file backend for the examples.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace repdir::storage {
+
+class LogDevice {
+ public:
+  virtual ~LogDevice() = default;
+
+  /// Buffers bytes at the end of the log (not yet durable).
+  virtual Status Append(std::string_view bytes) = 0;
+
+  /// Makes all appended bytes durable.
+  virtual Status Flush() = 0;
+
+  /// Returns the durable contents (what would survive a crash right now,
+  /// i.e. excluding unflushed bytes).
+  virtual Result<std::string> ReadDurable() const = 0;
+
+  /// Discards the entire log (after a checkpoint has superseded it).
+  virtual Status Truncate() = 0;
+};
+
+class MemLogDevice final : public LogDevice {
+ public:
+  Status Append(std::string_view bytes) override {
+    pending_.append(bytes);
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    durable_ += pending_;
+    pending_.clear();
+    ++flush_count_;
+    return Status::Ok();
+  }
+
+  Result<std::string> ReadDurable() const override { return durable_; }
+
+  Status Truncate() override {
+    durable_.clear();
+    pending_.clear();
+    return Status::Ok();
+  }
+
+  /// Simulated power failure: unflushed bytes vanish.
+  void Crash() { pending_.clear(); }
+
+  /// Simulated torn write: only the first `keep_bytes` of the unflushed
+  /// tail reach the medium before the crash.
+  void CrashTorn(std::size_t keep_bytes) {
+    durable_ += pending_.substr(0, keep_bytes);
+    pending_.clear();
+  }
+
+  std::size_t durable_size() const { return durable_.size(); }
+  std::size_t pending_size() const { return pending_.size(); }
+  std::uint64_t flush_count() const { return flush_count_; }
+
+ private:
+  std::string durable_;
+  std::string pending_;
+  std::uint64_t flush_count_ = 0;
+};
+
+/// Real-file log for the examples (append mode; ReadDurable re-reads the
+/// file). Not crash-simulating.
+class FileLogDevice final : public LogDevice {
+ public:
+  explicit FileLogDevice(std::string path) : path_(std::move(path)) {}
+  ~FileLogDevice() override;
+
+  Status Append(std::string_view bytes) override;
+  Status Flush() override;
+  Result<std::string> ReadDurable() const override;
+  Status Truncate() override;
+
+ private:
+  Status EnsureOpen();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace repdir::storage

@@ -1,0 +1,67 @@
+#include "storage/map_storage.h"
+
+#include <cassert>
+
+namespace repdir::storage {
+
+std::optional<StoredEntry> MapStorage::Get(const RepKey& k) const {
+  const auto it = rows_.find(k);
+  if (it == rows_.end()) return std::nullopt;
+  return ToEntry(*it);
+}
+
+StoredEntry MapStorage::Floor(const RepKey& k) const {
+  auto it = rows_.upper_bound(k);
+  assert(it != rows_.begin() && "Floor below LOW");
+  --it;
+  return ToEntry(*it);
+}
+
+StoredEntry MapStorage::StrictPredecessor(const RepKey& k) const {
+  auto it = rows_.lower_bound(k);
+  assert(it != rows_.begin() && "StrictPredecessor of LOW");
+  --it;
+  return ToEntry(*it);
+}
+
+StoredEntry MapStorage::StrictSuccessor(const RepKey& k) const {
+  auto it = rows_.upper_bound(k);
+  assert(it != rows_.end() && "StrictSuccessor of HIGH");
+  return ToEntry(*it);
+}
+
+void MapStorage::Put(const StoredEntry& e) {
+  rows_[e.key] = Row{e.version, e.value, e.gap_after};
+}
+
+void MapStorage::Erase(const RepKey& k) {
+  assert(k.is_user() && "cannot erase a sentinel");
+  const auto erased = rows_.erase(k);
+  assert(erased == 1 && "Erase of absent key");
+  (void)erased;
+}
+
+void MapStorage::SetGapAfter(const RepKey& k, Version v) {
+  const auto it = rows_.find(k);
+  assert(it != rows_.end() && "SetGapAfter of absent key");
+  it->second.gap_after = v;
+}
+
+std::vector<StoredEntry> MapStorage::Scan() const {
+  std::vector<StoredEntry> out;
+  out.reserve(rows_.size());
+  for (const auto& kv : rows_) out.push_back(ToEntry(kv));
+  return out;
+}
+
+std::size_t MapStorage::UserEntryCount() const {
+  return rows_.size() - 2;  // minus LOW and HIGH
+}
+
+void MapStorage::Clear() {
+  rows_.clear();
+  rows_[RepKey::Low()] = Row{kLowestVersion, {}, kLowestVersion};
+  rows_[RepKey::High()] = Row{kLowestVersion, {}, kLowestVersion};
+}
+
+}  // namespace repdir::storage

@@ -1,0 +1,41 @@
+// MapStorage: the reference RepStorage backend on std::map. Simple and
+// obviously correct; the B-tree backend is fuzz-tested against it.
+#pragma once
+
+#include <map>
+
+#include "storage/rep_storage.h"
+
+namespace repdir::storage {
+
+class MapStorage final : public RepStorage {
+ public:
+  MapStorage() { Clear(); }
+
+  std::optional<StoredEntry> Get(const RepKey& k) const override;
+  StoredEntry Floor(const RepKey& k) const override;
+  StoredEntry StrictPredecessor(const RepKey& k) const override;
+  StoredEntry StrictSuccessor(const RepKey& k) const override;
+  void Put(const StoredEntry& e) override;
+  void Erase(const RepKey& k) override;
+  void SetGapAfter(const RepKey& k, Version v) override;
+  std::vector<StoredEntry> Scan() const override;
+  std::size_t UserEntryCount() const override;
+  void Clear() override;
+
+ private:
+  struct Row {
+    Version version;
+    Value value;
+    Version gap_after;
+  };
+
+  static StoredEntry ToEntry(const std::pair<const RepKey, Row>& kv) {
+    return StoredEntry{kv.first, kv.second.version, kv.second.value,
+                       kv.second.gap_after};
+  }
+
+  std::map<RepKey, Row> rows_;
+};
+
+}  // namespace repdir::storage

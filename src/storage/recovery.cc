@@ -1,0 +1,100 @@
+#include "storage/recovery.h"
+
+namespace repdir::storage {
+
+namespace {
+
+/// Applies one redo op. The log replays a formerly successful execution, so
+/// application errors indicate log corruption rather than user error.
+Status RedoOp(DirRepCore& core, const WalOp& op) {
+  switch (op.kind) {
+    case WalOp::Kind::kInsert: {
+      const auto effect = core.Insert(op.key, op.version, op.value);
+      if (!effect.ok()) {
+        return Status::Corruption("redo Insert failed: " +
+                                  effect.status().ToString());
+      }
+      return Status::Ok();
+    }
+    case WalOp::Kind::kCoalesce: {
+      const auto effect = core.Coalesce(op.key, op.upper, op.version);
+      if (!effect.ok()) {
+        return Status::Corruption("redo Coalesce failed: " +
+                                  effect.status().ToString());
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Corruption("unknown WalOp kind");
+}
+
+}  // namespace
+
+Result<RecoveryOutcome> RecoverRepresentative(
+    RepStorage& stg, const std::vector<WalRecord>& log) {
+  RecoveryOutcome outcome;
+
+  // Locate the most recent checkpoint; everything before it is superseded.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].type == WalRecordType::kCheckpoint) start = i;
+  }
+
+  stg.Clear();
+  if (start < log.size() && log[start].type == WalRecordType::kCheckpoint) {
+    REPDIR_ASSIGN_OR_RETURN(const auto snapshot,
+                            DecodeSnapshot(log[start].body));
+    for (const auto& e : snapshot) stg.Put(e);
+    REPDIR_RETURN_IF_ERROR(CheckRepInvariants(stg));
+    outcome.restored_checkpoint = true;
+    ++start;
+  }
+
+  // Pass 1: classify transactions.
+  std::set<TxnId> committed;
+  std::set<TxnId> aborted;
+  std::set<TxnId> prepared;
+  for (std::size_t i = start; i < log.size(); ++i) {
+    switch (log[i].type) {
+      case WalRecordType::kCommit: committed.insert(log[i].txn); break;
+      case WalRecordType::kAbort: aborted.insert(log[i].txn); break;
+      case WalRecordType::kPrepare: prepared.insert(log[i].txn); break;
+      default: break;
+    }
+  }
+
+  // Pass 2: redo committed transactions' operations in log order.
+  DirRepCore core(stg);
+  for (std::size_t i = start; i < log.size(); ++i) {
+    if (log[i].type != WalRecordType::kOp) continue;
+    if (!committed.contains(log[i].txn)) continue;
+    WalOp op;
+    REPDIR_RETURN_IF_ERROR(DecodeFromString<WalOp>(log[i].body, op));
+    REPDIR_RETURN_IF_ERROR(RedoOp(core, op));
+    ++outcome.ops_replayed;
+  }
+
+  for (const TxnId txn : prepared) {
+    if (!committed.contains(txn) && !aborted.contains(txn)) {
+      outcome.in_doubt.insert(txn);
+    }
+  }
+  return outcome;
+}
+
+Status ResolveInDoubt(RepStorage& stg, const std::vector<WalRecord>& log,
+                      TxnId txn, bool commit, WalWriter& writer) {
+  if (commit) {
+    DirRepCore core(stg);
+    for (const auto& rec : log) {
+      if (rec.type != WalRecordType::kOp || rec.txn != txn) continue;
+      WalOp op;
+      REPDIR_RETURN_IF_ERROR(DecodeFromString<WalOp>(rec.body, op));
+      REPDIR_RETURN_IF_ERROR(RedoOp(core, op));
+    }
+  }
+  return writer.AppendDecision(
+      commit ? WalRecordType::kCommit : WalRecordType::kAbort, txn);
+}
+
+}  // namespace repdir::storage

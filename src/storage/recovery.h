@@ -1,0 +1,35 @@
+// Crash recovery for a directory representative.
+//
+// Rebuilds representative state from its write-ahead log: restore the last
+// checkpoint snapshot, then redo the operations of every transaction whose
+// commit record is in the log, in original log order. Transactions that
+// prepared but have no decision record are reported as in-doubt (presumed
+// abort: their effects are NOT applied); the two-phase-commit coordinator
+// resolves them via ResolveInDoubt.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "storage/dir_rep_core.h"
+#include "storage/wal.h"
+
+namespace repdir::storage {
+
+struct RecoveryOutcome {
+  std::set<TxnId> in_doubt;          ///< Prepared, no decision logged.
+  std::size_t ops_replayed = 0;      ///< Redo records applied.
+  bool restored_checkpoint = false;  ///< A checkpoint snapshot was found.
+};
+
+/// Clears `stg` and rebuilds it from `log`.
+Result<RecoveryOutcome> RecoverRepresentative(RepStorage& stg,
+                                              const std::vector<WalRecord>& log);
+
+/// Resolves one in-doubt transaction after recovery: if `commit`, replays
+/// its logged operations onto `stg`; either way appends the decision record
+/// through `writer` so a later recovery sees it.
+Status ResolveInDoubt(RepStorage& stg, const std::vector<WalRecord>& log,
+                      TxnId txn, bool commit, WalWriter& writer);
+
+}  // namespace repdir::storage

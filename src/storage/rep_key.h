@@ -1,0 +1,96 @@
+// RepKey: the key domain of a directory representative.
+//
+// Every representative contains two distinguished keys, LOW and HIGH
+// (paper §3.1): LOW sorts before every user key and HIGH after, so every
+// user key has a real predecessor and real successor and the leftmost /
+// rightmost gaps are always bounded. User code can never store a sentinel.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::storage {
+
+class RepKey {
+ public:
+  enum class Kind : std::uint8_t { kLow = 0, kUser = 1, kHigh = 2 };
+
+  /// Default-constructed key is LOW (needed for containers/serialization).
+  RepKey() = default;
+
+  static RepKey Low() { return RepKey(Kind::kLow, {}); }
+  static RepKey High() { return RepKey(Kind::kHigh, {}); }
+  static RepKey User(UserKey key) {
+    return RepKey(Kind::kUser, std::move(key));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_low() const { return kind_ == Kind::kLow; }
+  bool is_high() const { return kind_ == Kind::kHigh; }
+  bool is_user() const { return kind_ == Kind::kUser; }
+  bool is_sentinel() const { return !is_user(); }
+
+  /// The user key bytes; only valid for user keys.
+  const UserKey& user() const {
+    assert(is_user());
+    return key_;
+  }
+
+  /// Total order: LOW < (user keys, lexicographic) < HIGH.
+  std::strong_ordering operator<=>(const RepKey& other) const {
+    if (kind_ != other.kind_) return kind_ <=> other.kind_;
+    if (kind_ == Kind::kUser) return key_.compare(other.key_) <=> 0;
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const RepKey& other) const {
+    return kind_ == other.kind_ && key_ == other.key_;
+  }
+
+  void Encode(ByteWriter& w) const {
+    w.PutU8(static_cast<std::uint8_t>(kind_));
+    w.PutString(key_);
+  }
+
+  Status Decode(ByteReader& r) {
+    std::uint8_t kind8 = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetU8(kind8));
+    if (kind8 > static_cast<std::uint8_t>(Kind::kHigh)) {
+      return Status::Corruption("bad RepKey kind");
+    }
+    kind_ = static_cast<Kind>(kind8);
+    REPDIR_RETURN_IF_ERROR(r.GetString(key_));
+    if (is_sentinel() && !key_.empty()) {
+      return Status::Corruption("sentinel RepKey with payload");
+    }
+    return Status::Ok();
+  }
+
+  /// "LOW", "HIGH", or the quoted user key - for logs and test output.
+  std::string ToString() const {
+    switch (kind_) {
+      case Kind::kLow: return "LOW";
+      case Kind::kHigh: return "HIGH";
+      case Kind::kUser: return '"' + key_ + '"';
+    }
+    return "?";
+  }
+
+ private:
+  RepKey(Kind kind, UserKey key) : kind_(kind), key_(std::move(key)) {}
+
+  Kind kind_ = Kind::kLow;
+  UserKey key_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RepKey& k) {
+  return os << k.ToString();
+}
+
+}  // namespace repdir::storage

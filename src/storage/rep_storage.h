@@ -1,0 +1,56 @@
+// RepStorage: the ordered-map primitive a directory representative is built
+// on. Two interchangeable backends implement it (MapStorage, BTreeStorage);
+// the directory semantics (lookup / predecessor / successor / insert /
+// coalesce, Fig. 6) live above in DirRepCore so both backends share one
+// correctness-critical implementation.
+//
+// Invariants every implementation maintains:
+//   * LOW and HIGH sentinel entries are always present.
+//   * Keys are unique and iterated in RepKey order.
+//   * Erase/Put of sentinels is a caller bug (asserted).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "storage/stored_entry.h"
+
+namespace repdir::storage {
+
+class RepStorage {
+ public:
+  virtual ~RepStorage() = default;
+
+  /// The entry stored at exactly `k`, if any.
+  virtual std::optional<StoredEntry> Get(const RepKey& k) const = 0;
+
+  /// Greatest entry with key <= k. Exists for every k >= LOW.
+  virtual StoredEntry Floor(const RepKey& k) const = 0;
+
+  /// Greatest entry with key < k. Exists for every k > LOW.
+  virtual StoredEntry StrictPredecessor(const RepKey& k) const = 0;
+
+  /// Least entry with key > k. Exists for every k < HIGH.
+  virtual StoredEntry StrictSuccessor(const RepKey& k) const = 0;
+
+  /// Inserts or fully overwrites the entry at e.key (including gap_after).
+  virtual void Put(const StoredEntry& e) = 0;
+
+  /// Removes the entry at `k` (which must exist and must not be a sentinel).
+  virtual void Erase(const RepKey& k) = 0;
+
+  /// Rewrites only the gap version of the entry at `k` (which must exist).
+  virtual void SetGapAfter(const RepKey& k, Version v) = 0;
+
+  /// All entries (sentinels included) in key order. For checkpointing,
+  /// recovery, and invariant checking.
+  virtual std::vector<StoredEntry> Scan() const = 0;
+
+  /// Number of user entries (sentinels excluded).
+  virtual std::size_t UserEntryCount() const = 0;
+
+  /// Resets to the empty directory: LOW and HIGH with gap version 0.
+  virtual void Clear() = 0;
+};
+
+}  // namespace repdir::storage

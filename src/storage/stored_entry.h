@@ -1,0 +1,39 @@
+// StoredEntry: one row of a directory representative.
+//
+// Gap representation (paper §5): "Version numbers for gaps could be stored
+// in fields in their bounding entries." Each entry carries `gap_after`, the
+// version of the open gap (this.key, successor.key). LOW's gap_after covers
+// the leftmost gap; HIGH's gap_after is unused (kept 0).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/rep_key.h"
+
+namespace repdir::storage {
+
+struct StoredEntry {
+  RepKey key;
+  Version version = kLowestVersion;  ///< Version of the entry itself.
+  Value value;
+  Version gap_after = kLowestVersion;  ///< Version of the gap after `key`.
+
+  void Encode(ByteWriter& w) const {
+    key.Encode(w);
+    w.PutU64(version);
+    w.PutString(value);
+    w.PutU64(gap_after);
+  }
+
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(key.Decode(r));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+    REPDIR_RETURN_IF_ERROR(r.GetString(value));
+    return r.GetU64(gap_after);
+  }
+
+  bool operator==(const StoredEntry& other) const = default;
+};
+
+}  // namespace repdir::storage

@@ -1,0 +1,133 @@
+#include "storage/wal.h"
+
+namespace repdir::storage {
+
+void WalOp::Encode(ByteWriter& w) const {
+  w.PutU8(static_cast<std::uint8_t>(kind));
+  key.Encode(w);
+  upper.Encode(w);
+  w.PutU64(version);
+  w.PutString(value);
+}
+
+Status WalOp::Decode(ByteReader& r) {
+  std::uint8_t kind8 = 0;
+  REPDIR_RETURN_IF_ERROR(r.GetU8(kind8));
+  if (kind8 != static_cast<std::uint8_t>(Kind::kInsert) &&
+      kind8 != static_cast<std::uint8_t>(Kind::kCoalesce)) {
+    return Status::Corruption("bad WalOp kind");
+  }
+  kind = static_cast<Kind>(kind8);
+  REPDIR_RETURN_IF_ERROR(key.Decode(r));
+  REPDIR_RETURN_IF_ERROR(upper.Decode(r));
+  REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+  return r.GetString(value);
+}
+
+void WalRecord::Encode(ByteWriter& w) const {
+  w.PutU8(static_cast<std::uint8_t>(type));
+  w.PutU64(txn);
+  w.PutString(body);
+}
+
+Status WalRecord::Decode(ByteReader& r) {
+  std::uint8_t type8 = 0;
+  REPDIR_RETURN_IF_ERROR(r.GetU8(type8));
+  if (type8 < static_cast<std::uint8_t>(WalRecordType::kOp) ||
+      type8 > static_cast<std::uint8_t>(WalRecordType::kCheckpoint)) {
+    return Status::Corruption("bad WalRecord type");
+  }
+  type = static_cast<WalRecordType>(type8);
+  REPDIR_RETURN_IF_ERROR(r.GetU64(txn));
+  return r.GetString(body);
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  ByteWriter payload;
+  record.Encode(payload);
+
+  ByteWriter frame;
+  frame.PutU32(static_cast<std::uint32_t>(payload.size()));
+  frame.PutU32(Crc32c(payload.data().data(), payload.size()));
+  frame.PutRaw(payload.data().data(), payload.size());
+
+  const auto bytes = frame.Take();
+  return device_->Append(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()));
+}
+
+Status WalWriter::AppendOp(TxnId txn, const WalOp& op) {
+  WalRecord rec;
+  rec.type = WalRecordType::kOp;
+  rec.txn = txn;
+  ByteWriter body;
+  op.Encode(body);
+  rec.body = body.TakeString();
+  return Append(rec);
+}
+
+Status WalWriter::AppendDecision(WalRecordType type, TxnId txn) {
+  WalRecord rec;
+  rec.type = type;
+  rec.txn = txn;
+  REPDIR_RETURN_IF_ERROR(Append(rec));
+  return Flush();
+}
+
+Status WalWriter::WriteCheckpoint(const std::vector<StoredEntry>& snapshot) {
+  // The checkpoint supersedes all prior history: rewrite the log so it
+  // contains only the checkpoint record.
+  REPDIR_RETURN_IF_ERROR(device_->Truncate());
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.body = EncodeSnapshot(snapshot);
+  REPDIR_RETURN_IF_ERROR(Append(rec));
+  return Flush();
+}
+
+Result<std::vector<WalRecord>> ReadLog(const LogDevice& device) {
+  REPDIR_ASSIGN_OR_RETURN(const std::string bytes, device.ReadDurable());
+  std::vector<WalRecord> records;
+  ByteReader r(bytes);
+  while (!r.AtEnd()) {
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    if (!r.GetU32(length).ok() || !r.GetU32(crc).ok()) break;  // torn tail
+    if (r.remaining() < length) break;                         // torn tail
+    const char* payload = bytes.data() + (bytes.size() - r.remaining());
+    if (Crc32c(payload, length) != crc) {
+      break;  // corrupt tail frame: end of usable log
+    }
+    ByteReader payload_view(payload, length);
+    WalRecord rec;
+    if (!rec.Decode(payload_view).ok() || !payload_view.AtEnd()) break;
+    records.push_back(std::move(rec));
+    REPDIR_RETURN_IF_ERROR(r.Skip(length));
+  }
+  return records;
+}
+
+std::string EncodeSnapshot(const std::vector<StoredEntry>& snapshot) {
+  ByteWriter w;
+  w.PutVarint(snapshot.size());
+  for (const auto& e : snapshot) e.Encode(w);
+  return w.TakeString();
+}
+
+Result<std::vector<StoredEntry>> DecodeSnapshot(const std::string& body) {
+  ByteReader r(body);
+  std::uint64_t count = 0;
+  REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+  std::vector<StoredEntry> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    StoredEntry e;
+    REPDIR_RETURN_IF_ERROR(e.Decode(r));
+    out.push_back(std::move(e));
+  }
+  REPDIR_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+}  // namespace repdir::storage

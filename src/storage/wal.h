@@ -1,0 +1,109 @@
+// Write-ahead log for a directory representative.
+//
+// Record framing: [u32 length][u32 crc32c(payload)][payload]. A reader
+// stops at the first frame that is truncated or fails its checksum - such a
+// frame is the torn tail of the last crash and is treated as end-of-log.
+//
+// Logging discipline (redo logging with presumed abort):
+//   * each mutating operation appends a kOp record (buffered),
+//   * PREPARE appends kPrepare and flushes (the participant's promise),
+//   * COMMIT / ABORT append their record and flush,
+//   * kCheckpoint carries a full snapshot and is only taken when quiescent.
+// Recovery = last checkpoint snapshot + redo of committed transactions'
+// ops in log order. Prepared-but-undecided transactions surface as
+// "in doubt" and are resolved by the coordinator (see recovery.h).
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "storage/log_device.h"
+#include "storage/stored_entry.h"
+
+namespace repdir::storage {
+
+enum class WalRecordType : std::uint8_t {
+  kOp = 1,
+  kPrepare = 2,
+  kCommit = 3,
+  kAbort = 4,
+  kCheckpoint = 5,
+};
+
+/// A redo-able representative mutation.
+struct WalOp {
+  enum class Kind : std::uint8_t { kInsert = 1, kCoalesce = 2 };
+
+  Kind kind = Kind::kInsert;
+  RepKey key;          ///< Insert: the key. Coalesce: lower bound l.
+  RepKey upper;        ///< Coalesce: upper bound h. Unused for Insert.
+  Version version = kLowestVersion;  ///< Entry version / new gap version.
+  Value value;         ///< Insert only.
+
+  static WalOp Insert(RepKey k, Version v, Value val) {
+    WalOp op;
+    op.kind = Kind::kInsert;
+    op.key = std::move(k);
+    op.version = v;
+    op.value = std::move(val);
+    return op;
+  }
+
+  static WalOp Coalesce(RepKey l, RepKey h, Version gap) {
+    WalOp op;
+    op.kind = Kind::kCoalesce;
+    op.key = std::move(l);
+    op.upper = std::move(h);
+    op.version = gap;
+    return op;
+  }
+
+  void Encode(ByteWriter& w) const;
+  Status Decode(ByteReader& r);
+  bool operator==(const WalOp&) const = default;
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kOp;
+  TxnId txn = kInvalidTxn;
+  std::string body;  ///< Encoded WalOp (kOp) or snapshot (kCheckpoint).
+
+  void Encode(ByteWriter& w) const;
+  Status Decode(ByteReader& r);
+};
+
+/// Appends framed records to a LogDevice.
+class WalWriter {
+ public:
+  explicit WalWriter(LogDevice& device) : device_(&device) {}
+
+  /// Buffers one framed record (durable only after Flush()).
+  Status Append(const WalRecord& record);
+
+  Status Flush() { return device_->Flush(); }
+
+  /// Convenience: op record for `txn`.
+  Status AppendOp(TxnId txn, const WalOp& op);
+
+  /// Appends and flushes a decision record.
+  Status AppendDecision(WalRecordType type, TxnId txn);
+
+  /// Writes a checkpoint containing the full state, flushes, and truncates
+  /// everything before it by rewriting the log. Caller must be quiescent.
+  Status WriteCheckpoint(const std::vector<StoredEntry>& snapshot);
+
+ private:
+  LogDevice* device_;
+};
+
+/// Parses the durable contents of a log device. A torn or corrupt tail
+/// frame ends the log silently; corruption *before* the end is impossible
+/// to distinguish from a tear and is likewise treated as the end.
+Result<std::vector<WalRecord>> ReadLog(const LogDevice& device);
+
+/// Encodes / decodes a checkpoint body (a full snapshot in key order).
+std::string EncodeSnapshot(const std::vector<StoredEntry>& snapshot);
+Result<std::vector<StoredEntry>> DecodeSnapshot(const std::string& body);
+
+}  // namespace repdir::storage

@@ -1,0 +1,49 @@
+#include "txn/coordinator.h"
+
+#include "net/wire.h"
+
+namespace repdir::txn {
+
+Status TwoPhaseCommitter::Call(NodeId node, net::MethodId method,
+                               TxnId txn) const {
+  return net::WithRetry(retry_, [&] {
+    return client_.Call<net::Empty>(node, method, net::Empty{}, txn).status();
+  });
+}
+
+Status TwoPhaseCommitter::Commit(TxnId txn,
+                                 const std::set<NodeId>& participants) const {
+  // Phase 1: all participants must vote yes.
+  for (const NodeId node : participants) {
+    const Status vote = Call(node, methods_.prepare, txn);
+    if (!vote.ok()) {
+      Abort(txn, participants);
+      return Status::Aborted("prepare failed at node " + std::to_string(node) +
+                             ": " + vote.ToString());
+    }
+  }
+
+  // Phase 2: the decision is now commit. Unreachable participants have
+  // prepared and will resolve via recovery; the transaction is committed.
+  for (const NodeId node : participants) {
+    (void)Call(node, methods_.commit, txn);
+  }
+  return Status::Ok();
+}
+
+Status TwoPhaseCommitter::CommitReadOnly(
+    TxnId txn, const std::set<NodeId>& participants) const {
+  for (const NodeId node : participants) {
+    (void)Call(node, methods_.commit, txn);
+  }
+  return Status::Ok();
+}
+
+void TwoPhaseCommitter::Abort(TxnId txn,
+                              const std::set<NodeId>& participants) const {
+  for (const NodeId node : participants) {
+    (void)Call(node, methods_.abort, txn);
+  }
+}
+
+}  // namespace repdir::txn

@@ -1,0 +1,58 @@
+// Two-phase commit, coordinator side.
+//
+// The directory suite runs each user operation as a distributed transaction
+// across the representatives it touched. Commit protocol (presumed abort):
+//   phase 1: PREPARE to every participant; any failure or negative vote
+//            aborts everywhere and reports kAborted;
+//   phase 2: COMMIT to every participant; a participant unreachable in
+//            phase 2 has prepared, so it will learn the outcome during
+//            recovery (ResolveInDoubt) - the commit still succeeds.
+#pragma once
+
+#include <set>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "net/retry.h"
+#include "net/rpc_client.h"
+#include "txn/txn_id.h"
+
+namespace repdir::txn {
+
+/// Method ids of the participant's transaction-control RPCs, supplied by
+/// the service that registered them (see rep/dir_rep_service.h).
+struct TxnControlMethods {
+  net::MethodId prepare;
+  net::MethodId commit;
+  net::MethodId abort;
+};
+
+class TwoPhaseCommitter {
+ public:
+  /// Control messages (prepare/commit/abort) are idempotent, so transient
+  /// transport failures are retried per `retry`.
+  TwoPhaseCommitter(const net::RpcClient& client, TxnControlMethods methods,
+                    net::RetryPolicy retry = {})
+      : client_(client), methods_(methods), retry_(retry) {}
+
+  /// Runs the full protocol for `txn` over `participants`. Returns OK when
+  /// the transaction durably committed; kAborted when it rolled back.
+  Status Commit(TxnId txn, const std::set<NodeId>& participants) const;
+
+  /// Read-only fast path: a transaction that wrote nothing has no
+  /// durability promise to collect, so phase 1 is skipped and a single
+  /// COMMIT round releases the read locks everywhere.
+  Status CommitReadOnly(TxnId txn, const std::set<NodeId>& participants) const;
+
+  /// Best-effort abort everywhere (used on any execution error).
+  void Abort(TxnId txn, const std::set<NodeId>& participants) const;
+
+ private:
+  Status Call(NodeId node, net::MethodId method, TxnId txn) const;
+
+  const net::RpcClient& client_;
+  TxnControlMethods methods_;
+  net::RetryPolicy retry_;
+};
+
+}  // namespace repdir::txn

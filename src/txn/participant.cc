@@ -1,0 +1,230 @@
+#include "txn/participant.h"
+
+namespace repdir::txn {
+
+Status TxnParticipant::AcquireLock(TxnId txn, LockMode mode,
+                                   const KeyRange& range) {
+  if (options_.blocking_locks) {
+    return locks_.Acquire(txn, mode, range, options_.lock_timeout_micros);
+  }
+  return locks_.TryAcquire(txn, mode, range);
+}
+
+TxnParticipant::TxnState& TxnParticipant::StateFor(TxnId txn) {
+  return txns_[txn];
+}
+
+Result<LookupReply> TxnParticipant::Lookup(TxnId txn, const RepKey& k) {
+  // Locks RepLookup(x, x) - Fig. 6. This is sufficient even though a miss
+  // reads the floor entry's gap version: any Coalesce that could change the
+  // gap containing x locks a RepModify range that covers x.
+  REPDIR_RETURN_IF_ERROR(AcquireLock(txn, LockMode::kLookup,
+                                     KeyRange::Point(k)));
+  std::lock_guard<std::mutex> guard(mu_);
+  StateFor(txn);
+  return core_.Lookup(k);
+}
+
+Result<NeighborReply> TxnParticipant::Predecessor(TxnId txn, const RepKey& k) {
+  if (k.is_low()) return Status::InvalidArgument("Predecessor of LOW");
+  // Locks RepLookup(y, x) where y is the key returned - Fig. 6. The key is
+  // only known after the read, so compute, lock, and re-validate: if a
+  // concurrent insert slipped into (y, x) before our lock landed, loop with
+  // the new neighbor (strict 2PL keeps the superseded lock; harmless).
+  for (;;) {
+    NeighborReply reply;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      REPDIR_ASSIGN_OR_RETURN(reply, core_.Predecessor(k));
+    }
+    REPDIR_RETURN_IF_ERROR(
+        AcquireLock(txn, LockMode::kLookup, KeyRange{reply.key, k}));
+    std::lock_guard<std::mutex> guard(mu_);
+    REPDIR_ASSIGN_OR_RETURN(const NeighborReply check, core_.Predecessor(k));
+    if (check.key == reply.key) {
+      StateFor(txn);
+      return check;
+    }
+  }
+}
+
+Result<NeighborReply> TxnParticipant::Successor(TxnId txn, const RepKey& k) {
+  if (k.is_high()) return Status::InvalidArgument("Successor of HIGH");
+  // Locks RepLookup(x, y) where y is the key returned - Fig. 6.
+  for (;;) {
+    NeighborReply reply;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      REPDIR_ASSIGN_OR_RETURN(reply, core_.Successor(k));
+    }
+    REPDIR_RETURN_IF_ERROR(
+        AcquireLock(txn, LockMode::kLookup, KeyRange{k, reply.key}));
+    std::lock_guard<std::mutex> guard(mu_);
+    REPDIR_ASSIGN_OR_RETURN(const NeighborReply check, core_.Successor(k));
+    if (check.key == reply.key) {
+      StateFor(txn);
+      return check;
+    }
+  }
+}
+
+Result<std::vector<NeighborReply>> TxnParticipant::PredecessorBatch(
+    TxnId txn, const RepKey& k, std::uint32_t count) {
+  if (count == 0 || count > 64) {
+    return Status::InvalidArgument("batch count out of range");
+  }
+  std::vector<NeighborReply> steps;
+  RepKey cur = k;
+  while (steps.size() < count && !cur.is_low()) {
+    REPDIR_ASSIGN_OR_RETURN(NeighborReply step, Predecessor(txn, cur));
+    cur = step.key;
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+Result<std::vector<NeighborReply>> TxnParticipant::SuccessorBatch(
+    TxnId txn, const RepKey& k, std::uint32_t count) {
+  if (count == 0 || count > 64) {
+    return Status::InvalidArgument("batch count out of range");
+  }
+  std::vector<NeighborReply> steps;
+  RepKey cur = k;
+  while (steps.size() < count && !cur.is_high()) {
+    REPDIR_ASSIGN_OR_RETURN(NeighborReply step, Successor(txn, cur));
+    cur = step.key;
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+Status TxnParticipant::Insert(TxnId txn, const RepKey& k, Version v,
+                              const Value& value) {
+  // Locks RepModify(x, x) - Fig. 6.
+  REPDIR_RETURN_IF_ERROR(AcquireLock(txn, LockMode::kModify,
+                                     KeyRange::Point(k)));
+  std::lock_guard<std::mutex> guard(mu_);
+  REPDIR_ASSIGN_OR_RETURN(const InsertEffect effect,
+                          core_.Insert(k, v, value));
+  Undo undo;
+  undo.kind = Undo::Kind::kInsert;
+  undo.key = k;
+  undo.insert_effect = effect;
+  StateFor(txn).undo.push_back(std::move(undo));
+  if (wal_ != nullptr) {
+    REPDIR_RETURN_IF_ERROR(
+        wal_->AppendOp(txn, storage::WalOp::Insert(k, v, value)));
+  }
+  return Status::Ok();
+}
+
+Result<CoalesceEffect> TxnParticipant::Coalesce(TxnId txn, const RepKey& l,
+                                                const RepKey& h,
+                                                Version gap_version) {
+  if (!(l < h)) {
+    return Status::InvalidArgument("Coalesce requires l < h");
+  }
+  // Locks RepModify(l, h) - Fig. 6.
+  REPDIR_RETURN_IF_ERROR(AcquireLock(txn, LockMode::kModify, KeyRange{l, h}));
+  std::lock_guard<std::mutex> guard(mu_);
+  REPDIR_ASSIGN_OR_RETURN(CoalesceEffect effect,
+                          core_.Coalesce(l, h, gap_version));
+  Undo undo;
+  undo.kind = Undo::Kind::kCoalesce;
+  undo.key = l;
+  undo.coalesce_effect = effect;
+  StateFor(txn).undo.push_back(std::move(undo));
+  if (wal_ != nullptr) {
+    REPDIR_RETURN_IF_ERROR(
+        wal_->AppendOp(txn, storage::WalOp::Coalesce(l, h, gap_version)));
+  }
+  return effect;
+}
+
+Status TxnParticipant::Prepare(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("Prepare of unknown txn");
+  }
+  it->second.prepared = true;
+  if (wal_ != nullptr && !it->second.undo.empty()) {
+    REPDIR_RETURN_IF_ERROR(
+        wal_->AppendDecision(storage::WalRecordType::kPrepare, txn));
+  }
+  return Status::Ok();
+}
+
+Status TxnParticipant::Commit(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      // Unknown here: the transaction never touched this participant (or
+      // a commit retry after the first attempt succeeded). Idempotent OK.
+      locks_.ReleaseAll(txn);
+      return Status::Ok();
+    }
+    if (wal_ != nullptr && !it->second.undo.empty()) {
+      REPDIR_RETURN_IF_ERROR(
+          wal_->AppendDecision(storage::WalRecordType::kCommit, txn));
+    }
+    txns_.erase(it);
+  }
+  locks_.ReleaseAll(txn);
+  return Status::Ok();
+}
+
+Status TxnParticipant::Abort(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      locks_.ReleaseAll(txn);  // may hold read locks from a stateless touch
+      return Status::Ok();
+    }
+    // Undo in reverse execution order.
+    auto& undo_list = it->second.undo;
+    for (auto u = undo_list.rbegin(); u != undo_list.rend(); ++u) {
+      switch (u->kind) {
+        case Undo::Kind::kInsert:
+          core_.UndoInsert(u->key, u->insert_effect);
+          break;
+        case Undo::Kind::kCoalesce:
+          core_.UndoCoalesce(u->key, u->coalesce_effect);
+          break;
+      }
+    }
+    if (wal_ != nullptr && !undo_list.empty()) {
+      REPDIR_RETURN_IF_ERROR(
+          wal_->AppendDecision(storage::WalRecordType::kAbort, txn));
+    }
+    txns_.erase(it);
+  }
+  locks_.ReleaseAll(txn);
+  return Status::Ok();
+}
+
+bool TxnParticipant::IsActive(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return txns_.contains(txn);
+}
+
+std::size_t TxnParticipant::ActiveCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return txns_.size();
+}
+
+Status TxnParticipant::WriteCheckpoint() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no WAL attached");
+  }
+  if (!txns_.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a quiescent participant");
+  }
+  return wal_->WriteCheckpoint(core_.storage().Scan());
+}
+
+}  // namespace repdir::txn

@@ -1,0 +1,120 @@
+// TxnParticipant: the transactional executor wrapped around one directory
+// representative.
+//
+// Each operation (Fig. 6) acquires its range lock, applies the mutation to
+// the storage backend, records the undo action, and (when a WAL is
+// attached) appends a redo record. Two-phase commit drives Prepare /
+// Commit / Abort; strict 2PL releases locks only at the decision.
+//
+// Concurrency model: the range-lock manager provides logical isolation
+// between transactions; a short internal mutex serializes physical access
+// to the (non-thread-safe) storage structure. Range locks are acquired
+// OUTSIDE the storage mutex, so blocking on a lock never stalls unrelated
+// transactions.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "lock/range_lock_manager.h"
+#include "storage/dir_rep_core.h"
+#include "storage/wal.h"
+
+namespace repdir::txn {
+
+using lock::KeyRange;
+using lock::LockMode;
+using storage::CoalesceEffect;
+using storage::InsertEffect;
+using storage::LookupReply;
+using storage::NeighborReply;
+using storage::RepKey;
+
+struct ParticipantOptions {
+  /// Blocking lock acquisition (threaded deployments) vs. immediate abort
+  /// on conflict (deterministic simulator).
+  bool blocking_locks = true;
+  DurationMicros lock_timeout_micros = 10'000'000;
+};
+
+class TxnParticipant {
+ public:
+  /// `wal` may be null (durability disabled, e.g. in statistical sims).
+  TxnParticipant(storage::RepStorage& stg, lock::DeadlockDetector* detector,
+                 storage::WalWriter* wal, ParticipantOptions options = {})
+      : core_(stg), locks_(detector), wal_(wal), options_(options) {}
+
+  // --- Figure 6 operations, transactional ---
+
+  Result<LookupReply> Lookup(TxnId txn, const RepKey& k);
+  Result<NeighborReply> Predecessor(TxnId txn, const RepKey& k);
+  Result<NeighborReply> Successor(TxnId txn, const RepKey& k);
+
+  /// Up to `count` successive predecessors (successors) walking down (up)
+  /// from `k`, stopping at a sentinel - the §4 batching optimization. Locks
+  /// exactly what the equivalent sequence of single calls would lock.
+  Result<std::vector<NeighborReply>> PredecessorBatch(TxnId txn,
+                                                      const RepKey& k,
+                                                      std::uint32_t count);
+  Result<std::vector<NeighborReply>> SuccessorBatch(TxnId txn, const RepKey& k,
+                                                    std::uint32_t count);
+  Status Insert(TxnId txn, const RepKey& k, Version v, const Value& value);
+  Result<CoalesceEffect> Coalesce(TxnId txn, const RepKey& l, const RepKey& h,
+                                  Version gap_version);
+
+  // --- Two-phase commit ---
+
+  /// Phase 1: forces this transaction's redo records to the log. After a
+  /// successful Prepare the participant guarantees it can commit.
+  Status Prepare(TxnId txn);
+
+  /// Phase 2: makes the transaction durable-committed and releases locks.
+  Status Commit(TxnId txn);
+
+  /// Undoes the transaction's effects (reverse order) and releases locks.
+  Status Abort(TxnId txn);
+
+  /// Whether `txn` has executed any operation here and is undecided.
+  bool IsActive(TxnId txn) const;
+
+  /// Number of undecided transactions (tests; checkpointing requires 0).
+  std::size_t ActiveCount() const;
+
+  /// Writes a checkpoint through the WAL. Fails while transactions are
+  /// active (the snapshot must be transaction-consistent).
+  Status WriteCheckpoint();
+
+  lock::RangeLockManager& lock_manager() { return locks_; }
+  storage::DirRepCore& core() { return core_; }
+  const storage::RepStorage& storage() const { return core_.storage(); }
+
+ private:
+  /// One recorded undo action.
+  struct Undo {
+    enum class Kind : std::uint8_t { kInsert, kCoalesce } kind;
+    RepKey key;  ///< Insert: key; Coalesce: lower bound l.
+    InsertEffect insert_effect;
+    CoalesceEffect coalesce_effect;
+  };
+
+  struct TxnState {
+    std::vector<Undo> undo;
+    bool prepared = false;
+  };
+
+  Status AcquireLock(TxnId txn, LockMode mode, const KeyRange& range);
+
+  /// Looks up txn state, creating it on first touch. mu_ held.
+  TxnState& StateFor(TxnId txn);
+
+  storage::DirRepCore core_;
+  lock::RangeLockManager locks_;
+  storage::WalWriter* wal_;
+  ParticipantOptions options_;
+
+  mutable std::mutex mu_;  ///< Guards storage structure + txn table + WAL.
+  std::map<TxnId, TxnState> txns_;
+};
+
+}  // namespace repdir::txn

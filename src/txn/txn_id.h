@@ -1,0 +1,42 @@
+// Transaction identifiers: globally unique without coordination - the
+// coordinator's node id lives in the high 32 bits and a per-coordinator
+// sequence number in the low 32 bits.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace repdir::txn {
+
+constexpr TxnId MakeTxnId(NodeId coordinator, std::uint32_t seq) {
+  return (static_cast<TxnId>(coordinator) << 32) | seq;
+}
+
+constexpr NodeId CoordinatorOf(TxnId txn) {
+  return static_cast<NodeId>(txn >> 32);
+}
+
+constexpr std::uint32_t SequenceOf(TxnId txn) {
+  return static_cast<std::uint32_t>(txn);
+}
+
+/// Thread-safe per-coordinator id source. Sequence 0 is never issued, so
+/// MakeTxnId(node, 0) can serve as a per-node sentinel.
+class TxnIdFactory {
+ public:
+  explicit TxnIdFactory(NodeId coordinator) : coordinator_(coordinator) {}
+
+  TxnId Next() {
+    return MakeTxnId(coordinator_,
+                     seq_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  NodeId coordinator() const { return coordinator_; }
+
+ private:
+  NodeId coordinator_;
+  std::atomic<std::uint32_t> seq_{1};
+};
+
+}  // namespace repdir::txn

@@ -1,0 +1,53 @@
+// DirectoryClient adapters for the concrete directory implementations.
+#pragma once
+
+#include "baseline/file_directory.h"
+#include "baseline/primary_copy.h"
+#include "rep/dir_suite.h"
+#include "wl/directory_client.h"
+
+namespace repdir::wl {
+
+class SuiteClient final : public DirectoryClient {
+ public:
+  explicit SuiteClient(rep::DirectorySuite& suite) : suite_(&suite) {}
+
+  Result<std::optional<Value>> Lookup(const UserKey& key) override {
+    REPDIR_ASSIGN_OR_RETURN(const auto r, suite_->Lookup(key));
+    if (!r.found) return std::optional<Value>{};
+    return std::optional<Value>{r.value};
+  }
+  Status Insert(const UserKey& key, const Value& value) override {
+    return suite_->Insert(key, value);
+  }
+  Status Update(const UserKey& key, const Value& value) override {
+    return suite_->Update(key, value);
+  }
+  Status Delete(const UserKey& key) override { return suite_->Delete(key); }
+
+ private:
+  rep::DirectorySuite* suite_;
+};
+
+class FileDirectoryClient final : public DirectoryClient {
+ public:
+  explicit FileDirectoryClient(baseline::FileDirectory& dir) : dir_(&dir) {}
+
+  Result<std::optional<Value>> Lookup(const UserKey& key) override {
+    REPDIR_ASSIGN_OR_RETURN(const auto r, dir_->Lookup(key));
+    if (!r.found) return std::optional<Value>{};
+    return std::optional<Value>{r.value};
+  }
+  Status Insert(const UserKey& key, const Value& value) override {
+    return dir_->Insert(key, value);
+  }
+  Status Update(const UserKey& key, const Value& value) override {
+    return dir_->Update(key, value);
+  }
+  Status Delete(const UserKey& key) override { return dir_->Delete(key); }
+
+ private:
+  baseline::FileDirectory* dir_;
+};
+
+}  // namespace repdir::wl

@@ -1,0 +1,24 @@
+// DirectoryClient: the uniform face every directory implementation shows to
+// workload drivers and benchmarks - the replicated suite, the
+// file-serialized baseline, or anything else with Lookup/Insert/Update/
+// Delete semantics.
+#pragma once
+
+#include <optional>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace repdir::wl {
+
+class DirectoryClient {
+ public:
+  virtual ~DirectoryClient() = default;
+
+  virtual Result<std::optional<Value>> Lookup(const UserKey& key) = 0;
+  virtual Status Insert(const UserKey& key, const Value& value) = 0;
+  virtual Status Update(const UserKey& key, const Value& value) = 0;
+  virtual Status Delete(const UserKey& key) = 0;
+};
+
+}  // namespace repdir::wl

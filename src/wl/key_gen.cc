@@ -1,0 +1,41 @@
+#include "wl/key_gen.h"
+
+#include <cmath>
+
+namespace repdir::wl {
+
+namespace {
+
+double Zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianKeys::ZipfianKeys(std::uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfianKeys::NextRank(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double raw = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  const auto rank = static_cast<std::uint64_t>(raw);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+UserKey ZipfianKeys::Next(Rng& rng) { return NumericKey(NextRank(rng)); }
+
+}  // namespace repdir::wl

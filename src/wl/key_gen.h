@@ -1,0 +1,65 @@
+// Key generators for workloads.
+//
+// Keys are fixed-width zero-padded decimal strings so that lexicographic
+// RepKey order equals numeric order, which keeps range/locality workloads
+// intuitive (e.g. the Figure 16 experiment splits the key space in half).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace repdir::wl {
+
+/// Formats a numeric key as a fixed-width decimal string ("k0000000042").
+inline UserKey NumericKey(std::uint64_t n, int width = 12) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "k%0*llu", width,
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual UserKey Next(Rng& rng) = 0;
+};
+
+/// Uniform over [lo, hi) - the paper's §4 setting.
+class UniformKeys final : public KeyGenerator {
+ public:
+  UniformKeys(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {}
+
+  UserKey Next(Rng& rng) override {
+    return NumericKey(rng.Range(lo_, hi_ - 1));
+  }
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+/// Zipfian over [0, n) with parameter `theta` (hot-spot workloads; used by
+/// the contention benchmarks). Implements the standard Gray et al.
+/// approximation.
+class ZipfianKeys final : public KeyGenerator {
+ public:
+  ZipfianKeys(std::uint64_t n, double theta = 0.99);
+
+  UserKey Next(Rng& rng) override;
+
+  /// The raw rank (0 = hottest) - exposed for distribution tests.
+  std::uint64_t NextRank(Rng& rng);
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace repdir::wl

@@ -1,0 +1,114 @@
+#include "wl/workload.h"
+
+namespace repdir::wl {
+
+UserKey SteadyStateWorkload::FreshKey() {
+  for (;;) {
+    UserKey key = NumericKey(rng_.Range(0, options_.key_space - 1));
+    if (!live_index_.contains(key)) return key;
+  }
+}
+
+const UserKey& SteadyStateWorkload::RandomLiveKey() {
+  return live_[rng_.Index(live_.size())];
+}
+
+Status SteadyStateWorkload::Fill() {
+  while (live_.size() < options_.target_size) {
+    REPDIR_RETURN_IF_ERROR(DoInsert());
+  }
+  return Status::Ok();
+}
+
+Status SteadyStateWorkload::DoInsert() {
+  const UserKey key = FreshKey();
+  const Value value = "v" + std::to_string(value_counter_++);
+  const Status st = dir_->Insert(key, value);
+  ++report_.inserts;
+  if (!st.ok()) {
+    ++report_.failures;
+    return st.code() == StatusCode::kUnavailable ? Status::Ok() : st;
+  }
+  live_index_[key] = live_.size();
+  live_.push_back(key);
+  if (options_.verify_against_model) model_[key] = value;
+  return Status::Ok();
+}
+
+Status SteadyStateWorkload::DoDelete() {
+  if (live_.empty()) return DoInsert();
+  const UserKey key = RandomLiveKey();
+  const Status st = dir_->Delete(key);
+  ++report_.deletes;
+  if (!st.ok()) {
+    ++report_.failures;
+    return st.code() == StatusCode::kUnavailable ? Status::Ok() : st;
+  }
+  // O(1) removal from the live vector: swap with the back.
+  const std::size_t idx = live_index_[key];
+  live_index_[live_.back()] = idx;
+  live_[idx] = live_.back();
+  live_.pop_back();
+  live_index_.erase(key);
+  if (options_.verify_against_model) model_.erase(key);
+  return Status::Ok();
+}
+
+Status SteadyStateWorkload::DoUpdate() {
+  if (live_.empty()) return DoInsert();
+  const UserKey key = RandomLiveKey();
+  const Value value = "v" + std::to_string(value_counter_++);
+  const Status st = dir_->Update(key, value);
+  ++report_.updates;
+  if (!st.ok()) {
+    ++report_.failures;
+    return st.code() == StatusCode::kUnavailable ? Status::Ok() : st;
+  }
+  if (options_.verify_against_model) model_[key] = value;
+  return Status::Ok();
+}
+
+Status SteadyStateWorkload::DoLookup() {
+  // Mostly hit lookups, occasionally a miss probe.
+  const bool probe_miss = live_.empty() || rng_.Chance(0.1);
+  const UserKey key = probe_miss ? FreshKey() : RandomLiveKey();
+  const auto result = dir_->Lookup(key);
+  ++report_.lookups;
+  if (!result.ok()) {
+    ++report_.failures;
+    return result.status().code() == StatusCode::kUnavailable
+               ? Status::Ok()
+               : result.status();
+  }
+  if (options_.verify_against_model) {
+    const auto it = model_.find(key);
+    const bool model_found = it != model_.end();
+    const bool dir_found = result->has_value();
+    if (model_found != dir_found ||
+        (model_found && it->second != **result)) {
+      ++report_.mismatches;
+      return Status::Internal("lookup mismatch for key " + key);
+    }
+  }
+  return Status::Ok();
+}
+
+Status SteadyStateWorkload::RunOps(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double roll = rng_.NextDouble();
+    Status st;
+    if (roll < options_.lookup_fraction) {
+      st = DoLookup();
+    } else if (roll < options_.lookup_fraction + options_.update_fraction) {
+      st = DoUpdate();
+    } else if (live_.size() <= options_.target_size) {
+      st = DoInsert();
+    } else {
+      st = DoDelete();
+    }
+    REPDIR_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
+}
+
+}  // namespace repdir::wl

@@ -1,0 +1,97 @@
+// SteadyStateWorkload: the §4 simulation protocol.
+//
+// "Figure 14 shows the average results of simulations using directory sizes
+//  of approximately one hundred entries ... The duration of each simulation
+//  was ten thousand operations, and the members of quorums and the keys to
+//  insert, update, or delete were selected randomly from a uniform
+//  distribution."
+//
+// The driver fills the directory to the target size and then issues a
+// random operation mix while holding the size in a tight band around the
+// target: half the operations are churn (insert when at/below target,
+// delete when above - so inserts and deletes alternate at steady state),
+// the rest split between updates and lookups of uniformly-chosen existing
+// keys. Keys are drawn uniformly from a large space. An optional local
+// model cross-checks every lookup (used by correctness tests; benches turn
+// it off for speed, though it is cheap).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "wl/directory_client.h"
+#include "wl/key_gen.h"
+
+namespace repdir::wl {
+
+struct WorkloadOptions {
+  std::size_t target_size = 100;
+  std::uint64_t operations = 10'000;
+  double update_fraction = 0.25;  ///< Of all operations.
+  double lookup_fraction = 0.25;  ///< Of all operations. Rest is churn.
+  std::uint64_t seed = 1;
+  std::uint64_t key_space = 1'000'000'000ull;
+  bool verify_against_model = false;
+};
+
+struct WorkloadReport {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t failures = 0;      ///< Ops that returned an error.
+  std::uint64_t mismatches = 0;    ///< Lookups disagreeing with the model.
+};
+
+class SteadyStateWorkload {
+ public:
+  SteadyStateWorkload(DirectoryClient& dir, WorkloadOptions options)
+      : dir_(&dir), options_(options), rng_(options.seed) {}
+
+  /// Inserts distinct uniform keys until the directory holds target_size
+  /// entries.
+  Status Fill();
+
+  /// Issues options_.operations operations. Returns the first hard error
+  /// (model mismatch or unexpected status); quorum unavailability counts as
+  /// a failure but does not stop the run.
+  Status Run() { return RunOps(options_.operations); }
+
+  /// Issues `n` operations (chunked runs: callers may change deployment
+  /// conditions - e.g. node availability - between chunks).
+  Status RunOps(std::uint64_t n);
+
+  const WorkloadReport& report() const { return report_; }
+
+  /// Keys currently live according to the driver's model.
+  std::size_t live_size() const { return live_.size(); }
+
+  /// The authoritative model (populated when verify_against_model is on).
+  const std::map<UserKey, Value>& model() const { return model_; }
+
+  /// Currently live keys (always maintained).
+  const std::vector<UserKey>& live_keys() const { return live_; }
+
+ private:
+  UserKey FreshKey();
+  const UserKey& RandomLiveKey();
+  Status DoInsert();
+  Status DoDelete();
+  Status DoUpdate();
+  Status DoLookup();
+
+  DirectoryClient* dir_;
+  WorkloadOptions options_;
+  Rng rng_;
+  WorkloadReport report_;
+
+  // The driver's model of the directory: keys in a vector for O(1) uniform
+  // choice, plus the authoritative map when verification is on.
+  std::vector<UserKey> live_;
+  std::map<UserKey, std::size_t> live_index_;
+  std::map<UserKey, Value> model_;
+  std::uint64_t value_counter_ = 0;
+};
+
+}  // namespace repdir::wl

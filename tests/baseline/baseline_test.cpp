@@ -1,0 +1,190 @@
+// Baselines: Gifford voting file, directory-on-a-file, primary copy,
+// unanimous configs.
+#include <gtest/gtest.h>
+
+#include "baseline/file_directory.h"
+#include "baseline/primary_copy.h"
+#include "baseline/unanimous.h"
+#include "baseline/voting_file.h"
+#include "net/inproc_transport.h"
+#include "sim/network_model.h"
+
+namespace repdir::baseline {
+namespace {
+
+class VotingFileTest : public ::testing::Test {
+ protected:
+  VotingFileTest() : transport_(nullptr, &network_) {
+    for (NodeId id : {1u, 2u, 3u}) {
+      nodes_.push_back(std::make_unique<FileRepNode>(
+          id, /*detector=*/nullptr, /*blocking_locks=*/false));
+      transport_.RegisterNode(id, nodes_.back()->server());
+    }
+  }
+
+  VotingFile MakeFile(NodeId client, std::uint64_t seed = 42) {
+    VotingFile::Options options;
+    options.config = rep::QuorumConfig::Uniform(3, 2, 2);
+    options.policy_seed = seed;
+    return VotingFile(transport_, client, std::move(options));
+  }
+
+  sim::NetworkModel network_;
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<FileRepNode>> nodes_;
+};
+
+TEST_F(VotingFileTest, ReadAfterWriteRoundTrips) {
+  VotingFile file = MakeFile(100);
+  ASSERT_TRUE(file.Write("hello").ok());
+  const auto r = file.Read();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+}
+
+TEST_F(VotingFileTest, VersionsAdvancePerWrite) {
+  VotingFile file = MakeFile(100);
+  ASSERT_TRUE(file.Write("a").ok());
+  ASSERT_TRUE(file.Write("b").ok());
+  ASSERT_TRUE(file.Write("c").ok());
+  Version max_version = 0;
+  int holders = 0;
+  for (const auto& node : nodes_) {
+    max_version = std::max(max_version, node->version());
+    if (node->version() == 3) ++holders;
+  }
+  EXPECT_EQ(max_version, 3u);
+  EXPECT_GE(holders, 2);  // a write quorum holds version 3
+  EXPECT_EQ(*file.Read(), "c");
+}
+
+TEST_F(VotingFileTest, SurvivesStaleMinority) {
+  VotingFile file = MakeFile(100);
+  ASSERT_TRUE(file.Write("v1").ok());
+  network_.SetNodeUp(3, false);
+  ASSERT_TRUE(file.Write("v2").ok());
+  network_.SetNodeUp(3, true);
+  // Any read quorum includes a current copy (R=2 of 3).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    VotingFile reader = MakeFile(101, seed);
+    EXPECT_EQ(*reader.Read(), "v2");
+  }
+}
+
+TEST_F(VotingFileTest, UnavailableWithoutQuorum) {
+  VotingFile file = MakeFile(100);
+  ASSERT_TRUE(file.Write("v").ok());
+  network_.SetNodeUp(1, false);
+  network_.SetNodeUp(2, false);
+  EXPECT_EQ(file.Read().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(file.Write("w").code(), StatusCode::kUnavailable);
+}
+
+TEST_F(VotingFileTest, ModifyIsAtomicReadModifyWrite) {
+  VotingFile file = MakeFile(100);
+  ASSERT_TRUE(file.Write("10").ok());
+  ASSERT_TRUE(file.Modify([](std::string& content) {
+    content = std::to_string(std::stoi(content) + 5);
+    return Status::Ok();
+  }).ok());
+  EXPECT_EQ(*file.Read(), "15");
+
+  // A failing modification leaves the file untouched.
+  ASSERT_FALSE(file.Modify([](std::string&) {
+    return Status::InvalidArgument("no");
+  }).ok());
+  EXPECT_EQ(*file.Read(), "15");
+}
+
+class FileDirectoryTest : public VotingFileTest {
+ protected:
+  FileDirectory MakeDirectory(NodeId client) {
+    VotingFile::Options options;
+    options.config = rep::QuorumConfig::Uniform(3, 2, 2);
+    return FileDirectory(transport_, client, std::move(options));
+  }
+};
+
+TEST_F(FileDirectoryTest, DirectorySemanticsMatchSuite) {
+  FileDirectory dir = MakeDirectory(100);
+  EXPECT_FALSE(dir.Lookup("k")->found);
+  ASSERT_TRUE(dir.Insert("k", "v1").ok());
+  EXPECT_EQ(dir.Insert("k", "v2").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dir.Lookup("k")->value, "v1");
+  ASSERT_TRUE(dir.Update("k", "v2").ok());
+  EXPECT_EQ(dir.Lookup("k")->value, "v2");
+  EXPECT_EQ(dir.Update("x", "v").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(dir.Delete("k").ok());
+  EXPECT_EQ(dir.Delete("k").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(dir.Lookup("k")->found);
+}
+
+TEST_F(FileDirectoryTest, ManyEntriesSurviveRoundTrips) {
+  FileDirectory dir = MakeDirectory(100);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(dir.Insert("k" + std::to_string(i), std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 50; i += 3) {
+    ASSERT_TRUE(dir.Delete("k" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto r = dir.Lookup("k" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->found, i % 3 != 0) << i;
+  }
+}
+
+TEST(FileDirectoryImage, CodecRejectsCorruption) {
+  const auto image = FileDirectory::EncodeImage({{"a", "1"}, {"b", "2"}});
+  const auto decoded = FileDirectory::DecodeImage(image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 2u);
+  EXPECT_FALSE(FileDirectory::DecodeImage(image + "junk").ok());
+  EXPECT_TRUE(FileDirectory::DecodeImage("")->empty());
+}
+
+TEST(PrimaryCopy, SecondariesLagUntilRelay) {
+  PrimaryCopyDirectory dir(3);
+  ASSERT_TRUE(dir.Insert("k", "v1").ok());
+
+  // Primary is fresh; secondaries are stale until the relay flushes.
+  EXPECT_TRUE(dir.Lookup(0, "k")->found);
+  EXPECT_FALSE(dir.Lookup(0, "k")->stale);
+  const auto stale = dir.Lookup(1, "k");
+  EXPECT_FALSE(stale->found);
+  EXPECT_TRUE(stale->stale);
+  EXPECT_EQ(dir.pending_relays(), 1u);
+
+  dir.FlushRelays();
+  EXPECT_TRUE(dir.Lookup(1, "k")->found);
+  EXPECT_FALSE(dir.Lookup(1, "k")->stale);
+  EXPECT_EQ(dir.stale_reads(), 1u);
+}
+
+TEST(PrimaryCopy, PartialFlushAppliesInOrder) {
+  PrimaryCopyDirectory dir(2);
+  ASSERT_TRUE(dir.Insert("k", "v1").ok());
+  ASSERT_TRUE(dir.Update("k", "v2").ok());
+  ASSERT_TRUE(dir.Delete("k").ok());
+  EXPECT_EQ(dir.pending_relays(), 3u);
+
+  dir.FlushRelays(1);
+  EXPECT_EQ(dir.Lookup(1, "k")->value, "v1");
+  dir.FlushRelays(1);
+  EXPECT_EQ(dir.Lookup(1, "k")->value, "v2");
+  dir.FlushRelays();
+  EXPECT_FALSE(dir.Lookup(1, "k")->found);
+  EXPECT_FALSE(dir.Lookup(1, "k")->stale);
+}
+
+TEST(PrimaryCopy, SemanticsAtPrimary) {
+  PrimaryCopyDirectory dir(2);
+  EXPECT_EQ(dir.Update("k", "v").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(dir.Insert("k", "v").ok());
+  EXPECT_EQ(dir.Insert("k", "w").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(dir.Delete("k").ok());
+  EXPECT_EQ(dir.Delete("k").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace repdir::baseline

@@ -1,0 +1,143 @@
+// ByteWriter / ByteReader / CRC32C: round trips, bounds checking, varints.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace repdir {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutBool(true);
+  w.PutBool(false);
+
+  ByteReader r(w.data());
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  bool b1 = false;
+  bool b2 = true;
+  ASSERT_TRUE(r.GetU8(u8).ok());
+  ASSERT_TRUE(r.GetU32(u32).ok());
+  ASSERT_TRUE(r.GetU64(u64).ok());
+  ASSERT_TRUE(r.GetBool(b1).ok());
+  ASSERT_TRUE(r.GetBool(b2).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(Bytes, VarintBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xffffffffULL,
+                                  0xffffffffffffffffULL};
+  for (const std::uint64_t v : values) {
+    ByteWriter w;
+    w.PutVarint(v);
+    ByteReader r(w.data());
+    std::uint64_t out = 0;
+    ASSERT_TRUE(r.GetVarint(out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Bytes, VarintSizeIsMinimal) {
+  ByteWriter w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Bytes, StringsWithEmbeddedNulAndUnicode) {
+  const std::string tricky("a\0b\xc3\xa9", 5);
+  ByteWriter w;
+  w.PutString(tricky);
+  w.PutString("");
+  ByteReader r(w.data());
+  std::string s1;
+  std::string s2 = "junk";
+  ASSERT_TRUE(r.GetString(s1).ok());
+  ASSERT_TRUE(r.GetString(s2).ok());
+  EXPECT_EQ(s1, tricky);
+  EXPECT_EQ(s2, "");
+}
+
+TEST(Bytes, ReaderRejectsTruncation) {
+  ByteWriter w;
+  w.PutU64(1);
+  ByteReader r(w.data().data(), 3);  // truncated
+  std::uint64_t v = 0;
+  EXPECT_EQ(r.GetU64(v).code(), StatusCode::kCorruption);
+}
+
+TEST(Bytes, ReaderRejectsStringLengthBeyondBuffer) {
+  ByteWriter w;
+  w.PutVarint(1000);  // claims 1000 bytes follow
+  w.PutRaw("abc", 3);
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_EQ(r.GetString(s).code(), StatusCode::kCorruption);
+}
+
+TEST(Bytes, ReaderRejectsOverlongVarint) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates
+  ByteReader r(bad);
+  std::uint64_t v = 0;
+  EXPECT_EQ(r.GetVarint(v).code(), StatusCode::kCorruption);
+}
+
+TEST(Bytes, ExpectEndCatchesTrailingGarbage) {
+  ByteWriter w;
+  w.PutU8(1);
+  w.PutU8(2);
+  ByteReader r(w.data());
+  std::uint8_t v = 0;
+  ASSERT_TRUE(r.GetU8(v).ok());
+  EXPECT_EQ(r.ExpectEnd().code(), StatusCode::kCorruption);
+}
+
+TEST(Bytes, BoolRejectsNonBinary) {
+  ByteWriter w;
+  w.PutU8(2);
+  ByteReader r(w.data());
+  bool b = false;
+  EXPECT_EQ(r.GetBool(b).code(), StatusCode::kCorruption);
+}
+
+TEST(Crc32c, KnownVectorsAndSensitivity) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // Any single-bit flip changes the checksum.
+  const std::string data = "the quick brown fox";
+  const std::uint32_t base = Crc32c(data.data(), data.size());
+  std::string flipped = data;
+  flipped[5] ^= 0x01;
+  EXPECT_NE(Crc32c(flipped.data(), flipped.size()), base);
+}
+
+TEST(Bytes, TakeResetsWriter) {
+  ByteWriter w;
+  w.PutU8(1);
+  const auto bytes = w.Take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+  w.PutU8(2);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+}  // namespace
+}  // namespace repdir

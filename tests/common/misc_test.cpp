@@ -1,0 +1,89 @@
+// Clocks, logging, serde helpers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace repdir {
+namespace {
+
+TEST(VirtualClockTest, AdvancesManually) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.AdvanceBy(100);
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.AdvanceTo(5000);
+  EXPECT_EQ(clock.Now(), 5000u);
+  const Clock& as_interface = clock;
+  EXPECT_EQ(as_interface.Now(), 5000u);
+}
+
+TEST(RealClockTest, MonotonicAndMoving) {
+  RealClock& clock = RealClock::Instance();
+  const TimeMicros a = clock.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const TimeMicros b = clock.Now();
+  EXPECT_GT(b, a);
+}
+
+TEST(LoggingTest, LevelsGateOutput) {
+  Logger& logger = Logger::Instance();
+  const LogLevel old_level = logger.level();
+
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+
+  // The macro must not evaluate its stream when disabled.
+  int evaluations = 0;
+  auto probe = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  REPDIR_DEBUG() << "never " << probe();
+  EXPECT_EQ(evaluations, 0);
+  REPDIR_WARN() << "logged once " << probe();
+  EXPECT_EQ(evaluations, 1);
+
+  logger.set_level(old_level);
+}
+
+struct Pair {
+  std::uint32_t a = 0;
+  std::string b;
+  void Encode(ByteWriter& w) const {
+    w.PutU32(a);
+    w.PutString(b);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetU32(a));
+    return r.GetString(b);
+  }
+};
+
+TEST(SerdeTest, RoundTripAndTrailingGarbage) {
+  static_assert(WireMessage<Pair>);
+  static_assert(WireMessage<EmptyMessage>);
+
+  const Pair p{7, "seven"};
+  const std::string bytes = EncodeToString(p);
+  Pair out;
+  ASSERT_TRUE(DecodeFromString(bytes, out).ok());
+  EXPECT_EQ(out.a, 7u);
+  EXPECT_EQ(out.b, "seven");
+
+  Pair bad;
+  EXPECT_EQ(DecodeFromString(bytes + "x", bad).code(),
+            StatusCode::kCorruption);
+
+  EmptyMessage empty;
+  EXPECT_TRUE(DecodeFromString(EncodeToString(empty), empty).ok());
+}
+
+}  // namespace
+}  // namespace repdir

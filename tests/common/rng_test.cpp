@@ -1,0 +1,127 @@
+// Rng: determinism, ranges, sampling, distribution sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace repdir {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Range(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.contains(5));
+  EXPECT_TRUE(seen.contains(8));
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  Rng rng2(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.Chance(0.0));
+    EXPECT_TRUE(rng2.Chance(1.0));
+  }
+}
+
+TEST(Rng, SampleIsDistinctAndComplete) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.Sample(10, 4);
+    EXPECT_EQ(sample.size(), 4u);
+    const std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (const std::size_t s : sample) EXPECT_LT(s, 10u);
+  }
+  const auto all = rng.Sample(5, 5);
+  EXPECT_EQ(std::set<std::size_t>(all.begin(), all.end()).size(), 5u);
+  EXPECT_TRUE(rng.Sample(5, 0).empty());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  auto reshuffled = v;
+  std::sort(reshuffled.begin(), reshuffled.end());
+  EXPECT_EQ(reshuffled, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(14);
+  std::vector<int> v(52);
+  for (int i = 0; i < 52; ++i) v[i] = i;
+  const auto original = v;
+  int unchanged_runs = 0;
+  for (int t = 0; t < 10; ++t) {
+    rng.Shuffle(v);
+    if (v == original) ++unchanged_runs;
+  }
+  EXPECT_EQ(unchanged_runs, 0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000, 4.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(16);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace repdir

@@ -1,0 +1,99 @@
+// RunningStat and CountHistogram.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace repdir {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-sd example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5.0;
+    all.Add(x);
+    (i < 40 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStat, NumericalStabilityOnLargeOffsets) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));  // values 1e9, 1e9+1
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.stddev(), 0.5, 1e-6);
+}
+
+TEST(CountHistogram, BucketsAndOverflow) {
+  CountHistogram h(4);
+  for (const int v : {0, 1, 1, 2, 9, 100}) h.Add(v);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);  // overflow bucket: 9 and 100
+}
+
+TEST(CountHistogram, Quantile) {
+  CountHistogram h(16);
+  for (int i = 0; i < 90; ++i) h.Add(1);
+  for (int i = 0; i < 10; ++i) h.Add(8);
+  EXPECT_EQ(h.Quantile(0.5), 1u);
+  EXPECT_EQ(h.Quantile(0.99), 8u);
+}
+
+TEST(CountHistogram, ToStringSkipsEmptyBuckets) {
+  CountHistogram h(8);
+  h.Add(2);
+  h.Add(2);
+  h.Add(5);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("2:2"), std::string::npos);
+  EXPECT_NE(s.find("5:1"), std::string::npos);
+  EXPECT_EQ(s.find("3:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repdir

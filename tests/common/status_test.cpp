@@ -1,0 +1,80 @@
+// Status / Result and the propagation macros.
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace repdir {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::NotFound("no such key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such key");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such key");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r(Status::Unavailable("down"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  REPDIR_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return 2 * x;
+}
+
+Result<int> Chain(int x) {
+  REPDIR_ASSIGN_OR_RETURN(const int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_EQ(DoubleIfPositive(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Macros, AssignOrReturnBindsAndPropagates) {
+  const auto ok = Chain(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_EQ(Chain(-2).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace repdir

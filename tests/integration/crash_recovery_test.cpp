@@ -1,0 +1,160 @@
+// Crash/recovery integration: a representative crashes (volatile state and
+// unflushed log lost), the suite keeps serving on the survivors, and the
+// crashed node recovers its durable state from the WAL and rejoins.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+DirRepNodeOptions WalNodeOptions() {
+  DirRepNodeOptions options = SuiteHarness::DefaultNodeOptions();
+  options.enable_wal = true;
+  return options;
+}
+
+class CrashRecovery : public ::testing::Test {
+ protected:
+  CrashRecovery()
+      : harness_(QuorumConfig::Uniform(3, 2, 2), WalNodeOptions()),
+        suite_(harness_.NewSuite(100)) {}
+
+  /// Commits every executed transaction's effects durably: the suite's 2PC
+  /// appends commit records; a checkpoint also compacts the log.
+  void CheckpointAll() {
+    for (const auto& replica : harness_.config().replicas()) {
+      ASSERT_TRUE(
+          harness_.node(replica.node).participant().WriteCheckpoint().ok());
+    }
+  }
+
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST_F(CrashRecovery, CrashedNodeRecoversCommittedState) {
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  ASSERT_TRUE(suite_->Insert("b", "2").ok());
+  ASSERT_TRUE(suite_->Update("a", "1b").ok());
+  ASSERT_TRUE(suite_->Delete("b").ok());
+
+  const auto before = harness_.node(1).storage().Scan();
+
+  harness_.network().SetNodeUp(1, false);
+  harness_.node(1).Crash();
+  EXPECT_EQ(harness_.node(1).storage().UserEntryCount(), 0u);
+
+  const auto outcome = harness_.node(1).Recover();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->in_doubt.empty());
+  EXPECT_EQ(harness_.node(1).storage().Scan(), before);
+
+  harness_.network().SetNodeUp(1, true);
+  std::map<UserKey, Value> model{{"a", "1b"}};
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+TEST_F(CrashRecovery, SuiteServesThroughCrashAndNodeRejoins) {
+  ASSERT_TRUE(suite_->Insert("k1", "v1").ok());
+
+  // Node 3 dies; the suite keeps going on {1, 2}.
+  harness_.network().SetNodeUp(3, false);
+  harness_.node(3).Crash();
+  ASSERT_TRUE(suite_->Insert("k2", "v2").ok());
+  ASSERT_TRUE(suite_->Update("k1", "v1b").ok());
+  ASSERT_TRUE(suite_->Delete("k2").ok());
+
+  // Node 3 recovers its pre-crash durable state and rejoins. Its state is
+  // stale, but version numbers make that harmless.
+  ASSERT_TRUE(harness_.node(3).Recover().ok());
+  harness_.network().SetNodeUp(3, true);
+
+  std::map<UserKey, Value> model{{"k1", "v1b"}};
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+
+  // And it participates in new writes.
+  auto [suite2, policy] = harness_.NewScriptedSuite(101);
+  policy->SetDefault({3, 1, 2});
+  ASSERT_TRUE(suite2->Insert("k3", "v3").ok());
+  EXPECT_TRUE(
+      harness_.node(3).storage().Get(RepKey::User("k3")).has_value());
+}
+
+TEST_F(CrashRecovery, CheckpointCompactsAndRecovers) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(suite_->Insert("key" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 20; i += 2) {
+    ASSERT_TRUE(suite_->Delete("key" + std::to_string(i)).ok());
+  }
+  CheckpointAll();
+  const std::size_t log_after_ckpt = harness_.node(2).log_device()->durable_size();
+
+  // More committed work after the checkpoint.
+  ASSERT_TRUE(suite_->Insert("post", "v").ok());
+
+  harness_.network().SetNodeUp(2, false);
+  const auto before = harness_.node(2).storage().Scan();
+  harness_.node(2).Crash();
+  const auto outcome = harness_.node(2).Recover();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->restored_checkpoint);
+  EXPECT_EQ(harness_.node(2).storage().Scan(), before);
+  EXPECT_GT(log_after_ckpt, 0u);
+  harness_.network().SetNodeUp(2, true);
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(CrashRecovery, RepeatedCrashRecoverCyclesAreStable) {
+  std::map<UserKey, Value> model;
+  for (int round = 0; round < 5; ++round) {
+    const std::string key = "round" + std::to_string(round);
+    ASSERT_TRUE(suite_->Insert(key, "v").ok());
+    model[key] = "v";
+
+    const NodeId victim = static_cast<NodeId>(1 + (round % 3));
+    harness_.network().SetNodeUp(victim, false);
+    harness_.node(victim).Crash();
+    ASSERT_TRUE(harness_.node(victim).Recover().ok());
+    harness_.network().SetNodeUp(victim, true);
+
+    ASSERT_TRUE(AllQuorumsAgree(harness_, model)) << "round " << round;
+  }
+}
+
+TEST_F(CrashRecovery, WorkloadSurvivesMidRunCrash) {
+  // A longer run where a node crashes (losing whatever was unflushed) and
+  // recovers mid-workload; the suite must stay correct throughout.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(suite_->Insert("k" + std::to_string(i), "v").ok());
+  }
+  std::map<UserKey, Value> model;
+  for (int i = 0; i < 30; ++i) model["k" + std::to_string(i)] = "v";
+
+  harness_.network().SetNodeUp(2, false);
+  harness_.node(2).Crash();
+
+  for (int i = 0; i < 30; i += 3) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(suite_->Delete(key).ok());
+    model.erase(key);
+  }
+
+  ASSERT_TRUE(harness_.node(2).Recover().ok());
+  harness_.network().SetNodeUp(2, true);
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+
+  for (int i = 1; i < 30; i += 3) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(suite_->Update(key, "v2").ok());
+    model[key] = "v2";
+  }
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,101 @@
+// Scale smoke tests: bigger structures and wider suites than the unit
+// tests touch, still fast enough for CI.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "storage/btree_storage.h"
+#include "suite_harness.h"
+#include "wl/adapters.h"
+#include "wl/key_gen.h"
+#include "wl/workload.h"
+
+namespace repdir::test {
+namespace {
+
+TEST(Scale, BTreeTenThousandEntriesStaysSound) {
+  storage::BTreeStorage tree(16);
+  Rng rng(1);
+  // Random insertion order of 10k keys.
+  std::vector<std::uint64_t> keys(10'000);
+  for (std::uint64_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  rng.Shuffle(keys);
+  for (const std::uint64_t k : keys) {
+    tree.Put(storage::StoredEntry{storage::RepKey::User(wl::NumericKey(k)),
+                                  1, "v", 0});
+  }
+  EXPECT_EQ(tree.UserEntryCount(), 10'000u);
+  EXPECT_TRUE(tree.CheckStructure());
+  EXPECT_GE(tree.Height(), 3);
+
+  // Delete a random half, verify structure and the survivors.
+  rng.Shuffle(keys);
+  for (std::size_t i = 0; i < keys.size() / 2; ++i) {
+    tree.Erase(storage::RepKey::User(wl::NumericKey(keys[i])));
+  }
+  EXPECT_TRUE(tree.CheckStructure());
+  EXPECT_EQ(tree.UserEntryCount(), 5'000u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool deleted = i < keys.size() / 2;
+    EXPECT_EQ(
+        tree.Get(storage::RepKey::User(wl::NumericKey(keys[i]))).has_value(),
+        !deleted);
+  }
+}
+
+TEST(Scale, SevenReplicaSuiteWithModelCheck) {
+  SuiteHarness harness(QuorumConfig::Uniform(7, 4, 4));
+  auto suite = harness.NewSuite(100, nullptr, 31);
+  wl::SuiteClient client(*suite);
+
+  wl::WorkloadOptions options;
+  options.target_size = 60;
+  options.operations = 1'200;
+  options.verify_against_model = true;
+  options.key_space = 3'000;
+  wl::SteadyStateWorkload workload(client, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_EQ(workload.report().mismatches, 0u);
+  EXPECT_TRUE(AllRepsWellFormed(harness));
+  // 2^7 quorum subsets x all keys: still fast, very thorough.
+  EXPECT_TRUE(AllQuorumsAgree(harness, workload.model()));
+}
+
+TEST(Scale, ZipfianHotKeyChurnStaysConsistent) {
+  // Heavy-skew single-client churn: the same few keys are inserted,
+  // updated, and deleted over and over through ever-changing quorums -
+  // worst case for ghost accumulation on one spot of the key space.
+  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+  auto suite = harness.NewSuite(100, nullptr, 17);
+  Rng rng(23);
+  wl::ZipfianKeys hot(20, 0.99);
+
+  std::map<UserKey, Value> model;
+  for (int step = 0; step < 3'000; ++step) {
+    const UserKey key = hot.Next(rng);
+    if (model.contains(key)) {
+      if (rng.Chance(0.5)) {
+        ASSERT_TRUE(suite->Update(key, std::to_string(step)).ok());
+        model[key] = std::to_string(step);
+      } else {
+        ASSERT_TRUE(suite->Delete(key).ok());
+        model.erase(key);
+      }
+    } else {
+      ASSERT_TRUE(suite->Insert(key, std::to_string(step)).ok());
+      model[key] = std::to_string(step);
+    }
+  }
+  EXPECT_TRUE(AllRepsWellFormed(harness));
+  EXPECT_TRUE(AllQuorumsAgree(harness, model));
+  // Churned keys have high versions; they must not have overflowed into
+  // pathological structures (a few ghosts at most per representative).
+  for (const auto& replica : harness.config().replicas()) {
+    EXPECT_LE(harness.node(replica.node).storage().UserEntryCount(),
+              model.size() + 20)
+        << harness.Dump(replica.node);
+  }
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,209 @@
+// Serializability under concurrency: the classic bank-transfer invariant.
+//
+// N accounts live in the replicated directory; worker threads move money
+// between random account pairs inside SuiteTxn transactions (read both,
+// write both). Under strict 2PL + 2PC, every committed transfer preserves
+// the total balance; aborted transfers (deadlock victims, conflicts) must
+// leave no trace. At the end the sum of balances must be exactly the
+// initial total on every read quorum.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lock/deadlock.h"
+#include "net/threaded_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+
+namespace repdir::test {
+namespace {
+
+using rep::DirectorySuite;
+using rep::DirRepNode;
+using rep::DirRepNodeOptions;
+using rep::QuorumConfig;
+using rep::SuiteTxn;
+
+constexpr int kAccounts = 8;
+constexpr int kInitialBalance = 100;
+
+std::string AccountKey(int i) { return "acct-" + std::to_string(i); }
+
+class TransferDeployment {
+ public:
+  TransferDeployment() : config_(QuorumConfig::Uniform(3, 2, 2)) {
+    DirRepNodeOptions options;
+    options.detector = &detector_;
+    options.participant.blocking_locks = true;
+    options.participant.lock_timeout_micros = 5'000'000;
+    for (const auto& replica : config_.replicas()) {
+      nodes_.push_back(std::make_unique<DirRepNode>(replica.node, options));
+      transport_.RegisterNode(replica.node, nodes_.back()->server());
+    }
+  }
+
+  std::unique_ptr<DirectorySuite> NewSuite(NodeId client, std::uint64_t seed) {
+    DirectorySuite::Options options;
+    options.config = config_;
+    options.policy_seed = seed;
+    return std::make_unique<DirectorySuite>(transport_, client,
+                                            std::move(options));
+  }
+
+ private:
+  QuorumConfig config_;
+  lock::DeadlockDetector detector_;
+  net::ThreadedTransport transport_;
+  std::vector<std::unique_ptr<DirRepNode>> nodes_;
+};
+
+TEST(Serializability, ConcurrentTransfersPreserveTotalBalance) {
+  TransferDeployment deploy;
+  {
+    auto seeder = deploy.NewSuite(99, 1);
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_TRUE(
+          seeder->Insert(AccountKey(i), std::to_string(kInitialBalance)).ok());
+    }
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 40;
+  std::atomic<int> committed{0};
+  std::atomic<int> aborted{0};
+  std::atomic<int> unexpected{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto suite = deploy.NewSuite(static_cast<NodeId>(100 + t), 100 + t);
+      Rng rng(7000 + t);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        const int from = static_cast<int>(rng.Below(kAccounts));
+        int to = static_cast<int>(rng.Below(kAccounts));
+        if (to == from) to = (to + 1) % kAccounts;
+        const int amount = 1 + static_cast<int>(rng.Below(20));
+
+        SuiteTxn txn = suite->Begin();
+        const auto from_balance = txn.Lookup(AccountKey(from));
+        const auto to_balance = txn.Lookup(AccountKey(to));
+        if (!from_balance.ok() || !to_balance.ok()) {
+          ++aborted;  // lock conflict / deadlock victim
+          continue;   // txn already aborted by the poison rule
+        }
+        const int from_val = std::stoi(from_balance->value);
+        const int to_val = std::stoi(to_balance->value);
+        if (!txn.Update(AccountKey(from), std::to_string(from_val - amount))
+                 .ok() ||
+            !txn.Update(AccountKey(to), std::to_string(to_val + amount))
+                 .ok()) {
+          ++aborted;
+          continue;
+        }
+        const Status st = txn.Commit();
+        if (st.ok()) {
+          ++committed;
+        } else if (st.code() == StatusCode::kAborted) {
+          ++aborted;
+        } else {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_GT(committed.load(), 0);
+
+  // Audit from several different (randomly quorumed) readers: the books
+  // must balance everywhere.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto auditor = deploy.NewSuite(static_cast<NodeId>(900 + seed), seed);
+    int total = 0;
+    for (int i = 0; i < kAccounts; ++i) {
+      const auto r = auditor->Lookup(AccountKey(i));
+      ASSERT_TRUE(r.ok());
+      ASSERT_TRUE(r->found);
+      total += std::stoi(r->value);
+    }
+    EXPECT_EQ(total, kAccounts * kInitialBalance) << "auditor seed " << seed;
+  }
+}
+
+TEST(Serializability, ReadOnlyAuditDuringTransfersSeesConsistentTotal) {
+  TransferDeployment deploy;
+  {
+    auto seeder = deploy.NewSuite(99, 1);
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_TRUE(
+          seeder->Insert(AccountKey(i), std::to_string(kInitialBalance)).ok());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> audits_ok{0};
+  std::atomic<int> audits_inconsistent{0};
+
+  // Auditor thread: reads ALL accounts inside one transaction; strict 2PL
+  // means the snapshot it sees must sum to the invariant.
+  std::thread auditor([&] {
+    auto suite = deploy.NewSuite(900, 55);
+    while (!stop.load()) {
+      SuiteTxn txn = suite->Begin();
+      int total = 0;
+      bool complete = true;
+      for (int i = 0; i < kAccounts; ++i) {
+        const auto r = txn.Lookup(AccountKey(i));
+        if (!r.ok() || !r->found) {
+          complete = false;
+          break;
+        }
+        total += std::stoi(r->value);
+      }
+      if (complete) {
+        (void)txn.Commit();
+        if (total == kAccounts * kInitialBalance) {
+          ++audits_ok;
+        } else {
+          ++audits_inconsistent;
+        }
+      }
+    }
+  });
+
+  std::thread mover([&] {
+    auto suite = deploy.NewSuite(100, 77);
+    Rng rng(4);
+    for (int i = 0; i < 60; ++i) {
+      const int a = static_cast<int>(rng.Below(kAccounts));
+      const int b = (a + 1 + static_cast<int>(rng.Below(kAccounts - 1))) %
+                    kAccounts;
+      SuiteTxn txn = suite->Begin();
+      const auto ra = txn.Lookup(AccountKey(a));
+      const auto rb = txn.Lookup(AccountKey(b));
+      if (!ra.ok() || !rb.ok()) continue;
+      if (!txn.Update(AccountKey(a),
+                      std::to_string(std::stoi(ra->value) - 5))
+               .ok()) {
+        continue;
+      }
+      if (!txn.Update(AccountKey(b),
+                      std::to_string(std::stoi(rb->value) + 5))
+               .ok()) {
+        continue;
+      }
+      (void)txn.Commit();
+    }
+    stop.store(true);
+  });
+
+  mover.join();
+  auditor.join();
+  EXPECT_EQ(audits_inconsistent.load(), 0);
+  EXPECT_GT(audits_ok.load(), 0);
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,87 @@
+// KeyRange semantics and the Figure 7 compatibility relation, checked
+// exhaustively over mode pairs and range relationships.
+#include <gtest/gtest.h>
+
+#include "lock/range_lock.h"
+
+namespace repdir::lock {
+namespace {
+
+KeyRange R(const std::string& lo, const std::string& hi) {
+  return KeyRange{RepKey::User(lo), RepKey::User(hi)};
+}
+
+TEST(KeyRange, ContainsIsInclusive) {
+  const KeyRange r = R("b", "d");
+  EXPECT_TRUE(r.Contains(RepKey::User("b")));
+  EXPECT_TRUE(r.Contains(RepKey::User("c")));
+  EXPECT_TRUE(r.Contains(RepKey::User("d")));
+  EXPECT_FALSE(r.Contains(RepKey::User("a")));
+  EXPECT_FALSE(r.Contains(RepKey::User("e")));
+}
+
+TEST(KeyRange, PointRange) {
+  const KeyRange p = KeyRange::Point(RepKey::User("x"));
+  EXPECT_TRUE(p.Valid());
+  EXPECT_TRUE(p.Contains(RepKey::User("x")));
+  EXPECT_FALSE(p.Contains(RepKey::User("y")));
+}
+
+TEST(KeyRange, SentinelSpanningRange) {
+  const KeyRange all{RepKey::Low(), RepKey::High()};
+  EXPECT_TRUE(all.Valid());
+  EXPECT_TRUE(all.Contains(RepKey::User("anything")));
+  EXPECT_TRUE(all.Intersects(R("a", "b")));
+}
+
+TEST(KeyRange, IntersectionCases) {
+  EXPECT_TRUE(R("a", "c").Intersects(R("b", "d")));   // overlap
+  EXPECT_TRUE(R("a", "c").Intersects(R("c", "d")));   // touch at endpoint
+  EXPECT_TRUE(R("a", "d").Intersects(R("b", "c")));   // containment
+  EXPECT_TRUE(R("b", "c").Intersects(R("a", "d")));   // contained
+  EXPECT_FALSE(R("a", "b").Intersects(R("c", "d")));  // disjoint
+  EXPECT_FALSE(R("c", "d").Intersects(R("a", "b")));  // disjoint, reversed
+}
+
+TEST(KeyRange, InvalidWhenReversed) {
+  const KeyRange reversed{RepKey::User("b"), RepKey::User("a")};
+  const KeyRange sentinels_reversed{RepKey::High(), RepKey::Low()};
+  EXPECT_FALSE(reversed.Valid());
+  EXPECT_FALSE(sentinels_reversed.Valid());
+}
+
+// Figure 7, exhaustively: for each (held mode, requested mode) pair and
+// each range relationship (intersecting / disjoint), compatibility holds
+// exactly when the ranges are disjoint or both locks are RepLookup.
+TEST(Figure7, CompatibilityMatrix) {
+  const KeyRange held = R("b", "d");
+  const KeyRange intersecting = R("c", "e");
+  const KeyRange disjoint = R("x", "z");
+
+  struct Case {
+    LockMode held_mode;
+    LockMode req_mode;
+    bool intersecting_ranges;
+    bool expect_compatible;
+  };
+  const Case cases[] = {
+      {LockMode::kLookup, LockMode::kLookup, true, true},
+      {LockMode::kLookup, LockMode::kLookup, false, true},
+      {LockMode::kLookup, LockMode::kModify, true, false},
+      {LockMode::kLookup, LockMode::kModify, false, true},
+      {LockMode::kModify, LockMode::kLookup, true, false},
+      {LockMode::kModify, LockMode::kLookup, false, true},
+      {LockMode::kModify, LockMode::kModify, true, false},
+      {LockMode::kModify, LockMode::kModify, false, true},
+  };
+  for (const Case& c : cases) {
+    const KeyRange& req = c.intersecting_ranges ? intersecting : disjoint;
+    EXPECT_EQ(Compatible(c.held_mode, c.req_mode, held, req),
+              c.expect_compatible)
+        << LockModeName(c.held_mode) << " then " << LockModeName(c.req_mode)
+        << (c.intersecting_ranges ? " intersecting" : " disjoint");
+  }
+}
+
+}  // namespace
+}  // namespace repdir::lock

@@ -1,0 +1,245 @@
+// RPC layer: envelope codecs, dispatch, typed client calls, transports,
+// failure injection, retry policy.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/failure_injector.h"
+#include "net/inproc_transport.h"
+#include "net/retry.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "net/threaded_transport.h"
+
+namespace repdir::net {
+namespace {
+
+struct EchoRequest {
+  std::string text;
+  void Encode(ByteWriter& w) const { w.PutString(text); }
+  Status Decode(ByteReader& r) { return r.GetString(text); }
+};
+
+struct EchoReply {
+  std::string text;
+  NodeId caller = 0;
+  TxnId txn = 0;
+  void Encode(ByteWriter& w) const {
+    w.PutString(text);
+    w.PutU32(caller);
+    w.PutU64(txn);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetString(text));
+    REPDIR_RETURN_IF_ERROR(r.GetU32(caller));
+    return r.GetU64(txn);
+  }
+};
+
+constexpr MethodId kEcho = 1;
+constexpr MethodId kFail = 2;
+
+void RegisterEchoService(RpcServer& server) {
+  server.RegisterTyped<EchoRequest, EchoReply>(
+      kEcho, [](const RpcRequest& env, const EchoRequest& req, EchoReply& out) {
+        out.text = req.text;
+        out.caller = env.from;
+        out.txn = env.txn;
+        return Status::Ok();
+      });
+  server.RegisterTyped<Empty, Empty>(
+      kFail, [](const RpcRequest&, const Empty&, Empty&) {
+        return Status::NotFound("handler says no");
+      });
+}
+
+TEST(Envelope, RequestResponseRoundTrip) {
+  RpcRequest req;
+  req.from = 7;
+  req.method = 300;
+  req.txn = 0xdeadbeefcafef00dULL;
+  req.payload = std::string("\x00\x01payload", 9);
+  RpcRequest decoded;
+  ASSERT_TRUE(DecodeFromString(EncodeToString(req), decoded).ok());
+  EXPECT_EQ(decoded.from, req.from);
+  EXPECT_EQ(decoded.method, req.method);
+  EXPECT_EQ(decoded.txn, req.txn);
+  EXPECT_EQ(decoded.payload, req.payload);
+
+  RpcResponse resp;
+  resp.code = StatusCode::kAborted;
+  resp.error_message = "nope";
+  RpcResponse decoded_resp;
+  ASSERT_TRUE(DecodeFromString(EncodeToString(resp), decoded_resp).ok());
+  EXPECT_EQ(decoded_resp.ToStatus().code(), StatusCode::kAborted);
+  EXPECT_EQ(decoded_resp.ToStatus().message(), "nope");
+}
+
+TEST(RpcServer, DispatchesAndReportsUnknownMethod) {
+  RpcServer server(1);
+  RegisterEchoService(server);
+
+  RpcRequest req;
+  req.from = 9;
+  req.method = kEcho;
+  req.payload = EncodeToString(EchoRequest{"hi"});
+  const RpcResponse resp = server.Dispatch(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+
+  req.method = 999;
+  EXPECT_EQ(server.Dispatch(req).code, StatusCode::kInvalidArgument);
+}
+
+TEST(RpcServer, HandlerErrorBecomesResponseCode) {
+  RpcServer server(1);
+  RegisterEchoService(server);
+  RpcRequest req;
+  req.method = kFail;
+  EXPECT_EQ(server.Dispatch(req).code, StatusCode::kNotFound);
+}
+
+TEST(RpcServer, MalformedPayloadIsCorruption) {
+  RpcServer server(1);
+  RegisterEchoService(server);
+  RpcRequest req;
+  req.method = kEcho;
+  req.payload = "\xff";  // bad varint length prefix
+  EXPECT_EQ(server.Dispatch(req).code, StatusCode::kCorruption);
+}
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : server_(1) {
+    RegisterEchoService(server_);
+    transport_.RegisterNode(1, server_);
+  }
+  RpcServer server_;
+  InProcTransport transport_;
+};
+
+TEST_F(TransportTest, TypedCallRoundTrip) {
+  RpcClient client(transport_, 50);
+  const auto reply =
+      client.Call<EchoReply>(1, kEcho, EchoRequest{"hello"}, /*txn=*/77);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->text, "hello");
+  EXPECT_EQ(reply->caller, 50u);
+  EXPECT_EQ(reply->txn, 77u);
+}
+
+TEST_F(TransportTest, ApplicationErrorSurfacesAsStatus) {
+  RpcClient client(transport_, 50);
+  const auto reply = client.Call<Empty>(1, kFail, Empty{});
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TransportTest, UnknownNodeIsUnavailable) {
+  RpcClient client(transport_, 50);
+  EXPECT_EQ(client.Call<Empty>(99, kEcho, EchoRequest{"x"}).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(TransportTest, CountsDeliveries) {
+  RpcClient client(transport_, 50);
+  ASSERT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"a"}).ok());
+  ASSERT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"b"}).ok());
+  EXPECT_EQ(transport_.DeliveredCount(50, 1), 2u);
+  EXPECT_EQ(transport_.DeliveredCount(1, 50), 0u);
+  EXPECT_EQ(transport_.TotalAttempts(), 2u);
+}
+
+TEST(InProcWithNetwork, HonoursModelAndAdvancesClock) {
+  VirtualClock clock;
+  sim::NetworkModel network;
+  network.SetDefaultLink(sim::LinkSpec{100, 0, 0.0});
+  InProcTransport transport(&clock, &network);
+  RpcServer server(1);
+  RegisterEchoService(server);
+  transport.RegisterNode(1, server);
+
+  RpcClient client(transport, 50);
+  ASSERT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+  EXPECT_EQ(clock.Now(), 200u);  // round trip
+
+  network.SetNodeUp(1, false);
+  EXPECT_EQ(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ThreadedTransportTest, ConcurrentCallersAllSucceed) {
+  RpcServer server(1);
+  RegisterEchoService(server);
+  ThreadedTransport transport;
+  transport.RegisterNode(1, server);
+
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RpcClient client(transport, static_cast<NodeId>(100 + t));
+      for (int i = 0; i < kCalls; ++i) {
+        const auto r =
+            client.Call<EchoReply>(1, kEcho, EchoRequest{std::to_string(i)});
+        if (!r.ok() || r->text != std::to_string(i)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(transport.TotalAttempts(), kThreads * kCalls);
+}
+
+TEST(FailureInjectorTest, BlockFailNextAndProbability) {
+  RpcServer server(1);
+  RegisterEchoService(server);
+  InProcTransport inner;
+  inner.RegisterNode(1, server);
+  FailureInjector injector(inner);
+  RpcClient client(injector, 50);
+
+  injector.BlockNode(1);
+  EXPECT_FALSE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+  injector.UnblockNode(1);
+  EXPECT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+
+  injector.FailNext(2);
+  EXPECT_FALSE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+  EXPECT_FALSE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+  EXPECT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+
+  injector.SetFailureProbability(1.0);
+  EXPECT_FALSE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+  injector.SetFailureProbability(0.0);
+  EXPECT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+}
+
+TEST(RetryTest, RetriesTransientOnly) {
+  int calls = 0;
+  const Status st = WithRetry(RetryPolicy{3}, [&] {
+    ++calls;
+    return Status::Unavailable("flaky");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  const Status hard = WithRetry(RetryPolicy{3}, [&] {
+    ++calls;
+    return Status::NotFound("permanent");
+  });
+  EXPECT_EQ(hard.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  const Status ok = WithRetry(RetryPolicy{3}, [&] {
+    ++calls;
+    return calls < 2 ? Status::Unavailable("once") : Status::Ok();
+  });
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace repdir::net

@@ -1,0 +1,105 @@
+// Analytic model: closed-form values, limits, and agreement with the
+// simulation on the statistics the paper reports.
+#include <gtest/gtest.h>
+
+#include "rep/analytic_model.h"
+#include "suite_harness.h"
+#include "wl/adapters.h"
+#include "wl/workload.h"
+
+namespace repdir::rep {
+namespace {
+
+TEST(AnalyticModel, KnownValuesFor322) {
+  // u = 0: every entry written exactly once -> p = W/V = 2/3; ghosts per
+  // delete = (V-W)p = 2/3 - the paper's (pre-steady-state) 10000-entry row.
+  const auto fresh = PredictDeleteOverheads(QuorumConfig::Uniform(3, 2, 2),
+                                            AnalyticInputs{0.0});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NEAR(fresh->present_at_rep, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fresh->deletions_while_coalescing, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fresh->entries_in_ranges_coalesced, 1.0, 1e-12);
+
+  // u = 1 (the Figure 15 style workload): p = 0.8.
+  const auto steady = PredictDeleteOverheads(QuorumConfig::Uniform(3, 2, 2),
+                                             AnalyticInputs{1.0});
+  ASSERT_TRUE(steady.ok());
+  EXPECT_NEAR(steady->present_at_rep, 0.8, 1e-12);
+  EXPECT_NEAR(steady->deletions_while_coalescing, 0.8, 1e-12);
+  EXPECT_NEAR(steady->entries_in_ranges_coalesced, 1.2, 1e-12);
+  EXPECT_NEAR(steady->insertions_while_coalescing, 0.8, 1e-12);
+}
+
+TEST(AnalyticModel, UnanimousWritesHaveNoOverhead) {
+  // W = V: every representative always holds every current entry.
+  for (const double u : {0.0, 1.0, 5.0}) {
+    const auto p = PredictDeleteOverheads(QuorumConfig::Uniform(3, 1, 3),
+                                          AnalyticInputs{u});
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(p->present_at_rep, 1.0, 1e-12);
+    EXPECT_NEAR(p->deletions_while_coalescing, 0.0, 1e-12);
+    EXPECT_NEAR(p->entries_in_ranges_coalesced, 1.0, 1e-12);
+    EXPECT_NEAR(p->insertions_while_coalescing, 0.0, 1e-12);
+  }
+}
+
+TEST(AnalyticModel, MoreUpdatesMeanMorePresence) {
+  const auto config = QuorumConfig::Uniform(5, 3, 3);
+  double last = 0;
+  for (const double u : {0.0, 0.5, 1.0, 2.0, 10.0}) {
+    const auto p = PredictDeleteOverheads(config, AnalyticInputs{u});
+    ASSERT_TRUE(p.ok());
+    EXPECT_GT(p->present_at_rep, last);
+    last = p->present_at_rep;
+  }
+  EXPECT_LT(last, 1.0);
+}
+
+TEST(AnalyticModel, RejectsWeightedAndInvalidInputs) {
+  EXPECT_FALSE(PredictDeleteOverheads(
+                   QuorumConfig({{1, 2}, {2, 1}, {3, 1}}, 2, 3),
+                   AnalyticInputs{1.0})
+                   .ok());
+  EXPECT_FALSE(PredictDeleteOverheads(QuorumConfig::Uniform(3, 2, 2),
+                                      AnalyticInputs{-1.0})
+                   .ok());
+  EXPECT_FALSE(PredictDeleteOverheads(QuorumConfig::Uniform(3, 1, 1),
+                                      AnalyticInputs{1.0})
+                   .ok());  // invalid quorums
+}
+
+// End-to-end: the closed form predicts the simulation within tolerance.
+TEST(AnalyticModel, MatchesSimulationFor322) {
+  test::SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+  auto suite = harness.NewSuite(100, nullptr, 99);
+  wl::SuiteClient client(*suite);
+
+  wl::WorkloadOptions options;
+  options.target_size = 100;
+  options.operations = 20'000;
+  options.update_fraction = 0.25;  // churn 0.5 -> deletes 0.25 -> u = 1
+  options.lookup_fraction = 0.25;
+  wl::SteadyStateWorkload workload(client, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  suite->stats().Reset();
+  ASSERT_TRUE(workload.Run().ok());
+
+  const auto model = PredictDeleteOverheads(harness.config(),
+                                            AnalyticInputs{1.0});
+  ASSERT_TRUE(model.ok());
+
+  const double sim_deletions =
+      suite->stats().deletions_while_coalescing().mean();
+  const double sim_entries =
+      suite->stats().entries_in_ranges_coalesced().mean();
+  EXPECT_NEAR(sim_deletions, model->deletions_while_coalescing, 0.15);
+  EXPECT_NEAR(sim_entries, model->entries_in_ranges_coalesced, 0.20);
+  // Insertions: model is an upper bound, but not wildly loose.
+  const double sim_insertions =
+      suite->stats().insertions_while_coalescing().mean();
+  EXPECT_LE(sim_insertions, model->insertions_while_coalescing + 0.05);
+  EXPECT_GE(sim_insertions, model->insertions_while_coalescing * 0.4);
+}
+
+}  // namespace
+}  // namespace repdir::rep

@@ -1,0 +1,131 @@
+// §4 batching: batched neighbor RPCs must be semantically identical to the
+// Fig. 12 single-step sketch and must reduce read-RPC traffic.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "suite_harness.h"
+#include "wl/adapters.h"
+#include "wl/workload.h"
+
+namespace repdir::test {
+namespace {
+
+TEST(ParticipantBatch, SuccessiveNeighborsAndSentinelStop) {
+  storage::MapStorage stg;
+  txn::ParticipantOptions options;
+  options.blocking_locks = false;
+  txn::TxnParticipant p(stg, nullptr, nullptr, options);
+  for (const char* k : {"b", "d", "f"}) {
+    ASSERT_TRUE(p.Insert(1, RepKey::User(k), 1, "v").ok());
+  }
+  ASSERT_TRUE(p.Commit(1).ok());
+
+  const auto preds = p.PredecessorBatch(2, RepKey::User("e"), 5);
+  ASSERT_TRUE(preds.ok());
+  ASSERT_EQ(preds->size(), 3u);  // d, b, LOW - stops at the sentinel
+  EXPECT_EQ((*preds)[0].key, RepKey::User("d"));
+  EXPECT_EQ((*preds)[1].key, RepKey::User("b"));
+  EXPECT_TRUE((*preds)[2].key.is_low());
+
+  const auto succs = p.SuccessorBatch(2, RepKey::User("a"), 2);
+  ASSERT_TRUE(succs.ok());
+  ASSERT_EQ(succs->size(), 2u);  // truncated by count
+  EXPECT_EQ((*succs)[0].key, RepKey::User("b"));
+  EXPECT_EQ((*succs)[1].key, RepKey::User("d"));
+
+  EXPECT_FALSE(p.PredecessorBatch(2, RepKey::User("e"), 0).ok());
+  EXPECT_FALSE(p.PredecessorBatch(2, RepKey::User("e"), 1000).ok());
+}
+
+std::unique_ptr<DirectorySuite> MakeSuite(SuiteHarness& h, NodeId client,
+                                          std::uint32_t batch,
+                                          std::uint64_t seed) {
+  rep::DirectorySuite::Options options;
+  options.config = h.config();
+  options.policy_seed = seed;
+  options.neighbor_batch = batch;
+  return std::make_unique<DirectorySuite>(h.transport(), client,
+                                          std::move(options));
+}
+
+TEST(Batching, SameResultsAsUnbatched) {
+  // Two identical deployments driven by the identical seeded workload, one
+  // with batch=1 (the paper's sketch) and one with batch=3; final states
+  // and delete statistics must agree exactly.
+  auto run = [](std::uint32_t batch) {
+    SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+    auto suite = MakeSuite(harness, 100, batch, /*seed=*/321);
+    wl::SuiteClient client(*suite);
+    wl::WorkloadOptions options;
+    options.target_size = 50;
+    options.operations = 2000;
+    options.seed = 5;
+    options.verify_against_model = true;
+    options.key_space = 5000;
+    wl::SteadyStateWorkload workload(client, options);
+    EXPECT_TRUE(workload.Fill().ok());
+    EXPECT_TRUE(workload.Run().ok());
+    EXPECT_TRUE(AllRepsWellFormed(harness));
+    EXPECT_TRUE(AllQuorumsAgree(harness, workload.model()));
+    return std::make_tuple(
+        suite->stats().entries_in_ranges_coalesced().mean(),
+        suite->stats().deletions_while_coalescing().mean(),
+        suite->stats().insertions_while_coalescing().mean());
+  };
+  // Same seeds => same quorum choices => identical statistics.
+  EXPECT_EQ(run(1), run(3));
+}
+
+TEST(Batching, ReducesNeighborRpcTraffic) {
+  auto count_read_rpcs = [](std::uint32_t batch) {
+    SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+    auto suite = MakeSuite(harness, 100, batch, /*seed=*/77);
+    wl::SuiteClient client(*suite);
+    wl::WorkloadOptions options;
+    options.target_size = 60;
+    options.operations = 1500;
+    options.seed = 9;
+    options.key_space = 600;  // dense: deletes regularly walk over ghosts
+    wl::SteadyStateWorkload workload(client, options);
+    EXPECT_TRUE(workload.Fill().ok());
+    EXPECT_TRUE(workload.Run().ok());
+    std::uint64_t reads = 0;
+    for (const auto& [node, n] : suite->read_rpcs_by_node()) reads += n;
+    return reads;
+  };
+  const std::uint64_t unbatched = count_read_rpcs(1);
+  const std::uint64_t batched = count_read_rpcs(3);
+  EXPECT_LT(batched, unbatched);
+}
+
+TEST(Batching, PaperScenariosStillExactUnderBatching) {
+  // Figures 4-5 with neighbor_batch = 3.
+  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+  for (const NodeId node : {1u, 2u, 3u}) {
+    auto& stg = harness.node(node).storage();
+    stg.Put(storage::StoredEntry{RepKey::User("a"), 1, "va", 0});
+    stg.Put(storage::StoredEntry{RepKey::User("c"), 1, "vc", 0});
+  }
+  rep::DirectorySuite::Options options;
+  options.config = harness.config();
+  auto policy = std::make_unique<ScriptedPolicy>(
+      std::vector<NodeId>{1, 2, 3});
+  ScriptedPolicy* script = policy.get();
+  options.policy = std::move(policy);
+  options.neighbor_batch = 3;
+  DirectorySuite suite(harness.transport(), 100, std::move(options));
+
+  script->SetDefault({1, 2, 3});
+  ASSERT_TRUE(suite.Insert("b", "vb").ok());
+  EXPECT_EQ(harness.node(1).storage().Get(RepKey::User("b"))->version, 1u);
+
+  script->SetDefault({2, 3, 1});
+  ASSERT_TRUE(suite.Delete("b").ok());
+  EXPECT_EQ(harness.node(2).storage().Get(RepKey::User("a"))->gap_after, 2u);
+  EXPECT_EQ(harness.node(3).storage().Get(RepKey::User("a"))->gap_after, 2u);
+  EXPECT_TRUE(
+      harness.node(1).storage().Get(RepKey::User("b")).has_value());
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,161 @@
+// DirRepNode service-level tests: the Figure 6 operations exercised through
+// real RPC, including malformed and boundary requests a remote client could
+// send.
+#include <gtest/gtest.h>
+
+#include "net/inproc_transport.h"
+#include "net/rpc_client.h"
+#include "rep/dir_rep_node.h"
+#include "txn/txn_id.h"
+
+namespace repdir::rep {
+namespace {
+
+using storage::RepKey;
+
+class DirRepNodeRpc : public ::testing::Test {
+ protected:
+  DirRepNodeRpc() : client_(transport_, 100) {
+    DirRepNodeOptions options;
+    options.participant.blocking_locks = false;
+    node_ = std::make_unique<DirRepNode>(1, options);
+    transport_.RegisterNode(1, node_->server());
+  }
+
+  TxnId NewTxn() { return ids_.Next(); }
+
+  Status Commit(TxnId txn) {
+    return client_.Call<net::Empty>(1, kCommit, net::Empty{}, txn).status();
+  }
+
+  net::InProcTransport transport_;
+  net::RpcClient client_;
+  std::unique_ptr<DirRepNode> node_;
+  txn::TxnIdFactory ids_{100};
+};
+
+TEST_F(DirRepNodeRpc, PingAnswers) {
+  EXPECT_TRUE(client_.Call<net::Empty>(1, kPing, net::Empty{}).ok());
+}
+
+TEST_F(DirRepNodeRpc, InsertLookupRoundTrip) {
+  const TxnId txn = NewTxn();
+  ASSERT_TRUE(client_
+                  .Call<net::Empty>(1, kInsert,
+                                    InsertRequest{RepKey::User("k"), 3, "v"},
+                                    txn)
+                  .ok());
+  const auto reply =
+      client_.Call<LookupReply>(1, kLookup, KeyRequest{RepKey::User("k")}, txn);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->present);
+  EXPECT_EQ(reply->version, 3u);
+  EXPECT_EQ(reply->value, "v");
+  ASSERT_TRUE(Commit(txn).ok());
+}
+
+TEST_F(DirRepNodeRpc, SentinelInsertIsRejected) {
+  const TxnId txn = NewTxn();
+  const auto st = client_.Call<net::Empty>(
+      1, kInsert, InsertRequest{RepKey::Low(), 1, "x"}, txn);
+  EXPECT_EQ(st.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(Commit(txn).ok());
+}
+
+TEST_F(DirRepNodeRpc, PredecessorOfLowIsRejected) {
+  const TxnId txn = NewTxn();
+  const auto st = client_.Call<NeighborReply>(1, kPredecessor,
+                                              KeyRequest{RepKey::Low()}, txn);
+  EXPECT_EQ(st.status().code(), StatusCode::kInvalidArgument);
+  const auto st2 = client_.Call<NeighborReply>(1, kSuccessor,
+                                               KeyRequest{RepKey::High()}, txn);
+  EXPECT_EQ(st2.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(Commit(txn).ok());
+}
+
+TEST_F(DirRepNodeRpc, CoalesceWithMissingBoundFails) {
+  const TxnId txn = NewTxn();
+  const auto st = client_.Call<CoalesceReply>(
+      1, kCoalesce,
+      CoalesceRequest{RepKey::User("nope"), RepKey::High(), 5}, txn);
+  EXPECT_EQ(st.status().code(), StatusCode::kFailedPrecondition);
+  const auto reversed = client_.Call<CoalesceReply>(
+      1, kCoalesce, CoalesceRequest{RepKey::High(), RepKey::Low(), 5}, txn);
+  EXPECT_EQ(reversed.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(Commit(txn).ok());
+}
+
+TEST_F(DirRepNodeRpc, CoalesceReportsErasedKeys) {
+  const TxnId txn = NewTxn();
+  for (const char* k : {"a", "b", "c"}) {
+    ASSERT_TRUE(client_
+                    .Call<net::Empty>(1, kInsert,
+                                      InsertRequest{RepKey::User(k), 1, "v"},
+                                      txn)
+                    .ok());
+  }
+  const auto reply = client_.Call<CoalesceReply>(
+      1, kCoalesce, CoalesceRequest{RepKey::Low(), RepKey::High(), 9}, txn);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->erased.size(), 3u);
+  EXPECT_EQ(reply->erased[0], RepKey::User("a"));
+  EXPECT_EQ(reply->erased[2], RepKey::User("c"));
+  ASSERT_TRUE(Commit(txn).ok());
+}
+
+TEST_F(DirRepNodeRpc, UnknownMethodIsInvalidArgument) {
+  const auto st = client_.Call<net::Empty>(1, 9999, net::Empty{});
+  EXPECT_EQ(st.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DirRepNodeRpc, MalformedPayloadIsCorruption) {
+  net::RpcRequest raw;
+  raw.from = 100;
+  raw.method = kInsert;
+  raw.payload = "\x01garbage-not-an-insert-request";
+  net::RpcResponse resp;
+  ASSERT_TRUE(transport_.Call(1, raw, resp).ok());
+  EXPECT_EQ(resp.code, StatusCode::kCorruption);
+}
+
+TEST_F(DirRepNodeRpc, AbortViaRpcUndoesEverything) {
+  const TxnId txn = NewTxn();
+  ASSERT_TRUE(client_
+                  .Call<net::Empty>(1, kInsert,
+                                    InsertRequest{RepKey::User("k"), 1, "v"},
+                                    txn)
+                  .ok());
+  ASSERT_TRUE(
+      client_.Call<net::Empty>(1, kAbortTxn, net::Empty{}, txn).ok());
+  EXPECT_FALSE(node_->storage().Get(RepKey::User("k")).has_value());
+}
+
+TEST_F(DirRepNodeRpc, BTreeBackedNodeBehavesIdentically) {
+  DirRepNodeOptions options;
+  options.participant.blocking_locks = false;
+  options.backend = DirRepNodeOptions::Backend::kBTree;
+  options.btree_fanout = 3;
+  DirRepNode btree_node(2, options);
+  transport_.RegisterNode(2, btree_node.server());
+
+  const TxnId txn = NewTxn();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        client_
+            .Call<net::Empty>(2, kInsert,
+                              InsertRequest{RepKey::User("k" +
+                                                         std::to_string(i)),
+                                            1, "v"},
+                              txn)
+            .ok());
+  }
+  const auto reply = client_.Call<LookupReply>(
+      2, kLookup, KeyRequest{RepKey::User("k25")}, txn);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->present);
+  ASSERT_TRUE(client_.Call<net::Empty>(2, kCommit, net::Empty{}, txn).ok());
+  EXPECT_EQ(btree_node.storage().UserEntryCount(), 50u);
+}
+
+}  // namespace
+}  // namespace repdir::rep

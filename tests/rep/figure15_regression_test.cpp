@@ -1,0 +1,80 @@
+// Regression guard for the quantitative reproduction: the §4 simulation at
+// reduced scale must land inside bands around the paper's Figure 15 values
+// (full-scale numbers are in EXPERIMENTS.md; bands here are wide enough for
+// the reduced op count's noise but tight enough to catch an algorithmic
+// regression - e.g. wrong quorum math, broken ghost accounting, or a
+// materialization bug would all blow past them).
+#include <gtest/gtest.h>
+
+#include "suite_harness.h"
+#include "wl/adapters.h"
+#include "wl/workload.h"
+
+namespace repdir::test {
+namespace {
+
+struct Band {
+  double lo;
+  double hi;
+};
+
+TEST(Figure15Regression, Stats322At100Entries) {
+  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+  auto suite = harness.NewSuite(100, nullptr, /*seed=*/100003);
+  wl::SuiteClient client(*suite);
+
+  wl::WorkloadOptions options;
+  options.target_size = 100;
+  options.operations = 10'000;
+  options.seed = 123;
+  wl::SteadyStateWorkload workload(client, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  suite->stats().Reset();
+  ASSERT_TRUE(workload.Run().ok());
+
+  const auto& stats = suite->stats();
+  ASSERT_GT(stats.deletions_while_coalescing().count(), 1500u);
+
+  // Paper: 1.33 / 0.88 / 0.44 (100 entries, 100k ops).
+  const Band entries{1.20, 1.45};
+  const Band deletions{0.72, 1.02};
+  const Band insertions{0.36, 0.56};
+
+  EXPECT_GE(stats.entries_in_ranges_coalesced().mean(), entries.lo);
+  EXPECT_LE(stats.entries_in_ranges_coalesced().mean(), entries.hi);
+  EXPECT_GE(stats.deletions_while_coalescing().mean(), deletions.lo);
+  EXPECT_LE(stats.deletions_while_coalescing().mean(), deletions.hi);
+  EXPECT_GE(stats.insertions_while_coalescing().mean(), insertions.lo);
+  EXPECT_LE(stats.insertions_while_coalescing().mean(), insertions.hi);
+
+  // Standard deviations in the paper's neighborhood too (0.87/1.05/0.59).
+  EXPECT_NEAR(stats.entries_in_ranges_coalesced().stddev(), 0.87, 0.15);
+  EXPECT_NEAR(stats.deletions_while_coalescing().stddev(), 1.05, 0.20);
+  EXPECT_NEAR(stats.insertions_while_coalescing().stddev(), 0.59, 0.10);
+}
+
+TEST(Figure15Regression, UnanimousWritesHaveZeroDeleteOverhead) {
+  // The W = V sanity anchor: every representative is always current, so no
+  // ghosts and no materializations, ever.
+  SuiteHarness harness(QuorumConfig::Uniform(3, 1, 3));
+  auto suite = harness.NewSuite(100, nullptr, /*seed=*/5);
+  wl::SuiteClient client(*suite);
+
+  wl::WorkloadOptions options;
+  options.target_size = 60;
+  options.operations = 2'000;
+  wl::SteadyStateWorkload workload(client, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  suite->stats().Reset();
+  ASSERT_TRUE(workload.Run().ok());
+
+  const auto& stats = suite->stats();
+  ASSERT_GT(stats.deletions_while_coalescing().count(), 200u);
+  EXPECT_DOUBLE_EQ(stats.deletions_while_coalescing().mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.insertions_while_coalescing().mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.entries_in_ranges_coalesced().mean(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.entries_in_ranges_coalesced().max(), 1.0);
+}
+
+}  // namespace
+}  // namespace repdir::test

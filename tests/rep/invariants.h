@@ -1,0 +1,117 @@
+// Whole-deployment invariant checks used by the property tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "storage/dir_rep_core.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+
+/// The answer a read quorum `members` would give for `key` by direct state
+/// inspection (Fig. 8 rule: highest version wins; presence breaks a tie -
+/// ties must not occur and are reported as corruption by the caller below).
+struct QuorumAnswer {
+  bool present = false;
+  Version version = 0;
+  Value value;
+  bool ambiguous = false;  ///< present/absent tie at the same version.
+};
+
+inline QuorumAnswer AnswerOf(SuiteHarness& h, const std::set<NodeId>& members,
+                             const UserKey& key) {
+  QuorumAnswer best;
+  bool first = true;
+  const RepKey k = RepKey::User(key);
+  for (const NodeId node : members) {
+    const storage::DirRepCore core(h.node(node).storage());
+    const storage::LookupReply reply = core.Lookup(k);
+    if (first || reply.version > best.version) {
+      best.present = reply.present;
+      best.version = reply.version;
+      best.value = reply.value;
+      best.ambiguous = false;
+      first = false;
+    } else if (reply.version == best.version &&
+               reply.present != best.present) {
+      best.ambiguous = true;
+    }
+  }
+  return best;
+}
+
+/// Checks that EVERY possible read quorum agrees with the model about every
+/// interesting key (all keys stored on any representative, all model keys,
+/// plus probes between them). This is the paper's central correctness
+/// property: any R-vote subset must return current data.
+inline ::testing::AssertionResult AllQuorumsAgree(
+    SuiteHarness& h, const std::map<UserKey, Value>& model) {
+  // Interesting keys: everything physically present anywhere (includes
+  // ghosts) plus everything the model says exists.
+  std::set<UserKey> keys;
+  for (const auto& replica : h.config().replicas()) {
+    for (const auto& e : h.node(replica.node).storage().Scan()) {
+      if (e.key.is_user()) keys.insert(e.key.user());
+    }
+  }
+  for (const auto& [key, value] : model) keys.insert(key);
+
+  // All vote-sufficient subsets of representatives.
+  const auto& replicas = h.config().replicas();
+  const std::uint32_t n = static_cast<std::uint32_t>(replicas.size());
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::set<NodeId> members;
+    Votes votes = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        members.insert(replicas[i].node);
+        votes += replicas[i].votes;
+      }
+    }
+    if (votes < h.config().read_quorum()) continue;
+
+    for (const auto& key : keys) {
+      const QuorumAnswer answer = AnswerOf(h, members, key);
+      const auto it = model.find(key);
+      const bool model_present = it != model.end();
+      if (answer.ambiguous) {
+        return ::testing::AssertionFailure()
+               << "quorum mask " << mask << " is ambiguous for key " << key
+               << " at version " << answer.version;
+      }
+      if (answer.present != model_present) {
+        return ::testing::AssertionFailure()
+               << "quorum mask " << mask << " says key " << key
+               << (answer.present ? " present" : " absent") << " but model says "
+               << (model_present ? "present" : "absent");
+      }
+      if (model_present && answer.value != it->second) {
+        return ::testing::AssertionFailure()
+               << "quorum mask " << mask << " returns stale value for key "
+               << key << ": got '" << answer.value << "' want '" << it->second
+               << "'";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Structural invariants on every representative.
+inline ::testing::AssertionResult AllRepsWellFormed(SuiteHarness& h) {
+  for (const auto& replica : h.config().replicas()) {
+    const Status st =
+        storage::CheckRepInvariants(h.node(replica.node).storage());
+    if (!st.ok()) {
+      return ::testing::AssertionFailure()
+             << "node " << replica.node << ": " << st.ToString() << "\n  "
+             << h.Dump(replica.node);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace repdir::test

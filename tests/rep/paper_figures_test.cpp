@@ -1,0 +1,192 @@
+// Replays of the paper's worked examples:
+//   Figures 1-3: the ambiguity that motivates gap versions,
+//   Figures 4-5: insert/delete of "b" on a 3-2-2 suite with gap versions,
+//   Figures 10-11: ghost skipping and real-successor materialization.
+#include <gtest/gtest.h>
+
+#include "storage/dir_rep_core.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+using storage::StoredEntry;
+
+constexpr NodeId kA = 1;
+constexpr NodeId kB = 2;
+constexpr NodeId kC = 3;
+
+StoredEntry Entry(const std::string& key, Version v, Version gap_after,
+                  const std::string& value = "") {
+  return StoredEntry{RepKey::User(key), v, value.empty() ? "val-" + key : value,
+                     gap_after};
+}
+
+/// Figure 1: every representative holds "a" and "c" at version 1.
+void LoadFigure1(SuiteHarness& h) {
+  for (const NodeId node : {kA, kB, kC}) {
+    auto& stg = h.node(node).storage();
+    stg.Put(Entry("a", 1, 0));
+    stg.Put(Entry("c", 1, 0));
+  }
+}
+
+class PaperFigures : public ::testing::Test {
+ protected:
+  PaperFigures() : harness_(QuorumConfig::Uniform(3, 2, 2)) {}
+  SuiteHarness harness_;
+};
+
+// Figures 1-3 with gap versions: after inserting "b" on {A,B} and deleting
+// it via {B,C}, a read quorum {A,C} that sees only the ghost still answers
+// "not present" - the ambiguity of the version-per-entry-only scheme is
+// resolved.
+TEST_F(PaperFigures, DeletionAmbiguityIsResolvedByGapVersions) {
+  LoadFigure1(harness_);
+  auto [suite, policy] = harness_.NewScriptedSuite(100);
+
+  // Insert "b" using read+write quorums on {A,B}.
+  policy->SetDefault({kA, kB, kC});
+  ASSERT_TRUE(suite->Insert("b", "val-b").ok());
+
+  // Delete "b" through {B,C}: A keeps the ghost of "b" at version 1.
+  policy->SetDefault({kB, kC, kA});
+  ASSERT_TRUE(suite->Delete("b").ok());
+
+  const auto ghost = harness_.node(kA).storage().Get(RepKey::User("b"));
+  ASSERT_TRUE(ghost.has_value()) << "A should still hold the ghost of b";
+  EXPECT_EQ(ghost->version, 1u);
+
+  // The problematic quorum {A,C}: A answers "present v1", C answers
+  // "not present v2" - the gap version wins and the suite says absent.
+  policy->SetDefault({kA, kC, kB});
+  const auto lookup = suite->Lookup("b");
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_FALSE(lookup->found);
+}
+
+// Figure 4: inserting "b" into A and B gives it version 1 (one greater than
+// the gap between "a" and "c"), and a {A,C} quorum finds it by version.
+TEST_F(PaperFigures, Figure4InsertSplitsGapWithVersionOne) {
+  LoadFigure1(harness_);
+  auto [suite, policy] = harness_.NewScriptedSuite(100);
+
+  policy->SetDefault({kA, kB, kC});
+  ASSERT_TRUE(suite->Insert("b", "val-b").ok());
+
+  for (const NodeId node : {kA, kB}) {
+    const auto b = harness_.node(node).storage().Get(RepKey::User("b"));
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->version, 1u) << "node " << node;
+    // Both halves of the split gap keep the old gap version 0.
+    EXPECT_EQ(b->gap_after, 0u);
+    EXPECT_EQ(harness_.node(node).storage().Get(RepKey::User("a"))->gap_after,
+              0u);
+  }
+  EXPECT_FALSE(
+      harness_.node(kC).storage().Get(RepKey::User("b")).has_value());
+
+  // Lookup across {A,C}: "present v1" beats "not present v0".
+  policy->SetDefault({kA, kC, kB});
+  const auto lookup = suite->Lookup("b");
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_TRUE(lookup->found);
+  EXPECT_EQ(lookup->value, "val-b");
+}
+
+// Figure 5: deleting "b" via {B,C} coalesces (a, c) to version 2 on both.
+TEST_F(PaperFigures, Figure5DeleteCoalescesGapToVersionTwo) {
+  LoadFigure1(harness_);
+  auto [suite, policy] = harness_.NewScriptedSuite(100);
+
+  policy->SetDefault({kA, kB, kC});
+  ASSERT_TRUE(suite->Insert("b", "val-b").ok());
+
+  policy->SetDefault({kB, kC, kA});
+  ASSERT_TRUE(suite->Delete("b").ok());
+
+  for (const NodeId node : {kB, kC}) {
+    auto& stg = harness_.node(node).storage();
+    EXPECT_FALSE(stg.Get(RepKey::User("b")).has_value()) << "node " << node;
+    EXPECT_EQ(stg.Get(RepKey::User("a"))->gap_after, 2u) << "node " << node;
+  }
+  // A was not in the write quorum: ghost remains, gap version unchanged.
+  EXPECT_EQ(harness_.node(kA).storage().Get(RepKey::User("a"))->gap_after, 0u);
+
+  // Delete statistics: B erased {b} (1 entry), C erased nothing.
+  const auto& stats = suite->stats();
+  EXPECT_EQ(stats.entries_in_ranges_coalesced().count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.entries_in_ranges_coalesced().max(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.deletions_while_coalescing().mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.insertions_while_coalescing().mean(), 0.0);
+}
+
+// Figures 10-11: deleting "a" when a ghost ("b") lies between it and its
+// real successor ("bb"), and the real successor is missing from a
+// write-quorum member (C). The delete must copy "bb" to C and the coalesce
+// must eliminate A's ghost of "b".
+TEST_F(PaperFigures, Figure10And11GhostSkippingAndMaterialization) {
+  // State construction (consistent with some legal history: "b" was
+  // deleted through {B,C} with gap version 2; "bb" was then inserted
+  // through {A,B} with version 3):
+  //   A: LOW |0| a(1) |0| b(1) |0| bb(3) |0| HIGH      (ghost b)
+  //   B: LOW |0| a(1) |2| bb(3) |2| HIGH
+  //   C: LOW |0| a(1) |2| HIGH                          (no bb)
+  {
+    auto& a = harness_.node(kA).storage();
+    a.Put(Entry("a", 1, 0));
+    a.Put(Entry("b", 1, 0));
+    a.Put(Entry("bb", 3, 0));
+    auto& b = harness_.node(kB).storage();
+    b.Put(Entry("a", 1, 2));
+    b.Put(Entry("bb", 3, 2));
+    auto& c = harness_.node(kC).storage();
+    c.Put(Entry("a", 1, 2));
+  }
+
+  auto [suite, policy] = harness_.NewScriptedSuite(100);
+  // Write quorum {A,C}; all reads via {A,B}.
+  policy->Push({kA, kC, kB});
+  policy->SetDefault({kA, kB, kC});
+
+  ASSERT_TRUE(suite->Delete("a").ok());
+
+  // Figure 11: A lost "a" and the ghost "b"; LOW..bb coalesced.
+  auto& a_stg = harness_.node(kA).storage();
+  EXPECT_FALSE(a_stg.Get(RepKey::User("a")).has_value());
+  EXPECT_FALSE(a_stg.Get(RepKey::User("b")).has_value());
+  ASSERT_TRUE(a_stg.Get(RepKey::User("bb")).has_value());
+  // New gap version = max(gap 2, a's version 1) + 1 = 3.
+  EXPECT_EQ(a_stg.Get(RepKey::Low())->gap_after, 3u);
+
+  // C received "bb" (version 3) and lost "a".
+  auto& c_stg = harness_.node(kC).storage();
+  const auto bb_at_c = c_stg.Get(RepKey::User("bb"));
+  ASSERT_TRUE(bb_at_c.has_value());
+  EXPECT_EQ(bb_at_c->version, 3u);
+  EXPECT_FALSE(c_stg.Get(RepKey::User("a")).has_value());
+
+  // B untouched (not in the write quorum): still has "a".
+  EXPECT_TRUE(harness_.node(kB).storage().Get(RepKey::User("a")).has_value());
+
+  // Statistics: A coalesced {a, b} (2 entries, 1 ghost); C coalesced {a}.
+  const auto& stats = suite->stats();
+  EXPECT_EQ(stats.entries_in_ranges_coalesced().count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.entries_in_ranges_coalesced().max(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.deletions_while_coalescing().mean(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.insertions_while_coalescing().mean(), 1.0);
+
+  // And the suite still answers correctly everywhere.
+  const auto bb = suite->Lookup("bb");
+  ASSERT_TRUE(bb.ok());
+  EXPECT_TRUE(bb->found);
+  const auto a = suite->Lookup("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->found);
+  const auto b = suite->Lookup("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->found);
+}
+
+}  // namespace
+}  // namespace repdir::test

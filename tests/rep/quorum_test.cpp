@@ -1,0 +1,179 @@
+// QuorumConfig validation and vote arithmetic; quorum policies; exact and
+// Monte-Carlo availability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baseline/unanimous.h"
+#include "rep/availability.h"
+#include "rep/quorum.h"
+#include "rep/quorum_policy.h"
+
+namespace repdir::rep {
+namespace {
+
+TEST(QuorumConfig, UniformBuilder) {
+  const auto c = QuorumConfig::Uniform(3, 2, 2);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.TotalVotes(), 3u);
+  EXPECT_EQ(c.read_quorum(), 2u);
+  EXPECT_EQ(c.write_quorum(), 2u);
+  EXPECT_EQ(c.Nodes(), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(c.ToString(), "3-2-2");
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(QuorumConfig, ValidationRules) {
+  // R + W must exceed V.
+  EXPECT_FALSE(QuorumConfig::Uniform(3, 1, 2).Validate().ok());
+  EXPECT_TRUE(QuorumConfig::Uniform(3, 2, 2).Validate().ok());
+  EXPECT_TRUE(QuorumConfig::Uniform(3, 1, 3).Validate().ok());
+  // The paper's examples 4-2-3 and the read-heavy 4-3-2 are both legal.
+  EXPECT_TRUE(QuorumConfig::Uniform(4, 2, 3).Validate().ok());
+  EXPECT_TRUE(QuorumConfig::Uniform(4, 3, 2).Validate().ok());
+  // ...but 4-3-2 fails the strict Gifford file condition 2W > V.
+  EXPECT_FALSE(QuorumConfig::Uniform(4, 3, 2).Validate(true).ok());
+  EXPECT_TRUE(QuorumConfig::Uniform(4, 2, 3).Validate(true).ok());
+
+  // Degenerate errors.
+  EXPECT_FALSE(QuorumConfig({}, 1, 1).Validate().ok());
+  EXPECT_FALSE(QuorumConfig::Uniform(3, 0, 3).Validate().ok());
+  EXPECT_FALSE(QuorumConfig::Uniform(3, 2, 4).Validate().ok());
+  EXPECT_FALSE(
+      QuorumConfig({{1, 1}, {1, 1}}, 1, 2).Validate().ok());  // dup node
+  EXPECT_FALSE(
+      QuorumConfig({{kInvalidNode, 1}}, 1, 1).Validate().ok());
+}
+
+TEST(QuorumConfig, WeightedVotes) {
+  const QuorumConfig c({{1, 3}, {2, 1}, {3, 1}}, 3, 3);
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.TotalVotes(), 5u);
+  EXPECT_EQ(c.VotesOf(1), 3u);
+  EXPECT_EQ(c.VotesOf(9), 0u);
+  // Node 1 alone is a quorum; nodes 2+3 are not.
+  EXPECT_TRUE(c.IsReadQuorum({1}));
+  EXPECT_FALSE(c.IsReadQuorum({2, 3}));
+  EXPECT_TRUE(c.IsWriteQuorum({1}));
+  EXPECT_NE(c.ToString().find("votes:"), std::string::npos);
+}
+
+TEST(QuorumConfig, UnanimousHelpers) {
+  const auto u = baseline::UnanimousConfig(4);
+  EXPECT_TRUE(u.Validate().ok());
+  EXPECT_EQ(u.read_quorum(), 1u);
+  EXPECT_EQ(u.write_quorum(), 4u);
+  const auto r = baseline::ReadAllWriteOneConfig(4);
+  EXPECT_TRUE(r.Validate().ok());
+  EXPECT_EQ(r.read_quorum(), 4u);
+}
+
+TEST(RandomPolicy, CoversAllOrderings) {
+  const auto config = QuorumConfig::Uniform(3, 2, 2);
+  RandomQuorumPolicy policy(config, 7);
+  std::set<std::vector<NodeId>> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto order = policy.PreferenceOrder(OpClass::kRead);
+    ASSERT_EQ(order.size(), 3u);
+    seen.insert(order);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 3! permutations appear
+}
+
+TEST(StablePolicy, FixedOrder) {
+  StableQuorumPolicy policy({3, 1, 2});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.PreferenceOrder(OpClass::kWrite),
+              (std::vector<NodeId>{3, 1, 2}));
+  }
+}
+
+TEST(LocalityPolicy, ReadsLocalWritesRotateRemote) {
+  LocalityQuorumPolicy policy({1, 2}, {3, 4});
+  // Reads always local-first, remote order stable.
+  EXPECT_EQ(policy.PreferenceOrder(OpClass::kRead),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+  // Writes rotate the remote tail: 3,4 then 4,3 then 3,4 ...
+  EXPECT_EQ(policy.PreferenceOrder(OpClass::kWrite),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(policy.PreferenceOrder(OpClass::kWrite),
+            (std::vector<NodeId>{1, 2, 4, 3}));
+  EXPECT_EQ(policy.PreferenceOrder(OpClass::kWrite),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+  // Reads unaffected by the rotation counter.
+  EXPECT_EQ(policy.PreferenceOrder(OpClass::kRead),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+double Binomial(int n, int k) {
+  double r = 1;
+  for (int i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+double AtLeast(int n, int k, double p) {
+  double sum = 0;
+  for (int i = k; i <= n; ++i) {
+    sum += Binomial(n, i) * std::pow(p, i) * std::pow(1 - p, n - i);
+  }
+  return sum;
+}
+
+TEST(Availability, ExactMatchesClosedForm) {
+  const auto c = QuorumConfig::Uniform(5, 3, 3);
+  for (const double p : {0.5, 0.9, 0.99}) {
+    const AvailabilityPoint a = ExactAvailability(c, p);
+    EXPECT_NEAR(a.read, AtLeast(5, 3, p), 1e-12);
+    EXPECT_NEAR(a.write, AtLeast(5, 3, p), 1e-12);
+    EXPECT_NEAR(a.modify, AtLeast(5, 3, p), 1e-12);  // same quota
+  }
+}
+
+TEST(Availability, UnanimousUpdateIsFragile) {
+  const double p = 0.9;
+  const auto unanimous = baseline::UnanimousConfig(5);
+  const auto balanced = QuorumConfig::Uniform(5, 3, 3);
+  const AvailabilityPoint u = ExactAvailability(unanimous, p);
+  const AvailabilityPoint b = ExactAvailability(balanced, p);
+  EXPECT_NEAR(u.write, std::pow(p, 5), 1e-12);  // all 5 must be up
+  EXPECT_GT(b.write, u.write);                  // the paper's §2 motivation
+  EXPECT_GT(u.read, b.read);                    // and the read-side tradeoff
+}
+
+TEST(Availability, ModifyNeedsBothQuorums) {
+  // R=1, W=4 on 4 replicas: modify requires max(R,W)=4 up.
+  const auto c = baseline::UnanimousConfig(4);
+  const AvailabilityPoint a = ExactAvailability(c, 0.8);
+  EXPECT_NEAR(a.modify, std::pow(0.8, 4), 1e-12);
+  EXPECT_GT(a.read, a.modify);
+}
+
+TEST(Availability, HeterogeneousProbabilities) {
+  const auto c = QuorumConfig::Uniform(2, 1, 2);
+  const AvailabilityPoint a = ExactAvailability(c, {1.0, 0.0});
+  EXPECT_NEAR(a.read, 1.0, 1e-12);   // node 1 always up
+  EXPECT_NEAR(a.write, 0.0, 1e-12);  // node 2 never up
+}
+
+TEST(Availability, MonteCarloAgreesWithExact) {
+  const auto c = QuorumConfig::Uniform(5, 2, 4);
+  Rng rng(123);
+  const AvailabilityPoint exact = ExactAvailability(c, 0.85);
+  const AvailabilityPoint sim = SimulatedAvailability(c, 0.85, 200'000, rng);
+  EXPECT_NEAR(sim.read, exact.read, 0.005);
+  EXPECT_NEAR(sim.write, exact.write, 0.005);
+  EXPECT_NEAR(sim.modify, exact.modify, 0.005);
+}
+
+TEST(Availability, WeightedVotesShiftAvailability) {
+  // A 2-vote replica means quorums can form without majorities of machines.
+  const QuorumConfig weighted({{1, 2}, {2, 1}, {3, 1}}, 2, 3);
+  const AvailabilityPoint a = ExactAvailability(weighted, 0.9);
+  // Read quorum (2 votes): node 1 alone suffices.
+  EXPECT_GT(a.read, 0.9 - 1e-12);
+  EXPECT_TRUE(weighted.IsReadQuorum({1}));
+}
+
+}  // namespace
+}  // namespace repdir::rep

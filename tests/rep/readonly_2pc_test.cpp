@@ -1,0 +1,75 @@
+// Read-only transactions skip 2PC phase 1: a suite Lookup on 3-2-2 costs
+// exactly R pings + R data reads + R commits (no prepares), while mutating
+// operations run the full protocol.
+#include <gtest/gtest.h>
+
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+class ReadOnly2Pc : public ::testing::Test {
+ protected:
+  ReadOnly2Pc()
+      : harness_(QuorumConfig::Uniform(3, 2, 2)),
+        suite_(harness_.NewSuite(100)) {}
+
+  std::uint64_t Attempts() { return harness_.transport().TotalAttempts(); }
+
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST_F(ReadOnly2Pc, LookupUsesSingleDecisionRound) {
+  ASSERT_TRUE(suite_->Insert("k", "v").ok());
+  const std::uint64_t before = Attempts();
+  ASSERT_TRUE(suite_->Lookup("k").ok());
+  // 2 pings + 2 lookups + 2 commits = 6 messages; a prepare round would
+  // make it 8.
+  EXPECT_EQ(Attempts() - before, 6u);
+}
+
+TEST_F(ReadOnly2Pc, FailedPreconditionOpsAbortNotCommit) {
+  // Update of a missing key reads, fails cleanly, and aborts - also a
+  // single decision round.
+  const std::uint64_t before = Attempts();
+  EXPECT_EQ(suite_->Update("missing", "v").code(), StatusCode::kNotFound);
+  // 2 pings + 2 lookups + 2 aborts = 6.
+  EXPECT_EQ(Attempts() - before, 6u);
+}
+
+TEST_F(ReadOnly2Pc, MutationsStillRunFullTwoPhase) {
+  ASSERT_TRUE(suite_->Insert("a", "v").ok());
+  const std::uint64_t before = Attempts();
+  ASSERT_TRUE(suite_->Update("a", "w").ok());
+  // read quorum: 2 pings + 2 lookups; write quorum: 2 pings + 2 inserts;
+  // full 2PC: 2 prepares + 2 commits = 12 total.
+  EXPECT_EQ(Attempts() - before, 12u);
+}
+
+TEST_F(ReadOnly2Pc, ReadOnlyMultiOpTransaction) {
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  ASSERT_TRUE(suite_->Insert("b", "2").ok());
+  rep::SuiteTxn txn = suite_->Begin();
+  EXPECT_TRUE(txn.Lookup("a").ok());
+  EXPECT_TRUE(txn.Lookup("b").ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  // Correctness: locks are released (another writer can proceed).
+  ASSERT_TRUE(suite_->Update("a", "3").ok());
+  EXPECT_EQ(suite_->Lookup("a")->value, "3");
+}
+
+TEST_F(ReadOnly2Pc, WeakWritesCountAsWrites) {
+  // A config with a weak node: inserts propagate best-effort writes, which
+  // must force the full protocol (data landed at the weak node).
+  SuiteHarness h(QuorumConfig({{1, 1}, {2, 1}, {3, 1}, {9, 0}}, 2, 2));
+  auto suite = h.NewSuite(100);
+  ASSERT_TRUE(suite->Insert("k", "v").ok());
+  // The weak node got the data and the 2PC decision: no transaction left
+  // dangling there.
+  EXPECT_TRUE(h.node(9).storage().Get(RepKey::User("k")).has_value());
+  EXPECT_EQ(h.node(9).participant().ActiveCount(), 0u);
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,155 @@
+// DirectorySuite public API semantics: single-site directory behaviour
+// (paper §1) plus version bookkeeping visible at the representatives.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+class SuiteApi : public ::testing::Test {
+ protected:
+  SuiteApi()
+      : harness_(QuorumConfig::Uniform(3, 2, 2)),
+        suite_(harness_.NewSuite(100)) {}
+
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST_F(SuiteApi, LookupOnEmptyDirectory) {
+  const auto r = suite_->Lookup("missing");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+}
+
+TEST_F(SuiteApi, InsertThenLookup) {
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  const auto r = suite_->Lookup("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->value, "v1");
+}
+
+TEST_F(SuiteApi, InsertDuplicateFails) {
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  EXPECT_EQ(suite_->Insert("k", "v2").code(), StatusCode::kAlreadyExists);
+  // Value unchanged.
+  EXPECT_EQ(suite_->Lookup("k")->value, "v1");
+}
+
+TEST_F(SuiteApi, UpdateRequiresExistence) {
+  EXPECT_EQ(suite_->Update("k", "v").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  ASSERT_TRUE(suite_->Update("k", "v2").ok());
+  EXPECT_EQ(suite_->Lookup("k")->value, "v2");
+}
+
+TEST_F(SuiteApi, DeleteRequiresExistence) {
+  EXPECT_EQ(suite_->Delete("k").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(suite_->Insert("k", "v").ok());
+  ASSERT_TRUE(suite_->Delete("k").ok());
+  EXPECT_FALSE(suite_->Lookup("k")->found);
+  EXPECT_EQ(suite_->Delete("k").code(), StatusCode::kNotFound);
+}
+
+TEST_F(SuiteApi, ReinsertAfterDeleteGetsFreshValue) {
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  ASSERT_TRUE(suite_->Delete("k").ok());
+  ASSERT_TRUE(suite_->Insert("k", "v2").ok());
+  const auto r = suite_->Lookup("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->value, "v2");
+}
+
+TEST_F(SuiteApi, UpdateBumpsVersionAboveOldOnEveryQuorum) {
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  for (int i = 2; i <= 8; ++i) {
+    ASSERT_TRUE(suite_->Update("k", "v" + std::to_string(i)).ok());
+  }
+  std::map<UserKey, Value> model{{"k", "v8"}};
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+TEST_F(SuiteApi, EmptyKeyAndValueAreLegal) {
+  ASSERT_TRUE(suite_->Insert("", "empty-key").ok());
+  ASSERT_TRUE(suite_->Insert("k", "").ok());
+  EXPECT_TRUE(suite_->Lookup("")->found);
+  EXPECT_EQ(suite_->Lookup("")->value, "empty-key");
+  EXPECT_TRUE(suite_->Lookup("k")->found);
+  EXPECT_EQ(suite_->Lookup("k")->value, "");
+  ASSERT_TRUE(suite_->Delete("").ok());
+  EXPECT_FALSE(suite_->Lookup("")->found);
+}
+
+TEST_F(SuiteApi, BinaryKeysAndValues) {
+  const std::string key("\x00\x01\xff", 3);
+  const std::string value("\xde\xad\x00\xbe\xef", 5);
+  ASSERT_TRUE(suite_->Insert(key, value).ok());
+  const auto r = suite_->Lookup(key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->value, value);
+}
+
+TEST_F(SuiteApi, DeleteFirstAndLastEntriesUsesSentinels) {
+  for (const char* k : {"a", "m", "z"}) ASSERT_TRUE(suite_->Insert(k, k).ok());
+  ASSERT_TRUE(suite_->Delete("a").ok());  // real predecessor is LOW
+  ASSERT_TRUE(suite_->Delete("z").ok());  // real successor is HIGH
+  EXPECT_TRUE(suite_->Lookup("m")->found);
+  EXPECT_FALSE(suite_->Lookup("a")->found);
+  EXPECT_FALSE(suite_->Lookup("z")->found);
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(SuiteApi, DeleteLastRemainingEntry) {
+  ASSERT_TRUE(suite_->Insert("only", "v").ok());
+  ASSERT_TRUE(suite_->Delete("only").ok());
+  EXPECT_FALSE(suite_->Lookup("only")->found);
+  // Every representative is back to sentinels-only or holds only ghosts.
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+  EXPECT_TRUE(AllQuorumsAgree(harness_, {}));
+}
+
+TEST_F(SuiteApi, OpCountersTrackOutcomes) {
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  ASSERT_TRUE(suite_->Lookup("a").ok());
+  ASSERT_TRUE(suite_->Update("a", "2").ok());
+  ASSERT_TRUE(suite_->Delete("a").ok());
+  (void)suite_->Delete("a");  // NotFound: not counted as success
+  const auto& c = suite_->stats().counters();
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(c.lookups, 1u);
+  EXPECT_EQ(c.updates, 1u);
+  EXPECT_EQ(c.deletes, 1u);
+}
+
+TEST_F(SuiteApi, SingleReplicaSuiteDegeneratesToLocalDirectory) {
+  SuiteHarness h(QuorumConfig::Uniform(1, 1, 1));
+  auto suite = h.NewSuite(100);
+  ASSERT_TRUE(suite->Insert("x", "1").ok());
+  ASSERT_TRUE(suite->Update("x", "2").ok());
+  EXPECT_EQ(suite->Lookup("x")->value, "2");
+  ASSERT_TRUE(suite->Delete("x").ok());
+  EXPECT_FALSE(suite->Lookup("x")->found);
+}
+
+TEST_F(SuiteApi, ManySequentialOpsKeepStructure) {
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        suite_->Insert("key" + std::to_string(i), std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 60; i += 2) {
+    ASSERT_TRUE(suite_->Delete("key" + std::to_string(i)).ok());
+  }
+  std::map<UserKey, Value> model;
+  for (int i = 1; i < 60; i += 2) model["key" + std::to_string(i)] =
+      std::to_string(i);
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+}  // namespace
+}  // namespace repdir::test

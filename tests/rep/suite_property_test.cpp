@@ -1,0 +1,148 @@
+// Property test: long random operation histories against a model, across
+// quorum configurations, storage backends, and seeds. After every chunk of
+// operations the whole deployment must satisfy:
+//   * structural invariants on every representative,
+//   * EVERY vote-sufficient read quorum agrees with the model on every key
+//     that exists anywhere (including ghosts) - the paper's core claim.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "suite_harness.h"
+#include "wl/adapters.h"
+#include "wl/workload.h"
+
+namespace repdir::test {
+namespace {
+
+struct PropertyParam {
+  std::string name;
+  std::uint32_t reps;
+  Votes read_quorum;
+  Votes write_quorum;
+  DirRepNodeOptions::Backend backend;
+  std::uint64_t seed;
+  std::uint32_t weak_nodes = 0;      ///< Extra zero-vote representatives.
+  std::uint32_t neighbor_batch = 1;  ///< §4 batching.
+};
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name =
+      info.param.name +
+      (info.param.backend == DirRepNodeOptions::Backend::kMap ? "_map"
+                                                              : "_btree") +
+      "_seed" + std::to_string(info.param.seed);
+  if (info.param.weak_nodes > 0) {
+    name += "_weak" + std::to_string(info.param.weak_nodes);
+  }
+  if (info.param.neighbor_batch > 1) {
+    name += "_batch" + std::to_string(info.param.neighbor_batch);
+  }
+  return name;
+}
+
+class SuitePropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(SuitePropertyTest, RandomHistoryMatchesModelOnEveryQuorum) {
+  const PropertyParam& p = GetParam();
+
+  DirRepNodeOptions node_options = SuiteHarness::DefaultNodeOptions();
+  node_options.backend = p.backend;
+  node_options.btree_fanout = 4;  // deep trees: exercise splits/merges
+
+  std::vector<rep::Replica> replicas;
+  for (std::uint32_t i = 0; i < p.reps; ++i) {
+    replicas.push_back(rep::Replica{i + 1, 1});
+  }
+  for (std::uint32_t i = 0; i < p.weak_nodes; ++i) {
+    replicas.push_back(rep::Replica{100 + i, 0});
+  }
+  SuiteHarness harness(
+      QuorumConfig(std::move(replicas), p.read_quorum, p.write_quorum),
+      node_options);
+
+  rep::DirectorySuite::Options suite_options;
+  suite_options.config = harness.config();
+  suite_options.policy_seed = p.seed * 7919 + 13;
+  suite_options.neighbor_batch = p.neighbor_batch;
+  auto suite = std::make_unique<DirectorySuite>(harness.transport(), 200,
+                                                std::move(suite_options));
+  wl::SuiteClient client(*suite);
+
+  wl::WorkloadOptions options;
+  options.target_size = 40;
+  options.operations = 250;
+  options.seed = p.seed;
+  options.verify_against_model = true;
+  options.key_space = 4000;  // dense space: deletes frequently have ghosts
+
+  wl::SteadyStateWorkload workload(client, options);
+  ASSERT_TRUE(workload.Fill().ok());
+
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    const Status st = workload.Run();
+    ASSERT_TRUE(st.ok()) << "chunk " << chunk << ": " << st.ToString();
+    ASSERT_TRUE(AllRepsWellFormed(harness)) << "chunk " << chunk;
+    ASSERT_TRUE(AllQuorumsAgree(harness, workload.model()))
+        << "chunk " << chunk;
+    ASSERT_EQ(workload.report().mismatches, 0u);
+  }
+
+  // The workload must have actually exercised deletions with coalescing.
+  EXPECT_GT(workload.report().deletes, 100u);
+  EXPECT_GT(suite->stats().entries_in_ranges_coalesced().count(), 0u);
+}
+
+constexpr auto kMap = DirRepNodeOptions::Backend::kMap;
+constexpr auto kBTree = DirRepNodeOptions::Backend::kBTree;
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SuitePropertyTest,
+    ::testing::Values(
+        PropertyParam{"1_1_1", 1, 1, 1, kMap, 1},
+        PropertyParam{"2_1_2", 2, 1, 2, kMap, 1},
+        PropertyParam{"2_2_1", 2, 2, 1, kMap, 1},
+        PropertyParam{"3_2_2", 3, 2, 2, kMap, 1},
+        PropertyParam{"3_2_2", 3, 2, 2, kMap, 2},
+        PropertyParam{"3_2_2", 3, 2, 2, kBTree, 1},
+        PropertyParam{"3_2_2", 3, 2, 2, kBTree, 2},
+        PropertyParam{"3_1_3", 3, 1, 3, kMap, 1},
+        PropertyParam{"3_3_1", 3, 3, 1, kMap, 1},
+        PropertyParam{"4_2_3", 4, 2, 3, kMap, 1},
+        PropertyParam{"4_2_3", 4, 2, 3, kBTree, 3},
+        PropertyParam{"4_3_2", 4, 3, 2, kMap, 1},
+        PropertyParam{"5_3_3", 5, 3, 3, kMap, 1},
+        PropertyParam{"5_3_3", 5, 3, 3, kBTree, 4},
+        PropertyParam{"5_4_2", 5, 4, 2, kMap, 2},
+        PropertyParam{"5_2_4", 5, 2, 4, kMap, 2},
+        // Extensions in the same harness: weak hint nodes and §4 batching.
+        PropertyParam{"3_2_2", 3, 2, 2, kMap, 5, /*weak=*/1},
+        PropertyParam{"3_2_2", 3, 2, 2, kBTree, 6, /*weak=*/2},
+        PropertyParam{"3_2_2", 3, 2, 2, kMap, 7, /*weak=*/0, /*batch=*/3},
+        PropertyParam{"5_3_3", 5, 3, 3, kMap, 8, /*weak=*/1, /*batch=*/3}),
+    ParamName);
+
+// Weighted-vote configuration: one heavy replica (2 votes) + three light.
+TEST(SuiteWeightedVotes, HeavyReplicaParticipatesCorrectly) {
+  QuorumConfig config({{1, 2}, {2, 1}, {3, 1}, {4, 1}}, /*read=*/3,
+                      /*write=*/3);
+  ASSERT_TRUE(config.Validate().ok());
+
+  SuiteHarness harness(config);
+  auto suite = harness.NewSuite(100);
+  wl::SuiteClient client(*suite);
+
+  wl::WorkloadOptions options;
+  options.target_size = 30;
+  options.operations = 600;
+  options.verify_against_model = true;
+  options.key_space = 2000;
+
+  wl::SteadyStateWorkload workload(client, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_TRUE(AllRepsWellFormed(harness));
+  EXPECT_TRUE(AllQuorumsAgree(harness, workload.model()));
+}
+
+}  // namespace
+}  // namespace repdir::test

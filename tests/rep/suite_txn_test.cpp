@@ -1,0 +1,220 @@
+// Multi-operation transactions (SuiteTxn), ordered scans (NextKey), and the
+// ReplicatedSet abstraction.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "rep/replicated_set.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+using rep::ReplicatedSet;
+using rep::SuiteTxn;
+
+class SuiteTxnTest : public ::testing::Test {
+ protected:
+  SuiteTxnTest()
+      : harness_(QuorumConfig::Uniform(3, 2, 2)),
+        suite_(harness_.NewSuite(100)) {}
+
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST_F(SuiteTxnTest, MultiOpCommitIsAtomic) {
+  {
+    SuiteTxn txn = suite_->Begin();
+    ASSERT_TRUE(txn.Insert("a", "1").ok());
+    ASSERT_TRUE(txn.Insert("b", "2").ok());
+    ASSERT_TRUE(txn.Update("a", "1b").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  std::map<UserKey, Value> model{{"a", "1b"}, {"b", "2"}};
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+TEST_F(SuiteTxnTest, AbortRollsBackEverything) {
+  ASSERT_TRUE(suite_->Insert("keep", "1").ok());
+  {
+    SuiteTxn txn = suite_->Begin();
+    ASSERT_TRUE(txn.Insert("x", "1").ok());
+    ASSERT_TRUE(txn.Delete("keep").ok());
+    ASSERT_TRUE(txn.Insert("y", "2").ok());
+    txn.Abort();
+  }
+  std::map<UserKey, Value> model{{"keep", "1"}};
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+TEST_F(SuiteTxnTest, DestructionWithoutCommitAborts) {
+  {
+    SuiteTxn txn = suite_->Begin();
+    ASSERT_TRUE(txn.Insert("ephemeral", "v").ok());
+    // no Commit()
+  }
+  EXPECT_FALSE(suite_->Lookup("ephemeral")->found);
+  EXPECT_TRUE(AllQuorumsAgree(harness_, {}));
+}
+
+TEST_F(SuiteTxnTest, ReadsSeeOwnWrites) {
+  SuiteTxn txn = suite_->Begin();
+  ASSERT_TRUE(txn.Insert("k", "v1").ok());
+  auto r = txn.Lookup("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->value, "v1");
+  ASSERT_TRUE(txn.Update("k", "v2").ok());
+  EXPECT_EQ(txn.Lookup("k")->value, "v2");
+  ASSERT_TRUE(txn.Delete("k").ok());
+  EXPECT_FALSE(txn.Lookup("k")->found);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(AllQuorumsAgree(harness_, {}));
+}
+
+TEST_F(SuiteTxnTest, CleanCheckFailuresDoNotPoison) {
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  SuiteTxn txn = suite_->Begin();
+  EXPECT_EQ(txn.Insert("a", "dup").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(txn.open());
+  EXPECT_EQ(txn.Update("missing", "v").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(txn.open());
+  ASSERT_TRUE(txn.Insert("b", "2").ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  std::map<UserKey, Value> model{{"a", "1"}, {"b", "2"}};
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+TEST_F(SuiteTxnTest, OperationsAfterFinishFail) {
+  SuiteTxn txn = suite_->Begin();
+  ASSERT_TRUE(txn.Insert("k", "v").ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(txn.Insert("k2", "v").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SuiteTxnTest, ConflictingTransactionIsolation) {
+  // Two clients; txn A holds a modify lock on "k"; client B's single-shot
+  // operation on "k" aborts rather than seeing uncommitted data.
+  auto suite_b = harness_.NewSuite(101);
+  SuiteTxn txn = suite_->Begin();
+  ASSERT_TRUE(txn.Insert("k", "uncommitted").ok());
+
+  const auto read = suite_b->Lookup("k");
+  EXPECT_EQ(read.status().code(), StatusCode::kAborted);  // try-lock mode
+
+  ASSERT_TRUE(txn.Commit().ok());
+  const auto after = suite_b->Lookup("k");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value, "uncommitted");
+}
+
+TEST_F(SuiteTxnTest, TransactionalTransferPreservesBothKeys) {
+  ASSERT_TRUE(suite_->Insert("acct-a", "100").ok());
+  ASSERT_TRUE(suite_->Insert("acct-b", "50").ok());
+  {
+    SuiteTxn txn = suite_->Begin();
+    const auto a = txn.Lookup("acct-a");
+    const auto b = txn.Lookup("acct-b");
+    ASSERT_TRUE(a.ok() && b.ok());
+    const int a_val = std::stoi(a->value);
+    const int b_val = std::stoi(b->value);
+    ASSERT_TRUE(txn.Update("acct-a", std::to_string(a_val - 30)).ok());
+    ASSERT_TRUE(txn.Update("acct-b", std::to_string(b_val + 30)).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(suite_->Lookup("acct-a")->value, "70");
+  EXPECT_EQ(suite_->Lookup("acct-b")->value, "80");
+}
+
+class NextKeyTest : public SuiteTxnTest {};
+
+TEST_F(NextKeyTest, OrderedScanVisitsAllCurrentKeys) {
+  for (const char* k : {"d", "a", "c", "b", "e"}) {
+    ASSERT_TRUE(suite_->Insert(k, std::string("v-") + k).ok());
+  }
+  ASSERT_TRUE(suite_->Delete("c").ok());  // leaves ghosts on some reps
+
+  std::vector<UserKey> seen;
+  auto next = suite_->FirstKey();
+  ASSERT_TRUE(next.ok());
+  while (next->found) {
+    seen.push_back(next->key);
+    next = suite_->NextKey(next->key);
+    ASSERT_TRUE(next.ok());
+  }
+  EXPECT_EQ(seen, (std::vector<UserKey>{"a", "b", "d", "e"}));
+}
+
+TEST_F(NextKeyTest, EmptyDirectoryScan) {
+  const auto first = suite_->FirstKey();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->found);
+}
+
+TEST_F(NextKeyTest, NextKeySkipsGhosts) {
+  // Build a ghost between "a" and "z" on a minority replica.
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  ASSERT_TRUE(suite_->Insert("m", "2").ok());
+  ASSERT_TRUE(suite_->Insert("z", "3").ok());
+  harness_.network().SetNodeUp(3, false);
+  ASSERT_TRUE(suite_->Delete("m").ok());
+  harness_.network().SetNodeUp(3, true);
+
+  // If node 3 is in the read quorum, its "m" copy is a ghost the scan must
+  // skip by version comparison.
+  auto [suite2, policy] = harness_.NewScriptedSuite(101);
+  policy->SetDefault({3, 1, 2});
+  const auto next = suite2->NextKey("a");
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->found);
+  EXPECT_EQ(next->key, "z");
+}
+
+TEST_F(NextKeyTest, NextKeyReturnsValueToo) {
+  ASSERT_TRUE(suite_->Insert("k1", "hello").ok());
+  const auto next = suite_->NextKey("k0");
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->found);
+  EXPECT_EQ(next->key, "k1");
+  EXPECT_EQ(next->value, "hello");
+}
+
+class ReplicatedSetTest : public SuiteTxnTest {};
+
+TEST_F(ReplicatedSetTest, AddContainsRemove) {
+  ReplicatedSet set(*suite_);
+  EXPECT_FALSE(*set.Contains("x"));
+  EXPECT_TRUE(*set.Add("x"));
+  EXPECT_FALSE(*set.Add("x"));  // idempotent
+  EXPECT_TRUE(*set.Contains("x"));
+  EXPECT_TRUE(*set.Remove("x"));
+  EXPECT_FALSE(*set.Remove("x"));  // idempotent
+  EXPECT_FALSE(*set.Contains("x"));
+}
+
+TEST_F(ReplicatedSetTest, ElementsAreOrdered) {
+  ReplicatedSet set(*suite_);
+  for (const char* e : {"pear", "apple", "mango", "fig"}) {
+    ASSERT_TRUE(set.Add(e).ok());
+  }
+  ASSERT_TRUE(*set.Remove("mango"));
+  const auto elements = set.Elements();
+  ASSERT_TRUE(elements.ok());
+  EXPECT_EQ(*elements, (std::vector<UserKey>{"apple", "fig", "pear"}));
+}
+
+TEST_F(ReplicatedSetTest, SurvivesMinorityFailure) {
+  ReplicatedSet set(*suite_);
+  ASSERT_TRUE(set.Add("durable").ok());
+  harness_.network().SetNodeUp(2, false);
+  EXPECT_TRUE(*set.Contains("durable"));
+  EXPECT_TRUE(*set.Add("while-degraded"));
+  harness_.network().SetNodeUp(2, true);
+  const auto elements = set.Elements();
+  ASSERT_TRUE(elements.ok());
+  EXPECT_EQ(*elements, (std::vector<UserKey>{"durable", "while-degraded"}));
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,125 @@
+// The §3.3 correctness invariant, checked directly: "the current data for
+// each key has a version number greater than that of any non-current data
+// for that key."
+//
+// A shadow tracker records, after every committed operation, what the
+// current (key -> version) truth is. The invariant test then sweeps every
+// representative: for every key, every stale copy (entry version differing
+// from the current version, or any entry where the key is deleted) must be
+// strictly older than the current version; and where the key is absent,
+// the containing gap's version at SOME read-quorum-reachable set must
+// dominate. We check the strongest local form: for each key,
+//   max over reps of (its answer's version) == the canonical version, and
+//   every rep answer with a different payload has a strictly lower version.
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+struct Canonical {
+  bool present = false;
+  Version version = 0;  ///< Entry version if present; gap version if not.
+  Value value;
+};
+
+/// Recomputes canonical truth for `key` as the suite's Fig. 8 rule over ALL
+/// representatives (a superset of any read quorum - legal because every
+/// committed write reached a write quorum, so the global max equals every
+/// quorum max).
+Canonical CanonicalOf(SuiteHarness& h, const UserKey& key) {
+  Canonical best;
+  bool first = true;
+  for (const auto& replica : h.config().replicas()) {
+    const storage::DirRepCore core(h.node(replica.node).storage());
+    const auto reply = core.Lookup(RepKey::User(key));
+    if (first || reply.version > best.version) {
+      best.present = reply.present;
+      best.version = reply.version;
+      best.value = reply.value;
+      first = false;
+    }
+  }
+  return best;
+}
+
+class VersionInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VersionInvariant, CurrentDataStrictlyDominatesStaleData) {
+  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+  auto suite = harness.NewSuite(100, nullptr, GetParam());
+  Rng rng(GetParam() * 97 + 3);
+
+  std::map<UserKey, Value> model;
+  for (int step = 0; step < 500; ++step) {
+    // Periodically fail/heal a node so stale copies accumulate.
+    if (step % 50 == 10) {
+      harness.network().SetNodeUp(1 + (step / 50) % 3, false);
+    }
+    if (step % 50 == 35) {
+      harness.network().SetNodeUp(1 + (step / 50) % 3, true);
+    }
+
+    const std::string key = "k" + std::to_string(rng.Below(15));
+    switch (rng.Below(3)) {
+      case 0:
+        if (suite->Insert(key, "v" + std::to_string(step)).ok()) {
+          model[key] = "v" + std::to_string(step);
+        }
+        break;
+      case 1:
+        if (suite->Update(key, "u" + std::to_string(step)).ok()) {
+          model[key] = "u" + std::to_string(step);
+        }
+        break;
+      default:
+        if (suite->Delete(key).ok()) model.erase(key);
+        break;
+    }
+
+    if (step % 25 != 0) continue;
+
+    // Sweep every key seen anywhere.
+    std::set<UserKey> keys;
+    for (const auto& replica : harness.config().replicas()) {
+      for (const auto& e : harness.node(replica.node).storage().Scan()) {
+        if (e.key.is_user()) keys.insert(e.key.user());
+      }
+    }
+    for (const auto& k : keys) {
+      const Canonical canon = CanonicalOf(harness, k);
+      // Canonical truth must match the committed model.
+      const auto it = model.find(k);
+      ASSERT_EQ(canon.present, it != model.end())
+          << "step " << step << " key " << k;
+      if (canon.present) {
+        ASSERT_EQ(canon.value, it->second) << "step " << step << " key " << k;
+      }
+      // Strict dominance: every representative whose answer differs from
+      // the canonical one must report a strictly smaller version.
+      for (const auto& replica : harness.config().replicas()) {
+        const storage::DirRepCore core(harness.node(replica.node).storage());
+        const auto reply = core.Lookup(RepKey::User(k));
+        const bool same_payload = reply.present == canon.present &&
+                                  (!reply.present ||
+                                   reply.value == canon.value);
+        if (!same_payload) {
+          ASSERT_LT(reply.version, canon.version)
+              << "node " << replica.node << " key " << k << " step " << step
+              << ": stale data not dominated\n  "
+              << harness.Dump(replica.node);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(AllRepsWellFormed(harness));
+  EXPECT_TRUE(AllQuorumsAgree(harness, model));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionInvariant,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace repdir::test

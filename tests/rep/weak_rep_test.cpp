@@ -1,0 +1,121 @@
+// Weak (zero-vote) representatives - paper §2: "representatives with zero
+// votes may be used as hints". They never contribute to quorums; the suite
+// propagates writes to them best-effort and folds their replies into reads
+// (safe: the highest-version rule still selects current data).
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+constexpr NodeId kWeak = 9;
+
+/// 3-2-2 voting core plus one zero-vote hint node.
+QuorumConfig WeakConfig() {
+  return QuorumConfig({{1, 1}, {2, 1}, {3, 1}, {kWeak, 0}}, 2, 2);
+}
+
+class WeakRepTest : public ::testing::Test {
+ protected:
+  WeakRepTest() : harness_(WeakConfig()), suite_(harness_.NewSuite(100)) {}
+
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST(WeakConfigValidation, ZeroVoteReplicasAreLegal) {
+  EXPECT_TRUE(WeakConfig().Validate().ok());
+  EXPECT_EQ(WeakConfig().TotalVotes(), 3u);
+  EXPECT_EQ(WeakConfig().WeakNodes(), (std::vector<NodeId>{kWeak}));
+  EXPECT_EQ(WeakConfig().VotingNodes(), (std::vector<NodeId>{1, 2, 3}));
+  // A weak node never makes a quorum.
+  EXPECT_FALSE(WeakConfig().IsReadQuorum({kWeak}));
+  EXPECT_FALSE(WeakConfig().IsReadQuorum({1, kWeak}));
+  EXPECT_TRUE(WeakConfig().IsReadQuorum({1, 2}));
+}
+
+TEST_F(WeakRepTest, WritesPropagateToWeakRepresentative) {
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  const auto copy = harness_.node(kWeak).storage().Get(RepKey::User("k"));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->value, "v1");
+
+  ASSERT_TRUE(suite_->Update("k", "v2").ok());
+  EXPECT_EQ(harness_.node(kWeak).storage().Get(RepKey::User("k"))->value,
+            "v2");
+}
+
+TEST_F(WeakRepTest, WeakNodeDownDoesNotAffectOperations) {
+  harness_.network().SetNodeUp(kWeak, false);
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  ASSERT_TRUE(suite_->Update("a", "2").ok());
+  EXPECT_EQ(suite_->Lookup("a")->value, "2");
+  ASSERT_TRUE(suite_->Delete("a").ok());
+  EXPECT_EQ(suite_->stats().counters().unavailable, 0u);
+}
+
+TEST_F(WeakRepTest, VotingMinorityDownStillWorksWeakCannotSubstitute) {
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  // One voting node down: fine (weak node present but irrelevant to votes).
+  harness_.network().SetNodeUp(3, false);
+  EXPECT_TRUE(suite_->Lookup("a")->found);
+  ASSERT_TRUE(suite_->Update("a", "2").ok());
+  // Two voting nodes down: unavailable even though the weak node has data.
+  harness_.network().SetNodeUp(2, false);
+  EXPECT_EQ(suite_->Lookup("a").status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(WeakRepTest, StaleWeakGhostNeverCorruptsReads) {
+  ASSERT_TRUE(suite_->Insert("g", "v").ok());
+  ASSERT_TRUE(harness_.node(kWeak).storage().Get(RepKey::User("g")).has_value());
+
+  // Delete does not touch the weak node: its copy becomes a ghost.
+  ASSERT_TRUE(suite_->Delete("g").ok());
+  EXPECT_TRUE(harness_.node(kWeak).storage().Get(RepKey::User("g")).has_value())
+      << "delete should leave the weak copy as a ghost";
+
+  // Reads (which fold the weak reply) still answer absent, many times and
+  // under every quorum order.
+  for (int i = 0; i < 10; ++i) {
+    const auto r = suite_->Lookup("g");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->found);
+  }
+}
+
+TEST_F(WeakRepTest, ModelAgreementWithWeakNodeInPlay) {
+  // Random workload against the model, with the weak node flapping.
+  std::map<UserKey, Value> model;
+  Rng rng(77);
+  for (int step = 0; step < 300; ++step) {
+    if (step % 37 == 0) {
+      harness_.network().SetNodeUp(kWeak, rng.Chance(0.5));
+    }
+    const std::string key = "k" + std::to_string(rng.Below(20));
+    switch (rng.Below(3)) {
+      case 0: {
+        const Status st = suite_->Insert(key, std::to_string(step));
+        if (st.ok()) model[key] = std::to_string(step);
+        break;
+      }
+      case 1: {
+        const Status st = suite_->Update(key, std::to_string(step));
+        if (st.ok()) model[key] = std::to_string(step);
+        break;
+      }
+      default: {
+        const Status st = suite_->Delete(key);
+        if (st.ok()) model.erase(key);
+        break;
+      }
+    }
+  }
+  harness_.network().SetNodeUp(kWeak, true);
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,39 @@
+// NetworkModel duplication knob.
+#include <gtest/gtest.h>
+
+#include "sim/network_model.h"
+
+namespace repdir::sim {
+namespace {
+
+TEST(NetworkModelDuplication, OffByDefault) {
+  NetworkModel net;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(net.ShouldDuplicate(1, 2));
+  }
+}
+
+TEST(NetworkModelDuplication, MatchesConfiguredProbability) {
+  NetworkModel net(42);
+  LinkSpec spec;
+  spec.duplicate_probability = 0.4;
+  net.SetDefaultLink(spec);
+  int duplicated = 0;
+  for (int i = 0; i < 5000; ++i) {
+    duplicated += net.ShouldDuplicate(1, 2);
+  }
+  EXPECT_NEAR(duplicated / 5000.0, 0.4, 0.03);
+}
+
+TEST(NetworkModelDuplication, PerLinkOverride) {
+  NetworkModel net(7);
+  LinkSpec dup;
+  dup.duplicate_probability = 1.0;
+  net.SetLink(1, 2, dup);
+  EXPECT_TRUE(net.ShouldDuplicate(1, 2));
+  EXPECT_FALSE(net.ShouldDuplicate(2, 1));
+  EXPECT_FALSE(net.ShouldDuplicate(1, 3));
+}
+
+}  // namespace
+}  // namespace repdir::sim

@@ -1,0 +1,134 @@
+// Discrete-event simulation: event ordering, virtual time, and the network
+// fault/latency model.
+#include <gtest/gtest.h>
+
+#include "sim/network_model.h"
+#include "sim/simulation.h"
+
+namespace repdir::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrderWithFifoTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(20, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });  // same time: FIFO
+  q.ScheduleAt(30, [&] { order.push_back(4); });
+  while (!q.empty()) q.RunOne();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] {
+    order.push_back(1);
+    q.ScheduleAt(15, [&] { order.push_back(2); });
+  });
+  q.ScheduleAt(20, [&] { order.push_back(3); });
+  while (!q.empty()) q.RunOne();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  std::vector<TimeMicros> seen;
+  sim.After(100, [&] { seen.push_back(sim.Now()); });
+  sim.After(50, [&] {
+    seen.push_back(sim.Now());
+    sim.After(25, [&] { seen.push_back(sim.Now()); });
+  });
+  sim.RunUntil();
+  EXPECT_EQ(seen, (std::vector<TimeMicros>{50, 75, 100}));
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int ran = 0;
+  sim.After(10, [&] { ++ran; });
+  sim.After(100, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(50), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), 50u);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulation, StepExecutesOne) {
+  Simulation sim;
+  int ran = 0;
+  sim.After(5, [&] { ++ran; });
+  sim.After(6, [&] { ++ran; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(NetworkModel, PerfectByDefault) {
+  NetworkModel net;
+  const auto d = net.DeliveryDelay(1, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0u);
+}
+
+TEST(NetworkModel, DownNodeRejectsTraffic) {
+  NetworkModel net;
+  net.SetNodeUp(2, false);
+  EXPECT_FALSE(net.DeliveryDelay(1, 2).ok());
+  EXPECT_FALSE(net.DeliveryDelay(2, 1).ok());
+  EXPECT_TRUE(net.DeliveryDelay(1, 3).ok());
+  net.SetNodeUp(2, true);
+  EXPECT_TRUE(net.DeliveryDelay(1, 2).ok());
+}
+
+TEST(NetworkModel, PartitionIsSymmetricAndHealable) {
+  NetworkModel net;
+  net.Partition(1, 2);
+  EXPECT_FALSE(net.DeliveryDelay(1, 2).ok());
+  EXPECT_FALSE(net.DeliveryDelay(2, 1).ok());
+  EXPECT_TRUE(net.DeliveryDelay(1, 3).ok());
+  net.Heal(1, 2);
+  EXPECT_TRUE(net.DeliveryDelay(1, 2).ok());
+  net.Partition(1, 2);
+  net.Partition(1, 3);
+  net.HealAll();
+  EXPECT_TRUE(net.DeliveryDelay(1, 2).ok());
+  EXPECT_TRUE(net.DeliveryDelay(1, 3).ok());
+}
+
+TEST(NetworkModel, LatencyBaseAndJitter) {
+  NetworkModel net(5);
+  net.SetDefaultLink(LinkSpec{100, 50, 0.0});
+  for (int i = 0; i < 200; ++i) {
+    const auto d = net.DeliveryDelay(1, 2);
+    ASSERT_TRUE(d.ok());
+    EXPECT_GE(*d, 100u);
+    EXPECT_LE(*d, 150u);
+  }
+}
+
+TEST(NetworkModel, PerLinkOverride) {
+  NetworkModel net;
+  net.SetDefaultLink(LinkSpec{10, 0, 0.0});
+  net.SetLink(1, 2, LinkSpec{500, 0, 0.0});
+  EXPECT_EQ(*net.DeliveryDelay(1, 2), 500u);
+  EXPECT_EQ(*net.DeliveryDelay(2, 1), 10u);  // direction-specific
+  EXPECT_EQ(*net.DeliveryDelay(1, 3), 10u);
+}
+
+TEST(NetworkModel, DropProbability) {
+  NetworkModel net(77);
+  net.SetDefaultLink(LinkSpec{0, 0, 0.25});
+  int dropped = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (!net.DeliveryDelay(1, 2).ok()) ++dropped;
+  }
+  EXPECT_NEAR(dropped / 4000.0, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace repdir::sim

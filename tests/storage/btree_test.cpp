@@ -1,0 +1,127 @@
+// BTreeStorage structural tests: splits, merges, borrows, leaf chaining,
+// and a long randomized fuzz against the MapStorage reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/btree_storage.h"
+#include "storage/map_storage.h"
+#include "wl/key_gen.h"
+
+namespace repdir::storage {
+namespace {
+
+StoredEntry U(const std::string& k, Version v = 1, Version gap = 0) {
+  return StoredEntry{RepKey::User(k), v, "v" + k, gap};
+}
+
+TEST(BTree, GrowsInHeightUnderInsertions) {
+  BTreeStorage t(3);
+  EXPECT_EQ(t.Height(), 1);
+  for (int i = 0; i < 200; ++i) {
+    t.Put(U(wl::NumericKey(i)));
+    ASSERT_TRUE(t.CheckStructure()) << "after insert " << i;
+  }
+  EXPECT_GE(t.Height(), 3);
+  EXPECT_EQ(t.UserEntryCount(), 200u);
+}
+
+TEST(BTree, ShrinksBackUnderDeletions) {
+  BTreeStorage t(3);
+  for (int i = 0; i < 200; ++i) t.Put(U(wl::NumericKey(i)));
+  const int grown = t.Height();
+  for (int i = 0; i < 200; ++i) {
+    t.Erase(RepKey::User(wl::NumericKey(i)));
+    ASSERT_TRUE(t.CheckStructure()) << "after erase " << i;
+  }
+  EXPECT_EQ(t.UserEntryCount(), 0u);
+  EXPECT_LT(t.Height(), grown);
+  // Sentinels survive everything.
+  EXPECT_TRUE(t.Get(RepKey::Low()).has_value());
+  EXPECT_TRUE(t.Get(RepKey::High()).has_value());
+}
+
+TEST(BTree, ReverseOrderDeletionsRebalance) {
+  BTreeStorage t(4);
+  for (int i = 0; i < 300; ++i) t.Put(U(wl::NumericKey(i)));
+  for (int i = 299; i >= 0; --i) {
+    t.Erase(RepKey::User(wl::NumericKey(i)));
+    ASSERT_TRUE(t.CheckStructure()) << "after erase " << i;
+  }
+  EXPECT_EQ(t.UserEntryCount(), 0u);
+}
+
+TEST(BTree, AlternatingEndsDeletion) {
+  BTreeStorage t(3);
+  for (int i = 0; i < 128; ++i) t.Put(U(wl::NumericKey(i)));
+  int lo = 0;
+  int hi = 127;
+  while (lo <= hi) {
+    t.Erase(RepKey::User(wl::NumericKey(lo++)));
+    ASSERT_TRUE(t.CheckStructure());
+    if (lo > hi) break;
+    t.Erase(RepKey::User(wl::NumericKey(hi--)));
+    ASSERT_TRUE(t.CheckStructure());
+  }
+  EXPECT_EQ(t.UserEntryCount(), 0u);
+}
+
+// Fuzz: random interleaving of every RepStorage operation, mirrored onto
+// MapStorage; states must match exactly after every step (checked via Scan)
+// and the tree structure must stay valid.
+class BTreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeFuzz, MatchesMapReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  BTreeStorage tree(3 + static_cast<int>(seed % 5));  // fanouts 3..7
+  MapStorage ref;
+
+  std::vector<std::string> present;
+  auto pick_present = [&]() -> std::string {
+    return present[rng.Index(present.size())];
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.45 || present.empty()) {
+      // Insert or overwrite.
+      const std::string k = "k" + std::to_string(rng.Below(400));
+      const StoredEntry e{RepKey::User(k), rng.Below(100), "x", rng.Below(50)};
+      const bool existed = ref.Get(e.key).has_value();
+      tree.Put(e);
+      ref.Put(e);
+      if (!existed) present.push_back(k);
+    } else if (roll < 0.75) {
+      const std::string k = pick_present();
+      tree.Erase(RepKey::User(k));
+      ref.Erase(RepKey::User(k));
+      present.erase(std::find(present.begin(), present.end(), k));
+    } else if (roll < 0.85) {
+      const std::string k = pick_present();
+      const Version v = rng.Below(1000);
+      tree.SetGapAfter(RepKey::User(k), v);
+      ref.SetGapAfter(RepKey::User(k), v);
+    } else {
+      // Read-only probes must agree, including around absent keys.
+      const std::string k = "k" + std::to_string(rng.Below(400));
+      const RepKey key = RepKey::User(k);
+      ASSERT_EQ(tree.Get(key), ref.Get(key));
+      ASSERT_EQ(tree.Floor(key), ref.Floor(key));
+      ASSERT_EQ(tree.StrictPredecessor(key), ref.StrictPredecessor(key));
+      ASSERT_EQ(tree.StrictSuccessor(key), ref.StrictSuccessor(key));
+    }
+
+    if (step % 100 == 0) {
+      ASSERT_TRUE(tree.CheckStructure()) << "step " << step;
+      ASSERT_EQ(tree.Scan(), ref.Scan()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckStructure());
+  ASSERT_EQ(tree.Scan(), ref.Scan());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace repdir::storage

@@ -1,0 +1,154 @@
+// Gap-version bookkeeping property test: DirRepCore against a naive
+// reference that stores (entry-version map + explicit list of gap segments
+// with versions). After every random operation the two agree on the
+// version of EVERY probe key - present or absent - on both backends.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "common/rng.h"
+#include "storage/btree_storage.h"
+#include "storage/dir_rep_core.h"
+#include "storage/map_storage.h"
+#include "wl/key_gen.h"
+
+namespace repdir::storage {
+namespace {
+
+/// Naive reference: entries keyed by numeric id, gap versions stored as a
+/// map from "gap lower bound" (numeric id or -1 for LOW) to version.
+class NaiveRep {
+ public:
+  NaiveRep() { gap_after_[-1] = 0; }
+
+  bool Has(std::int64_t k) const { return entries_.contains(k); }
+
+  void Insert(std::int64_t k, Version v) {
+    if (entries_.contains(k)) {
+      entries_[k] = v;
+      return;
+    }
+    entries_[k] = v;
+    // Split the gap below k: the new entry's upper half keeps the version.
+    gap_after_[k] = GapVersionAt(k);
+  }
+
+  void Coalesce(std::int64_t l, std::int64_t h, Version v) {
+    // l may be -1 (LOW); h may be INT64_MAX (HIGH).
+    for (auto it = entries_.upper_bound(l); it != entries_.end() &&
+                                            it->first < h;) {
+      gap_after_.erase(it->first);
+      it = entries_.erase(it);
+    }
+    gap_after_[l] = v;
+  }
+
+  /// Entry version if present; otherwise the version of the containing gap.
+  std::pair<bool, Version> Lookup(std::int64_t k) const {
+    const auto e = entries_.find(k);
+    if (e != entries_.end()) return {true, e->second};
+    return {false, GapVersionAt(k)};
+  }
+
+  std::int64_t Predecessor(std::int64_t k) const {
+    auto it = entries_.lower_bound(k);
+    if (it == entries_.begin()) return -1;
+    return std::prev(it)->first;
+  }
+  std::int64_t Successor(std::int64_t k) const {
+    const auto it = entries_.upper_bound(k);
+    return it == entries_.end() ? std::numeric_limits<std::int64_t>::max()
+                                : it->first;
+  }
+
+ private:
+  Version GapVersionAt(std::int64_t k) const {
+    // Gap version = gap_after of the greatest boundary (entry or LOW) < k.
+    auto it = entries_.lower_bound(k);
+    const std::int64_t below =
+        it == entries_.begin() ? -1 : std::prev(it)->first;
+    return gap_after_.at(below);
+  }
+
+  std::map<std::int64_t, Version> entries_;
+  std::map<std::int64_t, Version> gap_after_;  // -1 = LOW
+};
+
+RepKey ToKey(std::int64_t k) {
+  if (k < 0) return RepKey::Low();
+  if (k == std::numeric_limits<std::int64_t>::max()) return RepKey::High();
+  return RepKey::User(wl::NumericKey(static_cast<std::uint64_t>(k)));
+}
+
+class GapSemanticsFuzz
+    : public ::testing::TestWithParam<std::pair<bool, std::uint64_t>> {};
+
+TEST_P(GapSemanticsFuzz, CoreMatchesNaiveReference) {
+  const auto [use_btree, seed] = GetParam();
+  std::unique_ptr<RepStorage> stg;
+  if (use_btree) {
+    stg = std::make_unique<BTreeStorage>(3);
+  } else {
+    stg = std::make_unique<MapStorage>();
+  }
+  DirRepCore core(*stg);
+  NaiveRep ref;
+  Rng rng(seed);
+  Version next_version = 1;
+
+  constexpr std::int64_t kSpace = 60;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      // Insert/overwrite a random key with a fresh version.
+      const std::int64_t k = static_cast<std::int64_t>(rng.Below(kSpace));
+      const Version v = next_version++;
+      ASSERT_TRUE(core.Insert(ToKey(k), v, "v").ok());
+      ref.Insert(k, v);
+    } else if (roll < 0.75) {
+      // Coalesce the range spanning a random key (as a delete would).
+      const std::int64_t k = static_cast<std::int64_t>(rng.Below(kSpace));
+      const std::int64_t l = ref.Predecessor(k);
+      const std::int64_t h = ref.Successor(k);
+      if (l < k && k < h) {
+        const Version v = next_version++;
+        ASSERT_TRUE(core.Coalesce(ToKey(l), ToKey(h), v).ok())
+            << "step " << step;
+        ref.Coalesce(l, h, v);
+      }
+    } else {
+      // Probe several random keys: present bit and version must agree.
+      for (int probe = 0; probe < 5; ++probe) {
+        const std::int64_t k = static_cast<std::int64_t>(rng.Below(kSpace));
+        const auto [present, version] = ref.Lookup(k);
+        const LookupReply reply = core.Lookup(ToKey(k));
+        ASSERT_EQ(reply.present, present) << "step " << step << " key " << k;
+        ASSERT_EQ(reply.version, version) << "step " << step << " key " << k;
+      }
+    }
+  }
+
+  // Exhaustive final sweep.
+  for (std::int64_t k = 0; k < kSpace; ++k) {
+    const auto [present, version] = ref.Lookup(k);
+    const LookupReply reply = core.Lookup(ToKey(k));
+    EXPECT_EQ(reply.present, present) << "key " << k;
+    EXPECT_EQ(reply.version, version) << "key " << k;
+  }
+  EXPECT_TRUE(CheckRepInvariants(*stg).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GapSemanticsFuzz,
+    ::testing::Values(std::make_pair(false, 1ull), std::make_pair(false, 2ull),
+                      std::make_pair(true, 1ull), std::make_pair(true, 2ull),
+                      std::make_pair(true, 3ull)),
+    [](const ::testing::TestParamInfo<std::pair<bool, std::uint64_t>>& param_info) {
+      return std::string(param_info.param.first ? "btree" : "map") + "_seed" +
+             std::to_string(param_info.param.second);
+    });
+
+}  // namespace
+}  // namespace repdir::storage

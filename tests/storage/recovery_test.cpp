@@ -1,0 +1,222 @@
+// Recovery: checkpoint + committed-redo reconstruction, presumed abort for
+// undecided transactions, in-doubt resolution, and a crash-point sweep
+// property test (crash after every flush boundary must yield a state equal
+// to replaying the committed prefix).
+#include <gtest/gtest.h>
+
+#include "storage/map_storage.h"
+#include "storage/recovery.h"
+
+namespace repdir::storage {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : writer_(device_) {}
+
+  Status LogInsert(TxnId txn, const std::string& k, Version v) {
+    return writer_.AppendOp(txn, WalOp::Insert(RepKey::User(k), v, "v" + k));
+  }
+  Status LogCoalesce(TxnId txn, const RepKey& l, const RepKey& h, Version v) {
+    return writer_.AppendOp(txn, WalOp::Coalesce(l, h, v));
+  }
+  Result<RecoveryOutcome> Recover(RepStorage& stg) {
+    const auto log = ReadLog(device_);
+    if (!log.ok()) return log.status();
+    return RecoverRepresentative(stg, *log);
+  }
+
+  MemLogDevice device_;
+  WalWriter writer_;
+};
+
+TEST_F(RecoveryTest, CommittedTransactionsAreReplayed) {
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kPrepare, 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 1).ok());
+
+  MapStorage stg;
+  const auto outcome = Recover(stg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->ops_replayed, 1u);
+  EXPECT_TRUE(outcome->in_doubt.empty());
+  ASSERT_TRUE(stg.Get(RepKey::User("a")).has_value());
+  EXPECT_EQ(stg.Get(RepKey::User("a"))->version, 1u);
+}
+
+TEST_F(RecoveryTest, UncommittedOpsAreNotReplayed) {
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(LogInsert(2, "b", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 2).ok());
+  // Txn 1 never prepared or decided: its effects vanish (presumed abort).
+
+  MapStorage stg;
+  const auto outcome = Recover(stg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(stg.Get(RepKey::User("a")).has_value());
+  EXPECT_TRUE(stg.Get(RepKey::User("b")).has_value());
+  EXPECT_TRUE(outcome->in_doubt.empty());
+}
+
+TEST_F(RecoveryTest, PreparedUndecidedIsInDoubt) {
+  ASSERT_TRUE(LogInsert(5, "x", 2).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kPrepare, 5).ok());
+
+  MapStorage stg;
+  const auto outcome = Recover(stg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(stg.Get(RepKey::User("x")).has_value());  // not applied yet
+  ASSERT_EQ(outcome->in_doubt.size(), 1u);
+  EXPECT_TRUE(outcome->in_doubt.contains(5));
+}
+
+TEST_F(RecoveryTest, ResolveInDoubtCommitAppliesOps) {
+  ASSERT_TRUE(LogInsert(5, "x", 2).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kPrepare, 5).ok());
+
+  MapStorage stg;
+  ASSERT_TRUE(Recover(stg).ok());
+
+  const auto log = ReadLog(device_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(ResolveInDoubt(stg, *log, 5, /*commit=*/true, writer_).ok());
+  EXPECT_TRUE(stg.Get(RepKey::User("x")).has_value());
+
+  // A later recovery sees the appended commit record: no longer in doubt.
+  MapStorage stg2;
+  const auto outcome2 = Recover(stg2);
+  ASSERT_TRUE(outcome2.ok());
+  EXPECT_TRUE(outcome2->in_doubt.empty());
+  EXPECT_TRUE(stg2.Get(RepKey::User("x")).has_value());
+}
+
+TEST_F(RecoveryTest, ResolveInDoubtAbortDropsOps) {
+  ASSERT_TRUE(LogInsert(5, "x", 2).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kPrepare, 5).ok());
+
+  MapStorage stg;
+  ASSERT_TRUE(Recover(stg).ok());
+  const auto log = ReadLog(device_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(ResolveInDoubt(stg, *log, 5, /*commit=*/false, writer_).ok());
+  EXPECT_FALSE(stg.Get(RepKey::User("x")).has_value());
+
+  MapStorage stg2;
+  const auto outcome2 = Recover(stg2);
+  ASSERT_TRUE(outcome2.ok());
+  EXPECT_TRUE(outcome2->in_doubt.empty());
+}
+
+TEST_F(RecoveryTest, CheckpointPlusTailReplay) {
+  // Committed history before the checkpoint...
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 1).ok());
+  MapStorage live;
+  {
+    DirRepCore core(live);
+    ASSERT_TRUE(core.Insert(RepKey::User("a"), 1, "va").ok());
+  }
+  ASSERT_TRUE(writer_.WriteCheckpoint(live.Scan()).ok());
+
+  // ...and committed history after it.
+  ASSERT_TRUE(LogInsert(2, "b", 2).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 2).ok());
+
+  MapStorage recovered;
+  const auto outcome = Recover(recovered);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->restored_checkpoint);
+  EXPECT_EQ(outcome->ops_replayed, 1u);  // only the post-checkpoint op
+  EXPECT_TRUE(recovered.Get(RepKey::User("a")).has_value());
+  EXPECT_TRUE(recovered.Get(RepKey::User("b")).has_value());
+}
+
+TEST_F(RecoveryTest, CoalesceRedoReproducesGapState) {
+  // History: t1 inserts a,b,c (committed); t2 coalesces (a,c) -> gap 5.
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(LogInsert(1, "b", 1).ok());
+  ASSERT_TRUE(LogInsert(1, "c", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 1).ok());
+  ASSERT_TRUE(
+      LogCoalesce(2, RepKey::User("a"), RepKey::User("c"), 5).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 2).ok());
+
+  MapStorage stg;
+  ASSERT_TRUE(Recover(stg).ok());
+  EXPECT_FALSE(stg.Get(RepKey::User("b")).has_value());
+  EXPECT_EQ(stg.Get(RepKey::User("a"))->gap_after, 5u);
+}
+
+// Property: crash at every flush boundary. We build a scripted history of N
+// committed transactions (flushing after each commit), then for each prefix
+// of flushes simulate a crash and verify recovery equals the prefix state.
+TEST_F(RecoveryTest, CrashAtEveryCommitBoundaryRecoversPrefix) {
+  constexpr int kTxns = 12;
+
+  // Expected states: replay prefix by prefix on a reference.
+  std::vector<std::vector<StoredEntry>> expected;
+  {
+    MapStorage ref;
+    DirRepCore core(ref);
+    expected.push_back(ref.Scan());
+    for (int t = 1; t <= kTxns; ++t) {
+      const std::string k = "key" + std::to_string(t % 5);
+      if (t % 3 == 0 && ref.Get(RepKey::User(k)).has_value()) {
+        const StoredEntry pred = ref.StrictPredecessor(RepKey::User(k));
+        const StoredEntry succ = ref.StrictSuccessor(RepKey::User(k));
+        ASSERT_TRUE(
+            core.Coalesce(pred.key, succ.key, static_cast<Version>(t)).ok());
+      } else {
+        ASSERT_TRUE(
+            core.Insert(RepKey::User(k), static_cast<Version>(t), "v").ok());
+      }
+      expected.push_back(ref.Scan());
+    }
+  }
+
+  // The same history through the WAL, crash-testing each boundary.
+  for (int crash_after = 0; crash_after <= kTxns; ++crash_after) {
+    MemLogDevice device;
+    WalWriter writer(device);
+    MapStorage live;
+    DirRepCore core(live);
+    for (int t = 1; t <= crash_after; ++t) {
+      const TxnId txn = static_cast<TxnId>(t);
+      const std::string k = "key" + std::to_string(t % 5);
+      if (t % 3 == 0 && live.Get(RepKey::User(k)).has_value()) {
+        const StoredEntry pred = live.StrictPredecessor(RepKey::User(k));
+        const StoredEntry succ = live.StrictSuccessor(RepKey::User(k));
+        ASSERT_TRUE(writer
+                        .AppendOp(txn, WalOp::Coalesce(pred.key, succ.key,
+                                                       static_cast<Version>(t)))
+                        .ok());
+        ASSERT_TRUE(
+            core.Coalesce(pred.key, succ.key, static_cast<Version>(t)).ok());
+      } else {
+        ASSERT_TRUE(
+            writer
+                .AppendOp(txn, WalOp::Insert(RepKey::User(k),
+                                             static_cast<Version>(t), "v"))
+                .ok());
+        ASSERT_TRUE(
+            core.Insert(RepKey::User(k), static_cast<Version>(t), "v").ok());
+      }
+      ASSERT_TRUE(writer.AppendDecision(WalRecordType::kCommit, txn).ok());
+    }
+    // One more transaction that never commits (in flight at the crash).
+    ASSERT_TRUE(
+        writer.AppendOp(999, WalOp::Insert(RepKey::User("zz"), 99, "v")).ok());
+    device.Crash();
+
+    MapStorage recovered;
+    const auto log = ReadLog(device);
+    ASSERT_TRUE(log.ok());
+    const auto outcome = RecoverRepresentative(recovered, *log);
+    ASSERT_TRUE(outcome.ok()) << "crash_after=" << crash_after;
+    EXPECT_EQ(recovered.Scan(), expected[crash_after])
+        << "crash_after=" << crash_after;
+  }
+}
+
+}  // namespace
+}  // namespace repdir::storage

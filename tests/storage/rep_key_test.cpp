@@ -1,0 +1,96 @@
+// RepKey: ordering, sentinels, serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "storage/rep_key.h"
+
+namespace repdir::storage {
+namespace {
+
+TEST(RepKey, SentinelOrdering) {
+  const RepKey low = RepKey::Low();
+  const RepKey high = RepKey::High();
+  const RepKey a = RepKey::User("a");
+  const RepKey empty = RepKey::User("");  // even the empty user key
+
+  EXPECT_LT(low, empty);
+  EXPECT_LT(low, a);
+  EXPECT_LT(empty, a);
+  EXPECT_LT(a, high);
+  EXPECT_LT(empty, high);
+  EXPECT_LT(low, high);
+}
+
+TEST(RepKey, UserKeysOrderLexicographically) {
+  const std::vector<std::string> raw = {"", "a", "aa", "ab", "b", "ba", "z"};
+  for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+    EXPECT_LT(RepKey::User(raw[i]), RepKey::User(raw[i + 1]))
+        << raw[i] << " vs " << raw[i + 1];
+  }
+}
+
+TEST(RepKey, EqualityDistinguishesKinds) {
+  EXPECT_EQ(RepKey::Low(), RepKey::Low());
+  EXPECT_EQ(RepKey::High(), RepKey::High());
+  EXPECT_EQ(RepKey::User("x"), RepKey::User("x"));
+  EXPECT_NE(RepKey::Low(), RepKey::High());
+  EXPECT_NE(RepKey::User("x"), RepKey::User("y"));
+  EXPECT_NE(RepKey::Low(), RepKey::User(""));
+}
+
+TEST(RepKey, DefaultConstructedIsLow) {
+  const RepKey k;
+  EXPECT_TRUE(k.is_low());
+  EXPECT_EQ(k, RepKey::Low());
+}
+
+TEST(RepKey, SerializationRoundTrip) {
+  for (const RepKey& k :
+       {RepKey::Low(), RepKey::High(), RepKey::User("hello"),
+        RepKey::User(""), RepKey::User(std::string(1000, 'x'))}) {
+    const std::string bytes = EncodeToString(k);
+    RepKey decoded = RepKey::User("garbage");
+    ASSERT_TRUE(DecodeFromString(bytes, decoded).ok());
+    EXPECT_EQ(decoded, k);
+  }
+}
+
+TEST(RepKey, DecodeRejectsBadKind) {
+  ByteWriter w;
+  w.PutU8(7);  // invalid kind
+  w.PutString("");
+  RepKey k;
+  EXPECT_EQ(DecodeFromString(w.TakeString(), k).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(RepKey, DecodeRejectsSentinelWithPayload) {
+  ByteWriter w;
+  w.PutU8(0);  // LOW
+  w.PutString("junk");
+  RepKey k;
+  EXPECT_EQ(DecodeFromString(w.TakeString(), k).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(RepKey, ToStringIsReadable) {
+  EXPECT_EQ(RepKey::Low().ToString(), "LOW");
+  EXPECT_EQ(RepKey::High().ToString(), "HIGH");
+  EXPECT_EQ(RepKey::User("k1").ToString(), "\"k1\"");
+}
+
+TEST(RepKey, SortingPlacesSentinelsAtEnds) {
+  std::vector<RepKey> keys = {RepKey::User("m"), RepKey::High(),
+                              RepKey::User("a"), RepKey::Low(),
+                              RepKey::User("z")};
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(keys.front().is_low());
+  EXPECT_TRUE(keys.back().is_high());
+  EXPECT_EQ(keys[1], RepKey::User("a"));
+  EXPECT_EQ(keys[3], RepKey::User("z"));
+}
+
+}  // namespace
+}  // namespace repdir::storage

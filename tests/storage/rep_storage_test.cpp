@@ -1,0 +1,161 @@
+// RepStorage backend contract tests, parameterized over MapStorage and
+// BTreeStorage (several fanouts): both must implement identical ordered-map
+// semantics with sentinel entries.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "storage/btree_storage.h"
+#include "storage/map_storage.h"
+
+namespace repdir::storage {
+namespace {
+
+using Factory = std::function<std::unique_ptr<RepStorage>()>;
+
+struct BackendParam {
+  std::string name;
+  Factory make;
+};
+
+class RepStorageContract : public ::testing::TestWithParam<BackendParam> {
+ protected:
+  void SetUp() override { stg_ = GetParam().make(); }
+
+  static StoredEntry U(const std::string& k, Version v, Version gap = 0) {
+    return StoredEntry{RepKey::User(k), v, "val-" + k, gap};
+  }
+
+  std::unique_ptr<RepStorage> stg_;
+};
+
+TEST_P(RepStorageContract, FreshStorageHasOnlySentinels) {
+  const auto scan = stg_->Scan();
+  ASSERT_EQ(scan.size(), 2u);
+  EXPECT_TRUE(scan[0].key.is_low());
+  EXPECT_TRUE(scan[1].key.is_high());
+  EXPECT_EQ(scan[0].gap_after, 0u);
+  EXPECT_EQ(stg_->UserEntryCount(), 0u);
+}
+
+TEST_P(RepStorageContract, GetFindsExactKeyOnly) {
+  stg_->Put(U("b", 3));
+  EXPECT_TRUE(stg_->Get(RepKey::User("b")).has_value());
+  EXPECT_FALSE(stg_->Get(RepKey::User("a")).has_value());
+  EXPECT_FALSE(stg_->Get(RepKey::User("bb")).has_value());
+  EXPECT_EQ(stg_->Get(RepKey::User("b"))->version, 3u);
+  EXPECT_EQ(stg_->Get(RepKey::User("b"))->value, "val-b");
+}
+
+TEST_P(RepStorageContract, GetFindsSentinels) {
+  EXPECT_TRUE(stg_->Get(RepKey::Low()).has_value());
+  EXPECT_TRUE(stg_->Get(RepKey::High()).has_value());
+}
+
+TEST_P(RepStorageContract, PutOverwritesInPlace) {
+  stg_->Put(U("k", 1));
+  stg_->Put(StoredEntry{RepKey::User("k"), 5, "new", 7});
+  const auto e = stg_->Get(RepKey::User("k"));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->version, 5u);
+  EXPECT_EQ(e->value, "new");
+  EXPECT_EQ(e->gap_after, 7u);
+  EXPECT_EQ(stg_->UserEntryCount(), 1u);
+}
+
+TEST_P(RepStorageContract, FloorSemantics) {
+  stg_->Put(U("b", 1));
+  stg_->Put(U("d", 1));
+  EXPECT_EQ(stg_->Floor(RepKey::User("b")).key, RepKey::User("b"));
+  EXPECT_EQ(stg_->Floor(RepKey::User("c")).key, RepKey::User("b"));
+  EXPECT_EQ(stg_->Floor(RepKey::User("a")).key, RepKey::Low());
+  EXPECT_EQ(stg_->Floor(RepKey::User("z")).key, RepKey::User("d"));
+  EXPECT_EQ(stg_->Floor(RepKey::High()).key, RepKey::High());
+}
+
+TEST_P(RepStorageContract, StrictNeighborSemantics) {
+  stg_->Put(U("b", 1));
+  stg_->Put(U("d", 1));
+  EXPECT_EQ(stg_->StrictPredecessor(RepKey::User("b")).key, RepKey::Low());
+  EXPECT_EQ(stg_->StrictPredecessor(RepKey::User("c")).key, RepKey::User("b"));
+  EXPECT_EQ(stg_->StrictPredecessor(RepKey::User("d")).key, RepKey::User("b"));
+  EXPECT_EQ(stg_->StrictPredecessor(RepKey::High()).key, RepKey::User("d"));
+  EXPECT_EQ(stg_->StrictSuccessor(RepKey::User("b")).key, RepKey::User("d"));
+  EXPECT_EQ(stg_->StrictSuccessor(RepKey::User("a")).key, RepKey::User("b"));
+  EXPECT_EQ(stg_->StrictSuccessor(RepKey::User("d")).key, RepKey::High());
+  EXPECT_EQ(stg_->StrictSuccessor(RepKey::Low()).key, RepKey::User("b"));
+}
+
+TEST_P(RepStorageContract, EraseRemovesOnlyTarget) {
+  stg_->Put(U("a", 1));
+  stg_->Put(U("b", 1));
+  stg_->Put(U("c", 1));
+  stg_->Erase(RepKey::User("b"));
+  EXPECT_FALSE(stg_->Get(RepKey::User("b")).has_value());
+  EXPECT_TRUE(stg_->Get(RepKey::User("a")).has_value());
+  EXPECT_TRUE(stg_->Get(RepKey::User("c")).has_value());
+  EXPECT_EQ(stg_->UserEntryCount(), 2u);
+  EXPECT_EQ(stg_->StrictSuccessor(RepKey::User("a")).key, RepKey::User("c"));
+}
+
+TEST_P(RepStorageContract, SetGapAfterUpdatesOnlyGap) {
+  stg_->Put(U("a", 4));
+  stg_->SetGapAfter(RepKey::User("a"), 9);
+  const auto e = stg_->Get(RepKey::User("a"));
+  EXPECT_EQ(e->version, 4u);
+  EXPECT_EQ(e->gap_after, 9u);
+  stg_->SetGapAfter(RepKey::Low(), 3);
+  EXPECT_EQ(stg_->Get(RepKey::Low())->gap_after, 3u);
+}
+
+TEST_P(RepStorageContract, ScanIsOrdered) {
+  for (const char* k : {"m", "c", "x", "a", "t"}) stg_->Put(U(k, 1));
+  const auto scan = stg_->Scan();
+  ASSERT_EQ(scan.size(), 7u);
+  for (std::size_t i = 1; i < scan.size(); ++i) {
+    EXPECT_LT(scan[i - 1].key, scan[i].key);
+  }
+}
+
+TEST_P(RepStorageContract, ClearResetsToEmpty) {
+  for (int i = 0; i < 50; ++i) stg_->Put(U("k" + std::to_string(i), 1));
+  stg_->Clear();
+  EXPECT_EQ(stg_->UserEntryCount(), 0u);
+  EXPECT_EQ(stg_->Scan().size(), 2u);
+}
+
+TEST_P(RepStorageContract, ManyEntriesKeepOrderAndCount) {
+  Rng rng(7);
+  std::set<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    std::string k = "key" + std::to_string(rng.Below(100000));
+    keys.insert(k);
+    stg_->Put(U(k, 1));
+  }
+  EXPECT_EQ(stg_->UserEntryCount(), keys.size());
+  const auto scan = stg_->Scan();
+  ASSERT_EQ(scan.size(), keys.size() + 2);
+  auto it = keys.begin();
+  for (std::size_t i = 1; i + 1 < scan.size(); ++i, ++it) {
+    EXPECT_EQ(scan[i].key.user(), *it);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, RepStorageContract,
+    ::testing::Values(
+        BackendParam{"map", [] { return std::make_unique<MapStorage>(); }},
+        BackendParam{"btree3",
+                     [] { return std::make_unique<BTreeStorage>(3); }},
+        BackendParam{"btree4",
+                     [] { return std::make_unique<BTreeStorage>(4); }},
+        BackendParam{"btree16",
+                     [] { return std::make_unique<BTreeStorage>(16); }}),
+    [](const ::testing::TestParamInfo<BackendParam>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace repdir::storage

@@ -1,0 +1,171 @@
+// TxnParticipant: transactional Figure 6 operations - lock acquisition per
+// operation, undo on abort, WAL records, checkpoint gating.
+#include <gtest/gtest.h>
+
+#include "storage/map_storage.h"
+#include "txn/participant.h"
+
+namespace repdir::txn {
+namespace {
+
+using storage::MapStorage;
+using storage::MemLogDevice;
+using storage::ReadLog;
+using storage::WalRecordType;
+using storage::WalWriter;
+
+class ParticipantTest : public ::testing::Test {
+ protected:
+  ParticipantTest()
+      : wal_(device_),
+        participant_(stg_, /*detector=*/nullptr, &wal_, NonBlocking()) {}
+
+  static ParticipantOptions NonBlocking() {
+    ParticipantOptions o;
+    o.blocking_locks = false;
+    return o;
+  }
+
+  MapStorage stg_;
+  MemLogDevice device_;
+  WalWriter wal_;
+  TxnParticipant participant_;
+};
+
+TEST_F(ParticipantTest, InsertVisibleBeforeCommitWithinTxn) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("a"), 3, "va").ok());
+  const auto reply = participant_.Lookup(1, RepKey::User("a"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->present);
+  EXPECT_EQ(reply->version, 3u);
+}
+
+TEST_F(ParticipantTest, CommitReleasesLocksAndKeepsEffects) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("a"), 1, "va").ok());
+  EXPECT_GT(participant_.lock_manager().HeldCount(1), 0u);
+  ASSERT_TRUE(participant_.Prepare(1).ok());
+  ASSERT_TRUE(participant_.Commit(1).ok());
+  EXPECT_EQ(participant_.lock_manager().HeldCount(1), 0u);
+  EXPECT_TRUE(stg_.Get(RepKey::User("a")).has_value());
+  EXPECT_FALSE(participant_.IsActive(1));
+}
+
+TEST_F(ParticipantTest, AbortUndoesInsertAndCoalesceInReverse) {
+  // Committed base state: a, b, c.
+  for (const char* k : {"a", "b", "c"}) {
+    ASSERT_TRUE(participant_.Insert(1, RepKey::User(k), 1, "v").ok());
+  }
+  ASSERT_TRUE(participant_.Commit(1).ok());
+  const auto base = stg_.Scan();
+
+  // Txn 2: insert d, then coalesce (a, c) erasing b and d... d > c so
+  // coalesce (a,c) erases only b; then coalesce (c, HIGH) erases d.
+  ASSERT_TRUE(participant_.Insert(2, RepKey::User("d"), 2, "vd").ok());
+  ASSERT_TRUE(
+      participant_.Coalesce(2, RepKey::User("a"), RepKey::User("c"), 5).ok());
+  ASSERT_TRUE(
+      participant_.Coalesce(2, RepKey::User("c"), RepKey::High(), 6).ok());
+  EXPECT_FALSE(stg_.Get(RepKey::User("b")).has_value());
+  EXPECT_FALSE(stg_.Get(RepKey::User("d")).has_value());
+
+  ASSERT_TRUE(participant_.Abort(2).ok());
+  EXPECT_EQ(stg_.Scan(), base);
+  EXPECT_EQ(participant_.lock_manager().HeldCount(2), 0u);
+}
+
+TEST_F(ParticipantTest, ConflictingTransactionsAbortInTryMode) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("k"), 1, "v").ok());
+  // Txn 2 cannot touch the same key while txn 1 holds RepModify.
+  EXPECT_EQ(participant_.Insert(2, RepKey::User("k"), 2, "w").code(),
+            StatusCode::kAborted);
+  // But a disjoint key is fine - per-entry concurrency.
+  EXPECT_TRUE(participant_.Insert(3, RepKey::User("z"), 1, "v").ok());
+}
+
+TEST_F(ParticipantTest, LookupBlocksConflictingCoalesceRange) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("a"), 1, "v").ok());
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("e"), 1, "v").ok());
+  ASSERT_TRUE(participant_.Commit(1).ok());
+
+  // Txn 2 reads key "c" (inside the gap); txn 3 may not coalesce across it.
+  ASSERT_TRUE(participant_.Lookup(2, RepKey::User("c")).ok());
+  EXPECT_EQ(participant_.Coalesce(3, RepKey::User("a"), RepKey::User("e"), 9)
+                .status()
+                .code(),
+            StatusCode::kAborted);
+}
+
+TEST_F(ParticipantTest, WalRecordsOpsAndDecisions) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("a"), 1, "v").ok());
+  ASSERT_TRUE(participant_.Prepare(1).ok());
+  ASSERT_TRUE(participant_.Commit(1).ok());
+
+  const auto log = ReadLog(device_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 3u);
+  EXPECT_EQ((*log)[0].type, WalRecordType::kOp);
+  EXPECT_EQ((*log)[1].type, WalRecordType::kPrepare);
+  EXPECT_EQ((*log)[2].type, WalRecordType::kCommit);
+}
+
+TEST_F(ParticipantTest, ReadOnlyTransactionsLeaveNoLogRecords) {
+  ASSERT_TRUE(participant_.Lookup(4, RepKey::User("q")).ok());
+  ASSERT_TRUE(participant_.Prepare(4).ok());
+  ASSERT_TRUE(participant_.Commit(4).ok());
+  const auto log = ReadLog(device_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->empty());
+}
+
+TEST_F(ParticipantTest, PrepareUnknownTxnFails) {
+  EXPECT_EQ(participant_.Prepare(99).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ParticipantTest, CommitUnknownTxnIsIdempotentOk) {
+  EXPECT_TRUE(participant_.Commit(99).ok());
+  EXPECT_TRUE(participant_.Abort(98).ok());
+}
+
+TEST_F(ParticipantTest, CheckpointRequiresQuiescence) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("a"), 1, "v").ok());
+  EXPECT_EQ(participant_.WriteCheckpoint().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(participant_.Commit(1).ok());
+  EXPECT_TRUE(participant_.WriteCheckpoint().ok());
+
+  const auto log = ReadLog(device_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 1u);
+  EXPECT_EQ((*log)[0].type, WalRecordType::kCheckpoint);
+}
+
+TEST_F(ParticipantTest, PredecessorSuccessorLockRanges) {
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("b"), 1, "v").ok());
+  ASSERT_TRUE(participant_.Insert(1, RepKey::User("f"), 1, "v").ok());
+  ASSERT_TRUE(participant_.Commit(1).ok());
+
+  // Txn 2's Predecessor("d") locks RepLookup(b, d).
+  const auto pred = participant_.Predecessor(2, RepKey::User("d"));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->key, RepKey::User("b"));
+  // Inserting "c" (inside the locked range) must conflict...
+  EXPECT_EQ(participant_.Insert(3, RepKey::User("c"), 1, "v").code(),
+            StatusCode::kAborted);
+  // ...but "e" (outside [b, d]) is fine.
+  EXPECT_TRUE(participant_.Insert(3, RepKey::User("e"), 1, "v").ok());
+}
+
+TEST(ParticipantNoWal, WorksWithoutDurability) {
+  MapStorage stg;
+  ParticipantOptions options;
+  options.blocking_locks = false;
+  TxnParticipant p(stg, nullptr, nullptr, options);
+  ASSERT_TRUE(p.Insert(1, RepKey::User("a"), 1, "v").ok());
+  ASSERT_TRUE(p.Prepare(1).ok());
+  ASSERT_TRUE(p.Commit(1).ok());
+  EXPECT_TRUE(stg.Get(RepKey::User("a")).has_value());
+  EXPECT_EQ(p.WriteCheckpoint().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace repdir::txn

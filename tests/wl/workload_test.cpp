@@ -1,0 +1,143 @@
+// Workload generators and the steady-state driver.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "wl/key_gen.h"
+#include "wl/workload.h"
+
+namespace repdir::wl {
+namespace {
+
+/// In-memory DirectoryClient used to test the driver itself.
+class LocalDirectory final : public DirectoryClient {
+ public:
+  Result<std::optional<Value>> Lookup(const UserKey& key) override {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::optional<Value>{};
+    return std::optional<Value>{it->second};
+  }
+  Status Insert(const UserKey& key, const Value& value) override {
+    if (map_.contains(key)) return Status::AlreadyExists(key);
+    map_[key] = value;
+    return Status::Ok();
+  }
+  Status Update(const UserKey& key, const Value& value) override {
+    if (!map_.contains(key)) return Status::NotFound(key);
+    map_[key] = value;
+    return Status::Ok();
+  }
+  Status Delete(const UserKey& key) override {
+    return map_.erase(key) ? Status::Ok() : Status::NotFound(key);
+  }
+
+  const std::map<UserKey, Value>& contents() const { return map_; }
+
+ private:
+  std::map<UserKey, Value> map_;
+};
+
+TEST(NumericKeyTest, FixedWidthPreservesNumericOrder) {
+  EXPECT_EQ(NumericKey(42), "k000000000042");
+  EXPECT_LT(NumericKey(9), NumericKey(10));
+  EXPECT_LT(NumericKey(999), NumericKey(1000));
+}
+
+TEST(UniformKeysTest, StaysInRange) {
+  Rng rng(3);
+  UniformKeys gen(100, 200);
+  for (int i = 0; i < 1000; ++i) {
+    const UserKey k = gen.Next(rng);
+    EXPECT_GE(k, NumericKey(100));
+    EXPECT_LT(k, NumericKey(200));
+  }
+}
+
+TEST(ZipfianKeysTest, SkewsTowardHotKeys) {
+  Rng rng(4);
+  ZipfianKeys gen(1000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.NextRank(rng)];
+  // Rank 0 dominates and the top 10 ranks take a large share.
+  int top10 = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) top10 += counts[r];
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(top10, 20000 / 4);
+  for (const auto& [rank, n] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(SteadyStateWorkloadTest, FillReachesTarget) {
+  LocalDirectory dir;
+  WorkloadOptions options;
+  options.target_size = 57;
+  options.verify_against_model = true;
+  SteadyStateWorkload workload(dir, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  EXPECT_EQ(dir.contents().size(), 57u);
+  EXPECT_EQ(workload.live_size(), 57u);
+}
+
+TEST(SteadyStateWorkloadTest, SizeStaysNearTarget) {
+  LocalDirectory dir;
+  WorkloadOptions options;
+  options.target_size = 50;
+  options.operations = 5000;
+  options.verify_against_model = true;
+  SteadyStateWorkload workload(dir, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_NEAR(static_cast<double>(dir.contents().size()), 50.0, 2.0);
+  EXPECT_EQ(workload.report().mismatches, 0u);
+  EXPECT_EQ(workload.report().failures, 0u);
+}
+
+TEST(SteadyStateWorkloadTest, MixMatchesFractions) {
+  LocalDirectory dir;
+  WorkloadOptions options;
+  options.target_size = 50;
+  options.operations = 20000;
+  options.update_fraction = 0.25;
+  options.lookup_fraction = 0.25;
+  SteadyStateWorkload workload(dir, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  ASSERT_TRUE(workload.Run().ok());
+  const WorkloadReport& r = workload.report();
+  const double total = static_cast<double>(options.operations);
+  EXPECT_NEAR(r.lookups / total, 0.25, 0.02);
+  EXPECT_NEAR(r.updates / total, 0.25, 0.02);
+  // Churn half splits roughly evenly between inserts and deletes.
+  EXPECT_NEAR(r.inserts / total, 0.25, 0.03);
+  EXPECT_NEAR(r.deletes / total, 0.25, 0.03);
+}
+
+TEST(SteadyStateWorkloadTest, ModelTracksDirectoryExactly) {
+  LocalDirectory dir;
+  WorkloadOptions options;
+  options.target_size = 30;
+  options.operations = 3000;
+  options.key_space = 200;  // dense: lots of delete/reinsert collisions
+  options.verify_against_model = true;
+  SteadyStateWorkload workload(dir, options);
+  ASSERT_TRUE(workload.Fill().ok());
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_EQ(workload.model(), dir.contents());
+}
+
+TEST(SteadyStateWorkloadTest, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    LocalDirectory dir;
+    WorkloadOptions options;
+    options.target_size = 20;
+    options.operations = 500;
+    options.seed = seed;
+    SteadyStateWorkload workload(dir, options);
+    EXPECT_TRUE(workload.Fill().ok());
+    EXPECT_TRUE(workload.Run().ok());
+    return dir.contents();
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+}  // namespace
+}  // namespace repdir::wl

@@ -1,0 +1,232 @@
+// repdir_shell: interactive shell over an in-process replicated-directory
+// deployment. Useful for demos and for poking at the algorithm's failure
+// behaviour by hand.
+//
+//   $ ./repdir_shell [replicas] [R] [W]     (default 3 2 2)
+//
+// Commands:
+//   insert <key> <value>     update <key> <value>
+//   lookup <key>             delete <key>
+//   scan                     dump
+//   down <node>              up <node>
+//   crash <node>             recover <node>
+//   begin | commit | abort   (multi-op transaction)
+//   stats                    help | quit
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "net/inproc_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "sim/network_model.h"
+
+using namespace repdir;
+
+namespace {
+
+struct Shell {
+  explicit Shell(rep::QuorumConfig config)
+      : config_(std::move(config)), transport_(nullptr, &network_) {
+    rep::DirRepNodeOptions node_options;
+    node_options.enable_wal = true;
+    for (const auto& replica : config_.replicas()) {
+      nodes_.push_back(
+          std::make_unique<rep::DirRepNode>(replica.node, node_options));
+      transport_.RegisterNode(replica.node, nodes_.back()->server());
+    }
+    rep::DirectorySuite::Options options;
+    options.config = config_;
+    suite_ = std::make_unique<rep::DirectorySuite>(transport_, 100,
+                                                   std::move(options));
+  }
+
+  rep::DirRepNode* Node(NodeId id) {
+    for (auto& n : nodes_) {
+      if (n->id() == id) return n.get();
+    }
+    return nullptr;
+  }
+
+  void Print(const Status& st) {
+    std::printf("%s\n", st.ToString().c_str());
+  }
+
+  void Run() {
+    std::printf("repdir shell - %s suite. 'help' for commands.\n",
+                config_.ToString().c_str());
+    std::string line;
+    while (std::printf("repdir> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) return true;
+
+    auto need_key = [&](std::string& key) { return bool(in >> key); };
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "insert/update <key> <value> | lookup/delete <key> | scan | dump\n"
+          "down/up/crash/recover <node> | begin/commit/abort | stats | "
+          "quit\n");
+    } else if (cmd == "insert" || cmd == "update") {
+      std::string key;
+      std::string value;
+      if (!need_key(key) || !(in >> value)) {
+        std::printf("usage: %s <key> <value>\n", cmd.c_str());
+        return true;
+      }
+      const Status st = Apply(cmd == "insert", key, value);
+      Print(st);
+    } else if (cmd == "lookup") {
+      std::string key;
+      if (!need_key(key)) return Usage("lookup <key>");
+      const auto r = txn_ ? txn_->Lookup(key) : suite_->Lookup(key);
+      if (!r.ok()) {
+        Print(r.status());
+      } else if (r->found) {
+        std::printf("%s = %s\n", key.c_str(), r->value.c_str());
+      } else {
+        std::printf("(not found)\n");
+      }
+    } else if (cmd == "delete") {
+      std::string key;
+      if (!need_key(key)) return Usage("delete <key>");
+      Print(txn_ ? txn_->Delete(key) : suite_->Delete(key));
+    } else if (cmd == "scan") {
+      auto next = suite_->FirstKey();
+      std::size_t count = 0;
+      while (next.ok() && next->found) {
+        std::printf("  %s = %s\n", next->key.c_str(), next->value.c_str());
+        ++count;
+        next = suite_->NextKey(next->key);
+      }
+      if (!next.ok()) Print(next.status());
+      std::printf("(%zu entries)\n", count);
+    } else if (cmd == "dump") {
+      for (auto& node : nodes_) {
+        std::printf("  node %u%s: %s\n", node->id(),
+                    network_.IsNodeUp(node->id()) ? "" : " (down)",
+                    storage::DumpRep(node->storage()).c_str());
+      }
+    } else if (cmd == "down" || cmd == "up") {
+      NodeId id = 0;
+      if (!(in >> id) || Node(id) == nullptr) return Usage("down|up <node>");
+      network_.SetNodeUp(id, cmd == "up");
+      std::printf("node %u %s\n", id, cmd.c_str());
+    } else if (cmd == "crash") {
+      NodeId id = 0;
+      if (!(in >> id) || Node(id) == nullptr) return Usage("crash <node>");
+      network_.SetNodeUp(id, false);
+      Node(id)->Crash();
+      std::printf("node %u crashed (volatile state lost)\n", id);
+    } else if (cmd == "recover") {
+      NodeId id = 0;
+      if (!(in >> id) || Node(id) == nullptr) return Usage("recover <node>");
+      const auto outcome = Node(id)->Recover();
+      if (!outcome.ok()) {
+        Print(outcome.status());
+        return true;
+      }
+      for (const TxnId t : outcome->in_doubt) {
+        (void)Node(id)->ResolveInDoubt(t, false);
+      }
+      network_.SetNodeUp(id, true);
+      std::printf("node %u recovered: %zu ops replayed, %zu in-doubt\n", id,
+                  outcome->ops_replayed, outcome->in_doubt.size());
+    } else if (cmd == "begin") {
+      if (txn_) {
+        std::printf("transaction already open\n");
+      } else {
+        txn_.emplace(suite_->Begin());
+        std::printf("transaction %llu open\n",
+                    static_cast<unsigned long long>(txn_->id()));
+      }
+    } else if (cmd == "commit") {
+      if (!txn_) {
+        std::printf("no open transaction\n");
+      } else {
+        Print(txn_->Commit());
+        txn_.reset();
+      }
+    } else if (cmd == "abort") {
+      if (!txn_) {
+        std::printf("no open transaction\n");
+      } else {
+        txn_->Abort();
+        txn_.reset();
+        std::printf("aborted\n");
+      }
+    } else if (cmd == "stats") {
+      const auto& s = suite_->stats();
+      const auto& c = s.counters();
+      std::printf(
+          "ops: %llu lookups, %llu inserts, %llu updates, %llu deletes; "
+          "%llu aborted, %llu unavailable\n",
+          (unsigned long long)c.lookups, (unsigned long long)c.inserts,
+          (unsigned long long)c.updates, (unsigned long long)c.deletes,
+          (unsigned long long)c.aborted, (unsigned long long)c.unavailable);
+      std::printf("delete overheads: entries %s | ghosts %s | insertions %s\n",
+                  s.entries_in_ranges_coalesced().ToString().c_str(),
+                  s.deletions_while_coalescing().ToString().c_str(),
+                  s.insertions_while_coalescing().ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  Status Apply(bool is_insert, const std::string& key,
+               const std::string& value) {
+    if (txn_) {
+      return is_insert ? txn_->Insert(key, value) : txn_->Update(key, value);
+    }
+    return is_insert ? suite_->Insert(key, value)
+                     : suite_->Update(key, value);
+  }
+
+  bool Usage(const char* text) {
+    std::printf("usage: %s\n", text);
+    return true;
+  }
+
+  rep::QuorumConfig config_;
+  sim::NetworkModel network_;
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes_;
+  std::unique_ptr<rep::DirectorySuite> suite_;
+  std::optional<rep::SuiteTxn> txn_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t replicas = 3;
+  Votes r = 2;
+  Votes w = 2;
+  if (argc == 4) {
+    replicas = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    r = static_cast<Votes>(std::atoi(argv[2]));
+    w = static_cast<Votes>(std::atoi(argv[3]));
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [replicas R W]\n", argv[0]);
+    return 2;
+  }
+  const auto config = rep::QuorumConfig::Uniform(replicas, r, w);
+  if (const Status st = config.Validate(); !st.ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  Shell shell(config);
+  shell.Run();
+  return 0;
+}
