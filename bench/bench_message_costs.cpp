@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/inproc_transport.h"
+#include "net/threaded_transport.h"
 #include "rep/dir_rep_node.h"
 #include "rep/dir_suite.h"
 #include "wl/key_gen.h"
@@ -80,6 +81,43 @@ OpCost Measure(const rep::QuorumConfig& config, std::uint32_t batch) {
   return cost;
 }
 
+/// Total RPC attempts for one fixed workload over ThreadedTransport, with
+/// the suite's parallel fan-out or forced sequential via SequentialAdapter.
+/// The fan-out must not change WHAT is sent, only WHEN - so the two totals
+/// must be identical.
+std::uint64_t MeasureAttempts(bool parallel) {
+  rep::DirRepNodeOptions node_options;
+  const auto config = rep::QuorumConfig::Uniform(5, 3, 3);
+  net::ThreadedTransport threaded;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  for (const auto& replica : config.replicas()) {
+    nodes.push_back(
+        std::make_unique<rep::DirRepNode>(replica.node, node_options));
+    threaded.RegisterNode(replica.node, nodes.back()->server());
+  }
+  net::SequentialAdapter sequential(threaded);
+
+  rep::DirectorySuite::Options options;
+  options.config = config;
+  options.policy_seed = 7;
+  rep::DirectorySuite suite(
+      parallel ? static_cast<net::Transport&>(threaded) : sequential, 100,
+      std::move(options));
+  for (int i = 0; i < 60; ++i) {
+    if (!suite.Insert(wl::NumericKey(i * 3), "v").ok()) std::exit(1);
+  }
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    if (!suite.Lookup(wl::NumericKey(rng.Below(60) * 3)).ok()) std::exit(1);
+    if (!suite.Update(wl::NumericKey(rng.Below(60) * 3), "w").ok())
+      std::exit(1);
+  }
+  for (int i = 0; i < 60; i += 2) {
+    if (!suite.Delete(wl::NumericKey(i * 3)).ok()) std::exit(1);
+  }
+  return threaded.TotalAttempts();
+}
+
 }  // namespace
 
 int main() {
@@ -103,6 +141,15 @@ int main() {
                 config.ToString().c_str(), c.batch, cost.lookup, cost.insert,
                 cost.update, cost.del);
   }
+
+  const std::uint64_t seq_attempts = MeasureAttempts(/*parallel=*/false);
+  const std::uint64_t par_attempts = MeasureAttempts(/*parallel=*/true);
+  std::printf(
+      "\nMessage parity, 5-3-3 over ThreadedTransport, fixed workload:\n"
+      "  sequential walk: %llu RPCs    parallel fan-out: %llu RPCs  (%s)\n",
+      static_cast<unsigned long long>(seq_attempts),
+      static_cast<unsigned long long>(par_attempts),
+      seq_attempts == par_attempts ? "identical" : "MISMATCH");
 
   std::printf(
       "\nShape: lookup ~ R data + R probes + R control (read-only commits\n"

@@ -14,14 +14,19 @@ bool DeadlockDetector::Reaches(TxnId from, TxnId target) const {
     if (!visited.insert(cur).second) continue;
     const auto it = waits_for_.find(cur);
     if (it == waits_for_.end()) continue;
-    for (const TxnId next : it->second) stack.push_back(next);
+    for (const auto& [site, holders] : it->second) {
+      for (const TxnId next : holders) stack.push_back(next);
+    }
   }
   return false;
 }
 
-Status DeadlockDetector::AddWait(TxnId waiter, const std::set<TxnId>& holders) {
+Status DeadlockDetector::AddWait(TxnId waiter, const void* site,
+                                 const std::set<TxnId>& holders) {
   std::lock_guard<std::mutex> guard(mu_);
   // A cycle forms iff some holder (transitively) waits for the waiter.
+  // The waiter's own already-registered waits at OTHER sites stay in the
+  // graph: they are real concurrent waits of the same transaction.
   for (const TxnId holder : holders) {
     if (holder == waiter || Reaches(holder, waiter)) {
       ++deadlocks_;
@@ -29,8 +34,16 @@ Status DeadlockDetector::AddWait(TxnId waiter, const std::set<TxnId>& holders) {
                              " would wait in a cycle");
     }
   }
-  waits_for_[waiter] = holders;
+  waits_for_[waiter][site] = holders;
   return Status::Ok();
+}
+
+void DeadlockDetector::ClearWait(TxnId waiter, const void* site) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = waits_for_.find(waiter);
+  if (it == waits_for_.end()) return;
+  it->second.erase(site);
+  if (it->second.empty()) waits_for_.erase(it);
 }
 
 void DeadlockDetector::ClearWait(TxnId waiter) {

@@ -5,6 +5,12 @@
 // blocked at rep 2 by A) are caught. Before a transaction blocks, its
 // manager registers the wait edges; if adding them would close a cycle the
 // requester is chosen as the victim and told to abort (kAborted).
+//
+// With the suite's parallel fan-out a single transaction can legitimately
+// be blocked at several representatives at once (one wave slot per member),
+// so each manager registers its edges under its own `site` key and the
+// waits-for graph is the union across sites - one site's wait must never
+// clobber or clear another's.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +25,21 @@ namespace repdir::lock {
 
 class DeadlockDetector {
  public:
-  /// Replaces `waiter`'s outgoing wait edges with edges to `holders`.
-  /// Returns kAborted (without recording the edges) if that would create a
-  /// cycle - the requester is the deadlock victim.
-  Status AddWait(TxnId waiter, const std::set<TxnId>& holders);
+  /// Replaces the wait edges `waiter` registered from `site` (typically
+  /// the calling lock manager) with edges to `holders`. Returns kAborted
+  /// (without recording the edges) if that would create a cycle - the
+  /// requester is the deadlock victim.
+  Status AddWait(TxnId waiter, const void* site,
+                 const std::set<TxnId>& holders);
+  Status AddWait(TxnId waiter, const std::set<TxnId>& holders) {
+    return AddWait(waiter, nullptr, holders);
+  }
 
-  /// Drops all wait edges out of `waiter` (it acquired, timed out, or
-  /// aborted).
+  /// Drops the wait edges `waiter` registered from `site` (it acquired,
+  /// timed out, or aborted there); waits at other sites stay registered.
+  void ClearWait(TxnId waiter, const void* site);
+
+  /// Drops all of `waiter`'s wait edges, every site.
   void ClearWait(TxnId waiter);
 
   std::uint64_t deadlocks_detected() const {
@@ -37,7 +51,7 @@ class DeadlockDetector {
   bool Reaches(TxnId from, TxnId target) const;  // mu_ held
 
   mutable std::mutex mu_;
-  std::map<TxnId, std::set<TxnId>> waits_for_;
+  std::map<TxnId, std::map<const void*, std::set<TxnId>>> waits_for_;
   std::uint64_t deadlocks_ = 0;
 };
 

@@ -28,7 +28,7 @@ Status RangeLockManager::Acquire(TxnId txn, LockMode mode,
     if (holders.empty()) {
       held_.push_back(Held{txn, mode, range});
       ++stats_.acquisitions;
-      if (detector_ != nullptr && waited) detector_->ClearWait(txn);
+      if (detector_ != nullptr && waited) detector_->ClearWait(txn, this);
       return Status::Ok();
     }
     if (!waited) {
@@ -36,16 +36,16 @@ Status RangeLockManager::Acquire(TxnId txn, LockMode mode,
       ++stats_.waits;
     }
     if (detector_ != nullptr) {
-      const Status st = detector_->AddWait(txn, holders);
+      const Status st = detector_->AddWait(txn, this, holders);
       if (!st.ok()) {
-        detector_->ClearWait(txn);
+        detector_->ClearWait(txn, this);
         ++stats_.aborts;
         return st;
       }
     }
     if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
         !ConflictingHolders(txn, mode, range).empty()) {
-      if (detector_ != nullptr) detector_->ClearWait(txn);
+      if (detector_ != nullptr) detector_->ClearWait(txn, this);
       ++stats_.aborts;
       return Status::Aborted("lock wait timeout on " + range.ToString());
     }
@@ -71,7 +71,7 @@ void RangeLockManager::ReleaseAll(TxnId txn) {
     std::lock_guard<std::mutex> guard(mu_);
     std::erase_if(held_, [txn](const Held& h) { return h.txn == txn; });
   }
-  if (detector_ != nullptr) detector_->ClearWait(txn);
+  if (detector_ != nullptr) detector_->ClearWait(txn, this);
   cv_.notify_all();
 }
 

@@ -41,6 +41,31 @@ class FailureInjector final : public Transport {
   }
 
   Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override {
+    REPDIR_RETURN_IF_ERROR(Roll(to));
+    return inner_->Call(to, req, resp);
+  }
+
+  /// The injection decision is made on the issuing thread (deterministic
+  /// wrt issue order); surviving calls keep the inner transport's
+  /// concurrency.
+  void CallAsync(NodeId to, const RpcRequest& req, AsyncDone done) override {
+    if (Status st = Roll(to); !st.ok()) {
+      done(std::move(st), RpcResponse{});
+      return;
+    }
+    inner_->CallAsync(to, req, std::move(done));
+  }
+
+  std::uint64_t DeliveredCount(NodeId from, NodeId to) const override {
+    return inner_->DeliveredCount(from, to);
+  }
+  std::uint64_t TotalAttempts() const override {
+    return inner_->TotalAttempts();
+  }
+
+ private:
+  /// Decides whether this call is failure-injected.
+  Status Roll(NodeId to) {
     {
       std::lock_guard<std::mutex> guard(mu_);
       if (blocked_.contains(to)) {
@@ -56,17 +81,9 @@ class FailureInjector final : public Transport {
         return Status::Unavailable("injected: fail-next");
       }
     }
-    return inner_->Call(to, req, resp);
+    return Status::Ok();
   }
 
-  std::uint64_t DeliveredCount(NodeId from, NodeId to) const override {
-    return inner_->DeliveredCount(from, to);
-  }
-  std::uint64_t TotalAttempts() const override {
-    return inner_->TotalAttempts();
-  }
-
- private:
   Transport* inner_;
   mutable std::mutex mu_;
   Rng rng_;

@@ -1,12 +1,114 @@
-// Typed RPC call helper: serializes a request struct, performs the call,
-// maps transport and application failures to Status, and decodes the typed
-// response.
+// Typed RPC call helpers over a Transport:
+//   * Call         - serialize, perform one synchronous call, map transport
+//                    and application failures to Status, decode the reply.
+//   * ParallelCall - typed scatter-gather: fan a request out to N nodes via
+//                    Transport::CallAsync and gather a Result per node,
+//                    with per-slot retries and an optional stop predicate.
+//
+// ParallelCall is the single fan-out primitive behind the directory suite's
+// quorum operations and the two-phase-commit waves. Its contract is built
+// for determinism and safety:
+//
+//   * Slots are issued in index order. Once the stop predicate fires, no
+//     further slots are issued - on an inline transport (InProcTransport,
+//     SequentialAdapter) this reproduces the sequential loop's early return
+//     exactly, call for call.
+//   * Every issued slot is awaited before returning; no call is abandoned
+//     in flight. An abandoned transactional RPC could race the transaction's
+//     own 2PC decision (re-acquiring locks after the abort released them)
+//     or outlive the representative it targets, so "early quorum return" is
+//     bounded to issuance, never to in-flight calls.
+//   * Per-slot transport retries follow net::RetryPolicy, so the retry
+//     policy lives in one place for sequential (WithRetry) and parallel
+//     paths alike.
 #pragma once
 
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/retry.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
 namespace repdir::net {
+
+/// One slot of a scatter-gather fan-out: a request destined for one node.
+template <WireMessage Req>
+struct CallSlot {
+  NodeId to;
+  Req request;
+};
+
+/// Outcome of a ParallelCall. `replies[i]` is empty iff slot i was never
+/// issued (the stop predicate fired first); slots [0, issued) were handed
+/// to the transport, in order, and have replies.
+template <WireMessage Resp>
+struct FanOutResult {
+  std::vector<std::optional<Result<Resp>>> replies;
+  std::size_t issued = 0;
+};
+
+struct FanOutOptions {
+  /// Per-slot retry of transport-level failures (kUnavailable).
+  RetryPolicy retry{1};
+};
+
+namespace detail {
+
+template <WireMessage Resp>
+struct FanOutState {
+  std::mutex mu;
+  std::condition_variable cv;
+  Transport* transport = nullptr;
+  std::vector<NodeId> to;
+  std::vector<RpcRequest> requests;
+  std::vector<std::optional<Result<Resp>>> replies;
+  /// Invoked under `mu`, once per completed slot, in completion order.
+  std::function<bool(std::size_t, const Result<Resp>&)> stop_fn;
+  std::size_t issued = 0;
+  std::size_t completed = 0;
+  bool stop = false;
+};
+
+template <WireMessage Resp>
+Result<Resp> MergeReply(const Status& transport_status, RpcResponse& resp) {
+  REPDIR_RETURN_IF_ERROR(transport_status);
+  REPDIR_RETURN_IF_ERROR(resp.ToStatus());
+  Resp typed;
+  REPDIR_RETURN_IF_ERROR(DecodeFromString(resp.payload, typed));
+  return typed;
+}
+
+template <WireMessage Resp>
+void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
+               std::uint32_t attempts_left) {
+  state->transport->CallAsync(
+      state->to[i], state->requests[i],
+      [state, i, attempts_left](Status st, RpcResponse resp) {
+        Result<Resp> out = MergeReply<Resp>(st, resp);
+        if (!out.ok() && RetryPolicy::Retriable(out.status()) &&
+            attempts_left > 1) {
+          IssueSlot(state, i, attempts_left - 1);
+          return;
+        }
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->replies[i] = std::move(out);
+        ++state->completed;
+        if (!state->stop && state->stop_fn &&
+            state->stop_fn(i, *state->replies[i])) {
+          state->stop = true;
+        }
+        state->cv.notify_all();
+      });
+}
+
+}  // namespace detail
 
 class RpcClient {
  public:
@@ -20,12 +122,7 @@ class RpcClient {
   template <WireMessage Resp, WireMessage Req>
   Result<Resp> Call(NodeId to, MethodId method, const Req& request,
                     TxnId txn = kInvalidTxn) const {
-    RpcRequest req;
-    req.from = self_;
-    req.method = method;
-    req.txn = txn;
-    req.payload = EncodeToString(request);
-
+    RpcRequest req = Envelope(method, txn, EncodeToString(request));
     RpcResponse resp;
     REPDIR_RETURN_IF_ERROR(transport_->Call(to, req, resp));
     REPDIR_RETURN_IF_ERROR(resp.ToStatus());
@@ -35,7 +132,73 @@ class RpcClient {
     return typed;
   }
 
+  /// Scatter-gathers one request per slot (see the file comment for the
+  /// issuance/await contract). `stop` - if given - is invoked under the
+  /// fan-out's internal lock after each completion; returning true stops
+  /// further slots from being issued.
+  template <WireMessage Resp, WireMessage Req>
+  FanOutResult<Resp> ParallelCall(
+      const std::vector<CallSlot<Req>>& slots, MethodId method,
+      TxnId txn = kInvalidTxn, FanOutOptions options = {},
+      std::function<bool(std::size_t, const Result<Resp>&)> stop =
+          nullptr) const {
+    auto state = std::make_shared<detail::FanOutState<Resp>>();
+    state->transport = transport_;
+    state->to.reserve(slots.size());
+    state->requests.reserve(slots.size());
+    for (const CallSlot<Req>& slot : slots) {
+      state->to.push_back(slot.to);
+      state->requests.push_back(
+          Envelope(method, txn, EncodeToString(slot.request)));
+    }
+    state->replies.resize(slots.size());
+    state->stop_fn = std::move(stop);
+
+    const std::uint32_t attempts =
+        options.retry.max_attempts == 0 ? 1 : options.retry.max_attempts;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (state->stop) break;
+        ++state->issued;
+      }
+      detail::IssueSlot(state, i, attempts);
+    }
+
+    FanOutResult<Resp> result;
+    {
+      std::unique_lock<std::mutex> lk(state->mu);
+      state->cv.wait(lk, [&] { return state->completed == state->issued; });
+      result.replies = state->replies;
+      result.issued = state->issued;
+    }
+    return result;
+  }
+
+  /// Convenience: the same request fanned out to `to`.
+  template <WireMessage Resp, WireMessage Req>
+  FanOutResult<Resp> ParallelCall(
+      const std::vector<NodeId>& to, MethodId method, const Req& request,
+      TxnId txn = kInvalidTxn, FanOutOptions options = {},
+      std::function<bool(std::size_t, const Result<Resp>&)> stop =
+          nullptr) const {
+    std::vector<CallSlot<Req>> slots;
+    slots.reserve(to.size());
+    for (const NodeId node : to) slots.push_back({node, request});
+    return ParallelCall<Resp>(slots, method, txn, std::move(options),
+                              std::move(stop));
+  }
+
  private:
+  RpcRequest Envelope(MethodId method, TxnId txn, std::string payload) const {
+    RpcRequest req;
+    req.from = self_;
+    req.method = method;
+    req.txn = txn;
+    req.payload = std::move(payload);
+    return req;
+  }
+
   Transport* transport_;
   NodeId self_;
 };

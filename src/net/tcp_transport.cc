@@ -177,10 +177,21 @@ void TcpServer::Stop() {
 }
 
 TcpTransport::~TcpTransport() {
+  // Drain in-flight asynchronous calls before closing their connections.
+  pool_.Shutdown();
   std::lock_guard<std::mutex> guard(mu_);
   for (auto& [node, fds] : idle_) {
     for (const int fd : fds) ::close(fd);
   }
+}
+
+void TcpTransport::CallAsync(NodeId to, const RpcRequest& req,
+                             AsyncDone done) {
+  pool_.Submit([this, to, req, done = std::move(done)] {
+    RpcResponse resp;
+    Status st = Call(to, req, resp);
+    done(std::move(st), std::move(resp));
+  });
 }
 
 void TcpTransport::AddRoute(NodeId node, const std::string& host,

@@ -22,6 +22,7 @@
 
 #include "net/rpc_server.h"
 #include "net/transport.h"
+#include "net/worker_pool.h"
 
 namespace repdir::net {
 
@@ -73,6 +74,10 @@ class TcpTransport final : public Transport {
 
   Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override;
 
+  /// Dispatches on the worker pool; each concurrent call checks out its own
+  /// pooled connection, so fan-out calls proceed over parallel sockets.
+  void CallAsync(NodeId to, const RpcRequest& req, AsyncDone done) override;
+
   std::uint64_t DeliveredCount(NodeId from, NodeId to) const override;
   std::uint64_t TotalAttempts() const override {
     return attempts_.load(std::memory_order_relaxed);
@@ -93,6 +98,7 @@ class TcpTransport final : public Transport {
   std::map<NodeId, std::vector<int>> idle_;  // connection pool
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> delivered_;
   std::atomic<std::uint64_t> attempts_{0};
+  WorkerPool pool_{16};
 };
 
 }  // namespace repdir::net

@@ -5,6 +5,15 @@
 
 namespace repdir::net {
 
+void ThreadedTransport::CallAsync(NodeId to, const RpcRequest& req,
+                                  AsyncDone done) {
+  pool_.Submit([this, to, req, done = std::move(done)] {
+    RpcResponse resp;
+    Status st = Call(to, req, resp);
+    done(std::move(st), std::move(resp));
+  });
+}
+
 Status ThreadedTransport::Call(NodeId to, const RpcRequest& req,
                                RpcResponse& resp) {
   attempts_.fetch_add(1, std::memory_order_relaxed);

@@ -15,14 +15,18 @@
 
 #include "net/rpc_server.h"
 #include "net/transport.h"
+#include "net/worker_pool.h"
 #include "sim/network_model.h"
 
 namespace repdir::net {
 
 class ThreadedTransport final : public Transport {
  public:
-  explicit ThreadedTransport(sim::NetworkModel* network = nullptr)
-      : network_(network) {}
+  /// `async_workers` bounds how many asynchronous calls execute
+  /// concurrently (CallAsync); synchronous Call is unaffected.
+  explicit ThreadedTransport(sim::NetworkModel* network = nullptr,
+                             std::size_t async_workers = 16)
+      : network_(network), pool_(async_workers) {}
 
   void RegisterNode(NodeId node, RpcServer& server) {
     std::lock_guard<std::mutex> guard(mu_);
@@ -30,6 +34,10 @@ class ThreadedTransport final : public Transport {
   }
 
   Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override;
+
+  /// Dispatches on the worker pool, so concurrent fan-out calls overlap
+  /// their latency sleeps; `done` runs on a pool thread.
+  void CallAsync(NodeId to, const RpcRequest& req, AsyncDone done) override;
 
   std::uint64_t DeliveredCount(NodeId from, NodeId to) const override {
     std::lock_guard<std::mutex> guard(mu_);
@@ -47,6 +55,7 @@ class ThreadedTransport final : public Transport {
   std::map<NodeId, RpcServer*> servers_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> delivered_;
   std::atomic<std::uint64_t> attempts_{0};
+  WorkerPool pool_;
 };
 
 }  // namespace repdir::net

@@ -9,6 +9,9 @@
 // exercised on every call, and both honour a sim::NetworkModel for failures.
 #pragma once
 
+#include <functional>
+#include <utility>
+
 #include "common/status.h"
 #include "net/message.h"
 
@@ -23,12 +26,53 @@ class Transport {
   /// errors travel inside `resp.code`.
   virtual Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) = 0;
 
+  /// Completion callback of an asynchronous call: transport status plus the
+  /// response (meaningful only when the status is OK).
+  using AsyncDone = std::function<void(Status, RpcResponse)>;
+
+  /// Asynchronous variant of Call, the basis of scatter-gather fan-out
+  /// (RpcClient::ParallelCall). The default adapter runs the synchronous
+  /// Call and invokes `done` inline on the caller's thread, so
+  /// single-threaded transports (InProcTransport) stay deterministic: a
+  /// fan-out over them executes calls one at a time, in slot order, exactly
+  /// like the sequential code path. Concurrent transports override this to
+  /// dispatch on worker threads; `done` then runs on such a thread.
+  virtual void CallAsync(NodeId to, const RpcRequest& req, AsyncDone done) {
+    RpcResponse resp;
+    Status st = Call(to, req, resp);
+    done(std::move(st), std::move(resp));
+  }
+
   /// Number of request messages successfully delivered from `from` to `to`.
   /// Used by the Figure 16 locality experiment.
   virtual std::uint64_t DeliveredCount(NodeId from, NodeId to) const = 0;
 
   /// Total requests attempted (delivered or not).
   virtual std::uint64_t TotalAttempts() const = 0;
+};
+
+/// Decorator that strips a transport of its concurrent CallAsync: calls are
+/// forwarded synchronously and completions run inline, one at a time. Used
+/// by the benchmarks and parity tests to measure the sequential baseline on
+/// an otherwise concurrent transport (same nodes, same counters).
+class SequentialAdapter final : public Transport {
+ public:
+  explicit SequentialAdapter(Transport& inner) : inner_(&inner) {}
+
+  Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override {
+    return inner_->Call(to, req, resp);
+  }
+  // CallAsync: inherited inline default == sequential dispatch.
+
+  std::uint64_t DeliveredCount(NodeId from, NodeId to) const override {
+    return inner_->DeliveredCount(from, to);
+  }
+  std::uint64_t TotalAttempts() const override {
+    return inner_->TotalAttempts();
+  }
+
+ private:
+  Transport* inner_;
 };
 
 }  // namespace repdir::net

@@ -1,0 +1,49 @@
+#include "net/worker_pool.h"
+
+namespace repdir::net {
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!shutdown_) {
+      if (workers_.empty()) {
+        workers_.reserve(threads_);
+        for (std::size_t i = 0; i < threads_; ++i) {
+          workers_.emplace_back([this] { Loop(); });
+        }
+      }
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // After Shutdown the pool degrades to synchronous execution.
+  task();
+}
+
+void WorkerPool::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+    workers.swap(workers_);
+    cv_.notify_all();
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+void WorkerPool::Loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shut down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace repdir::net

@@ -1,0 +1,49 @@
+// Fixed-size pool of worker threads executing submitted tasks in FIFO
+// order. The concurrent transports (ThreadedTransport, TcpTransport) run
+// their asynchronous calls on such a pool so a scatter-gather fan-out
+// overlaps the per-call network latency.
+//
+// Threads start lazily on the first Submit (a transport used only
+// synchronously never spawns them). Shutdown - and the destructor - drains
+// the queue before joining, so every submitted task runs to completion;
+// tasks submitted after Shutdown execute inline on the submitter.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace repdir::net {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t threads)
+      : threads_(threads == 0 ? 1 : threads) {}
+  ~WorkerPool() { Shutdown(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task`. Safe to call from within a running task (used by
+  /// asynchronous call retries).
+  void Submit(std::function<void()> task);
+
+  /// Runs queued tasks to completion, then joins all workers. Idempotent.
+  void Shutdown();
+
+ private:
+  void Loop();
+
+  std::size_t threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace repdir::net

@@ -1,5 +1,6 @@
 #include "rep/dir_suite.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace repdir::rep {
@@ -18,6 +19,19 @@ bool IsReadMethod(net::MethodId m) {
 bool IsCleanCheckFailure(const Status& st) {
   return st.code() == StatusCode::kNotFound ||
          st.code() == StatusCode::kAlreadyExists;
+}
+
+/// The first failure, in slot order, among a wave's strong slots. Strong
+/// quorum calls are all-or-nothing for the operation, and reporting the
+/// lowest failed slot matches what the sequential walk would have returned.
+template <WireMessage Resp>
+Status FirstStrongError(const net::FanOutResult<Resp>& fan,
+                        std::size_t strong_count) {
+  const std::size_t strong_issued = std::min(fan.issued, strong_count);
+  for (std::size_t i = 0; i < strong_issued; ++i) {
+    REPDIR_RETURN_IF_ERROR(fan.replies[i]->status());
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -39,68 +53,79 @@ DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
 }
 
 template <WireMessage Resp, WireMessage Req>
-Result<Resp> DirectorySuite::CallRep(OpCtx& ctx, NodeId node,
-                                     net::MethodId method, const Req& req) {
-  // Even a failed data call may have executed server-side (response lost),
-  // leaving locks behind: the node must learn the transaction's outcome.
-  ctx.participants.insert(node);
-  if (IsReadMethod(method)) {
-    ++read_rpcs_[node];
-  } else {
-    ++write_rpcs_[node];
-    ctx.wrote = true;
-  }
-  Result<Resp> out = client_.Call<Resp>(node, method, req, ctx.txn);
-  for (std::uint32_t attempt = 1;
-       attempt < options_.rpc_retry.max_attempts && !out.ok() &&
-       net::RetryPolicy::Retriable(out.status());
-       ++attempt) {
-    out = client_.Call<Resp>(node, method, req, ctx.txn);
-  }
-  return out;
-}
+net::FanOutResult<Resp> DirectorySuite::FanOutRep(
+    OpCtx& ctx, net::MethodId method,
+    const std::vector<net::CallSlot<Req>>& slots, std::size_t strong_count) {
+  net::FanOutOptions fan_options;
+  fan_options.retry = options_.rpc_retry;
+  net::FanOutResult<Resp> fan =
+      client_.ParallelCall<Resp>(slots, method, ctx.txn, fan_options);
 
-template <WireMessage Resp, WireMessage Req>
-Result<Resp> DirectorySuite::CallWeak(OpCtx& ctx, NodeId node,
-                                      net::MethodId method, const Req& req) {
-  // Best-effort call to a zero-vote representative. Unlike CallRep, a
-  // transport failure must NOT enroll the node as a 2PC participant - an
-  // unreachable hint node would otherwise fail PREPARE and abort the whole
-  // transaction, defeating "best effort". If the node executed the request
-  // (success or application error) it may hold locks, so it does join; on a
-  // transport failure we fire a best-effort abort in case the request
-  // executed but the response was lost.
-  if (IsReadMethod(method)) {
-    ++read_rpcs_[node];
-  } else {
-    ++write_rpcs_[node];
+  // Accounting happens post-hoc on the issuing thread, over the finished
+  // wave: exact, reproducible, and no locking of the suite's counters.
+  //
+  // Strong slots enroll as 2PC participants unconditionally - even a
+  // failed call may have executed server-side (response lost), leaving
+  // locks behind, so the node must learn the transaction's outcome. Weak
+  // slots are best-effort: an unreachable hint node must NOT enroll (it
+  // would fail PREPARE and abort the whole transaction), but gets a
+  // best-effort abort in case the request executed and the reply was lost.
+  const bool is_read = IsReadMethod(method);
+  auto& rpcs = is_read ? read_rpcs_ : write_rpcs_;
+  for (std::size_t i = 0; i < fan.issued; ++i) {
+    const NodeId node = slots[i].to;
+    ++rpcs[node];
+    const Result<Resp>& reply = *fan.replies[i];
+    const bool executed =
+        reply.ok() || reply.status().code() != StatusCode::kUnavailable;
+    if (i < strong_count || executed) {
+      ctx.participants.insert(node);
+      if (!is_read) ctx.wrote = true;
+    } else {
+      (void)client_.Call<net::Empty>(node, kAbortTxn, net::Empty{}, ctx.txn);
+    }
   }
-  Result<Resp> out = client_.Call<Resp>(node, method, req, ctx.txn);
-  if (out.ok() || out.status().code() != StatusCode::kUnavailable) {
-    ctx.participants.insert(node);
-    if (!IsReadMethod(method)) ctx.wrote = true;
-  } else {
-    (void)client_.Call<net::Empty>(node, kAbortTxn, net::Empty{}, ctx.txn);
-  }
-  return out;
+  return fan;
 }
 
 Result<std::vector<NodeId>> DirectorySuite::CollectQuorum(OpClass klass) {
   const Votes quota = klass == OpClass::kRead ? options_.config.read_quorum()
                                               : options_.config.write_quorum();
   const std::vector<NodeId> order = policy_->PreferenceOrder(klass);
+  std::vector<NodeId> voters;
+  voters.reserve(order.size());
+  for (const NodeId node : order) {
+    if (options_.config.VotesOf(node) > 0) voters.push_back(node);  // weak: no votes
+  }
+
+  // Ping in minimal-prefix waves: each wave is the shortest prefix of the
+  // remaining preference order whose votes would close the quota if every
+  // ping succeeds. When all members are up (the common case) this sends
+  // exactly the pings the sequential walk would - one round-trip of latency
+  // instead of one per member - and under failures both schemes ping the
+  // same prefix of the preference order, so message counts stay identical.
+  net::FanOutOptions ping_options;
+  ping_options.retry = options_.rpc_retry;
   std::vector<NodeId> members;
   Votes votes = 0;
-  for (const NodeId node : order) {
-    if (options_.config.VotesOf(node) == 0) continue;  // weak: no votes
-    const Status st = net::WithRetry(options_.rpc_retry, [&] {
-      return client_.Call<net::Empty>(node, kPing, net::Empty{}).status();
-    });
-    if (!st.ok()) continue;  // unreachable: try the next preference
-    members.push_back(node);
-    votes += options_.config.VotesOf(node);
-    if (votes >= quota) return members;
+  std::size_t next = 0;
+  while (votes < quota && next < voters.size()) {
+    std::vector<NodeId> wave;
+    Votes wave_votes = 0;
+    while (next < voters.size() && votes + wave_votes < quota) {
+      wave.push_back(voters[next]);
+      wave_votes += options_.config.VotesOf(voters[next]);
+      ++next;
+    }
+    const auto pings = client_.ParallelCall<net::Empty>(
+        wave, kPing, net::Empty{}, kInvalidTxn, ping_options);
+    for (std::size_t i = 0; i < pings.issued; ++i) {
+      if (!pings.replies[i]->ok()) continue;  // unreachable: next preference
+      members.push_back(wave[i]);
+      votes += options_.config.VotesOf(wave[i]);
+    }
   }
+  if (votes >= quota) return members;
   return Status::Unavailable(
       std::string(klass == OpClass::kRead ? "read" : "write") +
       " quorum unavailable (" + std::to_string(votes) + "/" +
@@ -115,35 +140,30 @@ Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookup(
 
 Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookupOn(
     OpCtx& ctx, const std::vector<NodeId>& quorum, const RepKey& k) {
-  // Fig. 8: inquire at every quorum member; the reply with the largest
-  // version number is current. (A strict tie between "present" and "not
+  // Fig. 8 as a single wave: inquiries to the strong quorum (each reply
+  // required) and to the weak representatives (§2 "hints", best-effort)
+  // fan out together. The reply with the largest version number is
+  // current; weak replies can only be folded in safely - all of their data
+  // was written by committed transactions, so the highest-version rule
+  // still selects current data. (A strict tie between "present" and "not
   // present" cannot occur - see the version-invariant tests - but we
   // prefer "present" defensively.)
+  std::vector<net::CallSlot<KeyRequest>> slots;
+  slots.reserve(quorum.size() + weak_nodes_.size());
+  for (const NodeId node : quorum) slots.push_back({node, KeyRequest{k}});
+  for (const NodeId node : weak_nodes_) slots.push_back({node, KeyRequest{k}});
+  const auto fan = FanOutRep<LookupReply>(ctx, kLookup, slots, quorum.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(fan, quorum.size()));
+
   VersionedLookup best;  // present=false, version=LowestVersion
   bool first = true;
-  for (const NodeId node : quorum) {
-    REPDIR_ASSIGN_OR_RETURN(
-        const LookupReply reply,
-        CallRep<LookupReply>(ctx, node, kLookup, KeyRequest{k}));
+  for (std::size_t i = 0; i < fan.issued; ++i) {
+    const Result<LookupReply>& reply = *fan.replies[i];
+    if (!reply.ok()) continue;  // weak miss: best-effort
     const bool better =
-        first || reply.version > best.version ||
-        (reply.version == best.version && reply.present && !best.present);
+        first || reply->version > best.version ||
+        (reply->version == best.version && reply->present && !best.present);
     if (better) {
-      best.present = reply.present;
-      best.version = reply.version;
-      best.value = reply.value;
-      first = false;
-    }
-  }
-  // Weak representatives (§2 "hints"): their replies carry no votes but can
-  // only be folded in safely - all of their data was written by committed
-  // transactions, so the highest-version rule still selects current data.
-  for (const NodeId node : weak_nodes_) {
-    const auto reply =
-        CallWeak<LookupReply>(ctx, node, kLookup, KeyRequest{k});
-    if (!reply.ok()) continue;  // best-effort
-    if (reply->version > best.version ||
-        (reply->version == best.version && reply->present && !best.present)) {
       best.present = reply->present;
       best.version = reply->version;
       best.value = reply->value;
@@ -153,62 +173,54 @@ Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookupOn(
   return best;
 }
 
-Result<NeighborReply> DirectorySuite::NextBelow(OpCtx& ctx,
-                                                NeighborCursor& cursor,
-                                                const RepKey& k) {
-  // Cached chain entries are strictly decreasing; the local predecessor of
-  // k is the first one below it. While the chain holds entries >= k they
-  // were superseded by deeper candidates from other members - skip them.
-  while (cursor.idx < cursor.chain.size() &&
-         !(cursor.chain[cursor.idx].key < k)) {
-    ++cursor.idx;
-  }
-  if (cursor.idx == cursor.chain.size()) {
-    ++stats_.counters().neighbor_fetches;
-    REPDIR_ASSIGN_OR_RETURN(
-        NeighborBatchReply batch,
-        CallRep<NeighborBatchReply>(
-            ctx, cursor.node, kPredecessorBatch,
-            NeighborBatchRequest{k, options_.neighbor_batch}));
-    if (batch.steps.empty()) {
-      return Status::Internal("empty predecessor batch");
+Status DirectorySuite::RefillCursors(OpCtx& ctx,
+                                     std::vector<NeighborCursor>& cursors,
+                                     const RepKey& k, bool below) {
+  // Cached chain entries walk strictly away from the start key; the local
+  // neighbor of k is the first one past it. While a chain holds entries on
+  // the wrong side of k they were superseded by deeper candidates from
+  // other members - skip them. Cursors that exhaust their cache refill
+  // with one batched fetch wave (§4 optimization).
+  std::vector<std::size_t> needy;
+  for (std::size_t c = 0; c < cursors.size(); ++c) {
+    NeighborCursor& cursor = cursors[c];
+    while (cursor.idx < cursor.chain.size() &&
+           (below ? !(cursor.chain[cursor.idx].key < k)
+                  : !(k < cursor.chain[cursor.idx].key))) {
+      ++cursor.idx;
     }
-    cursor.chain = std::move(batch.steps);
-    cursor.idx = 0;
+    if (cursor.idx == cursor.chain.size()) needy.push_back(c);
   }
-  return cursor.chain[cursor.idx];
-}
+  if (needy.empty()) return Status::Ok();
 
-Result<NeighborReply> DirectorySuite::NextAbove(OpCtx& ctx,
-                                                NeighborCursor& cursor,
-                                                const RepKey& k) {
-  while (cursor.idx < cursor.chain.size() &&
-         !(k < cursor.chain[cursor.idx].key)) {
-    ++cursor.idx;
+  std::vector<net::CallSlot<NeighborBatchRequest>> slots;
+  slots.reserve(needy.size());
+  for (const std::size_t c : needy) {
+    slots.push_back(
+        {cursors[c].node, NeighborBatchRequest{k, options_.neighbor_batch}});
   }
-  if (cursor.idx == cursor.chain.size()) {
-    ++stats_.counters().neighbor_fetches;
-    REPDIR_ASSIGN_OR_RETURN(
-        NeighborBatchReply batch,
-        CallRep<NeighborBatchReply>(
-            ctx, cursor.node, kSuccessorBatch,
-            NeighborBatchRequest{k, options_.neighbor_batch}));
-    if (batch.steps.empty()) {
-      return Status::Internal("empty successor batch");
-    }
-    cursor.chain = std::move(batch.steps);
+  stats_.counters().neighbor_fetches += needy.size();
+  auto fan = FanOutRep<NeighborBatchReply>(
+      ctx, below ? kPredecessorBatch : kSuccessorBatch, slots, slots.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(fan, slots.size()));
+  for (std::size_t i = 0; i < needy.size(); ++i) {
+    NeighborCursor& cursor = cursors[needy[i]];
+    cursor.chain = std::move(fan.replies[i]->value().steps);
     cursor.idx = 0;
+    if (cursor.chain.empty()) {
+      return Status::Internal(below ? "empty predecessor batch"
+                                    : "empty successor batch");
+    }
   }
-  return cursor.chain[cursor.idx];
+  return Status::Ok();
 }
 
 Result<DirectorySuite::RealNeighbor> DirectorySuite::RealPredecessor(
-    OpCtx& ctx, const RepKey& x) {
+    OpCtx& ctx, const std::vector<NodeId>& quorum, const RepKey& x) {
   // Fig. 12. Candidates move strictly downward, skipping ghosts, until a
   // key current in the suite (or the LOW sentinel) is found. Each quorum
   // member serves candidates through a batched cursor (§4): with
   // neighbor_batch = 1 this is exactly the paper's sketch.
-  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
   std::vector<NeighborCursor> cursors;
   cursors.reserve(quorum.size());
   for (const NodeId node : quorum) cursors.push_back(NeighborCursor{node, {}, 0});
@@ -216,14 +228,15 @@ Result<DirectorySuite::RealNeighbor> DirectorySuite::RealPredecessor(
   RepKey k = x;
   Version max_gap = kLowestVersion;
   for (;;) {
+    REPDIR_RETURN_IF_ERROR(RefillCursors(ctx, cursors, k, /*below=*/true));
     RepKey pred = RepKey::Low();
-    for (NeighborCursor& cursor : cursors) {
-      REPDIR_ASSIGN_OR_RETURN(const NeighborReply reply,
-                              NextBelow(ctx, cursor, k));
+    for (const NeighborCursor& cursor : cursors) {
+      const NeighborReply& reply = cursor.chain[cursor.idx];
       if (pred < reply.key) pred = reply.key;
       max_gap = std::max(max_gap, reply.gap_version);
     }
-    REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, pred));
+    REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk,
+                            SuiteLookupOn(ctx, quorum, pred));
     if (lk.present) {
       return RealNeighbor{pred, lk.value, lk.version, max_gap};
     }
@@ -235,8 +248,7 @@ Result<DirectorySuite::RealNeighbor> DirectorySuite::RealPredecessor(
 }
 
 Result<DirectorySuite::RealNeighbor> DirectorySuite::RealSuccessor(
-    OpCtx& ctx, const RepKey& x) {
-  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
+    OpCtx& ctx, const std::vector<NodeId>& quorum, const RepKey& x) {
   std::vector<NeighborCursor> cursors;
   cursors.reserve(quorum.size());
   for (const NodeId node : quorum) cursors.push_back(NeighborCursor{node, {}, 0});
@@ -244,14 +256,15 @@ Result<DirectorySuite::RealNeighbor> DirectorySuite::RealSuccessor(
   RepKey k = x;
   Version max_gap = kLowestVersion;
   for (;;) {
+    REPDIR_RETURN_IF_ERROR(RefillCursors(ctx, cursors, k, /*below=*/false));
     RepKey succ = RepKey::High();
-    for (NeighborCursor& cursor : cursors) {
-      REPDIR_ASSIGN_OR_RETURN(const NeighborReply reply,
-                              NextAbove(ctx, cursor, k));
+    for (const NeighborCursor& cursor : cursors) {
+      const NeighborReply& reply = cursor.chain[cursor.idx];
       if (reply.key < succ) succ = reply.key;
       max_gap = std::max(max_gap, reply.gap_version);
     }
-    REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, succ));
+    REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk,
+                            SuiteLookupOn(ctx, quorum, succ));
     if (lk.present) {
       return RealNeighbor{succ, lk.value, lk.version, max_gap};
     }
@@ -305,6 +318,24 @@ Result<DirectorySuite::LookupResult> DirectorySuite::LookupIn(
   return result;
 }
 
+Status DirectorySuite::WriteEntry(OpCtx& ctx, const RepKey& x, Version version,
+                                  const Value& value) {
+  // Fig. 9 write leg: one wave writes (x, version) to every write-quorum
+  // member and - best effort - to every zero-vote representative. Weak
+  // failures are ignored (the write quorum already guarantees currency).
+  REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
+  std::vector<net::CallSlot<InsertRequest>> slots;
+  slots.reserve(wq.size() + weak_nodes_.size());
+  for (const NodeId node : wq) {
+    slots.push_back({node, InsertRequest{x, version, value}});
+  }
+  for (const NodeId node : weak_nodes_) {
+    slots.push_back({node, InsertRequest{x, version, value}});
+  }
+  const auto fan = FanOutRep<net::Empty>(ctx, kInsert, slots, wq.size());
+  return FirstStrongError(fan, wq.size());
+}
+
 Status DirectorySuite::InsertIn(OpCtx& ctx, const UserKey& key,
                                 const Value& value) {
   // Fig. 9: the new entry's version must exceed every version previously
@@ -314,16 +345,7 @@ Status DirectorySuite::InsertIn(OpCtx& ctx, const UserKey& key,
   if (lk.present) {
     return Status::AlreadyExists("entry exists for key " + key);
   }
-  const Version version = lk.version + 1;
-  REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
-  for (const NodeId node : wq) {
-    REPDIR_RETURN_IF_ERROR(
-        CallRep<net::Empty>(ctx, node, kInsert,
-                            InsertRequest{x, version, value})
-            .status());
-  }
-  PropagateToWeak(ctx, x, version, value);
-  return Status::Ok();
+  return WriteEntry(ctx, x, lk.version + 1, value);
 }
 
 Status DirectorySuite::UpdateIn(OpCtx& ctx, const UserKey& key,
@@ -333,16 +355,7 @@ Status DirectorySuite::UpdateIn(OpCtx& ctx, const UserKey& key,
   if (!lk.present) {
     return Status::NotFound("no entry for key " + key);
   }
-  const Version version = lk.version + 1;
-  REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
-  for (const NodeId node : wq) {
-    REPDIR_RETURN_IF_ERROR(
-        CallRep<net::Empty>(ctx, node, kInsert,
-                            InsertRequest{x, version, value})
-            .status());
-  }
-  PropagateToWeak(ctx, x, version, value);
-  return Status::Ok();
+  return WriteEntry(ctx, x, lk.version + 1, value);
 }
 
 // Deletes deliberately do NOT touch weak representatives: their stale
@@ -350,54 +363,69 @@ Status DirectorySuite::UpdateIn(OpCtx& ctx, const UserKey& key,
 // (which always includes a full voting quorum) still answers correctly.
 Status DirectorySuite::DeleteIn(OpCtx& ctx, const UserKey& key) {
   const RepKey x = RepKey::User(key);
-  // Fig. 13, in the paper's order: write quorum first, then the real
-  // neighbors, then the target's own version.
+  // Fig. 13, in the paper's order: write quorum first, then one read
+  // quorum that every inquiry of the delete shares - the real-neighbor
+  // searches and the target's own lookup read the same members, so
+  // collecting a fresh quorum per inquiry only added ping rounds without
+  // changing any reply.
   REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
-  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor succ, RealSuccessor(ctx, x));
-  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor pred, RealPredecessor(ctx, x));
+  REPDIR_ASSIGN_OR_RETURN(const auto rq, CollectQuorum(OpClass::kRead));
+  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor succ, RealSuccessor(ctx, rq, x));
+  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor pred, RealPredecessor(ctx, rq, x));
 
   // The coalesced gap's version must exceed every version previously
   // associated with any key in (pred, succ).
   Version ver = std::max(succ.max_gap, pred.max_gap);
-  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x));
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookupOn(ctx, rq, x));
   if (!lk.present) {
     return Status::NotFound("no entry for key " + key);
   }
   ver = std::max(ver, lk.version);
 
   // Materialize the real predecessor and successor on every write-quorum
-  // member that lacks them, so Coalesce's bounding entries exist.
+  // member that lacks them, so Coalesce's bounding entries exist: one
+  // lookup wave probes both bounding keys at every member, one insert wave
+  // fills in the absences.
   DeleteProbe probe;
+  std::vector<net::CallSlot<KeyRequest>> probe_slots;
+  probe_slots.reserve(2 * wq.size());
   for (const NodeId node : wq) {
-    REPDIR_ASSIGN_OR_RETURN(
-        const LookupReply has_succ,
-        CallRep<LookupReply>(ctx, node, kLookup, KeyRequest{succ.key}));
-    if (!has_succ.present) {
-      REPDIR_RETURN_IF_ERROR(
-          CallRep<net::Empty>(ctx, node, kInsert,
-                              InsertRequest{succ.key, succ.version,
-                                            succ.value})
-              .status());
-      ++probe.materializing_insertions;
+    probe_slots.push_back({node, KeyRequest{succ.key}});
+    probe_slots.push_back({node, KeyRequest{pred.key}});
+  }
+  const auto probes =
+      FanOutRep<LookupReply>(ctx, kLookup, probe_slots, probe_slots.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(probes, probe_slots.size()));
+
+  std::vector<net::CallSlot<InsertRequest>> fills;
+  for (std::size_t i = 0; i < wq.size(); ++i) {
+    if (!probes.replies[2 * i]->value().present) {
+      fills.push_back(
+          {wq[i], InsertRequest{succ.key, succ.version, succ.value}});
     }
-    REPDIR_ASSIGN_OR_RETURN(
-        const LookupReply has_pred,
-        CallRep<LookupReply>(ctx, node, kLookup, KeyRequest{pred.key}));
-    if (!has_pred.present) {
-      REPDIR_RETURN_IF_ERROR(
-          CallRep<net::Empty>(ctx, node, kInsert,
-                              InsertRequest{pred.key, pred.version,
-                                            pred.value})
-              .status());
-      ++probe.materializing_insertions;
+    if (!probes.replies[2 * i + 1]->value().present) {
+      fills.push_back(
+          {wq[i], InsertRequest{pred.key, pred.version, pred.value}});
     }
   }
+  if (!fills.empty()) {
+    const auto filled =
+        FanOutRep<net::Empty>(ctx, kInsert, fills, fills.size());
+    REPDIR_RETURN_IF_ERROR(FirstStrongError(filled, fills.size()));
+    probe.materializing_insertions +=
+        static_cast<std::uint32_t>(fills.size());
+  }
 
+  std::vector<net::CallSlot<CoalesceRequest>> ranges;
+  ranges.reserve(wq.size());
   for (const NodeId node : wq) {
-    REPDIR_ASSIGN_OR_RETURN(
-        const CoalesceReply reply,
-        CallRep<CoalesceReply>(ctx, node, kCoalesce,
-                               CoalesceRequest{pred.key, succ.key, ver + 1}));
+    ranges.push_back({node, CoalesceRequest{pred.key, succ.key, ver + 1}});
+  }
+  const auto coalesced =
+      FanOutRep<CoalesceReply>(ctx, kCoalesce, ranges, ranges.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(coalesced, ranges.size()));
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const CoalesceReply& reply = coalesced.replies[i]->value();
     probe.entries_in_range_per_rep.push_back(
         static_cast<std::uint32_t>(reply.erased.size()));
     for (const RepKey& erased : reply.erased) {
@@ -408,20 +436,11 @@ Status DirectorySuite::DeleteIn(OpCtx& ctx, const UserKey& key) {
   return Status::Ok();
 }
 
-void DirectorySuite::PropagateToWeak(OpCtx& ctx, const RepKey& x,
-                                     Version version, const Value& value) {
-  // Best-effort write to every zero-vote representative; failures are
-  // ignored (the write quorum already guarantees currency). The weak node
-  // still becomes a 2PC participant so any locks it took are resolved.
-  for (const NodeId node : weak_nodes_) {
-    (void)CallWeak<net::Empty>(ctx, node, kInsert,
-                               InsertRequest{x, version, value});
-  }
-}
-
 Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKeyIn(
     OpCtx& ctx, const RepKey& from) {
-  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor succ, RealSuccessor(ctx, from));
+  REPDIR_ASSIGN_OR_RETURN(const auto rq, CollectQuorum(OpClass::kRead));
+  REPDIR_ASSIGN_OR_RETURN(const RealNeighbor succ,
+                          RealSuccessor(ctx, rq, from));
   NextKeyResult result;
   if (succ.key.is_high()) return result;  // found = false
   result.found = true;

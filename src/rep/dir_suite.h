@@ -21,6 +21,13 @@
 // through Begin(): a SuiteTxn groups any number of operations into one
 // atomic, isolated unit.
 //
+// Every quorum-wide step - pinging candidates, the Fig. 8 inquiry, the
+// write fan-out, delete materialization, coalesce, and the 2PC rounds -
+// runs as one scatter-gather wave (net::RpcClient::ParallelCall), so an
+// operation's latency scales with its round count, not its message count.
+// On an inline transport (InProcTransport) the waves execute in slot order
+// and the suite stays byte-for-byte deterministic.
+//
 // Failures (unreachable nodes, deadlock aborts) roll the transaction back
 // and surface as kUnavailable / kAborted.
 //
@@ -156,17 +163,17 @@ class DirectorySuite {
     Version max_gap = kLowestVersion;  ///< Largest version seen searching.
   };
 
+  /// One transactional scatter-gather wave (see dir_suite.cc for the
+  /// strong/weak accounting contract). Slots [0, strong_count) target
+  /// voting quorum members; the rest are best-effort weak representatives.
   template <WireMessage Resp, WireMessage Req>
-  Result<Resp> CallRep(OpCtx& ctx, NodeId node, net::MethodId method,
-                       const Req& req);
+  net::FanOutResult<Resp> FanOutRep(
+      OpCtx& ctx, net::MethodId method,
+      const std::vector<net::CallSlot<Req>>& slots, std::size_t strong_count);
 
-  /// Best-effort variant for weak representatives (see dir_suite.cc).
-  template <WireMessage Resp, WireMessage Req>
-  Result<Resp> CallWeak(OpCtx& ctx, NodeId node, net::MethodId method,
-                        const Req& req);
-
-  /// Walks the policy's preference order pinging nodes until `quota` votes
-  /// respond; kUnavailable if the order is exhausted first.
+  /// Pings nodes along the policy's preference order, a minimal-prefix
+  /// wave at a time, until `quota` votes respond; kUnavailable if the
+  /// order is exhausted first.
   Result<std::vector<NodeId>> CollectQuorum(OpClass klass);
 
   /// Fig. 8: fresh read quorum, highest-version reply wins.
@@ -184,21 +191,27 @@ class DirectorySuite {
     std::size_t idx = 0;
   };
 
-  /// This member's local predecessor of `k` (largest entry < k), served
-  /// from the cursor's cached chain when possible.
-  Result<NeighborReply> NextBelow(OpCtx& ctx, NeighborCursor& cursor,
-                                  const RepKey& k);
-  /// Mirror: this member's local successor of `k`.
-  Result<NeighborReply> NextAbove(OpCtx& ctx, NeighborCursor& cursor,
-                                  const RepKey& k);
+  /// Positions every cursor on its member's local neighbor of `k`
+  /// (predecessor when `below`, successor otherwise): advances past cached
+  /// entries superseded by deeper candidates, then refills every exhausted
+  /// cursor with one parallel batch-fetch wave.
+  Status RefillCursors(OpCtx& ctx, std::vector<NeighborCursor>& cursors,
+                       const RepKey& k, bool below);
 
-  Result<RealNeighbor> RealPredecessor(OpCtx& ctx, const RepKey& x);
-  Result<RealNeighbor> RealSuccessor(OpCtx& ctx, const RepKey& x);
+  /// Fig. 12 searches over an already-collected read quorum; every inner
+  /// suite inquiry reuses `quorum` rather than collecting a fresh one.
+  Result<RealNeighbor> RealPredecessor(OpCtx& ctx,
+                                       const std::vector<NodeId>& quorum,
+                                       const RepKey& x);
+  Result<RealNeighbor> RealSuccessor(OpCtx& ctx,
+                                     const std::vector<NodeId>& quorum,
+                                     const RepKey& x);
 
   // Operation bodies, shared by the single-shot API and SuiteTxn.
-  /// Best-effort write propagation to weak (zero-vote) representatives.
-  void PropagateToWeak(OpCtx& ctx, const RepKey& x, Version version,
-                       const Value& value);
+  /// Fig. 9 write leg shared by Insert and Update: writes (x, version) to a
+  /// write quorum plus - best effort - every weak representative, one wave.
+  Status WriteEntry(OpCtx& ctx, const RepKey& x, Version version,
+                    const Value& value);
 
   Result<LookupResult> LookupIn(OpCtx& ctx, const UserKey& key);
   Status InsertIn(OpCtx& ctx, const UserKey& key, const Value& value);

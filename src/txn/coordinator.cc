@@ -1,49 +1,58 @@
 #include "txn/coordinator.h"
 
+#include <string>
+#include <vector>
+
 #include "net/wire.h"
 
 namespace repdir::txn {
 
-Status TwoPhaseCommitter::Call(NodeId node, net::MethodId method,
-                               TxnId txn) const {
-  return net::WithRetry(retry_, [&] {
-    return client_.Call<net::Empty>(node, method, net::Empty{}, txn).status();
-  });
+net::FanOutResult<net::Empty> TwoPhaseCommitter::Wave(
+    net::MethodId method, TxnId txn,
+    const std::set<NodeId>& participants) const {
+  const std::vector<NodeId> nodes(participants.begin(), participants.end());
+  net::FanOutOptions options;
+  options.retry = retry_;
+  return client_.ParallelCall<net::Empty>(nodes, method, net::Empty{}, txn,
+                                          options);
 }
 
 Status TwoPhaseCommitter::Commit(TxnId txn,
                                  const std::set<NodeId>& participants) const {
-  // Phase 1: all participants must vote yes.
-  for (const NodeId node : participants) {
-    const Status vote = Call(node, methods_.prepare, txn);
+  // Phase 1: all participants must vote yes. The PREPAREs fan out in one
+  // wave; a NO vote stops further issuance, but every PREPARE already in
+  // flight is awaited, so the abort below reaches a stable participant set.
+  const std::vector<NodeId> nodes(participants.begin(), participants.end());
+  net::FanOutOptions options;
+  options.retry = retry_;
+  const auto votes = client_.ParallelCall<net::Empty>(
+      nodes, methods_.prepare, net::Empty{}, txn, options,
+      [](std::size_t, const Result<net::Empty>& vote) { return !vote.ok(); });
+  for (std::size_t i = 0; i < votes.issued; ++i) {
+    const Result<net::Empty>& vote = *votes.replies[i];
     if (!vote.ok()) {
       Abort(txn, participants);
-      return Status::Aborted("prepare failed at node " + std::to_string(node) +
-                             ": " + vote.ToString());
+      return Status::Aborted("prepare failed at node " +
+                             std::to_string(nodes[i]) + ": " +
+                             vote.status().ToString());
     }
   }
 
   // Phase 2: the decision is now commit. Unreachable participants have
   // prepared and will resolve via recovery; the transaction is committed.
-  for (const NodeId node : participants) {
-    (void)Call(node, methods_.commit, txn);
-  }
+  (void)Wave(methods_.commit, txn, participants);
   return Status::Ok();
 }
 
 Status TwoPhaseCommitter::CommitReadOnly(
     TxnId txn, const std::set<NodeId>& participants) const {
-  for (const NodeId node : participants) {
-    (void)Call(node, methods_.commit, txn);
-  }
+  (void)Wave(methods_.commit, txn, participants);
   return Status::Ok();
 }
 
 void TwoPhaseCommitter::Abort(TxnId txn,
                               const std::set<NodeId>& participants) const {
-  for (const NodeId node : participants) {
-    (void)Call(node, methods_.abort, txn);
-  }
+  (void)Wave(methods_.abort, txn, participants);
 }
 
 }  // namespace repdir::txn

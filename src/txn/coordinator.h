@@ -7,6 +7,12 @@
 //   phase 2: COMMIT to every participant; a participant unreachable in
 //            phase 2 has prepared, so it will learn the outcome during
 //            recovery (ResolveInDoubt) - the commit still succeeds.
+//
+// Each phase is one scatter-gather wave (net::RpcClient::ParallelCall), so
+// a round costs one round-trip of latency instead of one per participant.
+// A NO vote in phase 1 stops further PREPAREs from being issued, but every
+// PREPARE already in flight is awaited before the abort wave starts - the
+// abort therefore races no in-flight PREPARE of its own transaction.
 #pragma once
 
 #include <set>
@@ -48,7 +54,10 @@ class TwoPhaseCommitter {
   void Abort(TxnId txn, const std::set<NodeId>& participants) const;
 
  private:
-  Status Call(NodeId node, net::MethodId method, TxnId txn) const;
+  /// One best-effort control wave (commit or abort) to every participant.
+  net::FanOutResult<net::Empty> Wave(net::MethodId method, TxnId txn,
+                                     const std::set<NodeId>& participants)
+      const;
 
   const net::RpcClient& client_;
   TxnControlMethods methods_;

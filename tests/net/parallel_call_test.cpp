@@ -1,0 +1,223 @@
+// ParallelCall scatter-gather: slot-order issuance, stop predicate, per-slot
+// retry, the no-abandonment guarantee, and real overlap on the threaded
+// transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "net/failure_injector.h"
+#include "net/inproc_transport.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "net/threaded_transport.h"
+
+namespace repdir::net {
+namespace {
+
+struct TagRequest {
+  std::string tag;
+  void Encode(ByteWriter& w) const { w.PutString(tag); }
+  Status Decode(ByteReader& r) { return r.GetString(tag); }
+};
+
+struct TagReply {
+  std::string tag;
+  NodeId node = 0;
+  void Encode(ByteWriter& w) const {
+    w.PutString(tag);
+    w.PutU32(node);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetString(tag));
+    return r.GetU32(node);
+  }
+};
+
+constexpr MethodId kTag = 1;
+
+/// N servers, each echoing the request tag plus its own node id.
+template <typename Transport>
+class Cluster {
+ public:
+  template <typename... Args>
+  explicit Cluster(int n, Args&&... args)
+      : transport(std::forward<Args>(args)...) {
+    for (int i = 0; i < n; ++i) {
+      servers.push_back(std::make_unique<RpcServer>(i + 1));
+      const NodeId node = static_cast<NodeId>(i + 1);
+      servers.back()->template RegisterTyped<TagRequest, TagReply>(
+          kTag, [node](const RpcRequest&, const TagRequest& req, TagReply& out) {
+            out.tag = req.tag;
+            out.node = node;
+            return Status::Ok();
+          });
+      transport.RegisterNode(node, *servers.back());
+      nodes.push_back(node);
+    }
+  }
+
+  std::vector<std::unique_ptr<RpcServer>> servers;
+  Transport transport;
+  std::vector<NodeId> nodes;
+};
+
+TEST(ParallelCall, GathersOneReplyPerNode) {
+  Cluster<InProcTransport> cluster(3);
+  RpcClient client(cluster.transport, 50);
+
+  const auto fan =
+      client.ParallelCall<TagReply>(cluster.nodes, kTag, TagRequest{"all"});
+  ASSERT_EQ(fan.issued, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fan.replies[i].has_value());
+    ASSERT_TRUE(fan.replies[i]->ok());
+    EXPECT_EQ((*fan.replies[i])->tag, "all");
+    EXPECT_EQ((*fan.replies[i])->node, cluster.nodes[i]);
+  }
+  EXPECT_EQ(cluster.transport.TotalAttempts(), 3u);
+}
+
+TEST(ParallelCall, SlotVariantCarriesPerSlotRequests) {
+  Cluster<InProcTransport> cluster(3);
+  RpcClient client(cluster.transport, 50);
+
+  std::vector<CallSlot<TagRequest>> slots;
+  for (std::size_t i = 0; i < cluster.nodes.size(); ++i) {
+    slots.push_back({cluster.nodes[i], TagRequest{"s" + std::to_string(i)}});
+  }
+  const auto fan = client.ParallelCall<TagReply>(slots, kTag);
+  ASSERT_EQ(fan.issued, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*fan.replies[i])->tag, "s" + std::to_string(i));
+  }
+}
+
+TEST(ParallelCall, StopPredicateEndsIssuanceInSlotOrderInline) {
+  // On an inline transport each slot completes before the next is issued,
+  // so a predicate satisfied at slot 1 must leave slot 2 un-issued - the
+  // exact behaviour of a sequential early-return loop.
+  Cluster<InProcTransport> cluster(4);
+  RpcClient client(cluster.transport, 50);
+
+  std::size_t completions = 0;
+  const auto fan = client.ParallelCall<TagReply>(
+      cluster.nodes, kTag, TagRequest{"quorum"}, kInvalidTxn, {},
+      [&](std::size_t, const Result<TagReply>&) { return ++completions >= 2; });
+  EXPECT_EQ(fan.issued, 2u);
+  ASSERT_TRUE(fan.replies[0].has_value());
+  ASSERT_TRUE(fan.replies[1].has_value());
+  EXPECT_FALSE(fan.replies[2].has_value());
+  EXPECT_FALSE(fan.replies[3].has_value());
+  EXPECT_EQ(cluster.transport.TotalAttempts(), 2u);
+}
+
+TEST(ParallelCall, RetriesTransportFailuresPerSlot) {
+  Cluster<InProcTransport> cluster(3);
+  FailureInjector injector(cluster.transport);
+  RpcClient client(injector, 50);
+
+  injector.FailNext(1);  // exactly one slot sees one transient failure
+  FanOutOptions options;
+  options.retry = RetryPolicy{2};
+  const auto fan = client.ParallelCall<TagReply>(cluster.nodes, kTag,
+                                                 TagRequest{"retry"},
+                                                 kInvalidTxn, options);
+  ASSERT_EQ(fan.issued, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fan.replies[i].has_value());
+    EXPECT_TRUE(fan.replies[i]->ok()) << fan.replies[i]->status().ToString();
+  }
+  // The injected failure dies at the injector; the retry is the only extra
+  // traffic and it lands where the original would have.
+  EXPECT_EQ(cluster.transport.TotalAttempts(), 3u);
+}
+
+TEST(ParallelCall, ExhaustedRetriesSurfaceTheFailure) {
+  Cluster<InProcTransport> cluster(2);
+  FailureInjector injector(cluster.transport);
+  RpcClient client(injector, 50);
+
+  injector.BlockNode(cluster.nodes[1]);
+  FanOutOptions options;
+  options.retry = RetryPolicy{3};
+  const auto fan = client.ParallelCall<TagReply>(cluster.nodes, kTag,
+                                                 TagRequest{"hard"},
+                                                 kInvalidTxn, options);
+  ASSERT_EQ(fan.issued, 2u);
+  EXPECT_TRUE(fan.replies[0]->ok());
+  EXPECT_EQ(fan.replies[1]->status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ParallelCall, OverlapsLatencyOnThreadedTransport) {
+  // 4 servers, 10 ms one-way latency: a sequential walk pays 4 round trips
+  // (~80 ms); the fan-out pays about one. The bound leaves slack for slow
+  // CI machines while still ruling out serialized calls.
+  sim::NetworkModel network;
+  network.SetDefaultLink(sim::LinkSpec{10'000, 0, 0.0});
+  Cluster<ThreadedTransport> cluster(4, &network);
+  RpcClient client(cluster.transport, 50);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto fan =
+      client.ParallelCall<TagReply>(cluster.nodes, kTag, TagRequest{"t"});
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  ASSERT_EQ(fan.issued, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fan.replies[i].has_value());
+    EXPECT_TRUE(fan.replies[i]->ok());
+  }
+  EXPECT_LT(elapsed.count(), 70);  // sequential would be >= 80 ms
+}
+
+TEST(ParallelCall, EveryIssuedSlotIsAwaitedUnderEarlyStop) {
+  // The stop predicate ends ISSUANCE, never abandons calls in flight: by
+  // the time ParallelCall returns, every issued slot has a reply, even on
+  // a concurrent transport. (Abandoned transactional RPCs could race their
+  // own transaction's 2PC decision.)
+  sim::NetworkModel network;
+  network.SetDefaultLink(sim::LinkSpec{2'000, 0, 0.0});
+  Cluster<ThreadedTransport> cluster(6, &network);
+  RpcClient client(cluster.transport, 50);
+
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> done{0};
+    const auto fan = client.ParallelCall<TagReply>(
+        cluster.nodes, kTag, TagRequest{"w"}, kInvalidTxn, {},
+        [&](std::size_t, const Result<TagReply>&) {
+          return done.fetch_add(1) + 1 >= 2;
+        });
+    ASSERT_GE(fan.issued, 2u);
+    for (std::size_t i = 0; i < fan.issued; ++i) {
+      ASSERT_TRUE(fan.replies[i].has_value())
+          << "issued slot " << i << " returned without a reply";
+      EXPECT_TRUE(fan.replies[i]->ok());
+    }
+    for (std::size_t i = fan.issued; i < fan.replies.size(); ++i) {
+      EXPECT_FALSE(fan.replies[i].has_value());
+    }
+  }
+}
+
+TEST(SequentialAdapterTest, ForcesInlineAsyncOnAnyTransport) {
+  // Wrapping a concurrent transport in SequentialAdapter restores the
+  // sequential walk: slots issue one at a time, so an early stop prevents
+  // later calls entirely - the baseline side of the fan-out benchmarks.
+  Cluster<ThreadedTransport> cluster(4);
+  SequentialAdapter sequential(cluster.transport);
+  RpcClient client(sequential, 50);
+
+  std::size_t completions = 0;
+  const auto fan = client.ParallelCall<TagReply>(
+      cluster.nodes, kTag, TagRequest{"seq"}, kInvalidTxn, {},
+      [&](std::size_t, const Result<TagReply>&) { return ++completions >= 3; });
+  EXPECT_EQ(fan.issued, 3u);
+  EXPECT_EQ(cluster.transport.TotalAttempts(), 3u);
+  EXPECT_EQ(sequential.TotalAttempts(), 3u);
+}
+
+}  // namespace
+}  // namespace repdir::net

@@ -1,0 +1,171 @@
+// Parallel fan-out over a concurrent transport with injected failures:
+// quorum operations must succeed while a minority of members is down, abort
+// cleanly (releasing locks, rolling back partial work) when too much of the
+// suite fails mid-transaction, and issue exactly the same RPCs as the
+// sequential baseline when nothing fails.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lock/deadlock.h"
+#include "net/failure_injector.h"
+#include "net/threaded_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+
+namespace repdir::test {
+namespace {
+
+using rep::DirectorySuite;
+using rep::DirRepNode;
+using rep::DirRepNodeOptions;
+using rep::QuorumConfig;
+using rep::Replica;
+
+/// Representatives served over ThreadedTransport, calls routed through a
+/// FailureInjector; suites may target the injector or, for the sequential
+/// baseline, a SequentialAdapter stacked on top of it.
+class FanOutDeployment {
+ public:
+  explicit FanOutDeployment(QuorumConfig config)
+      : config_(config), injector_(transport_) {
+    DirRepNodeOptions options;
+    options.detector = &detector_;
+    for (const auto& replica : config_.replicas()) {
+      nodes_.push_back(std::make_unique<DirRepNode>(replica.node, options));
+      transport_.RegisterNode(replica.node, nodes_.back()->server());
+    }
+  }
+
+  std::unique_ptr<DirectorySuite> NewSuite(net::Transport& through,
+                                           std::uint64_t seed) {
+    DirectorySuite::Options options;
+    options.config = config_;
+    options.policy_seed = seed;
+    return std::make_unique<DirectorySuite>(through, /*client_node=*/100,
+                                            std::move(options));
+  }
+
+  net::FailureInjector& injector() { return injector_; }
+  net::ThreadedTransport& transport() { return transport_; }
+
+ private:
+  QuorumConfig config_;
+  lock::DeadlockDetector detector_;
+  net::ThreadedTransport transport_;
+  net::FailureInjector injector_;
+  std::vector<std::unique_ptr<DirRepNode>> nodes_;
+};
+
+TEST(ParallelFanOut, MinorityOutageStillReachesQuorum) {
+  FanOutDeployment deploy(QuorumConfig::Uniform(5, 3, 3));
+  auto suite = deploy.NewSuite(deploy.injector(), 17);
+
+  deploy.injector().BlockNode(4);
+  deploy.injector().BlockNode(5);
+
+  ASSERT_TRUE(suite->Insert("k", "v1").ok());
+  ASSERT_TRUE(suite->Update("k", "v2").ok());
+  const auto read = suite->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+  EXPECT_EQ(read->value, "v2");
+  ASSERT_TRUE(suite->Delete("k").ok());
+  const auto gone = suite->Lookup("k");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->found);
+}
+
+TEST(ParallelFanOut, MajorityOutageIsUnavailableUntilRecovery) {
+  FanOutDeployment deploy(QuorumConfig::Uniform(5, 3, 3));
+  auto suite = deploy.NewSuite(deploy.injector(), 17);
+
+  deploy.injector().BlockNode(1);
+  deploy.injector().BlockNode(2);
+  deploy.injector().BlockNode(3);
+  EXPECT_EQ(suite->Insert("k", "v").code(), StatusCode::kUnavailable);
+
+  deploy.injector().ClearBlocked();
+  ASSERT_TRUE(suite->Insert("k", "v").ok());
+  const auto read = suite->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+}
+
+TEST(ParallelFanOut, MidTransactionFailureRollsBackAndReleasesLocks) {
+  FanOutDeployment deploy(QuorumConfig::Uniform(5, 3, 3));
+  auto suite = deploy.NewSuite(deploy.injector(), 17);
+  ASSERT_TRUE(suite->Insert("acct", "100").ok());
+
+  auto txn = suite->Begin();
+  ASSERT_TRUE(txn.Update("acct", "0").ok());
+  // 5 voting members: the next operation's quorum collection rolls the
+  // injector exactly once per ping (injection decides on the issuing
+  // thread, in issue order), so five failures exhaust every candidate and
+  // the operation dies with kUnavailable - after which the automatic abort
+  // goes through cleanly (the injector is spent) and must undo the update.
+  deploy.injector().FailNext(5);
+  EXPECT_EQ(txn.Insert("other", "x").code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(txn.open());
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kFailedPrecondition);
+
+  // Rolled back, and no orphaned locks: reads and writes proceed at once.
+  const auto read = suite->Lookup("acct");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "100");
+  EXPECT_TRUE(suite->Update("acct", "50").ok());
+}
+
+TEST(ParallelFanOut, RpcCountsMatchSequentialBaseline) {
+  // Same deployment shape, same policy seed, same workload - one suite
+  // fans out over the threaded transport, the other is forced sequential
+  // by SequentialAdapter. The parallel path must issue exactly the RPCs
+  // the sequential walk does: per-node read and write counts, neighbor
+  // fetches, and transport attempts all equal.
+  const QuorumConfig config({{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {6, 0}},
+                            /*read_quorum=*/3, /*write_quorum=*/3);
+
+  auto workload = [](DirectorySuite& suite) {
+    for (int i = 0; i < 8; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      ASSERT_TRUE(suite.Insert(key, "v").ok());
+    }
+    for (int i = 0; i < 8; i += 2) {
+      ASSERT_TRUE(suite.Update("k" + std::to_string(i), "w").ok());
+    }
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(suite.Lookup("k" + std::to_string(i)).ok());
+    }
+    auto cursor = suite.FirstKey();
+    while (cursor.ok() && cursor->found) {
+      cursor = suite.NextKey(cursor->key);
+    }
+    ASSERT_TRUE(cursor.ok());
+    for (int i = 0; i < 8; i += 3) {
+      ASSERT_TRUE(suite.Delete("k" + std::to_string(i)).ok());
+    }
+  };
+
+  FanOutDeployment parallel_deploy(config);
+  auto parallel_suite = parallel_deploy.NewSuite(parallel_deploy.injector(), 23);
+  workload(*parallel_suite);
+
+  FanOutDeployment sequential_deploy(config);
+  net::SequentialAdapter sequential(sequential_deploy.injector());
+  auto sequential_suite = sequential_deploy.NewSuite(sequential, 23);
+  workload(*sequential_suite);
+
+  EXPECT_EQ(parallel_suite->read_rpcs_by_node(),
+            sequential_suite->read_rpcs_by_node());
+  EXPECT_EQ(parallel_suite->write_rpcs_by_node(),
+            sequential_suite->write_rpcs_by_node());
+  EXPECT_EQ(parallel_suite->stats().counters().neighbor_fetches,
+            sequential_suite->stats().counters().neighbor_fetches);
+  EXPECT_EQ(parallel_deploy.transport().TotalAttempts(),
+            sequential_deploy.transport().TotalAttempts());
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build the test suites under ThreadSanitizer and run the concurrency-
+# sensitive ones: net (worker pools, ParallelCall), rep (suite fan-out
+# over the threaded transport), and integration (threaded clients, 2PC).
+#
+# Uses the dedicated build-tsan/ tree so the regular build/ stays intact.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-tsan"
+jobs="${JOBS:-$(nproc)}"
+
+cmake -B "$build" -S "$root" \
+  -DREPDIR_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+targets=(
+  net/net_rpc_test net/net_duplication_test net/net_tcp_transport_test
+  net/net_parallel_call_test
+  rep/rep_quorum_test rep/rep_dir_rep_node_test rep/rep_suite_api_test
+  rep/rep_suite_txn_test rep/rep_paper_figures_test rep/rep_weak_rep_test
+  rep/rep_readonly_2pc_test rep/rep_failure_test rep/rep_batching_test
+  rep/rep_parallel_fanout_test
+  integration/integration_threaded_test
+  integration/integration_serializability_test
+  integration/integration_chaos_test
+  integration/integration_crash_recovery_test
+  integration/integration_scale_test
+)
+cmake --build "$build" -j"$jobs" --target "${targets[@]##*/}"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+failed=()
+for t in "${targets[@]}"; do
+  echo "=== $t ==="
+  "$build/tests/$t" --gtest_brief=1 || failed+=("$t")
+done
+
+if ((${#failed[@]})); then
+  echo "TSan FAILURES: ${failed[*]}" >&2
+  exit 1
+fi
+echo "All suites TSan-clean."
