@@ -1,5 +1,7 @@
 #include "common/logging.h"
 
+#include <string>
+
 namespace repdir {
 namespace {
 
@@ -24,9 +26,23 @@ std::string_view Basename(std::string_view path) {
 
 void Logger::Write(LogLevel level, std::string_view file, int line,
                    std::string_view msg) {
+  // Format the full line first, then emit it with a single stream write:
+  // piecewise operator<< on cerr issues one unbuffered write per piece,
+  // which interleaves with other writers of the underlying fd even when
+  // the pieces themselves are serialized by a mutex.
+  std::string out;
+  out.reserve(msg.size() + 32);
+  out += '[';
+  out += LevelName(level);
+  out += ' ';
+  out += Basename(file);
+  out += ':';
+  out += std::to_string(line);
+  out += "] ";
+  out += msg;
+  out += '\n';
   std::lock_guard<std::mutex> guard(mu_);
-  std::cerr << '[' << LevelName(level) << ' ' << Basename(file) << ':' << line
-            << "] " << msg << '\n';
+  std::cerr.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
 }  // namespace repdir

@@ -3,6 +3,7 @@
 // trace quorum and lock decisions.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -19,15 +20,22 @@ class Logger {
     return logger;
   }
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool Enabled(LogLevel level) const { return level >= level_; }
+  /// Level checks race with set_level by design (a logger can be raised
+  /// mid-run); the atomic keeps that race benign.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool Enabled(LogLevel level) const { return level >= this->level(); }
 
+  /// Emits "[LEVEL file:line] msg\n" as ONE stream write under the logger
+  /// mutex, so lines from concurrent threads (worker pools, tracing) never
+  /// shear mid-line.
   void Write(LogLevel level, std::string_view file, int line,
              std::string_view msg);
 
  private:
-  LogLevel level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kOff};
   std::mutex mu_;
 };
 

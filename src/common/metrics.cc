@@ -1,0 +1,136 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace repdir {
+
+namespace {
+
+/// Bucket 0 holds value 0; bucket b >= 1 holds values in [2^(b-1), 2^b).
+std::size_t Log2Bucket(double value) {
+  if (!(value > 0.0)) return 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void DistributionStat::Record(double value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  moments_.Add(value);
+  hist_.Add(Log2Bucket(value));
+}
+
+RunningStat DistributionStat::Moments() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return moments_;
+}
+
+std::uint64_t DistributionStat::count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return moments_.count();
+}
+
+void DistributionStat::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  moments_ = RunningStat();
+  hist_ = CountHistogram(kLog2Buckets);
+}
+
+std::uint64_t DistributionStat::ApproxQuantile(double q) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const std::uint64_t bucket = hist_.Quantile(q);
+  return bucket == 0 ? 0 : (std::uint64_t{1} << bucket) - 1;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+DistributionStat& MetricsRegistry::distribution(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_
+             .emplace(std::string(name), std::make_unique<DistributionStat>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, dist] : distributions_) {
+    const RunningStat moments = dist->Moments();
+    out += name + " count=" + std::to_string(moments.count());
+    if (moments.count() > 0) {
+      out += " " + moments.ToString() +
+             " p50=" + std::to_string(dist->ApproxQuantile(0.5)) +
+             " p99=" + std::to_string(dist->ApproxQuantile(0.99));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"distributions\": {";
+  first = true;
+  for (const auto& [name, dist] : distributions_) {
+    const RunningStat moments = dist->Moments();
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {";
+    out += "\"count\": " + std::to_string(moments.count());
+    out += ", \"mean\": " + FormatDouble(moments.mean());
+    out += ", \"min\": " + FormatDouble(moments.min());
+    out += ", \"max\": " + FormatDouble(moments.max());
+    out += ", \"stddev\": " + FormatDouble(moments.stddev());
+    out += ", \"p50\": " + std::to_string(dist->ApproxQuantile(0.5));
+    out += ", \"p90\": " + std::to_string(dist->ApproxQuantile(0.9));
+    out += ", \"p99\": " + std::to_string(dist->ApproxQuantile(0.99));
+    out += "}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, dist] : distributions_) dist->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace repdir

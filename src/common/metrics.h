@@ -1,0 +1,143 @@
+// Process-wide observability substrate: a registry of named counters and
+// value/latency distributions that every layer (net, lock, txn, rep,
+// storage) reports into.
+//
+// Design constraints, in order:
+//   * Passive. Metrics are recorded out-of-band and never feed back into
+//     control flow, so a deterministic InProcTransport run is bit-identical
+//     whether or not anyone reads the registry.
+//   * Cheap on the hot path. Counter increments are single relaxed atomics;
+//     distributions take one short mutex. Components look up their metric
+//     objects once (construction time) and keep the pointers - registry
+//     lookups never sit on a per-RPC path.
+//   * Time is injectable. Latency measurement goes through the registry's
+//     Clock, so simulated deployments (VirtualClock) report virtual-time
+//     latencies and tests are reproducible.
+//
+// Metric names are dotted paths ("rpc.attempts", "lock.wait_us",
+// "txn.2pc.prepare_us"); docs/ALGORITHM.md lists the full vocabulary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/stats.h"
+
+namespace repdir {
+
+/// Monotonic event counter. Thread-safe; increments are relaxed atomics
+/// (totals are exact, ordering against other metrics is not promised).
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Distribution of non-negative samples (latencies in microseconds, wave
+/// widths, quorum sizes): exact moments via RunningStat plus a log2-bucketed
+/// CountHistogram for approximate quantiles.
+class DistributionStat {
+ public:
+  DistributionStat() : hist_(kLog2Buckets) {}
+
+  void Record(double value);
+
+  /// Consistent snapshot of the moments.
+  RunningStat Moments() const;
+  std::uint64_t count() const;
+
+  /// Approximate quantile: the upper bound (2^b - 1) of the log2 bucket
+  /// holding the q-th sample. q is clamped like CountHistogram::Quantile.
+  std::uint64_t ApproxQuantile(double q) const;
+
+  void Reset();
+
+ private:
+  /// Buckets cover [0], [1], [2,3], [4,7], ... up to ~2^39 (overflow above).
+  static constexpr std::size_t kLog2Buckets = 40;
+
+  mutable std::mutex mu_;
+  RunningStat moments_;
+  CountHistogram hist_;
+};
+
+class MetricsRegistry {
+ public:
+  /// `clock` backs latency measurement; null means wall-clock time.
+  explicit MetricsRegistry(const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : &RealClock::Instance()) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. The returned reference is stable
+  /// for the registry's lifetime - cache it, don't re-look-up per event.
+  Counter& counter(std::string_view name);
+  DistributionStat& distribution(std::string_view name);
+
+  /// The clock latency measurement reads. Swap before the instrumented
+  /// components are constructed (simulations install their VirtualClock).
+  void set_clock(const Clock* clock) {
+    clock_.store(clock != nullptr ? clock : &RealClock::Instance(),
+                 std::memory_order_release);
+  }
+  TimeMicros NowMicros() const {
+    return clock_.load(std::memory_order_acquire)->Now();
+  }
+
+  /// "name value" / "name count=.. avg=.." lines, sorted by name.
+  std::string RenderText() const;
+
+  /// {"counters": {...}, "distributions": {name: {count, mean, min, max,
+  /// stddev, p50, p90, p99}, ...}} - consumed by BENCH_observability.json
+  /// and the shell's `metrics json` command.
+  std::string RenderJson() const;
+
+  /// Zeroes every metric; registered names (and cached pointers) survive.
+  void Reset();
+
+  /// The process-wide registry that instrumentation reports to unless a
+  /// component was handed a private one.
+  static MetricsRegistry& Default();
+
+ private:
+  std::atomic<const Clock*> clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<DistributionStat>, std::less<>>
+      distributions_;
+};
+
+/// RAII latency sample: records clock-now minus construction time into a
+/// distribution on destruction (in microseconds).
+class ScopedLatency {
+ public:
+  ScopedLatency(const MetricsRegistry& registry, DistributionStat& stat)
+      : registry_(&registry), stat_(&stat), start_(registry.NowMicros()) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  ~ScopedLatency() {
+    const TimeMicros now = registry_->NowMicros();
+    stat_->Record(now >= start_ ? static_cast<double>(now - start_) : 0.0);
+  }
+
+ private:
+  const MetricsRegistry* registry_;
+  DistributionStat* stat_;
+  TimeMicros start_;
+};
+
+}  // namespace repdir

@@ -30,8 +30,12 @@ std::string RunningStat::ToString() const {
 
 std::uint64_t CountHistogram::Quantile(double q) const {
   if (total_ == 0) return 0;
-  const auto threshold =
-      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  q = std::clamp(q, 0.0, 1.0);
+  // At least one observation must be covered: a floor of 0 would select
+  // bucket 0 even when it is empty (no observation is <= 0).
+  const auto threshold = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     cum += buckets_[i];

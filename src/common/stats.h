@@ -26,14 +26,18 @@ class RunningStat {
     max_ = std::max(max_, x);
   }
 
+  /// Empty accumulators report 0 for every moment (mean/min/max/variance):
+  /// exporters render cold stats as zeros rather than infinities or NaN.
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
   /// Population variance (the paper reports simulation-wide deviations).
+  /// Clamped to >= 0: catastrophic cancellation can drive m2 slightly
+  /// negative, and sqrt of that would turn stddev() into NaN.
   double variance() const {
-    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+    return n_ ? std::max(0.0, m2_ / static_cast<double>(n_)) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
 
@@ -70,7 +74,10 @@ class CountHistogram {
   std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
   std::size_t num_buckets() const { return buckets_.size(); }
 
-  /// Value v such that at least `q` (0..1] of observations are <= v.
+  /// Smallest value v such that at least a `q` fraction of observations
+  /// are <= v. `q` is clamped into (0, 1]: q <= 0 returns the minimum
+  /// observation and q >= 1 the maximum (as tracked). An empty histogram
+  /// returns 0.
   std::uint64_t Quantile(double q) const;
 
   std::string ToString() const;

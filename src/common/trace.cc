@@ -1,0 +1,96 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+namespace repdir {
+
+namespace {
+
+/// Minimal JSON string escape: control characters, quotes, backslashes.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceSink::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  ++recorded_;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string TraceSink::DumpJson() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out = "{\n  \"dropped\": " + std::to_string(dropped_) +
+                    ",\n  \"spans\": [";
+  bool first = true;
+  for (const TraceEvent& e : ring_) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(e.name) +
+           "\", \"txn\": " + std::to_string(e.txn) +
+           ", \"start_us\": " + std::to_string(e.start_us) +
+           ", \"end_us\": " + std::to_string(e.end_us);
+    if (!e.note.empty()) out += ", \"note\": \"" + JsonEscape(e.note) + "\"";
+    out += "}";
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ring_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return dropped_;
+}
+
+TraceSink& TraceSink::Default() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+}  // namespace repdir

@@ -1,0 +1,127 @@
+// Lightweight tracing: RAII spans correlated by transaction id, collected
+// into a fixed-size ring buffer and dumped as JSON.
+//
+// A TraceSpan brackets one logical step (a suite operation, a 2PC phase);
+// nesting is expressed by shared txn ids rather than explicit parent links,
+// which is enough to reconstruct an operation's timeline from the sink.
+// Tracing is off by default: a span against a disabled sink is inert (two
+// atomic loads, no allocation), so instrumentation can stay compiled in
+// everywhere. Like metrics, spans never feed back into behaviour, and time
+// comes from an injectable Clock so simulated runs trace virtual time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace repdir {
+
+struct TraceEvent {
+  std::string name;           ///< Dotted span name, e.g. "suite.delete".
+  TxnId txn = kInvalidTxn;    ///< Correlates spans of one transaction.
+  TimeMicros start_us = 0;
+  TimeMicros end_us = 0;
+  std::string note;           ///< Optional outcome annotation.
+};
+
+/// Ring-buffer span collector. Thread-safe; keeps the most recent
+/// `capacity` events and counts the ones it had to drop.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 4096, const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : &RealClock::Instance()),
+        capacity_(capacity) {}
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void set_clock(const Clock* clock) {
+    clock_.store(clock != nullptr ? clock : &RealClock::Instance(),
+                 std::memory_order_release);
+  }
+  TimeMicros Now() const {
+    return clock_.load(std::memory_order_acquire)->Now();
+  }
+
+  void Record(TraceEvent event);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// {"dropped": n, "spans": [{"name", "txn", "start_us", "end_us",
+  /// "note"}, ...]} - oldest first.
+  std::string DumpJson() const;
+
+  void Clear();
+
+  std::uint64_t recorded() const;  ///< Events ever offered while enabled.
+  std::uint64_t dropped() const;   ///< Events evicted by the ring.
+
+  /// Process-wide sink used by instrumentation unless given a private one.
+  static TraceSink& Default();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<const Clock*> clock_;
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<TraceEvent> ring_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: samples the sink's clock at construction and records the
+/// event at destruction. If the sink is disabled at construction time the
+/// span stays inert for its whole life (enable/disable races just lose or
+/// keep that one span, they never tear state).
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink& sink, std::string_view name, TxnId txn = kInvalidTxn)
+      : sink_(sink.enabled() ? &sink : nullptr) {
+    if (sink_ != nullptr) {
+      name_ = name;
+      txn_ = txn;
+      start_ = sink_->Now();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an outcome note ("ABORTED: ...") to the eventual event.
+  void Annotate(std::string_view note) {
+    if (sink_ != nullptr) note_ = note;
+  }
+
+  ~TraceSpan() {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.txn = txn_;
+    event.start_us = start_;
+    event.end_us = sink_->Now();
+    event.note = std::move(note_);
+    sink_->Record(std::move(event));
+  }
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+  std::string note_;
+  TxnId txn_ = kInvalidTxn;
+  TimeMicros start_ = 0;
+};
+
+}  // namespace repdir

@@ -19,6 +19,7 @@ Status RangeLockManager::Acquire(TxnId txn, LockMode mode,
                                  const KeyRange& range,
                                  DurationMicros timeout_micros) {
   assert(range.Valid());
+  const TimeMicros wait_start = metrics_->NowMicros();
   std::unique_lock<std::mutex> lk(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros);
@@ -28,18 +29,26 @@ Status RangeLockManager::Acquire(TxnId txn, LockMode mode,
     if (holders.empty()) {
       held_.push_back(Held{txn, mode, range});
       ++stats_.acquisitions;
+      acquisitions_->Increment();
+      if (waited) {
+        const TimeMicros now = metrics_->NowMicros();
+        wait_us_->Record(
+            now >= wait_start ? static_cast<double>(now - wait_start) : 0.0);
+      }
       if (detector_ != nullptr && waited) detector_->ClearWait(txn, this);
       return Status::Ok();
     }
     if (!waited) {
       waited = true;
       ++stats_.waits;
+      conflicts_->Increment();
     }
     if (detector_ != nullptr) {
       const Status st = detector_->AddWait(txn, this, holders);
       if (!st.ok()) {
         detector_->ClearWait(txn, this);
         ++stats_.aborts;
+        abort_counter_->Increment();
         return st;
       }
     }
@@ -47,6 +56,7 @@ Status RangeLockManager::Acquire(TxnId txn, LockMode mode,
         !ConflictingHolders(txn, mode, range).empty()) {
       if (detector_ != nullptr) detector_->ClearWait(txn, this);
       ++stats_.aborts;
+      abort_counter_->Increment();
       return Status::Aborted("lock wait timeout on " + range.ToString());
     }
   }
@@ -58,11 +68,14 @@ Status RangeLockManager::TryAcquire(TxnId txn, LockMode mode,
   std::lock_guard<std::mutex> guard(mu_);
   if (!ConflictingHolders(txn, mode, range).empty()) {
     ++stats_.aborts;
+    conflicts_->Increment();
+    abort_counter_->Increment();
     return Status::Aborted(std::string(LockModeName(mode)) + " " +
                            range.ToString() + " would block");
   }
   held_.push_back(Held{txn, mode, range});
   ++stats_.acquisitions;
+  acquisitions_->Increment();
   return Status::Ok();
 }
 

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "lock/deadlock.h"
 #include "lock/range_lock.h"
 
@@ -30,9 +31,17 @@ struct LockStats {
 class RangeLockManager {
  public:
   /// `detector` is shared across all managers of a deployment; may be null
-  /// (then only timeouts break deadlocks).
-  explicit RangeLockManager(DeadlockDetector* detector = nullptr)
-      : detector_(detector) {}
+  /// (then only timeouts break deadlocks). `metrics` receives the
+  /// "lock.acquisitions" / "lock.conflicts" / "lock.aborts" counters and
+  /// the "lock.wait_us" distribution; null means the default registry.
+  explicit RangeLockManager(DeadlockDetector* detector = nullptr,
+                            MetricsRegistry* metrics = nullptr)
+      : detector_(detector),
+        metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Default()),
+        acquisitions_(&metrics_->counter("lock.acquisitions")),
+        conflicts_(&metrics_->counter("lock.conflicts")),
+        abort_counter_(&metrics_->counter("lock.aborts")),
+        wait_us_(&metrics_->distribution("lock.wait_us")) {}
 
   /// Blocks until the lock is granted, the wait would deadlock, or
   /// `timeout_micros` elapses. Re-entrant per transaction (a transaction
@@ -68,6 +77,11 @@ class RangeLockManager {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   DeadlockDetector* detector_;
+  MetricsRegistry* metrics_;
+  Counter* acquisitions_;
+  Counter* conflicts_;
+  Counter* abort_counter_;
+  DistributionStat* wait_us_;
   std::vector<Held> held_;
   LockStats stats_;
 };

@@ -64,22 +64,23 @@ class FailureInjector final : public Transport {
   }
 
  private:
-  /// Decides whether this call is failure-injected.
+  /// Decides whether this call is failure-injected. FailNext is consumed
+  /// FIRST: it promises "the next n calls fail", and checking the
+  /// probability roll before it let random failures slip in front, pushing
+  /// the n consumed tokens onto an unpredictable suffix of later calls.
   Status Roll(NodeId to) {
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      if (blocked_.contains(to)) {
-        return Status::Unavailable("injected: node blocked");
-      }
-      if (probability_ > 0.0 && rng_.Chance(probability_)) {
-        return Status::Unavailable("injected: random failure");
-      }
-    }
     std::uint32_t expect = fail_next_.load();
     while (expect > 0) {
       if (fail_next_.compare_exchange_weak(expect, expect - 1)) {
         return Status::Unavailable("injected: fail-next");
       }
+    }
+    std::lock_guard<std::mutex> guard(mu_);
+    if (blocked_.contains(to)) {
+      return Status::Unavailable("injected: node blocked");
+    }
+    if (probability_ > 0.0 && rng_.Chance(probability_)) {
+      return Status::Unavailable("injected: random failure");
     }
     return Status::Ok();
   }

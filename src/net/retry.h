@@ -1,33 +1,83 @@
 // Retry policy for transient transport failures (drops, brief partitions).
 // Quorum collection uses this when a preferred representative does not
-// answer: retry a bounded number of times, then fall back to a different
-// representative.
+// answer: retry a bounded number of times - backing off exponentially so
+// the retries actually span the brief outage instead of burning within
+// microseconds - then fall back to a different representative.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <thread>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/types.h"
 
 namespace repdir::net {
 
 struct RetryPolicy {
   std::uint32_t max_attempts = 3;  ///< Total tries, including the first.
 
+  /// Deterministic exponential backoff between attempts: the k-th retry
+  /// (k = 1, 2, ...) waits base * 2^(k-1) microseconds, capped. A base of
+  /// 0 disables backoff entirely.
+  DurationMicros backoff_base_micros = 1'000;
+  DurationMicros backoff_cap_micros = 64'000;
+
+  /// How to wait. Null means a real std::this_thread::sleep_for;
+  /// deterministic deployments (InProcTransport tests, simulations) inject
+  /// a hook - typically a no-op or a virtual-clock advance - so runs stay
+  /// instant and reproducible.
+  std::function<void(DurationMicros)> sleep{};
+
   /// Whether `status` is worth retrying: only transport-level
   /// unavailability; application errors (NotFound, Aborted, ...) are final.
   static bool Retriable(const Status& status) {
     return status.code() == StatusCode::kUnavailable;
   }
+
+  /// Delay before retry number `retry` (1-based), in microseconds.
+  DurationMicros BackoffDelay(std::uint32_t retry) const {
+    if (backoff_base_micros == 0 || retry == 0) return 0;
+    DurationMicros delay = backoff_base_micros;
+    for (std::uint32_t i = 1; i < retry && delay < backoff_cap_micros; ++i) {
+      delay *= 2;
+    }
+    return delay < backoff_cap_micros ? delay : backoff_cap_micros;
+  }
+
+  /// Waits out the backoff for retry number `retry` (1-based).
+  void Backoff(std::uint32_t retry) const {
+    const DurationMicros delay = BackoffDelay(retry);
+    if (delay == 0) return;
+    if (sleep) {
+      sleep(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
 };
 
 /// Runs `fn` (returning Status) up to `policy.max_attempts` times while the
-/// failure is retriable. Returns the last status.
+/// failure is retriable, backing off between attempts. Returns the last
+/// status. When `metrics` is given, retries and backoff time are recorded
+/// ("rpc.retries", "rpc.backoff_us").
 template <typename Fn>
-Status WithRetry(const RetryPolicy& policy, Fn&& fn) {
+Status WithRetry(const RetryPolicy& policy, Fn&& fn,
+                 MetricsRegistry* metrics = nullptr) {
   Status last = Status::Internal("retry loop did not run");
-  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+  for (std::uint32_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     last = fn();
     if (last.ok() || !RetryPolicy::Retriable(last)) return last;
+    if (attempt < policy.max_attempts) {
+      if (metrics != nullptr) {
+        metrics->counter("rpc.retries").Increment();
+        metrics->distribution("rpc.backoff_us")
+            .Record(static_cast<double>(policy.BackoffDelay(attempt)));
+      }
+      policy.Backoff(attempt);
+    }
   }
   return last;
 }

@@ -26,17 +26,27 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/retry.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
 namespace repdir::net {
+
+/// Cached metric handles for one RPC method: per-attempt latency and
+/// attempt count ("rpc.method.<id>.latency_us" / ".calls").
+struct PerMethodMetrics {
+  DistributionStat* latency = nullptr;
+  Counter* calls = nullptr;
+};
 
 /// One slot of a scatter-gather fan-out: a request destined for one node.
 template <WireMessage Req>
@@ -55,7 +65,8 @@ struct FanOutResult {
 };
 
 struct FanOutOptions {
-  /// Per-slot retry of transport-level failures (kUnavailable).
+  /// Per-slot retry of transport-level failures (kUnavailable), including
+  /// its backoff schedule and sleep hook.
   RetryPolicy retry{1};
 };
 
@@ -74,6 +85,16 @@ struct FanOutState {
   std::size_t issued = 0;
   std::size_t completed = 0;
   bool stop = false;
+
+  /// Retry/backoff schedule and instrumentation (owned by the client's
+  /// MetricsRegistry; recorded on whichever thread completes the slot).
+  RetryPolicy retry;
+  std::uint32_t max_attempts = 1;
+  MetricsRegistry* metrics = nullptr;
+  Counter* attempts = nullptr;
+  Counter* failures = nullptr;
+  Counter* retries = nullptr;
+  PerMethodMetrics method;
 };
 
 template <WireMessage Resp>
@@ -88,12 +109,27 @@ Result<Resp> MergeReply(const Status& transport_status, RpcResponse& resp) {
 template <WireMessage Resp>
 void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
                std::uint32_t attempts_left) {
+  state->attempts->Increment();
+  state->method.calls->Increment();
+  const TimeMicros start = state->metrics->NowMicros();
   state->transport->CallAsync(
       state->to[i], state->requests[i],
-      [state, i, attempts_left](Status st, RpcResponse resp) {
+      [state, i, attempts_left, start](Status st, RpcResponse resp) {
         Result<Resp> out = MergeReply<Resp>(st, resp);
+        const TimeMicros now = state->metrics->NowMicros();
+        state->method.latency->Record(
+            now >= start ? static_cast<double>(now - start) : 0.0);
+        if (!out.ok()) state->failures->Increment();
         if (!out.ok() && RetryPolicy::Retriable(out.status()) &&
             attempts_left > 1) {
+          state->retries->Increment();
+          const std::uint32_t retry_no = state->max_attempts - attempts_left + 1;
+          state->metrics->distribution("rpc.backoff_us")
+              .Record(static_cast<double>(state->retry.BackoffDelay(retry_no)));
+          // Backoff runs on the completing thread (a pool worker, or
+          // inline on deterministic transports - their tests inject an
+          // instant sleep hook).
+          state->retry.Backoff(retry_no);
           IssueSlot(state, i, attempts_left - 1);
           return;
         }
@@ -112,11 +148,23 @@ void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
 
 class RpcClient {
  public:
-  RpcClient(Transport& transport, NodeId self)
-      : transport_(&transport), self_(self) {}
+  /// `metrics` receives per-call instrumentation ("rpc.attempts",
+  /// "rpc.failures", "rpc.retries", "rpc.wave_width", and per-method
+  /// latency/call metrics); null means the process-wide default registry.
+  RpcClient(Transport& transport, NodeId self,
+            MetricsRegistry* metrics = nullptr)
+      : transport_(&transport),
+        self_(self),
+        metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Default()),
+        attempts_(&metrics_->counter("rpc.attempts")),
+        failures_(&metrics_->counter("rpc.failures")),
+        retries_(&metrics_->counter("rpc.retries")),
+        wave_width_(&metrics_->distribution("rpc.wave_width")),
+        methods_(std::make_shared<MethodTable>()) {}
 
   NodeId self() const { return self_; }
   Transport& transport() const { return *transport_; }
+  MetricsRegistry& metrics() const { return *metrics_; }
 
   /// Calls `method` on node `to` within transaction `txn`.
   template <WireMessage Resp, WireMessage Req>
@@ -124,11 +172,22 @@ class RpcClient {
                     TxnId txn = kInvalidTxn) const {
     RpcRequest req = Envelope(method, txn, EncodeToString(request));
     RpcResponse resp;
-    REPDIR_RETURN_IF_ERROR(transport_->Call(to, req, resp));
-    REPDIR_RETURN_IF_ERROR(resp.ToStatus());
+    const PerMethodMetrics pm = MetricsFor(method);
+    attempts_->Increment();
+    pm.calls->Increment();
+    const TimeMicros start = metrics_->NowMicros();
 
+    Status st = transport_->Call(to, req, resp);
+    if (st.ok()) st = resp.ToStatus();
     Resp typed;
-    REPDIR_RETURN_IF_ERROR(DecodeFromString(resp.payload, typed));
+    if (st.ok()) st = DecodeFromString(resp.payload, typed);
+
+    const TimeMicros now = metrics_->NowMicros();
+    pm.latency->Record(now >= start ? static_cast<double>(now - start) : 0.0);
+    if (!st.ok()) {
+      failures_->Increment();
+      return st;
+    }
     return typed;
   }
 
@@ -156,6 +215,14 @@ class RpcClient {
 
     const std::uint32_t attempts =
         options.retry.max_attempts == 0 ? 1 : options.retry.max_attempts;
+    state->retry = options.retry;
+    state->max_attempts = attempts;
+    state->metrics = metrics_;
+    state->attempts = attempts_;
+    state->failures = failures_;
+    state->retries = retries_;
+    state->method = MetricsFor(method);
+    wave_width_->Record(static_cast<double>(slots.size()));
     for (std::size_t i = 0; i < slots.size(); ++i) {
       {
         std::lock_guard<std::mutex> lk(state->mu);
@@ -190,6 +257,27 @@ class RpcClient {
   }
 
  private:
+  /// Lazily-built cache of per-method metric handles, shared between copies
+  /// of the client (metric objects themselves live in the registry and have
+  /// stable addresses; this just avoids a registry map lookup per call).
+  struct MethodTable {
+    std::mutex mu;
+    std::map<MethodId, PerMethodMetrics> by_method;
+  };
+
+  PerMethodMetrics MetricsFor(MethodId method) const {
+    std::lock_guard<std::mutex> lk(methods_->mu);
+    auto it = methods_->by_method.find(method);
+    if (it == methods_->by_method.end()) {
+      const std::string prefix = "rpc.method." + std::to_string(method);
+      PerMethodMetrics pm;
+      pm.latency = &metrics_->distribution(prefix + ".latency_us");
+      pm.calls = &metrics_->counter(prefix + ".calls");
+      it = methods_->by_method.emplace(method, pm).first;
+    }
+    return it->second;
+  }
+
   RpcRequest Envelope(MethodId method, TxnId txn, std::string payload) const {
     RpcRequest req;
     req.from = self_;
@@ -201,6 +289,12 @@ class RpcClient {
 
   Transport* transport_;
   NodeId self_;
+  MetricsRegistry* metrics_;
+  Counter* attempts_;
+  Counter* failures_;
+  Counter* retries_;
+  DistributionStat* wave_width_;
+  std::shared_ptr<MethodTable> methods_;
 };
 
 }  // namespace repdir::net

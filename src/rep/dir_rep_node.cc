@@ -7,7 +7,8 @@ DirRepNode::DirRepNode(NodeId id, DirRepNodeOptions options)
   storage_ = MakeBackend();
   if (options_.enable_wal) {
     log_device_ = std::make_unique<storage::MemLogDevice>();
-    wal_ = std::make_unique<storage::WalWriter>(*log_device_);
+    wal_ = std::make_unique<storage::WalWriter>(*log_device_,
+                                                options_.participant.metrics);
   }
   participant_ = std::make_unique<txn::TxnParticipant>(
       *storage_, options_.detector, wal_.get(), options_.participant);

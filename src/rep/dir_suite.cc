@@ -38,11 +38,13 @@ Status FirstStrongError(const net::FanOutResult<Resp>& fan,
 
 DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
                                Options options)
-    : client_(transport, client_node),
+    : client_(transport, client_node, options.metrics),
       options_(std::move(options)),
       txn_ids_(client_node),
       committer_(client_, kTxnMethods, options_.rpc_retry) {
   assert(options_.config.Validate().ok() && "invalid quorum configuration");
+  metrics_ = &client_.metrics();
+  trace_ = options_.trace != nullptr ? options_.trace : &TraceSink::Default();
   weak_nodes_ = options_.config.WeakNodes();
   if (options_.policy != nullptr) {
     policy_ = std::move(options_.policy);
@@ -125,7 +127,13 @@ Result<std::vector<NodeId>> DirectorySuite::CollectQuorum(OpClass klass) {
       votes += options_.config.VotesOf(wave[i]);
     }
   }
-  if (votes >= quota) return members;
+  if (votes >= quota) {
+    metrics_
+        ->distribution(klass == OpClass::kRead ? "suite.quorum.read_size"
+                                               : "suite.quorum.write_size")
+        .Record(static_cast<double>(members.size()));
+    return members;
+  }
   return Status::Unavailable(
       std::string(klass == OpClass::kRead ? "read" : "write") +
       " quorum unavailable (" + std::to_string(votes) + "/" +
@@ -284,24 +292,39 @@ Status DirectorySuite::Finish(OpCtx& ctx, Status body_status) {
       ctx.wrote ? committer_.Commit(ctx.txn, ctx.participants)
                 : committer_.CommitReadOnly(ctx.txn, ctx.participants);
   if (st.ok()) {
-    for (const DeleteProbe& probe : ctx.probes) stats_.RecordDelete(probe);
+    for (const DeleteProbe& probe : ctx.probes) {
+      stats_.RecordDelete(probe);
+      metrics_->counter("suite.delete.ghosts").Increment(probe.ghost_deletions);
+      metrics_->counter("suite.delete.materializations")
+          .Increment(probe.materializing_insertions);
+    }
   }
   return st;
 }
 
 template <typename Fn>
-Status DirectorySuite::RunTxn(Fn&& body) {
+Status DirectorySuite::RunTxn(const char* op_name, Fn&& body) {
   OpCtx ctx{txn_ids_.Next(), {}, {}};
-  return Finish(ctx, body(ctx));
+  TraceSpan span(*trace_, std::string("suite.") + op_name, ctx.txn);
+  ScopedLatency latency(
+      *metrics_,
+      metrics_->distribution(std::string("suite.op.") + op_name + "_us"));
+  const Status st = Finish(ctx, body(ctx));
+  if (!st.ok()) span.Annotate(st.ToString());
+  return st;
 }
 
-Status DirectorySuite::Record(Status st, std::uint64_t OpCounters::*counter) {
+Status DirectorySuite::Record(Status st, std::uint64_t OpCounters::*counter,
+                              Counter* mirror) {
   if (st.ok()) {
     ++(stats_.counters().*counter);
+    mirror->Increment();
   } else if (st.code() == StatusCode::kUnavailable) {
     ++stats_.counters().unavailable;
+    metrics_->counter("suite.ops.unavailable").Increment();
   } else if (st.code() == StatusCode::kAborted) {
     ++stats_.counters().aborted;
+    metrics_->counter("suite.ops.aborted").Increment();
   }
   return st;
 }
@@ -454,49 +477,53 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKeyIn(
 Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
     const UserKey& key) {
   LookupResult result;
-  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+  const Status st = RunTxn("lookup", [&](OpCtx& ctx) -> Status {
     REPDIR_ASSIGN_OR_RETURN(result, LookupIn(ctx, key));
     return Status::Ok();
   });
-  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups));
+  REPDIR_RETURN_IF_ERROR(
+      Record(st, &OpCounters::lookups, &metrics_->counter("suite.ops.lookups")));
   return result;
 }
 
 Status DirectorySuite::Insert(const UserKey& key, const Value& value) {
   return Record(
-      RunTxn([&](OpCtx& ctx) { return InsertIn(ctx, key, value); }),
-      &OpCounters::inserts);
+      RunTxn("insert", [&](OpCtx& ctx) { return InsertIn(ctx, key, value); }),
+      &OpCounters::inserts, &metrics_->counter("suite.ops.inserts"));
 }
 
 Status DirectorySuite::Update(const UserKey& key, const Value& value) {
   return Record(
-      RunTxn([&](OpCtx& ctx) { return UpdateIn(ctx, key, value); }),
-      &OpCounters::updates);
+      RunTxn("update", [&](OpCtx& ctx) { return UpdateIn(ctx, key, value); }),
+      &OpCounters::updates, &metrics_->counter("suite.ops.updates"));
 }
 
 Status DirectorySuite::Delete(const UserKey& key) {
-  return Record(RunTxn([&](OpCtx& ctx) { return DeleteIn(ctx, key); }),
-                &OpCounters::deletes);
+  return Record(
+      RunTxn("delete", [&](OpCtx& ctx) { return DeleteIn(ctx, key); }),
+      &OpCounters::deletes, &metrics_->counter("suite.ops.deletes"));
 }
 
 Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKey(
     const UserKey& key) {
   NextKeyResult result;
-  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+  const Status st = RunTxn("nextkey", [&](OpCtx& ctx) -> Status {
     REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::User(key)));
     return Status::Ok();
   });
-  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups));
+  REPDIR_RETURN_IF_ERROR(
+      Record(st, &OpCounters::lookups, &metrics_->counter("suite.ops.lookups")));
   return result;
 }
 
 Result<DirectorySuite::NextKeyResult> DirectorySuite::FirstKey() {
   NextKeyResult result;
-  const Status st = RunTxn([&](OpCtx& ctx) -> Status {
+  const Status st = RunTxn("nextkey", [&](OpCtx& ctx) -> Status {
     REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::Low()));
     return Status::Ok();
   });
-  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups));
+  REPDIR_RETURN_IF_ERROR(
+      Record(st, &OpCounters::lookups, &metrics_->counter("suite.ops.lookups")));
   return result;
 }
 

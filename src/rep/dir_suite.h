@@ -41,6 +41,8 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "net/retry.h"
 #include "net/rpc_client.h"
 #include "rep/messages.h"
@@ -72,6 +74,12 @@ class DirectorySuite {
     /// located using one remote procedure call" per member) - validated by
     /// bench_batching.
     std::uint32_t neighbor_batch = 1;
+
+    /// Observability sinks. Both are passive - they never feed back into
+    /// behaviour, so deterministic runs stay bit-identical whether or not
+    /// they are read. Null selects the process-wide defaults.
+    MetricsRegistry* metrics = nullptr;
+    TraceSink* trace = nullptr;
   };
 
   /// `client_node` identifies this client on the transport (distinct from
@@ -223,12 +231,16 @@ class DirectorySuite {
   /// records the accumulated delete probes.
   Status Finish(OpCtx& ctx, Status body_status);
 
-  /// Runs `body` in a fresh transaction and finishes it.
+  /// Runs `body` in a fresh transaction and finishes it, under a
+  /// "suite.<op_name>" trace span and a "suite.op.<op_name>_us" latency
+  /// sample.
   template <typename Fn>
-  Status RunTxn(Fn&& body);
+  Status RunTxn(const char* op_name, Fn&& body);
 
-  /// Folds a finished operation's status into the counters.
-  Status Record(Status st, std::uint64_t OpCounters::*counter);
+  /// Folds a finished operation's status into the counters; `mirror` is
+  /// the registry counter paired with `counter` ("suite.ops.*").
+  Status Record(Status st, std::uint64_t OpCounters::*counter,
+                Counter* mirror);
 
   net::RpcClient client_;
   Options options_;
@@ -236,6 +248,8 @@ class DirectorySuite {
   std::unique_ptr<QuorumPolicy> policy_;
   txn::TxnIdFactory txn_ids_;
   txn::TwoPhaseCommitter committer_;
+  MetricsRegistry* metrics_ = nullptr;  ///< == &client_.metrics().
+  TraceSink* trace_ = nullptr;
   SuiteStats stats_;
   std::map<NodeId, std::uint64_t> read_rpcs_;
   std::map<NodeId, std::uint64_t> write_rpcs_;

@@ -52,6 +52,8 @@ Status WalWriter::Append(const WalRecord& record) {
   frame.PutRaw(payload.data().data(), payload.size());
 
   const auto bytes = frame.Take();
+  appends_->Increment();
+  append_bytes_->Increment(bytes.size());
   return device_->Append(
       std::string_view(reinterpret_cast<const char*>(bytes.data()),
                        bytes.size()));
@@ -82,6 +84,8 @@ Status WalWriter::WriteCheckpoint(const std::vector<StoredEntry>& snapshot) {
   WalRecord rec;
   rec.type = WalRecordType::kCheckpoint;
   rec.body = EncodeSnapshot(snapshot);
+  checkpoints_->Increment();
+  checkpoint_bytes_->Increment(rec.body.size());
   REPDIR_RETURN_IF_ERROR(Append(rec));
   return Flush();
 }

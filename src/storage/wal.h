@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 #include "storage/log_device.h"
 #include "storage/stored_entry.h"
@@ -73,15 +74,28 @@ struct WalRecord {
   Status Decode(ByteReader& r);
 };
 
-/// Appends framed records to a LogDevice.
+/// Appends framed records to a LogDevice. `metrics` receives the
+/// "wal.appends" / "wal.flushes" / "wal.checkpoints" counters plus
+/// "wal.append_bytes" / "wal.checkpoint_bytes"; null means the default
+/// registry.
 class WalWriter {
  public:
-  explicit WalWriter(LogDevice& device) : device_(&device) {}
+  explicit WalWriter(LogDevice& device, MetricsRegistry* metrics = nullptr)
+      : device_(&device),
+        metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Default()),
+        appends_(&metrics_->counter("wal.appends")),
+        flushes_(&metrics_->counter("wal.flushes")),
+        checkpoints_(&metrics_->counter("wal.checkpoints")),
+        append_bytes_(&metrics_->counter("wal.append_bytes")),
+        checkpoint_bytes_(&metrics_->counter("wal.checkpoint_bytes")) {}
 
   /// Buffers one framed record (durable only after Flush()).
   Status Append(const WalRecord& record);
 
-  Status Flush() { return device_->Flush(); }
+  Status Flush() {
+    flushes_->Increment();
+    return device_->Flush();
+  }
 
   /// Convenience: op record for `txn`.
   Status AppendOp(TxnId txn, const WalOp& op);
@@ -95,6 +109,12 @@ class WalWriter {
 
  private:
   LogDevice* device_;
+  MetricsRegistry* metrics_;
+  Counter* appends_;
+  Counter* flushes_;
+  Counter* checkpoints_;
+  Counter* append_bytes_;
+  Counter* checkpoint_bytes_;
 };
 
 /// Parses the durable contents of a log device. A torn or corrupt tail

@@ -25,9 +25,15 @@ Status TwoPhaseCommitter::Commit(TxnId txn,
   const std::vector<NodeId> nodes(participants.begin(), participants.end());
   net::FanOutOptions options;
   options.retry = retry_;
-  const auto votes = client_.ParallelCall<net::Empty>(
-      nodes, methods_.prepare, net::Empty{}, txn, options,
-      [](std::size_t, const Result<net::Empty>& vote) { return !vote.ok(); });
+  net::FanOutResult<net::Empty> votes;
+  {
+    ScopedLatency timer(client_.metrics(), *prepare_us_);
+    votes = client_.ParallelCall<net::Empty>(
+        nodes, methods_.prepare, net::Empty{}, txn, options,
+        [](std::size_t, const Result<net::Empty>& vote) {
+          return !vote.ok();
+        });
+  }
   for (std::size_t i = 0; i < votes.issued; ++i) {
     const Result<net::Empty>& vote = *votes.replies[i];
     if (!vote.ok()) {
@@ -40,18 +46,30 @@ Status TwoPhaseCommitter::Commit(TxnId txn,
 
   // Phase 2: the decision is now commit. Unreachable participants have
   // prepared and will resolve via recovery; the transaction is committed.
-  (void)Wave(methods_.commit, txn, participants);
+  {
+    ScopedLatency timer(client_.metrics(), *commit_us_);
+    (void)Wave(methods_.commit, txn, participants);
+  }
+  committed_->Increment();
   return Status::Ok();
 }
 
 Status TwoPhaseCommitter::CommitReadOnly(
     TxnId txn, const std::set<NodeId>& participants) const {
-  (void)Wave(methods_.commit, txn, participants);
+  {
+    ScopedLatency timer(client_.metrics(), *commit_us_);
+    (void)Wave(methods_.commit, txn, participants);
+  }
+  readonly_committed_->Increment();
   return Status::Ok();
 }
 
 void TwoPhaseCommitter::Abort(TxnId txn,
                               const std::set<NodeId>& participants) const {
+  // Counted here (not in Commit) so execution-error aborts initiated by the
+  // suite are included, and a prepare-failure abort is counted exactly once.
+  aborted_->Increment();
+  ScopedLatency timer(client_.metrics(), *abort_us_);
   (void)Wave(methods_.abort, txn, participants);
 }
 

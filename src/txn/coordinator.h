@@ -17,6 +17,7 @@
 
 #include <set>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/message.h"
 #include "net/retry.h"
@@ -36,10 +37,22 @@ struct TxnControlMethods {
 class TwoPhaseCommitter {
  public:
   /// Control messages (prepare/commit/abort) are idempotent, so transient
-  /// transport failures are retried per `retry`.
+  /// transport failures are retried per `retry`. Outcome counters
+  /// ("txn.2pc.committed" / ".aborted" / ".readonly_committed") and phase
+  /// latencies ("txn.2pc.prepare_us" / ".commit_us" / ".abort_us") go to
+  /// the client's MetricsRegistry.
   TwoPhaseCommitter(const net::RpcClient& client, TxnControlMethods methods,
                     net::RetryPolicy retry = {})
-      : client_(client), methods_(methods), retry_(retry) {}
+      : client_(client),
+        methods_(methods),
+        retry_(retry),
+        committed_(&client.metrics().counter("txn.2pc.committed")),
+        aborted_(&client.metrics().counter("txn.2pc.aborted")),
+        readonly_committed_(
+            &client.metrics().counter("txn.2pc.readonly_committed")),
+        prepare_us_(&client.metrics().distribution("txn.2pc.prepare_us")),
+        commit_us_(&client.metrics().distribution("txn.2pc.commit_us")),
+        abort_us_(&client.metrics().distribution("txn.2pc.abort_us")) {}
 
   /// Runs the full protocol for `txn` over `participants`. Returns OK when
   /// the transaction durably committed; kAborted when it rolled back.
@@ -62,6 +75,12 @@ class TwoPhaseCommitter {
   const net::RpcClient& client_;
   TxnControlMethods methods_;
   net::RetryPolicy retry_;
+  Counter* committed_;
+  Counter* aborted_;
+  Counter* readonly_committed_;
+  DistributionStat* prepare_us_;
+  DistributionStat* commit_us_;
+  DistributionStat* abort_us_;
 };
 
 }  // namespace repdir::txn

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "lock/range_lock_manager.h"
 #include "storage/dir_rep_core.h"
 #include "storage/wal.h"
@@ -36,6 +37,10 @@ struct ParticipantOptions {
   /// on conflict (deterministic simulator).
   bool blocking_locks = true;
   DurationMicros lock_timeout_micros = 10'000'000;
+
+  /// Registry the lock manager (and the node's WAL) report into; null
+  /// means the process-wide default.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class TxnParticipant {
@@ -43,7 +48,8 @@ class TxnParticipant {
   /// `wal` may be null (durability disabled, e.g. in statistical sims).
   TxnParticipant(storage::RepStorage& stg, lock::DeadlockDetector* detector,
                  storage::WalWriter* wal, ParticipantOptions options = {})
-      : core_(stg), locks_(detector), wal_(wal), options_(options) {}
+      : core_(stg), locks_(detector, options.metrics), wal_(wal),
+        options_(options) {}
 
   // --- Figure 6 operations, transactional ---
 

@@ -1,0 +1,203 @@
+// MetricsRegistry / DistributionStat / ScopedLatency and the TraceSink
+// ring buffer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace repdir {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, NamesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("rpc.attempts");
+  Counter& b = registry.counter("rpc.attempts");
+  EXPECT_EQ(&a, &b);  // same name, same object
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+
+  DistributionStat& d1 = registry.distribution("lock.wait_us");
+  DistributionStat& d2 = registry.distribution("lock.wait_us");
+  EXPECT_EQ(&d1, &d2);
+  EXPECT_NE(static_cast<void*>(&a), static_cast<void*>(&d1));
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("x");
+  DistributionStat& d = registry.distribution("y");
+  c.Increment(7);
+  d.Record(3.0);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(d.count(), 0u);
+  c.Increment();  // cached pointer still usable
+  EXPECT_EQ(registry.counter("x").value(), 1u);
+}
+
+TEST(DistributionStat, MomentsAndQuantiles) {
+  DistributionStat d;
+  for (int i = 0; i < 90; ++i) d.Record(3.0);    // bucket [2,4)
+  for (int i = 0; i < 10; ++i) d.Record(100.0);  // bucket [64,128)
+  EXPECT_EQ(d.count(), 100u);
+  EXPECT_NEAR(d.Moments().mean(), 12.7, 1e-9);
+  EXPECT_DOUBLE_EQ(d.Moments().max(), 100.0);
+  // Quantiles are log2-bucket upper bounds.
+  EXPECT_EQ(d.ApproxQuantile(0.5), 3u);
+  EXPECT_EQ(d.ApproxQuantile(0.99), 127u);
+}
+
+TEST(DistributionStat, ZeroSamplesLandInBucketZero) {
+  DistributionStat d;
+  d.Record(0.0);
+  EXPECT_EQ(d.ApproxQuantile(1.0), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("concurrent");
+  DistributionStat& d = registry.distribution("concurrent_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        d.Record(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(d.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, RenderTextListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Increment(3);
+  registry.distribution("a.latency_us").Record(5.0);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("b.count 3"), std::string::npos);
+  EXPECT_NE(text.find("a.latency_us count=1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RenderJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("rpc.attempts").Increment(2);
+  registry.distribution("rpc.wave_width").Record(3.0);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.attempts\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"distributions\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.wave_width\": {\"count\": 1"), std::string::npos);
+
+  // An empty registry still renders valid (empty) objects.
+  MetricsRegistry empty;
+  const std::string none = empty.RenderJson();
+  EXPECT_NE(none.find("\"counters\": {}"), std::string::npos);
+}
+
+TEST(ScopedLatency, MeasuresThroughInjectedClock) {
+  VirtualClock clock;
+  MetricsRegistry registry(&clock);
+  DistributionStat& d = registry.distribution("op_us");
+  {
+    ScopedLatency latency(registry, d);
+    clock.AdvanceBy(250);
+  }
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_DOUBLE_EQ(d.Moments().mean(), 250.0);
+}
+
+TEST(TraceSink, DisabledSinkRecordsNothing) {
+  TraceSink sink(4);
+  { TraceSpan span(sink, "suite.lookup", 7); }
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.Snapshot().empty());
+}
+
+TEST(TraceSink, SpansCarryTxnAndVirtualTime) {
+  VirtualClock clock;
+  TraceSink sink(8, &clock);
+  sink.set_enabled(true);
+  clock.AdvanceTo(100);
+  {
+    TraceSpan span(sink, "suite.insert", 42);
+    clock.AdvanceBy(50);
+    span.Annotate("ok");
+  }
+  const auto events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "suite.insert");
+  EXPECT_EQ(events[0].txn, 42u);
+  EXPECT_EQ(events[0].start_us, 100u);
+  EXPECT_EQ(events[0].end_us, 150u);
+  EXPECT_EQ(events[0].note, "ok");
+}
+
+TEST(TraceSink, RingEvictsOldestAndCountsDrops) {
+  TraceSink sink(2);
+  sink.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(sink, "span" + std::to_string(i));
+  }
+  EXPECT_EQ(sink.recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  const auto events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "span3");
+  EXPECT_EQ(events[1].name, "span4");
+}
+
+TEST(TraceSink, DumpJsonEscapesNotes) {
+  TraceSink sink(4);
+  sink.set_enabled(true);
+  {
+    TraceSpan span(sink, "op", 1);
+    span.Annotate("ABORTED: \"lock\"\n");
+  }
+  const std::string json = sink.DumpJson();
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\\\"lock\\\"\\n"), std::string::npos);
+
+  sink.Clear();
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_NE(sink.DumpJson().find("\"spans\": []"), std::string::npos);
+}
+
+TEST(TraceSink, ConcurrentSpansAllArrive) {
+  TraceSink sink(100'000);
+  sink.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span(sink, "w", static_cast<TxnId>(t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(sink.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace repdir

@@ -84,6 +84,47 @@ TEST(CountHistogram, Quantile) {
   EXPECT_EQ(h.Quantile(0.99), 8u);
 }
 
+TEST(RunningStat, MinOfEmptyIsZero) {
+  const RunningStat s;
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);  // not +infinity
+}
+
+TEST(RunningStat, VarianceNeverNegativeOrNaN) {
+  // Near-identical large values drive Welford's m2 accumulator into the
+  // catastrophic-cancellation regime where it can go slightly negative;
+  // variance() must clamp instead of handing sqrt a negative number.
+  RunningStat s;
+  for (int i = 0; i < 10000; ++i) s.Add(1e15 + 0.1 * (i % 2));
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(CountHistogram, QuantileOfEmptyIsZero) {
+  const CountHistogram h(8);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+}
+
+TEST(CountHistogram, QuantileClampsOutOfRangeQ) {
+  CountHistogram h(8);
+  h.Add(3);
+  h.Add(5);
+  // q <= 0 selects the minimum observation, q >= 1 the maximum.
+  EXPECT_EQ(h.Quantile(-1.0), 3u);
+  EXPECT_EQ(h.Quantile(0.0), 3u);
+  EXPECT_EQ(h.Quantile(1.0), 5u);
+  EXPECT_EQ(h.Quantile(2.5), 5u);
+}
+
+TEST(CountHistogram, TinyQNeverSelectsEmptyBucketZero) {
+  // Regression: the old floor-based threshold mapped tiny q to 0 covered
+  // observations, reporting bucket 0 even though nothing was ever <= 0.
+  CountHistogram h(8);
+  for (int i = 0; i < 100; ++i) h.Add(4);
+  EXPECT_EQ(h.Quantile(0.001), 4u);
+}
+
 TEST(CountHistogram, ToStringSkipsEmptyBuckets) {
   CountHistogram h(8);
   h.Add(2);

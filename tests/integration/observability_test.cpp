@@ -1,0 +1,179 @@
+// Observability integration: the metrics a deployment reports must
+// reconcile exactly with the transport's own accounting and the suite's
+// SuiteStats, and reading metrics must not perturb a deterministic run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "sim/network_model.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+rep::DirectorySuite::Options SuiteOptions(const SuiteHarness& harness,
+                                          MetricsRegistry* metrics,
+                                          TraceSink* trace) {
+  rep::DirectorySuite::Options options;
+  options.config = harness.config();
+  options.policy_seed = 7;
+  options.metrics = metrics;
+  options.trace = trace;
+  return options;
+}
+
+/// A fixed workload with a known op mix; returns per-op success counts.
+void RunWorkload(rep::DirectorySuite& suite) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(suite.Insert("k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(suite.Update("k" + std::to_string(i), "u").ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(suite.Delete("k" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(suite.Lookup("k" + std::to_string(i)).ok());
+  }
+  // One clean check failure: the body aborts (no partial state), the op is
+  // not counted as a committed insert.
+  EXPECT_EQ(suite.Insert("k5", "dup").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Observability, MetricsReconcileWithTransportAndSuiteStats) {
+  MetricsRegistry registry;
+  DirRepNodeOptions node_options = SuiteHarness::DefaultNodeOptions();
+  node_options.enable_wal = true;
+  node_options.participant.metrics = &registry;
+  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2), node_options);
+
+  rep::DirectorySuite suite(harness.transport(), 100,
+                            SuiteOptions(harness, &registry, nullptr));
+  RunWorkload(suite);
+
+  // The suite is this transport's only client, and both sides count every
+  // attempt (the transport at Call entry, the client around each issue), so
+  // the totals must match exactly.
+  EXPECT_EQ(registry.counter("rpc.attempts").value(),
+            harness.transport().TotalAttempts());
+  EXPECT_GT(registry.counter("rpc.attempts").value(), 0u);
+  EXPECT_EQ(registry.counter("rpc.retries").value(), 0u);  // clean network
+
+  // Suite op counters mirror SuiteStats one-for-one.
+  const auto& counters = suite.stats().counters();
+  EXPECT_EQ(registry.counter("suite.ops.inserts").value(), counters.inserts);
+  EXPECT_EQ(registry.counter("suite.ops.updates").value(), counters.updates);
+  EXPECT_EQ(registry.counter("suite.ops.deletes").value(), counters.deletes);
+  EXPECT_EQ(registry.counter("suite.ops.lookups").value(), counters.lookups);
+  EXPECT_EQ(counters.inserts, 10u);
+  EXPECT_EQ(counters.updates, 5u);
+  EXPECT_EQ(counters.deletes, 3u);
+  EXPECT_EQ(counters.lookups, 7u);
+
+  // 2PC outcomes: every successful mutation commits through full 2PC, every
+  // successful lookup through the read-only fast path, and the duplicate
+  // insert aborts.
+  EXPECT_EQ(registry.counter("txn.2pc.committed").value(), 18u);
+  EXPECT_EQ(registry.counter("txn.2pc.readonly_committed").value(), 7u);
+  EXPECT_EQ(registry.counter("txn.2pc.aborted").value(), 1u);
+
+  // Per-op latency distributions saw every operation.
+  EXPECT_EQ(registry.distribution("suite.op.insert_us").count(), 11u);
+  EXPECT_EQ(registry.distribution("suite.op.update_us").count(), 5u);
+  EXPECT_EQ(registry.distribution("suite.op.delete_us").count(), 3u);
+  EXPECT_EQ(registry.distribution("suite.op.lookup_us").count(), 7u);
+
+  // Quorum-size distributions record one sample per collection, sized
+  // within [quorum, replicas].
+  const auto reads = registry.distribution("suite.quorum.read_size").Moments();
+  ASSERT_GT(reads.count(), 0u);
+  EXPECT_GE(reads.min(), 2.0);
+  EXPECT_LE(reads.max(), 3.0);
+
+  // The deployment-side metrics flowed into the same registry.
+  EXPECT_GT(registry.counter("lock.acquisitions").value(), 0u);
+  EXPECT_GT(registry.counter("wal.appends").value(), 0u);
+  EXPECT_GT(registry.counter("wal.flushes").value(), 0u);
+
+  // Ghost/coalesce mirrors agree with the Fig. 15 accumulators (each delete
+  // adds one sample whose value is the work done for that delete).
+  const auto& ghosts = suite.stats().deletions_while_coalescing();
+  EXPECT_EQ(registry.counter("suite.delete.ghosts").value(),
+            static_cast<std::uint64_t>(ghosts.mean() * ghosts.count() + 0.5));
+  const auto& fills = suite.stats().insertions_while_coalescing();
+  EXPECT_EQ(registry.counter("suite.delete.materializations").value(),
+            static_cast<std::uint64_t>(fills.mean() * fills.count() + 0.5));
+}
+
+TEST(Observability, FlakyRunStillReconcilesAttemptCounts) {
+  MetricsRegistry registry;
+  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+  harness.network().SetDefaultLink(sim::LinkSpec{0, 0, 0.2});
+
+  auto options = SuiteOptions(harness, &registry, nullptr);
+  options.rpc_retry.max_attempts = 5;
+  options.rpc_retry.sleep = [](DurationMicros) {};  // instant, deterministic
+  rep::DirectorySuite suite(harness.transport(), 100, std::move(options));
+
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (suite.Insert("k" + std::to_string(i), "v").ok()) ++ok;
+  }
+  EXPECT_GT(ok, 0);
+  // Retries and failures happened and were counted on both sides equally.
+  EXPECT_GT(registry.counter("rpc.retries").value(), 0u);
+  EXPECT_GT(registry.counter("rpc.failures").value(), 0u);
+  EXPECT_EQ(registry.counter("rpc.attempts").value(),
+            harness.transport().TotalAttempts());
+}
+
+TEST(Observability, ReadingMetricsDoesNotPerturbDeterministicRuns) {
+  // Run A: private registry + tracing on, metrics rendered mid-run.
+  // Run B: defaults, nothing read. Same seeds everywhere - the replicated
+  // state must be byte-identical: observability is strictly passive.
+  auto run = [](bool observed) {
+    DirRepNodeOptions node_options = SuiteHarness::DefaultNodeOptions();
+    node_options.enable_wal = true;
+    auto harness = std::make_unique<SuiteHarness>(
+        QuorumConfig::Uniform(3, 2, 2), node_options);
+    harness->network().SetDefaultLink(sim::LinkSpec{0, 0, 0.1});
+
+    MetricsRegistry registry;
+    TraceSink sink(128);
+    rep::DirectorySuite::Options options;
+    options.config = harness->config();
+    options.policy_seed = 21;
+    options.rpc_retry.max_attempts = 3;
+    options.rpc_retry.sleep = [](DurationMicros) {};
+    if (observed) {
+      sink.set_enabled(true);
+      options.metrics = &registry;
+      options.trace = &sink;
+    }
+    rep::DirectorySuite suite(harness->transport(), 100, std::move(options));
+
+    std::vector<std::string> outcomes;
+    for (int i = 0; i < 25; ++i) {
+      const std::string key = "k" + std::to_string(i % 8);
+      outcomes.push_back(suite.Insert(key, "v" + std::to_string(i)).ToString());
+      outcomes.push_back(suite.Lookup(key).status().ToString());
+      if (observed && i % 5 == 0) {
+        (void)registry.RenderJson();  // reading must not perturb anything
+        (void)sink.DumpJson();
+      }
+    }
+    std::string state;
+    for (NodeId n = 1; n <= 3; ++n) state += harness->Dump(n) + "\n";
+    for (const std::string& o : outcomes) state += o + "\n";
+    return state;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace repdir::test

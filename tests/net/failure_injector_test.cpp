@@ -1,0 +1,78 @@
+// FailureInjector::Roll ordering: the fail-next budget is consumed before
+// the probability roll, so FailNext(n) means exactly "the next n calls".
+#include <gtest/gtest.h>
+
+#include "net/failure_injector.h"
+#include "net/inproc_transport.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+
+namespace repdir::net {
+namespace {
+
+constexpr MethodId kEcho = 1;
+
+class FailureInjectorRollTest : public ::testing::Test {
+ protected:
+  FailureInjectorRollTest() : server_(1), injector_(inner_) {
+    server_.RegisterTyped<Empty, Empty>(
+        kEcho, [](const RpcRequest&, const Empty&, Empty&) {
+          return Status::Ok();
+        });
+    inner_.RegisterNode(1, server_);
+  }
+
+  Status Call() {
+    RpcClient client(injector_, 50);
+    return client.Call<Empty>(1, kEcho, Empty{}).status();
+  }
+
+  RpcServer server_;
+  InProcTransport inner_;
+  FailureInjector injector_;
+};
+
+TEST_F(FailureInjectorRollTest, FailNextConsumedBeforeProbabilityRoll) {
+  // Regression: the probability roll used to run first, so with p=1.0 the
+  // random failure absorbed the call and the fail-next token survived,
+  // leaking onto an unpredictable later call.
+  injector_.SetFailureProbability(1.0);
+  injector_.FailNext(1);
+
+  const Status first = Call();
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_NE(first.message().find("fail-next"), std::string::npos) << first;
+
+  // The token is spent: with the probability cleared, the next call goes
+  // through (the old ordering would fail it with the leaked token).
+  injector_.SetFailureProbability(0.0);
+  EXPECT_TRUE(Call().ok());
+}
+
+TEST_F(FailureInjectorRollTest, FailNextCoversExactlyNCalls) {
+  injector_.SetFailureProbability(1.0);
+  injector_.FailNext(2);
+  for (int i = 0; i < 2; ++i) {
+    const Status st = Call();
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+    EXPECT_NE(st.message().find("fail-next"), std::string::npos)
+        << "call " << i << ": " << st;
+  }
+  injector_.SetFailureProbability(0.0);
+  EXPECT_TRUE(Call().ok());
+}
+
+TEST_F(FailureInjectorRollTest, FailNextBeatsBlockedNode) {
+  // Deterministic precedence: fail-next, then blocked, then probability.
+  injector_.BlockNode(1);
+  injector_.FailNext(1);
+  const Status st = Call();
+  EXPECT_NE(st.message().find("fail-next"), std::string::npos) << st;
+  const Status blocked = Call();
+  EXPECT_NE(blocked.message().find("blocked"), std::string::npos) << blocked;
+  injector_.UnblockNode(1);
+  EXPECT_TRUE(Call().ok());
+}
+
+}  // namespace
+}  // namespace repdir::net

@@ -1,0 +1,123 @@
+// RetryPolicy exponential backoff: deterministic delay schedule, injectable
+// sleep hook, metrics recording, and the ParallelCall per-slot retry path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/failure_injector.h"
+#include "net/inproc_transport.h"
+#include "net/retry.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+
+namespace repdir::net {
+namespace {
+
+constexpr MethodId kEcho = 1;
+
+void RegisterEcho(RpcServer& server) {
+  server.RegisterTyped<Empty, Empty>(
+      kEcho, [](const RpcRequest&, const Empty&, Empty&) {
+        return Status::Ok();
+      });
+}
+
+TEST(RetryBackoff, DelayDoublesFromBaseAndCaps) {
+  RetryPolicy policy;
+  policy.backoff_base_micros = 100;
+  policy.backoff_cap_micros = 1'000;
+  const std::vector<DurationMicros> expected{100, 200, 400, 800, 1000, 1000};
+  for (std::uint32_t k = 1; k <= expected.size(); ++k) {
+    EXPECT_EQ(policy.BackoffDelay(k), expected[k - 1]) << "retry " << k;
+  }
+  EXPECT_EQ(policy.BackoffDelay(0), 0u);
+}
+
+TEST(RetryBackoff, ZeroBaseDisablesBackoff) {
+  RetryPolicy policy;
+  policy.backoff_base_micros = 0;
+  bool slept = false;
+  policy.sleep = [&](DurationMicros) { slept = true; };
+  EXPECT_EQ(policy.BackoffDelay(3), 0u);
+  policy.Backoff(3);
+  EXPECT_FALSE(slept);
+}
+
+TEST(RetryBackoff, WithRetrySleepsTheScheduleThroughTheHook) {
+  RetryPolicy policy{3};
+  policy.backoff_base_micros = 100;
+  policy.backoff_cap_micros = 1'000;
+  std::vector<DurationMicros> slept;
+  policy.sleep = [&](DurationMicros d) { slept.push_back(d); };
+
+  int calls = 0;
+  const Status st = WithRetry(policy, [&] {
+    ++calls;
+    return Status::Unavailable("flaky");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  // Two retries: backoff after attempt 1 and attempt 2, not after the last.
+  EXPECT_EQ(slept, (std::vector<DurationMicros>{100, 200}));
+}
+
+TEST(RetryBackoff, NoBackoffAfterSuccessOrPermanentError) {
+  RetryPolicy policy{5};
+  policy.backoff_base_micros = 100;
+  std::vector<DurationMicros> slept;
+  policy.sleep = [&](DurationMicros d) { slept.push_back(d); };
+
+  ASSERT_TRUE(WithRetry(policy, [] { return Status::Ok(); }).ok());
+  EXPECT_TRUE(slept.empty());
+
+  const Status hard =
+      WithRetry(policy, [] { return Status::NotFound("permanent"); });
+  EXPECT_EQ(hard.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryBackoff, WithRetryRecordsMetrics) {
+  MetricsRegistry registry;
+  RetryPolicy policy{3};
+  policy.backoff_base_micros = 100;
+  policy.sleep = [](DurationMicros) {};
+  const Status st = WithRetry(
+      policy, [] { return Status::Unavailable("flaky"); }, &registry);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(registry.counter("rpc.retries").value(), 2u);
+  EXPECT_EQ(registry.distribution("rpc.backoff_us").count(), 2u);
+  EXPECT_DOUBLE_EQ(registry.distribution("rpc.backoff_us").Moments().max(),
+                   200.0);
+}
+
+TEST(RetryBackoff, ParallelCallBacksOffBetweenSlotRetries) {
+  RpcServer server(1);
+  RegisterEcho(server);
+  InProcTransport inner;
+  inner.RegisterNode(1, server);
+  FailureInjector injector(inner);
+  MetricsRegistry registry;
+  RpcClient client(injector, 50, &registry);
+
+  FanOutOptions options;
+  options.retry = RetryPolicy{3};
+  options.retry.backoff_base_micros = 100;
+  options.retry.backoff_cap_micros = 1'000;
+  std::vector<DurationMicros> slept;
+  options.retry.sleep = [&](DurationMicros d) { slept.push_back(d); };
+
+  injector.FailNext(2);  // First slot attempt fails twice, then succeeds.
+  const auto fan = client.ParallelCall<Empty>(std::vector<NodeId>{1}, kEcho,
+                                              Empty{}, kInvalidTxn, options);
+  ASSERT_EQ(fan.issued, 1u);
+  EXPECT_TRUE(fan.replies[0]->ok());
+  EXPECT_EQ(slept, (std::vector<DurationMicros>{100, 200}));
+  EXPECT_EQ(registry.counter("rpc.retries").value(), 2u);
+  EXPECT_EQ(registry.counter("rpc.attempts").value(), 3u);
+  EXPECT_EQ(registry.counter("rpc.failures").value(), 2u);
+  EXPECT_EQ(registry.distribution("rpc.backoff_us").count(), 2u);
+}
+
+}  // namespace
+}  // namespace repdir::net

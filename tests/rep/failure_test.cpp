@@ -136,6 +136,9 @@ TEST_F(SuiteFailures, FlakyNetworkWithRetriesStillMakesProgress) {
   options.config = harness_.config();
   options.policy_seed = 5;
   options.rpc_retry.max_attempts = 5;
+  // Instant sleep hook: the retries here probe the deterministic transport
+  // again immediately - real exponential backoff would only slow the test.
+  options.rpc_retry.sleep = [](DurationMicros) {};
   rep::DirectorySuite flaky(harness_.transport(), 102, std::move(options));
 
   int success = 0;

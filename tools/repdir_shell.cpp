@@ -11,7 +11,8 @@
 //   down <node>              up <node>
 //   crash <node>             recover <node>
 //   begin | commit | abort   (multi-op transaction)
-//   stats                    help | quit
+//   stats                    metrics [json]
+//   trace on|off|dump|clear  help | quit
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -19,6 +20,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "net/inproc_transport.h"
 #include "rep/dir_rep_node.h"
 #include "rep/dir_suite.h"
@@ -76,8 +79,8 @@ struct Shell {
     if (cmd == "help") {
       std::printf(
           "insert/update <key> <value> | lookup/delete <key> | scan | dump\n"
-          "down/up/crash/recover <node> | begin/commit/abort | stats | "
-          "quit\n");
+          "down/up/crash/recover <node> | begin/commit/abort | stats\n"
+          "metrics [json] | trace on|off|dump|clear | quit\n");
     } else if (cmd == "insert" || cmd == "update") {
       std::string key;
       std::string value;
@@ -179,6 +182,36 @@ struct Shell {
                   s.entries_in_ranges_coalesced().ToString().c_str(),
                   s.deletions_while_coalescing().ToString().c_str(),
                   s.insertions_while_coalescing().ToString().c_str());
+      std::printf("('metrics' has the per-layer breakdown)\n");
+    } else if (cmd == "metrics") {
+      std::string mode;
+      in >> mode;
+      auto& registry = MetricsRegistry::Default();
+      if (mode == "json") {
+        std::printf("%s\n", registry.RenderJson().c_str());
+      } else if (mode.empty()) {
+        std::printf("%s", registry.RenderText().c_str());
+      } else {
+        return Usage("metrics [json]");
+      }
+    } else if (cmd == "trace") {
+      std::string sub;
+      auto& sink = TraceSink::Default();
+      if (!(in >> sub)) return Usage("trace on|off|dump|clear");
+      if (sub == "on") {
+        sink.set_enabled(true);
+        std::printf("tracing on\n");
+      } else if (sub == "off") {
+        sink.set_enabled(false);
+        std::printf("tracing off\n");
+      } else if (sub == "dump") {
+        std::printf("%s\n", sink.DumpJson().c_str());
+      } else if (sub == "clear") {
+        sink.Clear();
+        std::printf("trace buffer cleared\n");
+      } else {
+        return Usage("trace on|off|dump|clear");
+      }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

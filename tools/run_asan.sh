@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Build the test suites under AddressSanitizer and run the suites that
+# exercise the observability layer (metrics registry, trace ring buffer,
+# logging) plus the allocation-heavy net and integration paths.
+#
+# Uses the dedicated build-asan/ tree so the regular build/ stays intact.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-asan"
+jobs="${JOBS:-$(nproc)}"
+
+cmake -B "$build" -S "$root" \
+  -DREPDIR_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+targets=(
+  common/common_metrics_test common/common_logging_test
+  common/common_stats_test
+  net/net_rpc_test net/net_parallel_call_test
+  net/net_retry_backoff_test net/net_failure_injector_test
+  integration/integration_observability_test
+  integration/integration_chaos_test
+)
+cmake --build "$build" -j"$jobs" --target "${targets[@]##*/}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 halt_on_error=1}"
+failed=()
+for t in "${targets[@]}"; do
+  echo "=== $t ==="
+  "$build/tests/$t" --gtest_brief=1 || failed+=("$t")
+done
+
+if ((${#failed[@]})); then
+  echo "ASan FAILURES: ${failed[*]}" >&2
+  exit 1
+fi
+echo "All suites ASan-clean."
