@@ -1,0 +1,223 @@
+// Version-cache benchmark: RPC rounds and bytes per operation with the
+// client-side version cache (guarded single-round writes + validated
+// reads) against the read-then-write baseline, across cache hit rates.
+//
+// Setup: 5-3-3 deployment (2W > V, so guarded fast-path writes are legal)
+// over the deterministic InProcTransport. Rounds are counted exactly - one
+// "rpc.wave_width" sample per scatter-gather wave - so the numbers are the
+// protocol's, not the host's. Workload per cell: `ops` operations of one
+// kind (lookup or update) where a fixed fraction target a small hot set
+// the cache has seen and the rest target fresh keys it cannot know.
+//
+// Expected shape (waves per op): a baseline update is 6 (read ping, lookup,
+// write ping, write, prepare, commit); a fast-path update is 3 (guarded
+// write, prepare, commit) - so a 90% hit rate lands near 6/3.3 = 1.8x. A
+// baseline lookup is 3, a validated cached lookup 2, with reply values
+// elided on top.
+//
+// Emits BENCH_version_cache.json, and fails (exit 1) if the cached and
+// baseline deployments end up with different directory contents.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/inproc_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+
+namespace {
+
+using namespace repdir;
+
+constexpr int kHotKeys = 8;
+constexpr std::size_t kValueBytes = 64;
+
+std::string KeyName(bool hot, int index) {
+  return (hot ? "hot-" : "cold-") + std::to_string(index);
+}
+
+std::string ValueFor(int i) {
+  std::string value = "v" + std::to_string(i) + "-";
+  value.resize(kValueBytes, 'x');
+  return value;
+}
+
+struct CellResult {
+  double rounds_per_op = 0;
+  double bytes_per_op = 0;
+  std::uint64_t fast_path_writes = 0;
+  std::uint64_t validated_reads = 0;
+  std::uint64_t fallbacks = 0;
+  std::vector<std::pair<UserKey, Value>> final_scan;
+};
+
+/// One (cached?, updates?, hit%) cell on a fresh deployment. Every cell
+/// sees the same deterministic key/value sequence, so the cached and
+/// baseline deployments must converge to identical directories.
+CellResult RunCell(bool cached, bool updates, int hit_pct, int ops) {
+  MetricsRegistry registry;
+  const auto config = rep::QuorumConfig::Uniform(5, 3, 3);
+  net::InProcTransport transport(nullptr);
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  for (const auto& replica : config.replicas()) {
+    nodes.push_back(std::make_unique<rep::DirRepNode>(replica.node));
+    transport.RegisterNode(replica.node, nodes.back()->server());
+  }
+
+  // Seed every key through a separate client so the measured suite's cache
+  // knows nothing it didn't learn itself.
+  {
+    rep::SuiteOptions options;
+    options.config = config;
+    rep::DirectorySuite seeder(transport, 99, std::move(options));
+    for (int k = 0; k < kHotKeys; ++k) {
+      if (!seeder.Insert(KeyName(true, k), ValueFor(0)).ok()) std::exit(1);
+    }
+    for (int i = 0; i < ops; ++i) {
+      if (!seeder.Insert(KeyName(false, i), ValueFor(0)).ok()) std::exit(1);
+    }
+  }
+
+  rep::SuiteOptions options;
+  options.config = config;
+  options.policy_seed = 7;
+  options.metrics = &registry;
+  options.enable_version_cache = cached;
+  rep::DirectorySuite suite(transport, 100, std::move(options));
+
+  // Prime the hot set (both runs, so the workloads stay identical).
+  for (int k = 0; k < kHotKeys; ++k) {
+    if (!suite.Lookup(KeyName(true, k)).ok()) std::exit(1);
+  }
+
+  auto& waves = registry.distribution("rpc.wave_width");
+  auto& sent = registry.counter("rpc.bytes_sent");
+  auto& received = registry.counter("rpc.bytes_received");
+  const std::uint64_t waves0 = waves.count();
+  const std::uint64_t bytes0 = sent.value() + received.value();
+
+  for (int i = 0; i < ops; ++i) {
+    // hit_pct in {0, 50, 90}: hits spread evenly through each decade.
+    const bool hit = (i % 10) < hit_pct / 10;
+    const std::string key =
+        hit ? KeyName(true, i % kHotKeys) : KeyName(false, i);
+    const Status st = updates ? suite.Update(key, ValueFor(i + 1))
+                              : suite.Lookup(key).status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "op %d failed: %s\n", i, st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  CellResult cell;
+  cell.rounds_per_op =
+      static_cast<double>(waves.count() - waves0) / static_cast<double>(ops);
+  cell.bytes_per_op =
+      static_cast<double>(sent.value() + received.value() - bytes0) /
+      static_cast<double>(ops);
+  cell.fast_path_writes = suite.stats().counters().fast_path_writes;
+  cell.validated_reads = suite.stats().counters().validated_reads;
+  cell.fallbacks = suite.stats().counters().cache_fallbacks;
+
+  auto next = suite.FirstKey();
+  while (next.ok() && next->found) {
+    cell.final_scan.emplace_back(next->key, next->value);
+    next = suite.NextKey(next->key);
+  }
+  if (!next.ok()) std::exit(1);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ops = 200;
+  if (argc > 1) ops = std::atoi(argv[1]);
+
+  std::printf(
+      "Version cache: rounds and bytes per op, 5-3-3 suite over the\n"
+      "deterministic in-process transport, %d ops per cell, %d-key hot "
+      "set.\n\n",
+      ops, kHotKeys);
+  std::printf("%8s %6s %14s %14s %9s %14s %14s %9s\n", "op", "hit%",
+              "base rnd/op", "cache rnd/op", "speedup", "base B/op",
+              "cache B/op", "byte x");
+
+  struct Cell {
+    const char* op;
+    bool updates;
+    int hit_pct;
+    CellResult base, cache;
+  };
+  std::vector<Cell> cells;
+  for (const bool updates : {false, true}) {
+    for (const int hit : {0, 50, 90}) {
+      cells.push_back({updates ? "update" : "lookup", updates, hit, {}, {}});
+    }
+  }
+
+  bool scans_match = true;
+  for (Cell& cell : cells) {
+    cell.base = RunCell(/*cached=*/false, cell.updates, cell.hit_pct, ops);
+    cell.cache = RunCell(/*cached=*/true, cell.updates, cell.hit_pct, ops);
+    if (cell.base.final_scan != cell.cache.final_scan) {
+      scans_match = false;
+      std::fprintf(stderr,
+                   "FAIL: %s hit%d%%: cached and baseline directories "
+                   "diverged (%zu vs %zu entries)\n",
+                   cell.op, cell.hit_pct, cell.cache.final_scan.size(),
+                   cell.base.final_scan.size());
+    }
+    std::printf("%8s %6d %14.2f %14.2f %8.2fx %14.0f %14.0f %8.2fx\n",
+                cell.op, cell.hit_pct, cell.base.rounds_per_op,
+                cell.cache.rounds_per_op,
+                cell.base.rounds_per_op / cell.cache.rounds_per_op,
+                cell.base.bytes_per_op, cell.cache.bytes_per_op,
+                cell.base.bytes_per_op / cell.cache.bytes_per_op);
+  }
+
+  if (std::FILE* json = std::fopen("BENCH_version_cache.json", "w")) {
+    std::fprintf(json,
+                 "{\n  \"config\": \"5-3-3\",\n  \"ops_per_cell\": %d,\n"
+                 "  \"hot_keys\": %d,\n  \"value_bytes\": %zu,\n"
+                 "  \"cells\": [\n",
+                 ops, kHotKeys, kValueBytes);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& cell = cells[i];
+      std::fprintf(
+          json,
+          "    {\"op\": \"%s\", \"hit_pct\": %d,\n"
+          "     \"baseline_rounds_per_op\": %.3f, "
+          "\"cached_rounds_per_op\": %.3f, \"round_ratio\": %.3f,\n"
+          "     \"baseline_bytes_per_op\": %.1f, "
+          "\"cached_bytes_per_op\": %.1f, \"byte_ratio\": %.3f,\n"
+          "     \"fast_path_writes\": %llu, \"validated_reads\": %llu, "
+          "\"fallbacks\": %llu}%s\n",
+          cell.op, cell.hit_pct, cell.base.rounds_per_op,
+          cell.cache.rounds_per_op,
+          cell.base.rounds_per_op / cell.cache.rounds_per_op,
+          cell.base.bytes_per_op, cell.cache.bytes_per_op,
+          cell.base.bytes_per_op / cell.cache.bytes_per_op,
+          static_cast<unsigned long long>(cell.cache.fast_path_writes),
+          static_cast<unsigned long long>(cell.cache.validated_reads),
+          static_cast<unsigned long long>(cell.cache.fallbacks),
+          i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"final_scan_identical\": %s\n}\n",
+                 scans_match ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nWrote BENCH_version_cache.json\n");
+  }
+
+  std::printf(
+      "\nShape: at high hit rates an update collapses from 6 waves\n"
+      "(read ping, lookup, write ping, write, prepare, commit) to 3\n"
+      "(guarded write, prepare, commit), and a cached lookup from 3 to 2\n"
+      "with reply values elided by \"unchanged\" confirmations.\n");
+
+  return scans_match ? 0 : 1;
+}

@@ -13,6 +13,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kVersionMismatch: return "VERSION_MISMATCH";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition, ///< Object in wrong state for this operation.
   kCorruption,      ///< Storage invariant violated (WAL checksum, ...).
   kInternal,        ///< Bug in this library.
+  kVersionMismatch, ///< Guarded write lost an optimistic race (stale cache).
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -48,6 +49,7 @@ class [[nodiscard]] Status {
   static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
   static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status VersionMismatch(std::string m) { return {StatusCode::kVersionMismatch, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -54,7 +54,7 @@ struct RpcResponse {
   Status Decode(ByteReader& r) {
     std::uint8_t code8 = 0;
     REPDIR_RETURN_IF_ERROR(r.GetU8(code8));
-    if (code8 > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    if (code8 > static_cast<std::uint8_t>(StatusCode::kVersionMismatch)) {
       return Status::Corruption("status code out of range");
     }
     code = static_cast<StatusCode>(code8);

@@ -94,6 +94,8 @@ struct FanOutState {
   Counter* attempts = nullptr;
   Counter* failures = nullptr;
   Counter* retries = nullptr;
+  Counter* bytes_sent = nullptr;
+  Counter* bytes_received = nullptr;
   PerMethodMetrics method;
 };
 
@@ -111,10 +113,17 @@ void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
                std::uint32_t attempts_left) {
   state->attempts->Increment();
   state->method.calls->Increment();
+  state->bytes_sent->Increment(state->requests[i].payload.size() +
+                               kEnvelopeOverheadBytes);
   const TimeMicros start = state->metrics->NowMicros();
   state->transport->CallAsync(
       state->to[i], state->requests[i],
       [state, i, attempts_left, start](Status st, RpcResponse resp) {
+        if (st.ok()) {
+          state->bytes_received->Increment(resp.payload.size() +
+                                           resp.error_message.size() +
+                                           kEnvelopeOverheadBytes);
+        }
         Result<Resp> out = MergeReply<Resp>(st, resp);
         const TimeMicros now = state->metrics->NowMicros();
         state->method.latency->Record(
@@ -159,6 +168,8 @@ class RpcClient {
         attempts_(&metrics_->counter("rpc.attempts")),
         failures_(&metrics_->counter("rpc.failures")),
         retries_(&metrics_->counter("rpc.retries")),
+        bytes_sent_(&metrics_->counter("rpc.bytes_sent")),
+        bytes_received_(&metrics_->counter("rpc.bytes_received")),
         wave_width_(&metrics_->distribution("rpc.wave_width")),
         methods_(std::make_shared<MethodTable>()) {}
 
@@ -175,9 +186,15 @@ class RpcClient {
     const PerMethodMetrics pm = MetricsFor(method);
     attempts_->Increment();
     pm.calls->Increment();
+    bytes_sent_->Increment(req.payload.size() + kEnvelopeOverheadBytes);
     const TimeMicros start = metrics_->NowMicros();
 
     Status st = transport_->Call(to, req, resp);
+    if (st.ok()) {
+      bytes_received_->Increment(resp.payload.size() +
+                                 resp.error_message.size() +
+                                 kEnvelopeOverheadBytes);
+    }
     if (st.ok()) st = resp.ToStatus();
     Resp typed;
     if (st.ok()) st = DecodeFromString(resp.payload, typed);
@@ -221,6 +238,8 @@ class RpcClient {
     state->attempts = attempts_;
     state->failures = failures_;
     state->retries = retries_;
+    state->bytes_sent = bytes_sent_;
+    state->bytes_received = bytes_received_;
     state->method = MetricsFor(method);
     wave_width_->Record(static_cast<double>(slots.size()));
     for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -293,6 +312,8 @@ class RpcClient {
   Counter* attempts_;
   Counter* failures_;
   Counter* retries_;
+  Counter* bytes_sent_;
+  Counter* bytes_received_;
   DistributionStat* wave_width_;
   std::shared_ptr<MethodTable> methods_;
 };

@@ -12,4 +12,11 @@ using repdir::EncodeToString;
 using repdir::WireMessage;
 using Empty = repdir::EmptyMessage;
 
+/// Fixed per-message envelope cost charged by the rpc.bytes_sent /
+/// rpc.bytes_received counters on top of the serialized payload:
+/// from(4) + method(4) + txn(8) for requests, code(1) + two length-prefixed
+/// strings for responses - one honest constant for both directions keeps
+/// the byte accounting transport-independent.
+inline constexpr std::size_t kEnvelopeOverheadBytes = 16;
+
 }  // namespace repdir::net

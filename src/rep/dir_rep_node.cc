@@ -104,6 +104,30 @@ void DirRepNode::RegisterHandlers() {
         return participant_->Insert(env.txn, req.key, req.version, req.value);
       });
 
+  server_.RegisterTyped<GuardedInsertRequest, Empty>(
+      kGuardedInsert,
+      [this](const RpcRequest& env, const GuardedInsertRequest& req, Empty&) {
+        return participant_->GuardedInsert(env.txn, req.key, req.version,
+                                           req.value, req.expected_version);
+      });
+
+  server_.RegisterTyped<ValidatedLookupRequest, ValidatedLookupReply>(
+      kLookupValidated,
+      [this](const RpcRequest& env, const ValidatedLookupRequest& req,
+             ValidatedLookupReply& out) {
+        REPDIR_ASSIGN_OR_RETURN(out.data, participant_->Lookup(env.txn, req.key));
+        // Presence must match alongside the version: per-key version spaces
+        // make a present/absent tie at one version impossible on committed
+        // data, but the hint is client-supplied - never let a malformed one
+        // turn into a wrong "unchanged".
+        if (req.has_hint && out.data.version == req.hint_version &&
+            out.data.present == req.hint_present) {
+          out.unchanged = true;
+          out.data.value.clear();
+        }
+        return Status::Ok();
+      });
+
   server_.RegisterTyped<CoalesceRequest, CoalesceReply>(
       kCoalesce,
       [this](const RpcRequest& env, const CoalesceRequest& req,

@@ -10,8 +10,8 @@ namespace {
 constexpr txn::TxnControlMethods kTxnMethods{kPrepare, kCommit, kAbortTxn};
 
 bool IsReadMethod(net::MethodId m) {
-  return m == kLookup || m == kPredecessor || m == kSuccessor ||
-         m == kPredecessorBatch || m == kSuccessorBatch;
+  return m == kLookup || m == kLookupValidated || m == kPredecessor ||
+         m == kSuccessor || m == kPredecessorBatch || m == kSuccessorBatch;
 }
 
 /// Operation failures that leave no partial state and therefore do not
@@ -52,6 +52,21 @@ DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
     policy_ = std::make_unique<RandomQuorumPolicy>(options_.config,
                                                    options_.policy_seed);
   }
+  if (options_.enable_version_cache) {
+    cache_ = std::make_unique<VersionCache>(options_.version_cache_capacity);
+    // Guarded writes skip the read round, so write-write intersection must
+    // come from the quorums themselves (2W > V). Configurations that rely
+    // on read-then-write for serialization (the repo allows them - see
+    // quorum.h) keep the cache for validated reads only.
+    fast_writes_ok_ =
+        2 * options_.config.write_quorum() > options_.config.TotalVotes();
+  }
+  cache_hits_ = &metrics_->counter("suite.cache.hits");
+  cache_misses_ = &metrics_->counter("suite.cache.misses");
+  cache_invalidations_ = &metrics_->counter("suite.cache.invalidations");
+  fast_path_writes_ = &metrics_->counter("suite.write.fast_path");
+  validated_reads_ = &metrics_->counter("suite.read.validated");
+  cache_fallbacks_ = &metrics_->counter("suite.cache.fallbacks");
 }
 
 template <WireMessage Resp, WireMessage Req>
@@ -140,10 +155,58 @@ Result<std::vector<NodeId>> DirectorySuite::CollectQuorum(OpClass klass) {
       std::to_string(quota) + " votes)");
 }
 
+Result<std::vector<NodeId>> DirectorySuite::OptimisticQuorum(OpClass klass) {
+  // The same minimal prefix CollectQuorum would ping when everyone is up,
+  // taken on faith: zero ping rounds, and the data wave itself is the
+  // availability probe. Losing the bet costs one aborted attempt (the
+  // single-shot wrapper re-runs on the pinged path), which the cache's
+  // target regime - healthy quorums, repeated keys - makes rare.
+  const Votes quota = klass == OpClass::kRead ? options_.config.read_quorum()
+                                              : options_.config.write_quorum();
+  const std::vector<NodeId> order = policy_->PreferenceOrder(klass);
+  std::vector<NodeId> members;
+  Votes votes = 0;
+  for (const NodeId node : order) {
+    const Votes v = options_.config.VotesOf(node);
+    if (v == 0) continue;  // weak: no votes
+    members.push_back(node);
+    votes += v;
+    if (votes >= quota) break;
+  }
+  if (votes < quota) {
+    return Status::Unavailable(
+        std::string(klass == OpClass::kRead ? "read" : "write") +
+        " quorum unattainable (" + std::to_string(votes) + "/" +
+        std::to_string(quota) + " votes)");
+  }
+  metrics_
+      ->distribution(klass == OpClass::kRead ? "suite.quorum.read_size"
+                                             : "suite.quorum.write_size")
+      .Record(static_cast<double>(members.size()));
+  return members;
+}
+
 Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookup(
-    OpCtx& ctx, const RepKey& k) {
-  REPDIR_ASSIGN_OR_RETURN(const auto quorum, CollectQuorum(OpClass::kRead));
-  return SuiteLookupOn(ctx, quorum, k);
+    OpCtx& ctx, const RepKey& k,
+    const std::optional<VersionCache::Entry>& hint) {
+  std::vector<NodeId> quorum;
+  if (hint.has_value() && ctx.allow_fast) {
+    ctx.used_fast = true;
+    REPDIR_ASSIGN_OR_RETURN(quorum, OptimisticQuorum(OpClass::kRead));
+  } else {
+    REPDIR_ASSIGN_OR_RETURN(quorum, CollectQuorum(OpClass::kRead));
+  }
+  Result<VersionedLookup> out = hint.has_value()
+                                    ? ValidatedLookupOn(ctx, quorum, k, *hint)
+                                    : SuiteLookupOn(ctx, quorum, k);
+  if (out.ok() && cache_ != nullptr) {
+    VersionCache::Entry fresh;
+    fresh.present = out->present;
+    fresh.version = out->version;
+    fresh.value = out->value;
+    StagePut(ctx, k, std::move(fresh));
+  }
+  return out;
 }
 
 Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookupOn(
@@ -177,6 +240,49 @@ Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookupOn(
       best.value = reply->value;
       first = false;
     }
+  }
+  return best;
+}
+
+Result<DirectorySuite::VersionedLookup> DirectorySuite::ValidatedLookupOn(
+    OpCtx& ctx, const std::vector<NodeId>& quorum, const RepKey& k,
+    const VersionCache::Entry& hint) {
+  // Fig. 8 with the cached (presence, version) riding along: members whose
+  // state matches the hint reply "unchanged" with the value elided. The
+  // highest-version fold is unchanged - an "unchanged" reply still carries
+  // its version - and only if the WINNING reply is a confirmation does the
+  // cached value stand in for the elided one.
+  std::vector<net::CallSlot<ValidatedLookupRequest>> slots;
+  slots.reserve(quorum.size() + weak_nodes_.size());
+  const ValidatedLookupRequest req{k, true, hint.present, hint.version};
+  for (const NodeId node : quorum) slots.push_back({node, req});
+  for (const NodeId node : weak_nodes_) slots.push_back({node, req});
+  const auto fan = FanOutRep<ValidatedLookupReply>(ctx, kLookupValidated,
+                                                   slots, quorum.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(fan, quorum.size()));
+
+  VersionedLookup best;
+  bool first = true;
+  bool best_unchanged = false;
+  for (std::size_t i = 0; i < fan.issued; ++i) {
+    const Result<ValidatedLookupReply>& reply = *fan.replies[i];
+    if (!reply.ok()) continue;  // weak miss: best-effort
+    const LookupReply& data = reply->data;
+    const bool better =
+        first || data.version > best.version ||
+        (data.version == best.version && data.present && !best.present);
+    if (better) {
+      best.present = data.present;
+      best.version = data.version;
+      best.value = data.value;
+      best_unchanged = reply->unchanged;
+      first = false;
+    }
+  }
+  if (best_unchanged) {
+    best.value = hint.value;
+    ++stats_.counters().validated_reads;
+    validated_reads_->Increment();
   }
   return best;
 }
@@ -298,19 +404,42 @@ Status DirectorySuite::Finish(OpCtx& ctx, Status body_status) {
       metrics_->counter("suite.delete.materializations")
           .Increment(probe.materializing_insertions);
     }
+    // Only now is the transaction's data committed - safe to cache.
+    ApplyCacheActions(ctx);
   }
   return st;
 }
 
 template <typename Fn>
-Status DirectorySuite::RunTxn(const char* op_name, Fn&& body) {
-  OpCtx ctx{txn_ids_.Next(), {}, {}};
+Status DirectorySuite::RunTxn(const char* op_name, bool allow_fast,
+                              bool* used_fast, Fn&& body) {
+  OpCtx ctx(txn_ids_.Next());
+  ctx.allow_fast = allow_fast;
   TraceSpan span(*trace_, std::string("suite.") + op_name, ctx.txn);
   ScopedLatency latency(
       *metrics_,
       metrics_->distribution(std::string("suite.op.") + op_name + "_us"));
   const Status st = Finish(ctx, body(ctx));
   if (!st.ok()) span.Annotate(st.ToString());
+  if (used_fast != nullptr) *used_fast = ctx.used_fast;
+  return st;
+}
+
+template <typename Fn>
+Status DirectorySuite::RunTxnCached(const char* op_name, Fn&& body) {
+  bool used_fast = false;
+  Status st = RunTxn(op_name, /*allow_fast=*/cache_ != nullptr, &used_fast,
+                     body);
+  if (used_fast && (st.code() == StatusCode::kVersionMismatch ||
+                    st.code() == StatusCode::kUnavailable)) {
+    // The optimistic bet lost - stale cache (guard refused) or an unpinged
+    // member down. The losing attempt's abort rolled back any partial
+    // guarded writes; re-run read-then-write in a fresh transaction, which
+    // sees only committed state.
+    ++stats_.counters().cache_fallbacks;
+    cache_fallbacks_->Increment();
+    st = RunTxn(op_name, /*allow_fast=*/false, nullptr, body);
+  }
   return st;
 }
 
@@ -333,8 +462,9 @@ Status DirectorySuite::Record(Status st, std::uint64_t OpCounters::*counter,
 
 Result<DirectorySuite::LookupResult> DirectorySuite::LookupIn(
     OpCtx& ctx, const UserKey& key) {
+  const RepKey x = RepKey::User(key);
   REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk,
-                          SuiteLookup(ctx, RepKey::User(key)));
+                          SuiteLookup(ctx, x, CacheLookup(x)));
   LookupResult result;
   result.found = lk.present;
   result.value = lk.value;
@@ -356,15 +486,124 @@ Status DirectorySuite::WriteEntry(OpCtx& ctx, const RepKey& x, Version version,
     slots.push_back({node, InsertRequest{x, version, value}});
   }
   const auto fan = FanOutRep<net::Empty>(ctx, kInsert, slots, wq.size());
-  return FirstStrongError(fan, wq.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(fan, wq.size()));
+  VersionCache::Entry written;
+  written.present = true;
+  written.version = version;
+  written.value = value;
+  StagePut(ctx, x, std::move(written));
+  return Status::Ok();
+}
+
+Status DirectorySuite::FastWriteEntry(OpCtx& ctx, const RepKey& x,
+                                      Version expected, const Value& value) {
+  // The single-round optimistic write: no ping wave, no read round - one
+  // guarded-insert wave carries the cached version as a precondition every
+  // voting member checks under its modify lock. Soundness: with 2W > V
+  // (checked at construction) any conflicting write committed since the
+  // cache learned `expected` intersects this quorum in a member whose
+  // local version now exceeds it, so the guard cannot pass everywhere.
+  ctx.used_fast = true;
+  REPDIR_ASSIGN_OR_RETURN(const auto wq, OptimisticQuorum(OpClass::kWrite));
+  const Version version = expected + 1;
+  std::vector<net::CallSlot<GuardedInsertRequest>> slots;
+  slots.reserve(wq.size() + weak_nodes_.size());
+  for (const NodeId node : wq) {
+    slots.push_back({node, GuardedInsertRequest{x, version, value, expected}});
+  }
+  for (const NodeId node : weak_nodes_) {
+    slots.push_back({node, GuardedInsertRequest{x, version, value, expected}});
+  }
+  const auto fan =
+      FanOutRep<net::Empty>(ctx, kGuardedInsert, slots, wq.size());
+  const Status st = FirstStrongError(fan, wq.size());
+  if (st.code() == StatusCode::kVersionMismatch) {
+    // The cache is provably stale for x; drop it before the fallback
+    // re-reads. (Invalidation needs no commit barrier - removing a cached
+    // datum is always safe.)
+    if (cache_->Invalidate(x)) {
+      ++stats_.counters().cache_invalidations;
+      cache_invalidations_->Increment();
+    }
+    return st;
+  }
+  REPDIR_RETURN_IF_ERROR(st);
+  ++stats_.counters().fast_path_writes;
+  fast_path_writes_->Increment();
+  VersionCache::Entry written;
+  written.present = true;
+  written.version = version;
+  written.value = value;
+  StagePut(ctx, x, std::move(written));
+  return Status::Ok();
+}
+
+std::optional<VersionCache::Entry> DirectorySuite::CacheLookup(
+    const RepKey& k) {
+  if (cache_ == nullptr) return std::nullopt;
+  std::optional<VersionCache::Entry> hit = cache_->Lookup(k);
+  if (hit.has_value()) {
+    ++stats_.counters().cache_hits;
+    cache_hits_->Increment();
+  } else {
+    ++stats_.counters().cache_misses;
+    cache_misses_->Increment();
+  }
+  return hit;
+}
+
+void DirectorySuite::StagePut(OpCtx& ctx, const RepKey& k,
+                              VersionCache::Entry entry) {
+  if (cache_ == nullptr) return;
+  OpCtx::CacheAction action;
+  action.kind = OpCtx::CacheAction::Kind::kPut;
+  action.key = k;
+  action.entry = std::move(entry);
+  ctx.cache_actions.push_back(std::move(action));
+}
+
+void DirectorySuite::StageRangeInvalidation(OpCtx& ctx, const RepKey& low,
+                                            const RepKey& high) {
+  if (cache_ == nullptr) return;
+  OpCtx::CacheAction action;
+  action.kind = OpCtx::CacheAction::Kind::kInvalidateRange;
+  action.low = low;
+  action.high = high;
+  ctx.cache_actions.push_back(std::move(action));
+}
+
+void DirectorySuite::ApplyCacheActions(OpCtx& ctx) {
+  if (cache_ == nullptr) return;
+  for (OpCtx::CacheAction& action : ctx.cache_actions) {
+    switch (action.kind) {
+      case OpCtx::CacheAction::Kind::kPut:
+        cache_->Put(action.key, std::move(action.entry));
+        break;
+      case OpCtx::CacheAction::Kind::kInvalidateRange: {
+        const std::size_t removed =
+            cache_->InvalidateRange(action.low, action.high);
+        stats_.counters().cache_invalidations += removed;
+        cache_invalidations_->Increment(removed);
+        break;
+      }
+    }
+  }
+  ctx.cache_actions.clear();
 }
 
 Status DirectorySuite::InsertIn(OpCtx& ctx, const UserKey& key,
                                 const Value& value) {
   // Fig. 9: the new entry's version must exceed every version previously
-  // associated with the key, which the read-quorum lookup supplies.
+  // associated with the key, which the read-quorum lookup supplies - or,
+  // on a cache hit for an absent key, the cached gap version already did,
+  // and a guarded write collapses the whole operation into one round.
   const RepKey x = RepKey::User(key);
-  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x));
+  const std::optional<VersionCache::Entry> hint = CacheLookup(x);
+  if (ctx.allow_fast && fast_writes_ok_ && hint.has_value() &&
+      !hint->present) {
+    return FastWriteEntry(ctx, x, hint->version, value);
+  }
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x, hint));
   if (lk.present) {
     return Status::AlreadyExists("entry exists for key " + key);
   }
@@ -374,7 +613,11 @@ Status DirectorySuite::InsertIn(OpCtx& ctx, const UserKey& key,
 Status DirectorySuite::UpdateIn(OpCtx& ctx, const UserKey& key,
                                 const Value& value) {
   const RepKey x = RepKey::User(key);
-  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x));
+  const std::optional<VersionCache::Entry> hint = CacheLookup(x);
+  if (ctx.allow_fast && fast_writes_ok_ && hint.has_value() && hint->present) {
+    return FastWriteEntry(ctx, x, hint->version, value);
+  }
+  REPDIR_ASSIGN_OR_RETURN(const VersionedLookup lk, SuiteLookup(ctx, x, hint));
   if (!lk.present) {
     return Status::NotFound("no entry for key " + key);
   }
@@ -456,6 +699,19 @@ Status DirectorySuite::DeleteIn(OpCtx& ctx, const UserKey& key) {
     }
   }
   ctx.probes.push_back(std::move(probe));
+
+  // Coalesce re-versioned every key in [pred, succ]: cached state for any
+  // of them (including gaps recorded with overlapping bounds) is stale.
+  // Re-cache the target as absent at the new gap version, bounds attached,
+  // so a follow-up insert of the same key can go fast-path.
+  StageRangeInvalidation(ctx, pred.key, succ.key);
+  VersionCache::Entry gap;
+  gap.present = false;
+  gap.version = ver + 1;
+  gap.has_gap_bounds = true;
+  gap.gap_low = pred.key;
+  gap.gap_high = succ.key;
+  StagePut(ctx, x, std::move(gap));
   return Status::Ok();
 }
 
@@ -469,6 +725,12 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKeyIn(
   result.found = true;
   result.key = succ.key.user();
   result.value = succ.value;
+  // The search proved this entry current - cache it for later point ops.
+  VersionCache::Entry found;
+  found.present = true;
+  found.version = succ.version;
+  found.value = succ.value;
+  StagePut(ctx, succ.key, std::move(found));
   return result;
 }
 
@@ -477,7 +739,7 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKeyIn(
 Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
     const UserKey& key) {
   LookupResult result;
-  const Status st = RunTxn("lookup", [&](OpCtx& ctx) -> Status {
+  const Status st = RunTxnCached("lookup", [&](OpCtx& ctx) -> Status {
     REPDIR_ASSIGN_OR_RETURN(result, LookupIn(ctx, key));
     return Status::Ok();
   });
@@ -488,26 +750,30 @@ Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
 
 Status DirectorySuite::Insert(const UserKey& key, const Value& value) {
   return Record(
-      RunTxn("insert", [&](OpCtx& ctx) { return InsertIn(ctx, key, value); }),
+      RunTxnCached("insert",
+                   [&](OpCtx& ctx) { return InsertIn(ctx, key, value); }),
       &OpCounters::inserts, &metrics_->counter("suite.ops.inserts"));
 }
 
 Status DirectorySuite::Update(const UserKey& key, const Value& value) {
   return Record(
-      RunTxn("update", [&](OpCtx& ctx) { return UpdateIn(ctx, key, value); }),
+      RunTxnCached("update",
+                   [&](OpCtx& ctx) { return UpdateIn(ctx, key, value); }),
       &OpCounters::updates, &metrics_->counter("suite.ops.updates"));
 }
 
 Status DirectorySuite::Delete(const UserKey& key) {
   return Record(
-      RunTxn("delete", [&](OpCtx& ctx) { return DeleteIn(ctx, key); }),
+      RunTxn("delete", /*allow_fast=*/false, nullptr,
+             [&](OpCtx& ctx) { return DeleteIn(ctx, key); }),
       &OpCounters::deletes, &metrics_->counter("suite.ops.deletes"));
 }
 
 Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKey(
     const UserKey& key) {
   NextKeyResult result;
-  const Status st = RunTxn("nextkey", [&](OpCtx& ctx) -> Status {
+  const Status st = RunTxn("nextkey", /*allow_fast=*/false, nullptr,
+                           [&](OpCtx& ctx) -> Status {
     REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::User(key)));
     return Status::Ok();
   });
@@ -518,7 +784,8 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKey(
 
 Result<DirectorySuite::NextKeyResult> DirectorySuite::FirstKey() {
   NextKeyResult result;
-  const Status st = RunTxn("nextkey", [&](OpCtx& ctx) -> Status {
+  const Status st = RunTxn("nextkey", /*allow_fast=*/false, nullptr,
+                           [&](OpCtx& ctx) -> Status {
     REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::Low()));
     return Status::Ok();
   });

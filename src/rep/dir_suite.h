@@ -48,6 +48,7 @@
 #include "rep/messages.h"
 #include "rep/quorum_policy.h"
 #include "rep/suite_stats.h"
+#include "rep/version_cache.h"
 #include "txn/coordinator.h"
 #include "txn/txn_id.h"
 
@@ -80,6 +81,18 @@ class DirectorySuite {
     /// they are read. Null selects the process-wide defaults.
     MetricsRegistry* metrics = nullptr;
     TraceSink* trace = nullptr;
+
+    /// Client-side version cache (see rep/version_cache.h): quorum replies
+    /// populate it, uncontended single-shot writes skip their read round
+    /// via guarded DirRepInsert, and cached lookups let read quorums answer
+    /// "unchanged" instead of re-shipping values. Off by default so
+    /// deterministic tests and the paper-figure reproductions keep their
+    /// exact message flows; flip it on per suite to opt in. The guarded
+    /// fast-path write additionally requires pairwise-intersecting write
+    /// quorums (2W > V) and disables itself - validated reads stay on -
+    /// when the configuration lacks them.
+    bool enable_version_cache = false;
+    std::size_t version_cache_capacity = 1024;
   };
 
   /// `client_node` identifies this client on the transport (distinct from
@@ -149,10 +162,33 @@ class DirectorySuite {
   /// failed call may have left locks behind), and the delete probes to
   /// record if the transaction commits.
   struct OpCtx {
+    explicit OpCtx(TxnId id) : txn(id) {}
+
     TxnId txn;
     std::set<NodeId> participants;
     std::vector<DeleteProbe> probes;
     bool wrote = false;  ///< Any mutation issued -> full 2PC required.
+
+    /// Optimistic (cache-driven) paths are permitted. Only single-shot
+    /// operations set this: a fast path that loses its guard must be
+    /// retried in a FRESH transaction (the losing attempt may have applied
+    /// partial guarded writes that its own reads would then observe), and
+    /// only a single-shot wrapper can do that transparently.
+    bool allow_fast = false;
+    bool used_fast = false;  ///< An optimistic path was actually taken.
+
+    /// Cache updates staged by the operation body. The cache must only
+    /// ever hold committed data, so Finish applies these iff the commit
+    /// succeeds; an abort just drops them.
+    struct CacheAction {
+      enum class Kind : std::uint8_t { kPut, kInvalidateRange };
+      Kind kind = Kind::kPut;
+      RepKey key = RepKey::Low();  ///< kPut target.
+      VersionCache::Entry entry;   ///< kPut payload.
+      RepKey low = RepKey::Low();  ///< kInvalidateRange bounds...
+      RepKey high = RepKey::High();
+    };
+    std::vector<CacheAction> cache_actions;
   };
 
   /// Internal suite lookup result: the version is meaningful whether or not
@@ -184,13 +220,52 @@ class DirectorySuite {
   /// order is exhausted first.
   Result<std::vector<NodeId>> CollectQuorum(OpClass klass);
 
-  /// Fig. 8: fresh read quorum, highest-version reply wins.
-  Result<VersionedLookup> SuiteLookup(OpCtx& ctx, const RepKey& k);
+  /// The minimal voting prefix of the policy's preference order, WITHOUT
+  /// the ping wave - the optimistic quorum the cache-driven fast paths
+  /// bet on. A member that turns out unreachable surfaces as kUnavailable
+  /// from the data wave and the single-shot wrapper re-runs the operation
+  /// on the pinged slow path.
+  Result<std::vector<NodeId>> OptimisticQuorum(OpClass klass);
+
+  /// Fig. 8: fresh read quorum, highest-version reply wins. When `hint`
+  /// carries a cached (presence, version) the inquiry goes out as a
+  /// validated read - replicas whose state matches answer "unchanged"
+  /// without re-shipping the value - and, if the operation may be
+  /// optimistic, the quorum itself skips its ping wave. The (committed)
+  /// result is staged for cache application.
+  Result<VersionedLookup> SuiteLookup(
+      OpCtx& ctx, const RepKey& k,
+      const std::optional<VersionCache::Entry>& hint);
 
   /// Fig. 8 body over an already-collected quorum.
   Result<VersionedLookup> SuiteLookupOn(OpCtx& ctx,
                                         const std::vector<NodeId>& quorum,
                                         const RepKey& k);
+
+  /// Validated-read wave over `quorum`: ships the cached hint, folds
+  /// replies highest-version-first, and substitutes the cached value when
+  /// the winning reply is an "unchanged" confirmation.
+  Result<VersionedLookup> ValidatedLookupOn(OpCtx& ctx,
+                                            const std::vector<NodeId>& quorum,
+                                            const RepKey& k,
+                                            const VersionCache::Entry& hint);
+
+  /// Single-round optimistic write: guarded DirRepInsert of
+  /// (x, expected+1) to an optimistic write quorum, no read round. A
+  /// kVersionMismatch from any voting member proves the cache stale: the
+  /// key is invalidated and the status bubbles up for the single-shot
+  /// wrapper to fall back on. Only callable when fast_writes_ok_.
+  Status FastWriteEntry(OpCtx& ctx, const RepKey& x, Version expected,
+                        const Value& value);
+
+  // Cache plumbing; all no-ops when the cache is disabled.
+  /// Cached state of `k`, counting a suite-level hit or miss.
+  std::optional<VersionCache::Entry> CacheLookup(const RepKey& k);
+  void StagePut(OpCtx& ctx, const RepKey& k, VersionCache::Entry entry);
+  void StageRangeInvalidation(OpCtx& ctx, const RepKey& low,
+                              const RepKey& high);
+  /// Applies staged actions to the cache (commit path only).
+  void ApplyCacheActions(OpCtx& ctx);
 
   /// Per-member cache of batched neighbor steps (§4 optimization).
   struct NeighborCursor {
@@ -233,9 +308,19 @@ class DirectorySuite {
 
   /// Runs `body` in a fresh transaction and finishes it, under a
   /// "suite.<op_name>" trace span and a "suite.op.<op_name>_us" latency
-  /// sample.
+  /// sample. `allow_fast` arms the optimistic cache paths for this
+  /// attempt; `used_fast` (optional) reports whether one was taken.
   template <typename Fn>
-  Status RunTxn(const char* op_name, Fn&& body);
+  Status RunTxn(const char* op_name, bool allow_fast, bool* used_fast,
+                Fn&& body);
+
+  /// Single-shot wrapper: runs `body` optimistically first; if an
+  /// optimistic attempt fails with kVersionMismatch (stale cache) or
+  /// kUnavailable (unpinged member down), re-runs read-then-write in a
+  /// fresh transaction. The first attempt's abort rolled back any partial
+  /// guarded writes, so the retry observes only committed state.
+  template <typename Fn>
+  Status RunTxnCached(const char* op_name, Fn&& body);
 
   /// Folds a finished operation's status into the counters; `mirror` is
   /// the registry counter paired with `counter` ("suite.ops.*").
@@ -253,7 +338,24 @@ class DirectorySuite {
   SuiteStats stats_;
   std::map<NodeId, std::uint64_t> read_rpcs_;
   std::map<NodeId, std::uint64_t> write_rpcs_;
+
+  /// Null when Options::enable_version_cache is off.
+  std::unique_ptr<VersionCache> cache_;
+  /// 2W > V: write quorums pairwise intersect, so a guarded write that
+  /// races a committed conflicting write is guaranteed to meet a member
+  /// whose version exceeds its expectation. Without this the read round
+  /// is what serializes writers and must not be skipped.
+  bool fast_writes_ok_ = false;
+  Counter* cache_hits_ = nullptr;          ///< "suite.cache.hits".
+  Counter* cache_misses_ = nullptr;        ///< "suite.cache.misses".
+  Counter* cache_invalidations_ = nullptr; ///< "suite.cache.invalidations".
+  Counter* fast_path_writes_ = nullptr;    ///< "suite.write.fast_path".
+  Counter* validated_reads_ = nullptr;     ///< "suite.read.validated".
+  Counter* cache_fallbacks_ = nullptr;     ///< "suite.cache.fallbacks".
 };
+
+/// The name tests and tools use for suite construction options.
+using SuiteOptions = DirectorySuite::Options;
 
 /// A multi-operation atomic transaction over a directory suite (§3.1).
 ///
@@ -298,8 +400,7 @@ class SuiteTxn {
  private:
   friend class DirectorySuite;
   explicit SuiteTxn(DirectorySuite& suite)
-      : suite_(&suite),
-        ctx_{suite.txn_ids_.Next(), {}, {}} {}
+      : suite_(&suite), ctx_(suite.txn_ids_.Next()) {}
 
   Status Guard() const {
     return open_ ? Status::Ok()

@@ -23,6 +23,8 @@ enum DirRepMethod : net::MethodId {
   kCoalesce = 6,
   kPredecessorBatch = 7,
   kSuccessorBatch = 8,
+  kGuardedInsert = 9,
+  kLookupValidated = 10,
   kPrepare = 100,
   kCommit = 101,
   kAbortTxn = 102,
@@ -49,6 +51,72 @@ struct InsertRequest {
     REPDIR_RETURN_IF_ERROR(key.Decode(r));
     REPDIR_RETURN_IF_ERROR(r.GetU64(version));
     return r.GetString(value);
+  }
+};
+
+/// Guarded DirRepInsert (the single-round optimistic write path): the
+/// representative applies (key, version, value) only if its current version
+/// for `key` - entry version when present, containing-gap version otherwise
+/// - does not exceed `expected_version`; a greater local version answers
+/// kVersionMismatch and applies nothing.
+struct GuardedInsertRequest {
+  RepKey key;
+  Version version = kLowestVersion;
+  Value value;
+  Version expected_version = kLowestVersion;
+
+  void Encode(ByteWriter& w) const {
+    key.Encode(w);
+    w.PutU64(version);
+    w.PutString(value);
+    w.PutU64(expected_version);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(key.Decode(r));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(version));
+    REPDIR_RETURN_IF_ERROR(r.GetString(value));
+    return r.GetU64(expected_version);
+  }
+};
+
+/// DirRepLookup carrying the client's cached (presence, version) for the
+/// key. A representative whose local state matches the hint answers
+/// `unchanged` - version only, no value bytes - letting hot-key read
+/// quorums validate a cache instead of re-shipping the value.
+struct ValidatedLookupRequest {
+  RepKey key;
+  bool has_hint = false;
+  bool hint_present = false;
+  Version hint_version = kLowestVersion;
+
+  void Encode(ByteWriter& w) const {
+    key.Encode(w);
+    w.PutBool(has_hint);
+    w.PutBool(hint_present);
+    w.PutU64(hint_version);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(key.Decode(r));
+    REPDIR_RETURN_IF_ERROR(r.GetBool(has_hint));
+    REPDIR_RETURN_IF_ERROR(r.GetBool(hint_present));
+    return r.GetU64(hint_version);
+  }
+};
+
+/// Reply to a validated lookup. When `unchanged`, `data` repeats the hint's
+/// presence and version with an empty value (the client already holds it);
+/// otherwise `data` is a full LookupReply.
+struct ValidatedLookupReply {
+  bool unchanged = false;
+  LookupReply data;
+
+  void Encode(ByteWriter& w) const {
+    w.PutBool(unchanged);
+    data.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetBool(unchanged));
+    return data.Decode(r);
   }
 };
 

@@ -35,6 +35,15 @@ struct OpCounters {
   std::uint64_t unavailable = 0;  ///< Ops that could not collect a quorum.
   std::uint64_t neighbor_fetches = 0;  ///< Predecessor/successor batch RPCs
                                        ///< issued by real-neighbor searches.
+
+  // Version-cache accounting (mirrors of the "suite.cache.*" /
+  // "suite.write.fast_path" registry counters; zero when the cache is off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;  ///< Cached keys removed.
+  std::uint64_t fast_path_writes = 0;     ///< Writes that skipped the read round.
+  std::uint64_t validated_reads = 0;      ///< Lookups answered by "unchanged" quorums.
+  std::uint64_t cache_fallbacks = 0;      ///< Fast paths re-run as read-then-write.
 };
 
 class SuiteStats {

@@ -1,0 +1,89 @@
+#include "rep/version_cache.h"
+
+#include <cassert>
+
+namespace repdir::rep {
+
+VersionCache::VersionCache(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity_ > 0 && "VersionCache requires a positive capacity");
+}
+
+std::optional<VersionCache::Entry> VersionCache::Lookup(const RepKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.entry;
+}
+
+void VersionCache::Put(const RepKey& key, Entry entry) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const auto victim = map_.find(lru_.back());
+    assert(victim != map_.end());
+    ++stats_.evictions;
+    EraseIt(victim);
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Node{std::move(entry), lru_.begin()});
+}
+
+bool VersionCache::Invalidate(const RepKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  ++stats_.invalidations;
+  EraseIt(it);
+  return true;
+}
+
+std::size_t VersionCache::InvalidateRange(const RepKey& low,
+                                          const RepKey& high) {
+  std::size_t removed = 0;
+  // Keys inside the coalesced range, bounds included: the bounding entries'
+  // own gap_after changed too, so a cached gap keyed at either bound is as
+  // stale as one strictly inside.
+  for (auto it = map_.lower_bound(low);
+       it != map_.end() && !(high < it->first);) {
+    auto next = std::next(it);
+    ++stats_.invalidations;
+    ++removed;
+    EraseIt(it);
+    it = next;
+  }
+  // Cached gaps keyed outside [low, high] whose recorded bounds overlap
+  // (low, high). On coherent committed data this finds nothing (a gap's key
+  // lies inside its bounds), but the rule is what makes the cache safe by
+  // construction rather than by invariant.
+  for (auto it = map_.begin(); it != map_.end();) {
+    auto next = std::next(it);
+    const Entry& e = it->second.entry;
+    if (!e.present && e.has_gap_bounds && e.gap_low < high && low < e.gap_high) {
+      ++stats_.invalidations;
+      ++removed;
+      EraseIt(it);
+    }
+    it = next;
+  }
+  return removed;
+}
+
+void VersionCache::Clear() {
+  stats_.invalidations += map_.size();
+  map_.clear();
+  lru_.clear();
+}
+
+void VersionCache::EraseIt(std::map<RepKey, Node>::iterator it) {
+  lru_.erase(it->second.lru);
+  map_.erase(it);
+}
+
+}  // namespace repdir::rep

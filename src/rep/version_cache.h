@@ -1,0 +1,101 @@
+// VersionCache: a client-side cache of the per-key version numbers (and
+// values) a directory suite learns from quorum replies.
+//
+// The paper's per-entry/per-gap version numbers make every datum
+// self-validating - exactly the property Gifford-style weak representatives
+// exploit. The suite uses this cache two ways:
+//   * fast-path writes - a cached version lets DirSuiteInsert/Update skip
+//     the read-quorum round and issue a guarded DirRepInsert whose
+//     expected-version precondition detects staleness at the replicas;
+//   * validated reads - a cached (presence, version) rides along with the
+//     lookup inquiry so replicas can answer "unchanged" without re-shipping
+//     the value.
+//
+// Entries describe either a present entry (entry version + value) or an
+// absent key (the version of the gap containing it, plus the gap's bounds
+// when the suite learned them from a real-neighbor search). Because a
+// coalesce re-versions an entire key range at once, invalidation must be
+// range-capable: InvalidateRange removes every cached key inside the
+// coalesced [low, high] AND every cached gap whose recorded bounds overlap
+// it - a cached gap version that survived a coalesce could otherwise let an
+// absent key read as present-era data.
+//
+// The cache only ever holds committed data: the suite stages updates in its
+// per-operation context and applies them here at commit time. It is a plain
+// deterministic LRU (no clocks, no randomness) so deterministic transports
+// stay bit-identical run to run. Not thread-safe - like DirectorySuite
+// itself, one instance per client.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <optional>
+
+#include "common/types.h"
+#include "storage/rep_key.h"
+
+namespace repdir::rep {
+
+using storage::RepKey;
+
+class VersionCache {
+ public:
+  struct Entry {
+    bool present = false;            ///< Entry (true) vs. gap (false).
+    Version version = kLowestVersion;
+    Value value;                     ///< Empty for gaps.
+    /// Bounds of the containing gap, when known (absent keys learned from a
+    /// real-neighbor search). Low()/High() mean "unknown": treated as not
+    /// overlapping any coalesced range, so unknown-bounds gaps are only
+    /// removed by key containment.
+    bool has_gap_bounds = false;
+    RepKey gap_low = RepKey::Low();
+    RepKey gap_high = RepKey::High();
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  ///< Cached keys removed (not calls).
+    std::uint64_t evictions = 0;
+  };
+
+  explicit VersionCache(std::size_t capacity);
+
+  /// The cached state of `key`, refreshing its LRU position; counts a hit
+  /// or a miss.
+  std::optional<Entry> Lookup(const RepKey& key);
+
+  /// Inserts or replaces; evicts the least-recently-used entry at capacity.
+  void Put(const RepKey& key, Entry entry);
+
+  /// Removes one key, if cached. Returns whether anything was removed.
+  bool Invalidate(const RepKey& key);
+
+  /// Removes every cached key in [low, high] plus every cached gap whose
+  /// recorded bounds overlap the open interval (low, high) - the coalesce
+  /// invalidation rule. Returns the number of entries removed.
+  std::size_t InvalidateRange(const RepKey& low, const RepKey& high);
+
+  void Clear();
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    Entry entry;
+    std::list<RepKey>::iterator lru;  ///< Position in lru_ (front = newest).
+  };
+
+  void EraseIt(std::map<RepKey, Node>::iterator it);
+
+  std::size_t capacity_;
+  std::map<RepKey, Node> map_;
+  std::list<RepKey> lru_;  ///< Most-recently-used first.
+  Stats stats_;
+};
+
+}  // namespace repdir::rep

@@ -54,6 +54,22 @@ Result<InsertEffect> DirRepCore::Insert(const RepKey& k, Version v,
   return effect;
 }
 
+Result<InsertEffect> DirRepCore::GuardedInsert(const RepKey& k, Version v,
+                                               const Value& value,
+                                               Version expected_version) {
+  if (!k.is_user()) {
+    return Status::InvalidArgument("Insert of sentinel key");
+  }
+  const LookupReply current = Lookup(k);
+  if (current.version > expected_version) {
+    return Status::VersionMismatch(
+        "guarded insert of " + k.ToString() + ": local version " +
+        std::to_string(current.version) + " exceeds expected " +
+        std::to_string(expected_version));
+  }
+  return Insert(k, v, value);
+}
+
 Result<CoalesceEffect> DirRepCore::Coalesce(const RepKey& l, const RepKey& h,
                                             Version gap_version) {
   if (!(l < h)) {

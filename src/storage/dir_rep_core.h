@@ -108,6 +108,18 @@ class DirRepCore {
   /// DirRepInsert(x, v, z); requires a user key (sentinels are immutable).
   Result<InsertEffect> Insert(const RepKey& k, Version v, const Value& value);
 
+  /// DirRepInsert guarded by an expected version (the optimistic
+  /// single-round write path): applies Insert(k, v, value) only if this
+  /// representative's current version for k - its entry version when
+  /// present, otherwise the version of the gap containing k - does not
+  /// exceed `expected_version`. A local version at or below the expectation
+  /// is stale or current data the new version may overwrite; a greater one
+  /// means a conflicting suite operation committed since the expectation
+  /// was formed, and the write is refused with kVersionMismatch.
+  Result<InsertEffect> GuardedInsert(const RepKey& k, Version v,
+                                     const Value& value,
+                                     Version expected_version);
+
   /// DirRepCoalesce(l, h, v); requires l < h and stored entries at both l
   /// and h (paper: "An error is indicated if entries do not exist for keys
   /// l and h").

@@ -118,6 +118,31 @@ Status TxnParticipant::Insert(TxnId txn, const RepKey& k, Version v,
   return Status::Ok();
 }
 
+Status TxnParticipant::GuardedInsert(TxnId txn, const RepKey& k, Version v,
+                                     const Value& value,
+                                     Version expected_version) {
+  // Locks RepModify(x, x) like Insert; the guard check rides inside the
+  // same critical section. A refused guard still leaves the lock held (the
+  // caller's transaction aborts and releases it), which is what keeps the
+  // observed version stable for the caller's fallback decision.
+  REPDIR_RETURN_IF_ERROR(AcquireLock(txn, LockMode::kModify,
+                                     KeyRange::Point(k)));
+  std::lock_guard<std::mutex> guard(mu_);
+  StateFor(txn);
+  REPDIR_ASSIGN_OR_RETURN(const InsertEffect effect,
+                          core_.GuardedInsert(k, v, value, expected_version));
+  Undo undo;
+  undo.kind = Undo::Kind::kInsert;
+  undo.key = k;
+  undo.insert_effect = effect;
+  StateFor(txn).undo.push_back(std::move(undo));
+  if (wal_ != nullptr) {
+    REPDIR_RETURN_IF_ERROR(
+        wal_->AppendOp(txn, storage::WalOp::Insert(k, v, value)));
+  }
+  return Status::Ok();
+}
+
 Result<CoalesceEffect> TxnParticipant::Coalesce(TxnId txn, const RepKey& l,
                                                 const RepKey& h,
                                                 Version gap_version) {

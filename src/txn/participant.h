@@ -66,6 +66,14 @@ class TxnParticipant {
   Result<std::vector<NeighborReply>> SuccessorBatch(TxnId txn, const RepKey& k,
                                                     std::uint32_t count);
   Status Insert(TxnId txn, const RepKey& k, Version v, const Value& value);
+
+  /// Guarded DirRepInsert: applies only when this representative's current
+  /// version for k does not exceed `expected_version`, otherwise
+  /// kVersionMismatch. The check and the insert run atomically under the
+  /// same RepModify(x, x) lock, so a guard that passes stays valid until
+  /// this transaction's 2PC decision.
+  Status GuardedInsert(TxnId txn, const RepKey& k, Version v,
+                       const Value& value, Version expected_version);
   Result<CoalesceEffect> Coalesce(TxnId txn, const RepKey& l, const RepKey& h,
                                   Version gap_version);
 

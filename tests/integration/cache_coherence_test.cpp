@@ -1,0 +1,233 @@
+// Version-cache coherence across clients: a suite's cached versions can go
+// stale the moment another client commits, and the guarded-write protocol
+// must turn every stale bet into a clean fallback - never a stale read or a
+// lost update. The deterministic InProcTransport harness drives two suites
+// (one cached, one plain) against the same representatives.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rep/dir_suite.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+/// 3 replicas, R=2, W=2: 2W > V, so guarded fast-path writes are armed.
+QuorumConfig SmallConfig() { return QuorumConfig::Uniform(3, 2, 2); }
+
+TEST(CacheCoherence, FastPathWritesEngageOnRepeatedUpdates) {
+  SuiteHarness harness(SmallConfig());
+  auto suite = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+
+  ASSERT_TRUE(suite->Insert("k", "v0").ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(suite->Update("k", "v" + std::to_string(i)).ok());
+  }
+  const auto& c = suite->stats().counters();
+  EXPECT_EQ(c.fast_path_writes, 5u);  // every update after the insert
+  EXPECT_EQ(c.cache_fallbacks, 0u);
+
+  // A plain client agrees on the final value.
+  auto reader = harness.NewSuite(101);
+  const auto read = reader->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+  EXPECT_EQ(read->value, "v5");
+}
+
+TEST(CacheCoherence, ConcurrentDeleteForcesMismatchFallbackNotStaleWrite) {
+  // The issue's core scenario: A caches k's entry version, B deletes k,
+  // A updates k. The guarded write must lose (kVersionMismatch at a write
+  // intersection member), fall back to read-then-write, and surface
+  // kNotFound - never resurrect k or write behind the coalesced gap.
+  SuiteHarness harness(SmallConfig());
+  auto a = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+  auto b = harness.NewSuite(101, nullptr, 43);
+
+  ASSERT_TRUE(a->Insert("k", "va").ok());
+  ASSERT_TRUE(b->Delete("k").ok());
+
+  EXPECT_EQ(a->Update("k", "stale").code(), StatusCode::kNotFound);
+  const auto& c = a->stats().counters();
+  EXPECT_GE(c.cache_fallbacks, 1u);
+  EXPECT_GE(c.cache_invalidations, 1u);
+  EXPECT_EQ(c.fast_path_writes, 0u);
+
+  // Nothing resurrected, on either client's view.
+  for (auto* suite : {a.get(), b.get()}) {
+    const auto read = suite->Lookup("k");
+    ASSERT_TRUE(read.ok());
+    EXPECT_FALSE(read->found);
+  }
+}
+
+TEST(CacheCoherence, ConcurrentInsertForcesFallbackToAlreadyExists) {
+  // Mirror image: A caches k as absent (a gap version), B inserts k, A
+  // inserts k. The stale-gap guard must refuse and the fallback must
+  // report kAlreadyExists - a stale gap version must never clobber B's
+  // entry with an equal-or-lower-versioned one.
+  SuiteHarness harness(SmallConfig());
+  auto a = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+  auto b = harness.NewSuite(101, nullptr, 43);
+
+  const auto miss = a->Lookup("k");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->found);  // a now caches the gap's version
+
+  ASSERT_TRUE(b->Insert("k", "vb").ok());
+  EXPECT_EQ(a->Insert("k", "va").code(), StatusCode::kAlreadyExists);
+  EXPECT_GE(a->stats().counters().cache_fallbacks, 1u);
+
+  const auto read = a->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+  EXPECT_EQ(read->value, "vb");  // B's value survived
+}
+
+TEST(CacheCoherence, ValidatedReadsSeeOtherClientsWrites) {
+  SuiteHarness harness(SmallConfig());
+  auto a = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+  auto b = harness.NewSuite(101, nullptr, 43);
+
+  ASSERT_TRUE(a->Insert("k", "v1").ok());
+  const auto warm = a->Lookup("k");  // cached hit, "unchanged" quorum
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->value, "v1");
+  EXPECT_GE(a->stats().counters().validated_reads, 1u);
+
+  ASSERT_TRUE(b->Update("k", "v2").ok());
+  const auto fresh = a->Lookup("k");  // hint is stale: replies carry v2
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->found);
+  EXPECT_EQ(fresh->value, "v2");
+
+  // And the refreshed cache serves the new version on the next hit.
+  const auto again = a->Lookup("k");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->value, "v2");
+}
+
+TEST(CacheCoherence, GhostHeavyDeleteNeverReadsAsPresent) {
+  // Ghost scenario, scripted quorums: k is inserted through {1,2} and
+  // deleted through quorums touching {2,3} - node 1 keeps a stale present
+  // copy (a ghost). A cached client that knew k's entry version must not
+  // let the ghost + stale cache resurrect the entry: lookups say absent,
+  // an update says kNotFound, and a re-insert wins with a higher version.
+  SuiteHarness harness(SmallConfig());
+  auto [a, a_policy] =
+      harness.NewScriptedSuite(100, /*enable_cache=*/true);
+  auto [b, b_policy] = harness.NewScriptedSuite(101);
+
+  a_policy->SetDefault({1, 2, 3});
+  ASSERT_TRUE(a->Insert("k", "va").ok());   // write quorum {1, 2}
+  const auto warm = a->Lookup("k");         // cache k's entry version
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->found);
+
+  b_policy->SetDefault({3, 2, 1});
+  ASSERT_TRUE(b->Delete("k").ok());  // quorums {3, 2}: node 1 keeps a ghost
+
+  // Node 1 still holds k as present - by construction a ghost.
+  EXPECT_NE(harness.Dump(1).find("k"), std::string::npos);
+
+  // Stale cache + ghost member in the quorum: still absent.
+  a_policy->SetDefault({1, 2, 3});
+  const auto read = a->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->found);
+
+  // Guarded update through the ghost-favoring order must fall back to
+  // kNotFound (node 2 saw the delete and its gap version wins the guard).
+  auto [a2, a2_policy] =
+      harness.NewScriptedSuite(102, /*enable_cache=*/true);
+  a2_policy->SetDefault({1, 2, 3});
+  ASSERT_TRUE(a2->Insert("j", "x").ok());  // unrelated: prove a2 works
+  EXPECT_EQ(a2->Update("k", "stale").code(), StatusCode::kNotFound);
+
+  // Re-insert through the cached client; every reader then sees the new
+  // value - the ghost's old version lost permanently.
+  ASSERT_TRUE(a->Insert("k", "vnew").ok());
+  for (auto* suite : {a.get(), b.get()}) {
+    const auto fresh = suite->Lookup("k");
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(fresh->found);
+    EXPECT_EQ(fresh->value, "vnew");
+  }
+}
+
+TEST(CacheCoherence, OwnDeleteInvalidatesCachedRangeAndRecachesGap) {
+  // Client-side range invalidation: after this client's own delete
+  // coalesces [pred, succ], its cached entries inside the range are gone
+  // and the deleted key is re-cached as absent at the gap version - so an
+  // immediate re-insert takes the fast path and still versions above the
+  // coalesced gap.
+  SuiteHarness harness(SmallConfig());
+  auto suite = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+
+  ASSERT_TRUE(suite->Insert("a", "1").ok());
+  ASSERT_TRUE(suite->Insert("m", "2").ok());
+  ASSERT_TRUE(suite->Insert("z", "3").ok());
+
+  const auto before = suite->stats().counters().cache_invalidations;
+  ASSERT_TRUE(suite->Delete("m").ok());  // coalesces [a, z]
+  EXPECT_GT(suite->stats().counters().cache_invalidations, before);
+
+  // Fast-path re-insert from the re-cached gap version.
+  const auto fast_before = suite->stats().counters().fast_path_writes;
+  ASSERT_TRUE(suite->Insert("m", "again").ok());
+  EXPECT_GT(suite->stats().counters().fast_path_writes, fast_before);
+
+  auto reader = harness.NewSuite(101);
+  const auto read = reader->Lookup("m");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+  EXPECT_EQ(read->value, "again");
+}
+
+TEST(CacheCoherence, NonIntersectingWriteQuorumsDisableFastPathOnly) {
+  // 4 replicas, R=3, W=2: legal for read-then-write (R+W > V) but write
+  // quorums need not intersect, so guarded fast-path writes must stay off
+  // while validated reads keep working.
+  SuiteHarness harness(QuorumConfig::Uniform(4, 3, 2));
+  auto suite = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+
+  ASSERT_TRUE(suite->Insert("k", "v1").ok());
+  ASSERT_TRUE(suite->Update("k", "v2").ok());
+  ASSERT_TRUE(suite->Update("k", "v3").ok());
+  const auto read = suite->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "v3");
+
+  const auto& c = suite->stats().counters();
+  EXPECT_EQ(c.fast_path_writes, 0u);
+  EXPECT_GE(c.validated_reads, 1u);
+}
+
+TEST(CacheCoherence, CachedSuiteSurvivesMemberOutage) {
+  // Optimistic quorums skip the ping wave, so a down preferred member
+  // surfaces mid-wave; the fallback must re-run with pings and succeed on
+  // the surviving majority.
+  SuiteHarness harness(SmallConfig());
+  auto suite = harness.NewSuite(100, nullptr, 42, /*enable_cache=*/true);
+
+  ASSERT_TRUE(suite->Insert("k", "v0").ok());
+  ASSERT_TRUE(suite->Update("k", "v1").ok());  // fast path, all up
+
+  harness.network().SetNodeUp(1, false);
+  for (int i = 2; i <= 4; ++i) {
+    ASSERT_TRUE(suite->Update("k", "v" + std::to_string(i)).ok());
+  }
+  harness.network().SetNodeUp(1, true);
+
+  auto reader = harness.NewSuite(101);
+  const auto read = reader->Lookup("k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "v4");
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -40,10 +40,12 @@ class FanOutDeployment {
   }
 
   std::unique_ptr<DirectorySuite> NewSuite(net::Transport& through,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           bool enable_cache = false) {
     DirectorySuite::Options options;
     options.config = config_;
     options.policy_seed = seed;
+    options.enable_version_cache = enable_cache;
     return std::make_unique<DirectorySuite>(through, /*client_node=*/100,
                                             std::move(options));
   }
@@ -118,44 +120,54 @@ TEST(ParallelFanOut, MidTransactionFailureRollsBackAndReleasesLocks) {
   EXPECT_TRUE(suite->Update("acct", "50").ok());
 }
 
-TEST(ParallelFanOut, RpcCountsMatchSequentialBaseline) {
+void MixedWorkload(DirectorySuite& suite) {
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(suite.Insert(key, "v").ok());
+  }
+  for (int i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(suite.Update("k" + std::to_string(i), "w").ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(suite.Lookup("k" + std::to_string(i)).ok());
+  }
+  auto cursor = suite.FirstKey();
+  while (cursor.ok() && cursor->found) {
+    cursor = suite.NextKey(cursor->key);
+  }
+  ASSERT_TRUE(cursor.ok());
+  for (int i = 0; i < 8; i += 3) {
+    ASSERT_TRUE(suite.Delete("k" + std::to_string(i)).ok());
+  }
+}
+
+/// 5 voting members + 1 weak hint node; 2W > V, so the version cache's
+/// guarded fast-path writes are armed when the cache is enabled.
+QuorumConfig MixedWorkloadConfig() {
+  return QuorumConfig({{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {6, 0}},
+                      /*read_quorum=*/3, /*write_quorum=*/3);
+}
+
+void ExpectRpcCountsMatchSequential(bool enable_cache) {
   // Same deployment shape, same policy seed, same workload - one suite
   // fans out over the threaded transport, the other is forced sequential
   // by SequentialAdapter. The parallel path must issue exactly the RPCs
   // the sequential walk does: per-node read and write counts, neighbor
-  // fetches, and transport attempts all equal.
-  const QuorumConfig config({{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {6, 0}},
-                            /*read_quorum=*/3, /*write_quorum=*/3);
-
-  auto workload = [](DirectorySuite& suite) {
-    for (int i = 0; i < 8; ++i) {
-      const std::string key = "k" + std::to_string(i);
-      ASSERT_TRUE(suite.Insert(key, "v").ok());
-    }
-    for (int i = 0; i < 8; i += 2) {
-      ASSERT_TRUE(suite.Update("k" + std::to_string(i), "w").ok());
-    }
-    for (int i = 0; i < 8; ++i) {
-      ASSERT_TRUE(suite.Lookup("k" + std::to_string(i)).ok());
-    }
-    auto cursor = suite.FirstKey();
-    while (cursor.ok() && cursor->found) {
-      cursor = suite.NextKey(cursor->key);
-    }
-    ASSERT_TRUE(cursor.ok());
-    for (int i = 0; i < 8; i += 3) {
-      ASSERT_TRUE(suite.Delete("k" + std::to_string(i)).ok());
-    }
-  };
+  // fetches, and transport attempts all equal. With the cache enabled the
+  // flows change (guarded writes, validated reads) but must stay equally
+  // deterministic: the cache is a plain LRU fed only by committed replies.
+  const QuorumConfig config = MixedWorkloadConfig();
 
   FanOutDeployment parallel_deploy(config);
-  auto parallel_suite = parallel_deploy.NewSuite(parallel_deploy.injector(), 23);
-  workload(*parallel_suite);
+  auto parallel_suite =
+      parallel_deploy.NewSuite(parallel_deploy.injector(), 23, enable_cache);
+  MixedWorkload(*parallel_suite);
 
   FanOutDeployment sequential_deploy(config);
   net::SequentialAdapter sequential(sequential_deploy.injector());
-  auto sequential_suite = sequential_deploy.NewSuite(sequential, 23);
-  workload(*sequential_suite);
+  auto sequential_suite =
+      sequential_deploy.NewSuite(sequential, 23, enable_cache);
+  MixedWorkload(*sequential_suite);
 
   EXPECT_EQ(parallel_suite->read_rpcs_by_node(),
             sequential_suite->read_rpcs_by_node());
@@ -163,8 +175,53 @@ TEST(ParallelFanOut, RpcCountsMatchSequentialBaseline) {
             sequential_suite->write_rpcs_by_node());
   EXPECT_EQ(parallel_suite->stats().counters().neighbor_fetches,
             sequential_suite->stats().counters().neighbor_fetches);
+  EXPECT_EQ(parallel_suite->stats().counters().fast_path_writes,
+            sequential_suite->stats().counters().fast_path_writes);
+  EXPECT_EQ(parallel_suite->stats().counters().validated_reads,
+            sequential_suite->stats().counters().validated_reads);
   EXPECT_EQ(parallel_deploy.transport().TotalAttempts(),
             sequential_deploy.transport().TotalAttempts());
+  if (enable_cache) {
+    // The cached flow must actually differ from the baseline - otherwise
+    // this determinism check is vacuous.
+    EXPECT_GT(parallel_suite->stats().counters().cache_hits, 0u);
+  }
+}
+
+TEST(ParallelFanOut, RpcCountsMatchSequentialBaseline) {
+  ExpectRpcCountsMatchSequential(/*enable_cache=*/false);
+}
+
+TEST(ParallelFanOut, RpcCountsMatchSequentialBaselineWithVersionCache) {
+  ExpectRpcCountsMatchSequential(/*enable_cache=*/true);
+}
+
+TEST(ParallelFanOut, CachedAndUncachedRunsConvergeToIdenticalDirectories) {
+  // Same workload through a cached and an uncached suite on separate
+  // deployments: final directory contents (full scan) must be identical.
+  const QuorumConfig config = MixedWorkloadConfig();
+
+  auto scan = [](DirectorySuite& suite) {
+    std::vector<std::pair<UserKey, Value>> entries;
+    auto cursor = suite.FirstKey();
+    while (cursor.ok() && cursor->found) {
+      entries.emplace_back(cursor->key, cursor->value);
+      cursor = suite.NextKey(cursor->key);
+    }
+    EXPECT_TRUE(cursor.ok());
+    return entries;
+  };
+
+  FanOutDeployment plain_deploy(config);
+  auto plain = plain_deploy.NewSuite(plain_deploy.injector(), 23, false);
+  MixedWorkload(*plain);
+
+  FanOutDeployment cached_deploy(config);
+  auto cached = cached_deploy.NewSuite(cached_deploy.injector(), 23, true);
+  MixedWorkload(*cached);
+
+  EXPECT_EQ(scan(*plain), scan(*cached));
+  EXPECT_GT(cached->stats().counters().fast_path_writes, 0u);
 }
 
 }  // namespace

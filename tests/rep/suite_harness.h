@@ -74,14 +74,17 @@ class SuiteHarness {
   }
 
   /// A suite client with an explicit policy (pass nullptr for the default
-  /// seeded random policy).
+  /// seeded random policy). The version cache defaults OFF so deterministic
+  /// scenario tests keep their exact message flows; cache-specific tests
+  /// opt in via `enable_cache`.
   std::unique_ptr<DirectorySuite> NewSuite(
       NodeId client_node, std::unique_ptr<rep::QuorumPolicy> policy = nullptr,
-      std::uint64_t seed = 42) {
+      std::uint64_t seed = 42, bool enable_cache = false) {
     DirectorySuite::Options options;
     options.config = config_;
     options.policy = std::move(policy);
     options.policy_seed = seed;
+    options.enable_version_cache = enable_cache;
     return std::make_unique<DirectorySuite>(transport_, client_node,
                                             std::move(options));
   }
@@ -89,10 +92,10 @@ class SuiteHarness {
   /// A suite driven by a ScriptedPolicy; the policy stays owned by the
   /// suite but is also returned for scripting.
   std::pair<std::unique_ptr<DirectorySuite>, ScriptedPolicy*> NewScriptedSuite(
-      NodeId client_node) {
+      NodeId client_node, bool enable_cache = false) {
     auto policy = std::make_unique<ScriptedPolicy>(config_.Nodes());
     ScriptedPolicy* raw = policy.get();
-    return {NewSuite(client_node, std::move(policy)), raw};
+    return {NewSuite(client_node, std::move(policy), 42, enable_cache), raw};
   }
 
   DirRepNode& node(NodeId id) {

@@ -1,0 +1,157 @@
+// VersionCache unit tests: LRU mechanics, point and range invalidation,
+// and the gap-bounds overlap rule that keeps coalesces safe.
+#include "rep/version_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace repdir::rep {
+namespace {
+
+RepKey K(const std::string& k) { return RepKey::User(k); }
+
+VersionCache::Entry Present(Version v, const std::string& value) {
+  VersionCache::Entry e;
+  e.present = true;
+  e.version = v;
+  e.value = value;
+  return e;
+}
+
+VersionCache::Entry Gap(Version v, const RepKey& low, const RepKey& high) {
+  VersionCache::Entry e;
+  e.present = false;
+  e.version = v;
+  e.has_gap_bounds = true;
+  e.gap_low = low;
+  e.gap_high = high;
+  return e;
+}
+
+TEST(VersionCache, LookupReturnsWhatWasPut) {
+  VersionCache cache(4);
+  cache.Put(K("a"), Present(3, "va"));
+  EXPECT_FALSE(cache.Lookup(K("b")).has_value());
+  const auto hit = cache.Lookup(K("a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->present);
+  EXPECT_EQ(hit->version, 3u);
+  EXPECT_EQ(hit->value, "va");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(VersionCache, PutReplacesExistingEntry) {
+  VersionCache cache(4);
+  cache.Put(K("a"), Present(1, "old"));
+  cache.Put(K("a"), Present(2, "new"));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.Lookup(K("a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->version, 2u);
+  EXPECT_EQ(hit->value, "new");
+}
+
+TEST(VersionCache, EvictsLeastRecentlyUsedAtCapacity) {
+  VersionCache cache(2);
+  cache.Put(K("a"), Present(1, "va"));
+  cache.Put(K("b"), Present(1, "vb"));
+  cache.Put(K("c"), Present(1, "vc"));  // evicts a (oldest)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(K("a")).has_value());
+  EXPECT_TRUE(cache.Lookup(K("b")).has_value());
+  EXPECT_TRUE(cache.Lookup(K("c")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(VersionCache, LookupRefreshesRecency) {
+  VersionCache cache(2);
+  cache.Put(K("a"), Present(1, "va"));
+  cache.Put(K("b"), Present(1, "vb"));
+  ASSERT_TRUE(cache.Lookup(K("a")).has_value());  // a becomes most recent
+  cache.Put(K("c"), Present(1, "vc"));            // evicts b, not a
+  EXPECT_TRUE(cache.Lookup(K("a")).has_value());
+  EXPECT_FALSE(cache.Lookup(K("b")).has_value());
+}
+
+TEST(VersionCache, PutOfExistingKeyRefreshesRecency) {
+  VersionCache cache(2);
+  cache.Put(K("a"), Present(1, "va"));
+  cache.Put(K("b"), Present(1, "vb"));
+  cache.Put(K("a"), Present(2, "va2"));  // a becomes most recent
+  cache.Put(K("c"), Present(1, "vc"));   // evicts b
+  EXPECT_TRUE(cache.Lookup(K("a")).has_value());
+  EXPECT_FALSE(cache.Lookup(K("b")).has_value());
+}
+
+TEST(VersionCache, InvalidateRemovesOneKey) {
+  VersionCache cache(4);
+  cache.Put(K("a"), Present(1, "va"));
+  cache.Put(K("b"), Present(1, "vb"));
+  EXPECT_TRUE(cache.Invalidate(K("a")));
+  EXPECT_FALSE(cache.Invalidate(K("a")));  // already gone
+  EXPECT_FALSE(cache.Lookup(K("a")).has_value());
+  EXPECT_TRUE(cache.Lookup(K("b")).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(VersionCache, InvalidateRangeIsInclusiveOfBothBounds) {
+  VersionCache cache(8);
+  for (const char* k : {"a", "b", "c", "d", "e"}) {
+    cache.Put(K(k), Present(1, k));
+  }
+  // A delete of c coalescing [b, d] stales b and d too: their adjacent gap
+  // changed under them.
+  EXPECT_EQ(cache.InvalidateRange(K("b"), K("d")), 3u);
+  EXPECT_TRUE(cache.Lookup(K("a")).has_value());
+  EXPECT_FALSE(cache.Lookup(K("b")).has_value());
+  EXPECT_FALSE(cache.Lookup(K("c")).has_value());
+  EXPECT_FALSE(cache.Lookup(K("d")).has_value());
+  EXPECT_TRUE(cache.Lookup(K("e")).has_value());
+}
+
+TEST(VersionCache, InvalidateRangeCoversSentinelBounds) {
+  VersionCache cache(8);
+  cache.Put(K("m"), Present(1, "vm"));
+  cache.Put(K("q"), Gap(2, RepKey::Low(), RepKey::High()));
+  EXPECT_EQ(cache.InvalidateRange(RepKey::Low(), RepKey::High()), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(VersionCache, InvalidateRangeRemovesGapsWithOverlappingBounds) {
+  VersionCache cache(8);
+  // A cached gap keyed OUTSIDE the coalesced range whose recorded bounds
+  // overlap it must go: its gap version is stale after the coalesce.
+  cache.Put(K("x"), Gap(5, K("a"), K("f")));  // bounds overlap (b, d)
+  cache.Put(K("y"), Gap(5, K("g"), K("j")));  // disjoint: survives
+  EXPECT_EQ(cache.InvalidateRange(K("b"), K("d")), 1u);
+  EXPECT_FALSE(cache.Lookup(K("x")).has_value());
+  EXPECT_TRUE(cache.Lookup(K("y")).has_value());
+}
+
+TEST(VersionCache, GapsWithUnknownBoundsAreOnlyRemovedByKeyContainment) {
+  VersionCache cache(8);
+  VersionCache::Entry unknown;  // absent, no recorded bounds
+  unknown.present = false;
+  unknown.version = 4;
+  cache.Put(K("x"), unknown);
+  EXPECT_EQ(cache.InvalidateRange(K("a"), K("c")), 0u);
+  EXPECT_TRUE(cache.Lookup(K("x")).has_value());
+  EXPECT_EQ(cache.InvalidateRange(K("w"), K("z")), 1u);
+  EXPECT_FALSE(cache.Lookup(K("x")).has_value());
+}
+
+TEST(VersionCache, ClearEmptiesEverything) {
+  VersionCache cache(4);
+  cache.Put(K("a"), Present(1, "va"));
+  cache.Put(K("b"), Present(1, "vb"));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(K("a")).has_value());
+  cache.Put(K("c"), Present(1, "vc"));  // still usable after Clear
+  EXPECT_TRUE(cache.Lookup(K("c")).has_value());
+}
+
+}  // namespace
+}  // namespace repdir::rep

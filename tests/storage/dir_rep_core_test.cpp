@@ -202,6 +202,66 @@ TEST_P(DirRepCoreTest, UndoCoalesceRestoresExactState) {
   EXPECT_EQ(stg_->Scan(), before);
 }
 
+TEST_P(DirRepCoreTest, GuardedInsertAppliesWhenLocalVersionNotNewer) {
+  // Guard rule: refuse iff the replica-local version (entry if present,
+  // else containing gap) EXCEEDS the expectation; equal or lower local
+  // versions are stale or current data a higher-versioned write may
+  // overwrite.
+  // Absent key at gap version 0, expectation 0: applies.
+  const auto fresh =
+      core_->GuardedInsert(RepKey::User("b"), 1, "vb", /*expected_version=*/0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(core_->Lookup(RepKey::User("b")).version, 1u);
+
+  // Present entry at version 1, expectation 1 (an update): applies.
+  const auto update =
+      core_->GuardedInsert(RepKey::User("b"), 2, "vb2", /*expected_version=*/1);
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(core_->Lookup(RepKey::User("b")).value, "vb2");
+}
+
+TEST_P(DirRepCoreTest, GuardedInsertRefusesNewerLocalVersion) {
+  ASSERT_TRUE(Insert("b", 5).ok());
+  const auto before = stg_->Scan();
+
+  // Entry version 5 > expected 4: a conflicting write committed since the
+  // caller's cache was filled. Refuse, change nothing.
+  const auto stale =
+      core_->GuardedInsert(RepKey::User("b"), 5, "clobber",
+                           /*expected_version=*/4);
+  EXPECT_EQ(stale.status().code(), StatusCode::kVersionMismatch);
+  EXPECT_EQ(stg_->Scan(), before);
+
+  // Same for a stale gap expectation: gap (b, HIGH) raised to 7 by a
+  // coalesce the caller never saw.
+  stg_->SetGapAfter(RepKey::User("b"), 7);
+  const auto stale_gap =
+      core_->GuardedInsert(RepKey::User("c"), 3, "vc", /*expected_version=*/2);
+  EXPECT_EQ(stale_gap.status().code(), StatusCode::kVersionMismatch);
+  EXPECT_FALSE(core_->Lookup(RepKey::User("c")).present);
+}
+
+TEST_P(DirRepCoreTest, GuardedInsertOverwritesGhostWithLowerVersion) {
+  // A ghost (stale present copy) has a LOWER version than the current gap
+  // the caller read from its quorum - the guard must let the new entry
+  // through, exactly like the read-then-write path would.
+  ASSERT_TRUE(Insert("g", 2).ok());  // will play the ghost, version 2
+  const auto win =
+      core_->GuardedInsert(RepKey::User("g"), 6, "new", /*expected_version=*/5);
+  ASSERT_TRUE(win.ok());
+  const LookupReply reply = core_->Lookup(RepKey::User("g"));
+  EXPECT_TRUE(reply.present);
+  EXPECT_EQ(reply.version, 6u);
+  EXPECT_EQ(reply.value, "new");
+}
+
+TEST_P(DirRepCoreTest, GuardedInsertRejectsSentinels) {
+  EXPECT_EQ(core_->GuardedInsert(RepKey::Low(), 1, "x", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(core_->GuardedInsert(RepKey::High(), 1, "x", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_P(DirRepCoreTest, InvariantCheckerAcceptsValidState) {
   ASSERT_TRUE(Insert("a", 1).ok());
   ASSERT_TRUE(Insert("b", 2).ok());

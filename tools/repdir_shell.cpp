@@ -2,7 +2,10 @@
 // deployment. Useful for demos and for poking at the algorithm's failure
 // behaviour by hand.
 //
-//   $ ./repdir_shell [replicas] [R] [W]     (default 3 2 2)
+//   $ ./repdir_shell [replicas] [R] [W] [cache]     (default 3 2 2, no cache)
+//
+// A trailing "cache" argument enables the client-side version cache
+// (guarded single-round writes + validated reads; see rep/version_cache.h).
 //
 // Commands:
 //   insert <key> <value>     update <key> <value>
@@ -32,7 +35,7 @@ using namespace repdir;
 namespace {
 
 struct Shell {
-  explicit Shell(rep::QuorumConfig config)
+  Shell(rep::QuorumConfig config, bool enable_cache)
       : config_(std::move(config)), transport_(nullptr, &network_) {
     rep::DirRepNodeOptions node_options;
     node_options.enable_wal = true;
@@ -41,8 +44,9 @@ struct Shell {
           std::make_unique<rep::DirRepNode>(replica.node, node_options));
       transport_.RegisterNode(replica.node, nodes_.back()->server());
     }
-    rep::DirectorySuite::Options options;
+    rep::SuiteOptions options;
     options.config = config_;
+    options.enable_version_cache = enable_cache;
     suite_ = std::make_unique<rep::DirectorySuite>(transport_, 100,
                                                    std::move(options));
   }
@@ -182,6 +186,14 @@ struct Shell {
                   s.entries_in_ranges_coalesced().ToString().c_str(),
                   s.deletions_while_coalescing().ToString().c_str(),
                   s.insertions_while_coalescing().ToString().c_str());
+      std::printf(
+          "cache: %llu hits, %llu misses, %llu invalidations; "
+          "%llu fast-path writes, %llu validated reads, %llu fallbacks\n",
+          (unsigned long long)c.cache_hits, (unsigned long long)c.cache_misses,
+          (unsigned long long)c.cache_invalidations,
+          (unsigned long long)c.fast_path_writes,
+          (unsigned long long)c.validated_reads,
+          (unsigned long long)c.cache_fallbacks);
       std::printf("('metrics' has the per-layer breakdown)\n");
     } else if (cmd == "metrics") {
       std::string mode;
@@ -246,12 +258,17 @@ int main(int argc, char** argv) {
   std::uint32_t replicas = 3;
   Votes r = 2;
   Votes w = 2;
+  bool enable_cache = false;
+  if (argc > 1 && std::string(argv[argc - 1]) == "cache") {
+    enable_cache = true;
+    --argc;
+  }
   if (argc == 4) {
     replicas = static_cast<std::uint32_t>(std::atoi(argv[1]));
     r = static_cast<Votes>(std::atoi(argv[2]));
     w = static_cast<Votes>(std::atoi(argv[3]));
   } else if (argc != 1) {
-    std::fprintf(stderr, "usage: %s [replicas R W]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [replicas R W] [cache]\n", argv[0]);
     return 2;
   }
   const auto config = rep::QuorumConfig::Uniform(replicas, r, w);
@@ -259,7 +276,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad configuration: %s\n", st.ToString().c_str());
     return 2;
   }
-  Shell shell(config);
+  Shell shell(config, enable_cache);
   shell.Run();
   return 0;
 }

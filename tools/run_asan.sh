@@ -19,8 +19,10 @@ targets=(
   common/common_stats_test
   net/net_rpc_test net/net_parallel_call_test
   net/net_retry_backoff_test net/net_failure_injector_test
+  rep/rep_version_cache_test
   integration/integration_observability_test
   integration/integration_chaos_test
+  integration/integration_cache_coherence_test
 )
 cmake --build "$build" -j"$jobs" --target "${targets[@]##*/}"
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the benchmarks in Release and regenerate every BENCH_*.json at the
+# repo root. Currently two benches emit JSON:
+#   bench_concurrency   -> BENCH_observability.json, BENCH_parallel_fanout.json
+#   bench_version_cache -> BENCH_version_cache.json
+#
+# Uses the dedicated build-release/ tree so the regular build/ stays intact.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-release"
+jobs="${JOBS:-$(nproc)}"
+
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
+
+benches=(bench_concurrency bench_version_cache)
+cmake --build "$build" -j"$jobs" --target "${benches[@]}"
+
+# Benches write their JSON into the working directory; run from the repo
+# root so the committed BENCH_*.json files are the ones refreshed.
+cd "$root"
+for b in "${benches[@]}"; do
+  echo "=== $b ==="
+  "$build/bench/$b"
+done
+
+echo
+echo "Regenerated:"
+ls -l "$root"/BENCH_*.json

@@ -22,7 +22,9 @@ targets=(
   rep/rep_suite_txn_test rep/rep_paper_figures_test rep/rep_weak_rep_test
   rep/rep_readonly_2pc_test rep/rep_failure_test rep/rep_batching_test
   rep/rep_parallel_fanout_test
+  rep/rep_version_cache_test
   integration/integration_threaded_test
+  integration/integration_cache_coherence_test
   integration/integration_serializability_test
   integration/integration_chaos_test
   integration/integration_crash_recovery_test
