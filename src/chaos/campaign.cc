@@ -1,0 +1,703 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "chaos/deployment.h"
+#include "common/rng.h"
+
+namespace repdir::chaos {
+
+namespace {
+
+constexpr NodeId kClient = Deployment::kClientNode;
+
+/// FNV-1a, so a scenario name perturbs the seed identically across runs
+/// (std::hash makes no such promise).
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+UserKey KeyName(std::uint32_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "k%03u", index);
+  return buf;
+}
+
+Value ValueName(std::uint64_t seed, std::uint32_t salt) {
+  return "v" + std::to_string(seed % 997) + "." + std::to_string(salt);
+}
+
+bool IsMember(const rep::QuorumConfig& config, NodeId node) {
+  for (const auto& r : config.replicas()) {
+    if (r.node == node) return true;
+  }
+  return false;
+}
+
+/// The vote threshold below which no read or write quorum can form.
+Votes QuorumFloor(const rep::QuorumConfig& config) {
+  return std::max(config.read_quorum(), config.write_quorum());
+}
+
+}  // namespace
+
+rep::QuorumConfig TopologySpec::Config() const {
+  std::vector<rep::Replica> replicas;
+  replicas.reserve(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    replicas.push_back({static_cast<NodeId>(i + 1), votes[i]});
+  }
+  return rep::QuorumConfig(std::move(replicas), read_quorum, write_quorum);
+}
+
+Schedule GenerateSchedule(const ScenarioSpec& spec, std::uint64_t seed) {
+  Rng rng(seed ^ HashName(spec.name));
+  const rep::QuorumConfig config = spec.topology.Config();
+
+  // Generator's view of deployment state, to keep schedules interesting:
+  // never crash below quorum viability, recover/heal only what is actually
+  // down/cut. The executor re-checks and skips no-ops anyway (shrinking
+  // deletes arbitrary events, so replay must tolerate any subsequence).
+  std::set<NodeId> down;
+  std::set<std::pair<NodeId, NodeId>> cuts;
+  Votes up_votes = config.TotalVotes();
+
+  const std::vector<NodeId> reps = config.Nodes();
+  Schedule schedule;
+  schedule.reserve(spec.steps);
+
+  for (std::uint32_t step = 0; step < spec.steps; ++step) {
+    ChaosEvent e;
+    double roll = rng.NextDouble();
+    const auto take = [&roll](double p) {
+      if (roll < p) return true;
+      roll -= p;
+      return false;
+    };
+
+    if (take(spec.p_crash)) {
+      std::vector<NodeId> candidates;
+      for (const NodeId r : reps) {
+        if (!down.contains(r) &&
+            up_votes - config.VotesOf(r) >= QuorumFloor(config)) {
+          candidates.push_back(r);
+        }
+      }
+      if (!candidates.empty()) {
+        e.kind = ChaosEvent::Kind::kCrash;
+        e.a = rng.Pick(candidates);
+        if (rng.Chance(spec.torn_fraction)) {
+          e.torn = true;
+          e.torn_keep = static_cast<std::uint32_t>(rng.Below(48));
+        }
+        down.insert(e.a);
+        up_votes -= config.VotesOf(e.a);
+        schedule.push_back(e);
+        continue;
+      }
+    } else if (take(spec.p_recover)) {
+      if (!down.empty()) {
+        std::vector<NodeId> candidates(down.begin(), down.end());
+        e.kind = ChaosEvent::Kind::kRecover;
+        e.a = rng.Pick(candidates);
+        down.erase(e.a);
+        up_votes += config.VotesOf(e.a);
+        schedule.push_back(e);
+        continue;
+      }
+    } else if (take(spec.p_partition)) {
+      e.kind = ChaosEvent::Kind::kPartition;
+      e.a = kClient;
+      e.b = rng.Pick(reps);
+      cuts.insert({e.a, e.b});
+      cuts.insert({e.b, e.a});
+      schedule.push_back(e);
+      continue;
+    } else if (take(spec.p_one_way)) {
+      e.kind = ChaosEvent::Kind::kPartitionOneWay;
+      const NodeId r = rng.Pick(reps);
+      // Both orientations matter: client->rep kills the request, rep->
+      // client lets the server execute but loses the reply.
+      if (rng.Chance(0.5)) {
+        e.a = kClient;
+        e.b = r;
+      } else {
+        e.a = r;
+        e.b = kClient;
+      }
+      cuts.insert({e.a, e.b});
+      schedule.push_back(e);
+      continue;
+    } else if (take(spec.p_heal)) {
+      if (!cuts.empty()) {
+        std::vector<std::pair<NodeId, NodeId>> candidates(cuts.begin(),
+                                                          cuts.end());
+        const auto cut = rng.Pick(candidates);
+        e.kind = ChaosEvent::Kind::kHeal;
+        e.a = cut.first;
+        e.b = cut.second;
+        cuts.erase({e.a, e.b});
+        cuts.erase({e.b, e.a});
+        schedule.push_back(e);
+        continue;
+      }
+    } else if (take(spec.p_heal_all)) {
+      if (!cuts.empty()) {
+        e.kind = ChaosEvent::Kind::kHealAll;
+        cuts.clear();
+        schedule.push_back(e);
+        continue;
+      }
+    } else if (take(spec.p_set_link)) {
+      e.kind = ChaosEvent::Kind::kSetLink;
+      const NodeId r = rng.Pick(reps);
+      if (rng.Chance(0.5)) {
+        e.a = kClient;
+        e.b = r;
+      } else {
+        e.a = r;
+        e.b = kClient;
+      }
+      e.link.drop_probability = static_cast<double>(rng.Below(4)) * 0.1;
+      e.link.duplicate_probability = static_cast<double>(rng.Below(3)) * 0.1;
+      schedule.push_back(e);
+      continue;
+    } else if (take(spec.p_checkpoint)) {
+      std::vector<NodeId> candidates;
+      for (const NodeId r : reps) {
+        if (!down.contains(r)) candidates.push_back(r);
+      }
+      if (!candidates.empty()) {
+        e.kind = ChaosEvent::Kind::kCheckpoint;
+        e.a = rng.Pick(candidates);
+        schedule.push_back(e);
+        continue;
+      }
+    }
+
+    // Default: a directory operation.
+    e.kind = ChaosEvent::Kind::kOp;
+    const double op_roll = rng.NextDouble();
+    if (op_roll < 0.30) {
+      e.op = ChaosEvent::OpKind::kInsert;
+    } else if (op_roll < 0.50) {
+      e.op = ChaosEvent::OpKind::kUpdate;
+    } else if (op_roll < 0.65) {
+      e.op = ChaosEvent::OpKind::kDelete;
+    } else if (op_roll < 0.90) {
+      e.op = ChaosEvent::OpKind::kLookup;
+    } else {
+      e.op = ChaosEvent::OpKind::kNextKey;
+    }
+    e.key_index = static_cast<std::uint32_t>(rng.Below(spec.key_space));
+    e.value_salt = step;
+    schedule.push_back(e);
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Mutable state of one schedule replay.
+struct Run {
+  Run(const ScenarioSpec& spec, std::uint64_t seed)
+      : config(spec.topology.Config()),
+        deployment(config, WalNodeOptions()),
+        suite(deployment.NewSuite(kClient, nullptr, seed,
+                                  spec.enable_cache)),
+        seed(seed) {}
+
+  static rep::DirRepNodeOptions WalNodeOptions() {
+    rep::DirRepNodeOptions options = Deployment::DefaultNodeOptions();
+    options.enable_wal = true;
+    return options;
+  }
+
+  rep::QuorumConfig config;
+  Deployment deployment;
+  std::unique_ptr<rep::DirectorySuite> suite;
+  std::uint64_t seed;
+
+  /// Coordinator-side outcome of every finished transaction, by id. The
+  /// executor is the coordinator's memory: recovery resolves in-doubt
+  /// participants from this map (presumed abort for unknown ids).
+  std::map<TxnId, bool> decisions;
+  std::set<NodeId> down;
+  RunOutcome out;
+
+  bool Decided(TxnId txn) const {
+    const auto it = decisions.find(txn);
+    return it != decisions.end() && it->second;
+  }
+};
+
+void Fail(Run& run, std::size_t step, const ChaosEvent& e,
+          const std::string& msg) {
+  run.out.verdict = Status::Corruption("event " + std::to_string(step) +
+                                       " [" + e.ToString() + "]: " + msg);
+}
+
+void ExecuteOp(Run& run, std::size_t step, const ChaosEvent& e) {
+  Model& model = run.out.committed;
+  const UserKey key = KeyName(e.key_index);
+  const Value value = ValueName(run.seed, e.value_salt);
+  ++run.out.ops_attempted;
+
+  rep::SuiteTxn txn = run.suite->Begin();
+  Status st = Status::Ok();
+  rep::DirectorySuite::LookupResult looked;
+  rep::DirectorySuite::NextKeyResult next;
+  switch (e.op) {
+    case ChaosEvent::OpKind::kInsert: st = txn.Insert(key, value); break;
+    case ChaosEvent::OpKind::kUpdate: st = txn.Update(key, value); break;
+    case ChaosEvent::OpKind::kDelete: st = txn.Delete(key); break;
+    case ChaosEvent::OpKind::kLookup: {
+      auto r = txn.Lookup(key);
+      st = r.status();
+      if (r.ok()) looked = *r;
+      break;
+    }
+    case ChaosEvent::OpKind::kNextKey: {
+      auto r = txn.NextKey(key);
+      st = r.status();
+      if (r.ok()) next = *r;
+      break;
+    }
+  }
+
+  if (st.ok()) {
+    const Status commit = txn.Commit();
+    run.decisions[txn.id()] = commit.ok();
+    if (!commit.ok()) {
+      if (commit.code() != StatusCode::kAborted &&
+          commit.code() != StatusCode::kUnavailable) {
+        Fail(run, step, e, "unexpected commit status: " + commit.ToString());
+        return;
+      }
+      ++run.out.ops_aborted;
+      return;
+    }
+    ++run.out.ops_committed;
+
+    // The operation committed: cross-check against the model, then apply.
+    switch (e.op) {
+      case ChaosEvent::OpKind::kInsert:
+        if (model.contains(key)) {
+          Fail(run, step, e,
+               "insert committed but the model already holds \"" + key +
+                   "\" - a read quorum missed the current entry");
+          return;
+        }
+        model[key] = value;
+        break;
+      case ChaosEvent::OpKind::kUpdate:
+        if (!model.contains(key)) {
+          Fail(run, step, e,
+               "update committed but \"" + key + "\" is deleted - a read "
+               "quorum saw a ghost");
+          return;
+        }
+        model[key] = value;
+        break;
+      case ChaosEvent::OpKind::kDelete:
+        if (!model.contains(key)) {
+          Fail(run, step, e,
+               "delete committed but \"" + key + "\" is deleted - a read "
+               "quorum saw a ghost");
+          return;
+        }
+        model.erase(key);
+        break;
+      case ChaosEvent::OpKind::kLookup: {
+        const auto it = model.find(key);
+        if (looked.found != (it != model.end()) ||
+            (looked.found && looked.value != it->second)) {
+          Fail(run, step, e,
+               "lookup of \"" + key + "\" returned " +
+                   (looked.found ? "'" + looked.value + "'"
+                                 : std::string("absent")) +
+                   " but the model has " +
+                   (it != model.end() ? "'" + it->second + "'"
+                                      : std::string("absent")));
+          return;
+        }
+        break;
+      }
+      case ChaosEvent::OpKind::kNextKey: {
+        const auto it = model.upper_bound(key);
+        const bool want_found = it != model.end();
+        if (next.found != want_found ||
+            (next.found && (next.key != it->first ||
+                            next.value != it->second))) {
+          Fail(run, step, e,
+               "nextkey after \"" + key + "\" returned " +
+                   (next.found ? "\"" + next.key + "\""
+                               : std::string("none")) +
+                   " but the model expects " +
+                   (want_found ? "\"" + it->first + "\""
+                               : std::string("none")));
+          return;
+        }
+        break;
+      }
+    }
+    return;
+  }
+
+  // Operation failed: roll back and classify. Reads never observe
+  // uncommitted state (strict 2PL holds locks until the decision), so the
+  // "correct rejection" codes must agree with the model exactly.
+  run.decisions[txn.id()] = false;
+  txn.Abort();
+  switch (st.code()) {
+    case StatusCode::kAlreadyExists:
+      if (e.op != ChaosEvent::OpKind::kInsert || model.contains(key)) {
+        ++run.out.ops_rejected;
+        return;
+      }
+      Fail(run, step, e,
+           "insert rejected as existing but the model says \"" + key +
+               "\" is absent - a stale entry won a read quorum");
+      return;
+    case StatusCode::kNotFound:
+      if (model.contains(key)) {
+        Fail(run, step, e,
+             "operation says \"" + key + "\" is absent but the model holds "
+             "it - a stale gap won a read quorum");
+        return;
+      }
+      ++run.out.ops_rejected;
+      return;
+    case StatusCode::kUnavailable:
+      ++run.out.ops_unavailable;
+      return;
+    case StatusCode::kAborted:
+      ++run.out.ops_aborted;
+      return;
+    default:
+      Fail(run, step, e, "unexpected operation status: " + st.ToString());
+      return;
+  }
+}
+
+/// Restarts one node: WAL replay plus in-doubt resolution against the
+/// coordinator's decision map (presumed abort when unknown).
+Status RecoverNode(Run& run, NodeId node) {
+  auto& n = run.deployment.node(node);
+  REPDIR_ASSIGN_OR_RETURN(const auto outcome, n.Recover());
+  for (const TxnId txn : outcome.in_doubt) {
+    REPDIR_RETURN_IF_ERROR(n.ResolveInDoubt(txn, run.Decided(txn)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
+                       std::uint64_t seed) {
+  Run run(spec, seed);
+
+  for (std::size_t i = 0; i < schedule.size() && run.out.verdict.ok(); ++i) {
+    const ChaosEvent& e = schedule[i];
+    switch (e.kind) {
+      case ChaosEvent::Kind::kOp:
+        ExecuteOp(run, i, e);
+        break;
+      case ChaosEvent::Kind::kCrash: {
+        if (!IsMember(run.config, e.a) || run.down.contains(e.a)) break;
+        if (e.torn) {
+          run.deployment.node(e.a).CrashTorn(e.torn_keep);
+        } else {
+          run.deployment.node(e.a).Crash();
+        }
+        run.deployment.network().SetNodeUp(e.a, false);
+        run.down.insert(e.a);
+        ++run.out.crashes;
+        break;
+      }
+      case ChaosEvent::Kind::kRecover: {
+        if (!IsMember(run.config, e.a) || !run.down.contains(e.a)) break;
+        run.deployment.network().SetNodeUp(e.a, true);
+        run.down.erase(e.a);
+        if (const Status st = RecoverNode(run, e.a); !st.ok()) {
+          Fail(run, i, e, "recovery failed: " + st.ToString());
+        }
+        ++run.out.recoveries;
+        break;
+      }
+      case ChaosEvent::Kind::kPartition:
+        run.deployment.network().Partition(e.a, e.b);
+        break;
+      case ChaosEvent::Kind::kPartitionOneWay:
+        run.deployment.network().PartitionOneWay(e.a, e.b);
+        break;
+      case ChaosEvent::Kind::kHeal:
+        run.deployment.network().Heal(e.a, e.b);
+        break;
+      case ChaosEvent::Kind::kHealAll:
+        run.deployment.network().HealAll();
+        break;
+      case ChaosEvent::Kind::kSetLink:
+        run.deployment.network().SetLink(e.a, e.b, e.link);
+        break;
+      case ChaosEvent::Kind::kCheckpoint: {
+        if (!IsMember(run.config, e.a) || run.down.contains(e.a)) break;
+        const Status st =
+            run.deployment.node(e.a).participant().WriteCheckpoint();
+        if (st.ok()) {
+          ++run.out.checkpoints;
+        } else if (st.code() != StatusCode::kFailedPrecondition) {
+          // Busy (undecided transactions parked on the node) is expected;
+          // anything else is a durability bug.
+          Fail(run, i, e, "checkpoint failed: " + st.ToString());
+        }
+        break;
+      }
+    }
+  }
+  if (!run.out.verdict.ok()) return std::move(run.out);
+
+  // Final convergence barrier: heal the network, then crash + recover +
+  // resolve EVERY node. Dropped ABORT waves leave applied-but-undecided
+  // mutations parked in storage under their locks; the restart wipes them
+  // (the WAL replays committed work only) and the decision map settles
+  // every in-doubt participant, so the scans below contain exactly the
+  // committed history.
+  run.deployment.network().HealAll();
+  for (const auto& replica : run.config.replicas()) {
+    run.deployment.network().SetNodeUp(replica.node, true);
+  }
+  for (const auto& replica : run.config.replicas()) {
+    run.deployment.node(replica.node).Crash();
+    if (const Status st = RecoverNode(run, replica.node); !st.ok()) {
+      run.out.verdict =
+          Status::Corruption("final recovery of node " +
+                             std::to_string(replica.node) + " failed: " +
+                             st.ToString());
+      return std::move(run.out);
+    }
+  }
+
+  run.out.verdict =
+      CheckAll(run.config, run.deployment.Scans(), run.out.committed);
+  return std::move(run.out);
+}
+
+Schedule ShrinkSchedule(
+    const Schedule& failing,
+    const std::function<bool(const Schedule&)>& still_fails) {
+  Schedule best = failing;
+  std::size_t chunks = 2;
+  while (best.size() >= 2) {
+    const std::size_t chunk_len = (best.size() + chunks - 1) / chunks;
+    bool reduced = false;
+    for (std::size_t start = 0; start < best.size(); start += chunk_len) {
+      Schedule candidate;
+      candidate.reserve(best.size());
+      for (std::size_t i = 0; i < best.size(); ++i) {
+        if (i < start || i >= start + chunk_len) candidate.push_back(best[i]);
+      }
+      if (candidate.size() == best.size() || candidate.empty()) continue;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        chunks = std::max<std::size_t>(2, chunks - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk_len <= 1) break;  // already at single-event granularity
+      chunks = std::min(chunks * 2, best.size());
+    }
+  }
+  return best;
+}
+
+bool CampaignReport::AllPassed() const {
+  for (const auto& s : scenarios) {
+    if (s.seeds_failed != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CampaignReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"all_passed\":" << (AllPassed() ? "true" : "false")
+      << ",\"scenarios\":[";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioReport& s = scenarios[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << JsonEscape(s.scenario) << "\""
+        << ",\"topology\":\"" << JsonEscape(s.topology) << "\""
+        << ",\"seeds_run\":" << s.seeds_run
+        << ",\"seeds_failed\":" << s.seeds_failed
+        << ",\"ops_attempted\":" << s.ops_attempted
+        << ",\"ops_committed\":" << s.ops_committed
+        << ",\"ops_rejected\":" << s.ops_rejected
+        << ",\"ops_unavailable\":" << s.ops_unavailable
+        << ",\"ops_aborted\":" << s.ops_aborted
+        << ",\"crashes\":" << s.crashes
+        << ",\"recoveries\":" << s.recoveries
+        << ",\"checkpoints\":" << s.checkpoints
+        << ",\"failures\":[";
+    for (std::size_t j = 0; j < s.failures.size(); ++j) {
+      const SeedReport& f = s.failures[j];
+      if (j > 0) out << ',';
+      out << "{\"seed\":" << f.seed << ",\"verdict\":\""
+          << JsonEscape(f.verdict) << "\",\"schedule\":\""
+          << JsonEscape(ScheduleToString(f.shrunk)) << "\"}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+CampaignReport RunCampaign(const std::vector<ScenarioSpec>& scenarios,
+                           const CampaignOptions& options) {
+  CampaignReport report;
+  for (const ScenarioSpec& spec : scenarios) {
+    ScenarioReport sr;
+    sr.scenario = spec.name;
+    sr.topology = spec.topology.Config().ToString();
+    for (std::uint32_t s = 0; s < options.seeds_per_scenario; ++s) {
+      const std::uint64_t seed = options.seed_base + s;
+      const Schedule schedule = GenerateSchedule(spec, seed);
+      RunOutcome outcome = RunSchedule(spec, schedule, seed);
+      ++sr.seeds_run;
+      sr.ops_attempted += outcome.ops_attempted;
+      sr.ops_committed += outcome.ops_committed;
+      sr.ops_rejected += outcome.ops_rejected;
+      sr.ops_unavailable += outcome.ops_unavailable;
+      sr.ops_aborted += outcome.ops_aborted;
+      sr.crashes += outcome.crashes;
+      sr.recoveries += outcome.recoveries;
+      sr.checkpoints += outcome.checkpoints;
+      if (!outcome.ok()) {
+        ++sr.seeds_failed;
+        SeedReport failure;
+        failure.seed = seed;
+        failure.verdict = outcome.verdict.ToString();
+        failure.shrunk = schedule;
+        if (options.shrink_failures) {
+          failure.shrunk = ShrinkSchedule(
+              schedule, [&spec, seed](const Schedule& candidate) {
+                return !RunSchedule(spec, candidate, seed).ok();
+              });
+        }
+        sr.failures.push_back(std::move(failure));
+        if (options.progress) {
+          options.progress(spec.name + " seed " + std::to_string(seed) +
+                           " FAILED: " + outcome.verdict.ToString());
+        }
+      }
+    }
+    if (options.progress) {
+      options.progress(spec.name + " [" + sr.topology + "]: " +
+                       std::to_string(sr.seeds_run - sr.seeds_failed) + "/" +
+                       std::to_string(sr.seeds_run) + " seeds passed, " +
+                       std::to_string(sr.ops_committed) + " ops committed, " +
+                       std::to_string(sr.crashes) + " crashes");
+    }
+    report.scenarios.push_back(std::move(sr));
+  }
+  return report;
+}
+
+std::vector<ScenarioSpec> BuiltinScenarios() {
+  std::vector<ScenarioSpec> scenarios;
+
+  {
+    ScenarioSpec s;
+    s.name = "uniform-3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "weighted-5-4-4";
+    s.topology = {{2, 1, 1, 1, 2}, 4, 4};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // One weak (zero-vote) replica plus the client-side version cache:
+    // guarded writes, validated reads, and weak best-effort propagation
+    // all under fire.
+    ScenarioSpec s;
+    s.name = "cached-weak-5-2-3";
+    s.topology = {{1, 1, 1, 1, 0}, 2, 3};
+    s.enable_cache = true;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "uniform-7-4-4";
+    s.topology = {{1, 1, 1, 1, 1, 1, 1}, 4, 4};
+    s.steps = 300;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "weighted-9-7-7";
+    s.topology = {{3, 2, 2, 1, 1, 1, 1, 1, 1}, 7, 7};
+    s.steps = 300;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // The paper's upper end; exercises the exact (non-enumerating) quorum
+    // agreement checker.
+    ScenarioSpec s;
+    s.name = "uniform-31-16-16";
+    s.topology = {std::vector<Votes>(31, 1), 16, 16};
+    s.steps = 120;
+    s.key_space = 16;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+Result<ScenarioSpec> FindScenario(const std::string& name) {
+  std::string known;
+  for (auto& s : BuiltinScenarios()) {
+    if (s.name == name) return std::move(s);
+    known += (known.empty() ? "" : ", ") + s.name;
+  }
+  return Status::InvalidArgument("unknown scenario '" + name +
+                                 "'; known: " + known);
+}
+
+}  // namespace repdir::chaos

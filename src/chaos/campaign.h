@@ -1,0 +1,135 @@
+// Chaos campaigns: seeded generation, deterministic execution, shrinking,
+// and batch sweeps of fault schedules against in-process deployments.
+//
+// A scenario fixes the shape of a run (topology, cache setting, event mix);
+// (scenario, seed) deterministically generates a Schedule; RunSchedule
+// replays any schedule - generated or hand-written - against a fresh
+// deployment while maintaining a committed-ops model, and verdicts the run
+// with the chaos/invariants.h checks after a final convergence barrier
+// (heal everything, crash + recover + resolve every node). A failing seed
+// is shrunk with ddmin to a minimal schedule that still fails, which the
+// campaign CLI prints in replayable text form.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/schedule.h"
+#include "rep/quorum.h"
+
+namespace repdir::chaos {
+
+/// A parameterized topology: replica i+1 holds votes[i] (0 = weak).
+struct TopologySpec {
+  std::vector<Votes> votes;
+  Votes read_quorum = 0;
+  Votes write_quorum = 0;
+
+  /// Replicas on nodes 1..n.
+  rep::QuorumConfig Config() const;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  TopologySpec topology;
+  bool enable_cache = false;
+  std::uint32_t steps = 400;
+  std::uint32_t key_space = 24;
+
+  // Per-step fault mix; the remainder (roughly 3/4) is directory
+  // operations. The generator respects quorum viability: it never crashes
+  // a node if the surviving voters could not muster max(R, W) votes.
+  double p_crash = 0.03;
+  double p_recover = 0.06;
+  double p_partition = 0.04;
+  double p_one_way = 0.03;
+  double p_heal = 0.06;
+  double p_heal_all = 0.01;
+  double p_set_link = 0.03;
+  double p_checkpoint = 0.02;
+  double torn_fraction = 0.3;  ///< Fraction of crashes with a torn tail.
+};
+
+/// Deterministic: same (spec, seed) always yields the same schedule.
+Schedule GenerateSchedule(const ScenarioSpec& spec, std::uint64_t seed);
+
+struct RunOutcome {
+  /// OK, or the first model/invariant violation (message names the event).
+  Status verdict = Status::Ok();
+  /// Committed-ops model at the end of the run.
+  Model committed;
+
+  std::uint64_t ops_attempted = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t ops_rejected = 0;  ///< Correct kAlreadyExists / kNotFound.
+  std::uint64_t ops_unavailable = 0;
+  std::uint64_t ops_aborted = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t checkpoints = 0;
+
+  bool ok() const { return verdict.ok(); }
+};
+
+/// Replays `schedule` against a fresh deployment of `spec`'s topology.
+/// `seed` seeds the suite's quorum policy and value derivation - replaying
+/// the same (spec, schedule, seed) is bit-deterministic.
+RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
+                       std::uint64_t seed);
+
+/// ddmin: greedily deletes event chunks while `still_fails` holds,
+/// returning a (locally) minimal failing schedule.
+Schedule ShrinkSchedule(const Schedule& failing,
+                        const std::function<bool(const Schedule&)>& still_fails);
+
+struct SeedReport {
+  std::uint64_t seed = 0;
+  std::string verdict;  ///< Violation text.
+  Schedule shrunk;      ///< Minimal failing schedule (empty if no shrink).
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::string topology;
+  std::uint32_t seeds_run = 0;
+  std::uint32_t seeds_failed = 0;
+  std::uint64_t ops_attempted = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t ops_rejected = 0;
+  std::uint64_t ops_unavailable = 0;
+  std::uint64_t ops_aborted = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t checkpoints = 0;
+  std::vector<SeedReport> failures;
+};
+
+struct CampaignReport {
+  std::vector<ScenarioReport> scenarios;
+  bool AllPassed() const;
+  std::string ToJson() const;
+};
+
+struct CampaignOptions {
+  std::uint64_t seed_base = 1;
+  std::uint32_t seeds_per_scenario = 50;
+  bool shrink_failures = true;
+  /// Progress callback (one line per finished seed batch); may be null.
+  std::function<void(const std::string&)> progress;
+};
+
+CampaignReport RunCampaign(const std::vector<ScenarioSpec>& scenarios,
+                           const CampaignOptions& options);
+
+/// The stock scenario set the campaign CLI and tests sweep: topologies from
+/// 3 to 31 replicas, uniform and weighted votes, a weak replica, and a
+/// version-cache-enabled run.
+std::vector<ScenarioSpec> BuiltinScenarios();
+
+/// Builtin scenario by name; InvalidArgument lists the known names.
+Result<ScenarioSpec> FindScenario(const std::string& name);
+
+}  // namespace repdir::chaos

@@ -1,0 +1,83 @@
+// Cluster-control RPCs of the multi-process chaos driver.
+//
+// The chaos_node binary registers these alongside the regular directory
+// service so the chaos_cluster driver can inspect a live node's durable
+// state, learn its in-doubt transactions after a SIGKILL restart, and feed
+// it coordinator decisions. Method ids live above the data (1..) and txn
+// control (100..) ranges.
+#pragma once
+
+#include <vector>
+
+#include "common/serde.h"
+#include "net/message.h"
+#include "storage/stored_entry.h"
+
+namespace repdir::chaos {
+
+enum ClusterMethod : net::MethodId {
+  kDumpState = 200,   ///< Empty -> DumpStateReply (full storage scan).
+  kListInDoubt = 201, ///< Empty -> InDoubtReply (from the last recovery).
+  kResolve = 202,     ///< ResolveRequest -> Empty (ResolveInDoubt).
+};
+
+struct DumpStateReply {
+  std::vector<storage::StoredEntry> scan;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(scan.size());
+    for (const auto& e : scan) e.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    scan.clear();
+    scan.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      storage::StoredEntry e;
+      REPDIR_RETURN_IF_ERROR(e.Decode(r));
+      scan.push_back(std::move(e));
+    }
+    return Status::Ok();
+  }
+};
+
+struct InDoubtReply {
+  std::vector<TxnId> txns;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(txns.size());
+    for (const TxnId t : txns) w.PutU64(t);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    txns.clear();
+    txns.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TxnId t = 0;
+      REPDIR_RETURN_IF_ERROR(r.GetU64(t));
+      txns.push_back(t);
+    }
+    return Status::Ok();
+  }
+};
+
+struct ResolveRequest {
+  TxnId txn = 0;
+  bool commit = false;
+
+  void Encode(ByteWriter& w) const {
+    w.PutU64(txn);
+    w.PutU8(commit ? 1 : 0);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetU64(txn));
+    std::uint8_t c = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetU8(c));
+    commit = c != 0;
+    return Status::Ok();
+  }
+};
+
+}  // namespace repdir::chaos

@@ -1,0 +1,102 @@
+// A complete in-process directory-suite deployment on the deterministic
+// transport: N representatives, the network fault model, and suite-client
+// factories. This is the substrate both the gtest harnesses (see
+// tests/rep/suite_harness.h) and the chaos campaign executor run on.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "net/inproc_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "sim/network_model.h"
+
+namespace repdir::chaos {
+
+class Deployment {
+ public:
+  /// The node id campaign clients identify as on the transport (distinct
+  /// from every representative id; topologies use ids 1..n).
+  static constexpr NodeId kClientNode = 100;
+
+  explicit Deployment(rep::QuorumConfig config,
+                      rep::DirRepNodeOptions node_options =
+                          DefaultNodeOptions(),
+                      std::uint64_t network_seed = 99)
+      : config_(std::move(config)),
+        network_(network_seed),
+        transport_(nullptr, &network_) {
+    for (const auto& replica : config_.replicas()) {
+      nodes_.push_back(
+          std::make_unique<rep::DirRepNode>(replica.node, node_options));
+      transport_.RegisterNode(replica.node, nodes_.back()->server());
+    }
+  }
+
+  /// Representatives in the deterministic simulator run one transaction at
+  /// a time, so conflicts indicate bugs: use non-blocking locks to fail
+  /// fast instead of deadlocking the single thread.
+  static rep::DirRepNodeOptions DefaultNodeOptions() {
+    rep::DirRepNodeOptions options;
+    options.participant.blocking_locks = false;
+    return options;
+  }
+
+  /// A suite client with an explicit policy (pass nullptr for the default
+  /// seeded random policy). The version cache defaults OFF so deterministic
+  /// scenario tests keep their exact message flows; cache-specific runs
+  /// opt in via `enable_cache`.
+  std::unique_ptr<rep::DirectorySuite> NewSuite(
+      NodeId client_node, std::unique_ptr<rep::QuorumPolicy> policy = nullptr,
+      std::uint64_t seed = 42, bool enable_cache = false) {
+    rep::SuiteOptions options;
+    options.config = config_;
+    options.policy = std::move(policy);
+    options.policy_seed = seed;
+    options.enable_version_cache = enable_cache;
+    return NewSuiteWithOptions(client_node, std::move(options));
+  }
+
+  /// A suite client with fully caller-controlled options (the config is
+  /// overwritten with the deployment's).
+  std::unique_ptr<rep::DirectorySuite> NewSuiteWithOptions(
+      NodeId client_node, rep::SuiteOptions options) {
+    options.config = config_;
+    return std::make_unique<rep::DirectorySuite>(transport_, client_node,
+                                                 std::move(options));
+  }
+
+  rep::DirRepNode& node(NodeId id) {
+    for (auto& n : nodes_) {
+      if (n->id() == id) return *n;
+    }
+    std::abort();
+  }
+
+  const rep::QuorumConfig& config() const { return config_; }
+  sim::NetworkModel& network() { return network_; }
+  net::InProcTransport& transport() { return transport_; }
+
+  /// Storage snapshots of every representative, for the invariant checks.
+  ScanMap Scans() const {
+    ScanMap scans;
+    for (const auto& n : nodes_) scans[n->id()] = n->storage().Scan();
+    return scans;
+  }
+
+  /// All user entries of a representative as a dump string, for scenario
+  /// assertions and failure reports.
+  std::string Dump(NodeId id) { return storage::DumpRep(node(id).storage()); }
+
+ private:
+  rep::QuorumConfig config_;
+  sim::NetworkModel network_;
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes_;
+};
+
+}  // namespace repdir::chaos

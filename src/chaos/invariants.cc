@@ -1,0 +1,295 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <set>
+
+namespace repdir::chaos {
+
+using rep::QuorumConfig;
+using storage::RepKey;
+using storage::StoredEntry;
+
+namespace {
+
+std::string Describe(const EffectiveState& s) {
+  if (!s.present) return "absent@v" + std::to_string(s.version);
+  return "'" + s.value + "'@v" + std::to_string(s.version);
+}
+
+/// All user keys appearing in any scan, plus all model keys. Keys neither
+/// stored anywhere nor in the model answer "absent" from every replica and
+/// cannot disagree, so this set is exhaustive for quorum agreement.
+std::set<UserKey> InterestingKeys(const ScanMap& scans, const Model& model) {
+  std::set<UserKey> keys;
+  for (const auto& [node, scan] : scans) {
+    for (const auto& e : scan) {
+      if (e.key.is_user()) keys.insert(e.key.user());
+    }
+  }
+  for (const auto& [key, value] : model) keys.insert(key);
+  return keys;
+}
+
+struct ReplicaView {
+  NodeId node = kInvalidNode;
+  Votes votes = 0;
+  EffectiveState state;
+};
+
+/// Effective states of `key` on every configured replica, in config order.
+Result<std::vector<ReplicaView>> ViewsOf(const QuorumConfig& config,
+                                         const ScanMap& scans,
+                                         const UserKey& key) {
+  std::vector<ReplicaView> views;
+  views.reserve(config.replicas().size());
+  for (const auto& replica : config.replicas()) {
+    const auto it = scans.find(replica.node);
+    if (it == scans.end()) {
+      return Status::InvalidArgument("no scan for configured node " +
+                                     std::to_string(replica.node));
+    }
+    views.push_back(
+        {replica.node, replica.votes, EffectiveStateOf(it->second, key)});
+  }
+  return views;
+}
+
+/// Whether this replica state, winning a read quorum, would contradict the
+/// model for this key.
+bool Contradicts(const EffectiveState& s, bool model_present,
+                 const Value& model_value) {
+  if (s.present != model_present) return true;
+  return s.present && s.value != model_value;
+}
+
+Status CheckKeyAgreement(const QuorumConfig& config, const UserKey& key,
+                         const std::vector<ReplicaView>& views,
+                         const Model& model) {
+  const auto it = model.find(key);
+  const bool model_present = it != model.end();
+  const Value model_value = model_present ? it->second : Value{};
+
+  // Case 1 - a stale answer can win: take the contradicting replica with
+  // the highest version v*. Every replica strictly below v* can join its
+  // quorum without outvoting it (contradicting replicas AT v* can too).
+  // If that coalition reaches R votes, some legal read quorum answers
+  // wrongly; if not, every read quorum contains a correct replica at
+  // version >= v*, and the highest version wins (Fig. 8). Weak replicas
+  // contribute 0 votes but may sit in any quorum - adding them never
+  // helps the coalition, so votes stay the decision criterion.
+  bool any_bad = false;
+  Version bad_max = kLowestVersion;
+  for (const auto& v : views) {
+    if (Contradicts(v.state, model_present, model_value)) {
+      any_bad = true;
+      bad_max = std::max(bad_max, v.state.version);
+    }
+  }
+  if (any_bad) {
+    Votes coalition = 0;
+    std::string members;
+    for (const auto& v : views) {
+      const bool bad = Contradicts(v.state, model_present, model_value);
+      if (v.state.version < bad_max || (bad && v.state.version == bad_max)) {
+        coalition += v.votes;
+        members += (members.empty() ? "" : ",") + std::to_string(v.node);
+      }
+    }
+    if (coalition >= config.read_quorum()) {
+      return Status::Corruption(
+          "quorum agreement violated for key \"" + key + "\": replicas {" +
+          members + "} muster " + std::to_string(coalition) +
+          " votes >= R=" + std::to_string(config.read_quorum()) +
+          " yet their winning answer (v" + std::to_string(bad_max) +
+          ") contradicts the model (" +
+          (model_present ? "'" + model_value + "'" : std::string("absent")) +
+          ")");
+    }
+  }
+
+  // Case 2 - ambiguity: two replicas at the same effective version that
+  // disagree on (presence, value). A read quorum whose maximum version is
+  // that version has no single winner; it exists iff the replicas at or
+  // below that version muster R votes.
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    for (std::size_t j = i + 1; j < views.size(); ++j) {
+      const EffectiveState& a = views[i].state;
+      const EffectiveState& b = views[j].state;
+      if (a.version != b.version) continue;
+      if (a.present == b.present && (!a.present || a.value == b.value)) {
+        continue;
+      }
+      Votes below = 0;
+      for (const auto& v : views) {
+        if (v.state.version <= a.version) below += v.votes;
+      }
+      if (below >= config.read_quorum()) {
+        return Status::Corruption(
+            "ambiguous quorum for key \"" + key + "\": nodes " +
+            std::to_string(views[i].node) + " (" + Describe(a) + ") and " +
+            std::to_string(views[j].node) + " (" + Describe(b) +
+            ") tie at version " + std::to_string(a.version) +
+            " inside a reachable read quorum");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+EffectiveState EffectiveStateOf(const Scan& scan, const UserKey& key) {
+  const RepKey k = RepKey::User(key);
+  EffectiveState out;
+  // The scan is key-ordered: the entry at k wins; otherwise the greatest
+  // entry below k owns the gap that covers k.
+  const StoredEntry* floor = nullptr;
+  for (const auto& e : scan) {
+    if (e.key == k) {
+      out.present = true;
+      out.version = e.version;
+      out.value = e.value;
+      return out;
+    }
+    if (e.key < k && (floor == nullptr || floor->key < e.key)) floor = &e;
+  }
+  out.present = false;
+  out.version = floor != nullptr ? floor->gap_after : kLowestVersion;
+  return out;
+}
+
+Status CheckScanWellFormed(const Scan& scan) {
+  if (scan.size() < 2) {
+    return Status::Corruption("scan has " + std::to_string(scan.size()) +
+                              " entries; sentinels missing");
+  }
+  if (!scan.front().key.is_low()) {
+    return Status::Corruption("scan does not start at LOW");
+  }
+  if (!scan.back().key.is_high()) {
+    return Status::Corruption("scan does not end at HIGH");
+  }
+  for (std::size_t i = 1; i + 1 < scan.size(); ++i) {
+    if (!scan[i].key.is_user()) {
+      return Status::Corruption("interior entry " + std::to_string(i) +
+                                " is a sentinel");
+    }
+  }
+  for (std::size_t i = 1; i < scan.size(); ++i) {
+    if (!(scan[i - 1].key < scan[i].key)) {
+      return Status::Corruption("keys not strictly increasing at index " +
+                                std::to_string(i) + ": " +
+                                scan[i - 1].key.ToString() + " then " +
+                                scan[i].key.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckAllWellFormed(const ScanMap& scans) {
+  for (const auto& [node, scan] : scans) {
+    const Status st = CheckScanWellFormed(scan);
+    if (!st.ok()) {
+      return Status::Corruption("node " + std::to_string(node) + ": " +
+                                st.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckVersionCoherence(const ScanMap& scans) {
+  // Per user key: effective version -> (who, state). Entry states and
+  // gap-derived absent states share one version space per key; committed
+  // history gives each version exactly one meaning.
+  std::set<UserKey> keys;
+  for (const auto& [node, scan] : scans) {
+    for (const auto& e : scan) {
+      if (e.key.is_user()) keys.insert(e.key.user());
+    }
+  }
+  for (const auto& key : keys) {
+    std::map<Version, std::pair<NodeId, EffectiveState>> seen;
+    for (const auto& [node, scan] : scans) {
+      const EffectiveState s = EffectiveStateOf(scan, key);
+      const auto [it, inserted] = seen.try_emplace(s.version, node, s);
+      if (inserted) continue;
+      const EffectiveState& prior = it->second.second;
+      if (prior.present != s.present ||
+          (s.present && prior.value != s.value)) {
+        return Status::Corruption(
+            "version incoherence for key \"" + key + "\" at version " +
+            std::to_string(s.version) + ": node " +
+            std::to_string(it->second.first) + " has " + Describe(prior) +
+            " but node " + std::to_string(node) + " has " + Describe(s));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckQuorumAgreement(const QuorumConfig& config, const ScanMap& scans,
+                            const Model& model) {
+  for (const auto& key : InterestingKeys(scans, model)) {
+    REPDIR_ASSIGN_OR_RETURN(const auto views, ViewsOf(config, scans, key));
+    REPDIR_RETURN_IF_ERROR(CheckKeyAgreement(config, key, views, model));
+  }
+  return Status::Ok();
+}
+
+Status CheckQuorumAgreementExhaustive(const QuorumConfig& config,
+                                      const ScanMap& scans,
+                                      const Model& model) {
+  const auto& replicas = config.replicas();
+  const std::size_t n = replicas.size();
+  if (n > 16) {
+    return Status::InvalidArgument(
+        "exhaustive check is exponential; use CheckQuorumAgreement");
+  }
+  for (const auto& key : InterestingKeys(scans, model)) {
+    REPDIR_ASSIGN_OR_RETURN(const auto views, ViewsOf(config, scans, key));
+    const auto it = model.find(key);
+    const bool model_present = it != model.end();
+    for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+      Votes votes = 0;
+      bool first = true;
+      bool ambiguous = false;
+      EffectiveState best;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(mask & (1u << i))) continue;
+        votes += replicas[i].votes;
+        const EffectiveState& s = views[i].state;
+        if (first || s.version > best.version) {
+          best = s;
+          ambiguous = false;
+          first = false;
+        } else if (s.version == best.version &&
+                   (s.present != best.present ||
+                    (s.present && s.value != best.value))) {
+          ambiguous = true;
+        }
+      }
+      if (votes < config.read_quorum()) continue;
+      if (ambiguous) {
+        return Status::Corruption("quorum mask " + std::to_string(mask) +
+                                  " ambiguous for key \"" + key + "\"");
+      }
+      if (best.present != model_present ||
+          (best.present && best.value != it->second)) {
+        return Status::Corruption(
+            "quorum mask " + std::to_string(mask) + " answers " +
+            Describe(best) + " for key \"" + key + "\" but model says " +
+            (model_present ? "'" + it->second + "'" : std::string("absent")));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckAll(const QuorumConfig& config, const ScanMap& scans,
+                const Model& model) {
+  REPDIR_RETURN_IF_ERROR(CheckAllWellFormed(scans));
+  REPDIR_RETURN_IF_ERROR(CheckVersionCoherence(scans));
+  return CheckQuorumAgreement(config, scans, model);
+}
+
+}  // namespace repdir::chaos

@@ -1,0 +1,82 @@
+// Whole-deployment invariant checks over replica scans.
+//
+// The checks take raw `RepStorage::Scan()` snapshots keyed by node, so the
+// same library verifies an in-process simulated deployment (scans taken
+// directly) and a multi-process cluster (scans shipped over RPC by the
+// chaos cluster driver). Everything is Status-based and gtest-free; the
+// gtest wrappers in tests/rep/invariants.h adapt these for EXPECT_TRUE.
+//
+// Checked properties:
+//   * Structural soundness: sentinels bound every scan, keys strictly
+//     increase, interior keys are user keys (mirrors
+//     storage::CheckRepInvariants, but works on a detached scan).
+//   * Version coherence: per-key version numbers name committed states, so
+//     two replicas holding the same key at the same effective version must
+//     agree exactly on presence and value (ghosts and stale gaps included).
+//   * Quorum agreement: EVERY possible read quorum must answer every
+//     interesting key with the committed model state (the paper's central
+//     correctness property - Fig. 8: highest version wins). Verified with
+//     an exact O(replicas) per-key criterion, so 31-replica suites are
+//     checked completely without enumerating 2^31 vote sets; the brute
+//     force enumeration is retained for cross-validation on small suites.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rep/quorum.h"
+#include "storage/stored_entry.h"
+
+namespace repdir::chaos {
+
+/// One replica's full scan, sentinels included, in key order.
+using Scan = std::vector<storage::StoredEntry>;
+
+/// Scans of a whole deployment, keyed by node id.
+using ScanMap = std::map<NodeId, Scan>;
+
+/// The committed directory contents (the oracle the run maintains).
+using Model = std::map<UserKey, Value>;
+
+/// What one replica would answer for a key by direct state inspection:
+/// the entry itself when stored, otherwise the covering gap's version with
+/// present=false (Fig. 8's per-replica reply).
+struct EffectiveState {
+  bool present = false;
+  Version version = kLowestVersion;
+  Value value;
+};
+
+/// Computes the effective state of `key` from a well-formed scan.
+EffectiveState EffectiveStateOf(const Scan& scan, const UserKey& key);
+
+/// Structural soundness of one replica scan.
+Status CheckScanWellFormed(const Scan& scan);
+
+/// CheckScanWellFormed over every replica.
+Status CheckAllWellFormed(const ScanMap& scans);
+
+/// Same key + same effective version must mean the same committed state on
+/// every pair of replicas (presence and value both).
+Status CheckVersionCoherence(const ScanMap& scans);
+
+/// Every read quorum of `config` agrees with `model` on every interesting
+/// key (keys stored on any replica plus all model keys). Exact: linear in
+/// replicas per key, no quorum enumeration.
+Status CheckQuorumAgreement(const rep::QuorumConfig& config,
+                            const ScanMap& scans, const Model& model);
+
+/// Brute-force cross-validation of CheckQuorumAgreement: enumerates every
+/// vote-sufficient replica subset. Only callable for <= 16 replicas.
+Status CheckQuorumAgreementExhaustive(const rep::QuorumConfig& config,
+                                      const ScanMap& scans,
+                                      const Model& model);
+
+/// All of the above, first failure wins.
+Status CheckAll(const rep::QuorumConfig& config, const ScanMap& scans,
+                const Model& model);
+
+}  // namespace repdir::chaos

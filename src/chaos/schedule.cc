@@ -1,0 +1,153 @@
+#include "chaos/schedule.h"
+
+#include <sstream>
+
+namespace repdir::chaos {
+
+namespace {
+
+const char* OpName(ChaosEvent::OpKind op) {
+  switch (op) {
+    case ChaosEvent::OpKind::kInsert: return "insert";
+    case ChaosEvent::OpKind::kUpdate: return "update";
+    case ChaosEvent::OpKind::kDelete: return "delete";
+    case ChaosEvent::OpKind::kLookup: return "lookup";
+    case ChaosEvent::OpKind::kNextKey: return "next";
+  }
+  return "?";
+}
+
+Result<ChaosEvent::OpKind> ParseOp(const std::string& word) {
+  if (word == "insert") return ChaosEvent::OpKind::kInsert;
+  if (word == "update") return ChaosEvent::OpKind::kUpdate;
+  if (word == "delete") return ChaosEvent::OpKind::kDelete;
+  if (word == "lookup") return ChaosEvent::OpKind::kLookup;
+  if (word == "next") return ChaosEvent::OpKind::kNextKey;
+  return Status::InvalidArgument("unknown op '" + word + "'");
+}
+
+/// Drop/dup probabilities travel as integer percent so the text form stays
+/// exact under round-trips.
+std::uint32_t ToPct(double p) {
+  return static_cast<std::uint32_t>(p * 100.0 + 0.5);
+}
+
+}  // namespace
+
+std::string ChaosEvent::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kOp:
+      out << "op " << OpName(op) << ' ' << key_index << ' ' << value_salt;
+      break;
+    case Kind::kCrash:
+      out << "crash " << a;
+      if (torn) out << " torn " << torn_keep;
+      break;
+    case Kind::kRecover: out << "recover " << a; break;
+    case Kind::kPartition: out << "cut " << a << ' ' << b; break;
+    case Kind::kPartitionOneWay: out << "cut1 " << a << ' ' << b; break;
+    case Kind::kHeal: out << "heal " << a << ' ' << b; break;
+    case Kind::kHealAll: out << "healall"; break;
+    case Kind::kSetLink:
+      out << "link " << a << ' ' << b << ' ' << link.base_latency << ' '
+          << link.jitter << ' ' << ToPct(link.drop_probability) << ' '
+          << ToPct(link.duplicate_probability);
+      break;
+    case Kind::kCheckpoint: out << "ckpt " << a; break;
+  }
+  return out.str();
+}
+
+Result<ChaosEvent> ChaosEvent::Parse(const std::string& line) {
+  std::istringstream in(line);
+  std::string word;
+  if (!(in >> word)) return Status::InvalidArgument("empty event");
+
+  ChaosEvent e;
+  const auto want = [&](auto& field) -> Status {
+    if (!(in >> field)) {
+      return Status::InvalidArgument("truncated event: '" + line + "'");
+    }
+    return Status::Ok();
+  };
+
+  if (word == "op") {
+    e.kind = Kind::kOp;
+    std::string opword;
+    REPDIR_RETURN_IF_ERROR(want(opword));
+    REPDIR_ASSIGN_OR_RETURN(e.op, ParseOp(opword));
+    REPDIR_RETURN_IF_ERROR(want(e.key_index));
+    REPDIR_RETURN_IF_ERROR(want(e.value_salt));
+  } else if (word == "crash") {
+    e.kind = Kind::kCrash;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+    std::string torn_word;
+    if (in >> torn_word) {
+      if (torn_word != "torn") {
+        return Status::InvalidArgument("bad crash suffix: '" + line + "'");
+      }
+      e.torn = true;
+      REPDIR_RETURN_IF_ERROR(want(e.torn_keep));
+    }
+  } else if (word == "recover") {
+    e.kind = Kind::kRecover;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+  } else if (word == "cut") {
+    e.kind = Kind::kPartition;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+    REPDIR_RETURN_IF_ERROR(want(e.b));
+  } else if (word == "cut1") {
+    e.kind = Kind::kPartitionOneWay;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+    REPDIR_RETURN_IF_ERROR(want(e.b));
+  } else if (word == "heal") {
+    e.kind = Kind::kHeal;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+    REPDIR_RETURN_IF_ERROR(want(e.b));
+  } else if (word == "healall") {
+    e.kind = Kind::kHealAll;
+  } else if (word == "link") {
+    e.kind = Kind::kSetLink;
+    std::uint32_t drop_pct = 0;
+    std::uint32_t dup_pct = 0;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+    REPDIR_RETURN_IF_ERROR(want(e.b));
+    REPDIR_RETURN_IF_ERROR(want(e.link.base_latency));
+    REPDIR_RETURN_IF_ERROR(want(e.link.jitter));
+    REPDIR_RETURN_IF_ERROR(want(drop_pct));
+    REPDIR_RETURN_IF_ERROR(want(dup_pct));
+    e.link.drop_probability = drop_pct / 100.0;
+    e.link.duplicate_probability = dup_pct / 100.0;
+  } else if (word == "ckpt") {
+    e.kind = Kind::kCheckpoint;
+    REPDIR_RETURN_IF_ERROR(want(e.a));
+  } else {
+    return Status::InvalidArgument("unknown event '" + word + "'");
+  }
+  return e;
+}
+
+std::string ScheduleToString(const Schedule& schedule) {
+  std::string out;
+  for (const auto& e : schedule) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Schedule> ParseSchedule(const std::string& text) {
+  Schedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    REPDIR_ASSIGN_OR_RETURN(ChaosEvent e, ChaosEvent::Parse(line));
+    schedule.push_back(std::move(e));
+  }
+  return schedule;
+}
+
+}  // namespace repdir::chaos

@@ -1,0 +1,84 @@
+// Chaos schedules: explicit, replayable sequences of fault and workload
+// events for a simulated deployment.
+//
+// A schedule is data, not code: the campaign generator derives one
+// deterministically from (scenario, seed), the executor replays it
+// mechanically, the shrinker deletes events from it, and the text form
+// round-trips so a failing schedule printed by the campaign CLI can be
+// replayed verbatim with --replay.
+//
+// Text form: one event per line.
+//   op <insert|update|delete|lookup|next> <key_index> <value_salt>
+//   crash <node>               crash, losing the unflushed WAL tail
+//   crash <node> torn <bytes>  ...with <bytes> of the tail torn onto disk
+//   recover <node>             restart, replay WAL, resolve in-doubt
+//   cut <a> <b>                symmetric partition between a and b
+//   cut1 <from> <to>           one-way partition (from -> to drops only)
+//   heal <a> <b>               heal both directions between a and b
+//   healall                    heal every partition
+//   link <from> <to> <latency_us> <jitter_us> <drop_pct> <dup_pct>
+//   ckpt <node>                write a WAL checkpoint on the node
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/network_model.h"
+
+namespace repdir::chaos {
+
+struct ChaosEvent {
+  enum class Kind : std::uint8_t {
+    kOp,
+    kCrash,
+    kRecover,
+    kPartition,
+    kPartitionOneWay,
+    kHeal,
+    kHealAll,
+    kSetLink,
+    kCheckpoint,
+  };
+  enum class OpKind : std::uint8_t {
+    kInsert,
+    kUpdate,
+    kDelete,
+    kLookup,
+    kNextKey,
+  };
+
+  Kind kind = Kind::kOp;
+
+  // kOp: which directory operation against which key. The key is an index
+  // into the scenario's key space; the value written is derived from
+  // value_salt, so replays produce byte-identical directories.
+  OpKind op = OpKind::kLookup;
+  std::uint32_t key_index = 0;
+  std::uint32_t value_salt = 0;
+
+  // kCrash/kRecover/kCheckpoint: a. kPartition/kHeal/kSetLink: a and b.
+  NodeId a = 0;
+  NodeId b = 0;
+
+  // kCrash: torn-tail variant.
+  bool torn = false;
+  std::uint32_t torn_keep = 0;
+
+  // kSetLink: drop/duplicate/latency override for the a -> b direction.
+  sim::LinkSpec link;
+
+  std::string ToString() const;
+  static Result<ChaosEvent> Parse(const std::string& line);
+};
+
+using Schedule = std::vector<ChaosEvent>;
+
+/// One event per line, blank line terminated.
+std::string ScheduleToString(const Schedule& schedule);
+
+/// Inverse of ScheduleToString; skips blank lines and '#' comments.
+Result<Schedule> ParseSchedule(const std::string& text);
+
+}  // namespace repdir::chaos

@@ -6,7 +6,14 @@ DirRepNode::DirRepNode(NodeId id, DirRepNodeOptions options)
     : id_(id), options_(options), server_(id) {
   storage_ = MakeBackend();
   if (options_.enable_wal) {
-    log_device_ = std::make_unique<storage::MemLogDevice>();
+    if (options_.wal_path.empty()) {
+      auto mem = std::make_unique<storage::MemLogDevice>();
+      mem_log_ = mem.get();
+      log_device_ = std::move(mem);
+    } else {
+      log_device_ =
+          std::make_unique<storage::FileLogDevice>(options_.wal_path);
+    }
     wal_ = std::make_unique<storage::WalWriter>(*log_device_,
                                                 options_.participant.metrics);
   }
@@ -23,10 +30,17 @@ std::unique_ptr<storage::RepStorage> DirRepNode::MakeBackend() const {
 }
 
 void DirRepNode::Crash() {
-  if (log_device_ != nullptr) log_device_->Crash();
+  if (mem_log_ != nullptr) mem_log_->Crash();
   storage_->Clear();
   // The participant's transaction table and lock table are volatile: a
   // fresh participant models the post-crash process.
+  participant_ = std::make_unique<txn::TxnParticipant>(
+      *storage_, options_.detector, wal_.get(), options_.participant);
+}
+
+void DirRepNode::CrashTorn(std::size_t keep_bytes) {
+  if (mem_log_ != nullptr) mem_log_->CrashTorn(keep_bytes);
+  storage_->Clear();
   participant_ = std::make_unique<txn::TxnParticipant>(
       *storage_, options_.detector, wal_.get(), options_.participant);
 }
@@ -35,7 +49,19 @@ Result<storage::RecoveryOutcome> DirRepNode::Recover() {
   if (log_device_ == nullptr) {
     return Status::FailedPrecondition("recovery requires a WAL");
   }
-  REPDIR_ASSIGN_OR_RETURN(const auto log, storage::ReadLog(*log_device_));
+  REPDIR_ASSIGN_OR_RETURN(const std::string bytes,
+                          log_device_->ReadDurable());
+  std::size_t valid_bytes = 0;
+  REPDIR_ASSIGN_OR_RETURN(const auto log,
+                          storage::ParseLog(bytes, &valid_bytes));
+  if (valid_bytes < bytes.size()) {
+    // The log ends in the torn tail of the previous crash. Cut it off
+    // atomically before the writer appends again: records appended behind
+    // a tear parse as garbage, so the *next* recovery would silently
+    // discard them - committed transactions included.
+    REPDIR_RETURN_IF_ERROR(log_device_->Rewrite(
+        std::string_view(bytes).substr(0, valid_bytes)));
+  }
   return storage::RecoverRepresentative(*storage_, log);
 }
 

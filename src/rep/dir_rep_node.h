@@ -30,6 +30,12 @@ struct DirRepNodeOptions {
   /// statistical benches run without it, durability tests with it).
   bool enable_wal = false;
 
+  /// Non-empty: back the WAL with a real file at this path instead of the
+  /// in-memory simulated disk. The node then survives the death of its own
+  /// process - the multi-process chaos cluster runs this way, SIGKILLing
+  /// nodes and recovering them from the surviving file.
+  std::string wal_path;
+
   /// Lock discipline for the participant.
   txn::ParticipantOptions participant;
 
@@ -47,12 +53,21 @@ class DirRepNode {
   storage::RepStorage& storage() { return *storage_; }
   const storage::RepStorage& storage() const { return *storage_; }
 
-  /// The simulated log medium; null when WAL is disabled.
-  storage::MemLogDevice* log_device() { return log_device_.get(); }
+  /// The simulated log medium; null when WAL is disabled or file-backed.
+  storage::MemLogDevice* log_device() { return mem_log_; }
+
+  /// The log medium regardless of backing; null when WAL is disabled.
+  storage::LogDevice* raw_log_device() { return log_device_.get(); }
 
   /// Simulated crash: volatile state gone, unflushed log bytes lost.
   /// (Callers should also mark the node down in the network model.)
+  /// Requires the in-memory log medium (a file-backed node crashes by
+  /// dying for real).
   void Crash();
+
+  /// Crash with a torn tail: the first `keep_bytes` of the unflushed log
+  /// tail reach the medium before the power fails.
+  void CrashTorn(std::size_t keep_bytes);
 
   /// Rebuilds state from the durable log. Requires WAL.
   Result<storage::RecoveryOutcome> Recover();
@@ -67,7 +82,8 @@ class DirRepNode {
   NodeId id_;
   DirRepNodeOptions options_;
   std::unique_ptr<storage::RepStorage> storage_;
-  std::unique_ptr<storage::MemLogDevice> log_device_;
+  std::unique_ptr<storage::LogDevice> log_device_;
+  storage::MemLogDevice* mem_log_ = nullptr;  ///< log_device_ when in-memory.
   std::unique_ptr<storage::WalWriter> wal_;
   std::unique_ptr<txn::TxnParticipant> participant_;
   net::RpcServer server_;

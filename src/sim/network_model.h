@@ -2,7 +2,9 @@
 //
 // Decides, per message, whether delivery succeeds and how long it takes:
 //   * per-node up/down state (crashed nodes receive nothing),
-//   * symmetric partitions between node groups,
+//   * partitions between nodes - symmetric or one-way (an asymmetric cut
+//     drops A->B traffic while B->A still delivers, the classic half-open
+//     link that quorum intersection must survive),
 //   * per-message drop probability,
 //   * latency = base + uniform jitter, with an optional per-link override
 //     (used by the Figure 16 locality experiment to make some
@@ -52,10 +54,26 @@ class NetworkModel {
 
   /// Cuts all traffic between `a` and `b` (both directions).
   void Partition(NodeId a, NodeId b) {
-    partitions_.insert(Canonical(a, b));
+    cuts_.insert({a, b});
+    cuts_.insert({b, a});
   }
-  void Heal(NodeId a, NodeId b) { partitions_.erase(Canonical(a, b)); }
-  void HealAll() { partitions_.clear(); }
+
+  /// Cuts only `from` -> `to` traffic; the reverse direction still
+  /// delivers. Requests die on an A->B cut; on a B->A cut the request is
+  /// delivered (and executed!) but the reply is lost.
+  void PartitionOneWay(NodeId from, NodeId to) { cuts_.insert({from, to}); }
+
+  /// Restores both directions between `a` and `b`.
+  void Heal(NodeId a, NodeId b) {
+    cuts_.erase({a, b});
+    cuts_.erase({b, a});
+  }
+  void HealOneWay(NodeId from, NodeId to) { cuts_.erase({from, to}); }
+  void HealAll() { cuts_.clear(); }
+
+  bool IsCut(NodeId from, NodeId to) const {
+    return cuts_.contains({from, to});
+  }
 
   /// Returns the one-way delivery delay, or kUnavailable if the message is
   /// lost (destination down, link partitioned, or randomly dropped).
@@ -66,7 +84,7 @@ class NetworkModel {
     if (down_.contains(from)) {
       return Status::Unavailable("source node down");
     }
-    if (partitions_.contains(Canonical(from, to))) {
+    if (cuts_.contains({from, to})) {
       return Status::Unavailable("link partitioned");
     }
     const LinkSpec& spec = SpecFor(from, to);
@@ -92,15 +110,11 @@ class NetworkModel {
   }
 
  private:
-  static std::pair<NodeId, NodeId> Canonical(NodeId a, NodeId b) {
-    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-  }
-
   Rng rng_;
   LinkSpec default_link_;
   std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
   std::set<NodeId> down_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::set<std::pair<NodeId, NodeId>> cuts_;  ///< Directed (from, to) cuts.
 };
 
 }  // namespace repdir::sim

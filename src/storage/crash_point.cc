@@ -1,0 +1,88 @@
+#include "storage/crash_point.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace repdir::storage {
+
+CrashPoints& CrashPoints::Instance() {
+  static CrashPoints instance;
+  return instance;
+}
+
+void CrashPoints::Arm(const std::string& point,
+                      std::uint64_t hits_until_fire) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (hits_until_fire == 0) hits_until_fire = 1;
+  if (!pending_.contains(point)) {
+    armed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending_[point] = hits_until_fire;
+}
+
+void CrashPoints::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pending_.erase(point) > 0) {
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void CrashPoints::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_.store(0, std::memory_order_relaxed);
+  pending_.clear();
+  hits_.clear();
+  handler_ = nullptr;
+}
+
+void CrashPoints::SetHandler(Handler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  handler_ = std::move(handler);
+}
+
+void CrashPoints::ArmFromEnv() {
+  const char* env = std::getenv("REPDIR_CRASH_POINT");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  std::uint64_t count = 1;
+  if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+    count = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    spec.resize(colon);
+  }
+  Arm(spec, count);
+}
+
+void CrashPoints::Hit(const char* point) {
+  Handler fire;
+  std::string name(point);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++hits_[name];
+    const auto it = pending_.find(name);
+    if (it == pending_.end()) return;
+    if (--it->second > 0) return;
+    pending_.erase(it);
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+    fire = handler_ ? handler_ : Handler(&CrashPoints::KillProcess);
+  }
+  // Outside the lock: the handler may re-enter (or never return).
+  fire(name);
+}
+
+std::uint64_t CrashPoints::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void CrashPoints::KillProcess(const std::string& point) {
+  // stderr is line-buffered and the message is diagnostic only; the data
+  // files deliberately keep whatever durability Flush() gave them - a
+  // SIGKILL loses unflushed stdio buffers exactly like a real `kill -9`.
+  std::fprintf(stderr, "crash point fired: %s\n", point.c_str());
+  std::raise(SIGKILL);
+  std::abort();  // unreachable (SIGKILL cannot be handled)
+}
+
+}  // namespace repdir::storage

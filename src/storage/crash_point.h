@@ -1,0 +1,86 @@
+// Named crash points compiled into the WAL and recovery code paths.
+//
+// A crash point marks an instant where a process death is interesting:
+// between the two halves of a log append (torn frame), before a flush
+// (unflushed tail lost), after a durable PREPARE but before the decision
+// (in-doubt on recovery), in the middle of a checkpoint rewrite. Production
+// code calls REPDIR_CRASH_POINT("name"); the macro is a single relaxed
+// atomic load while nothing is armed, so the instrumentation is free in
+// normal runs.
+//
+// Two consumers:
+//   * In-process tests arm a point with a custom handler (e.g. flush the
+//     partial frame then mark the device crashed) to reproduce torn-tail /
+//     mid-flush / mid-checkpoint states deterministically.
+//   * The multi-process chaos cluster arms a point via the
+//     REPDIR_CRASH_POINT environment variable ("name:count"); the default
+//     handler raise(SIGKILL)s the process, so the node dies exactly as a
+//     `kill -9` would - unflushed stdio buffers and all - at a precise
+//     protocol instant (the txlib crash() testing idiom).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace repdir::storage {
+
+class CrashPoints {
+ public:
+  /// Invoked when an armed point fires; receives the point name.
+  using Handler = std::function<void(const std::string& point)>;
+
+  /// Process-wide instance (crash points are inherently per-process).
+  static CrashPoints& Instance();
+
+  /// Fires `point` on its `hits_until_fire`-th upcoming hit (1 = next).
+  void Arm(const std::string& point, std::uint64_t hits_until_fire = 1);
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and restores the default handler.
+  void Reset();
+
+  /// Replaces the fire handler (tests). Null restores the default, which
+  /// raises SIGKILL so the process dies mid-protocol like a `kill -9`.
+  void SetHandler(Handler handler);
+
+  /// Arms from the REPDIR_CRASH_POINT environment variable, format
+  /// "name" or "name:count". Used by the chaos cluster node binary.
+  void ArmFromEnv();
+
+  /// True while any point is armed (fast path for the macro).
+  bool armed() const { return armed_.load(std::memory_order_relaxed) > 0; }
+
+  /// Called by instrumented code (via the macro) - counts down the armed
+  /// point and runs the handler when it reaches zero.
+  void Hit(const char* point);
+
+  /// Total observed hits of `point` since the last Reset, counted only
+  /// while any point is armed (diagnostics for tests).
+  std::uint64_t HitCount(const std::string& point) const;
+
+ private:
+  CrashPoints() = default;
+
+  static void KillProcess(const std::string& point);
+
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> armed_{0};
+  std::map<std::string, std::uint64_t> pending_;  ///< point -> hits left.
+  std::map<std::string, std::uint64_t> hits_;
+  Handler handler_;
+};
+
+}  // namespace repdir::storage
+
+/// Zero-cost when nothing is armed; never reorders around the protected
+/// operations (the armed check is advisory, the handler runs under a lock).
+#define REPDIR_CRASH_POINT(name)                                   \
+  do {                                                             \
+    if (::repdir::storage::CrashPoints::Instance().armed()) {      \
+      ::repdir::storage::CrashPoints::Instance().Hit(name);        \
+    }                                                              \
+  } while (0)

@@ -57,4 +57,29 @@ Status FileLogDevice::Truncate() {
   return Status::Ok();
 }
 
+Status FileLogDevice::Rewrite(std::string_view bytes) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open temp log file " + tmp);
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("short write to temp log file " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename temp log over " + path_);
+  }
+  return Status::Ok();
+}
+
 }  // namespace repdir::storage

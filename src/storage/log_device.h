@@ -30,6 +30,12 @@ class LogDevice {
 
   /// Discards the entire log (after a checkpoint has superseded it).
   virtual Status Truncate() = 0;
+
+  /// Atomically replaces the durable contents with `bytes` - afterwards a
+  /// crash sees either the old log or the new one, never a prefix of the
+  /// new one. Checkpointing relies on this: truncate-then-append would
+  /// leave an empty (data-losing) log in its crash window.
+  virtual Status Rewrite(std::string_view bytes) = 0;
 };
 
 class MemLogDevice final : public LogDevice {
@@ -54,6 +60,12 @@ class MemLogDevice final : public LogDevice {
     return Status::Ok();
   }
 
+  Status Rewrite(std::string_view bytes) override {
+    durable_.assign(bytes);
+    pending_.clear();
+    return Status::Ok();
+  }
+
   /// Simulated power failure: unflushed bytes vanish.
   void Crash() { pending_.clear(); }
 
@@ -74,8 +86,11 @@ class MemLogDevice final : public LogDevice {
   std::uint64_t flush_count_ = 0;
 };
 
-/// Real-file log for the examples (append mode; ReadDurable re-reads the
-/// file). Not crash-simulating.
+/// Real-file log for the examples and the multi-process chaos cluster
+/// (append mode; ReadDurable re-reads the file). Durability boundary is the
+/// process: Flush() pushes bytes into the OS page cache, so they survive a
+/// SIGKILL of the process; unflushed bytes sit in the stdio buffer and die
+/// with it - exactly the Crash() semantics MemLogDevice simulates.
 class FileLogDevice final : public LogDevice {
  public:
   explicit FileLogDevice(std::string path) : path_(std::move(path)) {}
@@ -85,6 +100,9 @@ class FileLogDevice final : public LogDevice {
   Status Flush() override;
   Result<std::string> ReadDurable() const override;
   Status Truncate() override;
+
+  /// Write-temp-then-rename: atomic on POSIX filesystems.
+  Status Rewrite(std::string_view bytes) override;
 
  private:
   Status EnsureOpen();

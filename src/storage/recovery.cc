@@ -1,5 +1,7 @@
 #include "storage/recovery.h"
 
+#include "storage/crash_point.h"
+
 namespace repdir::storage {
 
 namespace {
@@ -93,6 +95,9 @@ Status ResolveInDoubt(RepStorage& stg, const std::vector<WalRecord>& log,
       REPDIR_RETURN_IF_ERROR(RedoOp(core, op));
     }
   }
+  // A death here re-surfaces the transaction as in-doubt on the next
+  // recovery: resolution is idempotent and must be repeatable.
+  REPDIR_CRASH_POINT("recovery.before_resolve_decision");
   return writer.AppendDecision(
       commit ? WalRecordType::kCommit : WalRecordType::kAbort, txn);
 }

@@ -1,5 +1,7 @@
 #include "storage/wal.h"
 
+#include "storage/crash_point.h"
+
 namespace repdir::storage {
 
 void WalOp::Encode(ByteWriter& w) const {
@@ -54,9 +56,26 @@ Status WalWriter::Append(const WalRecord& record) {
   const auto bytes = frame.Take();
   appends_->Increment();
   append_bytes_->Increment(bytes.size());
-  return device_->Append(
-      std::string_view(reinterpret_cast<const char*>(bytes.data()),
-                       bytes.size()));
+  const std::string_view view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  if (CrashPoints::Instance().armed()) {
+    // Append the frame in two halves so "wal.mid_append" can die with a
+    // torn frame on the medium (handlers decide what reaches durability).
+    const std::size_t half = view.size() / 2;
+    REPDIR_RETURN_IF_ERROR(device_->Append(view.substr(0, half)));
+    REPDIR_CRASH_POINT("wal.mid_append");
+    return device_->Append(view.substr(half));
+  }
+  return device_->Append(view);
+}
+
+Status WalWriter::Flush() {
+  // A death here loses every byte appended since the previous flush.
+  REPDIR_CRASH_POINT("wal.before_flush");
+  flushes_->Increment();
+  REPDIR_RETURN_IF_ERROR(device_->Flush());
+  REPDIR_CRASH_POINT("wal.after_flush");
+  return Status::Ok();
 }
 
 Status WalWriter::AppendOp(TxnId txn, const WalOp& op) {
@@ -74,25 +93,66 @@ Status WalWriter::AppendDecision(WalRecordType type, TxnId txn) {
   rec.type = type;
   rec.txn = txn;
   REPDIR_RETURN_IF_ERROR(Append(rec));
-  return Flush();
+  switch (type) {
+    case WalRecordType::kPrepare:
+      REPDIR_CRASH_POINT("wal.before_prepare_flush");
+      break;
+    case WalRecordType::kCommit:
+      REPDIR_CRASH_POINT("wal.before_commit_flush");
+      break;
+    default:
+      break;
+  }
+  REPDIR_RETURN_IF_ERROR(Flush());
+  switch (type) {
+    case WalRecordType::kPrepare:
+      // The participant's promise is durable but no decision is - a death
+      // here surfaces the transaction as in-doubt on recovery.
+      REPDIR_CRASH_POINT("wal.after_prepare_flush");
+      break;
+    case WalRecordType::kCommit:
+      REPDIR_CRASH_POINT("wal.after_commit_flush");
+      break;
+    default:
+      break;
+  }
+  return Status::Ok();
 }
 
 Status WalWriter::WriteCheckpoint(const std::vector<StoredEntry>& snapshot) {
-  // The checkpoint supersedes all prior history: rewrite the log so it
-  // contains only the checkpoint record.
-  REPDIR_RETURN_IF_ERROR(device_->Truncate());
+  // The checkpoint supersedes all prior history. The swap must be atomic:
+  // truncate-then-append would leave an empty log - total data loss - if
+  // the process died between the two, so the whole new log (exactly one
+  // checkpoint record) is installed with a single Rewrite.
   WalRecord rec;
   rec.type = WalRecordType::kCheckpoint;
   rec.body = EncodeSnapshot(snapshot);
   checkpoints_->Increment();
   checkpoint_bytes_->Increment(rec.body.size());
-  REPDIR_RETURN_IF_ERROR(Append(rec));
-  return Flush();
+
+  ByteWriter payload;
+  rec.Encode(payload);
+  ByteWriter frame;
+  frame.PutU32(static_cast<std::uint32_t>(payload.size()));
+  frame.PutU32(Crc32c(payload.data().data(), payload.size()));
+  frame.PutRaw(payload.data().data(), payload.size());
+  const auto bytes = frame.Take();
+  appends_->Increment();
+  append_bytes_->Increment(bytes.size());
+
+  REPDIR_CRASH_POINT("wal.mid_checkpoint");
+  REPDIR_RETURN_IF_ERROR(device_->Rewrite(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size())));
+  flushes_->Increment();
+  REPDIR_CRASH_POINT("wal.after_checkpoint");
+  return Status::Ok();
 }
 
-Result<std::vector<WalRecord>> ReadLog(const LogDevice& device) {
-  REPDIR_ASSIGN_OR_RETURN(const std::string bytes, device.ReadDurable());
+Result<std::vector<WalRecord>> ParseLog(std::string_view bytes,
+                                        std::size_t* valid_bytes) {
   std::vector<WalRecord> records;
+  std::size_t valid = 0;
   ByteReader r(bytes);
   while (!r.AtEnd()) {
     std::uint32_t length = 0;
@@ -108,8 +168,15 @@ Result<std::vector<WalRecord>> ReadLog(const LogDevice& device) {
     if (!rec.Decode(payload_view).ok() || !payload_view.AtEnd()) break;
     records.push_back(std::move(rec));
     REPDIR_RETURN_IF_ERROR(r.Skip(length));
+    valid = bytes.size() - r.remaining();
   }
+  if (valid_bytes != nullptr) *valid_bytes = valid;
   return records;
+}
+
+Result<std::vector<WalRecord>> ReadLog(const LogDevice& device) {
+  REPDIR_ASSIGN_OR_RETURN(const std::string bytes, device.ReadDurable());
+  return ParseLog(bytes);
 }
 
 std::string EncodeSnapshot(const std::vector<StoredEntry>& snapshot) {

@@ -92,10 +92,7 @@ class WalWriter {
   /// Buffers one framed record (durable only after Flush()).
   Status Append(const WalRecord& record);
 
-  Status Flush() {
-    flushes_->Increment();
-    return device_->Flush();
-  }
+  Status Flush();
 
   /// Convenience: op record for `txn`.
   Status AppendOp(TxnId txn, const WalOp& op);
@@ -117,9 +114,17 @@ class WalWriter {
   Counter* checkpoint_bytes_;
 };
 
-/// Parses the durable contents of a log device. A torn or corrupt tail
-/// frame ends the log silently; corruption *before* the end is impossible
-/// to distinguish from a tear and is likewise treated as the end.
+/// Parses framed records from raw log bytes. A torn or corrupt tail frame
+/// ends the log silently; corruption *before* the end is impossible to
+/// distinguish from a tear and is likewise treated as the end. If
+/// `valid_bytes` is non-null it receives the length of the parseable
+/// prefix - recovery must truncate the device to it before appending again,
+/// or every later record hides behind the old tear and is lost at the
+/// *next* recovery.
+Result<std::vector<WalRecord>> ParseLog(std::string_view bytes,
+                                        std::size_t* valid_bytes = nullptr);
+
+/// Parses the durable contents of a log device.
 Result<std::vector<WalRecord>> ReadLog(const LogDevice& device);
 
 /// Encodes / decodes a checkpoint body (a full snapshot in key order).

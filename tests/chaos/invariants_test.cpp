@@ -1,0 +1,234 @@
+// Unit tests for the scan-based invariant checkers, including the exact
+// quorum-agreement criterion cross-validated against brute-force quorum
+// enumeration on randomized deployments.
+#include "chaos/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rep/quorum.h"
+
+namespace repdir::chaos {
+namespace {
+
+using rep::QuorumConfig;
+using rep::Replica;
+using storage::RepKey;
+using storage::StoredEntry;
+
+struct Row {
+  UserKey key;
+  Version version;
+  Value value;
+  Version gap_after;
+};
+
+/// A well-formed scan: LOW (with the leading gap version), rows in key
+/// order, HIGH.
+Scan MakeScan(Version low_gap, const std::vector<Row>& rows) {
+  Scan scan;
+  scan.push_back({RepKey::Low(), 0, "", low_gap});
+  for (const auto& r : rows) {
+    scan.push_back({RepKey::User(r.key), r.version, r.value, r.gap_after});
+  }
+  scan.push_back({RepKey::High(), 0, "", 0});
+  return scan;
+}
+
+QuorumConfig Uniform3() {
+  return QuorumConfig({{1, 1}, {2, 1}, {3, 1}}, 2, 2);
+}
+
+TEST(EffectiveState, EntryWinsGapCovers) {
+  const Scan scan = MakeScan(1, {{"b", 5, "vb", 7}, {"d", 3, "vd", 2}});
+
+  const EffectiveState at_b = EffectiveStateOf(scan, "b");
+  EXPECT_TRUE(at_b.present);
+  EXPECT_EQ(at_b.version, 5u);
+  EXPECT_EQ(at_b.value, "vb");
+
+  // "c" falls in the gap after "b".
+  const EffectiveState at_c = EffectiveStateOf(scan, "c");
+  EXPECT_FALSE(at_c.present);
+  EXPECT_EQ(at_c.version, 7u);
+
+  // "a" falls in LOW's leading gap.
+  const EffectiveState at_a = EffectiveStateOf(scan, "a");
+  EXPECT_FALSE(at_a.present);
+  EXPECT_EQ(at_a.version, 1u);
+
+  // "z" falls in the gap after the last entry.
+  const EffectiveState at_z = EffectiveStateOf(scan, "z");
+  EXPECT_FALSE(at_z.present);
+  EXPECT_EQ(at_z.version, 2u);
+}
+
+TEST(WellFormed, AcceptsGoodRejectsBad) {
+  EXPECT_TRUE(CheckScanWellFormed(MakeScan(0, {{"a", 1, "x", 0}})).ok());
+  EXPECT_TRUE(CheckScanWellFormed(MakeScan(0, {})).ok());
+
+  Scan missing_low = MakeScan(0, {{"a", 1, "x", 0}});
+  missing_low.erase(missing_low.begin());
+  EXPECT_FALSE(CheckScanWellFormed(missing_low).ok());
+
+  Scan unsorted = MakeScan(0, {{"b", 1, "x", 0}, {"a", 1, "y", 0}});
+  EXPECT_FALSE(CheckScanWellFormed(unsorted).ok());
+
+  Scan dup = MakeScan(0, {{"a", 1, "x", 0}, {"a", 2, "y", 0}});
+  EXPECT_FALSE(CheckScanWellFormed(dup).ok());
+}
+
+TEST(VersionCoherence, FlagsSameVersionDisagreement) {
+  ScanMap agree;
+  agree[1] = MakeScan(0, {{"a", 2, "x", 0}});
+  agree[2] = MakeScan(0, {{"a", 2, "x", 0}});
+  agree[3] = MakeScan(0, {});  // stale: absent at gap version 0
+  EXPECT_TRUE(CheckVersionCoherence(agree).ok());
+
+  ScanMap value_clash = agree;
+  value_clash[2] = MakeScan(0, {{"a", 2, "y", 0}});
+  EXPECT_FALSE(CheckVersionCoherence(value_clash).ok());
+
+  // Entry at version 2 on one replica, covering gap version 2 on another:
+  // per-key version spaces forbid a present/absent tie.
+  ScanMap presence_clash = agree;
+  presence_clash[3] = MakeScan(2, {});
+  EXPECT_FALSE(CheckVersionCoherence(presence_clash).ok());
+}
+
+TEST(QuorumAgreement, FreshMajorityMasksOneStaleReplica) {
+  // Replicas 1 and 2 carry the current entry; 3 is stale (missed the
+  // write). Any R=2 quorum includes a fresh replica, whose higher version
+  // wins: no violation.
+  ScanMap scans;
+  scans[1] = MakeScan(0, {{"a", 2, "new", 0}});
+  scans[2] = MakeScan(0, {{"a", 2, "new", 0}});
+  scans[3] = MakeScan(0, {{"a", 1, "old", 0}});
+  const Model model = {{"a", "new"}};
+  EXPECT_TRUE(CheckQuorumAgreement(Uniform3(), scans, model).ok());
+  EXPECT_TRUE(CheckQuorumAgreementExhaustive(Uniform3(), scans, model).ok());
+}
+
+TEST(QuorumAgreement, TwoStaleReplicasFormABadQuorum) {
+  ScanMap scans;
+  scans[1] = MakeScan(0, {{"a", 2, "new", 0}});
+  scans[2] = MakeScan(0, {{"a", 1, "old", 0}});
+  scans[3] = MakeScan(0, {{"a", 1, "old", 0}});
+  const Model model = {{"a", "new"}};
+  // Quorum {2, 3} musters R=2 votes and answers "old".
+  EXPECT_FALSE(CheckQuorumAgreement(Uniform3(), scans, model).ok());
+  EXPECT_FALSE(CheckQuorumAgreementExhaustive(Uniform3(), scans, model).ok());
+}
+
+TEST(QuorumAgreement, GhostEntryReachableByQuorumIsViolation) {
+  // The model deleted "a" but two replicas still carry it at the highest
+  // version they ever saw - a ghost that can win a read quorum.
+  ScanMap scans;
+  scans[1] = MakeScan(0, {});
+  scans[1][0].gap_after = 3;  // delete committed here: gap version 3
+  scans[2] = MakeScan(0, {{"a", 2, "ghost", 0}});
+  scans[3] = MakeScan(0, {{"a", 2, "ghost", 0}});
+  const Model model = {};
+  EXPECT_FALSE(CheckQuorumAgreement(Uniform3(), scans, model).ok());
+  EXPECT_FALSE(CheckQuorumAgreementExhaustive(Uniform3(), scans, model).ok());
+}
+
+TEST(QuorumAgreement, WeightedVotesDecideReachability) {
+  // Votes 2-1-1, R=2: the stale one-vote pair {2, 3} reaches R, so a stale
+  // answer is reachable. With R=3 it no longer is.
+  ScanMap scans;
+  scans[1] = MakeScan(0, {{"a", 2, "new", 0}});
+  scans[2] = MakeScan(0, {{"a", 1, "old", 0}});
+  scans[3] = MakeScan(0, {{"a", 1, "old", 0}});
+  const Model model = {{"a", "new"}};
+
+  const QuorumConfig loose({{1, 2}, {2, 1}, {3, 1}}, 2, 3);
+  EXPECT_FALSE(CheckQuorumAgreement(loose, scans, model).ok());
+  EXPECT_FALSE(CheckQuorumAgreementExhaustive(loose, scans, model).ok());
+
+  const QuorumConfig tight({{1, 2}, {2, 1}, {3, 1}}, 3, 2);
+  EXPECT_TRUE(CheckQuorumAgreement(tight, scans, model).ok());
+  EXPECT_TRUE(CheckQuorumAgreementExhaustive(tight, scans, model).ok());
+}
+
+TEST(QuorumAgreement, WeakReplicaNeverMakesAQuorumBad) {
+  // A zero-vote weak replica may sit in any quorum but adds no votes: its
+  // stale state alone cannot reach R.
+  const QuorumConfig config({{1, 1}, {2, 1}, {3, 0}}, 2, 2);
+  ScanMap scans;
+  scans[1] = MakeScan(0, {{"a", 2, "new", 0}});
+  scans[2] = MakeScan(0, {{"a", 2, "new", 0}});
+  scans[3] = MakeScan(0, {{"a", 1, "old", 0}});
+  const Model model = {{"a", "new"}};
+  EXPECT_TRUE(CheckQuorumAgreement(config, scans, model).ok());
+  EXPECT_TRUE(CheckQuorumAgreementExhaustive(config, scans, model).ok());
+}
+
+TEST(QuorumAgreement, AmbiguousTieInsideQuorumIsViolation) {
+  // Same version, different values: whichever member answers first, a
+  // quorum containing both has no well-defined winner.
+  ScanMap scans;
+  scans[1] = MakeScan(0, {{"a", 2, "x", 0}});
+  scans[2] = MakeScan(0, {{"a", 2, "y", 0}});
+  scans[3] = MakeScan(0, {{"a", 2, "x", 0}});
+  const Model model = {{"a", "x"}};
+  EXPECT_FALSE(CheckQuorumAgreement(Uniform3(), scans, model).ok());
+  EXPECT_FALSE(CheckQuorumAgreementExhaustive(Uniform3(), scans, model).ok());
+}
+
+TEST(QuorumAgreement, ExactMatchesExhaustiveOnRandomDeployments) {
+  // Differential test: the exact O(n)-per-key criterion must agree with
+  // brute-force enumeration of every vote-sufficient subset, across random
+  // topologies, scans, and models.
+  Rng rng(2024);
+  const std::vector<UserKey> keys = {"a", "b", "c"};
+  const std::vector<Value> values = {"x", "y"};
+  int violations = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 2 + rng.Below(4);  // 2..5 replicas
+    std::vector<Replica> replicas;
+    Votes total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Votes v = static_cast<Votes>(rng.Below(3));  // 0..2 (weak ok)
+      replicas.push_back({static_cast<NodeId>(i + 1), v});
+      total += v;
+    }
+    if (total == 0) continue;
+    const Votes r = static_cast<Votes>(1 + rng.Below(total));
+    const QuorumConfig config(replicas, r, total);
+
+    ScanMap scans;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<Row> rows;
+      for (const auto& key : keys) {
+        if (rng.Chance(0.6)) {
+          rows.push_back({key, 1 + rng.Below(3), values[rng.Below(2)],
+                          rng.Below(3)});
+        }
+      }
+      scans[static_cast<NodeId>(i + 1)] =
+          MakeScan(rng.Below(3), rows);
+    }
+    Model model;
+    for (const auto& key : keys) {
+      if (rng.Chance(0.5)) model[key] = values[rng.Below(2)];
+    }
+
+    const bool exact = CheckQuorumAgreement(config, scans, model).ok();
+    const bool brute =
+        CheckQuorumAgreementExhaustive(config, scans, model).ok();
+    EXPECT_EQ(exact, brute)
+        << "trial " << trial << " config " << config.ToString();
+    if (!exact) ++violations;
+  }
+  // The random deployments must exercise both verdicts for the test to
+  // mean anything.
+  EXPECT_GT(violations, 10);
+  EXPECT_LT(violations, 395);
+}
+
+}  // namespace
+}  // namespace repdir::chaos

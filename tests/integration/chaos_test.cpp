@@ -1,129 +1,61 @@
-// Chaos property test: a seeded storm of operations interleaved with node
-// crashes (losing unflushed log tails), recoveries, and partitions. After
-// the storm heals, the deployment must be exactly consistent with the model
-// of committed operations on every read quorum, and every representative
-// structurally sound.
+// Chaos property test, driven by the shared campaign harness (src/chaos):
+// a seeded storm of operations interleaved with node crashes (losing
+// unflushed or torn log tails), asymmetric partitions, lossy/duplicating
+// links, and checkpoints. After the storm heals, every read quorum must
+// agree exactly with the model of committed operations and every
+// representative must be structurally sound — across uniform and weighted
+// vote assignments, with and without the version cache.
 #include <gtest/gtest.h>
 
-#include "invariants.h"
-#include "suite_harness.h"
+#include <string>
+#include <tuple>
+
+#include "chaos/campaign.h"
 
 namespace repdir::test {
 namespace {
 
-class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+using chaos::FindScenario;
+using chaos::GenerateSchedule;
+using chaos::RunOutcome;
+using chaos::RunSchedule;
+using chaos::ScenarioSpec;
+using chaos::Schedule;
+
+class ChaosTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
 
 TEST_P(ChaosTest, RandomFaultsNeverBreakConsistency) {
-  const std::uint64_t seed = GetParam();
-  Rng rng(seed);
+  const auto& [scenario_name, seed] = GetParam();
+  const auto spec = FindScenario(scenario_name);
+  ASSERT_TRUE(spec.ok()) << spec.status();
 
-  DirRepNodeOptions node_options = SuiteHarness::DefaultNodeOptions();
-  node_options.enable_wal = true;
-  SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2), node_options);
-  auto suite = harness.NewSuite(100, nullptr, seed * 13 + 5);
-
-  std::map<UserKey, Value> model;
-  std::array<bool, 4> up = {true, true, true, true};  // 1-indexed
-
-  std::uint64_t committed = 0;
-  for (int step = 0; step < 600; ++step) {
-    const double roll = rng.NextDouble();
-
-    if (roll < 0.04) {
-      // Crash a node (only if the other two are up, so progress remains
-      // possible and crashed state always recovers from a durable log).
-      const NodeId victim = static_cast<NodeId>(1 + rng.Below(3));
-      int up_count = 0;
-      for (int n = 1; n <= 3; ++n) up_count += up[static_cast<std::size_t>(n)];
-      if (up[victim] && up_count == 3) {
-        harness.network().SetNodeUp(victim, false);
-        harness.node(victim).Crash();
-        up[victim] = false;
-      }
-    } else if (roll < 0.10) {
-      // Recover any down node.
-      for (NodeId n = 1; n <= 3; ++n) {
-        if (!up[n]) {
-          const auto outcome = harness.node(n).Recover();
-          ASSERT_TRUE(outcome.ok()) << outcome.status();
-          // Single-shot suite ops never leave prepared-undecided state
-          // behind on a crash *between* ops, but resolve defensively.
-          for (const TxnId txn : outcome->in_doubt) {
-            ASSERT_TRUE(harness.node(n).ResolveInDoubt(txn, false).ok());
-          }
-          harness.network().SetNodeUp(n, true);
-          up[n] = true;
-          break;
-        }
-      }
-    } else {
-      // A directory operation; applied to the model only when committed.
-      const std::string key = "k" + std::to_string(rng.Below(30));
-      const double op = rng.NextDouble();
-      if (op < 0.35) {
-        const Status st = suite->Insert(key, "v" + std::to_string(step));
-        if (st.ok()) {
-          model[key] = "v" + std::to_string(step);
-          ++committed;
-        } else {
-          ASSERT_TRUE(st.code() == StatusCode::kAlreadyExists ||
-                      st.code() == StatusCode::kUnavailable)
-              << st;
-        }
-      } else if (op < 0.6) {
-        const Status st = suite->Update(key, "u" + std::to_string(step));
-        if (st.ok()) {
-          ASSERT_TRUE(model.contains(key));
-          model[key] = "u" + std::to_string(step);
-          ++committed;
-        } else {
-          ASSERT_TRUE(st.code() == StatusCode::kNotFound ||
-                      st.code() == StatusCode::kUnavailable)
-              << st;
-        }
-      } else if (op < 0.8) {
-        const Status st = suite->Delete(key);
-        if (st.ok()) {
-          ASSERT_TRUE(model.contains(key));
-          model.erase(key);
-          ++committed;
-        } else {
-          ASSERT_TRUE(st.code() == StatusCode::kNotFound ||
-                      st.code() == StatusCode::kUnavailable)
-              << st;
-        }
-      } else {
-        const auto r = suite->Lookup(key);
-        if (r.ok()) {
-          EXPECT_EQ(r->found, model.contains(key)) << "step " << step;
-          if (r->found) {
-            EXPECT_EQ(r->value, model[key]);
-          }
-        } else {
-          ASSERT_EQ(r.status().code(), StatusCode::kUnavailable);
-        }
-      }
-    }
-  }
-
-  // Heal everything and check global agreement.
-  for (NodeId n = 1; n <= 3; ++n) {
-    if (!up[n]) {
-      const auto outcome = harness.node(n).Recover();
-      ASSERT_TRUE(outcome.ok());
-      for (const TxnId txn : outcome->in_doubt) {
-        ASSERT_TRUE(harness.node(n).ResolveInDoubt(txn, false).ok());
-      }
-      harness.network().SetNodeUp(n, true);
-    }
-  }
-  EXPECT_GT(committed, 100u);
-  EXPECT_TRUE(AllRepsWellFormed(harness));
-  EXPECT_TRUE(AllQuorumsAgree(harness, model));
+  const Schedule schedule = GenerateSchedule(*spec, seed);
+  const RunOutcome outcome = RunSchedule(*spec, schedule, seed);
+  EXPECT_TRUE(outcome.ok()) << outcome.verdict.ToString()
+                            << "\nreplay with: chaos_campaign --scenario "
+                            << scenario_name << " --replay-seed " << seed;
+  // The storm must actually exercise the system, not just fail everything.
+  EXPECT_GT(outcome.ops_committed, 20u);
+  EXPECT_GT(outcome.crashes, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
-                         ::testing::Values(11, 22, 33, 44, 55, 66));
+// Three topologies from the builtin library: the classic 3-node uniform
+// config, a 5-node weighted config (votes 2-1-1-1-2, R=W=4), and a 5-node
+// config with a weak replica running with the version cache enabled.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosTest,
+    ::testing::Combine(::testing::Values("uniform-3-2-2", "weighted-5-4-4",
+                                         "cached-weak-5-2-3"),
+                       ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u)),
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
 
 }  // namespace
 }  // namespace repdir::test

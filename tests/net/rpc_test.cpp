@@ -166,6 +166,60 @@ TEST(InProcWithNetwork, HonoursModelAndAdvancesClock) {
             StatusCode::kUnavailable);
 }
 
+TEST(InProcWithNetwork, OneWayCutRequestLegDropsBeforeExecution) {
+  sim::NetworkModel network;
+  InProcTransport transport(nullptr, &network);
+  RpcServer server(1);
+  int executed = 0;
+  server.RegisterTyped<EchoRequest, EchoReply>(
+      kEcho,
+      [&executed](const RpcRequest&, const EchoRequest& req, EchoReply& out) {
+        ++executed;
+        out.text = req.text;
+        return Status::Ok();
+      });
+  transport.RegisterNode(1, server);
+  RpcClient client(transport, 50);
+
+  // Cutting the request leg (client -> server): the handler never runs.
+  network.PartitionOneWay(50, 1);
+  EXPECT_EQ(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(executed, 0);
+
+  network.HealOneWay(50, 1);
+  ASSERT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"x"}).ok());
+  EXPECT_EQ(executed, 1);
+}
+
+TEST(InProcWithNetwork, OneWayCutResponseLegExecutesButLosesReply) {
+  sim::NetworkModel network;
+  InProcTransport transport(nullptr, &network);
+  RpcServer server(1);
+  int executed = 0;
+  server.RegisterTyped<EchoRequest, EchoReply>(
+      kEcho,
+      [&executed](const RpcRequest&, const EchoRequest& req, EchoReply& out) {
+        ++executed;
+        out.text = req.text;
+        return Status::Ok();
+      });
+  transport.RegisterNode(1, server);
+  RpcClient client(transport, 50);
+
+  // Cutting only the response leg (server -> client): the server EXECUTES
+  // the request, then the reply dies on the way back - the classic
+  // half-open link a 2PC coordinator must treat as "outcome unknown".
+  network.PartitionOneWay(1, 50);
+  EXPECT_EQ(client.Call<EchoReply>(1, kEcho, EchoRequest{"y"}).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(executed, 1);
+
+  network.HealOneWay(1, 50);
+  ASSERT_TRUE(client.Call<EchoReply>(1, kEcho, EchoRequest{"y"}).ok());
+  EXPECT_EQ(executed, 2);
+}
+
 TEST(ThreadedTransportTest, ConcurrentCallersAllSucceed) {
   RpcServer server(1);
   RegisterEchoService(server);

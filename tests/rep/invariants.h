@@ -1,4 +1,8 @@
 // Whole-deployment invariant checks used by the property tests.
+//
+// The actual checking logic lives in src/chaos/invariants.h (shared with
+// the chaos campaign CLI and the multi-process cluster driver); this header
+// adapts it to gtest AssertionResults over a SuiteHarness.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -7,6 +11,7 @@
 #include <set>
 #include <string>
 
+#include "chaos/invariants.h"
 #include "storage/dir_rep_core.h"
 #include "suite_harness.h"
 
@@ -45,58 +50,13 @@ inline QuorumAnswer AnswerOf(SuiteHarness& h, const std::set<NodeId>& members,
 }
 
 /// Checks that EVERY possible read quorum agrees with the model about every
-/// interesting key (all keys stored on any representative, all model keys,
-/// plus probes between them). This is the paper's central correctness
-/// property: any R-vote subset must return current data.
+/// interesting key. This is the paper's central correctness property: any
+/// R-vote subset must return current data. Uses the exact (non-enumerating)
+/// checker, so it stays tractable at any suite size.
 inline ::testing::AssertionResult AllQuorumsAgree(
     SuiteHarness& h, const std::map<UserKey, Value>& model) {
-  // Interesting keys: everything physically present anywhere (includes
-  // ghosts) plus everything the model says exists.
-  std::set<UserKey> keys;
-  for (const auto& replica : h.config().replicas()) {
-    for (const auto& e : h.node(replica.node).storage().Scan()) {
-      if (e.key.is_user()) keys.insert(e.key.user());
-    }
-  }
-  for (const auto& [key, value] : model) keys.insert(key);
-
-  // All vote-sufficient subsets of representatives.
-  const auto& replicas = h.config().replicas();
-  const std::uint32_t n = static_cast<std::uint32_t>(replicas.size());
-  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
-    std::set<NodeId> members;
-    Votes votes = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (mask & (1u << i)) {
-        members.insert(replicas[i].node);
-        votes += replicas[i].votes;
-      }
-    }
-    if (votes < h.config().read_quorum()) continue;
-
-    for (const auto& key : keys) {
-      const QuorumAnswer answer = AnswerOf(h, members, key);
-      const auto it = model.find(key);
-      const bool model_present = it != model.end();
-      if (answer.ambiguous) {
-        return ::testing::AssertionFailure()
-               << "quorum mask " << mask << " is ambiguous for key " << key
-               << " at version " << answer.version;
-      }
-      if (answer.present != model_present) {
-        return ::testing::AssertionFailure()
-               << "quorum mask " << mask << " says key " << key
-               << (answer.present ? " present" : " absent") << " but model says "
-               << (model_present ? "present" : "absent");
-      }
-      if (model_present && answer.value != it->second) {
-        return ::testing::AssertionFailure()
-               << "quorum mask " << mask << " returns stale value for key "
-               << key << ": got '" << answer.value << "' want '" << it->second
-               << "'";
-      }
-    }
-  }
+  const Status st = chaos::CheckQuorumAgreement(h.config(), h.Scans(), model);
+  if (!st.ok()) return ::testing::AssertionFailure() << st.ToString();
   return ::testing::AssertionSuccess();
 }
 

@@ -1,17 +1,18 @@
 // Test harness: a complete in-process directory-suite deployment on the
-// deterministic transport, plus a scripted quorum policy for scenario tests
-// that need exact control over quorum membership (the paper's worked
+// deterministic transport (now provided by chaos::Deployment, shared with
+// the chaos campaign executor), plus a scripted quorum policy for scenario
+// tests that need exact control over quorum membership (the paper's worked
 // examples).
 #pragma once
 
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
-#include "net/inproc_transport.h"
+#include "chaos/deployment.h"
 #include "rep/dir_rep_node.h"
 #include "rep/dir_suite.h"
-#include "sim/network_model.h"
 
 namespace repdir::test {
 
@@ -49,75 +50,19 @@ class ScriptedPolicy final : public rep::QuorumPolicy {
 };
 
 /// One deployment: N representatives + deterministic transport + network
-/// model for failure injection.
-class SuiteHarness {
+/// model for failure injection (see chaos::Deployment for the substrate).
+class SuiteHarness : public chaos::Deployment {
  public:
-  explicit SuiteHarness(QuorumConfig config, DirRepNodeOptions node_options =
-                                                 DefaultNodeOptions())
-      : config_(std::move(config)),
-        network_(/*seed=*/99),
-        transport_(nullptr, &network_) {
-    for (const auto& replica : config_.replicas()) {
-      nodes_.push_back(
-          std::make_unique<DirRepNode>(replica.node, node_options));
-      transport_.RegisterNode(replica.node, nodes_.back()->server());
-    }
-  }
-
-  /// Representatives in the deterministic simulator run one transaction at
-  /// a time, so conflicts indicate bugs: use non-blocking locks to fail
-  /// fast instead of deadlocking the single thread.
-  static DirRepNodeOptions DefaultNodeOptions() {
-    DirRepNodeOptions options;
-    options.participant.blocking_locks = false;
-    return options;
-  }
-
-  /// A suite client with an explicit policy (pass nullptr for the default
-  /// seeded random policy). The version cache defaults OFF so deterministic
-  /// scenario tests keep their exact message flows; cache-specific tests
-  /// opt in via `enable_cache`.
-  std::unique_ptr<DirectorySuite> NewSuite(
-      NodeId client_node, std::unique_ptr<rep::QuorumPolicy> policy = nullptr,
-      std::uint64_t seed = 42, bool enable_cache = false) {
-    DirectorySuite::Options options;
-    options.config = config_;
-    options.policy = std::move(policy);
-    options.policy_seed = seed;
-    options.enable_version_cache = enable_cache;
-    return std::make_unique<DirectorySuite>(transport_, client_node,
-                                            std::move(options));
-  }
+  using chaos::Deployment::Deployment;
 
   /// A suite driven by a ScriptedPolicy; the policy stays owned by the
   /// suite but is also returned for scripting.
   std::pair<std::unique_ptr<DirectorySuite>, ScriptedPolicy*> NewScriptedSuite(
       NodeId client_node, bool enable_cache = false) {
-    auto policy = std::make_unique<ScriptedPolicy>(config_.Nodes());
+    auto policy = std::make_unique<ScriptedPolicy>(config().Nodes());
     ScriptedPolicy* raw = policy.get();
     return {NewSuite(client_node, std::move(policy), 42, enable_cache), raw};
   }
-
-  DirRepNode& node(NodeId id) {
-    for (auto& n : nodes_) {
-      if (n->id() == id) return *n;
-    }
-    std::abort();
-  }
-
-  const QuorumConfig& config() const { return config_; }
-  sim::NetworkModel& network() { return network_; }
-  net::InProcTransport& transport() { return transport_; }
-
-  /// All user entries of a representative as (key, version) pairs, plus a
-  /// dump string, for scenario assertions.
-  std::string Dump(NodeId id) { return storage::DumpRep(node(id).storage()); }
-
- private:
-  QuorumConfig config_;
-  sim::NetworkModel network_;
-  net::InProcTransport transport_;
-  std::vector<std::unique_ptr<DirRepNode>> nodes_;
 };
 
 }  // namespace repdir::test

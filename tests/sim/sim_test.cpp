@@ -100,6 +100,34 @@ TEST(NetworkModel, PartitionIsSymmetricAndHealable) {
   EXPECT_TRUE(net.DeliveryDelay(1, 3).ok());
 }
 
+TEST(NetworkModel, OneWayPartitionIsAsymmetric) {
+  NetworkModel net;
+  net.PartitionOneWay(1, 2);
+  // The half-open link: 1 -> 2 drops while 2 -> 1 still delivers.
+  EXPECT_FALSE(net.DeliveryDelay(1, 2).ok());
+  EXPECT_TRUE(net.DeliveryDelay(2, 1).ok());
+  EXPECT_TRUE(net.IsCut(1, 2));
+  EXPECT_FALSE(net.IsCut(2, 1));
+
+  net.HealOneWay(1, 2);
+  EXPECT_TRUE(net.DeliveryDelay(1, 2).ok());
+}
+
+TEST(NetworkModel, HealClearsBothDirections) {
+  NetworkModel net;
+  net.PartitionOneWay(2, 1);
+  net.Heal(1, 2);  // symmetric heal removes one-way cuts either way round
+  EXPECT_TRUE(net.DeliveryDelay(2, 1).ok());
+
+  net.PartitionOneWay(1, 2);
+  net.PartitionOneWay(2, 1);  // both one-way cuts == a full partition
+  EXPECT_FALSE(net.DeliveryDelay(1, 2).ok());
+  EXPECT_FALSE(net.DeliveryDelay(2, 1).ok());
+  net.HealAll();
+  EXPECT_TRUE(net.DeliveryDelay(1, 2).ok());
+  EXPECT_TRUE(net.DeliveryDelay(2, 1).ok());
+}
+
 TEST(NetworkModel, LatencyBaseAndJitter) {
   NetworkModel net(5);
   net.SetDefaultLink(LinkSpec{100, 50, 0.0});

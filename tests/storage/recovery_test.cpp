@@ -4,6 +4,9 @@
 // to replaying the committed prefix).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "storage/crash_point.h"
 #include "storage/map_storage.h"
 #include "storage/recovery.h"
 
@@ -216,6 +219,145 @@ TEST_F(RecoveryTest, CrashAtEveryCommitBoundaryRecoversPrefix) {
     EXPECT_EQ(recovered.Scan(), expected[crash_after])
         << "crash_after=" << crash_after;
   }
+}
+
+// Crash-point tests: die at a precise instant inside the WAL protocol and
+// verify what recovery makes of the resulting durable state. The in-process
+// handler substitutes for SIGKILL (which the multi-process chaos cluster
+// uses) by capturing or mutating the device at the armed instant.
+class CrashPointTest : public RecoveryTest {
+ protected:
+  ~CrashPointTest() override { CrashPoints::Instance().Reset(); }
+};
+
+TEST_F(CrashPointTest, TornAppendTailIsIgnoredOnRecovery) {
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 1).ok());
+
+  // Die mid-append: only the first half of txn 2's op frame reaches the
+  // medium (a torn write).
+  auto& points = CrashPoints::Instance();
+  std::size_t torn_at = 0;
+  points.SetHandler(
+      [&](const std::string&) { torn_at = device_.pending_size(); });
+  points.Arm("wal.mid_append");
+  ASSERT_TRUE(LogInsert(2, "b", 2).ok());
+  ASSERT_GT(torn_at, 0u);
+  ASSERT_LT(torn_at, device_.pending_size());
+  device_.CrashTorn(torn_at);
+
+  MapStorage stg;
+  const auto outcome = Recover(stg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(stg.Get(RepKey::User("a")).has_value());
+  EXPECT_FALSE(stg.Get(RepKey::User("b")).has_value());
+  EXPECT_TRUE(outcome->in_doubt.empty());
+  EXPECT_EQ(points.HitCount("wal.mid_append"), 1u);
+}
+
+TEST_F(CrashPointTest, DeathBeforeFlushLosesWholeTail) {
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 1).ok());
+
+  // Die just before the flush that would make txn 2 durable: its op and
+  // commit records sit in the unflushed tail and vanish together.
+  auto& points = CrashPoints::Instance();
+  points.SetHandler([&](const std::string&) { device_.Crash(); });
+  points.Arm("wal.before_flush");
+  ASSERT_TRUE(LogInsert(2, "b", 2).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 2).ok());
+
+  MapStorage stg;
+  const auto outcome = Recover(stg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(stg.Get(RepKey::User("a")).has_value());
+  EXPECT_FALSE(stg.Get(RepKey::User("b")).has_value());
+  EXPECT_TRUE(outcome->in_doubt.empty());
+}
+
+TEST_F(CrashPointTest, DeathAfterPrepareFlushLeavesTxnInDoubt) {
+  auto& points = CrashPoints::Instance();
+  bool died = false;
+  points.SetHandler([&](const std::string&) {
+    died = true;
+    device_.Crash();
+  });
+  points.Arm("wal.after_prepare_flush");
+  ASSERT_TRUE(LogInsert(7, "x", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kPrepare, 7).ok());
+  ASSERT_TRUE(died);
+
+  // The promise is durable, the decision is not: in-doubt on recovery.
+  MapStorage stg;
+  const auto outcome = Recover(stg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(stg.Get(RepKey::User("x")).has_value());
+  ASSERT_EQ(outcome->in_doubt.size(), 1u);
+  EXPECT_TRUE(outcome->in_doubt.contains(7));
+}
+
+TEST_F(CrashPointTest, MidCheckpointCrashKeepsOldLogIntact) {
+  ASSERT_TRUE(LogInsert(1, "a", 1).ok());
+  ASSERT_TRUE(writer_.AppendDecision(WalRecordType::kCommit, 1).ok());
+  const auto old_log = device_.ReadDurable();
+  ASSERT_TRUE(old_log.ok());
+
+  // Capture the durable contents at the instant the checkpoint swap would
+  // die. The atomic Rewrite guarantees it is the entire old log - a
+  // truncate-then-append scheme would show an empty log here.
+  auto& points = CrashPoints::Instance();
+  std::string at_crash = "sentinel";
+  points.SetHandler(
+      [&](const std::string&) { at_crash = *device_.ReadDurable(); });
+  points.Arm("wal.mid_checkpoint");
+
+  MapStorage live;
+  DirRepCore core(live);
+  ASSERT_TRUE(core.Insert(RepKey::User("a"), 1, "va").ok());
+  ASSERT_TRUE(writer_.WriteCheckpoint(live.Scan()).ok());
+  EXPECT_EQ(at_crash, *old_log);
+
+  // Recovering the captured pre-swap state replays the old log...
+  MemLogDevice replayed;
+  ASSERT_TRUE(replayed.Rewrite(at_crash).ok());
+  const auto log = ReadLog(replayed);
+  ASSERT_TRUE(log.ok());
+  MapStorage stg;
+  const auto outcome = RecoverRepresentative(stg, *log);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->restored_checkpoint);
+  EXPECT_TRUE(stg.Get(RepKey::User("a")).has_value());
+
+  // ...while the completed checkpoint leaves exactly one record behind.
+  const auto log2 = ReadLog(device_);
+  ASSERT_TRUE(log2.ok());
+  ASSERT_EQ(log2->size(), 1u);
+  MapStorage after;
+  const auto outcome2 = RecoverRepresentative(after, *log2);
+  ASSERT_TRUE(outcome2.ok());
+  EXPECT_TRUE(outcome2->restored_checkpoint);
+  EXPECT_TRUE(after.Get(RepKey::User("a")).has_value());
+}
+
+TEST_F(CrashPointTest, ArmFromEnvCountsDownHits) {
+  // The multi-process cluster arms points through REPDIR_CRASH_POINT
+  // ("name:count"); the count selects the n-th protocol instant.
+  ASSERT_EQ(setenv("REPDIR_CRASH_POINT", "wal.after_flush:2", 1), 0);
+  auto& points = CrashPoints::Instance();
+  int fired = 0;
+  points.SetHandler([&](const std::string& point) {
+    ++fired;
+    EXPECT_EQ(point, "wal.after_flush");
+  });
+  points.ArmFromEnv();
+  ASSERT_EQ(unsetenv("REPDIR_CRASH_POINT"), 0);
+
+  ASSERT_TRUE(writer_.Flush().ok());
+  EXPECT_EQ(fired, 0);  // first hit only counts down
+  ASSERT_TRUE(writer_.Flush().ok());
+  EXPECT_EQ(fired, 1);  // second hit fires
+  ASSERT_TRUE(writer_.Flush().ok());
+  EXPECT_EQ(fired, 1);  // disarmed after firing
 }
 
 }  // namespace

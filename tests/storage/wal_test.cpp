@@ -97,6 +97,34 @@ TEST(Wal, TornTailIsIgnoredAtEveryCutPoint) {
   }
 }
 
+TEST(Wal, ParseLogReportsValidPrefixLength) {
+  MemLogDevice device;
+  WalWriter writer(device);
+  ASSERT_TRUE(writer.Append(OpRecord(1, "a", 1)).ok());
+  ASSERT_TRUE(writer.AppendDecision(WalRecordType::kCommit, 1).ok());
+  const auto clean = device.ReadDurable();
+  ASSERT_TRUE(clean.ok());
+
+  // A clean log is valid end to end.
+  std::size_t valid = 0;
+  auto log = ParseLog(*clean, &valid);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->size(), 2u);
+  EXPECT_EQ(valid, clean->size());
+
+  // A torn tail is excluded from the valid prefix: recovery truncates the
+  // device to `valid` so later appends are not hidden behind the garbage.
+  ASSERT_TRUE(writer.Append(OpRecord(2, "b", 2)).ok());
+  device.CrashTorn(5);
+  const auto torn = device.ReadDurable();
+  ASSERT_TRUE(torn.ok());
+  ASSERT_GT(torn->size(), clean->size());
+  log = ParseLog(*torn, &valid);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->size(), 2u);
+  EXPECT_EQ(valid, clean->size());
+}
+
 TEST(Wal, CorruptedPayloadByteEndsLog) {
   MemLogDevice device;
   WalWriter writer(device);

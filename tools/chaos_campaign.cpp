@@ -1,0 +1,237 @@
+// chaos_campaign: sweep seeded fault schedules against in-process
+// deployments and verdict every run with the shared invariant checks.
+//
+//   chaos_campaign                          full sweep (all builtin
+//                                           scenarios x --seeds seeds)
+//   chaos_campaign --smoke                  quick fixed-seed smoke sweep
+//   chaos_campaign --list                   print the builtin scenarios
+//   chaos_campaign --scenario NAME          restrict to one scenario
+//                                           (repeatable)
+//   chaos_campaign --seeds N --seed-base B  sweep seeds B .. B+N-1
+//   chaos_campaign --no-shrink              skip ddmin on failures
+//   chaos_campaign --json PATH              write the JSON report to PATH
+//   chaos_campaign --replay-seed S --scenario NAME
+//                                           regenerate + replay one seed
+//   chaos_campaign --replay-file PATH --scenario NAME [--replay-seed S]
+//                                           replay a schedule from a file
+//                                           (e.g. a printed shrunken repro)
+//
+// A failing seed prints its minimal (ddmin-shrunken) schedule in the
+// replayable text form `--replay-file` accepts. Exit status: 0 iff every
+// run passed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "chaos/schedule.h"
+
+using namespace repdir;
+using namespace repdir::chaos;
+
+namespace {
+
+void PrintOutcome(const RunOutcome& outcome) {
+  std::printf(
+      "  ops: %llu attempted, %llu committed, %llu rejected, "
+      "%llu unavailable, %llu aborted\n",
+      static_cast<unsigned long long>(outcome.ops_attempted),
+      static_cast<unsigned long long>(outcome.ops_committed),
+      static_cast<unsigned long long>(outcome.ops_rejected),
+      static_cast<unsigned long long>(outcome.ops_unavailable),
+      static_cast<unsigned long long>(outcome.ops_aborted));
+  std::printf("  faults: %llu crashes, %llu recoveries, %llu checkpoints\n",
+              static_cast<unsigned long long>(outcome.crashes),
+              static_cast<unsigned long long>(outcome.recoveries),
+              static_cast<unsigned long long>(outcome.checkpoints));
+}
+
+int Replay(const ScenarioSpec& spec, const Schedule& schedule,
+           std::uint64_t seed, bool shrink) {
+  std::printf("== replaying %zu events against %s (seed %llu)\n",
+              schedule.size(), spec.name.c_str(),
+              static_cast<unsigned long long>(seed));
+  const RunOutcome outcome = RunSchedule(spec, schedule, seed);
+  PrintOutcome(outcome);
+  if (outcome.ok()) {
+    std::printf("  verdict: OK\n");
+    return 0;
+  }
+  std::printf("  verdict: VIOLATION: %s\n", outcome.verdict.ToString().c_str());
+  if (shrink) {
+    const Schedule minimal = ShrinkSchedule(schedule, [&](const Schedule& s) {
+      return !RunSchedule(spec, s, seed).ok();
+    });
+    std::printf(
+        "\n-- minimal failing schedule (%zu events); save and rerun with\n"
+        "--   chaos_campaign --scenario %s --replay-seed %llu "
+        "--replay-file FILE\n%s",
+        minimal.size(), spec.name.c_str(),
+        static_cast<unsigned long long>(seed),
+        ScheduleToString(minimal).c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> scenario_names;
+  std::uint32_t seeds = 40;
+  std::uint64_t seed_base = 1;
+  bool shrink = true;
+  bool smoke = false;
+  std::string json_path;
+  std::string replay_file;
+  std::uint64_t replay_seed = 0;
+  bool have_replay_seed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      for (const auto& s : BuiltinScenarios()) {
+        std::printf("%-18s %s%s\n", s.name.c_str(),
+                    s.topology.Config().ToString().c_str(),
+                    s.enable_cache ? "  [version cache]" : "");
+      }
+      return 0;
+    } else if (arg == "--scenario") {
+      scenario_names.emplace_back(next());
+    } else if (arg == "--seeds") {
+      seeds = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--seed-base") {
+      seed_base = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--replay-seed") {
+      replay_seed = std::strtoull(next(), nullptr, 10);
+      have_replay_seed = true;
+    } else if (arg == "--replay-file") {
+      replay_file = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see header comment)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  // Replay modes need exactly one scenario to fix the topology.
+  if (!replay_file.empty() || have_replay_seed) {
+    if (scenario_names.size() != 1) {
+      std::fprintf(stderr, "replay needs exactly one --scenario\n");
+      return 2;
+    }
+    const auto spec = FindScenario(scenario_names[0]);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    if (!replay_file.empty()) {
+      std::ifstream in(replay_file);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", replay_file.c_str());
+        return 2;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const auto schedule = ParseSchedule(buffer.str());
+      if (!schedule.ok()) {
+        std::fprintf(stderr, "bad schedule: %s\n",
+                     schedule.status().ToString().c_str());
+        return 2;
+      }
+      return Replay(*spec, *schedule, replay_seed, shrink);
+    }
+    return Replay(*spec, GenerateSchedule(*spec, replay_seed), replay_seed,
+                  shrink);
+  }
+
+  // Sweep mode.
+  std::vector<ScenarioSpec> scenarios;
+  if (scenario_names.empty()) {
+    scenarios = BuiltinScenarios();
+  } else {
+    for (const auto& name : scenario_names) {
+      const auto spec = FindScenario(name);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      scenarios.push_back(*spec);
+    }
+  }
+  if (smoke) {
+    seeds = 5;
+    for (auto& s : scenarios) s.steps = std::min<std::uint32_t>(s.steps, 150);
+  }
+
+  CampaignOptions options;
+  options.seed_base = seed_base;
+  options.seeds_per_scenario = seeds;
+  options.shrink_failures = shrink;
+  options.progress = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  const CampaignReport report = RunCampaign(scenarios, options);
+
+  std::uint64_t total_seeds = 0;
+  std::uint64_t total_failed = 0;
+  std::uint64_t total_committed = 0;
+  for (const auto& s : report.scenarios) {
+    total_seeds += s.seeds_run;
+    total_failed += s.seeds_failed;
+    total_committed += s.ops_committed;
+    std::printf("%-18s %-28s seeds %u/%u ok  committed %llu  crashes %llu\n",
+                s.scenario.c_str(), s.topology.c_str(),
+                s.seeds_run - s.seeds_failed, s.seeds_run,
+                static_cast<unsigned long long>(s.ops_committed),
+                static_cast<unsigned long long>(s.crashes));
+    for (const auto& f : s.failures) {
+      std::printf("  FAIL seed %llu: %s\n",
+                  static_cast<unsigned long long>(f.seed), f.verdict.c_str());
+      if (!f.shrunk.empty()) {
+        std::printf(
+            "  minimal repro (%zu events); replay with\n"
+            "    chaos_campaign --scenario %s --replay-seed %llu "
+            "--replay-file FILE\n%s",
+            f.shrunk.size(), s.scenario.c_str(),
+            static_cast<unsigned long long>(f.seed),
+            ScheduleToString(f.shrunk).c_str());
+      }
+    }
+  }
+  std::printf("== %llu seeds across %zu scenarios: %llu failed, "
+              "%llu ops committed\n",
+              static_cast<unsigned long long>(total_seeds),
+              report.scenarios.size(),
+              static_cast<unsigned long long>(total_failed),
+              static_cast<unsigned long long>(total_committed));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << report.ToJson() << "\n";
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+  return report.AllPassed() ? 0 : 1;
+}

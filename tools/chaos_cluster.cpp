@@ -1,0 +1,458 @@
+// chaos_cluster: multi-process crash driver.
+//
+// Spawns real chaos_node processes (one directory representative each,
+// file-backed WALs) on loopback TCP, drives a randomized workload through
+// the full client stack, and kills nodes with SIGKILL - both cold (between
+// operations) and mid-two-phase-commit, by arming WAL crash points through
+// the REPDIR_CRASH_POINT environment variable so a victim dies at a precise
+// protocol instant (just after flushing its PREPARE, or just after flushing
+// its COMMIT but before replying). Dead nodes are respawned from their
+// surviving WAL files, their in-doubt transactions resolved with the
+// driver's committed/aborted record, and the final cluster state is checked
+// against the committed-ops model with the shared invariant library.
+//
+//   chaos_cluster [--seed S] [--ops N] [--workdir DIR] [--node-bin PATH]
+//
+// Exit status 0 iff the cluster converged to exactly the committed model.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/cluster_messages.h"
+#include "chaos/invariants.h"
+#include "common/rng.h"
+#include "net/tcp_transport.h"
+#include "rep/dir_suite.h"
+
+using namespace repdir;
+
+namespace {
+
+struct NodeProc {
+  NodeId id = 0;
+  pid_t pid = -1;
+  std::uint16_t port = 0;                ///< Fixed after the first spawn.
+  std::vector<TxnId> in_doubt;           ///< Reported at last startup.
+  std::string wal_path;
+};
+
+struct Driver {
+  std::string node_bin;
+  std::string workdir;
+  net::TcpTransport transport;
+  std::vector<NodeProc> nodes;
+  chaos::Model model;
+  std::map<TxnId, bool> decisions;
+
+  std::uint64_t ops_attempted = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t mid_2pc_kills = 0;
+  std::string failure;
+
+  bool ok() const { return failure.empty(); }
+  void Fail(const std::string& why) {
+    if (failure.empty()) failure = why;
+    std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+  }
+
+  NodeProc& Proc(NodeId id) {
+    for (auto& n : nodes) {
+      if (n.id == id) return n;
+    }
+    std::abort();
+  }
+
+  /// Spawns (or respawns) node `id`; `crash_point` non-empty arms
+  /// REPDIR_CRASH_POINT in the child. Blocks until the child prints READY.
+  bool Spawn(NodeId id, const std::string& crash_point) {
+    NodeProc& proc = Proc(id);
+    int fds[2];
+    if (pipe(fds) != 0) {
+      Fail("pipe failed");
+      return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      Fail("fork failed");
+      return false;
+    }
+    if (pid == 0) {
+      dup2(fds[1], STDOUT_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+      if (!crash_point.empty()) {
+        setenv("REPDIR_CRASH_POINT", crash_point.c_str(), 1);
+      } else {
+        unsetenv("REPDIR_CRASH_POINT");
+      }
+      const std::string node_arg = std::to_string(id);
+      const std::string port_arg = std::to_string(proc.port);
+      execl(node_bin.c_str(), node_bin.c_str(), "--node", node_arg.c_str(),
+            "--port", port_arg.c_str(), "--wal", proc.wal_path.c_str(),
+            static_cast<char*>(nullptr));
+      std::perror("execl chaos_node");
+      _exit(127);
+    }
+    close(fds[1]);
+    proc.pid = pid;
+    proc.in_doubt.clear();
+    ++respawns;
+
+    // Startup protocol: PORT <p> / INDOUBT <txn>... / READY.
+    std::FILE* out = fdopen(fds[0], "r");
+    char* line = nullptr;
+    std::size_t cap = 0;
+    bool ready = false;
+    while (getline(&line, &cap, out) >= 0) {
+      unsigned port_read = 0;
+      if (std::sscanf(line, "PORT %u", &port_read) == 1) {
+        proc.port = static_cast<std::uint16_t>(port_read);
+      } else if (std::strncmp(line, "INDOUBT", 7) == 0) {
+        const char* cursor = line + 7;
+        char* end = nullptr;
+        for (unsigned long long t = std::strtoull(cursor, &end, 10);
+             end != cursor; t = std::strtoull(cursor, &end, 10)) {
+          proc.in_doubt.push_back(static_cast<TxnId>(t));
+          cursor = end;
+        }
+      } else if (std::strncmp(line, "READY", 5) == 0) {
+        ready = true;
+        break;
+      }
+    }
+    free(line);
+    std::fclose(out);  // child keeps running; we only close our pipe end
+    if (!ready || proc.port == 0) {
+      Fail("node " + std::to_string(id) + " did not come up");
+      return false;
+    }
+    transport.AddRoute(id, "127.0.0.1", proc.port);
+    return true;
+  }
+
+  void Kill(NodeId id) {
+    NodeProc& proc = Proc(id);
+    if (proc.pid <= 0) return;
+    kill(proc.pid, SIGKILL);
+    int status = 0;
+    waitpid(proc.pid, &status, 0);
+    proc.pid = -1;
+    ++kills;
+  }
+
+  /// True once the child has exited (reaping it); used to detect an armed
+  /// crash point firing mid-workload.
+  bool Reap(NodeId id) {
+    NodeProc& proc = Proc(id);
+    if (proc.pid <= 0) return true;
+    int status = 0;
+    const pid_t done = waitpid(proc.pid, &status, WNOHANG);
+    if (done != proc.pid) return false;
+    proc.pid = -1;
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      Fail("node " + std::to_string(id) + " died but not by SIGKILL");
+    }
+    return true;
+  }
+
+  /// A control call with a few retries: the transport's connection pool
+  /// may hold stale sockets to a node that died and respawned, and each
+  /// failed call discards exactly one of them.
+  template <typename Resp, typename Req>
+  Result<Resp> CtlCall(net::RpcClient& ctl, NodeId id, net::MethodId method,
+                       const Req& req) {
+    Result<Resp> resp = Status::Unavailable("not attempted");
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      resp = ctl.Call<Resp>(id, method, req);
+      if (resp.ok()) return resp;
+    }
+    return resp;
+  }
+
+  /// Resolves every in-doubt transaction a freshly respawned node reported,
+  /// feeding it the coordinator's actual decision (presumed abort when the
+  /// driver never saw the transaction commit).
+  void ResolveInDoubt(net::RpcClient& ctl, NodeId id) {
+    NodeProc& proc = Proc(id);
+    for (const TxnId txn : proc.in_doubt) {
+      const bool commit =
+          decisions.contains(txn) ? decisions.at(txn) : false;
+      chaos::ResolveRequest req;
+      req.txn = txn;
+      req.commit = commit;
+      const auto resp = CtlCall<net::Empty>(ctl, id, chaos::kResolve, req);
+      if (!resp.ok()) {
+        Fail("resolve txn " + std::to_string(txn) + " on node " +
+             std::to_string(id) + ": " + resp.status().ToString());
+      }
+      std::printf("   resolved txn %llu on node %u -> %s\n",
+                  static_cast<unsigned long long>(txn), id,
+                  commit ? "COMMIT" : "ABORT");
+    }
+    proc.in_doubt.clear();
+  }
+};
+
+/// One randomized directory operation as its own transaction, mirroring the
+/// in-process campaign executor: the model only advances when Commit()
+/// reports the decision was commit, and definite rejections must agree with
+/// the model exactly.
+void RunOp(Driver& driver, rep::DirectorySuite& suite, Rng& rng) {
+  ++driver.ops_attempted;
+  const std::string key = "k" + std::to_string(rng.Below(16));
+  const double roll = rng.NextDouble();
+
+  if (roll < 0.2) {  // read
+    const auto r = suite.Lookup(key);
+    if (r.ok()) {
+      if (r->found != driver.model.contains(key) ||
+          (r->found && r->value != driver.model.at(key))) {
+        driver.Fail("lookup(" + key + ") disagrees with committed model");
+      }
+    } else if (r.status().code() != StatusCode::kUnavailable &&
+               r.status().code() != StatusCode::kAborted) {
+      driver.Fail("lookup(" + key + "): " + r.status().ToString());
+    }
+    return;
+  }
+
+  rep::SuiteTxn txn = suite.Begin();
+  const std::string value = "v" + std::to_string(driver.ops_attempted);
+  Status st = Status::Ok();
+  enum class Op { kInsert, kUpdate, kDelete } op;
+  if (roll < 0.55) {
+    op = Op::kInsert;
+    st = txn.Insert(key, value);
+  } else if (roll < 0.8) {
+    op = Op::kUpdate;
+    st = txn.Update(key, value);
+  } else {
+    op = Op::kDelete;
+    st = txn.Delete(key);
+  }
+
+  if (st.ok()) {
+    const TxnId id = txn.id();
+    const Status commit = txn.Commit();
+    driver.decisions[id] = commit.ok();
+    if (commit.ok()) {
+      ++driver.ops_committed;
+      switch (op) {
+        case Op::kInsert:
+          if (driver.model.contains(key)) {
+            driver.Fail("insert(" + key + ") committed over a live entry");
+          }
+          driver.model[key] = value;
+          break;
+        case Op::kUpdate:
+          if (!driver.model.contains(key)) {
+            driver.Fail("update(" + key + ") committed on a missing entry");
+          }
+          driver.model[key] = value;
+          break;
+        case Op::kDelete:
+          if (!driver.model.contains(key)) {
+            driver.Fail("delete(" + key + ") committed on a missing entry");
+          }
+          driver.model.erase(key);
+          break;
+      }
+    } else if (commit.code() != StatusCode::kAborted &&
+               commit.code() != StatusCode::kUnavailable) {
+      driver.Fail("commit: " + commit.ToString());
+    }
+    return;
+  }
+
+  driver.decisions[txn.id()] = false;
+  txn.Abort();
+  switch (st.code()) {
+    case StatusCode::kAlreadyExists:
+      if (op != Op::kInsert || !driver.model.contains(key)) {
+        driver.Fail("spurious kAlreadyExists for " + key);
+      }
+      break;
+    case StatusCode::kNotFound:
+      if (op == Op::kInsert || driver.model.contains(key)) {
+        driver.Fail("spurious kNotFound for " + key);
+      }
+      break;
+    case StatusCode::kUnavailable:
+    case StatusCode::kAborted:
+      break;  // fault shadow: fine
+    default:
+      driver.Fail("op on " + key + ": " + st.ToString());
+  }
+}
+
+/// Drives ops until `victim`'s armed crash point fires (or an op budget
+/// runs out). Returns true when the victim died.
+bool DriveUntilDeath(Driver& driver, rep::DirectorySuite& suite, Rng& rng,
+                     NodeId victim, int budget) {
+  for (int i = 0; i < budget; ++i) {
+    RunOp(driver, suite, rng);
+    if (driver.Reap(victim)) {
+      ++driver.kills;
+      ++driver.mid_2pc_kills;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int ops = 50;
+  std::string workdir;
+  std::string node_bin;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--ops") {
+      ops = std::atoi(next());
+    } else if (arg == "--workdir") {
+      workdir = next();
+    } else if (arg == "--node-bin") {
+      node_bin = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Driver driver;
+  if (node_bin.empty()) {
+    // Default: chaos_node next to this binary.
+    std::string self = argv[0];
+    const auto slash = self.find_last_of('/');
+    node_bin = (slash == std::string::npos ? std::string(".")
+                                           : self.substr(0, slash)) +
+               "/chaos_node";
+  }
+  driver.node_bin = node_bin;
+  if (workdir.empty()) {
+    char tmpl[] = "/tmp/chaos_cluster_XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 2;
+    }
+    workdir = tmpl;
+  }
+  driver.workdir = workdir;
+  std::printf("== chaos_cluster: WALs under %s, node binary %s\n",
+              workdir.c_str(), node_bin.c_str());
+
+  const auto config = rep::QuorumConfig::Uniform(3, 2, 2);
+  for (NodeId id = 1; id <= 3; ++id) {
+    NodeProc proc;
+    proc.id = id;
+    proc.wal_path = workdir + "/node" + std::to_string(id) + ".wal";
+    driver.nodes.push_back(proc);
+  }
+  for (NodeId id = 1; id <= 3; ++id) {
+    if (!driver.Spawn(id, "")) return 1;
+    std::printf("   node %u up on port %u\n", id, driver.Proc(id).port);
+  }
+
+  rep::SuiteOptions options;
+  options.config = config;
+  options.policy_seed = seed;
+  rep::DirectorySuite suite(driver.transport, 100, std::move(options));
+  net::RpcClient ctl(driver.transport, 101);
+  Rng rng(seed * 1000003 + 7);
+
+  std::printf("== phase 1: %d warmup ops over live cluster\n", ops);
+  for (int i = 0; i < ops; ++i) RunOp(driver, suite, rng);
+
+  std::printf("== phase 2: cold kill -9 of node 1 between operations\n");
+  driver.Kill(1);
+  for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
+  if (!driver.Spawn(1, "")) return 1;
+  driver.ResolveInDoubt(ctl, 1);
+  for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
+
+  std::printf(
+      "== phase 3: node 2 armed to die after flushing a PREPARE "
+      "(in-doubt on recovery)\n");
+  driver.Kill(2);
+  if (!driver.Spawn(2, "wal.after_prepare_flush:3")) return 1;
+  driver.ResolveInDoubt(ctl, 2);
+  if (!DriveUntilDeath(driver, suite, rng, 2, 8 * ops)) {
+    driver.Fail("node 2 never hit wal.after_prepare_flush");
+  }
+  std::printf("   node 2 died mid-2PC; driving degraded ops\n");
+  for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
+  if (!driver.Spawn(2, "")) return 1;
+  std::printf("   node 2 respawned with %zu in-doubt txn(s)\n",
+              driver.Proc(2).in_doubt.size());
+  driver.ResolveInDoubt(ctl, 2);
+  for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
+
+  std::printf(
+      "== phase 4: node 3 armed to die after flushing a COMMIT "
+      "(decided in its log)\n");
+  driver.Kill(3);
+  if (!driver.Spawn(3, "wal.after_commit_flush:3")) return 1;
+  driver.ResolveInDoubt(ctl, 3);
+  if (!DriveUntilDeath(driver, suite, rng, 3, 8 * ops)) {
+    driver.Fail("node 3 never hit wal.after_commit_flush");
+  }
+  std::printf("   node 3 died mid-2PC; driving degraded ops\n");
+  for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
+  if (!driver.Spawn(3, "")) return 1;
+  driver.ResolveInDoubt(ctl, 3);
+  for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
+
+  std::printf("== final: invariant check against the committed-ops model "
+              "(%zu keys)\n",
+              driver.model.size());
+  chaos::ScanMap scans;
+  for (NodeId id = 1; id <= 3; ++id) {
+    const auto dump = driver.CtlCall<chaos::DumpStateReply>(
+        ctl, id, chaos::kDumpState, net::Empty{});
+    if (!dump.ok()) {
+      driver.Fail("dump node " + std::to_string(id) + ": " +
+                  dump.status().ToString());
+      break;
+    }
+    scans[id] = dump->scan;
+  }
+  if (driver.ok()) {
+    const Status verdict = chaos::CheckAll(config, scans, driver.model);
+    if (!verdict.ok()) driver.Fail(verdict.ToString());
+  }
+
+  for (NodeId id = 1; id <= 3; ++id) driver.Kill(id);
+
+  std::printf(
+      "{\"seed\":%llu,\"ops_attempted\":%llu,\"ops_committed\":%llu,"
+      "\"kills\":%llu,\"mid_2pc_kills\":%llu,\"respawns\":%llu,"
+      "\"model_keys\":%zu,\"verdict\":\"%s\"}\n",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(driver.ops_attempted),
+      static_cast<unsigned long long>(driver.ops_committed),
+      static_cast<unsigned long long>(driver.kills),
+      static_cast<unsigned long long>(driver.mid_2pc_kills),
+      static_cast<unsigned long long>(driver.respawns),
+      driver.model.size(), driver.ok() ? "OK" : driver.failure.c_str());
+  return driver.ok() ? 0 : 1;
+}

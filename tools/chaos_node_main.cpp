@@ -1,0 +1,132 @@
+// chaos_node: one directory representative in its own process, for the
+// multi-process chaos cluster (tools/chaos_cluster.cpp).
+//
+//   chaos_node --node ID --wal PATH [--port P]
+//
+// The node backs its WAL with PATH, recovers whatever the file holds on
+// startup (so a respawn after `kill -9` resumes from the durable log),
+// serves the directory RPCs over TCP, and additionally registers the
+// cluster-control methods (chaos/cluster_messages.h) the driver uses to
+// list in-doubt transactions, feed in coordinator decisions, and dump the
+// storage scan for invariant checking.
+//
+// When the REPDIR_CRASH_POINT environment variable is set ("name:count"),
+// the named WAL/recovery crash point is armed with the default handler -
+// raise(SIGKILL) - so the process dies at a precise protocol instant, as if
+// the machine lost power there.
+//
+// Startup protocol on stdout (line-oriented, flushed):
+//   PORT <port>
+//   INDOUBT <txn>...          (may be absent when nothing is in doubt)
+//   READY
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/cluster_messages.h"
+#include "net/tcp_transport.h"
+#include "rep/dir_rep_node.h"
+#include "storage/crash_point.h"
+
+using namespace repdir;
+
+int main(int argc, char** argv) {
+  NodeId id = 0;
+  std::uint16_t port = 0;
+  std::string wal_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--node") {
+      id = static_cast<NodeId>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--wal") {
+      wal_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (id == 0 || wal_path.empty()) {
+    std::fprintf(stderr, "usage: chaos_node --node ID --wal PATH [--port P]\n");
+    return 2;
+  }
+
+  rep::DirRepNodeOptions options;
+  options.enable_wal = true;
+  options.wal_path = wal_path;
+  // Abort-on-conflict: an in-doubt transaction's locks must never wedge the
+  // process (there is no cross-process deadlock detector).
+  options.participant.blocking_locks = false;
+  rep::DirRepNode node(id, options);
+
+  // Resume from whatever survived the last death of this process.
+  const auto recovery = node.Recover();
+  if (!recovery.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovery.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<TxnId> in_doubt(recovery->in_doubt.begin(),
+                              recovery->in_doubt.end());
+
+  // Cluster-control service for the driver.
+  node.server().RegisterTyped<net::Empty, chaos::DumpStateReply>(
+      chaos::kDumpState,
+      [&node](const net::RpcRequest&, const net::Empty&,
+              chaos::DumpStateReply& out) {
+        out.scan = node.storage().Scan();
+        return Status::Ok();
+      });
+  node.server().RegisterTyped<net::Empty, chaos::InDoubtReply>(
+      chaos::kListInDoubt,
+      [&in_doubt](const net::RpcRequest&, const net::Empty&,
+                  chaos::InDoubtReply& out) {
+        out.txns = in_doubt;
+        return Status::Ok();
+      });
+  node.server().RegisterTyped<chaos::ResolveRequest, net::Empty>(
+      chaos::kResolve,
+      [&node, &in_doubt](const net::RpcRequest&,
+                         const chaos::ResolveRequest& req, net::Empty&) {
+        REPDIR_RETURN_IF_ERROR(node.ResolveInDoubt(req.txn, req.commit));
+        std::erase(in_doubt, req.txn);
+        return Status::Ok();
+      });
+
+  net::TcpServer server(node.server());
+  const auto bound = server.Start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "cannot listen: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("PORT %u\n", *bound);
+  if (!in_doubt.empty()) {
+    std::printf("INDOUBT");
+    for (const TxnId t : in_doubt) {
+      std::printf(" %llu", static_cast<unsigned long long>(t));
+    }
+    std::printf("\n");
+  }
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  // Arm only after READY: startup recovery must not trip the crash point
+  // meant for the upcoming workload.
+  storage::CrashPoints::Instance().ArmFromEnv();
+
+  // Serve until killed (the driver stops nodes with SIGKILL only).
+  for (;;) pause();
+}

@@ -20,6 +20,8 @@ targets=(
   net/net_rpc_test net/net_parallel_call_test
   net/net_retry_backoff_test net/net_failure_injector_test
   rep/rep_version_cache_test
+  chaos/chaos_invariants_test
+  chaos/chaos_campaign_test
   integration/integration_observability_test
   integration/integration_chaos_test
   integration/integration_cache_coherence_test

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Chaos harness driver.
+#
+#   tools/run_chaos.sh smoke    fixed-seed mini-sweep + one multi-process
+#                               kill -9 drill (what ctest runs as tier-1)
+#   tools/run_chaos.sh full     the acceptance sweep: every builtin
+#                               scenario x 40 seeds (240 runs, including
+#                               the 9-replica weighted and 31-replica
+#                               topologies) plus three seeded cluster
+#                               drills; writes build/chaos_report.json
+#
+# A failing seed prints a ddmin-shrunken schedule replayable with
+#   chaos_campaign --scenario NAME --replay-seed SEED --replay-file FILE
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build"
+jobs="${JOBS:-$(nproc)}"
+mode="${1:-smoke}"
+
+cmake -B "$build" -S "$root" >/dev/null
+cmake --build "$build" -j"$jobs" --target chaos_campaign chaos_node \
+  chaos_cluster >/dev/null
+
+case "$mode" in
+  smoke)
+    "$build/tools/chaos_campaign" --smoke
+    "$build/tools/chaos_cluster" --ops 40
+    ;;
+  full)
+    "$build/tools/chaos_campaign" --seeds 40 \
+      --json "$build/chaos_report.json"
+    for seed in 1 2 3; do
+      "$build/tools/chaos_cluster" --seed "$seed" --ops 60
+    done
+    ;;
+  *)
+    echo "usage: $0 [smoke|full]" >&2
+    exit 2
+    ;;
+esac
+echo "chaos($mode): all green"

@@ -23,6 +23,8 @@ targets=(
   rep/rep_readonly_2pc_test rep/rep_failure_test rep/rep_batching_test
   rep/rep_parallel_fanout_test
   rep/rep_version_cache_test
+  chaos/chaos_invariants_test
+  chaos/chaos_campaign_test
   integration/integration_threaded_test
   integration/integration_cache_coherence_test
   integration/integration_serializability_test
