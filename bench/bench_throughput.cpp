@@ -1,0 +1,443 @@
+// Hot-path throughput: how far op batching + WAL group commit + transport
+// multiplexing move the saturation point.
+//
+// Three experiments, all on a 3-2-2 deployment with the WAL enabled:
+//
+//  1. Closed-loop saturation sweep: T client threads x batch size {1,16} x
+//     transport {threaded (200us simulated one-way links), tcp (real
+//     loopback sockets, multiplexed)}. Each thread drives its own
+//     DirectorySuite over its own keys; batch=1 is the single-shot API,
+//     batch=16 groups the same updates through BatchBuilder - one read
+//     wave, one write wave, one 2PC per 16 ops instead of per op.
+//  2. Equivalence audit: one deterministic op script applied batched
+//     (chunks) and single-shot to two fresh deployments must leave
+//     identical full directory scans. A throughput number from a transport
+//     that corrupts the directory is worse than no number.
+//  3. Open-loop latency vs offered load through the AutoBatcher: submitter
+//     threads fire ops on a fixed schedule (arrival rate independent of
+//     completion - the honest way to find the knee) and we report latency
+//     percentiles plus the coalescing the batcher achieved.
+//
+// Emits BENCH_throughput.json. `--smoke` runs a seconds-scale subset with
+// the correctness audit but no perf assertion (timing in CI is noise);
+// the full run asserts the >=5x batched-vs-unbatched saturation speedup.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lock/deadlock.h"
+#include "net/tcp_transport.h"
+#include "net/threaded_transport.h"
+#include "rep/batcher.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+
+namespace {
+
+using namespace repdir;
+using Clock = std::chrono::steady_clock;
+
+constexpr DurationMicros kLinkLatency = 200;  // one-way, threaded transport
+constexpr int kKeysPerClient = 16;
+
+enum class Wire { kThreaded, kTcp };
+
+const char* WireName(Wire w) { return w == Wire::kThreaded ? "threaded" : "tcp"; }
+
+/// One 3-node deployment plus whichever transport the experiment wants.
+/// Owns everything; the suites the caller makes must die before it does.
+struct Deployment {
+  lock::DeadlockDetector detector;
+  rep::QuorumConfig config = rep::QuorumConfig::Uniform(3, 2, 2);
+  std::unique_ptr<sim::NetworkModel> network;
+  std::unique_ptr<net::ThreadedTransport> threaded;
+  std::unique_ptr<net::TcpTransport> tcp;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+
+  explicit Deployment(Wire wire, DurationMicros group_commit_window_us = 100) {
+    rep::DirRepNodeOptions node_options;
+    node_options.detector = &detector;
+    node_options.participant.blocking_locks = true;
+    node_options.enable_wal = true;
+    node_options.group_commit.window_us = group_commit_window_us;
+
+    if (wire == Wire::kThreaded) {
+      network = std::make_unique<sim::NetworkModel>(1);
+      network->SetDefaultLink(sim::LinkSpec{kLinkLatency, 0, 0.0});
+      threaded = std::make_unique<net::ThreadedTransport>(network.get());
+    } else {
+      tcp = std::make_unique<net::TcpTransport>();
+    }
+    for (const auto& replica : config.replicas()) {
+      nodes.push_back(
+          std::make_unique<rep::DirRepNode>(replica.node, node_options));
+      if (wire == Wire::kThreaded) {
+        threaded->RegisterNode(replica.node, nodes.back()->server());
+      } else {
+        servers.push_back(
+            std::make_unique<net::TcpServer>(nodes.back()->server()));
+        const auto port = servers.back()->Start();
+        if (!port.ok()) {
+          std::fprintf(stderr, "tcp listen failed: %s\n",
+                       port.status().ToString().c_str());
+          std::exit(1);
+        }
+        tcp->AddRoute(replica.node, "127.0.0.1", *port);
+      }
+    }
+  }
+
+  net::Transport& transport() {
+    return threaded ? static_cast<net::Transport&>(*threaded) : *tcp;
+  }
+
+  std::unique_ptr<rep::DirectorySuite> NewSuite(NodeId client,
+                                                std::uint64_t seed) {
+    rep::DirectorySuite::Options options;
+    options.config = config;
+    options.policy_seed = seed;
+    return std::make_unique<rep::DirectorySuite>(transport(), client,
+                                                 std::move(options));
+  }
+};
+
+// --- Experiment 1: closed-loop saturation sweep ---
+
+struct ClosedLoopSample {
+  Wire wire = Wire::kThreaded;
+  int clients = 0;
+  int batch = 0;
+  int total_ops = 0;
+  double ops_per_sec = 0;
+};
+
+ClosedLoopSample RunClosedLoop(Wire wire, int clients, int batch,
+                               int ops_per_client) {
+  Deployment deployment(wire);
+  {
+    auto seeder = deployment.NewSuite(99, 42);
+    for (int t = 0; t < clients; ++t) {
+      for (int k = 0; k < kKeysPerClient; ++k) {
+        const std::string key =
+            "c" + std::to_string(t) + "-k" + std::to_string(k);
+        if (!seeder->Insert(key, "0").ok()) std::exit(1);
+      }
+    }
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int t = 0; t < clients; ++t) {
+    workers.emplace_back([&, t] {
+      auto suite = deployment.NewSuite(static_cast<NodeId>(100 + t),
+                                       1000 + static_cast<std::uint64_t>(t));
+      const std::string prefix = "c" + std::to_string(t) + "-k";
+      if (batch <= 1) {
+        for (int i = 0; i < ops_per_client; ++i) {
+          const std::string key = prefix + std::to_string(i % kKeysPerClient);
+          if (!suite->Update(key, std::to_string(i)).ok()) std::exit(1);
+        }
+      } else {
+        for (int i = 0; i < ops_per_client; i += batch) {
+          rep::BatchBuilder b = suite->Batch();
+          for (int j = 0; j < batch; ++j) {
+            const std::string key =
+                prefix + std::to_string((i + j) % kKeysPerClient);
+            b.Update(key, std::to_string(i + j));
+          }
+          const auto r = b.Execute();
+          if (!r.status.ok()) std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ClosedLoopSample sample;
+  sample.wire = wire;
+  sample.clients = clients;
+  sample.batch = batch;
+  sample.total_ops = clients * ops_per_client;
+  sample.ops_per_sec = sample.total_ops / secs;
+  return sample;
+}
+
+// --- Experiment 2: batched vs single-shot equivalence audit ---
+
+bool ScansAgree(int script_ops, int chunk) {
+  Deployment batched_dep(Wire::kThreaded, /*group_commit_window_us=*/0);
+  Deployment single_dep(Wire::kThreaded, /*group_commit_window_us=*/0);
+  auto batched = batched_dep.NewSuite(100, 7);
+  auto single = single_dep.NewSuite(100, 7);
+
+  using BatchOp = rep::DirectorySuite::BatchOp;
+  std::vector<BatchOp> script;
+  for (int i = 0; i < script_ops; ++i) {
+    BatchOp op;
+    op.key = "k" + std::to_string((i * 7) % 17);
+    if (i % 3 == 0) {
+      op.kind = BatchOp::Kind::kInsert;
+      op.value = "ins" + std::to_string(i);
+    } else if (i % 3 == 1) {
+      op.kind = BatchOp::Kind::kUpdate;
+      op.value = "upd" + std::to_string(i);
+    } else {
+      op.kind = BatchOp::Kind::kLookup;
+    }
+    script.push_back(std::move(op));
+  }
+
+  for (std::size_t base = 0; base < script.size();
+       base += static_cast<std::size_t>(chunk)) {
+    const std::size_t end =
+        std::min(base + static_cast<std::size_t>(chunk), script.size());
+    std::vector<BatchOp> slice(script.begin() + static_cast<long>(base),
+                               script.begin() + static_cast<long>(end));
+    if (!batched->ExecuteBatch(slice).status.ok()) return false;
+  }
+  for (const BatchOp& op : script) {
+    switch (op.kind) {
+      case BatchOp::Kind::kInsert:
+        (void)single->Insert(op.key, op.value);
+        break;
+      case BatchOp::Kind::kUpdate:
+        (void)single->Update(op.key, op.value);
+        break;
+      case BatchOp::Kind::kLookup:
+        (void)single->Lookup(op.key);
+        break;
+    }
+  }
+
+  auto scan = [](rep::DirectorySuite& s) {
+    std::vector<std::pair<UserKey, Value>> entries;
+    auto cur = s.FirstKey();
+    while (cur.ok() && cur->found) {
+      entries.emplace_back(cur->key, cur->value);
+      cur = s.NextKey(cur->key);
+    }
+    return entries;
+  };
+  return scan(*batched) == scan(*single);
+}
+
+// --- Experiment 3: open-loop offered load through the AutoBatcher ---
+
+struct OpenLoopSample {
+  double offered_ops_per_sec = 0;
+  double achieved_ops_per_sec = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0;
+};
+
+OpenLoopSample RunOpenLoop(double offered_rate, int total_ops, int submitters) {
+  Deployment deployment(Wire::kThreaded);
+  auto suite = deployment.NewSuite(100, 5);
+  for (int s = 0; s < submitters; ++s) {
+    for (int k = 0; k < 4; ++k) {
+      const std::string key = "s" + std::to_string(s) + "-" + std::to_string(k);
+      if (!suite->Insert(key, "0").ok()) std::exit(1);
+    }
+  }
+
+  rep::AutoBatcher::Options opts;
+  opts.max_batch = 32;
+  opts.max_wait_us = 200;
+  rep::AutoBatcher batcher(*suite, opts);
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(total_ops));
+  std::atomic<int> failures{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      // Thread s owns ops s, s+S, s+2S, ... of the global arrival schedule:
+      // op i is due at i/offered_rate seconds, regardless of how long the
+      // previous one took. That is what "open loop" means.
+      for (int i = s; i < total_ops; i += submitters) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(i / offered_rate));
+        std::this_thread::sleep_until(due);
+        const std::string key =
+            "s" + std::to_string(s) + "-" + std::to_string(i % 4);
+        const auto t0 = Clock::now();
+        if (!batcher.Update(key, std::to_string(i)).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count();
+        std::lock_guard<std::mutex> lk(lat_mu);
+        latencies_us.push_back(us);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "open-loop: %d ops failed\n", failures.load());
+    std::exit(1);
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+
+  OpenLoopSample sample;
+  sample.offered_ops_per_sec = offered_rate;
+  sample.achieved_ops_per_sec = latencies_us.size() / secs;
+  sample.p50_us = pct(0.50);
+  sample.p95_us = pct(0.95);
+  sample.p99_us = pct(0.99);
+  sample.batches = batcher.batches_dispatched();
+  sample.mean_batch =
+      sample.batches == 0
+          ? 0.0
+          : static_cast<double>(batcher.ops_submitted()) /
+                static_cast<double>(sample.batches);
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<int> client_counts = smoke ? std::vector<int>{2}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const int ops_per_client = smoke ? 32 : 96;
+  const std::vector<int> batch_sizes = {1, 16};
+
+  std::printf(
+      "Hot-path saturation: 3-2-2, WAL + group commit, %lluus one-way links\n"
+      "on the threaded transport, real loopback sockets on tcp.\n\n",
+      static_cast<unsigned long long>(kLinkLatency));
+  std::printf("%10s %8s %6s %10s %14s\n", "transport", "clients", "batch",
+              "ops", "ops/s");
+
+  std::vector<ClosedLoopSample> sweep;
+  double best[2][2] = {{0, 0}, {0, 0}};  // [wire][batched]
+  for (const Wire wire : {Wire::kThreaded, Wire::kTcp}) {
+    for (const int batch : batch_sizes) {
+      for (const int clients : client_counts) {
+        const auto s = RunClosedLoop(wire, clients, batch, ops_per_client);
+        sweep.push_back(s);
+        auto& slot = best[wire == Wire::kTcp ? 1 : 0][batch > 1 ? 1 : 0];
+        slot = std::max(slot, s.ops_per_sec);
+        std::printf("%10s %8d %6d %10d %14.0f\n", WireName(s.wire), s.clients,
+                    s.batch, s.total_ops, s.ops_per_sec);
+      }
+    }
+  }
+  const double threaded_speedup = best[0][1] / best[0][0];
+  const double tcp_speedup = best[1][1] / best[1][0];
+  std::printf(
+      "\nSaturation: threaded %0.0f -> %0.0f ops/s (%.1fx batched), "
+      "tcp %0.0f -> %0.0f ops/s (%.1fx batched)\n",
+      best[0][0], best[0][1], threaded_speedup, best[1][0], best[1][1],
+      tcp_speedup);
+
+  const bool scans_ok = ScansAgree(smoke ? 60 : 120, 13);
+  std::printf("Equivalence audit (batched vs single-shot scans): %s\n",
+              scans_ok ? "identical" : "DIVERGED");
+  if (!scans_ok) return 1;
+
+  std::printf("\nOpen loop through AutoBatcher (offered load fixed):\n");
+  std::printf("%12s %12s %10s %10s %10s %9s %11s\n", "offered/s", "achieved/s",
+              "p50 us", "p95 us", "p99 us", "batches", "mean batch");
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{400} : std::vector<double>{500, 2000, 8000};
+  std::vector<OpenLoopSample> open;
+  for (const double rate : loads) {
+    const int ops = smoke ? 120 : static_cast<int>(std::min(rate, 4000.0));
+    const auto s = RunOpenLoop(rate, ops, /*submitters=*/8);
+    open.push_back(s);
+    std::printf("%12.0f %12.0f %10.0f %10.0f %10.0f %9llu %11.1f\n",
+                s.offered_ops_per_sec, s.achieved_ops_per_sec, s.p50_us,
+                s.p95_us, s.p99_us, static_cast<unsigned long long>(s.batches),
+                s.mean_batch);
+  }
+
+  if (!smoke) {
+    if (std::FILE* json = std::fopen("BENCH_throughput.json", "w")) {
+      std::fprintf(json,
+                   "{\n  \"config\": \"3-2-2\",\n"
+                   "  \"one_way_latency_us\": %llu,\n"
+                   "  \"wal\": \"enabled, group commit window 100us\",\n",
+                   static_cast<unsigned long long>(kLinkLatency));
+      std::fprintf(json, "  \"closed_loop\": [\n");
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto& s = sweep[i];
+        std::fprintf(json,
+                     "    {\"transport\": \"%s\", \"clients\": %d, "
+                     "\"batch\": %d, \"ops\": %d, \"ops_per_sec\": %.1f}%s\n",
+                     WireName(s.wire), s.clients, s.batch, s.total_ops,
+                     s.ops_per_sec, i + 1 < sweep.size() ? "," : "");
+      }
+      std::fprintf(json, "  ],\n  \"saturation\": {\n");
+      std::fprintf(json,
+                   "    \"threaded_unbatched_ops_per_sec\": %.1f,\n"
+                   "    \"threaded_batched_ops_per_sec\": %.1f,\n"
+                   "    \"threaded_batched_speedup\": %.2f,\n"
+                   "    \"tcp_unbatched_ops_per_sec\": %.1f,\n"
+                   "    \"tcp_batched_ops_per_sec\": %.1f,\n"
+                   "    \"tcp_batched_speedup\": %.2f\n  },\n",
+                   best[0][0], best[0][1], threaded_speedup, best[1][0],
+                   best[1][1], tcp_speedup);
+      std::fprintf(json, "  \"scan_equality\": %s,\n",
+                   scans_ok ? "true" : "false");
+      std::fprintf(json, "  \"open_loop\": [\n");
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        const auto& s = open[i];
+        std::fprintf(
+            json,
+            "    {\"offered_ops_per_sec\": %.0f, "
+            "\"achieved_ops_per_sec\": %.1f, \"p50_us\": %.1f, "
+            "\"p95_us\": %.1f, \"p99_us\": %.1f, \"batches\": %llu, "
+            "\"mean_batch\": %.2f}%s\n",
+            s.offered_ops_per_sec, s.achieved_ops_per_sec, s.p50_us, s.p95_us,
+            s.p99_us, static_cast<unsigned long long>(s.batches),
+            s.mean_batch, i + 1 < open.size() ? "," : "");
+      }
+      std::fprintf(json, "  ]\n}\n");
+      std::fclose(json);
+      std::printf("\nWrote BENCH_throughput.json\n");
+    }
+    if (threaded_speedup < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: batched saturation speedup %.2fx < 5x on the "
+                   "threaded transport\n",
+                   threaded_speedup);
+      return 1;
+    }
+    std::printf("PASS: batched saturation speedup %.2fx >= 5x\n",
+                threaded_speedup);
+  }
+  return 0;
+}

@@ -388,6 +388,163 @@ void ExecuteOp(Run& run, std::size_t step, const ChaosEvent& e) {
   }
 }
 
+bool Batchable(const ChaosEvent& e) {
+  return e.kind == ChaosEvent::Kind::kOp &&
+         (e.op == ChaosEvent::OpKind::kInsert ||
+          e.op == ChaosEvent::OpKind::kUpdate ||
+          e.op == ChaosEvent::OpKind::kLookup);
+}
+
+/// Runs a group of consecutive batchable ops as ONE transaction through
+/// SuiteTxn::ExecuteBatch, then advances the model op by op in submission
+/// order (batch semantics: later ops observe earlier effects). The model
+/// cross-checks are the same as ExecuteOp's; a transaction-level failure
+/// (quorum loss, abort) must leave the model untouched for every op.
+void ExecuteBatchGroup(Run& run,
+                       std::vector<std::pair<std::size_t, ChaosEvent>>& group) {
+  if (group.empty()) return;
+  Model& model = run.out.committed;
+  run.out.ops_attempted += group.size();
+
+  using BatchOp = rep::DirectorySuite::BatchOp;
+  std::vector<BatchOp> ops;
+  ops.reserve(group.size());
+  for (const auto& [step, e] : group) {
+    BatchOp op;
+    op.key = KeyName(e.key_index);
+    switch (e.op) {
+      case ChaosEvent::OpKind::kInsert:
+        op.kind = BatchOp::Kind::kInsert;
+        op.value = ValueName(run.seed, e.value_salt);
+        break;
+      case ChaosEvent::OpKind::kUpdate:
+        op.kind = BatchOp::Kind::kUpdate;
+        op.value = ValueName(run.seed, e.value_salt);
+        break;
+      default:
+        op.kind = BatchOp::Kind::kLookup;
+        break;
+    }
+    ops.push_back(std::move(op));
+  }
+
+  rep::SuiteTxn txn = run.suite->Begin();
+  const auto results = txn.ExecuteBatch(ops);
+  if (!results.ok()) {
+    run.decisions[txn.id()] = false;
+    txn.Abort();
+    switch (results.status().code()) {
+      case StatusCode::kUnavailable:
+        run.out.ops_unavailable += group.size();
+        break;
+      case StatusCode::kAborted:
+        run.out.ops_aborted += group.size();
+        break;
+      default:
+        Fail(run, group.front().first, group.front().second,
+             "unexpected batch status: " + results.status().ToString());
+        break;
+    }
+    group.clear();
+    return;
+  }
+
+  const Status commit = txn.Commit();
+  run.decisions[txn.id()] = commit.ok();
+  if (!commit.ok()) {
+    if (commit.code() != StatusCode::kAborted &&
+        commit.code() != StatusCode::kUnavailable) {
+      Fail(run, group.front().first, group.front().second,
+           "unexpected batch commit status: " + commit.ToString());
+      group.clear();
+      return;
+    }
+    run.out.ops_aborted += group.size();
+    group.clear();
+    return;
+  }
+
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto& [step, e] = group[i];
+    const UserKey key = KeyName(e.key_index);
+    const Value value = ValueName(run.seed, e.value_salt);
+    const auto& r = (*results)[i];
+    switch (e.op) {
+      case ChaosEvent::OpKind::kInsert:
+        if (r.status.ok()) {
+          if (model.contains(key)) {
+            Fail(run, step, e,
+                 "batched insert committed but the model already holds \"" +
+                     key + "\" - a read quorum missed the current entry");
+            return;
+          }
+          model[key] = value;
+          ++run.out.ops_committed;
+        } else if (r.status.code() == StatusCode::kAlreadyExists) {
+          if (!model.contains(key)) {
+            Fail(run, step, e,
+                 "batched insert rejected as existing but the model says \"" +
+                     key + "\" is absent - a stale entry won a read quorum");
+            return;
+          }
+          ++run.out.ops_rejected;
+        } else {
+          Fail(run, step, e,
+               "unexpected batched insert status: " + r.status.ToString());
+          return;
+        }
+        break;
+      case ChaosEvent::OpKind::kUpdate:
+        if (r.status.ok()) {
+          if (!model.contains(key)) {
+            Fail(run, step, e,
+                 "batched update committed but \"" + key +
+                     "\" is deleted - a read quorum saw a ghost");
+            return;
+          }
+          model[key] = value;
+          ++run.out.ops_committed;
+        } else if (r.status.code() == StatusCode::kNotFound) {
+          if (model.contains(key)) {
+            Fail(run, step, e,
+                 "batched update says \"" + key +
+                     "\" is absent but the model holds it - a stale gap won "
+                     "a read quorum");
+            return;
+          }
+          ++run.out.ops_rejected;
+        } else {
+          Fail(run, step, e,
+               "unexpected batched update status: " + r.status.ToString());
+          return;
+        }
+        break;
+      default: {  // kLookup
+        if (!r.status.ok()) {
+          Fail(run, step, e,
+               "unexpected batched lookup status: " + r.status.ToString());
+          return;
+        }
+        const auto it = model.find(key);
+        if (r.lookup.found != (it != model.end()) ||
+            (r.lookup.found && r.lookup.value != it->second)) {
+          Fail(run, step, e,
+               "batched lookup of \"" + key + "\" returned " +
+                   (r.lookup.found ? "'" + r.lookup.value + "'"
+                                   : std::string("absent")) +
+                   " but the model has " +
+                   (it != model.end() ? "'" + it->second + "'"
+                                      : std::string("absent")));
+          return;
+        }
+        ++run.out.ops_committed;
+        break;
+      }
+    }
+  }
+  group.clear();
+}
+
 /// Restarts one node: WAL replay plus in-doubt resolution against the
 /// coordinator's decision map (presumed abort when unknown).
 Status RecoverNode(Run& run, NodeId node) {
@@ -405,8 +562,21 @@ RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
                        std::uint64_t seed) {
   Run run(spec, seed);
 
+  // Batched execution: consecutive batchable ops accumulate here and flush
+  // as one transaction when the group fills, a non-batchable event arrives
+  // (order must hold), or the schedule ends.
+  std::vector<std::pair<std::size_t, ChaosEvent>> group;
+  const std::size_t batch = std::max<std::uint32_t>(1, spec.batch_size);
+
   for (std::size_t i = 0; i < schedule.size() && run.out.verdict.ok(); ++i) {
     const ChaosEvent& e = schedule[i];
+    if (batch > 1 && Batchable(e)) {
+      group.emplace_back(i, e);
+      if (group.size() >= batch) ExecuteBatchGroup(run, group);
+      continue;
+    }
+    ExecuteBatchGroup(run, group);
+    if (!run.out.verdict.ok()) break;
     switch (e.kind) {
       case ChaosEvent::Kind::kOp:
         ExecuteOp(run, i, e);
@@ -463,6 +633,7 @@ RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
       }
     }
   }
+  if (run.out.verdict.ok()) ExecuteBatchGroup(run, group);
   if (!run.out.verdict.ok()) return std::move(run.out);
 
   // Final convergence barrier: heal the network, then crash + recover +
@@ -674,6 +845,28 @@ std::vector<ScenarioSpec> BuiltinScenarios() {
     ScenarioSpec s;
     s.name = "weighted-9-7-7";
     s.topology = {{3, 2, 2, 1, 1, 1, 1, 1, 1}, 7, 7};
+    s.steps = 300;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Hot-path batching under fire: groups of 8 ops share one transaction
+    // (and one group-committed flush). Crashes mid-group must never widen
+    // the durability window of a committed batch - the model advances op
+    // by op and CheckAll compares it against the recovered scans.
+    ScenarioSpec s;
+    s.name = "batched-3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    s.batch_size = 8;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Batching composed with the version cache and a weak replica: staged
+    // cache puts from batch waves plus weak best-effort propagation.
+    ScenarioSpec s;
+    s.name = "batched-cached-weak-5-2-3";
+    s.topology = {{1, 1, 1, 1, 0}, 2, 3};
+    s.enable_cache = true;
+    s.batch_size = 6;
     s.steps = 300;
     scenarios.push_back(std::move(s));
   }

@@ -39,6 +39,14 @@ struct ScenarioSpec {
   std::uint32_t steps = 400;
   std::uint32_t key_space = 24;
 
+  /// >1: the executor groups up to this many consecutive batchable ops
+  /// (insert/update/lookup) into one SuiteTxn::ExecuteBatch - one read
+  /// wave, one write wave, one 2PC, one group-committed flush for the
+  /// whole group. Deletes, scans, and fault events flush the group first,
+  /// so event order is preserved. The committed-ops model still advances
+  /// op by op; a transaction-level failure must leave it untouched.
+  std::uint32_t batch_size = 1;
+
   // Per-step fault mix; the remainder (roughly 3/4) is directory
   // operations. The generator respects quorum viability: it never crashes
   // a node if the surviving voters could not muster max(R, W) votes.

@@ -1,18 +1,22 @@
 #include "net/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <condition_variable>
 #include <cstring>
+
+#include "net/wire.h"
 
 namespace repdir::net {
 
 namespace {
-
-constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB sanity cap
 
 Status WriteAll(int fd, const void* data, std::size_t n) {
   const char* p = static_cast<const char*>(data);
@@ -26,47 +30,6 @@ Status WriteAll(int fd, const void* data, std::size_t n) {
     n -= static_cast<std::size_t>(written);
   }
   return Status::Ok();
-}
-
-Status ReadAll(int fd, void* data, std::size_t n) {
-  char* p = static_cast<char*>(data);
-  while (n > 0) {
-    const ssize_t got = ::recv(fd, p, n, 0);
-    if (got == 0) return Status::Unavailable("tcp connection closed");
-    if (got < 0) {
-      return Status::Unavailable("tcp recv failed: " +
-                                 std::string(std::strerror(errno)));
-    }
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return Status::Ok();
-}
-
-Status WriteFrame(int fd, const std::string& payload) {
-  if (payload.size() > kMaxFrame) {
-    return Status::InvalidArgument("frame too large");
-  }
-  // Single buffered write: little-endian length prefix + payload.
-  std::string frame;
-  frame.reserve(4 + payload.size());
-  for (int i = 0; i < 4; ++i) {
-    frame.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
-  }
-  frame += payload;
-  return WriteAll(fd, frame.data(), frame.size());
-}
-
-Status ReadFrame(int fd, std::string& payload) {
-  unsigned char header[4];
-  REPDIR_RETURN_IF_ERROR(ReadAll(fd, header, 4));
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  }
-  if (len > kMaxFrame) return Status::Corruption("oversized tcp frame");
-  payload.resize(len);
-  return len == 0 ? Status::Ok() : ReadAll(fd, payload.data(), len);
 }
 
 int ConnectTo(const std::string& host, std::uint16_t port) {
@@ -88,7 +51,16 @@ int ConnectTo(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
+
+// --- TcpServer ---
+
+TcpServer::Conn::~Conn() { ::close(fd); }
 
 Result<std::uint16_t> TcpServer::Start(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -129,33 +101,63 @@ void TcpServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // listen socket closed: shutting down
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Conn>(fd);
     std::lock_guard<std::mutex> guard(mu_);
-    if (stopping_.load()) {
-      ::close(fd);
-      return;
-    }
-    open_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+    if (stopping_.load()) return;  // conn dtor closes fd
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ServeConnection(conn); });
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
-  std::string request_bytes;
+void TcpServer::ServeConnection(const std::shared_ptr<Conn>& conn) {
+  // Reader: reassemble request frames and hand each to the shared pool.
+  // Handlers run concurrently (an N-deep pipeline of requests executes in
+  // parallel) and write their responses as they finish, in completion
+  // order - the correlation id is what lets the client match them up.
+  std::string in;
+  char buf[64 * 1024];
   for (;;) {
-    if (!ReadFrame(fd, request_bytes).ok()) break;
-    RpcRequest req;
-    RpcResponse resp;
-    if (DecodeFromString(request_bytes, req).ok()) {
-      resp = service_->Dispatch(req);
-    } else {
-      resp = RpcResponse::FromStatus(
-          Status::Corruption("undecodable request frame"));
+    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    in.append(buf, static_cast<std::size_t>(got));
+    std::size_t off = 0;
+    bool poisoned = false;
+    while (in.size() - off >= kTcpFrameHeaderBytes) {
+      std::uint32_t len = 0;
+      std::uint64_t corr = 0;
+      DecodeTcpFrameHeader(in.data() + off, len, corr);
+      if (len > kMaxTcpFrame) {
+        poisoned = true;  // unframeable garbage: drop the connection
+        break;
+      }
+      if (in.size() - off < kTcpFrameHeaderBytes + len) break;
+      std::string payload =
+          in.substr(off + kTcpFrameHeaderBytes, len);
+      off += kTcpFrameHeaderBytes + len;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      pool_.Submit([this, conn, corr, payload = std::move(payload)] {
+        RpcRequest req;
+        RpcResponse resp;
+        if (DecodeFromString(payload, req).ok()) {
+          resp = service_->Dispatch(req);
+        } else {
+          resp = RpcResponse::FromStatus(
+              Status::Corruption("undecodable request frame"));
+        }
+        std::string frame;
+        AppendTcpFrame(frame, corr, EncodeToString(resp));
+        std::lock_guard<std::mutex> wlk(conn->write_mu);
+        // A failed write means the peer is gone; the reader notices too.
+        (void)WriteAll(conn->fd, frame.data(), frame.size());
+      });
     }
-    if (!WriteFrame(fd, EncodeToString(resp)).ok()) break;
+    in.erase(0, off);
+    if (poisoned) break;
   }
-  ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
+  ::shutdown(conn->fd, SHUT_RDWR);
 }
 
 void TcpServer::Stop() {
@@ -165,95 +167,357 @@ void TcpServer::Stop() {
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  std::vector<std::thread> workers;
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Conn>> conns;
   {
     std::lock_guard<std::mutex> guard(mu_);
-    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
-    workers.swap(workers_);
-    open_fds_.clear();
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+    readers.swap(readers_);
+    conns.swap(conns_);
   }
-  for (auto& w : workers) w.join();
+  for (auto& r : readers) r.join();
+  // Drain in-flight handlers before the fds close (each task holds a
+  // shared_ptr to its connection, so writes target a live descriptor).
+  pool_.Shutdown();
+  conns.clear();
   listen_fd_ = -1;
 }
 
-TcpTransport::~TcpTransport() {
-  // Drain in-flight asynchronous calls before closing their connections.
-  pool_.Shutdown();
-  std::lock_guard<std::mutex> guard(mu_);
-  for (auto& [node, fds] : idle_) {
-    for (const int fd : fds) ::close(fd);
-  }
+// --- TcpTransport ---
+
+TcpTransport::TcpTransport() {
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  loop_ = std::thread([this] { Loop(); });
 }
 
-void TcpTransport::CallAsync(NodeId to, const RpcRequest& req,
-                             AsyncDone done) {
-  pool_.Submit([this, to, req, done = std::move(done)] {
-    RpcResponse resp;
-    Status st = Call(to, req, resp);
-    done(std::move(st), std::move(resp));
-  });
+TcpTransport::~TcpTransport() {
+  stopping_.store(true);
+  Wake();
+  if (loop_.joinable()) loop_.join();
+  // Fail whatever is still in flight; completions queued by the loop are
+  // drained by the pool shutdown below.
+  std::map<NodeId, std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [node, conn] : conns) {
+    std::map<std::uint64_t, PendingCall> pending;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      conn->dead = true;
+      pending.swap(conn->pending);
+    }
+    for (auto& [corr, call] : pending) {
+      call.done(Status::Unavailable("transport shut down"), RpcResponse{});
+    }
+  }
+  done_pool_.Shutdown();
+  for (auto& [fd, conn] : loop_conns_) ::close(fd);
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    for (auto& conn : to_register_) {
+      if (!loop_conns_.contains(conn->fd)) ::close(conn->fd);
+    }
+    to_register_.clear();
+  }
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
 }
 
 void TcpTransport::AddRoute(NodeId node, const std::string& host,
                             std::uint16_t port) {
-  std::lock_guard<std::mutex> guard(mu_);
-  routes_[node] = Route{host, port};
-}
-
-Result<int> TcpTransport::Checkout(NodeId to) {
-  Route route;
+  std::shared_ptr<Conn> stale;
   {
     std::lock_guard<std::mutex> guard(mu_);
-    const auto r = routes_.find(to);
-    if (r == routes_.end()) {
-      return Status::Unavailable("no route to node " + std::to_string(to));
-    }
-    route = r->second;
-    auto& pool = idle_[to];
-    if (!pool.empty()) {
-      const int fd = pool.back();
-      pool.pop_back();
-      return fd;
+    routes_[node] = Route{host, port};
+    const auto it = conns_.find(node);
+    if (it != conns_.end()) {
+      // A re-route means the old endpoint is gone (a respawned node on a
+      // fresh port): retire the connection, failing its pipelined calls.
+      stale = it->second;
+      conns_.erase(it);
     }
   }
-  const int fd = ConnectTo(route.host, route.port);
+  if (stale != nullptr) {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    to_drop_.push_back(std::move(stale));
+    Wake();
+  }
+}
+
+Result<std::shared_ptr<TcpTransport::Conn>> TcpTransport::GetConn(NodeId to) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto r = routes_.find(to);
+  if (r == routes_.end()) {
+    return Status::Unavailable("no route to node " + std::to_string(to));
+  }
+  const auto it = conns_.find(to);
+  if (it != conns_.end()) {
+    bool dead = false;
+    {
+      std::lock_guard<std::mutex> lk(it->second->mu);
+      dead = it->second->dead;
+    }
+    if (!dead) return it->second;
+    conns_.erase(it);
+  }
+  const int fd = ConnectTo(r->second.host, r->second.port);
   if (fd < 0) {
     return Status::Unavailable("cannot connect to node " + std::to_string(to));
   }
-  return fd;
+  SetNonBlocking(fd);
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
+  conn->node = to;
+  conns_[to] = conn;
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    to_register_.push_back(conn);
+  }
+  Wake();
+  return conn;
 }
 
-void TcpTransport::CheckIn(NodeId to, int fd) {
-  std::lock_guard<std::mutex> guard(mu_);
-  idle_[to].push_back(fd);
+void TcpTransport::CallAsync(NodeId to, const RpcRequest& req,
+                             AsyncDone done) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  auto conn_or = GetConn(to);
+  if (!conn_or.ok()) {
+    done(conn_or.status(), RpcResponse{});
+    return;
+  }
+  const std::string payload = EncodeToString(req);
+  if (payload.size() > kMaxTcpFrame) {
+    done(Status::InvalidArgument("frame too large"), RpcResponse{});
+    return;
+  }
+  const std::shared_ptr<Conn>& conn = *conn_or;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->dead) {
+      done(Status::Unavailable("tcp connection closed"), RpcResponse{});
+      return;
+    }
+    const std::uint64_t corr = conn->next_corr++;
+    conn->pending[corr] = PendingCall{std::move(done), req.from, to};
+    AppendTcpFrame(conn->out, corr, payload);
+    conn->want_write = true;
+  }
+  Wake();
 }
 
 Status TcpTransport::Call(NodeId to, const RpcRequest& req,
                           RpcResponse& resp) {
-  attempts_.fetch_add(1, std::memory_order_relaxed);
-  REPDIR_ASSIGN_OR_RETURN(const int fd, Checkout(to));
-
-  const Status st = [&]() -> Status {
-    REPDIR_RETURN_IF_ERROR(WriteFrame(fd, EncodeToString(req)));
-    std::string response_bytes;
-    REPDIR_RETURN_IF_ERROR(ReadFrame(fd, response_bytes));
-    return DecodeFromString(response_bytes, resp);
-  }();
-
-  if (!st.ok()) {
-    ::close(fd);  // connection state unknown: drop it
-    return st;
-  }
-  CheckIn(to, fd);
-  std::lock_guard<std::mutex> guard(mu_);
-  ++delivered_[{req.from, to}];
-  return Status::Ok();
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status st = Status::Ok();
+    RpcResponse resp;
+  };
+  auto state = std::make_shared<SyncState>();
+  CallAsync(to, req, [state](Status st, RpcResponse r) {
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->st = std::move(st);
+    state->resp = std::move(r);
+    state->done = true;
+    state->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] { return state->done; });
+  resp = std::move(state->resp);
+  return state->st;
 }
 
 std::uint64_t TcpTransport::DeliveredCount(NodeId from, NodeId to) const {
   std::lock_guard<std::mutex> guard(mu_);
   const auto it = delivered_.find({from, to});
   return it == delivered_.end() ? 0 : it->second;
+}
+
+void TcpTransport::Wake() {
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpTransport::Complete(PendingCall call, Status st, RpcResponse resp) {
+  done_pool_.Submit(
+      [call = std::move(call), st = std::move(st),
+       resp = std::move(resp)]() mutable {
+        call.done(std::move(st), std::move(resp));
+      });
+}
+
+void TcpTransport::DropConn(const std::shared_ptr<Conn>& conn) {
+  std::map<std::uint64_t, PendingCall> pending;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    pending.swap(conn->pending);
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto it = conns_.find(conn->node);
+    if (it != conns_.end() && it->second == conn) conns_.erase(it);
+  }
+  if (loop_conns_.erase(conn->fd) > 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+  }
+  for (auto& [corr, call] : pending) {
+    Complete(std::move(call), Status::Unavailable("tcp connection closed"),
+             RpcResponse{});
+  }
+}
+
+void TcpTransport::SyncInterest() {
+  for (auto& [fd, conn] : loop_conns_) {
+    bool want = false;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      want = conn->want_write && !conn->dead;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+}
+
+void TcpTransport::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t sent =
+          ::send(conn->fd, conn->out.data() + conn->out_off,
+                 conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn->out_off += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      drop = true;
+      break;
+    }
+    if (conn->out_off == conn->out.size()) {
+      conn->out.clear();
+      conn->out_off = 0;
+      conn->want_write = false;
+    }
+  }
+  if (drop) DropConn(conn);
+}
+
+void TcpTransport::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(got));
+      if (got < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    DropConn(conn);  // EOF or hard error
+    return;
+  }
+  std::size_t off = 0;
+  while (conn->in.size() - off >= kTcpFrameHeaderBytes) {
+    std::uint32_t len = 0;
+    std::uint64_t corr = 0;
+    DecodeTcpFrameHeader(conn->in.data() + off, len, corr);
+    if (len > kMaxTcpFrame) {
+      conn->in.erase(0, off);
+      DropConn(conn);  // unframeable garbage
+      return;
+    }
+    if (conn->in.size() - off < kTcpFrameHeaderBytes + len) break;
+    const std::string payload =
+        conn->in.substr(off + kTcpFrameHeaderBytes, len);
+    off += kTcpFrameHeaderBytes + len;
+
+    PendingCall call;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      const auto it = conn->pending.find(corr);
+      if (it != conn->pending.end()) {
+        call = std::move(it->second);
+        conn->pending.erase(it);
+        found = true;
+      }
+    }
+    if (!found) continue;  // stale/unknown correlation id: ignore
+
+    RpcResponse resp;
+    Status st = DecodeFromString(payload, resp);
+    if (st.ok()) {
+      std::lock_guard<std::mutex> guard(mu_);
+      ++delivered_[{call.from, call.to}];
+    } else {
+      st = Status::Corruption("undecodable response frame");
+    }
+    Complete(std::move(call), std::move(st), std::move(resp));
+  }
+  conn->in.erase(0, off);
+}
+
+void TcpTransport::Loop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 100);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      const auto it = loop_conns_.find(fd);
+      if (it == loop_conns_.end()) continue;  // dropped earlier this batch
+      const std::shared_ptr<Conn> conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        // Let the read path consume whatever is buffered, then drop.
+        HandleReadable(conn);
+        if (loop_conns_.contains(fd)) DropConn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      if ((events[i].events & EPOLLOUT) != 0 && loop_conns_.contains(fd)) {
+        HandleWritable(conn);
+      }
+    }
+    // Register newcomers, retire rerouted connections, refresh interest.
+    std::vector<std::shared_ptr<Conn>> add;
+    std::vector<std::shared_ptr<Conn>> drop;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      add.swap(to_register_);
+      drop.swap(to_drop_);
+    }
+    for (const auto& conn : add) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) == 0) {
+        loop_conns_[conn->fd] = conn;
+      } else {
+        DropConn(conn);
+      }
+    }
+    for (const auto& conn : drop) DropConn(conn);
+    SyncInterest();
+  }
 }
 
 }  // namespace repdir::net

@@ -1,20 +1,27 @@
-// Real-socket transport: directory representatives served over TCP.
+// Real-socket transport: directory representatives served over TCP, with
+// one persistent multiplexed connection per peer.
 //
-// Wire format per call: [u32 frame length][RpcRequest bytes] from client to
-// server, [u32 frame length][RpcResponse bytes] back. One outstanding call
-// per connection; the client keeps a small pool of idle connections per
-// destination, so concurrent callers multiplex over parallel connections.
+// Wire format (both directions): [u32 length][u64 correlation id][payload]
+// (see wire.h). A client keeps ONE connection per destination and pipelines
+// every concurrent call over it: CallAsync appends a frame to the
+// connection's shared send buffer, registers the correlation id, and an
+// epoll event loop owns all sockets - draining send buffers, reassembling
+// response frames, and completing calls as their correlated responses
+// arrive (in any order). Completions are dispatched on a small worker pool
+// so a slow continuation (retry backoff, fan-out bookkeeping) never stalls
+// the loop.
 //
-// TcpServer accepts on a loopback/host port and serves each connection on
-// its own thread (synchronous dispatch into the RpcServer, like the other
-// transports). TcpTransport implements the Transport interface over routes
-// (node id -> host:port), making DirectorySuite and the baselines runnable
-// across real processes.
+// TcpServer accepts on a loopback/host port, reads frames on a per-
+// connection reader thread, and dispatches each decoded request to a shared
+// worker pool; responses are written - correlation id attached - as their
+// handlers finish, so an N-deep pipeline of requests executes concurrently
+// and may complete out of order.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,37 +52,57 @@ class TcpServer {
   std::uint64_t connections_served() const {
     return connections_.load(std::memory_order_relaxed);
   }
+  /// Requests dispatched across all connections (tests: pipelining depth).
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One accepted connection. The reader thread parses request frames; each
+  /// request runs on the shared pool and writes its response under
+  /// `write_mu`, so pipelined responses interleave but frames stay intact.
+  /// The fd closes with the last reference - an in-flight handler can never
+  /// write into a recycled descriptor.
+  struct Conn {
+    explicit Conn(int conn_fd) : fd(conn_fd) {}
+    ~Conn();
+    int fd;
+    std::mutex write_mu;
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(const std::shared_ptr<Conn>& conn);
 
   RpcServer* service_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
   std::thread accept_thread_;
   std::mutex mu_;
-  std::vector<std::thread> workers_;  // guarded by mu_
-  std::vector<int> open_fds_;         // guarded by mu_
+  std::vector<std::thread> readers_;             // guarded by mu_
+  std::vector<std::shared_ptr<Conn>> conns_;     // guarded by mu_
+  WorkerPool pool_{16};
 };
 
 class TcpTransport final : public Transport {
  public:
-  TcpTransport() = default;
+  TcpTransport();
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  /// Registers where a node can be reached.
+  /// Registers where a node can be reached. Re-routing a node (a respawned
+  /// process on a new port) drops any existing connection to it.
   void AddRoute(NodeId node, const std::string& host, std::uint16_t port);
 
   Status Call(NodeId to, const RpcRequest& req, RpcResponse& resp) override;
 
-  /// Dispatches on the worker pool; each concurrent call checks out its own
-  /// pooled connection, so fan-out calls proceed over parallel sockets.
+  /// Pipelines the call onto the destination's persistent connection and
+  /// returns immediately; `done` runs on a completion worker when the
+  /// correlated response arrives (or the connection dies).
   void CallAsync(NodeId to, const RpcRequest& req, AsyncDone done) override;
 
   std::uint64_t DeliveredCount(NodeId from, NodeId to) const override;
@@ -83,22 +110,74 @@ class TcpTransport final : public Transport {
     return attempts_.load(std::memory_order_relaxed);
   }
 
+  /// Connections this transport ever opened (tests: reuse assertions).
+  std::uint64_t connections_opened() const {
+    return connections_opened_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Route {
     std::string host;
-    std::uint16_t port;
+    std::uint16_t port = 0;
   };
 
-  /// Checks out an idle pooled connection or opens a new one.
-  Result<int> Checkout(NodeId to);
-  void CheckIn(NodeId to, int fd);
+  /// One pending pipelined call.
+  struct PendingCall {
+    AsyncDone done;
+    NodeId from = 0;
+    NodeId to = 0;
+  };
 
-  mutable std::mutex mu_;
+  /// One persistent connection, shared between callers (who append frames
+  /// under `mu`) and the event loop (which owns fd readiness, the read
+  /// buffer, and frame reassembly).
+  struct Conn {
+    int fd = -1;
+    NodeId node = 0;
+    std::mutex mu;  ///< Guards out/out_off/pending/next_corr/want_write/dead.
+    std::string out;          ///< Shared send buffer (all pipelined frames).
+    std::size_t out_off = 0;  ///< Sent prefix of `out`.
+    std::map<std::uint64_t, PendingCall> pending;
+    std::uint64_t next_corr = 1;
+    bool want_write = false;  ///< Send buffer non-empty; loop arms EPOLLOUT.
+    bool dead = false;
+    std::string in;  ///< Read-reassembly buffer; loop thread only.
+  };
+
+  /// Returns the live connection for `to`, dialing one if needed.
+  Result<std::shared_ptr<Conn>> GetConn(NodeId to);
+
+  /// Event-loop body and helpers (loop thread only).
+  void Loop();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  /// Fails every pending call on `conn` with kUnavailable and forgets it.
+  void DropConn(const std::shared_ptr<Conn>& conn);
+  /// Applies each connection's desired epoll interest set.
+  void SyncInterest();
+  void Wake();
+
+  /// Completes one call on the completion pool.
+  void Complete(PendingCall call, Status st, RpcResponse resp);
+
+  mutable std::mutex mu_;  ///< routes_, conns_, delivered_.
   std::map<NodeId, Route> routes_;
-  std::map<NodeId, std::vector<int>> idle_;  // connection pool
+  std::map<NodeId, std::shared_ptr<Conn>> conns_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> delivered_;
   std::atomic<std::uint64_t> attempts_{0};
-  WorkerPool pool_{16};
+  std::atomic<std::uint64_t> connections_opened_{0};
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread loop_;
+  std::mutex ctl_mu_;  ///< Guards to_register_ / to_drop_ (loop handoff).
+  std::vector<std::shared_ptr<Conn>> to_register_;
+  std::vector<std::shared_ptr<Conn>> to_drop_;
+  /// fd -> conn, loop thread only; holds the loop's reference.
+  std::map<int, std::shared_ptr<Conn>> loop_conns_;
+
+  WorkerPool done_pool_{8};
 };
 
 }  // namespace repdir::net

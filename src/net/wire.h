@@ -3,6 +3,10 @@
 // naming.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <string_view>
+
 #include "common/serde.h"
 
 namespace repdir::net {
@@ -18,5 +22,44 @@ using Empty = repdir::EmptyMessage;
 /// strings for responses - one honest constant for both directions keeps
 /// the byte accounting transport-independent.
 inline constexpr std::size_t kEnvelopeOverheadBytes = 16;
+
+/// TCP framing of the multiplexed transport. Every frame, both directions,
+/// is [u32 payload length][u64 correlation id][payload], little-endian.
+/// The correlation id pairs a pipelined response with its request: a client
+/// may have many requests in flight on one connection, and the server may
+/// answer them in any order.
+inline constexpr std::size_t kTcpFrameHeaderBytes = 12;
+inline constexpr std::uint32_t kMaxTcpFrame = 16u << 20;  // 16 MiB cap
+
+/// Appends one framed message to `out` (a connection's send buffer).
+inline void AppendTcpFrame(std::string& out, std::uint64_t correlation,
+                           std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[kTcpFrameHeaderBytes];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 8; ++i) {
+    header[4 + i] = static_cast<char>((correlation >> (8 * i)) & 0xff);
+  }
+  out.append(header, kTcpFrameHeaderBytes);
+  out.append(payload.data(), payload.size());
+}
+
+/// Decodes a frame header from `in` (must hold kTcpFrameHeaderBytes).
+inline void DecodeTcpFrameHeader(const char* in, std::uint32_t& len,
+                                 std::uint64_t& correlation) {
+  len = 0;
+  correlation = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+           << (8 * i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    correlation |=
+        static_cast<std::uint64_t>(static_cast<unsigned char>(in[4 + i]))
+        << (8 * i);
+  }
+}
 
 }  // namespace repdir::net

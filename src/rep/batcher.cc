@@ -1,0 +1,117 @@
+#include "rep/batcher.h"
+
+#include <chrono>
+
+namespace repdir::rep {
+
+AutoBatcher::AutoBatcher(DirectorySuite& suite)
+    : AutoBatcher(suite, Options{}) {}
+
+AutoBatcher::AutoBatcher(DirectorySuite& suite, Options options)
+    : suite_(&suite), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  dispatcher_ = std::thread([this] { Run(); });
+}
+
+AutoBatcher::~AutoBatcher() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+DirectorySuite::BatchOpResult AutoBatcher::Submit(DirectorySuite::BatchOp op) {
+  auto pending = std::make_shared<Pending>();
+  pending->op = std::move(op);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      pending->result.status = Status::Unavailable("batcher shut down");
+      return pending->result;
+    }
+    queue_.push_back(pending);
+    ++submitted_;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lk(pending->mu);
+  pending->cv.wait(lk, [&] { return pending->done; });
+  return pending->result;
+}
+
+Result<DirectorySuite::LookupResult> AutoBatcher::Lookup(const UserKey& key) {
+  DirectorySuite::BatchOp op;
+  op.kind = DirectorySuite::BatchOp::Kind::kLookup;
+  op.key = key;
+  auto result = Submit(std::move(op));
+  REPDIR_RETURN_IF_ERROR(result.status);
+  return result.lookup;
+}
+
+Status AutoBatcher::Insert(const UserKey& key, const Value& value) {
+  DirectorySuite::BatchOp op;
+  op.kind = DirectorySuite::BatchOp::Kind::kInsert;
+  op.key = key;
+  op.value = value;
+  return Submit(std::move(op)).status;
+}
+
+Status AutoBatcher::Update(const UserKey& key, const Value& value) {
+  DirectorySuite::BatchOp op;
+  op.kind = DirectorySuite::BatchOp::Kind::kUpdate;
+  op.key = key;
+  op.value = value;
+  return Submit(std::move(op)).status;
+}
+
+std::uint64_t AutoBatcher::batches_dispatched() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return batches_;
+}
+
+std::uint64_t AutoBatcher::ops_submitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return submitted_;
+}
+
+void AutoBatcher::Run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Something arrived: hold the door open briefly so concurrent
+    // submitters coalesce into this group, then take up to max_batch.
+    if (options_.max_wait_us > 0 && queue_.size() < options_.max_batch &&
+        !stopping_) {
+      cv_.wait_for(lk, std::chrono::microseconds(options_.max_wait_us), [&] {
+        return stopping_ || queue_.size() >= options_.max_batch;
+      });
+    }
+    std::vector<std::shared_ptr<Pending>> group;
+    const std::size_t take = std::min(options_.max_batch, queue_.size());
+    group.assign(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    ++batches_;
+    lk.unlock();
+
+    std::vector<DirectorySuite::BatchOp> ops;
+    ops.reserve(group.size());
+    for (const auto& pending : group) ops.push_back(pending->op);
+    DirectorySuite::BatchResult result = suite_->ExecuteBatch(ops);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      std::lock_guard<std::mutex> plk(group[i]->mu);
+      group[i]->result = result.status.ok()
+                             ? std::move(result.ops[i])
+                             : DirectorySuite::BatchOpResult{result.status, {}};
+      group[i]->done = true;
+      group[i]->cv.notify_all();
+    }
+    lk.lock();
+  }
+}
+
+}  // namespace repdir::rep

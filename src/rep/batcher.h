@@ -1,0 +1,84 @@
+// AutoBatcher: transparent batching for concurrent callers.
+//
+// A DirectorySuite is a single client - one transaction at a time - so N
+// application threads normally need N suites and pay N independent quorum
+// round-trips. The AutoBatcher inverts that: threads Submit() individual
+// operations, a dispatcher thread coalesces whatever has accumulated
+// (bounded by max_batch and max_wait) into one DirectorySuite::ExecuteBatch
+// call - one read wave, one write wave, one 2PC for the whole group - and
+// each submitter gets its own per-op result back.
+//
+// Ops from different submitters share a transaction; a transaction-level
+// failure (quorum loss, deadlock abort) fails every op in the group, and
+// callers retry individually as they would any aborted operation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rep/dir_suite.h"
+
+namespace repdir::rep {
+
+class AutoBatcher {
+ public:
+  struct Options {
+    /// Largest group dispatched as one batch.
+    std::size_t max_batch = 32;
+    /// How long the dispatcher waits for more ops once it has at least one
+    /// (microseconds). 0 = dispatch whatever is queued immediately.
+    DurationMicros max_wait_us = 200;
+  };
+
+  /// The suite must outlive the batcher and becomes batcher-owned while it
+  /// exists: the dispatcher thread is the suite's single client.
+  explicit AutoBatcher(DirectorySuite& suite);
+  AutoBatcher(DirectorySuite& suite, Options options);
+  ~AutoBatcher();
+
+  AutoBatcher(const AutoBatcher&) = delete;
+  AutoBatcher& operator=(const AutoBatcher&) = delete;
+
+  /// Submits one operation and blocks until its group's batch finishes.
+  /// A transaction-level failure surfaces in `status`; otherwise the per-op
+  /// result is exactly what ExecuteBatch reported for this op.
+  DirectorySuite::BatchOpResult Submit(DirectorySuite::BatchOp op);
+
+  // Convenience wrappers.
+  Result<DirectorySuite::LookupResult> Lookup(const UserKey& key);
+  Status Insert(const UserKey& key, const Value& value);
+  Status Update(const UserKey& key, const Value& value);
+
+  /// Batches executed so far (tests: coalescing proof).
+  std::uint64_t batches_dispatched() const;
+  /// Operations submitted so far.
+  std::uint64_t ops_submitted() const;
+
+ private:
+  struct Pending {
+    DirectorySuite::BatchOp op;
+    DirectorySuite::BatchOpResult result;
+    bool done = false;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void Run();
+
+  DirectorySuite* suite_;
+  Options options_;
+
+  mutable std::mutex mu_;  ///< queue_, stats, stopping_.
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Pending>> queue_;
+  bool stopping_ = false;
+  std::uint64_t batches_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::thread dispatcher_;
+};
+
+}  // namespace repdir::rep

@@ -14,8 +14,8 @@ DirRepNode::DirRepNode(NodeId id, DirRepNodeOptions options)
       log_device_ =
           std::make_unique<storage::FileLogDevice>(options_.wal_path);
     }
-    wal_ = std::make_unique<storage::WalWriter>(*log_device_,
-                                                options_.participant.metrics);
+    wal_ = std::make_unique<storage::WalWriter>(
+        *log_device_, options_.participant.metrics, options_.group_commit);
   }
   participant_ = std::make_unique<txn::TxnParticipant>(
       *storage_, options_.detector, wal_.get(), options_.participant);
@@ -150,6 +150,29 @@ void DirRepNode::RegisterHandlers() {
             out.data.present == req.hint_present) {
           out.unchanged = true;
           out.data.value.clear();
+        }
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<LookupBatchRequest, LookupBatchReply>(
+      kLookupBatch,
+      [this](const RpcRequest& env, const LookupBatchRequest& req,
+             LookupBatchReply& out) {
+        out.replies.reserve(req.keys.size());
+        for (const auto& key : req.keys) {
+          REPDIR_ASSIGN_OR_RETURN(LookupReply reply,
+                                  participant_->Lookup(env.txn, key));
+          out.replies.push_back(std::move(reply));
+        }
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<InsertBatchRequest, Empty>(
+      kInsertBatch,
+      [this](const RpcRequest& env, const InsertBatchRequest& req, Empty&) {
+        for (const auto& ins : req.inserts) {
+          REPDIR_RETURN_IF_ERROR(
+              participant_->Insert(env.txn, ins.key, ins.version, ins.value));
         }
         return Status::Ok();
       });

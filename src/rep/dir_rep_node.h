@@ -36,6 +36,10 @@ struct DirRepNodeOptions {
   /// nodes and recovering them from the surviving file.
   std::string wal_path;
 
+  /// WAL group-commit tuning (see storage::GroupCommitConfig). Flush
+  /// coalescing is always on; this only adds the bounded leader window.
+  storage::GroupCommitConfig group_commit;
+
   /// Lock discipline for the participant.
   txn::ParticipantOptions participant;
 

@@ -10,8 +10,9 @@ namespace {
 constexpr txn::TxnControlMethods kTxnMethods{kPrepare, kCommit, kAbortTxn};
 
 bool IsReadMethod(net::MethodId m) {
-  return m == kLookup || m == kLookupValidated || m == kPredecessor ||
-         m == kSuccessor || m == kPredecessorBatch || m == kSuccessorBatch;
+  return m == kLookup || m == kLookupValidated || m == kLookupBatch ||
+         m == kPredecessor || m == kSuccessor || m == kPredecessorBatch ||
+         m == kSuccessorBatch;
 }
 
 /// Operation failures that leave no partial state and therefore do not
@@ -734,6 +735,170 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKeyIn(
   return result;
 }
 
+// --- Batched operations ---
+
+Status DirectorySuite::BatchIn(OpCtx& ctx, const std::vector<BatchOp>& ops,
+                               std::vector<BatchOpResult>& results) {
+  results.resize(ops.size());
+  // Distinct keys, in key order (sorted order keeps lock acquisition on
+  // every representative deterministic across clients, which keeps the
+  // deadlock surface no worse than sorted sequential execution).
+  std::map<RepKey, VersionedLookup> state;
+  bool has_writes = false;
+  for (const BatchOp& op : ops) {
+    state.emplace(RepKey::User(op.key), VersionedLookup{});
+    has_writes |= op.kind != BatchOp::Kind::kLookup;
+  }
+  std::vector<RepKey> keys;
+  keys.reserve(state.size());
+  for (const auto& [k, unused] : state) keys.push_back(k);
+
+  // Wave 1: one batched inquiry per read-quorum member (plus best-effort
+  // weak hints) learns every key's current version - Fig. 8, amortized.
+  REPDIR_ASSIGN_OR_RETURN(const auto rq, CollectQuorum(OpClass::kRead));
+  LookupBatchRequest lookup_req;
+  lookup_req.keys = keys;
+  std::vector<net::CallSlot<LookupBatchRequest>> slots;
+  slots.reserve(rq.size() + weak_nodes_.size());
+  for (const NodeId node : rq) slots.push_back({node, lookup_req});
+  for (const NodeId node : weak_nodes_) slots.push_back({node, lookup_req});
+  const auto fan =
+      FanOutRep<LookupBatchReply>(ctx, kLookupBatch, slots, rq.size());
+  REPDIR_RETURN_IF_ERROR(FirstStrongError(fan, rq.size()));
+  for (std::size_t i = 0; i < fan.issued; ++i) {
+    const Result<LookupBatchReply>& reply = *fan.replies[i];
+    if (!reply.ok()) continue;  // weak miss: best-effort
+    if (reply->replies.size() != keys.size()) {
+      if (i < rq.size()) {
+        return Status::Corruption("batched lookup reply count mismatch");
+      }
+      continue;  // malformed weak hint: ignore
+    }
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      const LookupReply& one = reply->replies[j];
+      VersionedLookup& best = state[keys[j]];
+      const bool better =
+          one.version > best.version ||
+          (one.version == best.version && one.present && !best.present);
+      if (better) {
+        best.present = one.present;
+        best.version = one.version;
+        best.value = one.value;
+      }
+    }
+  }
+
+  // Apply the ops in submission order against the folded snapshot. Later
+  // ops observe earlier ops' effects; every mutation bumps the key's
+  // version exactly as its single-shot form would, so the final shipped
+  // version equals what sequential execution would have committed.
+  std::set<RepKey> dirty;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& op = ops[i];
+    const RepKey x = RepKey::User(op.key);
+    VersionedLookup& cur = state[x];
+    switch (op.kind) {
+      case BatchOp::Kind::kLookup:
+        results[i].lookup.found = cur.present;
+        results[i].lookup.value = cur.value;
+        break;
+      case BatchOp::Kind::kInsert:
+        if (cur.present) {
+          results[i].status = Status::AlreadyExists("key exists: " + op.key);
+          break;
+        }
+        cur.present = true;
+        cur.version += 1;
+        cur.value = op.value;
+        dirty.insert(x);
+        break;
+      case BatchOp::Kind::kUpdate:
+        if (!cur.present) {
+          results[i].status = Status::NotFound("no entry for key: " + op.key);
+          break;
+        }
+        cur.version += 1;
+        cur.value = op.value;
+        dirty.insert(x);
+        break;
+    }
+  }
+
+  // Wave 2: ship every dirty key's final (version, value) - one batched
+  // write per write-quorum member plus best-effort weak copies. Fig. 9's
+  // write leg, amortized the same way.
+  if (!dirty.empty()) {
+    REPDIR_ASSIGN_OR_RETURN(const auto wq, CollectQuorum(OpClass::kWrite));
+    InsertBatchRequest write_req;
+    write_req.inserts.reserve(dirty.size());
+    for (const RepKey& x : dirty) {
+      const VersionedLookup& fin = state[x];
+      write_req.inserts.push_back(InsertRequest{x, fin.version, fin.value});
+    }
+    std::vector<net::CallSlot<InsertBatchRequest>> wslots;
+    wslots.reserve(wq.size() + weak_nodes_.size());
+    for (const NodeId node : wq) wslots.push_back({node, write_req});
+    for (const NodeId node : weak_nodes_) wslots.push_back({node, write_req});
+    const auto wfan =
+        FanOutRep<net::Empty>(ctx, kInsertBatch, wslots, wq.size());
+    REPDIR_RETURN_IF_ERROR(FirstStrongError(wfan, wq.size()));
+  }
+
+  // The folded snapshot is committed data plus this transaction's own
+  // writes; both are safe to cache once Finish commits.
+  if (cache_ != nullptr) {
+    for (const RepKey& x : keys) {
+      const VersionedLookup& fin = state[x];
+      VersionCache::Entry entry;
+      entry.present = fin.present;
+      entry.version = fin.version;
+      entry.value = fin.value;
+      StagePut(ctx, x, std::move(entry));
+    }
+  }
+  return Status::Ok();
+}
+
+DirectorySuite::BatchResult DirectorySuite::ExecuteBatch(
+    const std::vector<BatchOp>& ops) {
+  BatchResult result;
+  result.ops.resize(ops.size());
+  if (ops.empty()) return result;
+  metrics_->distribution("suite.batch.size")
+      .Record(static_cast<double>(ops.size()));
+  result.status = RunTxn("batch", /*allow_fast=*/false, nullptr,
+                         [&](OpCtx& ctx) {
+                           return BatchIn(ctx, ops, result.ops);
+                         });
+  if (result.status.ok()) {
+    metrics_->counter("suite.ops.batches").Increment();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!result.ops[i].status.ok()) continue;
+      switch (ops[i].kind) {
+        case BatchOp::Kind::kLookup:
+          ++stats_.counters().lookups;
+          metrics_->counter("suite.ops.lookups").Increment();
+          break;
+        case BatchOp::Kind::kInsert:
+          ++stats_.counters().inserts;
+          metrics_->counter("suite.ops.inserts").Increment();
+          break;
+        case BatchOp::Kind::kUpdate:
+          ++stats_.counters().updates;
+          metrics_->counter("suite.ops.updates").Increment();
+          break;
+      }
+    }
+  } else {
+    // One transaction, one failure: the batch aborts or retries as a unit.
+    (void)Record(result.status, &OpCounters::lookups,
+                 &metrics_->counter("suite.ops.lookups"));
+  }
+  return result;
+}
+
+BatchBuilder DirectorySuite::Batch() { return BatchBuilder(*this); }
+
 // --- Single-shot public API ---
 
 Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
@@ -836,6 +1001,15 @@ Result<DirectorySuite::NextKeyResult> SuiteTxn::NextKey(const UserKey& key) {
   auto out = suite_->NextKeyIn(ctx_, storage::RepKey::User(key));
   if (!out.ok()) (void)TxnOpOutcome(*this, out.status());
   return out;
+}
+
+Result<std::vector<DirectorySuite::BatchOpResult>> SuiteTxn::ExecuteBatch(
+    const std::vector<DirectorySuite::BatchOp>& ops) {
+  REPDIR_RETURN_IF_ERROR(Guard());
+  std::vector<DirectorySuite::BatchOpResult> results;
+  const Status st = suite_->BatchIn(ctx_, ops, results);
+  if (!st.ok()) return TxnOpOutcome(*this, st);
+  return results;
 }
 
 Status SuiteTxn::Commit() {

@@ -55,6 +55,7 @@
 namespace repdir::rep {
 
 class SuiteTxn;
+class BatchBuilder;
 
 class DirectorySuite {
  public:
@@ -138,6 +139,48 @@ class DirectorySuite {
   /// handle borrows this suite; at most one transaction may be open per
   /// suite at a time (a suite is a single client).
   SuiteTxn Begin();
+
+  // --- Batched operations (the hot path) ---
+
+  /// One operation of a batch. Delete is deliberately not batchable - it
+  /// needs the Fig. 12/13 neighbor search and coalesce - and stays a
+  /// single-shot operation.
+  struct BatchOp {
+    enum class Kind : std::uint8_t { kLookup, kInsert, kUpdate };
+    Kind kind = Kind::kLookup;
+    UserKey key;
+    Value value;  ///< Payload of kInsert / kUpdate.
+  };
+
+  /// Per-operation outcome. A clean check failure (kAlreadyExists on
+  /// Insert, kNotFound on Update) is reported here WITHOUT failing the
+  /// batch - exactly as it would not poison a SuiteTxn.
+  struct BatchOpResult {
+    Status status;
+    LookupResult lookup;  ///< Kind::kLookup only.
+  };
+
+  /// Overall batch outcome. `status` is the transaction's fate: when it is
+  /// not OK (quorum unavailable, deadlock abort) nothing committed and the
+  /// per-op results are meaningless.
+  struct BatchResult {
+    Status status;
+    std::vector<BatchOpResult> ops;
+  };
+
+  /// Executes `ops` as ONE distributed transaction in (at most) two data
+  /// waves: a single batched-lookup round over a read quorum learns every
+  /// distinct key's current version, the ops then run in submission order
+  /// against that snapshot (later ops observe earlier ops' effects, per-key
+  /// version bumps mirror the sequential execution), and one batched-insert
+  /// round ships each dirty key's final version+value to a write quorum.
+  /// One 2PC finishes it. Round count - and therefore latency - is that of
+  /// a single write, independent of the number of operations.
+  BatchResult ExecuteBatch(const std::vector<BatchOp>& ops);
+
+  /// Fluent construction of a batch:
+  ///   auto r = suite.Batch().Insert("a", "1").Lookup("b").Execute();
+  BatchBuilder Batch();
 
   // --- Introspection ---
 
@@ -296,6 +339,11 @@ class DirectorySuite {
   Status WriteEntry(OpCtx& ctx, const RepKey& x, Version version,
                     const Value& value);
 
+  /// Batch body: one batched read wave, sequential application, one
+  /// batched write wave. Fills `results` (same length as `ops`).
+  Status BatchIn(OpCtx& ctx, const std::vector<BatchOp>& ops,
+                 std::vector<BatchOpResult>& results);
+
   Result<LookupResult> LookupIn(OpCtx& ctx, const UserKey& key);
   Status InsertIn(OpCtx& ctx, const UserKey& key, const Value& value);
   Status UpdateIn(OpCtx& ctx, const UserKey& key, const Value& value);
@@ -388,6 +436,13 @@ class SuiteTxn {
   Status Delete(const UserKey& key);
   Result<DirectorySuite::NextKeyResult> NextKey(const UserKey& key);
 
+  /// Runs a whole op batch inside THIS transaction (same wave collapse as
+  /// DirectorySuite::ExecuteBatch, but the caller owns commit/abort - the
+  /// chaos executor uses this to keep its coordinator decision map).
+  /// A hard failure aborts the transaction, exactly like the ops above.
+  Result<std::vector<DirectorySuite::BatchOpResult>> ExecuteBatch(
+      const std::vector<DirectorySuite::BatchOp>& ops);
+
   /// Two-phase-commits everything; the handle is finished afterwards.
   Status Commit();
 
@@ -410,6 +465,40 @@ class SuiteTxn {
   DirectorySuite* suite_;
   DirectorySuite::OpCtx ctx_;
   bool open_ = true;
+};
+
+/// Accumulates operations for one DirectorySuite::ExecuteBatch call.
+class BatchBuilder {
+ public:
+  BatchBuilder& Lookup(UserKey key) {
+    ops_.push_back({DirectorySuite::BatchOp::Kind::kLookup, std::move(key),
+                    Value{}});
+    return *this;
+  }
+  BatchBuilder& Insert(UserKey key, Value value) {
+    ops_.push_back({DirectorySuite::BatchOp::Kind::kInsert, std::move(key),
+                    std::move(value)});
+    return *this;
+  }
+  BatchBuilder& Update(UserKey key, Value value) {
+    ops_.push_back({DirectorySuite::BatchOp::Kind::kUpdate, std::move(key),
+                    std::move(value)});
+    return *this;
+  }
+
+  std::size_t size() const { return ops_.size(); }
+
+  /// Executes everything accumulated so far; the builder may be reused.
+  DirectorySuite::BatchResult Execute() {
+    return suite_->ExecuteBatch(ops_);
+  }
+
+ private:
+  friend class DirectorySuite;
+  explicit BatchBuilder(DirectorySuite& suite) : suite_(&suite) {}
+
+  DirectorySuite* suite_;
+  std::vector<DirectorySuite::BatchOp> ops_;
 };
 
 }  // namespace repdir::rep

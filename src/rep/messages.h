@@ -25,6 +25,8 @@ enum DirRepMethod : net::MethodId {
   kSuccessorBatch = 8,
   kGuardedInsert = 9,
   kLookupValidated = 10,
+  kLookupBatch = 11,
+  kInsertBatch = 12,
   kPrepare = 100,
   kCommit = 101,
   kAbortTxn = 102,
@@ -174,6 +176,78 @@ struct NeighborBatchReply {
       NeighborReply s;
       REPDIR_RETURN_IF_ERROR(s.Decode(r));
       steps.push_back(std::move(s));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Batched DirRepLookup: one RPC inquires about many keys at once. The hot
+/// path groups a whole client batch's read round into a single envelope per
+/// quorum member; each key takes its read lock exactly as a separate
+/// DirRepLookup would, so locking and recovery semantics are unchanged.
+struct LookupBatchRequest {
+  std::vector<RepKey> keys;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(keys.size());
+    for (const auto& k : keys) k.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    keys.clear();
+    keys.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RepKey k;
+      REPDIR_RETURN_IF_ERROR(k.Decode(r));
+      keys.push_back(std::move(k));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Replies in request-key order, one per key.
+struct LookupBatchReply {
+  std::vector<LookupReply> replies;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(replies.size());
+    for (const auto& reply : replies) reply.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    replies.clear();
+    replies.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      LookupReply reply;
+      REPDIR_RETURN_IF_ERROR(reply.Decode(r));
+      replies.push_back(std::move(reply));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Batched DirRepInsert: the batch's write round ships every dirty key's
+/// final (key, version, value) in one envelope per write-quorum member. All
+/// inserts apply under one transaction; any failure fails the whole RPC
+/// (the coordinator aborts, undoing the prefix that did apply).
+struct InsertBatchRequest {
+  std::vector<InsertRequest> inserts;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(inserts.size());
+    for (const auto& ins : inserts) ins.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    inserts.clear();
+    inserts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      InsertRequest ins;
+      REPDIR_RETURN_IF_ERROR(ins.Decode(r));
+      inserts.push_back(std::move(ins));
     }
     return Status::Ok();
   }

@@ -1,5 +1,7 @@
 #include "storage/wal.h"
 
+#include <chrono>
+
 #include "storage/crash_point.h"
 
 namespace repdir::storage {
@@ -44,7 +46,8 @@ Status WalRecord::Decode(ByteReader& r) {
   return r.GetString(body);
 }
 
-Status WalWriter::Append(const WalRecord& record) {
+Status WalWriter::AppendInternal(const WalRecord& record,
+                                 std::uint64_t* seq_out) {
   ByteWriter payload;
   record.Encode(payload);
 
@@ -58,24 +61,112 @@ Status WalWriter::Append(const WalRecord& record) {
   append_bytes_->Increment(bytes.size());
   const std::string_view view(reinterpret_cast<const char*>(bytes.data()),
                               bytes.size());
+  std::lock_guard<std::mutex> dev(dev_mu_);
+  Status st;
   if (CrashPoints::Instance().armed()) {
     // Append the frame in two halves so "wal.mid_append" can die with a
     // torn frame on the medium (handlers decide what reaches durability).
     const std::size_t half = view.size() / 2;
-    REPDIR_RETURN_IF_ERROR(device_->Append(view.substr(0, half)));
-    REPDIR_CRASH_POINT("wal.mid_append");
-    return device_->Append(view.substr(half));
+    st = device_->Append(view.substr(0, half));
+    if (st.ok()) {
+      REPDIR_CRASH_POINT("wal.mid_append");
+      st = device_->Append(view.substr(half));
+    }
+  } else {
+    st = device_->Append(view);
   }
-  return device_->Append(view);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++appended_seq_;
+    if (seq_out != nullptr) *seq_out = appended_seq_;
+  }
+  return st;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  return AppendInternal(record, nullptr);
 }
 
 Status WalWriter::Flush() {
-  // A death here loses every byte appended since the previous flush.
+  // The explicit flush is unconditional: even with nothing newly appended
+  // it pushes the device (and walks the before/after crash points) exactly
+  // as it always did. Only the piggybacking SyncTo path may skip a flush
+  // that another committer's already covered.
+  std::unique_lock<std::mutex> lk(mu_);
+  while (flush_in_progress_) cv_.wait(lk);
+  flush_in_progress_ = true;
+  const std::uint64_t flush_to = appended_seq_;
+  const std::uint64_t covered = pending_syncs_ + 1;
+  pending_syncs_ = 0;
+  lk.unlock();
   REPDIR_CRASH_POINT("wal.before_flush");
   flushes_->Increment();
-  REPDIR_RETURN_IF_ERROR(device_->Flush());
-  REPDIR_CRASH_POINT("wal.after_flush");
-  return Status::Ok();
+  Status st;
+  {
+    std::lock_guard<std::mutex> dev(dev_mu_);
+    st = device_->Flush();
+  }
+  if (st.ok()) REPDIR_CRASH_POINT("wal.after_flush");
+  lk.lock();
+  flush_in_progress_ = false;
+  if (st.ok()) {
+    if (flush_to > flushed_seq_) flushed_seq_ = flush_to;
+    gc_batches_->Increment();
+    gc_ops_per_flush_->Record(static_cast<double>(covered));
+  }
+  cv_.notify_all();
+  return st;
+}
+
+Status WalWriter::SyncTo(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (flushed_seq_ >= seq) return Status::Ok();
+  ++pending_syncs_;
+  for (;;) {
+    if (flushed_seq_ >= seq) return Status::Ok();
+    if (flush_in_progress_) {
+      // Follower: an in-flight flush will cover this record (its leader
+      // snapshots appended_seq_, which includes it) - share that flush.
+      cv_.wait(lk);
+      continue;
+    }
+    // Leader: flush on behalf of every waiter registered so far.
+    flush_in_progress_ = true;
+    if (gc_.window_us > 0) {
+      // Bounded group-commit window: hold the flush open briefly so
+      // concurrent committers can append their decisions and join. The
+      // timeout bounds the wait - the flush proceeds regardless.
+      if (gc_.window_hook) {
+        lk.unlock();
+        gc_.window_hook();
+        lk.lock();
+      } else {
+        cv_.wait_for(lk, std::chrono::microseconds(gc_.window_us));
+      }
+    }
+    const std::uint64_t flush_to = appended_seq_;
+    const std::uint64_t covered = pending_syncs_;
+    pending_syncs_ = 0;
+    lk.unlock();
+    // A death here loses every byte appended since the previous flush.
+    REPDIR_CRASH_POINT("wal.before_flush");
+    flushes_->Increment();
+    Status st;
+    {
+      std::lock_guard<std::mutex> dev(dev_mu_);
+      st = device_->Flush();
+    }
+    if (st.ok()) REPDIR_CRASH_POINT("wal.after_flush");
+    lk.lock();
+    flush_in_progress_ = false;
+    if (st.ok()) {
+      if (flush_to > flushed_seq_) flushed_seq_ = flush_to;
+      gc_batches_->Increment();
+      gc_ops_per_flush_->Record(static_cast<double>(covered));
+    }
+    cv_.notify_all();
+    if (!st.ok()) return st;
+  }
 }
 
 Status WalWriter::AppendOp(TxnId txn, const WalOp& op) {
@@ -88,11 +179,17 @@ Status WalWriter::AppendOp(TxnId txn, const WalOp& op) {
   return Append(rec);
 }
 
-Status WalWriter::AppendDecision(WalRecordType type, TxnId txn) {
+Result<std::uint64_t> WalWriter::AppendDecisionRecord(WalRecordType type,
+                                                      TxnId txn) {
   WalRecord rec;
   rec.type = type;
   rec.txn = txn;
-  REPDIR_RETURN_IF_ERROR(Append(rec));
+  std::uint64_t seq = 0;
+  REPDIR_RETURN_IF_ERROR(AppendInternal(rec, &seq));
+  return seq;
+}
+
+Status WalWriter::SyncDecision(std::uint64_t seq, WalRecordType type) {
   switch (type) {
     case WalRecordType::kPrepare:
       REPDIR_CRASH_POINT("wal.before_prepare_flush");
@@ -103,7 +200,7 @@ Status WalWriter::AppendDecision(WalRecordType type, TxnId txn) {
     default:
       break;
   }
-  REPDIR_RETURN_IF_ERROR(Flush());
+  REPDIR_RETURN_IF_ERROR(SyncTo(seq));
   switch (type) {
     case WalRecordType::kPrepare:
       // The participant's promise is durable but no decision is - a death
@@ -117,6 +214,12 @@ Status WalWriter::AppendDecision(WalRecordType type, TxnId txn) {
       break;
   }
   return Status::Ok();
+}
+
+Status WalWriter::AppendDecision(WalRecordType type, TxnId txn) {
+  REPDIR_ASSIGN_OR_RETURN(const std::uint64_t seq,
+                          AppendDecisionRecord(type, txn));
+  return SyncDecision(seq, type);
 }
 
 Status WalWriter::WriteCheckpoint(const std::vector<StoredEntry>& snapshot) {
@@ -140,11 +243,18 @@ Status WalWriter::WriteCheckpoint(const std::vector<StoredEntry>& snapshot) {
   appends_->Increment();
   append_bytes_->Increment(bytes.size());
 
+  std::lock_guard<std::mutex> dev(dev_mu_);
   REPDIR_CRASH_POINT("wal.mid_checkpoint");
   REPDIR_RETURN_IF_ERROR(device_->Rewrite(
       std::string_view(reinterpret_cast<const char*>(bytes.data()),
                        bytes.size())));
   flushes_->Increment();
+  {
+    // The rewrite installed a fully durable log: one record, flushed.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++appended_seq_;
+    flushed_seq_ = appended_seq_;
+  }
   REPDIR_CRASH_POINT("wal.after_checkpoint");
   return Status::Ok();
 }

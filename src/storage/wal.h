@@ -14,6 +14,10 @@
 // "in doubt" and are resolved by the coordinator (see recovery.h).
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
@@ -74,44 +78,119 @@ struct WalRecord {
   Status Decode(ByteReader& r);
 };
 
+/// Group-commit tuning for WalWriter::SyncTo. Flush coalescing itself is
+/// always on: a committer whose decision record is already covered by an
+/// in-flight flush waits for that flush instead of issuing its own. The
+/// window adds the classic group-commit gamble on top - the flush leader
+/// briefly holds the flush open so concurrent committers can append their
+/// decision records and share the same device flush.
+struct GroupCommitConfig {
+  /// Bounded coalescing window in microseconds. 0 = flush immediately
+  /// (followers still piggyback on whatever flush is in flight). The wait
+  /// is bounded: the leader proceeds after `window_us` even if no other
+  /// committer showed up.
+  DurationMicros window_us = 0;
+
+  /// Test hook replacing the leader's timed wait (called with no locks
+  /// held); deterministic tests inject a no-op or a rendezvous here.
+  std::function<void()> window_hook;
+};
+
 /// Appends framed records to a LogDevice. `metrics` receives the
 /// "wal.appends" / "wal.flushes" / "wal.checkpoints" counters plus
-/// "wal.append_bytes" / "wal.checkpoint_bytes"; null means the default
-/// registry.
+/// "wal.append_bytes" / "wal.checkpoint_bytes" and the group-commit pair
+/// "wal.group_commit.batches" / "wal.group_commit.ops_per_flush"; null
+/// means the default registry.
+///
+/// Thread safety: all methods may be called concurrently. Physical device
+/// access is serialized by an internal mutex; the group-commit coordinator
+/// (SyncTo) runs the actual device flush outside the append path's critical
+/// section so concurrently committing participants share one flush.
 class WalWriter {
  public:
-  explicit WalWriter(LogDevice& device, MetricsRegistry* metrics = nullptr)
+  explicit WalWriter(LogDevice& device, MetricsRegistry* metrics = nullptr,
+                     GroupCommitConfig group_commit = {})
       : device_(&device),
         metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Default()),
+        gc_(std::move(group_commit)),
         appends_(&metrics_->counter("wal.appends")),
         flushes_(&metrics_->counter("wal.flushes")),
         checkpoints_(&metrics_->counter("wal.checkpoints")),
         append_bytes_(&metrics_->counter("wal.append_bytes")),
-        checkpoint_bytes_(&metrics_->counter("wal.checkpoint_bytes")) {}
+        checkpoint_bytes_(&metrics_->counter("wal.checkpoint_bytes")),
+        gc_batches_(&metrics_->counter("wal.group_commit.batches")),
+        gc_ops_per_flush_(
+            &metrics_->distribution("wal.group_commit.ops_per_flush")) {}
 
-  /// Buffers one framed record (durable only after Flush()).
+  /// Buffers one framed record (durable only after a covering flush).
   Status Append(const WalRecord& record);
 
+  /// Makes everything appended so far durable (== SyncTo(appended_seq())).
   Status Flush();
+
+  /// Makes every record with sequence number <= `seq` durable. Returns
+  /// immediately when a previous flush already covered `seq`; joins an
+  /// in-flight flush that will cover it; otherwise becomes the flush leader
+  /// for every waiter present (group commit).
+  Status SyncTo(std::uint64_t seq);
 
   /// Convenience: op record for `txn`.
   Status AppendOp(TxnId txn, const WalOp& op);
 
-  /// Appends and flushes a decision record.
+  /// Appends a decision record WITHOUT flushing; returns its sequence
+  /// number for a later SyncDecision. Lets a participant append under its
+  /// own mutex and sync outside it, which is what makes flushes shareable.
+  Result<std::uint64_t> AppendDecisionRecord(WalRecordType type, TxnId txn);
+
+  /// Forces the decision at `seq` durable, firing the decision-specific
+  /// crash points ("wal.{before,after}_{prepare,commit}_flush") around the
+  /// covering flush.
+  Status SyncDecision(std::uint64_t seq, WalRecordType type);
+
+  /// Appends and flushes a decision record (AppendDecisionRecord +
+  /// SyncDecision); the single-threaded convenience used by recovery.
   Status AppendDecision(WalRecordType type, TxnId txn);
 
   /// Writes a checkpoint containing the full state, flushes, and truncates
   /// everything before it by rewriting the log. Caller must be quiescent.
   Status WriteCheckpoint(const std::vector<StoredEntry>& snapshot);
 
+  std::uint64_t appended_seq() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return appended_seq_;
+  }
+  std::uint64_t flushed_seq() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return flushed_seq_;
+  }
+
  private:
+  /// Frames and appends `record`; on success stores its sequence number
+  /// into `seq_out` (may be null).
+  Status AppendInternal(const WalRecord& record, std::uint64_t* seq_out);
+
   LogDevice* device_;
   MetricsRegistry* metrics_;
+  GroupCommitConfig gc_;
   Counter* appends_;
   Counter* flushes_;
   Counter* checkpoints_;
   Counter* append_bytes_;
   Counter* checkpoint_bytes_;
+  Counter* gc_batches_;
+  DistributionStat* gc_ops_per_flush_;
+
+  /// Serializes physical device access (Append/Flush/Rewrite). Acquired
+  /// before mu_ when both are needed.
+  mutable std::mutex dev_mu_;
+
+  /// Guards the sequence counters and group-commit coordination state.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t appended_seq_ = 0;  ///< Records appended to the device.
+  std::uint64_t flushed_seq_ = 0;   ///< Records covered by a flush.
+  bool flush_in_progress_ = false;
+  std::uint64_t pending_syncs_ = 0;  ///< SyncTo calls awaiting a flush.
 };
 
 /// Parses framed records from raw log bytes. A torn or corrupt tail frame

@@ -166,21 +166,41 @@ Result<CoalesceEffect> TxnParticipant::Coalesce(TxnId txn, const RepKey& l,
   return effect;
 }
 
+// Decision discipline: the decision record is appended under mu_ (so it
+// lands in the log in storage-mutation order), but the flush that makes it
+// durable runs OUTSIDE mu_ via WalWriter::SyncDecision. Concurrently
+// deciding transactions therefore share one group flush instead of
+// serializing their fsyncs behind the participant mutex. Correctness is
+// unchanged: OK is only returned - and locks only released - after the
+// covering flush succeeded, so group commit never widens the durability
+// window of an acknowledged decision.
+
 Status TxnParticipant::Prepare(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  const auto it = txns_.find(txn);
-  if (it == txns_.end()) {
-    return Status::FailedPrecondition("Prepare of unknown txn");
+  std::uint64_t seq = 0;
+  bool logged = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return Status::FailedPrecondition("Prepare of unknown txn");
+    }
+    it->second.prepared = true;
+    if (wal_ != nullptr && !it->second.undo.empty()) {
+      REPDIR_ASSIGN_OR_RETURN(
+          seq,
+          wal_->AppendDecisionRecord(storage::WalRecordType::kPrepare, txn));
+      logged = true;
+    }
   }
-  it->second.prepared = true;
-  if (wal_ != nullptr && !it->second.undo.empty()) {
-    REPDIR_RETURN_IF_ERROR(
-        wal_->AppendDecision(storage::WalRecordType::kPrepare, txn));
+  if (logged) {
+    return wal_->SyncDecision(seq, storage::WalRecordType::kPrepare);
   }
   return Status::Ok();
 }
 
 Status TxnParticipant::Commit(TxnId txn) {
+  std::uint64_t seq = 0;
+  bool logged = false;
   {
     std::lock_guard<std::mutex> guard(mu_);
     const auto it = txns_.find(txn);
@@ -191,16 +211,27 @@ Status TxnParticipant::Commit(TxnId txn) {
       return Status::Ok();
     }
     if (wal_ != nullptr && !it->second.undo.empty()) {
-      REPDIR_RETURN_IF_ERROR(
-          wal_->AppendDecision(storage::WalRecordType::kCommit, txn));
+      REPDIR_ASSIGN_OR_RETURN(
+          seq,
+          wal_->AppendDecisionRecord(storage::WalRecordType::kCommit, txn));
+      logged = true;
     }
-    txns_.erase(it);
+  }
+  if (logged) {
+    REPDIR_RETURN_IF_ERROR(
+        wal_->SyncDecision(seq, storage::WalRecordType::kCommit));
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    txns_.erase(txn);
   }
   locks_.ReleaseAll(txn);
   return Status::Ok();
 }
 
 Status TxnParticipant::Abort(TxnId txn) {
+  std::uint64_t seq = 0;
+  bool logged = false;
   {
     std::lock_guard<std::mutex> guard(mu_);
     const auto it = txns_.find(txn);
@@ -221,10 +252,16 @@ Status TxnParticipant::Abort(TxnId txn) {
       }
     }
     if (wal_ != nullptr && !undo_list.empty()) {
-      REPDIR_RETURN_IF_ERROR(
-          wal_->AppendDecision(storage::WalRecordType::kAbort, txn));
+      REPDIR_ASSIGN_OR_RETURN(
+          seq,
+          wal_->AppendDecisionRecord(storage::WalRecordType::kAbort, txn));
+      logged = true;
     }
     txns_.erase(it);
+  }
+  if (logged) {
+    REPDIR_RETURN_IF_ERROR(
+        wal_->SyncDecision(seq, storage::WalRecordType::kAbort));
   }
   locks_.ReleaseAll(txn);
   return Status::Ok();

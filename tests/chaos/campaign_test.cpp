@@ -86,6 +86,43 @@ TEST(Run, GreenAcrossBuiltinScenarios) {
   }
 }
 
+TEST(Run, BatchedExecutorIsGreenAndDeterministic) {
+  // Same schedules as the single-shot executor, grouped 8 ops per
+  // transaction: the model still advances op by op, so any batch that
+  // commits without its ops' effects (or vice versa) is a verdict.
+  ScenarioSpec spec = Small();
+  spec.name = "test-batched-3-2-2";
+  spec.batch_size = 8;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Schedule schedule = GenerateSchedule(spec, seed);
+    const RunOutcome a = RunSchedule(spec, schedule, seed);
+    const RunOutcome b = RunSchedule(spec, schedule, seed);
+    EXPECT_TRUE(a.ok()) << "seed " << seed << ": " << a.verdict.ToString();
+    EXPECT_GT(a.ops_attempted, 0u);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ops_committed, b.ops_committed);
+    EXPECT_EQ(a.ops_rejected, b.ops_rejected);
+  }
+}
+
+TEST(Run, BatchedAndSingleShotAgreeOnAFaultFreeSchedule) {
+  // With no faults every transaction commits, so grouping must be purely
+  // an optimization: identical committed model either way.
+  ScenarioSpec spec = Small();
+  spec.p_crash = spec.p_recover = spec.p_partition = 0;
+  spec.p_one_way = spec.p_heal = spec.p_heal_all = 0;
+  spec.p_set_link = spec.p_checkpoint = 0;
+  const Schedule schedule = GenerateSchedule(spec, 21);
+  const RunOutcome single = RunSchedule(spec, schedule, 21);
+  ScenarioSpec batched = spec;
+  batched.batch_size = 8;
+  const RunOutcome grouped = RunSchedule(batched, schedule, 21);
+  ASSERT_TRUE(single.ok()) << single.verdict.ToString();
+  ASSERT_TRUE(grouped.ok()) << grouped.verdict.ToString();
+  EXPECT_EQ(single.committed, grouped.committed);
+  EXPECT_EQ(single.ops_attempted, grouped.ops_attempted);
+}
+
 TEST(Run, DeterministicReplay) {
   const ScenarioSpec spec = Small();
   const Schedule schedule = GenerateSchedule(spec, 11);

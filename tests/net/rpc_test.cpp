@@ -295,5 +295,101 @@ TEST(RetryTest, RetriesTransientOnly) {
   EXPECT_EQ(calls, 2);
 }
 
+
+// --- Byte accounting (rpc.bytes_sent / rpc.bytes_received) ---
+
+struct ListRequest {
+  std::vector<std::string> items;
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(items.size());
+    for (const auto& item : items) w.PutString(item);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    items.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string item;
+      REPDIR_RETURN_IF_ERROR(r.GetString(item));
+      items.push_back(std::move(item));
+    }
+    return Status::Ok();
+  }
+};
+
+constexpr MethodId kCount = 7;
+
+TEST(RpcBytes, CallCountsExactlyOneEnvelope) {
+  RpcServer server(1);
+  server.RegisterTyped<ListRequest, Empty>(
+      kCount, [](const RpcRequest&, const ListRequest&, Empty&) {
+        return Status::Ok();
+      });
+  InProcTransport transport;
+  transport.RegisterNode(1, server);
+  MetricsRegistry metrics;
+  RpcClient client(transport, 50, &metrics);
+
+  ListRequest req;
+  req.items = {"alpha", "beta"};
+  const std::size_t payload_bytes = EncodeToString(req).size();
+  ASSERT_TRUE(client.Call<Empty>(1, kCount, req).ok());
+  EXPECT_EQ(client.metrics().counter("rpc.bytes_sent").value(),
+            payload_bytes + kEnvelopeOverheadBytes);
+  EXPECT_EQ(client.metrics().counter("rpc.bytes_received").value(),
+            EncodeToString(Empty{}).size() + kEnvelopeOverheadBytes);
+}
+
+TEST(RpcBytes, BatchedEnvelopeIsCountedOnceNotPerInnerOp) {
+  // Regression: one batched call carrying N inner items must charge ONE
+  // envelope's overhead, not N - i.e. strictly fewer bytes than the same
+  // items shipped as N single-item calls.
+  RpcServer server(1);
+  server.RegisterTyped<ListRequest, Empty>(
+      kCount, [](const RpcRequest&, const ListRequest&, Empty&) {
+        return Status::Ok();
+      });
+  InProcTransport transport;
+  transport.RegisterNode(1, server);
+
+  constexpr int kItems = 16;
+  std::vector<std::string> items;
+  for (int i = 0; i < kItems; ++i) items.push_back("item-" + std::to_string(i));
+
+  MetricsRegistry batched_metrics;
+  RpcClient batched(transport, 50, &batched_metrics);
+  ListRequest all;
+  all.items = items;
+  ASSERT_TRUE(batched.Call<Empty>(1, kCount, all).ok());
+  const std::uint64_t batched_bytes =
+      batched.metrics().counter("rpc.bytes_sent").value();
+  EXPECT_EQ(batched_bytes,
+            EncodeToString(all).size() + kEnvelopeOverheadBytes);
+
+  MetricsRegistry singles_metrics;
+  RpcClient singles(transport, 51, &singles_metrics);
+  std::size_t single_payloads = 0;
+  for (const auto& item : items) {
+    ListRequest one;
+    one.items = {item};
+    single_payloads += EncodeToString(one).size();
+    ASSERT_TRUE(singles.Call<Empty>(1, kCount, one).ok());
+  }
+  const std::uint64_t single_bytes =
+      singles.metrics().counter("rpc.bytes_sent").value();
+  EXPECT_EQ(single_bytes,
+            single_payloads + kItems * kEnvelopeOverheadBytes);
+
+  // N-1 envelopes saved (and the shared varint framing).
+  EXPECT_LT(batched_bytes,
+            single_bytes - (kItems - 1) * kEnvelopeOverheadBytes + 1);
+
+  // The receive side is symmetric: one reply envelope vs N.
+  EXPECT_EQ(batched.metrics().counter("rpc.bytes_received").value() +
+                (kItems - 1) * (EncodeToString(Empty{}).size() +
+                                kEnvelopeOverheadBytes),
+            singles.metrics().counter("rpc.bytes_received").value());
+}
+
 }  // namespace
 }  // namespace repdir::net

@@ -2,7 +2,18 @@
 // clients, server shutdown, and a full directory suite running over TCP.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <random>
 #include <thread>
+
+#include "net/wire.h"
 
 #include "net/rpc_client.h"
 #include "net/tcp_transport.h"
@@ -169,6 +180,285 @@ TEST(TcpTransport, DirectorySuiteOverRealSockets) {
   servers[2]->Stop();
   ASSERT_TRUE(suite.Insert("after-failure", "v").ok());
   EXPECT_TRUE(suite.Lookup("after-failure")->found);
+}
+
+
+// --- Multiplexing, pipelining, and framing robustness ---
+
+struct DelayEchoRequest {
+  std::uint32_t delay_ms = 0;
+  std::string text;
+  void Encode(ByteWriter& w) const {
+    w.PutU32(delay_ms);
+    w.PutString(text);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetU32(delay_ms));
+    return r.GetString(text);
+  }
+};
+
+constexpr MethodId kDelayEcho = 2;
+
+void RegisterDelayEcho(RpcServer& server) {
+  server.RegisterTyped<DelayEchoRequest, EchoRequest>(
+      kDelayEcho,
+      [](const RpcRequest&, const DelayEchoRequest& req, EchoRequest& out) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(req.delay_ms));
+        out.text = req.text;
+        return Status::Ok();
+      });
+}
+
+TEST(TcpTransport, ConcurrentCallersShareOneConnection) {
+  RpcServer service(1);
+  RegisterEcho(service);
+  TcpServer server(service);
+  const auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  TcpTransport transport;
+  transport.AddRoute(1, "127.0.0.1", *port);
+
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RpcClient client(transport, static_cast<NodeId>(100 + t));
+      for (int i = 0; i < kCalls; ++i) {
+        const std::string text = std::to_string(t) + "/" + std::to_string(i);
+        const auto reply =
+            client.Call<EchoRequest>(1, kEcho, EchoRequest{text});
+        if (!reply.ok() || reply->text != text) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every caller pipelined over the SAME persistent connection.
+  EXPECT_EQ(transport.connections_opened(), 1u);
+  EXPECT_EQ(server.connections_served(), 1u);
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kThreads * kCalls));
+}
+
+TEST(TcpTransport, DeepPipelineCompletesOutOfOrder) {
+  // One slow call followed by several fast ones, all pipelined onto one
+  // connection via CallAsync: the fast responses overtake the slow one
+  // (out-of-order completion over a single socket, routed by correlation
+  // id), and total wall time tracks the slowest call, not the sum.
+  RpcServer service(1);
+  RegisterDelayEcho(service);
+  TcpServer server(service);
+  const auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  TcpTransport transport;
+  transport.AddRoute(1, "127.0.0.1", *port);
+
+  constexpr int kCalls = 8;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> completion_order;
+  std::vector<std::string> replies(kCalls);
+  int done = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCalls; ++i) {
+    DelayEchoRequest body;
+    body.delay_ms = i == 0 ? 250 : 10;  // the first call is the straggler
+    body.text = "call-" + std::to_string(i);
+    RpcRequest req;
+    req.from = 100;
+    req.method = kDelayEcho;
+    req.payload = EncodeToString(body);
+    transport.CallAsync(1, req, [&, i](Status st, RpcResponse resp) {
+      EchoRequest echoed;
+      std::lock_guard<std::mutex> lk(mu);
+      if (st.ok() && resp.code == StatusCode::kOk &&
+          DecodeFromString(resp.payload, echoed).ok()) {
+        replies[i] = echoed.text;
+      }
+      completion_order.push_back(i);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(10),
+                            [&] { return done == kCalls; }));
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(replies[i], "call-" + std::to_string(i)) << i;
+  }
+  // The straggler was issued first and finished last.
+  EXPECT_EQ(completion_order.back(), 0);
+  // Pipelined execution: far less than the serial sum (250 + 7*10 plus
+  // seven round trips each gated on the previous response).
+  EXPECT_LT(elapsed.count(), 600);
+  EXPECT_EQ(server.connections_served(), 1u);
+  EXPECT_EQ(transport.connections_opened(), 1u);
+}
+
+TEST(TcpTransport, ReRoutingANodeDropsItsConnection) {
+  RpcServer service_a(1);
+  RegisterEcho(service_a);
+  TcpServer server_a(service_a);
+  const auto port_a = server_a.Start();
+  ASSERT_TRUE(port_a.ok());
+
+  RpcServer service_b(1);
+  RegisterEcho(service_b);
+  TcpServer server_b(service_b);
+  const auto port_b = server_b.Start();
+  ASSERT_TRUE(port_b.ok());
+
+  TcpTransport transport;
+  transport.AddRoute(1, "127.0.0.1", *port_a);
+  RpcClient client(transport, 100);
+  ASSERT_TRUE(client.Call<EchoRequest>(1, kEcho, EchoRequest{"a"}).ok());
+  EXPECT_EQ(server_a.connections_served(), 1u);
+
+  // The node "respawns" elsewhere: the stale connection is retired and the
+  // next call dials the new endpoint.
+  transport.AddRoute(1, "127.0.0.1", *port_b);
+  ASSERT_TRUE(client.Call<EchoRequest>(1, kEcho, EchoRequest{"b"}).ok());
+  EXPECT_EQ(server_b.connections_served(), 1u);
+  EXPECT_EQ(transport.connections_opened(), 2u);
+}
+
+TEST(TcpTransport, SeededFramingFuzzPartialWritesAndShortReads) {
+  // A raw-socket client dribbles valid request frames at the server in
+  // randomly-sized partial writes (seeded, reproducible) and drains the
+  // responses in randomly-sized short reads. Every response must come back
+  // intact and matched to its correlation id, no matter where the TCP
+  // stream fragments.
+  RpcServer service(1);
+  RegisterEcho(service);
+  TcpServer server(service);
+  const auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::mt19937 rng(20260808);
+  constexpr int kRequests = 40;
+  std::string outbound;
+  for (int i = 0; i < kRequests; ++i) {
+    EchoRequest body;
+    body.text = "fuzz-" + std::to_string(i) +
+                std::string(rng() % 300, static_cast<char>('a' + i % 26));
+    RpcRequest req;
+    req.from = 100;
+    req.method = kEcho;
+    req.payload = EncodeToString(body);
+    AppendTcpFrame(outbound, static_cast<std::uint64_t>(i + 1),
+                   EncodeToString(req));
+  }
+
+  // Writer thread: partial writes of 1..97 bytes with occasional pauses.
+  std::thread writer([&] {
+    std::mt19937 wrng(7);
+    std::size_t off = 0;
+    while (off < outbound.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + wrng() % 97, outbound.size() - off);
+      ASSERT_EQ(::send(fd, outbound.data() + off, n, 0),
+                static_cast<ssize_t>(n));
+      off += n;
+      if (wrng() % 8 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+
+  // Reader: short reads of 1..63 bytes until every response arrived.
+  std::string in;
+  std::map<std::uint64_t, std::string> responses;
+  char buf[63];
+  while (responses.size() < kRequests) {
+    const std::size_t want = 1 + rng() % sizeof(buf);
+    const ssize_t got = ::recv(fd, buf, want, 0);
+    ASSERT_GT(got, 0);
+    in.append(buf, static_cast<std::size_t>(got));
+    std::size_t off = 0;
+    while (in.size() - off >= kTcpFrameHeaderBytes) {
+      std::uint32_t len = 0;
+      std::uint64_t corr = 0;
+      DecodeTcpFrameHeader(in.data() + off, len, corr);
+      ASSERT_LE(len, kMaxTcpFrame);
+      if (in.size() - off < kTcpFrameHeaderBytes + len) break;
+      RpcResponse resp;
+      ASSERT_TRUE(DecodeFromString(
+                      in.substr(off + kTcpFrameHeaderBytes, len), resp)
+                      .ok());
+      ASSERT_EQ(resp.code, StatusCode::kOk);
+      EchoRequest echoed;
+      ASSERT_TRUE(DecodeFromString(resp.payload, echoed).ok());
+      responses[corr] = echoed.text;
+      off += kTcpFrameHeaderBytes + len;
+    }
+    in.erase(0, off);
+  }
+  writer.join();
+  ::close(fd);
+
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    const auto it = responses.find(static_cast<std::uint64_t>(i + 1));
+    ASSERT_NE(it, responses.end()) << i;
+    EXPECT_TRUE(it->second.rfind("fuzz-" + std::to_string(i), 0) == 0) << i;
+  }
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(TcpTransport, OversizedFrameDropsConnectionNotServer) {
+  RpcServer service(1);
+  RegisterEcho(service);
+  TcpServer server(service);
+  const auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Poison connection: a header advertising an impossible frame length.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string poison;
+  char header[kTcpFrameHeaderBytes] = {};
+  const std::uint32_t bad_len = kMaxTcpFrame + 1;
+  std::memcpy(header, &bad_len, sizeof(bad_len));
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  // The server shuts the poisoned connection down...
+  char buf[16];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+
+  // ...and keeps serving everyone else.
+  TcpTransport transport;
+  transport.AddRoute(1, "127.0.0.1", *port);
+  RpcClient client(transport, 100);
+  const auto reply = client.Call<EchoRequest>(1, kEcho, EchoRequest{"alive"});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->text, "alive");
 }
 
 }  // namespace

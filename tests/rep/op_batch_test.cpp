@@ -1,0 +1,229 @@
+// Operation batching: many directory operations in one RPC envelope and one
+// two-phase-commit transaction (DirectorySuite::ExecuteBatch / BatchBuilder),
+// and the AutoBatcher that coalesces concurrent submitters transparently.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "invariants.h"
+#include "rep/batcher.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+using rep::AutoBatcher;
+using BatchOp = DirectorySuite::BatchOp;
+
+std::uint64_t TotalRpcs(const std::map<NodeId, std::uint64_t>& by_node) {
+  std::uint64_t total = 0;
+  for (const auto& [node, n] : by_node) total += n;
+  return total;
+}
+
+class OpBatch : public ::testing::Test {
+ protected:
+  OpBatch()
+      : harness_(QuorumConfig::Uniform(3, 2, 2)),
+        suite_(harness_.NewSuite(100)) {}
+
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST_F(OpBatch, MixedBatchCommitsAtomically) {
+  ASSERT_TRUE(suite_->Insert("pre", "old").ok());
+
+  auto r = suite_->Batch()
+               .Insert("a", "1")
+               .Insert("b", "2")
+               .Update("pre", "new")
+               .Lookup("a")
+               .Lookup("missing")
+               .Execute();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  ASSERT_EQ(r.ops.size(), 5u);
+  EXPECT_TRUE(r.ops[0].status.ok());
+  EXPECT_TRUE(r.ops[1].status.ok());
+  EXPECT_TRUE(r.ops[2].status.ok());
+  ASSERT_TRUE(r.ops[3].status.ok());
+  EXPECT_TRUE(r.ops[3].lookup.found);
+  EXPECT_EQ(r.ops[3].lookup.value, "1");  // sees the batch's own insert
+  ASSERT_TRUE(r.ops[4].status.ok());
+  EXPECT_FALSE(r.ops[4].lookup.found);
+
+  EXPECT_EQ(suite_->Lookup("a")->value, "1");
+  EXPECT_EQ(suite_->Lookup("b")->value, "2");
+  EXPECT_EQ(suite_->Lookup("pre")->value, "new");
+  EXPECT_TRUE(AllQuorumsAgree(
+      harness_, {{"pre", "new"}, {"a", "1"}, {"b", "2"}}));
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(OpBatch, LaterOpsObserveEarlierEffects) {
+  // Insert -> duplicate insert -> update -> lookup, all one key, one batch:
+  // sequential semantics inside the batch.
+  auto r = suite_->Batch()
+               .Insert("k", "v1")
+               .Insert("k", "v2")
+               .Update("k", "v3")
+               .Lookup("k")
+               .Execute();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.ops[0].status.ok());
+  EXPECT_EQ(r.ops[1].status.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(r.ops[2].status.ok());
+  EXPECT_EQ(r.ops[3].lookup.value, "v3");
+  EXPECT_EQ(suite_->Lookup("k")->value, "v3");
+  EXPECT_TRUE(AllQuorumsAgree(harness_, {{"k", "v3"}}));
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(OpBatch, CleanPerOpFailuresDoNotPoisonTheBatch) {
+  ASSERT_TRUE(suite_->Insert("taken", "x").ok());
+  auto r = suite_->Batch()
+               .Insert("taken", "y")   // kAlreadyExists, clean
+               .Update("absent", "z")  // kNotFound, clean
+               .Insert("fresh", "ok")
+               .Execute();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.ops[0].status.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(r.ops[1].status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(r.ops[2].status.ok());
+  EXPECT_EQ(suite_->Lookup("taken")->value, "x");
+  EXPECT_FALSE(suite_->Lookup("absent")->found);
+  EXPECT_EQ(suite_->Lookup("fresh")->value, "ok");
+}
+
+TEST_F(OpBatch, QuorumLossFailsTheWholeBatchWithNothingCommitted) {
+  harness_.network().SetNodeUp(1, false);
+  harness_.network().SetNodeUp(2, false);
+  auto r = suite_->Batch().Insert("a", "1").Insert("b", "2").Execute();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  harness_.network().SetNodeUp(1, true);
+  harness_.network().SetNodeUp(2, true);
+  EXPECT_FALSE(suite_->Lookup("a")->found);
+  EXPECT_FALSE(suite_->Lookup("b")->found);
+  EXPECT_TRUE(AllQuorumsAgree(harness_, {}));
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(OpBatch, RoundCountIsIndependentOfBatchSize) {
+  // 32 inserts, one batch: exactly one read RPC and one write RPC per
+  // quorum member - the round collapse the hot path is built on.
+  rep::BatchBuilder b = suite_->Batch();
+  for (int i = 0; i < 32; ++i) {
+    b.Insert("key" + std::to_string(i), "v");
+  }
+  const auto read_before = TotalRpcs(suite_->read_rpcs_by_node());
+  const auto write_before = TotalRpcs(suite_->write_rpcs_by_node());
+  auto r = b.Execute();
+  ASSERT_TRUE(r.status.ok());
+  const auto reads = TotalRpcs(suite_->read_rpcs_by_node()) - read_before;
+  const auto writes = TotalRpcs(suite_->write_rpcs_by_node()) - write_before;
+  EXPECT_EQ(reads, 2u);   // read quorum size
+  EXPECT_EQ(writes, 2u);  // write quorum size
+}
+
+TEST_F(OpBatch, BatchedAndSequentialExecutionsConverge) {
+  // The same deterministic op list applied batched (chunks of 7) and
+  // single-shot must leave identical user-visible directories.
+  SuiteHarness other(QuorumConfig::Uniform(3, 2, 2));
+  auto single = other.NewSuite(100);
+
+  std::vector<BatchOp> script;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(i % 11);
+    BatchOp op;
+    op.key = key;
+    if (i % 3 == 0) {
+      op.kind = BatchOp::Kind::kInsert;
+      op.value = "ins" + std::to_string(i);
+    } else if (i % 3 == 1) {
+      op.kind = BatchOp::Kind::kUpdate;
+      op.value = "upd" + std::to_string(i);
+    } else {
+      op.kind = BatchOp::Kind::kLookup;
+    }
+    script.push_back(std::move(op));
+  }
+
+  for (std::size_t base = 0; base < script.size(); base += 7) {
+    std::vector<BatchOp> chunk(
+        script.begin() + static_cast<long>(base),
+        script.begin() +
+            static_cast<long>(std::min(base + 7, script.size())));
+    ASSERT_TRUE(suite_->ExecuteBatch(chunk).status.ok());
+  }
+  for (const BatchOp& op : script) {
+    switch (op.kind) {
+      case BatchOp::Kind::kInsert:
+        (void)single->Insert(op.key, op.value);
+        break;
+      case BatchOp::Kind::kUpdate:
+        (void)single->Update(op.key, op.value);
+        break;
+      case BatchOp::Kind::kLookup:
+        (void)single->Lookup(op.key);
+        break;
+    }
+  }
+
+  // Full ordered scans of both deployments must agree.
+  auto scan = [](DirectorySuite& s) {
+    std::vector<std::pair<UserKey, Value>> entries;
+    auto cur = s.FirstKey();
+    while (cur.ok() && cur->found) {
+      entries.emplace_back(cur->key, cur->value);
+      cur = s.NextKey(cur->key);
+    }
+    return entries;
+  };
+  EXPECT_EQ(scan(*suite_), scan(*single));
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(OpBatch, AutoBatcherCoalescesConcurrentSubmitters) {
+  AutoBatcher::Options options;
+  options.max_batch = 64;
+  options.max_wait_us = 100'000;  // generous door: coalescing must happen
+  AutoBatcher batcher(*suite_, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "_" + std::to_string(i);
+        if (!batcher.Insert(key, "v").ok()) failures.fetch_add(1);
+        const auto got = batcher.Lookup(key);
+        if (!got.ok() || !got->found || got->value != "v") {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(batcher.ops_submitted(),
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread * 2));
+  // Coalescing proof: strictly fewer dispatches than operations.
+  EXPECT_LT(batcher.batches_dispatched(), batcher.ops_submitted());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::string key = "t" + std::to_string(t) + "_" + std::to_string(i);
+      EXPECT_EQ(suite_->Lookup(key)->value, "v");
+    }
+  }
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+}  // namespace
+}  // namespace repdir::test

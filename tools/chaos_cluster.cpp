@@ -11,6 +11,12 @@
 // driver's committed/aborted record, and the final cluster state is checked
 // against the committed-ops model with the shared invariant library.
 //
+// Batched phases drive whole op groups through SuiteTxn::ExecuteBatch - one
+// 2PC and one group-committed WAL flush per group - with victims armed to
+// die mid-group-flush (wal.before_flush) and mid-batch-2PC
+// (wal.after_prepare_flush): group commit must never widen the durability
+// window of a committed batch.
+//
 //   chaos_cluster [--seed S] [--ops N] [--workdir DIR] [--node-bin PATH]
 //
 // Exit status 0 iff the cluster converged to exactly the committed model.
@@ -53,6 +59,7 @@ struct Driver {
 
   std::uint64_t ops_attempted = 0;
   std::uint64_t ops_committed = 0;
+  std::uint64_t batches_committed = 0;
   std::uint64_t kills = 0;
   std::uint64_t respawns = 0;
   std::uint64_t mid_2pc_kills = 0;
@@ -294,12 +301,130 @@ void RunOp(Driver& driver, rep::DirectorySuite& suite, Rng& rng) {
   }
 }
 
+/// One whole op group as ONE transaction through SuiteTxn::ExecuteBatch:
+/// one read wave, one write wave, one 2PC, one group-committed flush. The
+/// model only advances - all K ops at once - when the commit decision was
+/// commit; lookups inside the batch are checked against the evolving
+/// scratch model (batch semantics: later ops observe earlier effects).
+void RunBatch(Driver& driver, rep::DirectorySuite& suite, Rng& rng) {
+  using BatchOp = rep::DirectorySuite::BatchOp;
+  const std::size_t size = 3 + rng.Below(6);  // 3..8 ops per group
+  std::vector<BatchOp> ops;
+  ops.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    BatchOp op;
+    op.key = "k" + std::to_string(rng.Below(16));
+    const double roll = rng.NextDouble();
+    if (roll < 0.4) {
+      op.kind = BatchOp::Kind::kInsert;
+      op.value = "b" + std::to_string(driver.ops_attempted + i);
+    } else if (roll < 0.7) {
+      op.kind = BatchOp::Kind::kUpdate;
+      op.value = "b" + std::to_string(driver.ops_attempted + i);
+    } else {
+      op.kind = BatchOp::Kind::kLookup;
+    }
+    ops.push_back(std::move(op));
+  }
+  driver.ops_attempted += size;
+
+  rep::SuiteTxn txn = suite.Begin();
+  const auto results = txn.ExecuteBatch(ops);
+  if (!results.ok()) {
+    driver.decisions[txn.id()] = false;
+    txn.Abort();
+    if (results.status().code() != StatusCode::kUnavailable &&
+        results.status().code() != StatusCode::kAborted) {
+      driver.Fail("batch: " + results.status().ToString());
+    }
+    return;
+  }
+  const TxnId id = txn.id();
+  const Status commit = txn.Commit();
+  driver.decisions[id] = commit.ok();
+  if (!commit.ok()) {
+    if (commit.code() != StatusCode::kAborted &&
+        commit.code() != StatusCode::kUnavailable) {
+      driver.Fail("batch commit: " + commit.ToString());
+    }
+    return;
+  }
+  ++driver.batches_committed;
+
+  chaos::Model scratch = driver.model;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& op = ops[i];
+    const auto& r = (*results)[i];
+    switch (op.kind) {
+      case BatchOp::Kind::kInsert:
+        if (r.status.ok()) {
+          if (scratch.contains(op.key)) {
+            driver.Fail("batched insert(" + op.key +
+                        ") committed over a live entry");
+            return;
+          }
+          scratch[op.key] = op.value;
+          ++driver.ops_committed;
+        } else if (r.status.code() == StatusCode::kAlreadyExists) {
+          if (!scratch.contains(op.key)) {
+            driver.Fail("spurious batched kAlreadyExists for " + op.key);
+            return;
+          }
+        } else {
+          driver.Fail("batched insert(" + op.key +
+                      "): " + r.status.ToString());
+          return;
+        }
+        break;
+      case BatchOp::Kind::kUpdate:
+        if (r.status.ok()) {
+          if (!scratch.contains(op.key)) {
+            driver.Fail("batched update(" + op.key +
+                        ") committed on a missing entry");
+            return;
+          }
+          scratch[op.key] = op.value;
+          ++driver.ops_committed;
+        } else if (r.status.code() == StatusCode::kNotFound) {
+          if (scratch.contains(op.key)) {
+            driver.Fail("spurious batched kNotFound for " + op.key);
+            return;
+          }
+        } else {
+          driver.Fail("batched update(" + op.key +
+                      "): " + r.status.ToString());
+          return;
+        }
+        break;
+      default:  // kLookup
+        if (!r.status.ok()) {
+          driver.Fail("batched lookup(" + op.key +
+                      "): " + r.status.ToString());
+          return;
+        }
+        if (r.lookup.found != scratch.contains(op.key) ||
+            (r.lookup.found && r.lookup.value != scratch.at(op.key))) {
+          driver.Fail("batched lookup(" + op.key +
+                      ") disagrees with committed model");
+          return;
+        }
+        ++driver.ops_committed;
+        break;
+    }
+  }
+  driver.model = std::move(scratch);
+}
+
 /// Drives ops until `victim`'s armed crash point fires (or an op budget
 /// runs out). Returns true when the victim died.
 bool DriveUntilDeath(Driver& driver, rep::DirectorySuite& suite, Rng& rng,
-                     NodeId victim, int budget) {
+                     NodeId victim, int budget, bool batched = false) {
   for (int i = 0; i < budget; ++i) {
-    RunOp(driver, suite, rng);
+    if (batched) {
+      RunBatch(driver, suite, rng);
+    } else {
+      RunOp(driver, suite, rng);
+    }
     if (driver.Reap(victim)) {
       ++driver.kills;
       ++driver.mid_2pc_kills;
@@ -422,6 +547,40 @@ int main(int argc, char** argv) {
   driver.ResolveInDoubt(ctl, 3);
   for (int i = 0; i < ops / 3; ++i) RunOp(driver, suite, rng);
 
+  std::printf(
+      "== phase 5: batched groups; node 1 armed to die mid group flush "
+      "(before the device flush lands)\n");
+  driver.Kill(1);
+  if (!driver.Spawn(1, "wal.before_flush:5")) return 1;
+  driver.ResolveInDoubt(ctl, 1);
+  if (!DriveUntilDeath(driver, suite, rng, 1, 8 * ops, /*batched=*/true)) {
+    driver.Fail("node 1 never hit wal.before_flush");
+  }
+  std::printf("   node 1 died mid group flush; driving degraded batches\n");
+  for (int i = 0; i < std::max(1, ops / 8); ++i) RunBatch(driver, suite, rng);
+  if (!driver.Spawn(1, "")) return 1;
+  std::printf("   node 1 respawned with %zu in-doubt txn(s)\n",
+              driver.Proc(1).in_doubt.size());
+  driver.ResolveInDoubt(ctl, 1);
+  for (int i = 0; i < std::max(1, ops / 8); ++i) RunBatch(driver, suite, rng);
+
+  std::printf(
+      "== phase 6: batched groups; node 2 armed to die mid batch 2PC "
+      "(after flushing its PREPARE)\n");
+  driver.Kill(2);
+  if (!driver.Spawn(2, "wal.after_prepare_flush:2")) return 1;
+  driver.ResolveInDoubt(ctl, 2);
+  if (!DriveUntilDeath(driver, suite, rng, 2, 8 * ops, /*batched=*/true)) {
+    driver.Fail("node 2 never hit wal.after_prepare_flush (batched)");
+  }
+  std::printf("   node 2 died mid batch 2PC; driving degraded batches\n");
+  for (int i = 0; i < std::max(1, ops / 8); ++i) RunBatch(driver, suite, rng);
+  if (!driver.Spawn(2, "")) return 1;
+  std::printf("   node 2 respawned with %zu in-doubt txn(s)\n",
+              driver.Proc(2).in_doubt.size());
+  driver.ResolveInDoubt(ctl, 2);
+  for (int i = 0; i < std::max(1, ops / 8); ++i) RunBatch(driver, suite, rng);
+
   std::printf("== final: invariant check against the committed-ops model "
               "(%zu keys)\n",
               driver.model.size());
@@ -445,11 +604,13 @@ int main(int argc, char** argv) {
 
   std::printf(
       "{\"seed\":%llu,\"ops_attempted\":%llu,\"ops_committed\":%llu,"
+      "\"batches_committed\":%llu,"
       "\"kills\":%llu,\"mid_2pc_kills\":%llu,\"respawns\":%llu,"
       "\"model_keys\":%zu,\"verdict\":\"%s\"}\n",
       static_cast<unsigned long long>(seed),
       static_cast<unsigned long long>(driver.ops_attempted),
       static_cast<unsigned long long>(driver.ops_committed),
+      static_cast<unsigned long long>(driver.batches_committed),
       static_cast<unsigned long long>(driver.kills),
       static_cast<unsigned long long>(driver.mid_2pc_kills),
       static_cast<unsigned long long>(driver.respawns),

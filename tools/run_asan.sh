@@ -17,9 +17,11 @@ cmake -B "$build" -S "$root" \
 targets=(
   common/common_metrics_test common/common_logging_test
   common/common_stats_test
+  storage/storage_wal_test
   net/net_rpc_test net/net_parallel_call_test
   net/net_retry_backoff_test net/net_failure_injector_test
-  rep/rep_version_cache_test
+  net/net_tcp_transport_test
+  rep/rep_version_cache_test rep/rep_op_batch_test
   chaos/chaos_invariants_test
   chaos/chaos_campaign_test
   integration/integration_observability_test

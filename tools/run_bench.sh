@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build the benchmarks in Release and regenerate every BENCH_*.json at the
-# repo root. Currently two benches emit JSON:
+# repo root. Currently three benches emit JSON:
 #   bench_concurrency   -> BENCH_observability.json, BENCH_parallel_fanout.json
 #   bench_version_cache -> BENCH_version_cache.json
+#   bench_throughput    -> BENCH_throughput.json (also asserts the >=5x
+#                          batched-vs-unbatched saturation speedup)
 #
 # Uses the dedicated build-release/ tree so the regular build/ stays intact.
 set -euo pipefail
@@ -13,7 +15,7 @@ jobs="${JOBS:-$(nproc)}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 
-benches=(bench_concurrency bench_version_cache)
+benches=(bench_concurrency bench_version_cache bench_throughput)
 cmake --build "$build" -j"$jobs" --target "${benches[@]}"
 
 # Benches write their JSON into the working directory; run from the repo
