@@ -1,0 +1,590 @@
+// Sharding payoff: does range-partitioning the keyspace move the aggregate
+// saturation point near-linearly, and does it stay correct while doing so?
+//
+// Three experiments, every shard a 3-2-2 replica set with the WAL enabled:
+//
+//  1. Closed-loop saturation sweep: T client threads, each driving its own
+//     ShardedDirectory router over its own key slice, against 1/2/4/8
+//     shards x transport {threaded (200us simulated one-way links), tcp
+//     (real loopback sockets, multiplexed)}. Same client count, same op
+//     count, same per-shard topology - only the partition count changes,
+//     so the ops/s ratio IS the sharding payoff.
+//  2. Mid-bench online split: workers hammer a single shard while the
+//     ShardManager splits it under them (dual-writes, chunked copy, flip,
+//     retire). We report latency percentiles before/during/after the
+//     split and every op must still commit (retries on transient aborts
+//     are counted, never dropped).
+//  3. Scan-equality audit: one deterministic op script - including a
+//     delete whose coalesce range spans the (future) shard boundary and
+//     an online split halfway through - applied to a sharded deployment
+//     and to a plain single suite must produce byte-identical full scans.
+//
+// Emits BENCH_sharding.json. `--smoke` runs a seconds-scale subset with
+// the audit but no perf assertion (CI timing is noise); the full run
+// asserts >=3x aggregate throughput at 4 shards vs 1 on BOTH transports.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lock/deadlock.h"
+#include "net/tcp_transport.h"
+#include "net/threaded_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/shard_manager.h"
+#include "rep/sharded_dir.h"
+
+namespace {
+
+using namespace repdir;
+using Clock = std::chrono::steady_clock;
+
+constexpr DurationMicros kLinkLatency = 200;  // one-way, threaded transport
+// Per-message simulated service time for the sweep's single-threaded
+// representatives. Deliberately large: per-shard capacity must be set by
+// this simulated cost, not by real CPU, so the sweep measures protocol
+// scaling rather than how many cores the host happens to have.
+constexpr DurationMicros kServiceTime = 1000;
+constexpr int kKeysPerClient = 16;
+constexpr NodeId kManagerNode = 90;
+constexpr NodeId kSeederNode = 99;
+
+enum class Wire { kThreaded, kTcp };
+
+const char* WireName(Wire w) { return w == Wire::kThreaded ? "threaded" : "tcp"; }
+
+/// Global key i, zero-padded so lexicographic order == numeric order.
+UserKey KeyAt(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "g%05d", i);
+  return buf;
+}
+
+/// Shard s+1 replicated 3-2-2 on nodes s*10+1 .. s*10+3.
+rep::QuorumConfig ShardConfig(int s) {
+  return rep::QuorumConfig::Uniform(3, 2, 2, static_cast<NodeId>(s * 10 + 1));
+}
+
+/// A sharded deployment on either transport: `owning` shards partition the
+/// keyspace at `lows` (lows[0] must be ""), `spare` shards are registered
+/// and reachable but own nothing yet (split targets). Owns everything; the
+/// routers the caller makes must die before it does.
+struct ShardedDeployment {
+  lock::DeadlockDetector detector;
+  rep::ShardMapAuthority authority;
+  std::unique_ptr<sim::NetworkModel> network;
+  std::unique_ptr<net::ThreadedTransport> threaded;
+  std::unique_ptr<net::TcpTransport> tcp;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+
+  /// `service_time_us` > 0 models single-threaded representatives (the
+  /// saturation sweep needs nodes with real capacity); the split and audit
+  /// experiments leave it 0 - their copy loop and client writers hold
+  /// conflicting record locks, which a serial dispatch queue would turn
+  /// into a deadlock.
+  ShardedDeployment(Wire wire, const std::vector<rep::QuorumConfig>& owning,
+                    const std::vector<UserKey>& lows,
+                    const std::vector<rep::QuorumConfig>& spare = {},
+                    DurationMicros service_time_us = 0) {
+    rep::DirRepNodeOptions node_options;
+    node_options.detector = &detector;
+    node_options.participant.blocking_locks = true;
+    node_options.enable_wal = true;
+    node_options.group_commit.window_us = 100;
+
+    if (wire == Wire::kThreaded) {
+      network = std::make_unique<sim::NetworkModel>(1);
+      network->SetDefaultLink(sim::LinkSpec{kLinkLatency, 0, 0.0});
+      // Enough async workers that the transport never caps the fan-out
+      // concurrency - the representatives must be the bottleneck here.
+      threaded =
+          std::make_unique<net::ThreadedTransport>(network.get(), 192);
+    } else {
+      tcp = std::make_unique<net::TcpTransport>();
+    }
+    auto add_nodes = [&](const rep::QuorumConfig& config) {
+      for (const auto& replica : config.replicas()) {
+        nodes.push_back(
+            std::make_unique<rep::DirRepNode>(replica.node, node_options));
+        if (service_time_us > 0) {
+          nodes.back()->server().ModelSingleThreaded(service_time_us);
+        }
+        if (wire == Wire::kThreaded) {
+          threaded->RegisterNode(replica.node, nodes.back()->server());
+        } else {
+          servers.push_back(
+              std::make_unique<net::TcpServer>(nodes.back()->server()));
+          const auto port = servers.back()->Start();
+          if (!port.ok()) {
+            std::fprintf(stderr, "tcp listen failed: %s\n",
+                         port.status().ToString().c_str());
+            std::exit(1);
+          }
+          tcp->AddRoute(replica.node, "127.0.0.1", *port);
+        }
+      }
+    };
+    for (const auto& config : owning) add_nodes(config);
+    for (const auto& config : spare) add_nodes(config);
+
+    rep::ShardMap map;
+    map.version = 1;
+    for (std::size_t s = 0; s < owning.size(); ++s) {
+      rep::ShardEntry entry;
+      entry.shard = static_cast<rep::ShardId>(s + 1);
+      entry.low = lows[s];
+      entry.config = owning[s];
+      map.entries.push_back(std::move(entry));
+    }
+    if (!authority.Install(std::move(map)).ok()) std::exit(1);
+    rep::ShardManager boot(transport(), kManagerNode, authority);
+    if (const Status st = boot.ReconfigureAll(); !st.ok()) {
+      std::fprintf(stderr, "shard bootstrap failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  net::Transport& transport() {
+    return threaded ? static_cast<net::Transport&>(*threaded) : *tcp;
+  }
+
+  std::unique_ptr<rep::ShardedDirectory> NewRouter(NodeId client,
+                                                   std::uint64_t seed) {
+    rep::ShardedDirectory::Options options;
+    options.policy_seed = seed;
+    return std::make_unique<rep::ShardedDirectory>(transport(), client,
+                                                   authority, options);
+  }
+};
+
+// --- Experiment 1: closed-loop saturation sweep over shard counts ---
+
+struct SweepSample {
+  Wire wire = Wire::kThreaded;
+  int shards = 0;
+  int clients = 0;
+  int total_ops = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+SweepSample RunShardSweep(Wire wire, int shards, int clients,
+                          int ops_per_client) {
+  const int total_keys = clients * kKeysPerClient;
+  std::vector<rep::QuorumConfig> owning;
+  std::vector<UserKey> lows;
+  for (int s = 0; s < shards; ++s) {
+    owning.push_back(ShardConfig(s));
+    lows.push_back(s == 0 ? UserKey() : KeyAt(s * total_keys / shards));
+  }
+  ShardedDeployment deployment(wire, owning, lows, {}, kServiceTime);
+  {
+    auto seeder = deployment.NewRouter(kSeederNode, 42);
+    for (int i = 0; i < total_keys; ++i) {
+      if (!seeder->Insert(KeyAt(i), "0").ok()) std::exit(1);
+    }
+  }
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(clients * ops_per_client));
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    workers.emplace_back([&, t] {
+      // Client t owns keys [t*16, (t+1)*16): contiguous, so its traffic
+      // stays in one shard when clients >= shards - the locality a real
+      // range-partitioned workload is sharded FOR.
+      auto router = deployment.NewRouter(static_cast<NodeId>(100 + t),
+                                         1000 + static_cast<std::uint64_t>(t));
+      std::vector<double> mine;
+      mine.reserve(static_cast<std::size_t>(ops_per_client));
+      for (int i = 0; i < ops_per_client; ++i) {
+        const UserKey key = KeyAt(t * kKeysPerClient + i % kKeysPerClient);
+        const auto t0 = Clock::now();
+        if (!router->Update(key, std::to_string(i)).ok()) std::exit(1);
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+      }
+      std::lock_guard<std::mutex> lk(lat_mu);
+      latencies_us.insert(latencies_us.end(), mine.begin(), mine.end());
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    return latencies_us[static_cast<std::size_t>(
+        q * static_cast<double>(latencies_us.size() - 1))];
+  };
+
+  SweepSample sample;
+  sample.wire = wire;
+  sample.shards = shards;
+  sample.clients = clients;
+  sample.total_ops = clients * ops_per_client;
+  sample.ops_per_sec = sample.total_ops / secs;
+  sample.p50_us = pct(0.50);
+  sample.p99_us = pct(0.99);
+  return sample;
+}
+
+// --- Experiment 2: latency through an online split ---
+
+struct SplitSample {
+  double baseline_p50_us = 0, baseline_p99_us = 0;
+  double during_p50_us = 0, during_p99_us = 0;
+  double after_p50_us = 0, after_p99_us = 0;
+  double split_ms = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t retries = 0;
+  bool served_throughout = false;
+};
+
+SplitSample RunSplitExperiment(int clients, int phase_ms) {
+  const int total_keys = 128;
+  ShardedDeployment deployment(Wire::kThreaded, {ShardConfig(0)}, {UserKey()},
+                               {ShardConfig(1)});
+  {
+    auto seeder = deployment.NewRouter(kSeederNode, 42);
+    for (int i = 0; i < total_keys; ++i) {
+      if (!seeder->Insert(KeyAt(i), "0").ok()) std::exit(1);
+    }
+  }
+
+  struct TimedOp {
+    Clock::time_point at;
+    double us;
+  };
+  std::mutex mu;
+  std::vector<TimedOp> samples;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<bool> op_failed{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    workers.emplace_back([&, t] {
+      auto router = deployment.NewRouter(static_cast<NodeId>(100 + t),
+                                         1000 + static_cast<std::uint64_t>(t));
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const UserKey key =
+            KeyAt((t * 31 + i * 7) % total_keys);  // all over the keyspace
+        ++i;
+        const auto t0 = Clock::now();
+        // The copy loop's chunk transactions hold read locks on the moving
+        // range; a racing writer can abort. That is a latency event, not a
+        // correctness one - retry and count it.
+        Status st = Status::Ok();
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          st = router->Update(key, std::to_string(i));
+          if (st.ok()) break;
+          retries.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!st.ok()) {
+          op_failed.store(true);
+          return;
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count();
+        std::lock_guard<std::mutex> lk(mu);
+        samples.push_back({t0, us});
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(phase_ms));
+  const auto split_start = Clock::now();
+  rep::ShardManager manager(deployment.transport(), kManagerNode,
+                            deployment.authority);
+  const Status split =
+      manager.Split(1, KeyAt(total_keys / 2), 2, ShardConfig(1));
+  const auto split_end = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(phase_ms));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  if (!split.ok()) {
+    std::fprintf(stderr, "split failed: %s\n", split.ToString().c_str());
+    std::exit(1);
+  }
+
+  auto pct = [](std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(q * static_cast<double>(v.size() - 1))];
+  };
+  std::vector<double> before, during, after;
+  for (const auto& s : samples) {
+    (s.at < split_start ? before : s.at < split_end ? during : after)
+        .push_back(s.us);
+  }
+
+  SplitSample out;
+  out.baseline_p50_us = pct(before, 0.50);
+  out.baseline_p99_us = pct(before, 0.99);
+  out.during_p50_us = pct(during, 0.50);
+  out.during_p99_us = pct(during, 0.99);
+  out.after_p50_us = pct(after, 0.50);
+  out.after_p99_us = pct(after, 0.99);
+  out.split_ms =
+      std::chrono::duration<double, std::milli>(split_end - split_start)
+          .count();
+  out.ops = samples.size();
+  out.retries = retries.load();
+  out.served_throughout = !op_failed.load() && !during.empty();
+  return out;
+}
+
+// --- Experiment 3: scan-equality audit vs a single suite ---
+
+struct ScriptOp {
+  enum class Kind { kInsert, kUpdate, kDelete } kind;
+  int key;
+  std::string value;
+};
+
+/// Phase A runs on ONE shard, then the deployment splits at kFence, then
+/// phase B runs routed across the new boundary. The single-suite control
+/// executes A then B back to back on an unsharded 3-2-2.
+constexpr int kAuditKeys = 40;
+constexpr int kFenceKey = 20;
+
+std::vector<ScriptOp> AuditPhaseA() {
+  std::vector<ScriptOp> script;
+  for (int i = 0; i < kAuditKeys; ++i) {
+    script.push_back({ScriptOp::Kind::kInsert, i, "a" + std::to_string(i)});
+  }
+  // A contiguous delete run straddling the future fence: its coalesce
+  // range spans what will become the shard boundary.
+  for (int i = kFenceKey - 2; i <= kFenceKey + 2; ++i) {
+    script.push_back({ScriptOp::Kind::kDelete, i, ""});
+  }
+  for (int i = 1; i < kAuditKeys; i += 5) {
+    if (i >= kFenceKey - 2 && i <= kFenceKey + 2) continue;  // just deleted
+    script.push_back({ScriptOp::Kind::kUpdate, i, "a2-" + std::to_string(i)});
+  }
+  return script;
+}
+
+std::vector<ScriptOp> AuditPhaseB() {
+  std::vector<ScriptOp> script;
+  // Re-populate the emptied boundary region, now split across two shards:
+  // the inserts land on both sides of the fence.
+  for (int i = kFenceKey - 2; i <= kFenceKey + 2; ++i) {
+    script.push_back({ScriptOp::Kind::kInsert, i, "b" + std::to_string(i)});
+  }
+  // And delete across the live boundary: each shard coalesces only its
+  // side, the fence acting as a virtual neighbor.
+  script.push_back({ScriptOp::Kind::kDelete, kFenceKey - 1, ""});
+  script.push_back({ScriptOp::Kind::kDelete, kFenceKey, ""});
+  script.push_back({ScriptOp::Kind::kDelete, kFenceKey + 1, ""});
+  for (int i = 2; i < kAuditKeys; i += 7) {
+    script.push_back({ScriptOp::Kind::kUpdate, i, "b2-" + std::to_string(i)});
+  }
+  script.push_back({ScriptOp::Kind::kDelete, kAuditKeys - 1, ""});
+  script.push_back({ScriptOp::Kind::kDelete, 0, ""});
+  return script;
+}
+
+template <typename Dir>
+bool ApplyScript(Dir& dir, const std::vector<ScriptOp>& script) {
+  for (const ScriptOp& op : script) {
+    Status st = Status::Ok();
+    switch (op.kind) {
+      case ScriptOp::Kind::kInsert: st = dir.Insert(KeyAt(op.key), op.value); break;
+      case ScriptOp::Kind::kUpdate: st = dir.Update(KeyAt(op.key), op.value); break;
+      case ScriptOp::Kind::kDelete: st = dir.Delete(KeyAt(op.key)); break;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "audit op on %s failed: %s\n",
+                   KeyAt(op.key).c_str(), st.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ScansMatchSingleSuite() {
+  // Sharded side: one shard + a spare, split between the phases.
+  ShardedDeployment sharded(Wire::kThreaded, {ShardConfig(0)}, {UserKey()},
+                            {ShardConfig(1)});
+  auto router = sharded.NewRouter(kSeederNode, 7);
+  if (!ApplyScript(*router, AuditPhaseA())) return false;
+  rep::ShardManager manager(sharded.transport(), kManagerNode,
+                            sharded.authority);
+  if (const Status st = manager.Split(1, KeyAt(kFenceKey), 2, ShardConfig(1));
+      !st.ok()) {
+    std::fprintf(stderr, "audit split failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+  if (!ApplyScript(*router, AuditPhaseB())) return false;
+
+  // Control: the same ops on a plain single suite.
+  ShardedDeployment plain(Wire::kThreaded, {ShardConfig(0)}, {UserKey()});
+  auto single = plain.NewRouter(kSeederNode, 7);
+  if (!ApplyScript(*single, AuditPhaseA())) return false;
+  if (!ApplyScript(*single, AuditPhaseB())) return false;
+
+  const auto sharded_scan = router->Scan();
+  const auto single_scan = single->Scan();
+  if (!sharded_scan.ok() || !single_scan.ok()) return false;
+  if (sharded_scan->size() != single_scan->size()) return false;
+  for (std::size_t i = 0; i < sharded_scan->size(); ++i) {
+    if ((*sharded_scan)[i].key != (*single_scan)[i].key ||
+        (*sharded_scan)[i].value != (*single_scan)[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const int clients = smoke ? 4 : 24;
+  const int ops_per_client = smoke ? 24 : 96;
+
+  std::printf(
+      "Sharding saturation: every shard 3-2-2 with WAL, %d closed-loop\n"
+      "clients, single-threaded representatives (%lluus per message),\n"
+      "%lluus one-way links on the threaded transport, real loopback\n"
+      "sockets on tcp.\n\n",
+      clients, static_cast<unsigned long long>(kServiceTime),
+      static_cast<unsigned long long>(kLinkLatency));
+  std::printf("%10s %8s %8s %10s %14s %10s %10s\n", "transport", "shards",
+              "clients", "ops", "ops/s", "p50 us", "p99 us");
+
+  std::vector<SweepSample> sweep;
+  double at_shards[2][9] = {{0}, {0}};  // [wire][shard count]
+  for (const Wire wire : {Wire::kThreaded, Wire::kTcp}) {
+    for (const int shards : shard_counts) {
+      const auto s = RunShardSweep(wire, shards, clients, ops_per_client);
+      sweep.push_back(s);
+      at_shards[wire == Wire::kTcp ? 1 : 0][shards] = s.ops_per_sec;
+      std::printf("%10s %8d %8d %10d %14.0f %10.0f %10.0f\n",
+                  WireName(s.wire), s.shards, s.clients, s.total_ops,
+                  s.ops_per_sec, s.p50_us, s.p99_us);
+    }
+  }
+  const double threaded_4x =
+      at_shards[0][1] > 0 ? at_shards[0][4] / at_shards[0][1] : 0;
+  const double tcp_4x = at_shards[1][1] > 0 ? at_shards[1][4] / at_shards[1][1] : 0;
+  if (!smoke) {
+    std::printf(
+        "\nAggregate scaling at 4 shards: threaded %.2fx, tcp %.2fx "
+        "(8 shards: %.2fx / %.2fx)\n",
+        threaded_4x, tcp_4x,
+        at_shards[0][1] > 0 ? at_shards[0][8] / at_shards[0][1] : 0,
+        at_shards[1][1] > 0 ? at_shards[1][8] / at_shards[1][1] : 0);
+  }
+
+  std::printf("\nOnline split under load (threaded, 1 -> 2 shards):\n");
+  const auto split = RunSplitExperiment(smoke ? 2 : 4, smoke ? 150 : 400);
+  std::printf(
+      "  baseline p50/p99 %0.0f/%0.0f us, during split %0.0f/%0.0f us, "
+      "after %0.0f/%0.0f us\n  split took %0.1f ms over %llu ops, "
+      "%llu transient retries, served throughout: %s\n",
+      split.baseline_p50_us, split.baseline_p99_us, split.during_p50_us,
+      split.during_p99_us, split.after_p50_us, split.after_p99_us,
+      split.split_ms, static_cast<unsigned long long>(split.ops),
+      static_cast<unsigned long long>(split.retries),
+      split.served_throughout ? "yes" : "NO");
+  if (!split.served_throughout) return 1;
+
+  const bool scans_ok = ScansMatchSingleSuite();
+  std::printf(
+      "Scan-equality audit (sharded + online split vs single suite): %s\n",
+      scans_ok ? "identical" : "DIVERGED");
+  if (!scans_ok) return 1;
+
+  if (!smoke) {
+    if (std::FILE* json = std::fopen("BENCH_sharding.json", "w")) {
+      std::fprintf(json,
+                   "{\n  \"per_shard_config\": \"3-2-2\",\n"
+                   "  \"clients\": %d,\n"
+                   "  \"one_way_latency_us\": %llu,\n"
+                   "  \"service_time_us\": %llu,\n"
+                   "  \"wal\": \"enabled, group commit window 100us\",\n",
+                   clients, static_cast<unsigned long long>(kLinkLatency),
+                   static_cast<unsigned long long>(kServiceTime));
+      std::fprintf(json, "  \"closed_loop\": [\n");
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto& s = sweep[i];
+        std::fprintf(json,
+                     "    {\"transport\": \"%s\", \"shards\": %d, "
+                     "\"clients\": %d, \"ops\": %d, \"ops_per_sec\": %.1f, "
+                     "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                     WireName(s.wire), s.shards, s.clients, s.total_ops,
+                     s.ops_per_sec, s.p50_us, s.p99_us,
+                     i + 1 < sweep.size() ? "," : "");
+      }
+      std::fprintf(json, "  ],\n  \"scaling\": {\n");
+      std::fprintf(json,
+                   "    \"threaded_1_shard_ops_per_sec\": %.1f,\n"
+                   "    \"threaded_4_shard_ops_per_sec\": %.1f,\n"
+                   "    \"threaded_8_shard_ops_per_sec\": %.1f,\n"
+                   "    \"threaded_4_shard_speedup\": %.2f,\n"
+                   "    \"tcp_1_shard_ops_per_sec\": %.1f,\n"
+                   "    \"tcp_4_shard_ops_per_sec\": %.1f,\n"
+                   "    \"tcp_8_shard_ops_per_sec\": %.1f,\n"
+                   "    \"tcp_4_shard_speedup\": %.2f\n  },\n",
+                   at_shards[0][1], at_shards[0][4], at_shards[0][8],
+                   threaded_4x, at_shards[1][1], at_shards[1][4],
+                   at_shards[1][8], tcp_4x);
+      std::fprintf(json,
+                   "  \"online_split\": {\n"
+                   "    \"baseline_p50_us\": %.1f, \"baseline_p99_us\": %.1f,\n"
+                   "    \"during_p50_us\": %.1f, \"during_p99_us\": %.1f,\n"
+                   "    \"after_p50_us\": %.1f, \"after_p99_us\": %.1f,\n"
+                   "    \"split_ms\": %.1f, \"ops\": %llu, "
+                   "\"transient_retries\": %llu,\n"
+                   "    \"served_throughout\": %s\n  },\n",
+                   split.baseline_p50_us, split.baseline_p99_us,
+                   split.during_p50_us, split.during_p99_us,
+                   split.after_p50_us, split.after_p99_us, split.split_ms,
+                   static_cast<unsigned long long>(split.ops),
+                   static_cast<unsigned long long>(split.retries),
+                   split.served_throughout ? "true" : "false");
+      std::fprintf(json, "  \"scan_equality\": %s\n}\n",
+                   scans_ok ? "true" : "false");
+      std::fclose(json);
+      std::printf("\nWrote BENCH_sharding.json\n");
+    }
+    if (threaded_4x < 3.0 || tcp_4x < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: 4-shard aggregate speedup %.2fx threaded / %.2fx "
+                   "tcp below the 3x bar\n",
+                   threaded_4x, tcp_4x);
+      return 1;
+    }
+    std::printf("PASS: 4-shard aggregate speedup %.2fx threaded / %.2fx tcp "
+                ">= 3x\n",
+                threaded_4x, tcp_4x);
+  }
+  return 0;
+}

@@ -7,12 +7,18 @@
 
 #include "chaos/deployment.h"
 #include "common/rng.h"
+#include "rep/shard_map.h"
+#include "rep/shard_manager.h"
+#include "rep/sharded_dir.h"
 
 namespace repdir::chaos {
 
 namespace {
 
 constexpr NodeId kClient = Deployment::kClientNode;
+
+/// The node id the one-shot bootstrap shard manager identifies as.
+constexpr NodeId kManager = 90;
 
 /// FNV-1a, so a scenario name perturbs the seed identically across runs
 /// (std::hash makes no such promise).
@@ -47,6 +53,52 @@ Votes QuorumFloor(const rep::QuorumConfig& config) {
   return std::max(config.read_quorum(), config.write_quorum());
 }
 
+/// Node-id stride between shards' replica sets: shard s's replicas live on
+/// nodes s*stride+1 .. (a round number keeps ids readable in schedules).
+std::uint32_t ShardStride(const ScenarioSpec& spec) {
+  const std::size_t n = spec.topology.votes.size();
+  return static_cast<std::uint32_t>(((n / 10) + 1) * 10);
+}
+
+/// One quorum config per shard, every shard the same topology on its own
+/// node ids. shards <= 1 yields exactly {topology.Config()}.
+std::vector<rep::QuorumConfig> ShardConfigs(const ScenarioSpec& spec) {
+  const std::uint32_t stride = ShardStride(spec);
+  const std::uint32_t shards = std::max<std::uint32_t>(1, spec.shards);
+  std::vector<rep::QuorumConfig> configs;
+  configs.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    std::vector<rep::Replica> replicas;
+    replicas.reserve(spec.topology.votes.size());
+    for (std::size_t i = 0; i < spec.topology.votes.size(); ++i) {
+      replicas.push_back({static_cast<NodeId>(s * stride + i + 1),
+                          spec.topology.votes[i]});
+    }
+    configs.emplace_back(std::move(replicas), spec.topology.read_quorum,
+                         spec.topology.write_quorum);
+  }
+  return configs;
+}
+
+/// The scenario's shard map: the key space cut evenly by key index, shard
+/// s+1 starting at KeyName(s*key_space/shards).
+rep::ShardMap ShardedScenarioMap(const ScenarioSpec& spec,
+                                 const std::vector<rep::QuorumConfig>& configs) {
+  rep::ShardMap map;
+  map.version = 1;
+  for (std::size_t s = 0; s < configs.size(); ++s) {
+    rep::ShardEntry entry;
+    entry.shard = static_cast<rep::ShardId>(s + 1);
+    entry.low = s == 0
+                    ? UserKey()
+                    : KeyName(static_cast<std::uint32_t>(
+                          s * spec.key_space / configs.size()));
+    entry.config = configs[s];
+    map.entries.push_back(std::move(entry));
+  }
+  return map;
+}
+
 }  // namespace
 
 rep::QuorumConfig TopologySpec::Config() const {
@@ -60,17 +112,27 @@ rep::QuorumConfig TopologySpec::Config() const {
 
 Schedule GenerateSchedule(const ScenarioSpec& spec, std::uint64_t seed) {
   Rng rng(seed ^ HashName(spec.name));
-  const rep::QuorumConfig config = spec.topology.Config();
+  const std::vector<rep::QuorumConfig> configs = ShardConfigs(spec);
 
   // Generator's view of deployment state, to keep schedules interesting:
-  // never crash below quorum viability, recover/heal only what is actually
-  // down/cut. The executor re-checks and skips no-ops anyway (shrinking
-  // deletes arbitrary events, so replay must tolerate any subsequence).
+  // never crash below quorum viability (per shard - every shard is an
+  // independent suite), recover/heal only what is actually down/cut. The
+  // executor re-checks and skips no-ops anyway (shrinking deletes arbitrary
+  // events, so replay must tolerate any subsequence).
   std::set<NodeId> down;
   std::set<std::pair<NodeId, NodeId>> cuts;
-  Votes up_votes = config.TotalVotes();
+  std::map<NodeId, std::size_t> shard_of;
+  std::vector<Votes> up_votes;
+  std::vector<NodeId> reps;
+  for (std::size_t s = 0; s < configs.size(); ++s) {
+    up_votes.push_back(configs[s].TotalVotes());
+    for (const NodeId n : configs[s].Nodes()) {
+      shard_of[n] = s;
+      reps.push_back(n);
+    }
+  }
+  const Votes floor = QuorumFloor(configs[0]);
 
-  const std::vector<NodeId> reps = config.Nodes();
   Schedule schedule;
   schedule.reserve(spec.steps);
 
@@ -86,8 +148,9 @@ Schedule GenerateSchedule(const ScenarioSpec& spec, std::uint64_t seed) {
     if (take(spec.p_crash)) {
       std::vector<NodeId> candidates;
       for (const NodeId r : reps) {
+        const std::size_t s = shard_of[r];
         if (!down.contains(r) &&
-            up_votes - config.VotesOf(r) >= QuorumFloor(config)) {
+            up_votes[s] - configs[s].VotesOf(r) >= floor) {
           candidates.push_back(r);
         }
       }
@@ -99,7 +162,7 @@ Schedule GenerateSchedule(const ScenarioSpec& spec, std::uint64_t seed) {
           e.torn_keep = static_cast<std::uint32_t>(rng.Below(48));
         }
         down.insert(e.a);
-        up_votes -= config.VotesOf(e.a);
+        up_votes[shard_of[e.a]] -= configs[shard_of[e.a]].VotesOf(e.a);
         schedule.push_back(e);
         continue;
       }
@@ -109,7 +172,7 @@ Schedule GenerateSchedule(const ScenarioSpec& spec, std::uint64_t seed) {
         e.kind = ChaosEvent::Kind::kRecover;
         e.a = rng.Pick(candidates);
         down.erase(e.a);
-        up_votes += config.VotesOf(e.a);
+        up_votes[shard_of[e.a]] += configs[shard_of[e.a]].VotesOf(e.a);
         schedule.push_back(e);
         continue;
       }
@@ -239,14 +302,123 @@ struct Run {
   }
 };
 
-void Fail(Run& run, std::size_t step, const ChaosEvent& e,
+void Fail(RunOutcome& out, std::size_t step, const ChaosEvent& e,
           const std::string& msg) {
-  run.out.verdict = Status::Corruption("event " + std::to_string(step) +
-                                       " [" + e.ToString() + "]: " + msg);
+  out.verdict = Status::Corruption("event " + std::to_string(step) +
+                                   " [" + e.ToString() + "]: " + msg);
+}
+
+/// Model cross-check + apply for one COMMITTED operation. Shared by the
+/// single-suite and sharded executors (the model does not care which client
+/// ran the op, only that it committed).
+void ApplyCommittedOp(RunOutcome& out, std::size_t step, const ChaosEvent& e,
+                      const UserKey& key, const Value& value,
+                      const rep::DirectorySuite::LookupResult& looked,
+                      const rep::DirectorySuite::NextKeyResult& next) {
+  Model& model = out.committed;
+  ++out.ops_committed;
+  switch (e.op) {
+    case ChaosEvent::OpKind::kInsert:
+      if (model.contains(key)) {
+        Fail(out, step, e,
+             "insert committed but the model already holds \"" + key +
+                 "\" - a read quorum missed the current entry");
+        return;
+      }
+      model[key] = value;
+      break;
+    case ChaosEvent::OpKind::kUpdate:
+      if (!model.contains(key)) {
+        Fail(out, step, e,
+             "update committed but \"" + key + "\" is deleted - a read "
+             "quorum saw a ghost");
+        return;
+      }
+      model[key] = value;
+      break;
+    case ChaosEvent::OpKind::kDelete:
+      if (!model.contains(key)) {
+        Fail(out, step, e,
+             "delete committed but \"" + key + "\" is deleted - a read "
+             "quorum saw a ghost");
+        return;
+      }
+      model.erase(key);
+      break;
+    case ChaosEvent::OpKind::kLookup: {
+      const auto it = model.find(key);
+      if (looked.found != (it != model.end()) ||
+          (looked.found && looked.value != it->second)) {
+        Fail(out, step, e,
+             "lookup of \"" + key + "\" returned " +
+                 (looked.found ? "'" + looked.value + "'"
+                               : std::string("absent")) +
+                 " but the model has " +
+                 (it != model.end() ? "'" + it->second + "'"
+                                    : std::string("absent")));
+        return;
+      }
+      break;
+    }
+    case ChaosEvent::OpKind::kNextKey: {
+      const auto it = model.upper_bound(key);
+      const bool want_found = it != model.end();
+      if (next.found != want_found ||
+          (next.found && (next.key != it->first ||
+                          next.value != it->second))) {
+        Fail(out, step, e,
+             "nextkey after \"" + key + "\" returned " +
+                 (next.found ? "\"" + next.key + "\""
+                             : std::string("none")) +
+                 " but the model expects " +
+                 (want_found ? "\"" + it->first + "\""
+                             : std::string("none")));
+        return;
+      }
+      break;
+    }
+  }
+}
+
+/// Classification of one FAILED operation (the model is untouched). Reads
+/// never observe uncommitted state (strict 2PL holds locks until the
+/// decision), so the "correct rejection" codes must agree with the model
+/// exactly.
+void ClassifyFailedOp(RunOutcome& out, std::size_t step, const ChaosEvent& e,
+                      const UserKey& key, const Status& st) {
+  Model& model = out.committed;
+  switch (st.code()) {
+    case StatusCode::kAlreadyExists:
+      if (e.op != ChaosEvent::OpKind::kInsert || model.contains(key)) {
+        ++out.ops_rejected;
+        return;
+      }
+      Fail(out, step, e,
+           "insert rejected as existing but the model says \"" + key +
+               "\" is absent - a stale entry won a read quorum");
+      return;
+    case StatusCode::kNotFound:
+      if (model.contains(key)) {
+        Fail(out, step, e,
+             "operation says \"" + key + "\" is absent but the model holds "
+             "it - a stale gap won a read quorum");
+        return;
+      }
+      ++out.ops_rejected;
+      return;
+    case StatusCode::kUnavailable:
+      ++out.ops_unavailable;
+      return;
+    case StatusCode::kAborted:
+      ++out.ops_aborted;
+      return;
+    default:
+      Fail(out, step, e, "unexpected operation status: " + st.ToString());
+      return;
+  }
 }
 
 void ExecuteOp(Run& run, std::size_t step, const ChaosEvent& e) {
-  Model& model = run.out.committed;
   const UserKey key = KeyName(e.key_index);
   const Value value = ValueName(run.seed, e.value_salt);
   ++run.out.ops_attempted;
@@ -279,113 +451,20 @@ void ExecuteOp(Run& run, std::size_t step, const ChaosEvent& e) {
     if (!commit.ok()) {
       if (commit.code() != StatusCode::kAborted &&
           commit.code() != StatusCode::kUnavailable) {
-        Fail(run, step, e, "unexpected commit status: " + commit.ToString());
+        Fail(run.out, step, e,
+             "unexpected commit status: " + commit.ToString());
         return;
       }
       ++run.out.ops_aborted;
       return;
     }
-    ++run.out.ops_committed;
-
-    // The operation committed: cross-check against the model, then apply.
-    switch (e.op) {
-      case ChaosEvent::OpKind::kInsert:
-        if (model.contains(key)) {
-          Fail(run, step, e,
-               "insert committed but the model already holds \"" + key +
-                   "\" - a read quorum missed the current entry");
-          return;
-        }
-        model[key] = value;
-        break;
-      case ChaosEvent::OpKind::kUpdate:
-        if (!model.contains(key)) {
-          Fail(run, step, e,
-               "update committed but \"" + key + "\" is deleted - a read "
-               "quorum saw a ghost");
-          return;
-        }
-        model[key] = value;
-        break;
-      case ChaosEvent::OpKind::kDelete:
-        if (!model.contains(key)) {
-          Fail(run, step, e,
-               "delete committed but \"" + key + "\" is deleted - a read "
-               "quorum saw a ghost");
-          return;
-        }
-        model.erase(key);
-        break;
-      case ChaosEvent::OpKind::kLookup: {
-        const auto it = model.find(key);
-        if (looked.found != (it != model.end()) ||
-            (looked.found && looked.value != it->second)) {
-          Fail(run, step, e,
-               "lookup of \"" + key + "\" returned " +
-                   (looked.found ? "'" + looked.value + "'"
-                                 : std::string("absent")) +
-                   " but the model has " +
-                   (it != model.end() ? "'" + it->second + "'"
-                                      : std::string("absent")));
-          return;
-        }
-        break;
-      }
-      case ChaosEvent::OpKind::kNextKey: {
-        const auto it = model.upper_bound(key);
-        const bool want_found = it != model.end();
-        if (next.found != want_found ||
-            (next.found && (next.key != it->first ||
-                            next.value != it->second))) {
-          Fail(run, step, e,
-               "nextkey after \"" + key + "\" returned " +
-                   (next.found ? "\"" + next.key + "\""
-                               : std::string("none")) +
-                   " but the model expects " +
-                   (want_found ? "\"" + it->first + "\""
-                               : std::string("none")));
-          return;
-        }
-        break;
-      }
-    }
+    ApplyCommittedOp(run.out, step, e, key, value, looked, next);
     return;
   }
 
-  // Operation failed: roll back and classify. Reads never observe
-  // uncommitted state (strict 2PL holds locks until the decision), so the
-  // "correct rejection" codes must agree with the model exactly.
   run.decisions[txn.id()] = false;
   txn.Abort();
-  switch (st.code()) {
-    case StatusCode::kAlreadyExists:
-      if (e.op != ChaosEvent::OpKind::kInsert || model.contains(key)) {
-        ++run.out.ops_rejected;
-        return;
-      }
-      Fail(run, step, e,
-           "insert rejected as existing but the model says \"" + key +
-               "\" is absent - a stale entry won a read quorum");
-      return;
-    case StatusCode::kNotFound:
-      if (model.contains(key)) {
-        Fail(run, step, e,
-             "operation says \"" + key + "\" is absent but the model holds "
-             "it - a stale gap won a read quorum");
-        return;
-      }
-      ++run.out.ops_rejected;
-      return;
-    case StatusCode::kUnavailable:
-      ++run.out.ops_unavailable;
-      return;
-    case StatusCode::kAborted:
-      ++run.out.ops_aborted;
-      return;
-    default:
-      Fail(run, step, e, "unexpected operation status: " + st.ToString());
-      return;
-  }
+  ClassifyFailedOp(run.out, step, e, key, st);
 }
 
 bool Batchable(const ChaosEvent& e) {
@@ -400,12 +479,9 @@ bool Batchable(const ChaosEvent& e) {
 /// order (batch semantics: later ops observe earlier effects). The model
 /// cross-checks are the same as ExecuteOp's; a transaction-level failure
 /// (quorum loss, abort) must leave the model untouched for every op.
-void ExecuteBatchGroup(Run& run,
-                       std::vector<std::pair<std::size_t, ChaosEvent>>& group) {
-  if (group.empty()) return;
-  Model& model = run.out.committed;
-  run.out.ops_attempted += group.size();
-
+std::vector<rep::DirectorySuite::BatchOp> BuildBatchOps(
+    const std::vector<std::pair<std::size_t, ChaosEvent>>& group,
+    std::uint64_t seed) {
   using BatchOp = rep::DirectorySuite::BatchOp;
   std::vector<BatchOp> ops;
   ops.reserve(group.size());
@@ -415,11 +491,11 @@ void ExecuteBatchGroup(Run& run,
     switch (e.op) {
       case ChaosEvent::OpKind::kInsert:
         op.kind = BatchOp::Kind::kInsert;
-        op.value = ValueName(run.seed, e.value_salt);
+        op.value = ValueName(seed, e.value_salt);
         break;
       case ChaosEvent::OpKind::kUpdate:
         op.kind = BatchOp::Kind::kUpdate;
-        op.value = ValueName(run.seed, e.value_salt);
+        op.value = ValueName(seed, e.value_salt);
         break;
       default:
         op.kind = BatchOp::Kind::kLookup;
@@ -427,24 +503,130 @@ void ExecuteBatchGroup(Run& run,
     }
     ops.push_back(std::move(op));
   }
+  return ops;
+}
+
+/// Classification of one FAILED batch transaction (all-or-nothing, so every
+/// op in the group gets the transaction's fate).
+void ClassifyBatchFailure(
+    RunOutcome& out,
+    const std::vector<std::pair<std::size_t, ChaosEvent>>& group,
+    const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kUnavailable:
+      out.ops_unavailable += group.size();
+      break;
+    case StatusCode::kAborted:
+      out.ops_aborted += group.size();
+      break;
+    default:
+      Fail(out, group.front().first, group.front().second,
+           "unexpected batch status: " + st.ToString());
+      break;
+  }
+}
+
+/// Model cross-check + apply for one COMMITTED batch, op by op in
+/// submission order (batch semantics: later ops observe earlier effects).
+void ApplyBatchResults(
+    RunOutcome& out, std::uint64_t seed,
+    const std::vector<std::pair<std::size_t, ChaosEvent>>& group,
+    const std::vector<rep::DirectorySuite::BatchOpResult>& results) {
+  Model& model = out.committed;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto& [step, e] = group[i];
+    const UserKey key = KeyName(e.key_index);
+    const Value value = ValueName(seed, e.value_salt);
+    const auto& r = results[i];
+    switch (e.op) {
+      case ChaosEvent::OpKind::kInsert:
+        if (r.status.ok()) {
+          if (model.contains(key)) {
+            Fail(out, step, e,
+                 "batched insert committed but the model already holds \"" +
+                     key + "\" - a read quorum missed the current entry");
+            return;
+          }
+          model[key] = value;
+          ++out.ops_committed;
+        } else if (r.status.code() == StatusCode::kAlreadyExists) {
+          if (!model.contains(key)) {
+            Fail(out, step, e,
+                 "batched insert rejected as existing but the model says \"" +
+                     key + "\" is absent - a stale entry won a read quorum");
+            return;
+          }
+          ++out.ops_rejected;
+        } else {
+          Fail(out, step, e,
+               "unexpected batched insert status: " + r.status.ToString());
+          return;
+        }
+        break;
+      case ChaosEvent::OpKind::kUpdate:
+        if (r.status.ok()) {
+          if (!model.contains(key)) {
+            Fail(out, step, e,
+                 "batched update committed but \"" + key +
+                     "\" is deleted - a read quorum saw a ghost");
+            return;
+          }
+          model[key] = value;
+          ++out.ops_committed;
+        } else if (r.status.code() == StatusCode::kNotFound) {
+          if (model.contains(key)) {
+            Fail(out, step, e,
+                 "batched update says \"" + key +
+                     "\" is absent but the model holds it - a stale gap won "
+                     "a read quorum");
+            return;
+          }
+          ++out.ops_rejected;
+        } else {
+          Fail(out, step, e,
+               "unexpected batched update status: " + r.status.ToString());
+          return;
+        }
+        break;
+      default: {  // kLookup
+        if (!r.status.ok()) {
+          Fail(out, step, e,
+               "unexpected batched lookup status: " + r.status.ToString());
+          return;
+        }
+        const auto it = model.find(key);
+        if (r.lookup.found != (it != model.end()) ||
+            (r.lookup.found && r.lookup.value != it->second)) {
+          Fail(out, step, e,
+               "batched lookup of \"" + key + "\" returned " +
+                   (r.lookup.found ? "'" + r.lookup.value + "'"
+                                   : std::string("absent")) +
+                   " but the model has " +
+                   (it != model.end() ? "'" + it->second + "'"
+                                      : std::string("absent")));
+          return;
+        }
+        ++out.ops_committed;
+        break;
+      }
+    }
+  }
+}
+
+/// Runs a group of consecutive batchable ops as ONE transaction through
+/// SuiteTxn::ExecuteBatch.
+void ExecuteBatchGroup(Run& run,
+                       std::vector<std::pair<std::size_t, ChaosEvent>>& group) {
+  if (group.empty()) return;
+  run.out.ops_attempted += group.size();
+  const auto ops = BuildBatchOps(group, run.seed);
 
   rep::SuiteTxn txn = run.suite->Begin();
   const auto results = txn.ExecuteBatch(ops);
   if (!results.ok()) {
     run.decisions[txn.id()] = false;
     txn.Abort();
-    switch (results.status().code()) {
-      case StatusCode::kUnavailable:
-        run.out.ops_unavailable += group.size();
-        break;
-      case StatusCode::kAborted:
-        run.out.ops_aborted += group.size();
-        break;
-      default:
-        Fail(run, group.front().first, group.front().second,
-             "unexpected batch status: " + results.status().ToString());
-        break;
-    }
+    ClassifyBatchFailure(run.out, group, results.status());
     group.clear();
     return;
   }
@@ -454,7 +636,7 @@ void ExecuteBatchGroup(Run& run,
   if (!commit.ok()) {
     if (commit.code() != StatusCode::kAborted &&
         commit.code() != StatusCode::kUnavailable) {
-      Fail(run, group.front().first, group.front().second,
+      Fail(run.out, group.front().first, group.front().second,
            "unexpected batch commit status: " + commit.ToString());
       group.clear();
       return;
@@ -464,102 +646,300 @@ void ExecuteBatchGroup(Run& run,
     return;
   }
 
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    const auto& [step, e] = group[i];
-    const UserKey key = KeyName(e.key_index);
-    const Value value = ValueName(run.seed, e.value_salt);
-    const auto& r = (*results)[i];
-    switch (e.op) {
-      case ChaosEvent::OpKind::kInsert:
-        if (r.status.ok()) {
-          if (model.contains(key)) {
-            Fail(run, step, e,
-                 "batched insert committed but the model already holds \"" +
-                     key + "\" - a read quorum missed the current entry");
-            return;
-          }
-          model[key] = value;
-          ++run.out.ops_committed;
-        } else if (r.status.code() == StatusCode::kAlreadyExists) {
-          if (!model.contains(key)) {
-            Fail(run, step, e,
-                 "batched insert rejected as existing but the model says \"" +
-                     key + "\" is absent - a stale entry won a read quorum");
-            return;
-          }
-          ++run.out.ops_rejected;
-        } else {
-          Fail(run, step, e,
-               "unexpected batched insert status: " + r.status.ToString());
-          return;
-        }
-        break;
-      case ChaosEvent::OpKind::kUpdate:
-        if (r.status.ok()) {
-          if (!model.contains(key)) {
-            Fail(run, step, e,
-                 "batched update committed but \"" + key +
-                     "\" is deleted - a read quorum saw a ghost");
-            return;
-          }
-          model[key] = value;
-          ++run.out.ops_committed;
-        } else if (r.status.code() == StatusCode::kNotFound) {
-          if (model.contains(key)) {
-            Fail(run, step, e,
-                 "batched update says \"" + key +
-                     "\" is absent but the model holds it - a stale gap won "
-                     "a read quorum");
-            return;
-          }
-          ++run.out.ops_rejected;
-        } else {
-          Fail(run, step, e,
-               "unexpected batched update status: " + r.status.ToString());
-          return;
-        }
-        break;
-      default: {  // kLookup
-        if (!r.status.ok()) {
-          Fail(run, step, e,
-               "unexpected batched lookup status: " + r.status.ToString());
-          return;
-        }
-        const auto it = model.find(key);
-        if (r.lookup.found != (it != model.end()) ||
-            (r.lookup.found && r.lookup.value != it->second)) {
-          Fail(run, step, e,
-               "batched lookup of \"" + key + "\" returned " +
-                   (r.lookup.found ? "'" + r.lookup.value + "'"
-                                   : std::string("absent")) +
-                   " but the model has " +
-                   (it != model.end() ? "'" + it->second + "'"
-                                      : std::string("absent")));
-          return;
-        }
-        ++run.out.ops_committed;
-        break;
-      }
-    }
-  }
+  ApplyBatchResults(run.out, run.seed, group, *results);
   group.clear();
 }
 
 /// Restarts one node: WAL replay plus in-doubt resolution against the
 /// coordinator's decision map (presumed abort when unknown).
-Status RecoverNode(Run& run, NodeId node) {
-  auto& n = run.deployment.node(node);
+Status RecoverNodeImpl(rep::DirRepNode& n,
+                       const std::map<TxnId, bool>& decisions) {
   REPDIR_ASSIGN_OR_RETURN(const auto outcome, n.Recover());
   for (const TxnId txn : outcome.in_doubt) {
-    REPDIR_RETURN_IF_ERROR(n.ResolveInDoubt(txn, run.Decided(txn)));
+    const auto it = decisions.find(txn);
+    const bool committed = it != decisions.end() && it->second;
+    REPDIR_RETURN_IF_ERROR(n.ResolveInDoubt(txn, committed));
   }
   return Status::Ok();
+}
+
+Status RecoverNode(Run& run, NodeId node) {
+  return RecoverNodeImpl(run.deployment.node(node), run.decisions);
+}
+
+// --- The sharded executor (spec.shards > 1) ---------------------------------
+//
+// Same schedule, same model, same cross-checks - but the deployment is
+// `shards` disjoint replica sets behind one ShardedDirectory router, so
+// every op additionally exercises routing, epoch fencing, and (for batches
+// straddling a fence) cross-shard 2PC under the schedule's faults.
+
+/// Mutable state of one sharded schedule replay. Mirrors `Run`, but owns
+/// the transport directly: Deployment assumes a single quorum config.
+struct ShardedRun {
+  ShardedRun(const ScenarioSpec& spec, std::uint64_t seed)
+      : configs(ShardConfigs(spec)),
+        network(99),
+        transport(nullptr, &network),
+        seed(seed) {
+    for (const auto& config : configs) {
+      for (const auto& replica : config.replicas()) {
+        auto node = std::make_unique<rep::DirRepNode>(replica.node,
+                                                      Run::WalNodeOptions());
+        transport.RegisterNode(replica.node, node->server());
+        nodes.emplace(replica.node, std::move(node));
+      }
+    }
+    if (Status st = authority.Install(ShardedScenarioMap(spec, configs));
+        !st.ok()) {
+      out.verdict = Status::Corruption("shard map install failed: " +
+                                       st.ToString());
+      return;
+    }
+    // Stamp every representative with its range and the map epoch (the
+    // fence that makes kWrongShard rerouting testable at all).
+    rep::ShardManager boot(transport, kManager, authority);
+    if (Status st = boot.ReconfigureAll(); !st.ok()) {
+      out.verdict = Status::Corruption("shard bootstrap failed: " +
+                                       st.ToString());
+      return;
+    }
+    rep::ShardedDirectory::Options options;
+    options.policy_seed = seed;
+    options.enable_version_cache = spec.enable_cache;
+    options.decision_hook = [this](TxnId txn, bool committed) {
+      decisions[txn] = committed;
+    };
+    router = std::make_unique<rep::ShardedDirectory>(transport, kClient,
+                                                     authority, options);
+  }
+
+  rep::DirRepNode& node(NodeId id) { return *nodes.at(id); }
+
+  std::vector<rep::QuorumConfig> configs;
+  sim::NetworkModel network;
+  net::InProcTransport transport;
+  std::map<NodeId, std::unique_ptr<rep::DirRepNode>> nodes;
+  rep::ShardMapAuthority authority;
+  std::unique_ptr<rep::ShardedDirectory> router;
+  std::uint64_t seed;
+
+  /// Filled by the router's decision hook - it is the coordinator for
+  /// every transaction, single-shard and cross-shard alike.
+  std::map<TxnId, bool> decisions;
+  std::set<NodeId> down;
+  RunOutcome out;
+};
+
+void ExecuteRouterOp(ShardedRun& run, std::size_t step, const ChaosEvent& e) {
+  const UserKey key = KeyName(e.key_index);
+  const Value value = ValueName(run.seed, e.value_salt);
+  ++run.out.ops_attempted;
+
+  Status st = Status::Ok();
+  rep::DirectorySuite::LookupResult looked;
+  rep::DirectorySuite::NextKeyResult next;
+  switch (e.op) {
+    case ChaosEvent::OpKind::kInsert:
+      st = run.router->Insert(key, value);
+      break;
+    case ChaosEvent::OpKind::kUpdate:
+      st = run.router->Update(key, value);
+      break;
+    case ChaosEvent::OpKind::kDelete:
+      st = run.router->Delete(key);
+      break;
+    case ChaosEvent::OpKind::kLookup: {
+      auto r = run.router->Lookup(key);
+      st = r.status();
+      if (r.ok()) looked = *r;
+      break;
+    }
+    case ChaosEvent::OpKind::kNextKey: {
+      auto r = run.router->NextKey(key);
+      st = r.status();
+      if (r.ok()) next = *r;
+      break;
+    }
+  }
+
+  if (st.ok()) {
+    ApplyCommittedOp(run.out, step, e, key, value, looked, next);
+    return;
+  }
+  ClassifyFailedOp(run.out, step, e, key, st);
+}
+
+/// One batch through the router: single-shard groups take the suite fast
+/// path, fence-straddling groups run as one cross-shard 2PC.
+void ExecuteRouterBatchGroup(
+    ShardedRun& run, std::vector<std::pair<std::size_t, ChaosEvent>>& group) {
+  if (group.empty()) return;
+  run.out.ops_attempted += group.size();
+  const auto ops = BuildBatchOps(group, run.seed);
+  const auto result = run.router->ExecuteBatch(ops);
+  if (!result.status.ok()) {
+    ClassifyBatchFailure(run.out, group, result.status);
+    group.clear();
+    return;
+  }
+  ApplyBatchResults(run.out, run.seed, group, result.ops);
+  group.clear();
+}
+
+/// The model restricted to [low, high) - one shard's slice of the truth.
+Model SliceModel(const Model& model, const UserKey& low, bool has_high,
+                 const UserKey& high) {
+  Model out;
+  for (const auto& [key, value] : model) {
+    if (key < low) continue;
+    if (has_high && !(key < high)) continue;
+    out[key] = value;
+  }
+  return out;
+}
+
+RunOutcome RunShardedSchedule(const ScenarioSpec& spec,
+                              const Schedule& schedule, std::uint64_t seed) {
+  ShardedRun run(spec, seed);
+  if (!run.out.verdict.ok()) return std::move(run.out);
+
+  std::vector<std::pair<std::size_t, ChaosEvent>> group;
+  const std::size_t batch = std::max<std::uint32_t>(1, spec.batch_size);
+
+  for (std::size_t i = 0; i < schedule.size() && run.out.verdict.ok(); ++i) {
+    const ChaosEvent& e = schedule[i];
+    if (batch > 1 && Batchable(e)) {
+      group.emplace_back(i, e);
+      if (group.size() >= batch) ExecuteRouterBatchGroup(run, group);
+      continue;
+    }
+    ExecuteRouterBatchGroup(run, group);
+    if (!run.out.verdict.ok()) break;
+    switch (e.kind) {
+      case ChaosEvent::Kind::kOp:
+        ExecuteRouterOp(run, i, e);
+        break;
+      case ChaosEvent::Kind::kCrash: {
+        if (!run.nodes.contains(e.a) || run.down.contains(e.a)) break;
+        if (e.torn) {
+          run.node(e.a).CrashTorn(e.torn_keep);
+        } else {
+          run.node(e.a).Crash();
+        }
+        run.network.SetNodeUp(e.a, false);
+        run.down.insert(e.a);
+        ++run.out.crashes;
+        break;
+      }
+      case ChaosEvent::Kind::kRecover: {
+        if (!run.nodes.contains(e.a) || !run.down.contains(e.a)) break;
+        run.network.SetNodeUp(e.a, true);
+        run.down.erase(e.a);
+        if (const Status st = RecoverNodeImpl(run.node(e.a), run.decisions);
+            !st.ok()) {
+          Fail(run.out, i, e, "recovery failed: " + st.ToString());
+        }
+        ++run.out.recoveries;
+        break;
+      }
+      case ChaosEvent::Kind::kPartition:
+        run.network.Partition(e.a, e.b);
+        break;
+      case ChaosEvent::Kind::kPartitionOneWay:
+        run.network.PartitionOneWay(e.a, e.b);
+        break;
+      case ChaosEvent::Kind::kHeal:
+        run.network.Heal(e.a, e.b);
+        break;
+      case ChaosEvent::Kind::kHealAll:
+        run.network.HealAll();
+        break;
+      case ChaosEvent::Kind::kSetLink:
+        run.network.SetLink(e.a, e.b, e.link);
+        break;
+      case ChaosEvent::Kind::kCheckpoint: {
+        if (!run.nodes.contains(e.a) || run.down.contains(e.a)) break;
+        const Status st = run.node(e.a).participant().WriteCheckpoint();
+        if (st.ok()) {
+          ++run.out.checkpoints;
+        } else if (st.code() != StatusCode::kFailedPrecondition) {
+          Fail(run.out, i, e, "checkpoint failed: " + st.ToString());
+        }
+        break;
+      }
+    }
+  }
+  if (run.out.verdict.ok()) ExecuteRouterBatchGroup(run, group);
+  if (!run.out.verdict.ok()) return std::move(run.out);
+
+  // Final convergence barrier, as in the single-suite executor (the shard
+  // bounds survive a simulated crash, so recovered nodes keep fencing).
+  // Lossy link overrides reset too: the stitched scan below runs over the
+  // network, and it must observe state, not luck.
+  run.network.HealAll();
+  run.network.ResetLinks();
+  for (const auto& [id, node] : run.nodes) run.network.SetNodeUp(id, true);
+  for (const auto& [id, node] : run.nodes) {
+    node->Crash();
+    if (const Status st = RecoverNodeImpl(*node, run.decisions); !st.ok()) {
+      run.out.verdict = Status::Corruption(
+          "final recovery of node " + std::to_string(id) + " failed: " +
+          st.ToString());
+      return std::move(run.out);
+    }
+  }
+
+  // Verdict, shard by shard: each replica set must satisfy EVERY invariant
+  // against the model slice of its range - quorum agreement included.
+  const auto map = run.authority.Get();
+  for (std::size_t idx = 0; idx < map->entries.size(); ++idx) {
+    const rep::ShardEntry& entry = map->entries[idx];
+    UserKey high;
+    const bool has_high = map->HighBound(idx, &high);
+    ScanMap scans;
+    for (const auto& replica : entry.config.replicas()) {
+      scans[replica.node] = run.node(replica.node).storage().Scan();
+    }
+    const Model slice =
+        SliceModel(run.out.committed, entry.low, has_high, high);
+    if (Status st = CheckAll(entry.config, scans, slice); !st.ok()) {
+      run.out.verdict = Status::Corruption(
+          "shard " + std::to_string(entry.shard) + ": " + st.ToString());
+      return std::move(run.out);
+    }
+  }
+
+  // And the router's own view: a stitched full scan must read back the
+  // whole model, boundary keys and all.
+  const auto scan = run.router->Scan();
+  if (!scan.ok()) {
+    run.out.verdict = Status::Corruption("final stitched scan failed: " +
+                                         scan.status().ToString());
+    return std::move(run.out);
+  }
+  auto it = run.out.committed.begin();
+  for (const auto& entry : *scan) {
+    if (it == run.out.committed.end() || entry.key != it->first ||
+        entry.value != it->second) {
+      run.out.verdict = Status::Corruption(
+          "stitched scan diverged from the model at \"" + entry.key + "\"");
+      return std::move(run.out);
+    }
+    ++it;
+  }
+  if (it != run.out.committed.end()) {
+    run.out.verdict = Status::Corruption(
+        "stitched scan is missing \"" + it->first + "\" onward");
+  }
+  return std::move(run.out);
 }
 
 }  // namespace
 
 RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
                        std::uint64_t seed) {
+  if (spec.shards > 1) return RunShardedSchedule(spec, schedule, seed);
   Run run(spec, seed);
 
   // Batched execution: consecutive batchable ops accumulate here and flush
@@ -598,7 +978,7 @@ RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
         run.deployment.network().SetNodeUp(e.a, true);
         run.down.erase(e.a);
         if (const Status st = RecoverNode(run, e.a); !st.ok()) {
-          Fail(run, i, e, "recovery failed: " + st.ToString());
+          Fail(run.out, i, e, "recovery failed: " + st.ToString());
         }
         ++run.out.recoveries;
         break;
@@ -627,7 +1007,7 @@ RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
         } else if (st.code() != StatusCode::kFailedPrecondition) {
           // Busy (undecided transactions parked on the node) is expected;
           // anything else is a durability bug.
-          Fail(run, i, e, "checkpoint failed: " + st.ToString());
+          Fail(run.out, i, e, "checkpoint failed: " + st.ToString());
         }
         break;
       }
@@ -868,6 +1248,18 @@ std::vector<ScenarioSpec> BuiltinScenarios() {
     s.enable_cache = true;
     s.batch_size = 6;
     s.steps = 300;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Two shards of three replicas each behind one router: every op routes,
+    // batches straddle the fence (cross-shard 2PC under fire), and the
+    // final checks hold each replica set to its slice of the model plus a
+    // stitched full scan.
+    ScenarioSpec s;
+    s.name = "sharded-2x3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    s.shards = 2;
+    s.batch_size = 4;
     scenarios.push_back(std::move(s));
   }
   {

@@ -39,6 +39,16 @@ struct ScenarioSpec {
   std::uint32_t steps = 400;
   std::uint32_t key_space = 24;
 
+  /// >1: the deployment is range-partitioned into this many shards, each a
+  /// full replica set of `topology` on its own node ids (shard s+1 on
+  /// s*stride+1..), fronted by one ShardedDirectory router. The keyspace is
+  /// fenced at KeyName(s*key_space/shards); ops and batches route (and
+  /// cross-shard batches two-phase-commit) through the router, crash
+  /// viability is per shard, and the final checks verify each shard's
+  /// replica set against the model slice of its range PLUS a stitched full
+  /// scan against the whole model.
+  std::uint32_t shards = 1;
+
   /// >1: the executor groups up to this many consecutive batchable ops
   /// (insert/update/lookup) into one SuiteTxn::ExecuteBatch - one read
   /// wave, one write wave, one 2PC, one group-committed flush for the

@@ -14,6 +14,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kVersionMismatch: return "VERSION_MISMATCH";
+    case StatusCode::kWrongShard: return "WRONG_SHARD";
   }
   return "UNKNOWN";
 }

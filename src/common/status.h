@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kCorruption,      ///< Storage invariant violated (WAL checksum, ...).
   kInternal,        ///< Bug in this library.
   kVersionMismatch, ///< Guarded write lost an optimistic race (stale cache).
+  kWrongShard,      ///< Request routed with a stale shard map / out-of-range key.
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -50,6 +51,7 @@ class [[nodiscard]] Status {
   static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status VersionMismatch(std::string m) { return {StatusCode::kVersionMismatch, std::move(m)}; }
+  static Status WrongShard(std::string m) { return {StatusCode::kWrongShard, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

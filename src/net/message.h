@@ -20,12 +20,14 @@ struct RpcRequest {
   NodeId from = kInvalidNode;   ///< Calling node (client or coordinator).
   MethodId method = 0;          ///< Which handler to invoke.
   TxnId txn = kInvalidTxn;      ///< Transaction this call executes within.
+  std::uint64_t shard_epoch = 0; ///< Caller's shard-map version (0 = not shard-aware).
   std::string payload;          ///< Serialized request body.
 
   void Encode(ByteWriter& w) const {
     w.PutU32(from);
     w.PutU32(method);
     w.PutU64(txn);
+    w.PutU64(shard_epoch);
     w.PutString(payload);
   }
 
@@ -36,6 +38,7 @@ struct RpcRequest {
     if (method32 > 0xffff) return Status::Corruption("method id out of range");
     method = static_cast<MethodId>(method32);
     REPDIR_RETURN_IF_ERROR(r.GetU64(txn));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(shard_epoch));
     return r.GetString(payload);
   }
 };
@@ -54,7 +57,7 @@ struct RpcResponse {
   Status Decode(ByteReader& r) {
     std::uint8_t code8 = 0;
     REPDIR_RETURN_IF_ERROR(r.GetU8(code8));
-    if (code8 > static_cast<std::uint8_t>(StatusCode::kVersionMismatch)) {
+    if (code8 > static_cast<std::uint8_t>(StatusCode::kWrongShard)) {
       return Status::Corruption("status code out of range");
     }
     code = static_cast<StatusCode>(code8);

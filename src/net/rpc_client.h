@@ -23,6 +23,7 @@
 //     paths alike.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -177,6 +178,16 @@ class RpcClient {
   Transport& transport() const { return *transport_; }
   MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// Shard-map version stamped into every outgoing envelope (0 = not
+  /// shard-aware; representatives skip the epoch check). Shared between
+  /// copies of the client so a router refresh reaches every fan-out path.
+  void set_shard_epoch(std::uint64_t epoch) const {
+    shard_epoch_->store(epoch, std::memory_order_relaxed);
+  }
+  std::uint64_t shard_epoch() const {
+    return shard_epoch_->load(std::memory_order_relaxed);
+  }
+
   /// Calls `method` on node `to` within transaction `txn`.
   template <WireMessage Resp, WireMessage Req>
   Result<Resp> Call(NodeId to, MethodId method, const Req& request,
@@ -302,6 +313,7 @@ class RpcClient {
     req.from = self_;
     req.method = method;
     req.txn = txn;
+    req.shard_epoch = shard_epoch_->load(std::memory_order_relaxed);
     req.payload = std::move(payload);
     return req;
   }
@@ -316,6 +328,8 @@ class RpcClient {
   Counter* bytes_received_;
   DistributionStat* wave_width_;
   std::shared_ptr<MethodTable> methods_;
+  std::shared_ptr<std::atomic<std::uint64_t>> shard_epoch_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
 };
 
 }  // namespace repdir::net

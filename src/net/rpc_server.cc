@@ -1,6 +1,8 @@
 #include "net/rpc_server.h"
 
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 namespace repdir::net {
 
@@ -16,12 +18,20 @@ RpcResponse RpcServer::Dispatch(const RpcRequest& req) const {
     return RpcResponse::FromStatus(Status::InvalidArgument(
         "no handler for method " + std::to_string(req.method)));
   }
-  ByteWriter out;
-  const Status st = it->second(req, out);
-  if (!st.ok()) return RpcResponse::FromStatus(st);
-  RpcResponse resp;
-  resp.payload = out.TakeString();
-  return resp;
+  auto run = [&] {
+    ByteWriter out;
+    const Status st = it->second(req, out);
+    if (!st.ok()) return RpcResponse::FromStatus(st);
+    RpcResponse resp;
+    resp.payload = out.TakeString();
+    return resp;
+  };
+  if (!serial_) return run();
+  std::lock_guard<std::mutex> lk(serial_mu_);
+  if (service_time_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(service_time_us_));
+  }
+  return run();
 }
 
 }  // namespace repdir::net

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "net/message.h"
@@ -40,6 +41,19 @@ class RpcServer {
     });
   }
 
+  /// Models the paper's single-threaded representative process: Dispatch
+  /// runs one request at a time, each charged `service_time_us` of
+  /// simulated work before its handler. Off by default (concurrent
+  /// dispatch, no added cost). Saturation benches turn it on so a replica
+  /// set has a real per-node capacity - and partitioning the keyspace a
+  /// real capacity to multiply. Callers must ensure handlers cannot block
+  /// on another dispatch of the same node (e.g. lock conflicts between
+  /// concurrent clients) or the serial queue deadlocks.
+  void ModelSingleThreaded(DurationMicros service_time_us) {
+    serial_ = true;
+    service_time_us_ = service_time_us;
+  }
+
   /// Runs the handler for `req`. Handler errors become application-level
   /// error responses, never transport failures.
   RpcResponse Dispatch(const RpcRequest& req) const;
@@ -47,6 +61,9 @@ class RpcServer {
  private:
   NodeId node_;
   std::map<MethodId, Handler> handlers_;
+  bool serial_ = false;
+  DurationMicros service_time_us_ = 0;
+  mutable std::mutex serial_mu_;
 };
 
 }  // namespace repdir::net

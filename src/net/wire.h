@@ -18,10 +18,10 @@ using Empty = repdir::EmptyMessage;
 
 /// Fixed per-message envelope cost charged by the rpc.bytes_sent /
 /// rpc.bytes_received counters on top of the serialized payload:
-/// from(4) + method(4) + txn(8) for requests, code(1) + two length-prefixed
-/// strings for responses - one honest constant for both directions keeps
-/// the byte accounting transport-independent.
-inline constexpr std::size_t kEnvelopeOverheadBytes = 16;
+/// from(4) + method(4) + txn(8) + shard_epoch(8) for requests, code(1) +
+/// two length-prefixed strings for responses - one honest constant for both
+/// directions keeps the byte accounting transport-independent.
+inline constexpr std::size_t kEnvelopeOverheadBytes = 24;
 
 /// TCP framing of the multiplexed transport. Every frame, both directions,
 /// is [u32 payload length][u64 correlation id][payload], little-endian.

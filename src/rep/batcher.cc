@@ -65,6 +65,11 @@ Status AutoBatcher::Update(const UserKey& key, const Value& value) {
   return Submit(std::move(op)).status;
 }
 
+void AutoBatcher::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
 std::uint64_t AutoBatcher::batches_dispatched() const {
   std::lock_guard<std::mutex> lk(mu_);
   return batches_;
@@ -96,6 +101,7 @@ void AutoBatcher::Run() {
     group.assign(queue_.begin(), queue_.begin() + static_cast<long>(take));
     queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
     ++batches_;
+    in_flight_ = group.size();
     lk.unlock();
 
     std::vector<DirectorySuite::BatchOp> ops;
@@ -111,6 +117,8 @@ void AutoBatcher::Run() {
       group[i]->cv.notify_all();
     }
     lk.lock();
+    in_flight_ = 0;
+    if (queue_.empty()) drained_cv_.notify_all();
   }
 }
 

@@ -38,6 +38,12 @@ class AutoBatcher {
   /// exists: the dispatcher thread is the suite's single client.
   explicit AutoBatcher(DirectorySuite& suite);
   AutoBatcher(DirectorySuite& suite, Options options);
+
+  /// Destruction flushes: every operation Submit() has already accepted is
+  /// executed and its submitter unblocked with a real result before the
+  /// dispatcher exits. A Submit racing the destructor either makes it into
+  /// the queue (and is flushed) or is refused with kUnavailable - it never
+  /// hangs and never reports success for work that was dropped.
   ~AutoBatcher();
 
   AutoBatcher(const AutoBatcher&) = delete;
@@ -52,6 +58,13 @@ class AutoBatcher {
   Result<DirectorySuite::LookupResult> Lookup(const UserKey& key);
   Status Insert(const UserKey& key, const Value& value);
   Status Update(const UserKey& key, const Value& value);
+
+  /// Blocks until every operation accepted so far has executed and its
+  /// submitter has been handed a result - queue empty AND no group in
+  /// flight. Ops submitted while draining may or may not be covered; the
+  /// batcher keeps running. Useful as a barrier before reading through a
+  /// different client or before tearing down dependent state.
+  void Drain();
 
   /// Batches executed so far (tests: coalescing proof).
   std::uint64_t batches_dispatched() const;
@@ -72,9 +85,11 @@ class AutoBatcher {
   DirectorySuite* suite_;
   Options options_;
 
-  mutable std::mutex mu_;  ///< queue_, stats, stopping_.
+  mutable std::mutex mu_;  ///< queue_, stats, stopping_, in_flight_.
   std::condition_variable cv_;
+  std::condition_variable drained_cv_;  ///< Signalled when all work is done.
   std::vector<std::shared_ptr<Pending>> queue_;
+  std::size_t in_flight_ = 0;  ///< Ops taken off the queue, not yet done.
   bool stopping_ = false;
   std::uint64_t batches_ = 0;
   std::uint64_t submitted_ = 0;

@@ -65,6 +65,39 @@ Result<storage::RecoveryOutcome> DirRepNode::Recover() {
   return storage::RecoverRepresentative(*storage_, log);
 }
 
+DirRepNode::ShardBounds DirRepNode::shard_bounds() const {
+  std::lock_guard<std::mutex> lk(shard_mu_);
+  return shard_;
+}
+
+void DirRepNode::SetShardBounds(ShardBounds bounds) {
+  std::lock_guard<std::mutex> lk(shard_mu_);
+  shard_ = std::move(bounds);
+}
+
+Status DirRepNode::CheckEpoch(const net::RpcRequest& env) const {
+  std::lock_guard<std::mutex> lk(shard_mu_);
+  if (!shard_.enforced || env.shard_epoch == 0) return Status::Ok();
+  if (env.shard_epoch < shard_.epoch) {
+    return Status::WrongShard("request epoch " +
+                              std::to_string(env.shard_epoch) +
+                              " < node epoch " + std::to_string(shard_.epoch));
+  }
+  return Status::Ok();
+}
+
+Status DirRepNode::CheckOwned(const storage::RepKey& key) const {
+  std::lock_guard<std::mutex> lk(shard_mu_);
+  if (!shard_.enforced || !key.is_user()) return Status::Ok();
+  const UserKey& u = key.user();
+  if (u < shard_.low || (shard_.has_high && u >= shard_.high)) {
+    return Status::WrongShard("key " + u + " outside shard range [" +
+                              shard_.low + ", " +
+                              (shard_.has_high ? shard_.high : "+inf") + ")");
+  }
+  return Status::Ok();
+}
+
 Status DirRepNode::ResolveInDoubt(TxnId txn, bool commit) {
   if (log_device_ == nullptr || wal_ == nullptr) {
     return Status::FailedPrecondition("recovery requires a WAL");
@@ -85,6 +118,7 @@ void DirRepNode::RegisterHandlers() {
   server_.RegisterTyped<KeyRequest, LookupReply>(
       kLookup,
       [this](const RpcRequest& env, const KeyRequest& req, LookupReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(out, participant_->Lookup(env.txn, req.key));
         return Status::Ok();
       });
@@ -92,6 +126,7 @@ void DirRepNode::RegisterHandlers() {
   server_.RegisterTyped<KeyRequest, NeighborReply>(
       kPredecessor,
       [this](const RpcRequest& env, const KeyRequest& req, NeighborReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(out,
                                 participant_->Predecessor(env.txn, req.key));
         return Status::Ok();
@@ -100,6 +135,7 @@ void DirRepNode::RegisterHandlers() {
   server_.RegisterTyped<KeyRequest, NeighborReply>(
       kSuccessor,
       [this](const RpcRequest& env, const KeyRequest& req, NeighborReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(out, participant_->Successor(env.txn, req.key));
         return Status::Ok();
       });
@@ -108,6 +144,7 @@ void DirRepNode::RegisterHandlers() {
       kPredecessorBatch,
       [this](const RpcRequest& env, const NeighborBatchRequest& req,
              NeighborBatchReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(
             out.steps,
             participant_->PredecessorBatch(env.txn, req.key, req.count));
@@ -118,6 +155,7 @@ void DirRepNode::RegisterHandlers() {
       kSuccessorBatch,
       [this](const RpcRequest& env, const NeighborBatchRequest& req,
              NeighborBatchReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(
             out.steps,
             participant_->SuccessorBatch(env.txn, req.key, req.count));
@@ -127,12 +165,16 @@ void DirRepNode::RegisterHandlers() {
   server_.RegisterTyped<InsertRequest, Empty>(
       kInsert,
       [this](const RpcRequest& env, const InsertRequest& req, Empty&) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
+        REPDIR_RETURN_IF_ERROR(CheckOwned(req.key));
         return participant_->Insert(env.txn, req.key, req.version, req.value);
       });
 
   server_.RegisterTyped<GuardedInsertRequest, Empty>(
       kGuardedInsert,
       [this](const RpcRequest& env, const GuardedInsertRequest& req, Empty&) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
+        REPDIR_RETURN_IF_ERROR(CheckOwned(req.key));
         return participant_->GuardedInsert(env.txn, req.key, req.version,
                                            req.value, req.expected_version);
       });
@@ -141,6 +183,7 @@ void DirRepNode::RegisterHandlers() {
       kLookupValidated,
       [this](const RpcRequest& env, const ValidatedLookupRequest& req,
              ValidatedLookupReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(out.data, participant_->Lookup(env.txn, req.key));
         // Presence must match alongside the version: per-key version spaces
         // make a present/absent tie at one version impossible on committed
@@ -158,6 +201,7 @@ void DirRepNode::RegisterHandlers() {
       kLookupBatch,
       [this](const RpcRequest& env, const LookupBatchRequest& req,
              LookupBatchReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         out.replies.reserve(req.keys.size());
         for (const auto& key : req.keys) {
           REPDIR_ASSIGN_OR_RETURN(LookupReply reply,
@@ -170,7 +214,9 @@ void DirRepNode::RegisterHandlers() {
   server_.RegisterTyped<InsertBatchRequest, Empty>(
       kInsertBatch,
       [this](const RpcRequest& env, const InsertBatchRequest& req, Empty&) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         for (const auto& ins : req.inserts) {
+          REPDIR_RETURN_IF_ERROR(CheckOwned(ins.key));
           REPDIR_RETURN_IF_ERROR(
               participant_->Insert(env.txn, ins.key, ins.version, ins.value));
         }
@@ -181,6 +227,11 @@ void DirRepNode::RegisterHandlers() {
       kCoalesce,
       [this](const RpcRequest& env, const CoalesceRequest& req,
              CoalesceReply& out) {
+        // Bounds are deliberately not checked: a coalesce endpoint may be a
+        // not-yet-retired entry just outside a freshly narrowed shard, and
+        // each shard's own LOW/HIGH sentinels already fence the range a
+        // coalesce can reach. The epoch fence still applies.
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         REPDIR_ASSIGN_OR_RETURN(
             const storage::CoalesceEffect effect,
             participant_->Coalesce(env.txn, req.low, req.high,
@@ -192,6 +243,10 @@ void DirRepNode::RegisterHandlers() {
 
   server_.RegisterTyped<Empty, Empty>(
       kPrepare, [this](const RpcRequest& env, const Empty&, Empty&) {
+        // Fencing prepare (not just the writes) closes the window where a
+        // stale-map write executed just before the node's epoch advanced:
+        // the decision round arrives after, sees the new epoch, aborts.
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
         return participant_->Prepare(env.txn);
       });
 
@@ -203,6 +258,53 @@ void DirRepNode::RegisterHandlers() {
   server_.RegisterTyped<Empty, Empty>(
       kAbortTxn, [this](const RpcRequest& env, const Empty&, Empty&) {
         return participant_->Abort(env.txn);
+      });
+
+  server_.RegisterTyped<ShardConfigRequest, Empty>(
+      kConfigureShard,
+      [this](const RpcRequest&, const ShardConfigRequest& req, Empty&) {
+        ShardBounds bounds;
+        bounds.enforced = true;
+        bounds.low = req.low;
+        bounds.has_high = req.has_high;
+        bounds.high = req.high;
+        bounds.epoch = req.epoch;
+        SetShardBounds(std::move(bounds));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<Empty, ShardInfoReply>(
+      kShardInfo,
+      [this](const RpcRequest&, const Empty&, ShardInfoReply& out) {
+        const ShardBounds bounds = shard_bounds();
+        out.enforced = bounds.enforced;
+        out.low = bounds.low;
+        out.has_high = bounds.has_high;
+        out.high = bounds.high;
+        out.epoch = bounds.epoch;
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<RetireRangeRequest, CoalesceReply>(
+      kRetireRange,
+      [this](const RpcRequest& env, const RetireRangeRequest& req,
+             CoalesceReply& out) {
+        // Coalesce [local pred of low, HIGH] with the pred's existing gap
+        // version: every entry >= low is erased, and the version of the
+        // retained tail gap is exactly what it already was, so reads of the
+        // keys this shard keeps cannot tell retirement happened. RepKey
+        // ordering makes User("") sort above LOW, so low = "" retires the
+        // whole user keyspace with no special case.
+        REPDIR_ASSIGN_OR_RETURN(
+            const storage::NeighborReply pred,
+            participant_->Predecessor(env.txn, RepKey::User(req.low)));
+        REPDIR_ASSIGN_OR_RETURN(
+            const storage::CoalesceEffect effect,
+            participant_->Coalesce(env.txn, pred.key, RepKey::High(),
+                                   pred.gap_version));
+        out.erased.reserve(effect.erased.size());
+        for (const auto& e : effect.erased) out.erased.push_back(e.key);
+        return Status::Ok();
       });
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "net/rpc_server.h"
 #include "rep/messages.h"
@@ -79,9 +80,32 @@ class DirRepNode {
   /// Resolves one in-doubt transaction discovered by Recover().
   Status ResolveInDoubt(TxnId txn, bool commit);
 
+  /// Shard assignment of this representative (see kConfigureShard). While
+  /// `enforced`, the node owns user keys in [low, high) - `has_high` false
+  /// means unbounded above - as of shard-map version `epoch`:
+  ///   * data and prepare requests stamped with a non-zero shard_epoch
+  ///     older than `epoch` answer kWrongShard (stale-map fence);
+  ///   * inserts of user keys outside [low, high) answer kWrongShard
+  ///     (mis-routed write tripwire).
+  /// Commit/abort are never fenced - a 2PC decision must always land.
+  /// The assignment is deliberately volatile node configuration, not
+  /// replicated state: it survives simulated Crash() (the process persists)
+  /// and is re-pushed by the shard manager after a real restart.
+  struct ShardBounds {
+    bool enforced = false;
+    UserKey low;
+    bool has_high = false;
+    UserKey high;
+    std::uint64_t epoch = 0;
+  };
+  ShardBounds shard_bounds() const;
+  void SetShardBounds(ShardBounds bounds);
+
  private:
   void RegisterHandlers();
   std::unique_ptr<storage::RepStorage> MakeBackend() const;
+  Status CheckEpoch(const net::RpcRequest& env) const;
+  Status CheckOwned(const storage::RepKey& key) const;
 
   NodeId id_;
   DirRepNodeOptions options_;
@@ -91,6 +115,8 @@ class DirRepNode {
   std::unique_ptr<storage::WalWriter> wal_;
   std::unique_ptr<txn::TxnParticipant> participant_;
   net::RpcServer server_;
+  mutable std::mutex shard_mu_;
+  ShardBounds shard_;  ///< Guarded by shard_mu_.
 };
 
 }  // namespace repdir::rep

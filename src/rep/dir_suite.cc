@@ -41,9 +41,13 @@ DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
                                Options options)
     : client_(transport, client_node, options.metrics),
       options_(std::move(options)),
-      txn_ids_(client_node),
+      own_txn_ids_(client_node),
+      txn_ids_(options_.txn_ids != nullptr ? options_.txn_ids : &own_txn_ids_),
       committer_(client_, kTxnMethods, options_.rpc_retry) {
   assert(options_.config.Validate().ok() && "invalid quorum configuration");
+  scope_ = options_.metric_scope.empty()
+               ? "suite."
+               : "suite." + options_.metric_scope + ".";
   metrics_ = &client_.metrics();
   trace_ = options_.trace != nullptr ? options_.trace : &TraceSink::Default();
   weak_nodes_ = options_.config.WeakNodes();
@@ -62,12 +66,12 @@ DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
     fast_writes_ok_ =
         2 * options_.config.write_quorum() > options_.config.TotalVotes();
   }
-  cache_hits_ = &metrics_->counter("suite.cache.hits");
-  cache_misses_ = &metrics_->counter("suite.cache.misses");
-  cache_invalidations_ = &metrics_->counter("suite.cache.invalidations");
-  fast_path_writes_ = &metrics_->counter("suite.write.fast_path");
-  validated_reads_ = &metrics_->counter("suite.read.validated");
-  cache_fallbacks_ = &metrics_->counter("suite.cache.fallbacks");
+  cache_hits_ = &metrics_->counter(Metric("cache.hits"));
+  cache_misses_ = &metrics_->counter(Metric("cache.misses"));
+  cache_invalidations_ = &metrics_->counter(Metric("cache.invalidations"));
+  fast_path_writes_ = &metrics_->counter(Metric("write.fast_path"));
+  validated_reads_ = &metrics_->counter(Metric("read.validated"));
+  cache_fallbacks_ = &metrics_->counter(Metric("cache.fallbacks"));
 }
 
 template <WireMessage Resp, WireMessage Req>
@@ -145,8 +149,8 @@ Result<std::vector<NodeId>> DirectorySuite::CollectQuorum(OpClass klass) {
   }
   if (votes >= quota) {
     metrics_
-        ->distribution(klass == OpClass::kRead ? "suite.quorum.read_size"
-                                               : "suite.quorum.write_size")
+        ->distribution(Metric(klass == OpClass::kRead ? "quorum.read_size"
+                                                      : "quorum.write_size"))
         .Record(static_cast<double>(members.size()));
     return members;
   }
@@ -181,8 +185,8 @@ Result<std::vector<NodeId>> DirectorySuite::OptimisticQuorum(OpClass klass) {
         std::to_string(quota) + " votes)");
   }
   metrics_
-      ->distribution(klass == OpClass::kRead ? "suite.quorum.read_size"
-                                             : "suite.quorum.write_size")
+      ->distribution(Metric(klass == OpClass::kRead ? "quorum.read_size"
+                                                    : "quorum.write_size"))
       .Record(static_cast<double>(members.size()));
   return members;
 }
@@ -391,6 +395,7 @@ Result<DirectorySuite::RealNeighbor> DirectorySuite::RealSuccessor(
 Status DirectorySuite::Finish(OpCtx& ctx, Status body_status) {
   if (!body_status.ok()) {
     committer_.Abort(ctx.txn, ctx.participants);
+    if (options_.decision_hook) options_.decision_hook(ctx.txn, false);
     return body_status;
   }
   // Read-only transactions skip phase 1: nothing was written, so there is
@@ -398,11 +403,13 @@ Status DirectorySuite::Finish(OpCtx& ctx, Status body_status) {
   const Status st =
       ctx.wrote ? committer_.Commit(ctx.txn, ctx.participants)
                 : committer_.CommitReadOnly(ctx.txn, ctx.participants);
+  if (options_.decision_hook) options_.decision_hook(ctx.txn, st.ok());
   if (st.ok()) {
     for (const DeleteProbe& probe : ctx.probes) {
       stats_.RecordDelete(probe);
-      metrics_->counter("suite.delete.ghosts").Increment(probe.ghost_deletions);
-      metrics_->counter("suite.delete.materializations")
+      metrics_->counter(Metric("delete.ghosts"))
+          .Increment(probe.ghost_deletions);
+      metrics_->counter(Metric("delete.materializations"))
           .Increment(probe.materializing_insertions);
     }
     // Only now is the transaction's data committed - safe to cache.
@@ -414,12 +421,11 @@ Status DirectorySuite::Finish(OpCtx& ctx, Status body_status) {
 template <typename Fn>
 Status DirectorySuite::RunTxn(const char* op_name, bool allow_fast,
                               bool* used_fast, Fn&& body) {
-  OpCtx ctx(txn_ids_.Next());
+  OpCtx ctx(txn_ids_->Next());
   ctx.allow_fast = allow_fast;
-  TraceSpan span(*trace_, std::string("suite.") + op_name, ctx.txn);
+  TraceSpan span(*trace_, Metric(op_name), ctx.txn);
   ScopedLatency latency(
-      *metrics_,
-      metrics_->distribution(std::string("suite.op.") + op_name + "_us"));
+      *metrics_, metrics_->distribution(Metric("op.") + op_name + "_us"));
   const Status st = Finish(ctx, body(ctx));
   if (!st.ok()) span.Annotate(st.ToString());
   if (used_fast != nullptr) *used_fast = ctx.used_fast;
@@ -451,10 +457,10 @@ Status DirectorySuite::Record(Status st, std::uint64_t OpCounters::*counter,
     mirror->Increment();
   } else if (st.code() == StatusCode::kUnavailable) {
     ++stats_.counters().unavailable;
-    metrics_->counter("suite.ops.unavailable").Increment();
+    metrics_->counter(Metric("ops.unavailable")).Increment();
   } else if (st.code() == StatusCode::kAborted) {
     ++stats_.counters().aborted;
-    metrics_->counter("suite.ops.aborted").Increment();
+    metrics_->counter(Metric("ops.aborted")).Increment();
   }
   return st;
 }
@@ -864,35 +870,35 @@ DirectorySuite::BatchResult DirectorySuite::ExecuteBatch(
   BatchResult result;
   result.ops.resize(ops.size());
   if (ops.empty()) return result;
-  metrics_->distribution("suite.batch.size")
+  metrics_->distribution(Metric("batch.size"))
       .Record(static_cast<double>(ops.size()));
   result.status = RunTxn("batch", /*allow_fast=*/false, nullptr,
                          [&](OpCtx& ctx) {
                            return BatchIn(ctx, ops, result.ops);
                          });
   if (result.status.ok()) {
-    metrics_->counter("suite.ops.batches").Increment();
+    metrics_->counter(Metric("ops.batches")).Increment();
     for (std::size_t i = 0; i < ops.size(); ++i) {
       if (!result.ops[i].status.ok()) continue;
       switch (ops[i].kind) {
         case BatchOp::Kind::kLookup:
           ++stats_.counters().lookups;
-          metrics_->counter("suite.ops.lookups").Increment();
+          metrics_->counter(Metric("ops.lookups")).Increment();
           break;
         case BatchOp::Kind::kInsert:
           ++stats_.counters().inserts;
-          metrics_->counter("suite.ops.inserts").Increment();
+          metrics_->counter(Metric("ops.inserts")).Increment();
           break;
         case BatchOp::Kind::kUpdate:
           ++stats_.counters().updates;
-          metrics_->counter("suite.ops.updates").Increment();
+          metrics_->counter(Metric("ops.updates")).Increment();
           break;
       }
     }
   } else {
     // One transaction, one failure: the batch aborts or retries as a unit.
     (void)Record(result.status, &OpCounters::lookups,
-                 &metrics_->counter("suite.ops.lookups"));
+                 &metrics_->counter(Metric("ops.lookups")));
   }
   return result;
 }
@@ -908,8 +914,8 @@ Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
     REPDIR_ASSIGN_OR_RETURN(result, LookupIn(ctx, key));
     return Status::Ok();
   });
-  REPDIR_RETURN_IF_ERROR(
-      Record(st, &OpCounters::lookups, &metrics_->counter("suite.ops.lookups")));
+  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups,
+                                &metrics_->counter(Metric("ops.lookups"))));
   return result;
 }
 
@@ -917,21 +923,21 @@ Status DirectorySuite::Insert(const UserKey& key, const Value& value) {
   return Record(
       RunTxnCached("insert",
                    [&](OpCtx& ctx) { return InsertIn(ctx, key, value); }),
-      &OpCounters::inserts, &metrics_->counter("suite.ops.inserts"));
+      &OpCounters::inserts, &metrics_->counter(Metric("ops.inserts")));
 }
 
 Status DirectorySuite::Update(const UserKey& key, const Value& value) {
   return Record(
       RunTxnCached("update",
                    [&](OpCtx& ctx) { return UpdateIn(ctx, key, value); }),
-      &OpCounters::updates, &metrics_->counter("suite.ops.updates"));
+      &OpCounters::updates, &metrics_->counter(Metric("ops.updates")));
 }
 
 Status DirectorySuite::Delete(const UserKey& key) {
   return Record(
       RunTxn("delete", /*allow_fast=*/false, nullptr,
              [&](OpCtx& ctx) { return DeleteIn(ctx, key); }),
-      &OpCounters::deletes, &metrics_->counter("suite.ops.deletes"));
+      &OpCounters::deletes, &metrics_->counter(Metric("ops.deletes")));
 }
 
 Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKey(
@@ -942,8 +948,8 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::NextKey(
     REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::User(key)));
     return Status::Ok();
   });
-  REPDIR_RETURN_IF_ERROR(
-      Record(st, &OpCounters::lookups, &metrics_->counter("suite.ops.lookups")));
+  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups,
+                                &metrics_->counter(Metric("ops.lookups"))));
   return result;
 }
 
@@ -954,12 +960,14 @@ Result<DirectorySuite::NextKeyResult> DirectorySuite::FirstKey() {
     REPDIR_ASSIGN_OR_RETURN(result, NextKeyIn(ctx, RepKey::Low()));
     return Status::Ok();
   });
-  REPDIR_RETURN_IF_ERROR(
-      Record(st, &OpCounters::lookups, &metrics_->counter("suite.ops.lookups")));
+  REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups,
+                                &metrics_->counter(Metric("ops.lookups"))));
   return result;
 }
 
 SuiteTxn DirectorySuite::Begin() { return SuiteTxn(*this); }
+
+SuiteTxn DirectorySuite::BeginAt(TxnId txn) { return SuiteTxn(*this, txn); }
 
 // --- SuiteTxn ---
 
@@ -1022,6 +1030,15 @@ void SuiteTxn::Abort() {
   if (!open_) return;
   open_ = false;
   (void)suite_->Finish(ctx_, Status::Aborted("client abort"));
+}
+
+DirectorySuite::Handoff SuiteTxn::Detach() {
+  DirectorySuite::Handoff handoff;
+  if (!open_) return handoff;
+  open_ = false;
+  handoff.participants = std::move(ctx_.participants);
+  handoff.wrote = ctx_.wrote;
+  return handoff;
 }
 
 }  // namespace repdir::rep

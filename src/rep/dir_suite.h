@@ -35,10 +35,12 @@
 // (instances may freely share the Transport and representatives).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
@@ -94,6 +96,27 @@ class DirectorySuite {
     /// when the configuration lacks them.
     bool enable_version_cache = false;
     std::size_t version_cache_capacity = 1024;
+
+    /// Metric scope. Empty publishes the classic "suite.*" names; a shard
+    /// id (e.g. "shard2") publishes "suite.shard2.*" instead, so a router's
+    /// per-shard suites can share one registry and still break out cleanly.
+    std::string metric_scope;
+
+    /// External transaction-id factory shared between suites. The sharding
+    /// router hands all its per-shard suites (and itself) ONE factory so a
+    /// cross-shard transaction can hold the same id on every touched shard
+    /// without colliding with any suite's internal transactions. Null: the
+    /// suite owns a private factory seeded by its client node id. Must
+    /// outlive the suite.
+    txn::TxnIdFactory* txn_ids = nullptr;
+
+    /// Invoked after every transaction decision this suite drives itself:
+    /// (txn id, true) when the commit round succeeded, (txn id, false) on
+    /// abort. Chaos harnesses use it to keep a coordinator decision map
+    /// across single-shot operations whose transactions are internal.
+    /// Detached transactions (see SuiteTxn::Detach) never reach it - their
+    /// decision belongs to the external coordinator.
+    std::function<void(TxnId, bool)> decision_hook;
   };
 
   /// `client_node` identifies this client on the transport (distinct from
@@ -139,6 +162,24 @@ class DirectorySuite {
   /// handle borrows this suite; at most one transaction may be open per
   /// suite at a time (a suite is a single client).
   SuiteTxn Begin();
+
+  /// Begins a transaction under a caller-supplied id - the cross-shard
+  /// building block: a router opens one transaction per touched shard under
+  /// ONE id (replica sets are disjoint, so participants never collide),
+  /// Detach()es each, and drives a single 2PC over the union.
+  SuiteTxn BeginAt(TxnId txn);
+
+  /// What a detached transaction hands to an external coordinator.
+  struct Handoff {
+    std::set<NodeId> participants;
+    bool wrote = false;
+  };
+
+  /// Shard-map version stamped into every envelope this suite sends;
+  /// representatives configured with a newer epoch answer kWrongShard.
+  /// 0 (the default) disables the fence.
+  void set_shard_epoch(std::uint64_t epoch) { client_.set_shard_epoch(epoch); }
+  std::uint64_t shard_epoch() const { return client_.shard_epoch(); }
 
   // --- Batched operations (the hot path) ---
 
@@ -375,11 +416,18 @@ class DirectorySuite {
   Status Record(Status st, std::uint64_t OpCounters::*counter,
                 Counter* mirror);
 
+  /// Registry name of a suite metric: "suite." + (metric_scope + ".")? +
+  /// suffix. Every suite counter/latency name goes through here so a
+  /// sharded deployment gets per-shard breakouts for free.
+  std::string Metric(const char* suffix) const { return scope_ + suffix; }
+
   net::RpcClient client_;
   Options options_;
+  std::string scope_;  ///< Metric name prefix ("suite." or "suite.<id>.").
   std::vector<NodeId> weak_nodes_;
   std::unique_ptr<QuorumPolicy> policy_;
-  txn::TxnIdFactory txn_ids_;
+  txn::TxnIdFactory own_txn_ids_;
+  txn::TxnIdFactory* txn_ids_;  ///< Options::txn_ids or &own_txn_ids_.
   txn::TwoPhaseCommitter committer_;
   MetricsRegistry* metrics_ = nullptr;  ///< == &client_.metrics().
   TraceSink* trace_ = nullptr;
@@ -449,13 +497,22 @@ class SuiteTxn {
   /// Rolls everything back; the handle is finished afterwards.
   void Abort();
 
+  /// Finishes the handle WITHOUT a 2PC decision and returns the
+  /// participant set for an external coordinator to prepare/commit/abort.
+  /// Locks stay held on every participant until that decision lands.
+  /// Staged cache updates and delete probes are deliberately dropped - the
+  /// suite cannot observe the external outcome, and a cache may only ever
+  /// hold committed data.
+  DirectorySuite::Handoff Detach();
+
   bool open() const { return open_; }
   TxnId id() const { return ctx_.txn; }
 
  private:
   friend class DirectorySuite;
   explicit SuiteTxn(DirectorySuite& suite)
-      : suite_(&suite), ctx_(suite.txn_ids_.Next()) {}
+      : suite_(&suite), ctx_(suite.txn_ids_->Next()) {}
+  SuiteTxn(DirectorySuite& suite, TxnId txn) : suite_(&suite), ctx_(txn) {}
 
   Status Guard() const {
     return open_ ? Status::Ok()

@@ -30,6 +30,12 @@ enum DirRepMethod : net::MethodId {
   kPrepare = 100,
   kCommit = 101,
   kAbortTxn = 102,
+  // Shard administration (router / shard manager only; not part of the
+  // paper's directory protocol). The 200.. block is reserved for deployment
+  // sidecars that share the server (chaos/cluster_messages.h).
+  kConfigureShard = 300,
+  kRetireRange = 301,
+  kShardInfo = 302,
 };
 
 struct KeyRequest {
@@ -275,6 +281,68 @@ struct CoalesceReply {
     }
     return Status::Ok();
   }
+};
+
+/// Shard administration: sets the range of user keys this representative
+/// owns ([low, high), `has_high` false = unbounded above) and the shard-map
+/// version ("epoch") as of which that assignment holds. Representatives
+/// answer kWrongShard to requests stamped with an older epoch, fencing
+/// clients that still route by a retired map.
+struct ShardConfigRequest {
+  UserKey low;
+  bool has_high = false;
+  UserKey high;
+  std::uint64_t epoch = 0;
+
+  void Encode(ByteWriter& w) const {
+    w.PutString(low);
+    w.PutBool(has_high);
+    w.PutString(high);
+    w.PutU64(epoch);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetString(low));
+    REPDIR_RETURN_IF_ERROR(r.GetBool(has_high));
+    REPDIR_RETURN_IF_ERROR(r.GetString(high));
+    return r.GetU64(epoch);
+  }
+};
+
+/// Reply to kShardInfo: the representative's current shard assignment.
+struct ShardInfoReply {
+  bool enforced = false;
+  UserKey low;
+  bool has_high = false;
+  UserKey high;
+  std::uint64_t epoch = 0;
+
+  void Encode(ByteWriter& w) const {
+    w.PutBool(enforced);
+    w.PutString(low);
+    w.PutBool(has_high);
+    w.PutString(high);
+    w.PutU64(epoch);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetBool(enforced));
+    REPDIR_RETURN_IF_ERROR(r.GetString(low));
+    REPDIR_RETURN_IF_ERROR(r.GetBool(has_high));
+    REPDIR_RETURN_IF_ERROR(r.GetString(high));
+    return r.GetU64(epoch);
+  }
+};
+
+/// Erases every user entry with key >= `low` from the representative,
+/// transactionally (WAL-logged, lock-protected, undone on abort). The
+/// handler coalesces [local predecessor of low, HIGH] with the
+/// predecessor's existing gap version, so the surviving keyspace keeps its
+/// versions bit-identical - retiring a migrated range never perturbs reads
+/// of the range the shard still owns.
+struct RetireRangeRequest {
+  UserKey low;
+
+  void Encode(ByteWriter& w) const { w.PutString(low); }
+  Status Decode(ByteReader& r) { return r.GetString(low); }
 };
 
 }  // namespace repdir::rep

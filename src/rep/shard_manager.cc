@@ -1,0 +1,653 @@
+#include "rep/shard_manager.h"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/serde.h"
+#include "rep/messages.h"
+
+namespace repdir::rep {
+
+namespace {
+
+constexpr txn::TxnControlMethods kTxnMethods{kPrepare, kCommit, kAbortTxn};
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string ToHex(const std::string& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const unsigned char c : bytes) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xF]);
+  }
+  return out;
+}
+
+Status FromHex(const std::string& hex, std::string* bytes) {
+  if (hex.size() % 2 != 0) return Status::Corruption("odd hex length");
+  bytes->clear();
+  bytes->reserve(hex.size() / 2);
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    bytes->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return Status::Ok();
+}
+
+void EncodeConfig(ByteWriter& w, const QuorumConfig& config) {
+  w.PutVarint(config.replicas().size());
+  for (const Replica& r : config.replicas()) {
+    w.PutU32(r.node);
+    w.PutU32(r.votes);
+  }
+  w.PutU32(config.read_quorum());
+  w.PutU32(config.write_quorum());
+}
+
+Status DecodeConfig(ByteReader& r, QuorumConfig* config) {
+  std::uint64_t count = 0;
+  REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+  std::vector<Replica> replicas;
+  replicas.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Replica rep;
+    REPDIR_RETURN_IF_ERROR(r.GetU32(rep.node));
+    REPDIR_RETURN_IF_ERROR(r.GetU32(rep.votes));
+    replicas.push_back(rep);
+  }
+  Votes read_quorum = 0;
+  Votes write_quorum = 0;
+  REPDIR_RETURN_IF_ERROR(r.GetU32(read_quorum));
+  REPDIR_RETURN_IF_ERROR(r.GetU32(write_quorum));
+  *config = QuorumConfig(std::move(replicas), read_quorum, write_quorum);
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- FileShardJournal ---
+
+Status FileShardJournal::Append(const std::string& line) {
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open shard journal " + path_);
+  }
+  const bool ok = std::fputs(line.c_str(), f) >= 0 && std::fputc('\n', f) >= 0;
+  std::fflush(f);
+  std::fclose(f);
+  return ok ? Status::Ok()
+            : Status::Unavailable("cannot append to shard journal " + path_);
+}
+
+Result<std::vector<std::string>> FileShardJournal::ReadAll() {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path_.c_str(), "r");
+  if (f == nullptr) return lines;  // no journal yet: nothing pending
+  std::string line;
+  for (int c = std::fgetc(f); c != EOF; c = std::fgetc(f)) {
+    if (c == '\n') {
+      lines.push_back(std::move(line));
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  if (!line.empty()) lines.push_back(std::move(line));
+  std::fclose(f);
+  return lines;
+}
+
+// --- ShardManager ---
+
+ShardManager::ShardManager(net::Transport& transport, NodeId client_node,
+                           ShardMapAuthority& authority, Options options)
+    : transport_(&transport),
+      client_node_(client_node),
+      authority_(&authority),
+      options_(std::move(options)),
+      txn_ids_(client_node),
+      ctl_(transport, client_node, options_.metrics),
+      committer_(ctl_, kTxnMethods, options_.rpc_retry) {
+  if (options_.journal != nullptr) {
+    journal_ = options_.journal;
+  } else {
+    own_journal_ = std::make_unique<MemShardJournal>();
+    journal_ = own_journal_.get();
+  }
+  MetricsRegistry& metrics = ctl_.metrics();
+  splits_ = &metrics.counter("shardmgr.splits");
+  merges_ = &metrics.counter("shardmgr.merges");
+  copy_txns_ = &metrics.counter("shardmgr.copy.txns");
+  copied_ = &metrics.counter("shardmgr.copy.entries");
+  retired_ = &metrics.counter("shardmgr.retired.entries");
+}
+
+std::unique_ptr<DirectorySuite> ShardManager::MakeSuite(
+    const QuorumConfig& config) {
+  SuiteOptions o;
+  o.config = config;
+  o.rpc_retry = options_.rpc_retry;
+  o.metrics = options_.metrics;
+  o.txn_ids = &txn_ids_;
+  o.metric_scope = "shardmgr";
+  return std::make_unique<DirectorySuite>(*transport_, client_node_,
+                                          std::move(o));
+}
+
+Status ShardManager::FinishStep(int step) {
+  REPDIR_RETURN_IF_ERROR(journal_->Append("STEP " + std::to_string(step)));
+  if (options_.fail_after_step == step) {
+    return Status::Aborted("injected crash after step " +
+                           std::to_string(step));
+  }
+  return Status::Ok();
+}
+
+Status ShardManager::InstallUpTo(ShardMap map) {
+  if (authority_->version() >= map.version) return Status::Ok();
+  return authority_->Install(std::move(map));
+}
+
+Status ShardManager::Configure(const QuorumConfig& config, const UserKey& low,
+                               bool has_high, const UserKey& high,
+                               std::uint64_t epoch) {
+  ShardConfigRequest req;
+  req.low = low;
+  req.has_high = has_high;
+  req.high = high;
+  req.epoch = epoch;
+  const std::uint32_t attempts =
+      options_.rpc_retry.max_attempts == 0 ? 1 : options_.rpc_retry.max_attempts;
+  for (const NodeId node : config.Nodes()) {
+    Status st = Status::Unavailable("not attempted");
+    for (std::uint32_t a = 0; a < attempts && !st.ok(); ++a) {
+      st = ctl_.Call<net::Empty>(node, kConfigureShard, req).status();
+    }
+    if (!st.ok()) {
+      return Status::Unavailable("configure shard bounds on node " +
+                                 std::to_string(node) + ": " + st.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardManager::Retire(const QuorumConfig& config, const UserKey& low) {
+  const TxnId id = txn_ids_.Next();
+  const std::vector<NodeId> node_list = config.Nodes();
+  const std::set<NodeId> nodes(node_list.begin(), node_list.end());
+  RetireRangeRequest req;
+  req.low = low;
+  for (const NodeId node : nodes) {
+    const auto r = ctl_.Call<CoalesceReply>(node, kRetireRange, req, id);
+    if (!r.ok()) {
+      committer_.Abort(id, nodes);
+      return r.status();
+    }
+    retired_->Increment(r->erased.size());
+  }
+  return committer_.Commit(id, nodes);
+}
+
+Status ShardManager::CopyRange(DirectorySuite& source, DirectorySuite& target,
+                               const UserKey& low, bool has_high,
+                               const UserKey& high) {
+  // One chunk = one cross-shard transaction: read locks on the source hold
+  // racing writers off the chunk's keys until the 2PC decides, and the
+  // target insert-if-absent keeps any value a dual-writing router landed
+  // there first (it is newer by definition).
+  const auto chunk = [&](UserKey* cursor, bool* include_cursor,
+                         bool* done) -> Status {
+    const TxnId id = txn_ids_.Next();
+    SuiteTxn s = source.BeginAt(id);
+    SuiteTxn t = target.BeginAt(id);
+    Status st = Status::Ok();
+    std::size_t moved = 0;
+    const auto ship = [&](const UserKey& key, const Value& value) -> Status {
+      const auto current = t.Lookup(key);
+      if (!current.ok()) return current.status();
+      if (current->found) return Status::Ok();
+      REPDIR_RETURN_IF_ERROR(t.Insert(key, value));
+      copied_->Increment();
+      return Status::Ok();
+    };
+    if (*include_cursor) {
+      *include_cursor = false;
+      const auto l = s.Lookup(*cursor);
+      if (!l.ok()) {
+        st = l.status();
+      } else if (l->found) {
+        st = ship(*cursor, l->value);
+        ++moved;
+      }
+    }
+    while (st.ok() && moved < options_.copy_chunk) {
+      const auto next = s.NextKey(*cursor);
+      if (!next.ok()) {
+        st = next.status();
+        break;
+      }
+      if (!next->found || (has_high && next->key >= high)) {
+        *done = true;
+        break;
+      }
+      *cursor = next->key;
+      st = ship(next->key, next->value);
+      ++moved;
+    }
+    if (!st.ok()) {
+      s.Abort();
+      t.Abort();
+      return st;
+    }
+    const DirectorySuite::Handoff hs = s.Detach();
+    const DirectorySuite::Handoff ht = t.Detach();
+    std::set<NodeId> participants = hs.participants;
+    participants.insert(ht.participants.begin(), ht.participants.end());
+    copy_txns_->Increment();
+    if (participants.empty()) return Status::Ok();
+    return hs.wrote || ht.wrote
+               ? committer_.Commit(id, participants)
+               : committer_.CommitReadOnly(id, participants);
+  };
+
+  UserKey cursor = low;
+  bool include_cursor = true;
+  bool done = false;
+  while (!done) {
+    const UserKey chunk_cursor = cursor;
+    const bool chunk_include = include_cursor;
+    Status st = Status::Ok();
+    for (int attempt = 0;; ++attempt) {
+      cursor = chunk_cursor;
+      include_cursor = chunk_include;
+      done = false;
+      st = chunk(&cursor, &include_cursor, &done);
+      if (st.ok()) break;
+      const bool retriable = st.code() == StatusCode::kAborted ||
+                             st.code() == StatusCode::kUnavailable;
+      if (!retriable || attempt >= options_.copy_retries) return st;
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Split ---
+
+Status ShardManager::Split(ShardId source, const UserKey& fence,
+                           ShardId target, QuorumConfig target_config) {
+  const auto map = authority_->Get();
+  if (map == nullptr) {
+    return Status::FailedPrecondition("no shard map installed");
+  }
+  const ShardEntry* src = map->Find(source);
+  if (src == nullptr) {
+    return Status::NotFound("source shard " + std::to_string(source) +
+                            " not in map");
+  }
+  if (src->migrating) {
+    return Status::FailedPrecondition("source shard already migrating");
+  }
+  if (map->Find(target) != nullptr || map->FindStaging(target) != nullptr) {
+    return Status::AlreadyExists("target shard id in use");
+  }
+  if (fence <= src->low) {
+    return Status::InvalidArgument("fence not inside source range");
+  }
+  for (std::size_t i = 0; i < map->entries.size(); ++i) {
+    if (map->entries[i].shard != source) continue;
+    UserKey high;
+    if (map->HighBound(i, &high) && fence >= high) {
+      return Status::InvalidArgument("fence not inside source range");
+    }
+  }
+  REPDIR_RETURN_IF_ERROR(target_config.Validate());
+
+  SplitPlan plan;
+  plan.source = source;
+  plan.target = target;
+  plan.base = map->version;
+  plan.fence = fence;
+  plan.target_config = std::move(target_config);
+
+  ByteWriter w;
+  w.PutU32(plan.source);
+  w.PutU32(plan.target);
+  w.PutU64(plan.base);
+  w.PutString(plan.fence);
+  EncodeConfig(w, plan.target_config);
+  REPDIR_RETURN_IF_ERROR(journal_->Append("SPLIT " + ToHex(w.TakeString())));
+  return RunSplit(plan, 1);
+}
+
+Status ShardManager::RunSplit(const SplitPlan& plan, int from_step) {
+  // Geometry of the move, derived from whatever map version the operation
+  // reached: the moving range is [fence, H) where H is the upper bound of
+  // the source before the flip and of the target after it.
+  const auto view = [&]() -> Result<std::pair<ShardEntry, std::pair<bool, UserKey>>> {
+    const auto map = authority_->Get();
+    const ShardEntry* src = map->Find(plan.source);
+    if (src == nullptr) {
+      return Status::Internal("source shard vanished mid-split");
+    }
+    const ShardId edge =
+        map->Find(plan.target) != nullptr ? plan.target : plan.source;
+    UserKey high;
+    bool has_high = false;
+    for (std::size_t i = 0; i < map->entries.size(); ++i) {
+      if (map->entries[i].shard == edge) {
+        has_high = map->HighBound(i, &high);
+        break;
+      }
+    }
+    return std::make_pair(*src, std::make_pair(has_high, high));
+  };
+
+  REPDIR_ASSIGN_OR_RETURN(auto geometry, view());
+  const ShardEntry src = geometry.first;
+  const bool has_high = geometry.second.first;
+  const UserKey high = geometry.second.second;
+
+  if (from_step <= 1) {
+    // 1. Target replicas learn their future range at the migration epoch.
+    REPDIR_RETURN_IF_ERROR(Configure(plan.target_config, plan.fence, has_high,
+                                     high, plan.base + 1));
+    REPDIR_RETURN_IF_ERROR(FinishStep(1));
+  }
+  if (from_step <= 2) {
+    // 2. Publish the migrating map: routers start dual-writing [fence, H).
+    if (authority_->version() < plan.base + 1) {
+      ShardMap next = *authority_->Get();
+      next.version = plan.base + 1;
+      for (ShardEntry& e : next.entries) {
+        if (e.shard != plan.source) continue;
+        e.migrating = true;
+        e.migrate_low = plan.fence;
+        e.migrate_has_high = has_high;
+        e.migrate_high = high;
+        e.migrate_to = plan.target;
+      }
+      StagingShard staging;
+      staging.shard = plan.target;
+      staging.config = plan.target_config;
+      staging.low = plan.fence;
+      staging.has_high = has_high;
+      staging.high = high;
+      next.staging.push_back(std::move(staging));
+      REPDIR_RETURN_IF_ERROR(InstallUpTo(std::move(next)));
+    }
+    REPDIR_RETURN_IF_ERROR(FinishStep(2));
+  }
+  if (from_step <= 3) {
+    // 3. Source replicas advance to the migration epoch: clients still
+    // routing by the base map bounce (kWrongShard) and refresh, so every
+    // surviving write in the moving range is a dual-write from here on.
+    REPDIR_RETURN_IF_ERROR(
+        Configure(src.config, src.low, has_high, high, plan.base + 1));
+    REPDIR_RETURN_IF_ERROR(FinishStep(3));
+  }
+  if (from_step <= 4) {
+    // 4. Copy the moving range (idempotent: insert-if-absent per chunk).
+    const auto source_suite = MakeSuite(src.config);
+    const auto target_suite = MakeSuite(plan.target_config);
+    source_suite->set_shard_epoch(plan.base + 1);
+    target_suite->set_shard_epoch(plan.base + 1);
+    REPDIR_RETURN_IF_ERROR(
+        CopyRange(*source_suite, *target_suite, plan.fence, has_high, high));
+    REPDIR_RETURN_IF_ERROR(FinishStep(4));
+  }
+  if (from_step <= 5) {
+    // 5. The flip. Order matters: fence the source FIRST (old-epoch
+    // clients can no longer read soon-stale data or land un-mirrored
+    // writes; their in-flight transactions die at PREPARE), then raise the
+    // target and publish the new map, and only then narrow the source's
+    // bounds (narrowing earlier would reject dual-writers' inserts).
+    REPDIR_RETURN_IF_ERROR(
+        Configure(src.config, src.low, has_high, high, plan.base + 2));
+    REPDIR_RETURN_IF_ERROR(Configure(plan.target_config, plan.fence, has_high,
+                                     high, plan.base + 2));
+    if (authority_->version() < plan.base + 2) {
+      ShardMap next = *authority_->Get();
+      next.version = plan.base + 2;
+      next.staging.clear();
+      for (std::size_t i = 0; i < next.entries.size(); ++i) {
+        ShardEntry& e = next.entries[i];
+        if (e.shard != plan.source) continue;
+        e.migrating = false;
+        e.migrate_low.clear();
+        e.migrate_has_high = false;
+        e.migrate_high.clear();
+        e.migrate_to = 0;
+        ShardEntry fresh;
+        fresh.shard = plan.target;
+        fresh.low = plan.fence;
+        fresh.config = plan.target_config;
+        next.entries.insert(
+            next.entries.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+            std::move(fresh));
+        break;
+      }
+      REPDIR_RETURN_IF_ERROR(InstallUpTo(std::move(next)));
+    }
+    REPDIR_RETURN_IF_ERROR(
+        Configure(src.config, src.low, true, plan.fence, plan.base + 2));
+    REPDIR_RETURN_IF_ERROR(FinishStep(5));
+  }
+  if (from_step <= 6) {
+    // 6. Retire the moved range from the source (transactional; preserves
+    // the retained range's gap versions bit-for-bit).
+    REPDIR_RETURN_IF_ERROR(Retire(src.config, plan.fence));
+    REPDIR_RETURN_IF_ERROR(FinishStep(6));
+  }
+  REPDIR_RETURN_IF_ERROR(journal_->Append("DONE"));
+  splits_->Increment();
+  return Status::Ok();
+}
+
+// --- Merge ---
+
+Status ShardManager::Merge(ShardId victim) {
+  const auto map = authority_->Get();
+  if (map == nullptr) {
+    return Status::FailedPrecondition("no shard map installed");
+  }
+  std::size_t idx = map->entries.size();
+  for (std::size_t i = 0; i < map->entries.size(); ++i) {
+    if (map->entries[i].shard == victim) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == map->entries.size()) {
+    return Status::NotFound("victim shard not in map");
+  }
+  if (idx == 0) {
+    return Status::FailedPrecondition(
+        "first shard has no left neighbor to merge into");
+  }
+  const ShardEntry& v = map->entries[idx];
+  const ShardEntry& left = map->entries[idx - 1];
+  if (v.migrating || left.migrating) {
+    return Status::FailedPrecondition("shard already migrating");
+  }
+
+  MergePlan plan;
+  plan.victim = victim;
+  plan.left = left.shard;
+  plan.base = map->version;
+  plan.victim_low = v.low;
+  plan.victim_has_high = map->HighBound(idx, &plan.victim_high);
+  plan.victim_config = v.config;
+
+  ByteWriter w;
+  w.PutU32(plan.victim);
+  w.PutU32(plan.left);
+  w.PutU64(plan.base);
+  w.PutString(plan.victim_low);
+  w.PutBool(plan.victim_has_high);
+  w.PutString(plan.victim_high);
+  EncodeConfig(w, plan.victim_config);
+  REPDIR_RETURN_IF_ERROR(journal_->Append("MERGE " + ToHex(w.TakeString())));
+  return RunMerge(plan, 1);
+}
+
+Status ShardManager::RunMerge(const MergePlan& plan, int from_step) {
+  const auto map = authority_->Get();
+  const ShardEntry* left = map->Find(plan.left);
+  if (left == nullptr) {
+    return Status::Internal("merge target shard vanished");
+  }
+  const ShardEntry left_entry = *left;
+
+  if (from_step <= 1) {
+    // 1. Widen the surviving shard's replica bounds so copied and
+    // dual-written keys from the victim's range pass its insert tripwire.
+    REPDIR_RETURN_IF_ERROR(Configure(left_entry.config, left_entry.low,
+                                     plan.victim_has_high, plan.victim_high,
+                                     plan.base + 1));
+    REPDIR_RETURN_IF_ERROR(FinishStep(1));
+  }
+  if (from_step <= 2) {
+    // 2. Publish the migrating map: the victim's whole range dual-writes
+    // into the left neighbor.
+    if (authority_->version() < plan.base + 1) {
+      ShardMap next = *authority_->Get();
+      next.version = plan.base + 1;
+      for (ShardEntry& e : next.entries) {
+        if (e.shard != plan.victim) continue;
+        e.migrating = true;
+        e.migrate_low = plan.victim_low;
+        e.migrate_has_high = plan.victim_has_high;
+        e.migrate_high = plan.victim_high;
+        e.migrate_to = plan.left;
+      }
+      REPDIR_RETURN_IF_ERROR(InstallUpTo(std::move(next)));
+    }
+    REPDIR_RETURN_IF_ERROR(FinishStep(2));
+  }
+  if (from_step <= 3) {
+    // 3. Victim replicas advance to the migration epoch (fence base-map
+    // clients).
+    REPDIR_RETURN_IF_ERROR(Configure(plan.victim_config, plan.victim_low,
+                                     plan.victim_has_high, plan.victim_high,
+                                     plan.base + 1));
+    REPDIR_RETURN_IF_ERROR(FinishStep(3));
+  }
+  if (from_step <= 4) {
+    // 4. Copy the victim's entries into the left neighbor.
+    const auto victim_suite = MakeSuite(plan.victim_config);
+    const auto left_suite = MakeSuite(left_entry.config);
+    victim_suite->set_shard_epoch(plan.base + 1);
+    left_suite->set_shard_epoch(plan.base + 1);
+    REPDIR_RETURN_IF_ERROR(CopyRange(*victim_suite, *left_suite,
+                                     plan.victim_low, plan.victim_has_high,
+                                     plan.victim_high));
+    REPDIR_RETURN_IF_ERROR(FinishStep(4));
+  }
+  if (from_step <= 5) {
+    // 5. The flip, victim fenced first (same ordering rationale as the
+    // split's step 5), then the map without it, then the victim's bounds
+    // collapse to an empty range.
+    REPDIR_RETURN_IF_ERROR(Configure(plan.victim_config, plan.victim_low,
+                                     plan.victim_has_high, plan.victim_high,
+                                     plan.base + 2));
+    REPDIR_RETURN_IF_ERROR(Configure(left_entry.config, left_entry.low,
+                                     plan.victim_has_high, plan.victim_high,
+                                     plan.base + 2));
+    if (authority_->version() < plan.base + 2) {
+      ShardMap next = *authority_->Get();
+      next.version = plan.base + 2;
+      for (std::size_t i = 0; i < next.entries.size(); ++i) {
+        if (next.entries[i].shard != plan.victim) continue;
+        next.entries.erase(next.entries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      REPDIR_RETURN_IF_ERROR(InstallUpTo(std::move(next)));
+    }
+    REPDIR_RETURN_IF_ERROR(Configure(plan.victim_config, plan.victim_low,
+                                     true, plan.victim_low, plan.base + 2));
+    REPDIR_RETURN_IF_ERROR(FinishStep(5));
+  }
+  if (from_step <= 6) {
+    // 6. Retire everything the victim held.
+    REPDIR_RETURN_IF_ERROR(Retire(plan.victim_config, plan.victim_low));
+    REPDIR_RETURN_IF_ERROR(FinishStep(6));
+  }
+  REPDIR_RETURN_IF_ERROR(journal_->Append("DONE"));
+  merges_->Increment();
+  return Status::Ok();
+}
+
+// --- Resume / reconfigure ---
+
+Status ShardManager::Resume() {
+  REPDIR_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          journal_->ReadAll());
+  std::string kind;
+  std::string hex;
+  int last_step = 0;
+  for (const std::string& line : lines) {
+    if (line.rfind("SPLIT ", 0) == 0) {
+      kind = "SPLIT";
+      hex = line.substr(6);
+      last_step = 0;
+    } else if (line.rfind("MERGE ", 0) == 0) {
+      kind = "MERGE";
+      hex = line.substr(6);
+      last_step = 0;
+    } else if (line.rfind("STEP ", 0) == 0) {
+      last_step = std::atoi(line.c_str() + 5);
+    } else if (line == "DONE") {
+      kind.clear();
+    }
+  }
+  if (kind.empty()) return Status::Ok();
+
+  std::string bytes;
+  REPDIR_RETURN_IF_ERROR(FromHex(hex, &bytes));
+  ByteReader r(bytes);
+  if (kind == "SPLIT") {
+    SplitPlan plan;
+    REPDIR_RETURN_IF_ERROR(r.GetU32(plan.source));
+    REPDIR_RETURN_IF_ERROR(r.GetU32(plan.target));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(plan.base));
+    REPDIR_RETURN_IF_ERROR(r.GetString(plan.fence));
+    REPDIR_RETURN_IF_ERROR(DecodeConfig(r, &plan.target_config));
+    return RunSplit(plan, last_step + 1);
+  }
+  MergePlan plan;
+  REPDIR_RETURN_IF_ERROR(r.GetU32(plan.victim));
+  REPDIR_RETURN_IF_ERROR(r.GetU32(plan.left));
+  REPDIR_RETURN_IF_ERROR(r.GetU64(plan.base));
+  REPDIR_RETURN_IF_ERROR(r.GetString(plan.victim_low));
+  REPDIR_RETURN_IF_ERROR(r.GetBool(plan.victim_has_high));
+  REPDIR_RETURN_IF_ERROR(r.GetString(plan.victim_high));
+  REPDIR_RETURN_IF_ERROR(DecodeConfig(r, &plan.victim_config));
+  return RunMerge(plan, last_step + 1);
+}
+
+Status ShardManager::ReconfigureAll() {
+  const auto map = authority_->Get();
+  if (map == nullptr) {
+    return Status::FailedPrecondition("no shard map installed");
+  }
+  for (std::size_t i = 0; i < map->entries.size(); ++i) {
+    const ShardEntry& e = map->entries[i];
+    UserKey high;
+    const bool has_high = map->HighBound(i, &high);
+    REPDIR_RETURN_IF_ERROR(
+        Configure(e.config, e.low, has_high, high, map->version));
+  }
+  return Status::Ok();
+}
+
+}  // namespace repdir::rep

@@ -1,0 +1,195 @@
+// ShardManager: online shard split and merge.
+//
+// Both reconfigurations are multi-step, crash-safe protocols that keep the
+// directory serving reads and writes throughout. The manager journals its
+// progress (one record per completed step) and an interrupted operation is
+// re-driven by Resume(): every step is idempotent, so replaying from the
+// last recorded step is always safe.
+//
+// Split of shard S at fence key m into new shard T (base map version v):
+//   1. configure T's replicas: range [m, high(S)), epoch v+1;
+//   2. install map v+1 - S marked migrating [m, high(S)) -> T, T staging.
+//      Routers picking this up dual-write every [m, ..) mutation to both;
+//   3. configure S's replicas at epoch v+1, fencing routers still at v
+//      (their next write bounces with kWrongShard and re-routes). From here
+//      no mutation in the moving range can land on S alone;
+//   4. copy [m, high(S)) from S to T in chunked cross-shard transactions:
+//      each chunk reads from S under that transaction's read locks and
+//      insert-if-absent's into T through the target suite's ordinary
+//      versioned write path, finishing with one two-phase commit - a chunk
+//      either moves entirely or not at all, and a dual-written newer value
+//      on T is never overwritten;
+//   5. the flip: configure T at epoch v+2, install map v+2 (S's range ends
+//      at m, T owns [m, high(S))), configure S narrowed at epoch v+2.
+//      Reads of the moved range now go to T;
+//   6. retire: erase every entry >= m from S's replicas under one 2PC
+//      (kRetireRange preserves the surviving range's gap versions exactly,
+//      so S's remaining keyspace is untouched - see rep/messages.h).
+//
+// Merge of shard T into its LEFT neighbor S is the mirror image: widen S's
+// replica bounds first, mark T migrating (everything) -> S, copy, flip to
+// a map without T, retire T's whole range.
+//
+// The manager is the single writer of the ShardMapAuthority; run one
+// manager per deployment. Its client node id must be distinct from every
+// representative and every router (it coordinates transactions).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/rpc_client.h"
+#include "rep/dir_suite.h"
+#include "rep/shard_map.h"
+#include "txn/coordinator.h"
+#include "txn/txn_id.h"
+
+namespace repdir::rep {
+
+/// Durable append-only progress record of the shard manager. One line per
+/// event; Append must not return until the line would survive the
+/// manager's death (the file journal flushes through to the OS).
+class ShardJournal {
+ public:
+  virtual ~ShardJournal() = default;
+  virtual Status Append(const std::string& line) = 0;
+  virtual Result<std::vector<std::string>> ReadAll() = 0;
+};
+
+/// In-memory journal: survives nothing, but lets tests drive the resume
+/// path by handing the same instance to a successor manager.
+class MemShardJournal final : public ShardJournal {
+ public:
+  Status Append(const std::string& line) override {
+    lines_.push_back(line);
+    return Status::Ok();
+  }
+  Result<std::vector<std::string>> ReadAll() override { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// File-backed journal (append + flush per record).
+class FileShardJournal final : public ShardJournal {
+ public:
+  explicit FileShardJournal(std::string path) : path_(std::move(path)) {}
+  Status Append(const std::string& line) override;
+  Result<std::vector<std::string>> ReadAll() override;
+
+ private:
+  std::string path_;
+};
+
+class ShardManager {
+ public:
+  struct Options {
+    /// Entries moved per copy transaction. Smaller chunks shorten the
+    /// read-lock window on the source (less writer stalling); larger ones
+    /// amortize the per-chunk 2PC.
+    std::size_t copy_chunk = 32;
+
+    /// Retries of a copy chunk whose 2PC aborted (lock conflicts with
+    /// dual-writing routers resolve on retry).
+    int copy_retries = 8;
+
+    /// Crash injection for tests: fail with kAborted right after journaling
+    /// completion of this step number (-1 = off). A successor manager on
+    /// the same journal resumes from there.
+    int fail_after_step = -1;
+
+    net::RetryPolicy rpc_retry{3};
+    MetricsRegistry* metrics = nullptr;
+
+    /// Progress journal; null = a private in-memory journal (no crash
+    /// safety, fine for benches).
+    ShardJournal* journal = nullptr;
+  };
+
+  ShardManager(net::Transport& transport, NodeId client_node,
+               ShardMapAuthority& authority, Options options);
+  ShardManager(net::Transport& transport, NodeId client_node,
+               ShardMapAuthority& authority)
+      : ShardManager(transport, client_node, authority, Options()) {}
+
+  /// Splits `source` at `fence`: keys >= fence move to the new shard
+  /// `target` replicated per `target_config`. The fence must fall strictly
+  /// inside the source's range and `target` must be a fresh shard id.
+  Status Split(ShardId source, const UserKey& fence, ShardId target,
+               QuorumConfig target_config);
+
+  /// Merges shard `victim` into its left neighbor; the victim must not be
+  /// the first shard.
+  Status Merge(ShardId victim);
+
+  /// Re-drives the journal's unfinished operation, if any (idempotent;
+  /// OK when nothing is pending).
+  Status Resume();
+
+  /// Pushes every shard's current range/epoch to its replicas - after a
+  /// replica process restart, whose shard bounds are volatile.
+  Status ReconfigureAll();
+
+ private:
+  struct SplitPlan {
+    ShardId source = 0;
+    ShardId target = 0;
+    std::uint64_t base = 0;  ///< Map version the operation started from.
+    UserKey fence;
+    QuorumConfig target_config;
+  };
+  struct MergePlan {
+    ShardId victim = 0;
+    ShardId left = 0;
+    std::uint64_t base = 0;
+    UserKey victim_low;
+    bool victim_has_high = false;
+    UserKey victim_high;
+    QuorumConfig victim_config;
+  };
+
+  Status RunSplit(const SplitPlan& plan, int from_step);
+  Status RunMerge(const MergePlan& plan, int from_step);
+
+  /// Journals completion of `step` and applies the injected crash.
+  Status FinishStep(int step);
+
+  /// Installs `map` unless the authority is already at (or past) its
+  /// version - the resume-idempotent install.
+  Status InstallUpTo(ShardMap map);
+
+  /// Pushes [low, high) @ epoch to every replica of `config`.
+  Status Configure(const QuorumConfig& config, const UserKey& low,
+                   bool has_high, const UserKey& high, std::uint64_t epoch);
+
+  /// Erases every entry >= `low` from all of `config`'s replicas under one
+  /// two-phase commit.
+  Status Retire(const QuorumConfig& config, const UserKey& low);
+
+  /// Copies every entry with key in [low, high) from `source` to `target`
+  /// in chunked cross-shard transactions (insert-if-absent on the target).
+  Status CopyRange(DirectorySuite& source, DirectorySuite& target,
+                   const UserKey& low, bool has_high, const UserKey& high);
+
+  std::unique_ptr<DirectorySuite> MakeSuite(const QuorumConfig& config);
+
+  net::Transport* transport_;
+  NodeId client_node_;
+  ShardMapAuthority* authority_;
+  Options options_;
+  std::unique_ptr<MemShardJournal> own_journal_;
+  ShardJournal* journal_;
+  txn::TxnIdFactory txn_ids_;
+  net::RpcClient ctl_;
+  txn::TwoPhaseCommitter committer_;
+
+  Counter* splits_;         ///< "shardmgr.splits"
+  Counter* merges_;         ///< "shardmgr.merges"
+  Counter* copy_txns_;      ///< "shardmgr.copy.txns"
+  Counter* copied_;         ///< "shardmgr.copy.entries"
+  Counter* retired_;        ///< "shardmgr.retired.entries"
+};
+
+}  // namespace repdir::rep

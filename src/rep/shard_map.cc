@@ -1,0 +1,115 @@
+#include "rep/shard_map.h"
+
+#include <set>
+#include <utility>
+
+namespace repdir::rep {
+
+std::size_t ShardMap::OwnerIndex(const UserKey& key) const {
+  // Last entry with low <= key. entries[0].low == "" guarantees a match.
+  std::size_t lo = 0;
+  std::size_t hi = entries.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (entries[mid].low <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+const ShardEntry* ShardMap::Find(ShardId shard) const {
+  for (const auto& e : entries) {
+    if (e.shard == shard) return &e;
+  }
+  return nullptr;
+}
+
+const StagingShard* ShardMap::FindStaging(ShardId shard) const {
+  for (const auto& s : staging) {
+    if (s.shard == shard) return &s;
+  }
+  return nullptr;
+}
+
+Status ShardMap::Validate() const {
+  if (entries.empty()) {
+    return Status::InvalidArgument("shard map has no entries");
+  }
+  if (!entries[0].low.empty()) {
+    return Status::InvalidArgument(
+        "first shard must start at the keyspace origin (low == \"\")");
+  }
+  std::set<ShardId> ids;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ShardEntry& e = entries[i];
+    if (i > 0 && entries[i - 1].low >= e.low) {
+      return Status::InvalidArgument("shard range starts not increasing");
+    }
+    if (!ids.insert(e.shard).second) {
+      return Status::InvalidArgument("duplicate shard id " +
+                                     std::to_string(e.shard));
+    }
+    REPDIR_RETURN_IF_ERROR(e.config.Validate());
+    if (e.migrating && Find(e.migrate_to) == nullptr &&
+        FindStaging(e.migrate_to) == nullptr) {
+      return Status::InvalidArgument("migration target shard " +
+                                     std::to_string(e.migrate_to) +
+                                     " not in map");
+    }
+  }
+  for (const auto& s : staging) {
+    if (!ids.insert(s.shard).second) {
+      return Status::InvalidArgument("duplicate shard id " +
+                                     std::to_string(s.shard));
+    }
+    REPDIR_RETURN_IF_ERROR(s.config.Validate());
+  }
+  return Status::Ok();
+}
+
+std::string ShardMap::ToString() const {
+  std::string out = "v" + std::to_string(version) + ":";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ShardEntry& e = entries[i];
+    out += " shard" + std::to_string(e.shard) + "=[" + e.low + ",";
+    UserKey high;
+    if (HighBound(i, &high)) out += high;
+    out += ")";
+    if (e.migrating) {
+      out += "~>" + std::to_string(e.migrate_to);
+    }
+  }
+  for (const auto& s : staging) {
+    out += " staging{shard" + std::to_string(s.shard) + "}";
+  }
+  return out;
+}
+
+Status ShardMapAuthority::Install(ShardMap map) {
+  REPDIR_RETURN_IF_ERROR(map.Validate());
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t current = map_ == nullptr ? 0 : map_->version;
+  if (map.version <= current) {
+    return Status::VersionMismatch(
+        "shard map version " + std::to_string(map.version) +
+        " does not exceed installed version " + std::to_string(current));
+  }
+  map_ = std::make_shared<const ShardMap>(std::move(map));
+  return Status::Ok();
+}
+
+ShardMap SingleShardMap(ShardId shard, QuorumConfig config,
+                        std::uint64_t version) {
+  ShardMap map;
+  map.version = version;
+  ShardEntry entry;
+  entry.shard = shard;
+  entry.config = std::move(config);
+  map.entries.push_back(std::move(entry));
+  return map;
+}
+
+}  // namespace repdir::rep

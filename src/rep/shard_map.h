@@ -1,0 +1,135 @@
+// Range partitioning of the directory keyspace: the shard map.
+//
+// A sharded deployment runs several independent directory suites - each a
+// complete Daniels/Spector replicated directory with its own replica set
+// and quorum configuration - and assigns each a contiguous range of user
+// keys. The ShardMap is the versioned routing table:
+//
+//   * `entries` is sorted by range start; entry i owns user keys in
+//     [entries[i].low, entries[i+1].low), the last entry unbounded above.
+//     entries[0].low is always "" (the smallest user key), so every key has
+//     exactly one owner.
+//   * A shard undergoing an online split or merge carries a `migrating`
+//     marker: writes landing in [migrate_low, migrate_high) must ALSO be
+//     applied to shard `migrate_to` (the router's dual-write), so the copy
+//     loop can never lose a racing update.
+//   * `staging` lists shards that are configured and reachable but do not
+//     own a range yet - the target of an in-flight split before the flip.
+//
+// The map version doubles as the shard EPOCH: every router stamps it into
+// its RPC envelopes (net::RpcRequest::shard_epoch) and representatives
+// configured with a newer epoch answer kWrongShard, fencing clients that
+// still route by a retired map (see rep/dir_rep_node.h).
+//
+// ShardMapAuthority is the installation point: a thread-safe versioned
+// store with a single rule - versions only ever increase. In a real system
+// it would live in a metadata service; here it is process-local state the
+// shard manager mutates and routers poll.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rep/quorum.h"
+
+namespace repdir::rep {
+
+using ShardId = std::uint32_t;
+
+/// One range-owning shard.
+struct ShardEntry {
+  ShardId shard = 0;
+  UserKey low;          ///< Inclusive range start ("" for the first entry).
+  QuorumConfig config;  ///< The shard's replica set / vote assignment.
+
+  /// Online migration marker: while set, writes in
+  /// [migrate_low, migrate_high) - `migrate_has_high` false meaning
+  /// unbounded above - dual-write to shard `migrate_to`.
+  bool migrating = false;
+  UserKey migrate_low;
+  bool migrate_has_high = false;
+  UserKey migrate_high;
+  ShardId migrate_to = 0;
+};
+
+/// A shard that exists (replicas configured) but owns no range yet: the
+/// target of an in-flight split, holding the range it WILL own.
+struct StagingShard {
+  ShardId shard = 0;
+  QuorumConfig config;
+  UserKey low;  ///< Planned range (informational; routing ignores it).
+  bool has_high = false;
+  UserKey high;
+};
+
+struct ShardMap {
+  std::uint64_t version = 0;  ///< Monotone; also the fence epoch.
+  std::vector<ShardEntry> entries;
+  std::vector<StagingShard> staging;
+
+  /// Index of the entry owning `key` (entries must be valid; see
+  /// Validate()).
+  std::size_t OwnerIndex(const UserKey& key) const;
+  const ShardEntry& OwnerOf(const UserKey& key) const {
+    return entries[OwnerIndex(key)];
+  }
+
+  /// The exclusive upper bound of entry `idx`; false = unbounded above.
+  bool HighBound(std::size_t idx, UserKey* high) const {
+    if (idx + 1 >= entries.size()) return false;
+    if (high != nullptr) *high = entries[idx + 1].low;
+    return true;
+  }
+
+  const ShardEntry* Find(ShardId shard) const;
+  const StagingShard* FindStaging(ShardId shard) const;
+
+  /// Structural soundness: at least one entry, entries[0].low == "",
+  /// strictly increasing range starts, shard ids unique across entries and
+  /// staging, every per-shard quorum config valid, and every migration
+  /// target resolvable.
+  Status Validate() const;
+
+  /// "v3: shard1=[,m) shard2=[m,) staging{shard3}" - for logs and tests.
+  std::string ToString() const;
+};
+
+/// The versioned installation point routers poll and the shard manager
+/// writes. Install enforces strictly increasing versions, so a stale
+/// manager resume can never roll the routing table backwards.
+class ShardMapAuthority {
+ public:
+  ShardMapAuthority() = default;
+
+  /// The current map; null until the first Install. The snapshot is
+  /// immutable - readers may hold it across any number of installs.
+  std::shared_ptr<const ShardMap> Get() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_;
+  }
+
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_ == nullptr ? 0 : map_->version;
+  }
+
+  /// Installs `map` iff it validates and its version exceeds the current
+  /// one (kVersionMismatch otherwise - the caller lost an install race or
+  /// is replaying an already-applied step).
+  Status Install(ShardMap map);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ShardMap> map_;
+};
+
+/// Single-suite convenience: a one-entry map over the whole keyspace.
+ShardMap SingleShardMap(ShardId shard, QuorumConfig config,
+                        std::uint64_t version = 1);
+
+}  // namespace repdir::rep

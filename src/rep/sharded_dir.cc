@@ -1,0 +1,367 @@
+#include "rep/sharded_dir.h"
+
+#include <cassert>
+#include <set>
+#include <utility>
+
+namespace repdir::rep {
+
+namespace {
+
+constexpr txn::TxnControlMethods kTxnMethods{kPrepare, kCommit, kAbortTxn};
+
+StatusCode CodeOf(const Status& st) { return st.code(); }
+
+template <typename T>
+StatusCode CodeOf(const Result<T>& r) {
+  return r.ok() ? StatusCode::kOk : r.status().code();
+}
+
+StatusCode CodeOf(const DirectorySuite::BatchResult& r) {
+  return r.status.code();
+}
+
+}  // namespace
+
+ShardedDirectory::ShardedDirectory(net::Transport& transport,
+                                   NodeId client_node,
+                                   ShardMapAuthority& authority,
+                                   Options options)
+    : transport_(&transport),
+      client_node_(client_node),
+      authority_(&authority),
+      options_(std::move(options)),
+      txn_ids_(client_node),
+      ctl_(transport, client_node, options_.metrics),
+      committer_(ctl_, kTxnMethods, options_.rpc_retry) {
+  MetricsRegistry& metrics = ctl_.metrics();
+  reroutes_ = &metrics.counter("router.reroutes");
+  refreshes_ = &metrics.counter("router.map_refreshes");
+  cross_shard_ = &metrics.counter("router.txn.cross_shard");
+  mirrored_ = &metrics.counter("router.writes.mirrored");
+  clamped_ = &metrics.counter("router.scan.clamped");
+  auto map = authority_->Get();
+  assert(map != nullptr && "ShardMapAuthority has no installed map");
+  AdoptMap(std::move(map));
+}
+
+DirectorySuite& ShardedDirectory::SuiteFor(ShardId shard) {
+  auto it = suites_.find(shard);
+  assert(it != suites_.end() && "no suite for shard");
+  return *it->second;
+}
+
+DirectorySuite* ShardedDirectory::shard_suite(ShardId shard) {
+  auto it = suites_.find(shard);
+  return it == suites_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ShardId> ShardedDirectory::shard_ids() const {
+  std::vector<ShardId> ids;
+  ids.reserve(map_->entries.size());
+  for (const auto& e : map_->entries) ids.push_back(e.shard);
+  return ids;
+}
+
+void ShardedDirectory::RefreshMap() {
+  refreshes_->Increment();
+  auto map = authority_->Get();
+  if (map != nullptr) AdoptMap(std::move(map));
+}
+
+void ShardedDirectory::AdoptMap(std::shared_ptr<const ShardMap> map) {
+  // Build any missing suites. A shard id's replica set is immutable for the
+  // life of the shard (splits create NEW shard ids), so an existing suite
+  // is always current.
+  const auto ensure = [&](ShardId shard, const QuorumConfig& config) {
+    if (suites_.find(shard) != suites_.end()) return;
+    SuiteOptions o;
+    o.config = config;
+    o.policy_seed = options_.policy_seed + shard;
+    o.rpc_retry = options_.rpc_retry;
+    o.neighbor_batch = options_.neighbor_batch;
+    o.enable_version_cache = options_.enable_version_cache;
+    o.metrics = options_.metrics;
+    o.trace = options_.trace;
+    o.metric_scope = "shard" + std::to_string(shard);
+    o.txn_ids = &txn_ids_;
+    o.decision_hook = options_.decision_hook;
+    suites_.emplace(shard, std::make_unique<DirectorySuite>(
+                               *transport_, client_node_, std::move(o)));
+  };
+  for (const auto& e : map->entries) ensure(e.shard, e.config);
+  for (const auto& s : map->staging) ensure(s.shard, s.config);
+
+  // Drop suites of shards that left the map (merged away and retired).
+  for (auto it = suites_.begin(); it != suites_.end();) {
+    if (map->Find(it->first) == nullptr &&
+        map->FindStaging(it->first) == nullptr) {
+      it = suites_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Stamp the new epoch into every client LAST: a suite must exist for
+  // every shard the fence could bounce us toward.
+  for (auto& [shard, suite] : suites_) suite->set_shard_epoch(map->version);
+  ctl_.set_shard_epoch(map->version);
+  map_ = std::move(map);
+}
+
+template <typename Fn>
+auto ShardedDirectory::WithReroute(Fn&& fn) -> decltype(fn()) {
+  auto out = fn();
+  for (int i = 0;
+       i < options_.max_reroutes && CodeOf(out) == StatusCode::kWrongShard;
+       ++i) {
+    reroutes_->Increment();
+    RefreshMap();
+    out = fn();
+  }
+  return out;
+}
+
+bool ShardedDirectory::InMigrationRange(const ShardEntry& owner,
+                                        const UserKey& key) {
+  if (!owner.migrating) return false;
+  if (key < owner.migrate_low) return false;
+  return !owner.migrate_has_high || key < owner.migrate_high;
+}
+
+void ShardedDirectory::NotifyDecision(TxnId txn, bool committed) {
+  if (options_.decision_hook) options_.decision_hook(txn, committed);
+}
+
+// --- Single-shot operations ---
+
+Result<ShardedDirectory::LookupResult> ShardedDirectory::Lookup(
+    const UserKey& key) {
+  return WithReroute([&]() -> Result<LookupResult> {
+    return SuiteFor(map_->OwnerOf(key).shard).Lookup(key);
+  });
+}
+
+Status ShardedDirectory::Insert(const UserKey& key, const Value& value) {
+  return WithReroute([&] { return RoutedWrite(key, WriteKind::kInsert, value); });
+}
+
+Status ShardedDirectory::Update(const UserKey& key, const Value& value) {
+  return WithReroute([&] { return RoutedWrite(key, WriteKind::kUpdate, value); });
+}
+
+Status ShardedDirectory::Delete(const UserKey& key) {
+  return WithReroute([&] { return RoutedWrite(key, WriteKind::kDelete, {}); });
+}
+
+Status ShardedDirectory::MirrorWrite(SuiteTxn& target, WriteKind kind,
+                                     const UserKey& key, const Value& value) {
+  if (kind == WriteKind::kDelete) {
+    // The handoff copy may never have shipped this key.
+    const Status st = target.Delete(key);
+    return st.code() == StatusCode::kNotFound ? Status::Ok() : st;
+  }
+  // Upsert: the copy loop may already have landed the key on the target
+  // (then this write must supersede it) or not yet (then it must create
+  // it - the copier's insert-if-absent will keep this newer value).
+  const auto current = target.Lookup(key);
+  if (!current.ok()) return current.status();
+  return current->found ? target.Update(key, value)
+                        : target.Insert(key, value);
+}
+
+Status ShardedDirectory::RoutedWrite(const UserKey& key, WriteKind kind,
+                                     const Value& value) {
+  const ShardEntry& owner = map_->OwnerOf(key);
+  DirectorySuite& source = SuiteFor(owner.shard);
+  if (!InMigrationRange(owner, key)) {
+    switch (kind) {
+      case WriteKind::kInsert: return source.Insert(key, value);
+      case WriteKind::kUpdate: return source.Update(key, value);
+      case WriteKind::kDelete: return source.Delete(key);
+    }
+  }
+
+  // Mid-migration dual-write: one transaction spanning the source (still
+  // authoritative for reads) and the migration target, one 2PC. The source
+  // op supplies the user-visible semantics (kAlreadyExists/kNotFound
+  // checks); the target mirror keeps the handoff copy from losing it.
+  mirrored_->Increment();
+  cross_shard_->Increment();
+  const TxnId id = txn_ids_.Next();
+  SuiteTxn source_txn = source.BeginAt(id);
+  SuiteTxn target_txn = SuiteFor(owner.migrate_to).BeginAt(id);
+  Status st = Status::Ok();
+  switch (kind) {
+    case WriteKind::kInsert: st = source_txn.Insert(key, value); break;
+    case WriteKind::kUpdate: st = source_txn.Update(key, value); break;
+    case WriteKind::kDelete: st = source_txn.Delete(key); break;
+  }
+  if (st.ok()) st = MirrorWrite(target_txn, kind, key, value);
+  if (!st.ok()) {
+    source_txn.Abort();
+    target_txn.Abort();
+    NotifyDecision(id, false);
+    return st;
+  }
+  const DirectorySuite::Handoff hs = source_txn.Detach();
+  const DirectorySuite::Handoff ht = target_txn.Detach();
+  std::set<NodeId> participants = hs.participants;
+  participants.insert(ht.participants.begin(), ht.participants.end());
+  const Status commit = committer_.Commit(id, participants);
+  NotifyDecision(id, commit.ok());
+  return commit;
+}
+
+// --- Ordered iteration ---
+
+Result<ShardedDirectory::NextKeyResult> ShardedDirectory::StitchedNext(
+    const UserKey& key, bool first_key) {
+  const ShardMap& map = *map_;
+  for (std::size_t idx = first_key ? 0 : map.OwnerIndex(key);
+       idx < map.entries.size(); ++idx) {
+    const ShardEntry& entry = map.entries[idx];
+    DirectorySuite& suite = SuiteFor(entry.shard);
+    UserKey high;
+    const bool bounded = map.HighBound(idx, &high);
+    // For shards after the owner every key exceeds `key` (their ranges
+    // start above it), so the same NextKey(key) probe finds their smallest
+    // entry.
+    auto step = first_key ? suite.FirstKey() : suite.NextKey(key);
+    for (;;) {
+      if (!step.ok()) return step.status();
+      if (!step->found) break;
+      if (step->key < entry.low) {
+        // Stale leftover below the shard's range; skip past it.
+        clamped_->Increment();
+        step = suite.NextKey(step->key);
+        continue;
+      }
+      if (bounded && step->key >= high) {
+        // A migrated-away tail this shard has not retired yet; the owner
+        // of that range answers authoritatively in a later iteration.
+        clamped_->Increment();
+        break;
+      }
+      return *step;
+    }
+  }
+  return NextKeyResult{};
+}
+
+Result<ShardedDirectory::NextKeyResult> ShardedDirectory::NextKey(
+    const UserKey& key) {
+  return WithReroute([&] { return StitchedNext(key, /*first_key=*/false); });
+}
+
+Result<ShardedDirectory::NextKeyResult> ShardedDirectory::FirstKey() {
+  return WithReroute([&] { return StitchedNext({}, /*first_key=*/true); });
+}
+
+Result<std::vector<ShardedDirectory::ScanEntry>> ShardedDirectory::Scan() {
+  std::vector<ScanEntry> out;
+  auto step = FirstKey();
+  while (step.ok() && step->found) {
+    out.push_back({step->key, step->value});
+    step = NextKey(step->key);
+  }
+  REPDIR_RETURN_IF_ERROR(step.status());
+  return out;
+}
+
+// --- Batches ---
+
+ShardedDirectory::BatchResult ShardedDirectory::ExecuteBatch(
+    const std::vector<BatchOp>& ops) {
+  return WithReroute([&]() -> BatchResult {
+    const ShardMap& map = *map_;
+
+    // Group op indices by owning shard, in range order; remember which ops
+    // need a migration mirror.
+    std::map<std::size_t, std::vector<std::size_t>> groups;  // entry idx ->
+    std::vector<std::size_t> mirrored;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::size_t idx = map.OwnerIndex(ops[i].key);
+      groups[idx].push_back(i);
+      if (ops[i].kind != BatchOp::Kind::kLookup &&
+          InMigrationRange(map.entries[idx], ops[i].key)) {
+        mirrored.push_back(i);
+      }
+    }
+
+    BatchResult out;
+    if (ops.empty()) {
+      out.status = Status::Ok();
+      return out;
+    }
+    if (groups.size() == 1 && mirrored.empty()) {
+      // Single-shard batch: the suite's own two-wave path, unchanged.
+      return SuiteFor(map.entries[groups.begin()->first].shard)
+          .ExecuteBatch(ops);
+    }
+
+    // Cross-shard: one transaction id, one SuiteTxn per touched shard, one
+    // decision.
+    cross_shard_->Increment();
+    out.ops.resize(ops.size());
+    const TxnId id = txn_ids_.Next();
+    std::map<ShardId, SuiteTxn> txns;
+    const auto txn_for = [&](ShardId shard) -> SuiteTxn& {
+      auto it = txns.find(shard);
+      if (it == txns.end()) {
+        it = txns.emplace(shard, SuiteFor(shard).BeginAt(id)).first;
+      }
+      return it->second;
+    };
+    const auto abort_all = [&](const Status& why) {
+      for (auto& [shard, txn] : txns) txn.Abort();
+      NotifyDecision(id, false);
+      out.status = why;
+      return out;
+    };
+
+    for (const auto& [entry_idx, indices] : groups) {
+      const ShardId shard = map.entries[entry_idx].shard;
+      std::vector<BatchOp> sub;
+      sub.reserve(indices.size());
+      for (const std::size_t i : indices) sub.push_back(ops[i]);
+      auto sub_results = txn_for(shard).ExecuteBatch(sub);
+      if (!sub_results.ok()) return abort_all(sub_results.status());
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        out.ops[indices[j]] = std::move((*sub_results)[j]);
+      }
+    }
+
+    for (const std::size_t i : mirrored) {
+      if (!out.ops[i].status.ok()) continue;  // clean check failure: no-op
+      mirrored_->Increment();
+      const ShardEntry& owner = map.entries[map.OwnerIndex(ops[i].key)];
+      const WriteKind kind = ops[i].kind == BatchOp::Kind::kInsert
+                                 ? WriteKind::kInsert
+                                 : WriteKind::kUpdate;
+      const Status st =
+          MirrorWrite(txn_for(owner.migrate_to), kind, ops[i].key,
+                      ops[i].value);
+      if (!st.ok()) return abort_all(st);
+    }
+
+    std::set<NodeId> participants;
+    bool wrote = false;
+    for (auto& [shard, txn] : txns) {
+      const DirectorySuite::Handoff handoff = txn.Detach();
+      participants.insert(handoff.participants.begin(),
+                          handoff.participants.end());
+      wrote = wrote || handoff.wrote;
+    }
+    Status commit = Status::Ok();
+    if (!participants.empty()) {
+      commit = wrote ? committer_.Commit(id, participants)
+                     : committer_.CommitReadOnly(id, participants);
+    }
+    NotifyDecision(id, commit.ok());
+    out.status = commit;
+    return out;
+  });
+}
+
+}  // namespace repdir::rep

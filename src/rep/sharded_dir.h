@@ -1,0 +1,183 @@
+// ShardedDirectory: the range-partitioned directory, client side.
+//
+// A router over N per-shard DirectorySuites that exposes the SAME
+// directory API as a single suite - Lookup/Insert/Update/Delete, ordered
+// iteration, batches - while partitioning user keys across shards by range
+// (see rep/shard_map.h). Key properties:
+//
+//   * Per-key routing: every operation consults the current shard map
+//     snapshot and runs on the owning shard's suite. The suite keeps its
+//     full per-shard quorum/transaction machinery, so a single-shard
+//     operation costs exactly what it would in an unsharded deployment.
+//   * Stale-map recovery: representatives fence requests carrying an old
+//     shard epoch with kWrongShard (rep/dir_rep_node.h). The router reacts
+//     by re-reading the authority, re-stamping its clients, and re-routing
+//     the operation - bounded by Options::max_reroutes.
+//   * Cross-shard transactions: a batch spanning shards, or a write that
+//     must dual-apply during an online migration, opens one SuiteTxn per
+//     touched shard under ONE transaction id (replica sets are disjoint;
+//     all suites share the router's TxnIdFactory), detaches each, and
+//     drives a single two-phase commit over the union of participants -
+//     all-or-nothing across shards.
+//   * Deletes never cross shards: each shard's storage carries its own
+//     LOW/HIGH sentinels, so a delete's Fig. 13 coalesce is naturally
+//     clipped to the owning shard - the shard boundary acts as a virtual
+//     fence and a key adjacent to it on the other side is untouched by
+//     construction.
+//   * Ordered iteration stitches shards: NextKey walks the owning shard
+//     first, then subsequent shards in range order, clamping out entries a
+//     migration has copied away but not yet retired (the only transient in
+//     which a shard's storage holds keys outside its range).
+//
+// A ShardedDirectory is a single client, exactly like DirectorySuite: one
+// instance per thread, instances freely sharing the transport, the
+// representatives, and the ShardMapAuthority.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/retry.h"
+#include "net/rpc_client.h"
+#include "rep/dir_suite.h"
+#include "rep/shard_map.h"
+#include "txn/coordinator.h"
+#include "txn/txn_id.h"
+
+namespace repdir::rep {
+
+class ShardedDirectory {
+ public:
+  struct Options {
+    /// Forwarded into every per-shard suite.
+    std::uint64_t policy_seed = 42;
+    net::RetryPolicy rpc_retry{1};
+    std::uint32_t neighbor_batch = 1;
+    bool enable_version_cache = false;
+    MetricsRegistry* metrics = nullptr;
+    TraceSink* trace = nullptr;
+
+    /// Map refresh attempts after a kWrongShard before giving up.
+    int max_reroutes = 4;
+
+    /// Commit/abort decision callback covering BOTH suite-driven
+    /// single-shard transactions and the router's own cross-shard ones
+    /// (see DirectorySuite::Options::decision_hook).
+    std::function<void(TxnId, bool)> decision_hook;
+  };
+
+  /// `client_node` identifies this router on the transport; it must be
+  /// distinct from every representative AND from other coordinators'
+  /// client nodes (it seeds the shared transaction-id factory).
+  ShardedDirectory(net::Transport& transport, NodeId client_node,
+                   ShardMapAuthority& authority, Options options);
+  ShardedDirectory(net::Transport& transport, NodeId client_node,
+                   ShardMapAuthority& authority)
+      : ShardedDirectory(transport, client_node, authority, Options()) {}
+
+  using LookupResult = DirectorySuite::LookupResult;
+  using NextKeyResult = DirectorySuite::NextKeyResult;
+  using BatchOp = DirectorySuite::BatchOp;
+  using BatchOpResult = DirectorySuite::BatchOpResult;
+  using BatchResult = DirectorySuite::BatchResult;
+
+  // --- The directory API (same contract as DirectorySuite) ---
+
+  Result<LookupResult> Lookup(const UserKey& key);
+  Status Insert(const UserKey& key, const Value& value);
+  Status Update(const UserKey& key, const Value& value);
+  Status Delete(const UserKey& key);
+  Result<NextKeyResult> NextKey(const UserKey& key);
+  Result<NextKeyResult> FirstKey();
+
+  /// One atomic batch, possibly spanning shards. Single-shard batches (the
+  /// common case under range locality) take the suite's two-wave fast path
+  /// unchanged; cross-shard batches run each shard's sub-batch inside one
+  /// shared transaction and finish with one 2PC over every participant.
+  /// Ops execute grouped by shard (submission order within a shard); ops on
+  /// different shards touch different keys, so the outcome is equivalent to
+  /// submission order.
+  BatchResult ExecuteBatch(const std::vector<BatchOp>& ops);
+
+  /// Full ordered scan of the stitched keyspace (a sequence of NextKey
+  /// transactions; quiesce writers for a point-in-time snapshot).
+  struct ScanEntry {
+    UserKey key;
+    Value value;
+  };
+  Result<std::vector<ScanEntry>> Scan();
+
+  // --- Map plumbing / introspection ---
+
+  /// Re-reads the authority and adopts a newer map: builds suites for new
+  /// shards, drops suites for retired ones, re-stamps every client's shard
+  /// epoch. Called automatically on kWrongShard; callers may also invoke it
+  /// after installing a map to skip the first bounced request.
+  void RefreshMap();
+
+  std::uint64_t map_version() const { return map_->version; }
+  std::size_t shard_count() const { return map_->entries.size(); }
+  const ShardMap& map() const { return *map_; }
+
+  /// The per-shard suite (tests, stats breakdowns); null if unknown.
+  DirectorySuite* shard_suite(ShardId shard);
+
+  /// Shards owning ranges right now, in range order.
+  std::vector<ShardId> shard_ids() const;
+
+ private:
+  enum class WriteKind : std::uint8_t { kInsert, kUpdate, kDelete };
+
+  DirectorySuite& SuiteFor(ShardId shard);
+
+  /// Builds (or reuses) the suite set for `map`, stamping every client
+  /// with the map's version as its shard epoch.
+  void AdoptMap(std::shared_ptr<const ShardMap> map);
+
+  /// Runs `fn` and, on kWrongShard, refreshes the map and retries -
+  /// at most options_.max_reroutes times.
+  template <typename Fn>
+  auto WithReroute(Fn&& fn) -> decltype(fn());
+
+  /// True when `key` falls inside `owner`'s migrating sub-range.
+  static bool InMigrationRange(const ShardEntry& owner, const UserKey& key);
+
+  /// Single-shot write routed to `owner`, dual-applied to the migration
+  /// target when the key is mid-handoff.
+  Status RoutedWrite(const UserKey& key, WriteKind kind, const Value& value);
+
+  /// Applies the write to the target shard's transaction with upsert
+  /// semantics: the handoff copy may or may not have reached the target
+  /// yet, and a delete may refer to a key the target never saw.
+  static Status MirrorWrite(SuiteTxn& target, WriteKind kind,
+                            const UserKey& key, const Value& value);
+
+  /// NextKey body over one map snapshot: owner shard first, then later
+  /// shards in range order, clamping stale out-of-range entries.
+  Result<NextKeyResult> StitchedNext(const UserKey& key, bool first_key);
+
+  void NotifyDecision(TxnId txn, bool committed);
+
+  net::Transport* transport_;
+  NodeId client_node_;
+  ShardMapAuthority* authority_;
+  Options options_;
+  txn::TxnIdFactory txn_ids_;  ///< Shared with every per-shard suite.
+  net::RpcClient ctl_;         ///< Drives cross-shard 2PC waves.
+  txn::TwoPhaseCommitter committer_;
+  std::shared_ptr<const ShardMap> map_;
+  std::map<ShardId, std::unique_ptr<DirectorySuite>> suites_;
+
+  Counter* reroutes_;       ///< "router.reroutes"
+  Counter* refreshes_;      ///< "router.map_refreshes"
+  Counter* cross_shard_;    ///< "router.txn.cross_shard"
+  Counter* mirrored_;       ///< "router.writes.mirrored"
+  Counter* clamped_;        ///< "router.scan.clamped"
+};
+
+}  // namespace repdir::rep

@@ -71,6 +71,10 @@ class NetworkModel {
   void HealOneWay(NodeId from, NodeId to) { cuts_.erase({from, to}); }
   void HealAll() { cuts_.clear(); }
 
+  /// Drops every per-link override, restoring the default link everywhere.
+  /// Cuts and node up/down state are untouched (see HealAll / SetNodeUp).
+  void ResetLinks() { links_.clear(); }
+
   bool IsCut(NodeId from, NodeId to) const {
     return cuts_.contains({from, to});
   }

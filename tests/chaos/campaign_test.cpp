@@ -137,6 +137,46 @@ TEST(Run, DeterministicReplay) {
   EXPECT_EQ(a.crashes, b.crashes);
 }
 
+TEST(Run, ShardedExecutorIsGreenAndDeterministic) {
+  // Two shards x three replicas behind one router, batches straddling the
+  // fence: the committed-ops model spans the stitched keyspace and the
+  // final checks verdict each shard's replica set against its slice.
+  ScenarioSpec spec = Small();
+  spec.name = "test-sharded-2x3-2-2";
+  spec.shards = 2;
+  spec.batch_size = 4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Schedule schedule = GenerateSchedule(spec, seed);
+    const RunOutcome a = RunSchedule(spec, schedule, seed);
+    const RunOutcome b = RunSchedule(spec, schedule, seed);
+    EXPECT_TRUE(a.ok()) << "seed " << seed << ": " << a.verdict.ToString();
+    EXPECT_GT(a.ops_attempted, 0u);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ops_committed, b.ops_committed);
+    EXPECT_EQ(a.ops_rejected, b.ops_rejected);
+  }
+}
+
+TEST(Run, ShardedAndSingleSuiteAgreeOnAFaultFreeSchedule) {
+  // With no faults every op commits on both deployments, so partitioning
+  // the keyspace must be purely an optimization: identical committed model
+  // whether one suite or two shards served the schedule.
+  ScenarioSpec spec = Small();
+  spec.p_crash = spec.p_recover = spec.p_partition = 0;
+  spec.p_one_way = spec.p_heal = spec.p_heal_all = 0;
+  spec.p_set_link = spec.p_checkpoint = 0;
+  const Schedule schedule = GenerateSchedule(spec, 33);
+  const RunOutcome single = RunSchedule(spec, schedule, 33);
+  ScenarioSpec sharded = spec;
+  sharded.shards = 2;
+  const RunOutcome routed = RunSchedule(sharded, schedule, 33);
+  ASSERT_TRUE(single.ok()) << single.verdict.ToString();
+  ASSERT_TRUE(routed.ok()) << routed.verdict.ToString();
+  EXPECT_EQ(single.committed, routed.committed);
+  EXPECT_EQ(single.ops_attempted, routed.ops_attempted);
+  EXPECT_EQ(single.ops_committed, routed.ops_committed);
+}
+
 TEST(Run, SurvivesFaultHeavySchedules) {
   // Crank every fault probability: the run must still verdict OK (ops may
   // all fail, but invariants hold).

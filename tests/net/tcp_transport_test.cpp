@@ -114,6 +114,59 @@ TEST(TcpTransport, ServerStopSurfacesAsUnavailable) {
             StatusCode::kUnavailable);
 }
 
+// A peer that dies and comes back on the SAME address must be reachable
+// again through the same transport: the pooled connection is detected dead,
+// dropped, and the next call re-dials. Without that, one restart would pin
+// the route to kUnavailable forever.
+TEST(TcpTransport, PeerRestartReconnectsOnSamePort) {
+  RpcServer service(1);
+  RegisterEcho(service);
+  auto server = std::make_unique<TcpServer>(service);
+  const auto port = server->Start();
+  ASSERT_TRUE(port.ok());
+  const std::uint16_t fixed = *port;
+
+  TcpTransport transport;
+  transport.AddRoute(1, "127.0.0.1", fixed);
+  RpcClient client(transport, 100);
+  ASSERT_TRUE(client.Call<EchoRequest>(1, kEcho, EchoRequest{"before"}).ok());
+
+  server->Stop();
+  EXPECT_EQ(client.Call<EchoRequest>(1, kEcho, EchoRequest{"down"})
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+
+  // Restart the listener on the same port (SO_REUSEADDR; still retry a few
+  // times in case the OS briefly holds the address).
+  auto restarted = std::make_unique<TcpServer>(service);
+  auto again = restarted->Start(fixed);
+  for (int i = 0; i < 100 && !again.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    again = restarted->Start(fixed);
+  }
+  ASSERT_TRUE(again.ok()) << again.status();
+
+  // The transport may burn a call or two discovering the dead connection,
+  // then must recover - and stay recovered.
+  bool recovered = false;
+  for (int i = 0; i < 100 && !recovered; ++i) {
+    recovered =
+        client.Call<EchoRequest>(1, kEcho, EchoRequest{"probe"}).ok();
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(recovered) << "transport never reconnected to restarted peer";
+  for (int i = 0; i < 10; ++i) {
+    const auto reply =
+        client.Call<EchoRequest>(1, kEcho,
+                                 EchoRequest{"after-" + std::to_string(i)});
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->text, "after-" + std::to_string(i));
+  }
+}
+
 TEST(TcpTransport, ConcurrentClientsMultiplex) {
   RpcServer service(1);
   RegisterEcho(service);

@@ -225,5 +225,75 @@ TEST_F(OpBatch, AutoBatcherCoalescesConcurrentSubmitters) {
   EXPECT_TRUE(AllRepsWellFormed(harness_));
 }
 
+// Submit-then-immediately-destroy: the destructor must flush every accepted
+// operation - a submitter either gets its real result or a clean refusal,
+// never a hang and never a silently dropped write that reported OK.
+TEST_F(OpBatch, DestructorFlushesAcceptedOps) {
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<Status> results(kThreads);
+  {
+    AutoBatcher::Options options;
+    options.max_wait_us = 50'000;  // Door wide open: destruction must close it.
+    AutoBatcher batcher(*suite_, options);
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&batcher, &results, t] {
+        results[static_cast<std::size_t>(t)] =
+            batcher.Insert("dtor" + std::to_string(t), "v");
+      });
+    }
+    // Wait until every op is accepted (queued), then destroy immediately -
+    // the submitters are still blocked awaiting their results.
+    while (batcher.ops_submitted() <
+           static_cast<std::uint64_t>(kThreads)) {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[static_cast<std::size_t>(t)].ok())
+        << results[static_cast<std::size_t>(t)].ToString();
+    const auto got = suite_->Lookup("dtor" + std::to_string(t));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->found) << "accepted then dropped: dtor" << t;
+  }
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
+TEST_F(OpBatch, DrainIsABarrierForAcceptedOps) {
+  AutoBatcher::Options options;
+  options.max_batch = 4;
+  options.max_wait_us = 0;
+  AutoBatcher batcher(*suite_, options);
+  batcher.Drain();  // Idle drain returns immediately.
+
+  constexpr int kOps = 12;
+  std::vector<std::thread> threads;
+  threads.reserve(kOps);
+  std::atomic<int> accepted{0};
+  for (int i = 0; i < kOps; ++i) {
+    threads.emplace_back([&batcher, &accepted, i] {
+      if (batcher.Insert("drain" + std::to_string(i), "v").ok()) {
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  batcher.Drain();
+
+  // Every accepted op is visible through an independent client now.
+  auto other = harness_.NewSuite(101);
+  int found = 0;
+  for (int i = 0; i < kOps; ++i) {
+    auto got = other->Lookup("drain" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    if (got->found) ++found;
+  }
+  EXPECT_EQ(found, accepted.load());
+  EXPECT_EQ(found, kOps);
+}
+
 }  // namespace
 }  // namespace repdir::test

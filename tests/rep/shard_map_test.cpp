@@ -1,0 +1,152 @@
+// ShardMap unit tests: ownership lookup over range boundaries, structural
+// validation, and the authority's monotone-version rule.
+#include <gtest/gtest.h>
+
+#include "rep/shard_map.h"
+
+namespace repdir::rep {
+namespace {
+
+ShardMap ThreeWay() {
+  ShardMap map;
+  map.version = 1;
+  ShardEntry a;
+  a.shard = 1;
+  a.low = "";
+  a.config = QuorumConfig::Uniform(3, 2, 2, 1);
+  ShardEntry b;
+  b.shard = 2;
+  b.low = "g";
+  b.config = QuorumConfig::Uniform(3, 2, 2, 11);
+  ShardEntry c;
+  c.shard = 3;
+  c.low = "p";
+  c.config = QuorumConfig::Uniform(3, 2, 2, 21);
+  map.entries = {a, b, c};
+  return map;
+}
+
+TEST(ShardMap, OwnerIndexRespectsRangeBoundaries) {
+  const ShardMap map = ThreeWay();
+  EXPECT_EQ(map.OwnerIndex(""), 0u);
+  EXPECT_EQ(map.OwnerIndex("apple"), 0u);
+  EXPECT_EQ(map.OwnerIndex("fzzzz"), 0u);
+  EXPECT_EQ(map.OwnerIndex("g"), 1u);  // Inclusive low bound.
+  EXPECT_EQ(map.OwnerIndex("mango"), 1u);
+  EXPECT_EQ(map.OwnerIndex("p"), 2u);
+  EXPECT_EQ(map.OwnerIndex("zzz"), 2u);
+  EXPECT_EQ(map.OwnerOf("mango").shard, 2u);
+}
+
+TEST(ShardMap, HighBoundIsNextLowAndLastIsUnbounded) {
+  const ShardMap map = ThreeWay();
+  UserKey high;
+  ASSERT_TRUE(map.HighBound(0, &high));
+  EXPECT_EQ(high, "g");
+  ASSERT_TRUE(map.HighBound(1, &high));
+  EXPECT_EQ(high, "p");
+  EXPECT_FALSE(map.HighBound(2, &high));
+}
+
+TEST(ShardMap, FindLocatesEntriesAndStaging) {
+  ShardMap map = ThreeWay();
+  StagingShard st;
+  st.shard = 9;
+  st.config = QuorumConfig::Uniform(3, 2, 2, 31);
+  map.staging.push_back(st);
+  ASSERT_NE(map.Find(2), nullptr);
+  EXPECT_EQ(map.Find(2)->low, "g");
+  EXPECT_EQ(map.Find(9), nullptr);  // Staging shards own no range.
+  ASSERT_NE(map.FindStaging(9), nullptr);
+  EXPECT_EQ(map.FindStaging(1), nullptr);
+}
+
+TEST(ShardMap, ValidateAcceptsSoundMaps) {
+  EXPECT_TRUE(ThreeWay().Validate().ok());
+  EXPECT_TRUE(
+      SingleShardMap(1, QuorumConfig::Uniform(3, 2, 2)).Validate().ok());
+}
+
+TEST(ShardMap, ValidateRejectsStructuralDefects) {
+  ShardMap empty;
+  empty.version = 1;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  ShardMap bad_first = ThreeWay();
+  bad_first.entries[0].low = "a";  // First low must be "".
+  EXPECT_FALSE(bad_first.Validate().ok());
+
+  ShardMap unsorted = ThreeWay();
+  unsorted.entries[2].low = "g";  // Equal lows: not strictly increasing.
+  EXPECT_FALSE(unsorted.Validate().ok());
+
+  ShardMap dup = ThreeWay();
+  dup.entries[2].shard = 1;  // Duplicate shard id.
+  EXPECT_FALSE(dup.Validate().ok());
+
+  ShardMap dup_staging = ThreeWay();
+  StagingShard st;
+  st.shard = 2;  // Clashes with an owning entry.
+  st.config = QuorumConfig::Uniform(3, 2, 2, 31);
+  dup_staging.staging.push_back(st);
+  EXPECT_FALSE(dup_staging.Validate().ok());
+
+  ShardMap dangling = ThreeWay();
+  dangling.entries[1].migrating = true;
+  dangling.entries[1].migrate_to = 42;  // No such shard anywhere.
+  EXPECT_FALSE(dangling.Validate().ok());
+}
+
+TEST(ShardMap, MigrationTargetMayBeStagingOrOwning) {
+  ShardMap map = ThreeWay();
+  map.entries[1].migrating = true;
+  map.entries[1].migrate_low = "m";
+  map.entries[1].migrate_to = 9;
+  StagingShard st;
+  st.shard = 9;
+  st.config = QuorumConfig::Uniform(3, 2, 2, 31);
+  map.staging.push_back(st);
+  EXPECT_TRUE(map.Validate().ok());
+
+  map.entries[1].migrate_to = 1;  // Merge case: target owns a range.
+  map.staging.clear();
+  EXPECT_TRUE(map.Validate().ok());
+}
+
+TEST(ShardMapAuthority, InstallEnforcesMonotoneVersions) {
+  ShardMapAuthority authority;
+  EXPECT_EQ(authority.Get(), nullptr);
+  EXPECT_EQ(authority.version(), 0u);
+
+  ShardMap v2 = ThreeWay();
+  v2.version = 2;
+  ASSERT_TRUE(authority.Install(v2).ok());
+  EXPECT_EQ(authority.version(), 2u);
+
+  ShardMap stale = ThreeWay();
+  stale.version = 2;  // Same version: refused.
+  EXPECT_EQ(authority.Install(stale).code(), StatusCode::kVersionMismatch);
+
+  ShardMap v3 = ThreeWay();
+  v3.version = 3;
+  EXPECT_TRUE(authority.Install(v3).ok());
+  EXPECT_EQ(authority.Get()->version, 3u);
+}
+
+TEST(ShardMapAuthority, InstallValidatesAndSnapshotsAreImmutable) {
+  ShardMapAuthority authority;
+  ShardMap bad = ThreeWay();
+  bad.entries[0].low = "x";
+  EXPECT_FALSE(authority.Install(bad).ok());
+  EXPECT_EQ(authority.version(), 0u);
+
+  ASSERT_TRUE(authority.Install(ThreeWay()).ok());
+  auto snap = authority.Get();
+  ShardMap v5 = ThreeWay();
+  v5.version = 5;
+  ASSERT_TRUE(authority.Install(v5).ok());
+  EXPECT_EQ(snap->version, 1u);  // Old snapshot unaffected by installs.
+}
+
+}  // namespace
+}  // namespace repdir::rep

@@ -1,0 +1,263 @@
+// ShardManager tests: online split and merge end-to-end, dual-writes while
+// a migration is in flight, and journaled crash-resume from every step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "rep/shard_manager.h"
+#include "rep/sharded_dir.h"
+#include "shard_harness.h"
+
+namespace repdir::rep {
+namespace {
+
+using test::ShardHarness;
+
+std::vector<std::string> Keys() {
+  std::vector<std::string> keys;
+  for (char c = 'a'; c <= 'z'; ++c) keys.emplace_back(1, c);
+  return keys;
+}
+
+class ShardSplitTest : public ::testing::Test {
+ protected:
+  ShardSplitTest() {
+    EXPECT_TRUE(
+        harness_
+            .Bootstrap(SingleShardMap(1, QuorumConfig::Uniform(3, 2, 2, 1)))
+            .ok());
+    // The split target's replicas must be running before the manager
+    // configures them.
+    harness_.AddReplicas(TargetConfig());
+  }
+
+  static QuorumConfig TargetConfig() {
+    return QuorumConfig::Uniform(3, 2, 2, 11);
+  }
+
+  void Seed(ShardedDirectory& router) {
+    for (const auto& k : Keys()) ASSERT_TRUE(router.Insert(k, "v-" + k).ok());
+  }
+
+  std::vector<std::string> ScanKeys(ShardedDirectory& router) {
+    auto scan = router.Scan();
+    EXPECT_TRUE(scan.ok());
+    std::vector<std::string> keys;
+    for (const auto& e : scan.value()) keys.push_back(e.key);
+    return keys;
+  }
+
+  ShardHarness harness_;
+  MemShardJournal journal_;
+};
+
+TEST_F(ShardSplitTest, SplitMovesTheRangeAndKeepsEveryKey) {
+  auto router = harness_.NewRouter();
+  Seed(*router);
+
+  auto manager = harness_.NewManager();
+  ASSERT_TRUE(manager->Split(1, "m", 2, TargetConfig()).ok());
+  EXPECT_EQ(harness_.authority().version(), 3u);  // base 1 -> v+2.
+
+  // A fresh router sees both shards and the full stitched keyspace.
+  auto after = harness_.NewRouter(ShardHarness::kRouterNode + 1);
+  EXPECT_EQ(after->shard_count(), 2u);
+  EXPECT_EQ(ScanKeys(*after), Keys());
+  EXPECT_EQ(after->Lookup("z").value().value, "v-z");
+  EXPECT_EQ(after->Lookup("a").value().value, "v-a");
+
+  // The moved range was retired from the source's replicas: shard 1 holds
+  // only [ , m) now.
+  auto* left = after->shard_suite(1);
+  ASSERT_NE(left, nullptr);
+  EXPECT_FALSE(left->Lookup("q").value().found);
+  EXPECT_TRUE(left->Lookup("c").value().found);
+  auto* right = after->shard_suite(2);
+  ASSERT_NE(right, nullptr);
+  EXPECT_TRUE(right->Lookup("q").value().found);
+
+  // The STALE router fences over on its next write and keeps working.
+  ASSERT_TRUE(router->Insert("ma", "late").ok());
+  EXPECT_EQ(router->map_version(), 3u);
+  EXPECT_TRUE(after->Lookup("ma").value().found);
+}
+
+TEST_F(ShardSplitTest, WritesDuringMigrationDualApplyAndSurvive) {
+  auto router = harness_.NewRouter();
+  Seed(*router);
+
+  // Stop right after step 3: map v+1 installed (dual-write marker up),
+  // source fenced, copy NOT yet run.
+  ShardManager::Options opts;
+  opts.journal = &journal_;
+  opts.fail_after_step = 3;
+  EXPECT_EQ(harness_.NewManager(opts)->Split(1, "m", 2, TargetConfig()).code(),
+            StatusCode::kAborted);
+
+  // Mid-migration traffic: a router picking up the v+1 map dual-writes
+  // every mutation in [m, ..). Reads still come from the source.
+  MetricsRegistry metrics;
+  ShardedDirectory::Options ropts;
+  ropts.metrics = &metrics;
+  auto mid = harness_.NewRouter(ShardHarness::kRouterNode + 1, ropts);
+  ASSERT_TRUE(mid->Update("q", "updated-mid-split").ok());
+  ASSERT_TRUE(mid->Insert("mb", "born-mid-split").ok());
+  ASSERT_TRUE(mid->Delete("y").ok());
+  ASSERT_TRUE(mid->Insert("bb", "left-side").ok());  // Not migrating: direct.
+  EXPECT_GE(metrics.counter("router.writes.mirrored").value(), 3u);
+  EXPECT_EQ(mid->Lookup("q").value().value, "updated-mid-split");
+
+  // A successor manager on the same journal finishes the operation. The
+  // copy must NOT clobber the dual-written values (insert-if-absent).
+  ShardManager::Options resume_opts;
+  resume_opts.journal = &journal_;
+  ASSERT_TRUE(harness_.NewManager(resume_opts)->Resume().ok());
+  EXPECT_EQ(harness_.authority().version(), 3u);
+
+  auto after = harness_.NewRouter(ShardHarness::kRouterNode + 2);
+  EXPECT_EQ(after->Lookup("q").value().value, "updated-mid-split");
+  EXPECT_EQ(after->Lookup("mb").value().value, "born-mid-split");
+  EXPECT_FALSE(after->Lookup("y").value().found);
+  EXPECT_EQ(after->Lookup("bb").value().value, "left-side");
+
+  // Full-scan sanity: seeded keys minus the delete, plus the inserts.
+  std::vector<std::string> want = Keys();
+  want.erase(std::find(want.begin(), want.end(), "y"));
+  want.insert(std::find(want.begin(), want.end(), "n"), "mb");
+  want.insert(std::find(want.begin(), want.end(), "c"), "bb");
+  EXPECT_EQ(ScanKeys(*after), want);
+}
+
+TEST_F(ShardSplitTest, SplitResumesFromEveryStep) {
+  for (int step = 1; step <= 5; ++step) {
+    SCOPED_TRACE("crash after step " + std::to_string(step));
+    ShardHarness h;
+    ASSERT_TRUE(
+        h.Bootstrap(SingleShardMap(1, QuorumConfig::Uniform(3, 2, 2, 1)))
+            .ok());
+    h.AddReplicas(TargetConfig());
+    auto router = h.NewRouter();
+    for (const auto& k : Keys()) ASSERT_TRUE(router->Insert(k, "v-" + k).ok());
+
+    MemShardJournal journal;
+    ShardManager::Options crash;
+    crash.journal = &journal;
+    crash.fail_after_step = step;
+    EXPECT_EQ(h.NewManager(crash)->Split(1, "m", 2, TargetConfig()).code(),
+              StatusCode::kAborted);
+
+    ShardManager::Options resume;
+    resume.journal = &journal;
+    auto successor = h.NewManager(resume);
+    ASSERT_TRUE(successor->Resume().ok());
+    ASSERT_TRUE(successor->Resume().ok());  // Idempotent: nothing pending.
+    EXPECT_EQ(h.authority().version(), 3u);
+
+    auto after = h.NewRouter(ShardHarness::kRouterNode + 1);
+    EXPECT_EQ(after->shard_count(), 2u);
+    auto scan = after->Scan();
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan.value().size(), Keys().size());
+    for (std::size_t i = 0; i < Keys().size(); ++i) {
+      EXPECT_EQ(scan.value()[i].key, Keys()[i]);
+      EXPECT_EQ(scan.value()[i].value, "v-" + Keys()[i]);
+    }
+  }
+}
+
+TEST_F(ShardSplitTest, MergeFoldsTheShardBackIn) {
+  auto router = harness_.NewRouter();
+  Seed(*router);
+  auto manager = harness_.NewManager();
+  ASSERT_TRUE(manager->Split(1, "m", 2, TargetConfig()).ok());
+
+  ASSERT_TRUE(manager->Merge(2).ok());
+  EXPECT_EQ(harness_.authority().version(), 5u);
+
+  auto after = harness_.NewRouter(ShardHarness::kRouterNode + 1);
+  EXPECT_EQ(after->shard_count(), 1u);
+  EXPECT_EQ(after->shard_ids(), std::vector<ShardId>{1});
+  EXPECT_EQ(ScanKeys(*after), Keys());
+  // Everything is back on shard 1's replicas; the victim's were retired.
+  auto* only = after->shard_suite(1);
+  ASSERT_NE(only, nullptr);
+  EXPECT_TRUE(only->Lookup("z").value().found);
+  for (NodeId n : {11, 12, 13}) {
+    for (const auto& e : harness_.node(n).storage().Scan()) {
+      EXPECT_FALSE(e.key.is_user()) << "victim replica " << n
+                                    << " still holds " << e.key.user();
+    }
+  }
+}
+
+TEST_F(ShardSplitTest, MergeResumesAfterCrash) {
+  auto router = harness_.NewRouter();
+  Seed(*router);
+  ASSERT_TRUE(harness_.NewManager()->Split(1, "m", 2, TargetConfig()).ok());
+
+  for (int step : {2, 4, 5}) {
+    SCOPED_TRACE("merge crash after step " + std::to_string(step));
+    // Fresh victim each round: re-split what the previous round merged.
+    if (harness_.authority().Get()->entries.size() == 1) {
+      ASSERT_TRUE(harness_.NewManager()->Split(1, "m", 2, TargetConfig()).ok());
+    }
+    MemShardJournal journal;
+    ShardManager::Options crash;
+    crash.journal = &journal;
+    crash.fail_after_step = step;
+    EXPECT_EQ(harness_.NewManager(crash)->Merge(2).code(),
+              StatusCode::kAborted);
+    ShardManager::Options resume;
+    resume.journal = &journal;
+    ASSERT_TRUE(harness_.NewManager(resume)->Resume().ok());
+    auto after = harness_.NewRouter(ShardHarness::kRouterNode + 1);
+    EXPECT_EQ(after->shard_count(), 1u);
+    EXPECT_EQ(ScanKeys(*after), Keys());
+  }
+}
+
+TEST_F(ShardSplitTest, SplitValidatesItsArguments) {
+  auto router = harness_.NewRouter();
+  Seed(*router);
+  auto manager = harness_.NewManager();
+  // Unknown source.
+  EXPECT_FALSE(manager->Split(9, "m", 2, TargetConfig()).ok());
+  // Target id already owns a range.
+  EXPECT_FALSE(manager->Split(1, "m", 1, TargetConfig()).ok());
+  // Fence at the range's low bound: nothing would move.
+  EXPECT_FALSE(manager->Split(1, "", 2, TargetConfig()).ok());
+  // Merge of the first shard has no left neighbor.
+  EXPECT_FALSE(manager->Merge(1).ok());
+  // None of the failed validations touched the map.
+  EXPECT_EQ(harness_.authority().version(), 1u);
+}
+
+TEST_F(ShardSplitTest, FileJournalRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/shard_journal_roundtrip.log";
+  std::remove(path.c_str());
+  FileShardJournal journal(path);
+  auto empty = journal.ReadAll();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  ASSERT_TRUE(journal.Append("SPLIT abcd").ok());
+  ASSERT_TRUE(journal.Append("STEP 1").ok());
+  FileShardJournal reopened(path);
+  auto lines = journal.ReadAll();
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines.value().size(), 2u);
+  EXPECT_EQ(lines.value()[0], "SPLIT abcd");
+  EXPECT_EQ(lines.value()[1], "STEP 1");
+  auto again = reopened.ReadAll();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace repdir::rep

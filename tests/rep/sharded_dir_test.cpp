@@ -1,0 +1,243 @@
+// ShardedDirectory tests: per-key routing, stale-map recovery, stitched
+// ordered iteration, cross-shard atomic batches, and the boundary-delete
+// equivalence with an unsharded suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "rep/sharded_dir.h"
+#include "shard_harness.h"
+#include "suite_harness.h"
+
+namespace repdir::rep {
+namespace {
+
+using test::ShardHarness;
+using test::TwoShardMap;
+using BatchOp = DirectorySuite::BatchOp;
+
+class ShardedDirTest : public ::testing::Test {
+ protected:
+  ShardedDirTest() {
+    EXPECT_TRUE(harness_.Bootstrap(test::TwoShardMap("m")).ok());
+    ShardedDirectory::Options options;
+    options.metrics = &metrics_;
+    router_ = harness_.NewRouter(ShardHarness::kRouterNode, options);
+  }
+
+  std::uint64_t Metric(const std::string& name) {
+    return metrics_.counter(name).value();
+  }
+
+  ShardHarness harness_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<ShardedDirectory> router_;
+};
+
+TEST_F(ShardedDirTest, RoutesKeysToOwningShard) {
+  ASSERT_TRUE(router_->Insert("apple", "1").ok());
+  ASSERT_TRUE(router_->Insert("zebra", "2").ok());
+
+  // Each key landed only on its owner's replicas.
+  auto* left = router_->shard_suite(1);
+  auto* right = router_->shard_suite(2);
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  auto la = left->Lookup("apple");
+  ASSERT_TRUE(la.ok());
+  EXPECT_TRUE(la.value().found);
+  auto rz = right->Lookup("zebra");
+  ASSERT_TRUE(rz.ok());
+  EXPECT_TRUE(rz.value().found);
+  auto lz = left->Lookup("zebra");
+  ASSERT_TRUE(lz.ok());
+  EXPECT_FALSE(lz.value().found);
+
+  auto got = router_->Lookup("apple");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().value, "1");
+  ASSERT_TRUE(router_->Update("zebra", "2b").ok());
+  ASSERT_TRUE(router_->Delete("apple").ok());
+  EXPECT_EQ(router_->Lookup("apple").value().found, false);
+  EXPECT_EQ(router_->Lookup("zebra").value().value, "2b");
+}
+
+TEST_F(ShardedDirTest, FenceKeyBelongsToRightShard) {
+  ASSERT_TRUE(router_->Insert("m", "fence").ok());
+  auto rm = router_->shard_suite(2)->Lookup("m");
+  ASSERT_TRUE(rm.ok());
+  EXPECT_TRUE(rm.value().found);
+}
+
+TEST_F(ShardedDirTest, StaleRouterReroutesOnWrongShard) {
+  ASSERT_TRUE(router_->Insert("apple", "1").ok());
+  EXPECT_EQ(router_->map_version(), 1u);
+
+  // Advance the deployment: install map v2 and re-fence every replica at
+  // epoch 2 while router_ still routes (and stamps) v1.
+  ShardMap v2 = TwoShardMap("m", 2);
+  ASSERT_TRUE(harness_.authority().Install(v2).ok());
+  ASSERT_TRUE(harness_.NewManager()->ReconfigureAll().ok());
+
+  // The stale router's next operation bounces with kWrongShard, refreshes,
+  // and succeeds transparently.
+  ASSERT_TRUE(router_->Insert("ant", "2").ok());
+  EXPECT_EQ(router_->map_version(), 2u);
+  EXPECT_GE(Metric("router.reroutes"), 1u);
+  EXPECT_GE(Metric("router.map_refreshes"), 1u);
+}
+
+TEST_F(ShardedDirTest, RerouteGivesUpAfterMaxAttempts) {
+  // Fence the replicas at an epoch the authority never learns about: the
+  // router refreshes max_reroutes times, then surfaces kWrongShard.
+  ASSERT_TRUE(router_->Insert("apple", "1").ok());
+  for (NodeId n : {1, 2, 3}) {
+    auto bounds = harness_.node(n).shard_bounds();
+    bounds.epoch = 7;
+    harness_.node(n).SetShardBounds(bounds);
+  }
+  Status st = router_->Insert("ant", "2");
+  EXPECT_EQ(st.code(), StatusCode::kWrongShard);
+}
+
+TEST_F(ShardedDirTest, StitchedIterationCrossesTheBoundary) {
+  for (const auto& k : {"d", "f", "q", "t"}) {
+    ASSERT_TRUE(router_->Insert(k, std::string("v-") + k).ok());
+  }
+  auto first = router_->FirstKey();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().key, "d");
+
+  // The stitch: NextKey("f") lives on shard 1, its successor on shard 2.
+  auto step = router_->NextKey("f");
+  ASSERT_TRUE(step.ok());
+  ASSERT_TRUE(step.value().found);
+  EXPECT_EQ(step.value().key, "q");
+  EXPECT_EQ(step.value().value, "v-q");
+
+  auto end = router_->NextKey("t");
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end.value().found);
+
+  auto scan = router_->Scan();
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().size(), 4u);
+  EXPECT_EQ(scan.value()[0].key, "d");
+  EXPECT_EQ(scan.value()[3].key, "t");
+}
+
+TEST_F(ShardedDirTest, FirstKeySkipsEmptyLeadingShard) {
+  ASSERT_TRUE(router_->Insert("zebra", "1").ok());
+  auto first = router_->FirstKey();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().found);
+  EXPECT_EQ(first.value().key, "zebra");
+}
+
+TEST_F(ShardedDirTest, CrossShardBatchCommitsAtomically) {
+  std::vector<BatchOp> ops;
+  ops.push_back({BatchOp::Kind::kInsert, "apple", "1"});
+  ops.push_back({BatchOp::Kind::kInsert, "zebra", "2"});
+  ops.push_back({BatchOp::Kind::kLookup, "apple", ""});
+  auto result = router_->ExecuteBatch(ops);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.ops.size(), 3u);
+  EXPECT_TRUE(result.ops[0].status.ok());
+  EXPECT_TRUE(result.ops[1].status.ok());
+  // The read sees the same transaction's own insert.
+  EXPECT_TRUE(result.ops[2].status.ok());
+  EXPECT_TRUE(result.ops[2].lookup.found);
+  EXPECT_EQ(result.ops[2].lookup.value, "1");
+  EXPECT_GE(Metric("router.txn.cross_shard"), 1u);
+
+  // Per-op clean failures surface without poisoning the batch.
+  std::vector<BatchOp> again;
+  again.push_back({BatchOp::Kind::kInsert, "apple", "dup"});
+  again.push_back({BatchOp::Kind::kUpdate, "zebra", "2b"});
+  auto r2 = router_->ExecuteBatch(again);
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r2.ops[0].status.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(r2.ops[1].status.ok());
+  EXPECT_EQ(router_->Lookup("apple").value().value, "1");
+  EXPECT_EQ(router_->Lookup("zebra").value().value, "2b");
+}
+
+TEST_F(ShardedDirTest, CrossShardBatchAbortsAtomically) {
+  // Shard 2's replicas all unreachable: its sub-batch cannot prepare, so
+  // the shard-1 inserts must not survive either.
+  for (NodeId n : {11, 12, 13}) harness_.network().SetNodeUp(n, false);
+  std::vector<BatchOp> ops;
+  ops.push_back({BatchOp::Kind::kInsert, "apple", "1"});
+  ops.push_back({BatchOp::Kind::kInsert, "zebra", "2"});
+  auto result = router_->ExecuteBatch(ops);
+  EXPECT_FALSE(result.status.ok());
+
+  for (NodeId n : {11, 12, 13}) harness_.network().SetNodeUp(n, true);
+  auto apple = router_->Lookup("apple");
+  ASSERT_TRUE(apple.ok());
+  EXPECT_FALSE(apple.value().found);
+}
+
+TEST_F(ShardedDirTest, SingleShardBatchTakesSuiteFastPath) {
+  std::vector<BatchOp> ops;
+  ops.push_back({BatchOp::Kind::kInsert, "a1", "x"});
+  ops.push_back({BatchOp::Kind::kInsert, "a2", "y"});
+  auto result = router_->ExecuteBatch(ops);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(Metric("router.txn.cross_shard"), 0u);
+}
+
+// The paper's delete coalesces the predecessor's gap over the deleted key
+// (Fig. 13). With per-shard LOW/HIGH sentinels the coalesce clips at the
+// shard boundary, and the result must be indistinguishable - through the
+// directory API - from an unsharded suite running the same history,
+// including deletes of the keys flanking the fence.
+TEST_F(ShardedDirTest, BoundaryDeleteMatchesUnshardedSuite) {
+  test::SuiteHarness single(QuorumConfig::Uniform(3, 2, 2, 31));
+  auto suite = single.NewSuite(ShardHarness::kRouterNode + 1);
+
+  const std::vector<std::string> keys = {"j", "k", "lz", "m", "ma", "n", "q"};
+  for (const auto& k : keys) {
+    ASSERT_TRUE(router_->Insert(k, "v-" + k).ok());
+    ASSERT_TRUE(suite->Insert(k, "v-" + k).ok());
+  }
+  // Delete the keys hugging the fence "m" from both sides, then the fence
+  // itself: every coalesce in the sharded run touches a sentinel.
+  for (const auto& k : {"lz", "ma", "m"}) {
+    ASSERT_TRUE(router_->Delete(k).ok());
+    ASSERT_TRUE(suite->Delete(k).ok());
+  }
+  // And a fresh insert straddling the gap the deletes opened.
+  ASSERT_TRUE(router_->Insert("ls", "back").ok());
+  ASSERT_TRUE(suite->Insert("ls", "back").ok());
+
+  auto sharded = router_->Scan();
+  ASSERT_TRUE(sharded.ok());
+  std::vector<std::pair<UserKey, Value>> flat_single;
+  auto step = suite->FirstKey();
+  ASSERT_TRUE(step.ok());
+  while (step.value().found) {
+    flat_single.emplace_back(step.value().key, step.value().value);
+    step = suite->NextKey(step.value().key);
+    ASSERT_TRUE(step.ok());
+  }
+  ASSERT_EQ(sharded.value().size(), flat_single.size());
+  for (std::size_t i = 0; i < flat_single.size(); ++i) {
+    EXPECT_EQ(sharded.value()[i].key, flat_single[i].first);
+    EXPECT_EQ(sharded.value()[i].value, flat_single[i].second);
+  }
+}
+
+TEST_F(ShardedDirTest, PerShardMetricScopesAreDistinct) {
+  ASSERT_TRUE(router_->Insert("apple", "1").ok());
+  ASSERT_TRUE(router_->Insert("zebra", "2").ok());
+  EXPECT_GE(Metric("suite.shard1.ops.inserts"), 1u);
+  EXPECT_GE(Metric("suite.shard2.ops.inserts"), 1u);
+  EXPECT_EQ(Metric("suite.ops.inserts"), 0u);  // Nothing lands unscoped.
+}
+
+}  // namespace
+}  // namespace repdir::rep

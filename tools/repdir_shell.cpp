@@ -2,10 +2,17 @@
 // deployment. Useful for demos and for poking at the algorithm's failure
 // behaviour by hand.
 //
-//   $ ./repdir_shell [replicas] [R] [W] [cache]     (default 3 2 2, no cache)
+//   $ ./repdir_shell [replicas R W] [shards N] [cache]   (default 3 2 2,
+//                                                         1 shard, no cache)
 //
 // A trailing "cache" argument enables the client-side version cache
 // (guarded single-round writes + validated reads; see rep/version_cache.h).
+//
+// "shards N" (N > 1) range-partitions the keyspace over N suites, each
+// with its own replica set of the given topology, fronted by the
+// ShardedDirectory router (see rep/sharded_dir.h). Fences split the
+// alphabet evenly by first letter; shard s uses nodes s*10+1..s*10+R.
+// Multi-op transactions (begin/commit/abort) are single-suite only.
 //
 // Commands:
 //   insert <key> <value>     update <key> <value>
@@ -15,6 +22,7 @@
 //   crash <node>             recover <node>
 //   begin | commit | abort   (multi-op transaction)
 //   stats                    metrics [json]
+//   map                      (sharded mode: the routing table)
 //   trace on|off|dump|clear  help | quit
 #include <cstdio>
 #include <iostream>
@@ -28,6 +36,8 @@
 #include "net/inproc_transport.h"
 #include "rep/dir_rep_node.h"
 #include "rep/dir_suite.h"
+#include "rep/shard_manager.h"
+#include "rep/sharded_dir.h"
 #include "sim/network_model.h"
 
 using namespace repdir;
@@ -35,20 +45,54 @@ using namespace repdir;
 namespace {
 
 struct Shell {
-  Shell(rep::QuorumConfig config, bool enable_cache)
-      : config_(std::move(config)), transport_(nullptr, &network_) {
+  Shell(rep::QuorumConfig config, std::uint32_t shards, bool enable_cache)
+      : transport_(nullptr, &network_) {
     rep::DirRepNodeOptions node_options;
     node_options.enable_wal = true;
-    for (const auto& replica : config_.replicas()) {
-      nodes_.push_back(
-          std::make_unique<rep::DirRepNode>(replica.node, node_options));
-      transport_.RegisterNode(replica.node, nodes_.back()->server());
+    // Shard s (0-based) gets the same topology on node ids s*10+1.. -
+    // replica vote weights carry over, node ids shift by shard.
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      std::vector<rep::Replica> replicas;
+      for (std::size_t i = 0; i < config.replicas().size(); ++i) {
+        replicas.push_back({static_cast<NodeId>(s * 10 + i + 1),
+                            config.replicas()[i].votes});
+      }
+      configs_.emplace_back(std::move(replicas), config.read_quorum(),
+                            config.write_quorum());
+      for (const auto& replica : configs_.back().replicas()) {
+        nodes_.push_back(
+            std::make_unique<rep::DirRepNode>(replica.node, node_options));
+        transport_.RegisterNode(replica.node, nodes_.back()->server());
+      }
     }
-    rep::SuiteOptions options;
-    options.config = config_;
-    options.enable_version_cache = enable_cache;
-    suite_ = std::make_unique<rep::DirectorySuite>(transport_, 100,
-                                                   std::move(options));
+
+    if (shards > 1) {
+      // Fences split the alphabet evenly by first letter: shard i owns
+      // [low_i, low_{i+1}), the last unbounded above.
+      rep::ShardMap map;
+      map.version = 1;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        rep::ShardEntry entry;
+        entry.shard = s + 1;
+        if (s > 0) entry.low = std::string(1, static_cast<char>(
+                                                  'a' + s * 26 / shards));
+        entry.config = configs_[s];
+        map.entries.push_back(std::move(entry));
+      }
+      (void)authority_.Install(std::move(map));
+      rep::ShardManager boot(transport_, /*manager_node=*/90, authority_);
+      (void)boot.ReconfigureAll();
+      rep::ShardedDirectory::Options options;
+      options.enable_version_cache = enable_cache;
+      router_ = std::make_unique<rep::ShardedDirectory>(transport_, 100,
+                                                        authority_, options);
+    } else {
+      rep::SuiteOptions options;
+      options.config = configs_[0];
+      options.enable_version_cache = enable_cache;
+      suite_ = std::make_unique<rep::DirectorySuite>(transport_, 100,
+                                                     std::move(options));
+    }
   }
 
   rep::DirRepNode* Node(NodeId id) {
@@ -63,8 +107,14 @@ struct Shell {
   }
 
   void Run() {
-    std::printf("repdir shell - %s suite. 'help' for commands.\n",
-                config_.ToString().c_str());
+    if (router_ != nullptr) {
+      std::printf("repdir shell - %zu shards, each %s. 'help' for commands.\n",
+                  configs_.size(), configs_[0].ToString().c_str());
+      std::printf("  %s\n", authority_.Get()->ToString().c_str());
+    } else {
+      std::printf("repdir shell - %s suite. 'help' for commands.\n",
+                  configs_[0].ToString().c_str());
+    }
     std::string line;
     while (std::printf("repdir> "), std::fflush(stdout),
            std::getline(std::cin, line)) {
@@ -84,7 +134,7 @@ struct Shell {
       std::printf(
           "insert/update <key> <value> | lookup/delete <key> | scan | dump\n"
           "down/up/crash/recover <node> | begin/commit/abort | stats\n"
-          "metrics [json] | trace on|off|dump|clear | quit\n");
+          "metrics [json] | map | trace on|off|dump|clear | quit\n");
     } else if (cmd == "insert" || cmd == "update") {
       std::string key;
       std::string value;
@@ -97,7 +147,9 @@ struct Shell {
     } else if (cmd == "lookup") {
       std::string key;
       if (!need_key(key)) return Usage("lookup <key>");
-      const auto r = txn_ ? txn_->Lookup(key) : suite_->Lookup(key);
+      const auto r = txn_    ? txn_->Lookup(key)
+                     : router_ ? router_->Lookup(key)
+                               : suite_->Lookup(key);
       if (!r.ok()) {
         Print(r.status());
       } else if (r->found) {
@@ -108,16 +160,30 @@ struct Shell {
     } else if (cmd == "delete") {
       std::string key;
       if (!need_key(key)) return Usage("delete <key>");
-      Print(txn_ ? txn_->Delete(key) : suite_->Delete(key));
+      Print(txn_    ? txn_->Delete(key)
+            : router_ ? router_->Delete(key)
+                      : suite_->Delete(key));
     } else if (cmd == "scan") {
-      auto next = suite_->FirstKey();
       std::size_t count = 0;
-      while (next.ok() && next->found) {
-        std::printf("  %s = %s\n", next->key.c_str(), next->value.c_str());
-        ++count;
-        next = suite_->NextKey(next->key);
+      if (router_ != nullptr) {
+        const auto entries = router_->Scan();
+        if (!entries.ok()) {
+          Print(entries.status());
+        } else {
+          for (const auto& e : *entries) {
+            std::printf("  %s = %s\n", e.key.c_str(), e.value.c_str());
+            ++count;
+          }
+        }
+      } else {
+        auto next = suite_->FirstKey();
+        while (next.ok() && next->found) {
+          std::printf("  %s = %s\n", next->key.c_str(), next->value.c_str());
+          ++count;
+          next = suite_->NextKey(next->key);
+        }
+        if (!next.ok()) Print(next.status());
       }
-      if (!next.ok()) Print(next.status());
       std::printf("(%zu entries)\n", count);
     } else if (cmd == "dump") {
       for (auto& node : nodes_) {
@@ -151,7 +217,10 @@ struct Shell {
       std::printf("node %u recovered: %zu ops replayed, %zu in-doubt\n", id,
                   outcome->ops_replayed, outcome->in_doubt.size());
     } else if (cmd == "begin") {
-      if (txn_) {
+      if (router_ != nullptr) {
+        std::printf("multi-op transactions are single-suite only; each "
+                    "sharded op runs in its own transaction\n");
+      } else if (txn_) {
         std::printf("transaction already open\n");
       } else {
         txn_.emplace(suite_->Begin());
@@ -174,27 +243,18 @@ struct Shell {
         std::printf("aborted\n");
       }
     } else if (cmd == "stats") {
-      const auto& s = suite_->stats();
-      const auto& c = s.counters();
-      std::printf(
-          "ops: %llu lookups, %llu inserts, %llu updates, %llu deletes; "
-          "%llu aborted, %llu unavailable\n",
-          (unsigned long long)c.lookups, (unsigned long long)c.inserts,
-          (unsigned long long)c.updates, (unsigned long long)c.deletes,
-          (unsigned long long)c.aborted, (unsigned long long)c.unavailable);
-      std::printf("delete overheads: entries %s | ghosts %s | insertions %s\n",
-                  s.entries_in_ranges_coalesced().ToString().c_str(),
-                  s.deletions_while_coalescing().ToString().c_str(),
-                  s.insertions_while_coalescing().ToString().c_str());
-      std::printf(
-          "cache: %llu hits, %llu misses, %llu invalidations; "
-          "%llu fast-path writes, %llu validated reads, %llu fallbacks\n",
-          (unsigned long long)c.cache_hits, (unsigned long long)c.cache_misses,
-          (unsigned long long)c.cache_invalidations,
-          (unsigned long long)c.fast_path_writes,
-          (unsigned long long)c.validated_reads,
-          (unsigned long long)c.cache_fallbacks);
-      std::printf("('metrics' has the per-layer breakdown)\n");
+      if (router_ != nullptr) {
+        PrintShardedStats();
+      } else {
+        PrintStats("total", suite_->stats());
+        std::printf("('metrics' has the per-layer breakdown)\n");
+      }
+    } else if (cmd == "map") {
+      if (router_ != nullptr) {
+        std::printf("%s\n", authority_.Get()->ToString().c_str());
+      } else {
+        std::printf("single suite - no shard map\n");
+      }
     } else if (cmd == "metrics") {
       std::string mode;
       in >> mode;
@@ -230,10 +290,77 @@ struct Shell {
     return true;
   }
 
+  /// One counters line, labelled: the aggregate or a single shard.
+  void PrintStats(const std::string& label, const rep::SuiteStats& s) {
+    const auto& c = s.counters();
+    std::printf(
+        "%-8s ops: %llu lookups, %llu inserts, %llu updates, %llu deletes; "
+        "%llu aborted, %llu unavailable\n",
+        label.c_str(), (unsigned long long)c.lookups,
+        (unsigned long long)c.inserts, (unsigned long long)c.updates,
+        (unsigned long long)c.deletes, (unsigned long long)c.aborted,
+        (unsigned long long)c.unavailable);
+    std::printf(
+        "%-8s delete overheads: entries %s | ghosts %s | insertions %s\n",
+        label.c_str(), s.entries_in_ranges_coalesced().ToString().c_str(),
+        s.deletions_while_coalescing().ToString().c_str(),
+        s.insertions_while_coalescing().ToString().c_str());
+    std::printf(
+        "%-8s cache: %llu hits, %llu misses, %llu invalidations; "
+        "%llu fast-path writes, %llu validated reads, %llu fallbacks\n",
+        label.c_str(), (unsigned long long)c.cache_hits,
+        (unsigned long long)c.cache_misses,
+        (unsigned long long)c.cache_invalidations,
+        (unsigned long long)c.fast_path_writes,
+        (unsigned long long)c.validated_reads,
+        (unsigned long long)c.cache_fallbacks);
+  }
+
+  /// Aggregate counters over every shard's suite, then the per-shard
+  /// breakdown. Distribution stats don't merge, so the aggregate is
+  /// counters-only and the per-shard lines carry the distributions.
+  void PrintShardedStats() {
+    rep::OpCounters total;
+    const auto ids = router_->shard_ids();
+    for (const rep::ShardId id : ids) {
+      const auto& c = router_->shard_suite(id)->stats().counters();
+      total.lookups += c.lookups;
+      total.inserts += c.inserts;
+      total.updates += c.updates;
+      total.deletes += c.deletes;
+      total.aborted += c.aborted;
+      total.unavailable += c.unavailable;
+      total.cache_hits += c.cache_hits;
+      total.cache_misses += c.cache_misses;
+      total.cache_invalidations += c.cache_invalidations;
+      total.fast_path_writes += c.fast_path_writes;
+      total.validated_reads += c.validated_reads;
+      total.cache_fallbacks += c.cache_fallbacks;
+    }
+    std::printf(
+        "total    ops: %llu lookups, %llu inserts, %llu updates, "
+        "%llu deletes; %llu aborted, %llu unavailable (%zu shards)\n",
+        (unsigned long long)total.lookups, (unsigned long long)total.inserts,
+        (unsigned long long)total.updates, (unsigned long long)total.deletes,
+        (unsigned long long)total.aborted,
+        (unsigned long long)total.unavailable, ids.size());
+    for (const rep::ShardId id : ids) {
+      PrintStats("shard" + std::to_string(id),
+                 router_->shard_suite(id)->stats());
+    }
+    std::printf(
+        "('metrics' has the per-layer breakdown; suite.shard<N>.* names "
+        "are per shard, router.* is the routing layer)\n");
+  }
+
   Status Apply(bool is_insert, const std::string& key,
                const std::string& value) {
     if (txn_) {
       return is_insert ? txn_->Insert(key, value) : txn_->Update(key, value);
+    }
+    if (router_ != nullptr) {
+      return is_insert ? router_->Insert(key, value)
+                       : router_->Update(key, value);
     }
     return is_insert ? suite_->Insert(key, value)
                      : suite_->Update(key, value);
@@ -244,11 +371,13 @@ struct Shell {
     return true;
   }
 
-  rep::QuorumConfig config_;
+  std::vector<rep::QuorumConfig> configs_;  ///< One per shard.
   sim::NetworkModel network_;
   net::InProcTransport transport_;
   std::vector<std::unique_ptr<rep::DirRepNode>> nodes_;
-  std::unique_ptr<rep::DirectorySuite> suite_;
+  rep::ShardMapAuthority authority_;
+  std::unique_ptr<rep::DirectorySuite> suite_;        ///< 1-shard mode.
+  std::unique_ptr<rep::ShardedDirectory> router_;     ///< sharded mode.
   std::optional<rep::SuiteTxn> txn_;
 };
 
@@ -258,17 +387,29 @@ int main(int argc, char** argv) {
   std::uint32_t replicas = 3;
   Votes r = 2;
   Votes w = 2;
+  std::uint32_t shards = 1;
   bool enable_cache = false;
-  if (argc > 1 && std::string(argv[argc - 1]) == "cache") {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args.back() == "cache") {
     enable_cache = true;
-    --argc;
+    args.pop_back();
   }
-  if (argc == 4) {
-    replicas = static_cast<std::uint32_t>(std::atoi(argv[1]));
-    r = static_cast<Votes>(std::atoi(argv[2]));
-    w = static_cast<Votes>(std::atoi(argv[3]));
-  } else if (argc != 1) {
-    std::fprintf(stderr, "usage: %s [replicas R W] [cache]\n", argv[0]);
+  if (args.size() >= 2 && args[args.size() - 2] == "shards") {
+    shards = static_cast<std::uint32_t>(std::atoi(args.back().c_str()));
+    args.pop_back();
+    args.pop_back();
+  }
+  if (args.size() == 3) {
+    replicas = static_cast<std::uint32_t>(std::atoi(args[0].c_str()));
+    r = static_cast<Votes>(std::atoi(args[1].c_str()));
+    w = static_cast<Votes>(std::atoi(args[2].c_str()));
+  } else if (!args.empty()) {
+    std::fprintf(stderr, "usage: %s [replicas R W] [shards N] [cache]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (shards == 0 || shards > 26) {
+    std::fprintf(stderr, "shards must be in [1, 26]\n");
     return 2;
   }
   const auto config = rep::QuorumConfig::Uniform(replicas, r, w);
@@ -276,7 +417,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad configuration: %s\n", st.ToString().c_str());
     return 2;
   }
-  Shell shell(config, enable_cache);
+  Shell shell(config, shards, enable_cache);
   shell.Run();
   return 0;
 }

@@ -5,6 +5,8 @@
 #   bench_version_cache -> BENCH_version_cache.json
 #   bench_throughput    -> BENCH_throughput.json (also asserts the >=5x
 #                          batched-vs-unbatched saturation speedup)
+#   bench_sharding      -> BENCH_sharding.json (also asserts the >=3x
+#                          4-shard aggregate speedup on both transports)
 #
 # Uses the dedicated build-release/ tree so the regular build/ stays intact.
 set -euo pipefail
@@ -15,7 +17,7 @@ jobs="${JOBS:-$(nproc)}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 
-benches=(bench_concurrency bench_version_cache bench_throughput)
+benches=(bench_concurrency bench_version_cache bench_throughput bench_sharding)
 cmake --build "$build" -j"$jobs" --target "${benches[@]}"
 
 # Benches write their JSON into the working directory; run from the repo

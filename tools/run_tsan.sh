@@ -25,6 +25,7 @@ targets=(
   rep/rep_readonly_2pc_test rep/rep_failure_test rep/rep_batching_test
   rep/rep_parallel_fanout_test
   rep/rep_version_cache_test
+  rep/rep_shard_map_test rep/rep_sharded_dir_test rep/rep_shard_split_test
   chaos/chaos_invariants_test
   chaos/chaos_campaign_test
   integration/integration_threaded_test
