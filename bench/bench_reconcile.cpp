@@ -1,0 +1,429 @@
+// Anti-entropy economics: what does digest-driven repair cost against the
+// naive alternative, how fast does ghost debt drain, and what do weak
+// stale reads save once reconciliation makes them trustworthy?
+//
+// Three experiments over the deterministic InProcTransport (every number
+// below is a protocol count - rounds, wire bytes, entries - never wall
+// time, so the results are stable under CI load):
+//
+//  1. Digest economy sweep: a 3-2-2 suite writes N 64-byte-value keys
+//     through a stable {1,3,2} preference order (nodes 1 and 3 current),
+//     then updates a fraction f of them through {1,2,3} (node 3 misses
+//     exactly those). SyncPair(1, 3) repairs node 3; we report the digest
+//     walk bytes, the repair bytes, and both against the bytes one
+//     enveloped full-state transfer of node 1 would cost. The repaired
+//     replica must end byte-identical to the source.
+//  2. Ghost debt drain: a 3-2-2 core plus one zero-vote hint node. Each
+//     round inserts fresh keys and deletes half of the round's keys -
+//     deletes never touch the weak node, so its ghost debt climbs - then
+//     one SyncReplica pass must collect the debt to exactly zero.
+//  3. Stale-read economy: with the weak node freshly reconciled, compare
+//     LookupStale (one RPC to one replica) against the quorum Lookup
+//     (R-wide scatter-gather) in rounds and bytes per op. Every stale
+//     answer is checked against the model.
+//
+// Emits BENCH_reconcile.json. `--smoke` shrinks the sizes for tier-1 CI;
+// the audits (byte-identical repair, exact ghost census, correct stale
+// reads, digest < full state) run in both modes - they are protocol
+// invariants, not perf numbers.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/inproc_transport.h"
+#include "net/wire.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "rep/messages.h"
+#include "rep/reconciler.h"
+
+namespace {
+
+using namespace repdir;
+
+constexpr std::size_t kValueBytes = 64;
+constexpr NodeId kWeak = 9;
+constexpr NodeId kReconcilerNode = 120;
+
+std::string KeyAt(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "k%05d", i);
+  return buf;
+}
+
+std::string ValueFor(int i, char tag) {
+  std::string value = tag + std::to_string(i) + "-";
+  value.resize(kValueBytes, 'x');
+  return value;
+}
+
+/// One deployment: the replica set of `config` on an InProcTransport.
+struct Deployment {
+  net::InProcTransport transport{nullptr};
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+
+  explicit Deployment(const rep::QuorumConfig& config) {
+    for (const auto& replica : config.replicas()) {
+      nodes.push_back(std::make_unique<rep::DirRepNode>(replica.node));
+      transport.RegisterNode(replica.node, nodes.back()->server());
+    }
+  }
+
+  storage::RepStorage& storage(NodeId id) {
+    for (auto& node : nodes) {
+      if (node->id() == id) return node->storage();
+    }
+    std::fprintf(stderr, "no node %u in deployment\n", id);
+    std::exit(1);
+  }
+};
+
+/// Suite with a pinned preference order (StableQuorumPolicy) - the way to
+/// make a specific replica current (in every quorum) or stale (never in
+/// one) under W < V.
+std::unique_ptr<rep::DirectorySuite> PinnedSuite(Deployment& d,
+                                                 NodeId client,
+                                                 rep::QuorumConfig config,
+                                                 std::vector<NodeId> order,
+                                                 MetricsRegistry* metrics) {
+  rep::SuiteOptions options;
+  options.config = std::move(config);
+  options.policy = std::make_unique<rep::StableQuorumPolicy>(std::move(order));
+  options.metrics = metrics;
+  return std::make_unique<rep::DirectorySuite>(d.transport, client,
+                                               std::move(options));
+}
+
+/// Bytes one enveloped message shipping `node`'s full user state would
+/// occupy - the naive transfer the digest walk competes against.
+std::uint64_t FullStateBytes(Deployment& d, NodeId node) {
+  rep::FetchRangeReply all;
+  for (const storage::StoredEntry& e : d.storage(node).Scan()) {
+    if (e.key.is_user()) all.entries.push_back(e);
+  }
+  return net::EncodedWireSize(all);
+}
+
+/// User entries on `node` whose key the model does not contain.
+std::uint64_t GhostCount(Deployment& d, NodeId node,
+                         const std::map<UserKey, Value>& model) {
+  std::uint64_t n = 0;
+  for (const storage::StoredEntry& e : d.storage(node).Scan()) {
+    if (e.key.is_user() && model.find(e.key.user()) == model.end()) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1: digest economy.
+
+struct DigestCell {
+  int stale_pct = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t full_state_bytes = 0;
+  std::uint64_t digest_bytes = 0;
+  std::uint64_t repair_bytes = 0;
+  std::uint64_t ranges_checked = 0;
+  std::uint64_t ranges_mismatched = 0;
+  std::uint64_t entries_installed = 0;
+  bool identical_after = false;
+};
+
+DigestCell RunDigestCell(int keys, int stale_pct) {
+  const auto config = rep::QuorumConfig::Uniform(3, 2, 2);
+  Deployment d(config);
+
+  // Writer A: {1,3} quorums - nodes 1 and 3 see every insert.
+  auto writer_all = PinnedSuite(d, 100, config, {1, 3, 2}, nullptr);
+  for (int i = 0; i < keys; ++i) {
+    if (!writer_all->Insert(KeyAt(i), ValueFor(i, 'v')).ok()) std::exit(1);
+  }
+  // Writer B: {1,2} quorums - node 3 misses exactly these updates. Spread
+  // the stale keys across the keyspace so the digest walk cannot prune one
+  // lucky contiguous run.
+  auto writer_excl = PinnedSuite(d, 101, config, {1, 2, 3}, nullptr);
+  const int stale = keys * stale_pct / 100;
+  const int stride = stale > 0 ? keys / stale : keys;
+  for (int i = 0; i < stale; ++i) {
+    if (!writer_excl->Update(KeyAt(i * stride), ValueFor(i, 'u')).ok()) {
+      std::exit(1);
+    }
+  }
+
+  DigestCell cell;
+  cell.stale_pct = stale_pct;
+  cell.keys = static_cast<std::uint64_t>(keys);
+  cell.full_state_bytes = FullStateBytes(d, 1);
+
+  // Finer leaves than the default: repair fetches whole leaf ranges, and
+  // with the stale keys spread uniformly a wide leaf ships ~leaf_entries
+  // current entries to fix one stale one.
+  rep::Reconciler::Options options;
+  options.leaf_entries = 8;
+  rep::Reconciler rec(d.transport, kReconcilerNode, config,
+                      std::move(options));
+  if (!rec.SyncPair(1, 3).ok()) std::exit(1);
+  const rep::ReconcileStats& s = rec.stats();
+  cell.digest_bytes = s.digest_bytes;
+  cell.repair_bytes = s.repair_bytes;
+  cell.ranges_checked = s.ranges_checked;
+  cell.ranges_mismatched = s.ranges_mismatched;
+  cell.entries_installed = s.entries_installed;
+  cell.identical_after = d.storage(1).Scan() == d.storage(3).Scan();
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: ghost debt drain on the weak replica.
+
+struct GhostRound {
+  std::uint64_t debt_before = 0;
+  std::uint64_t collected = 0;
+  std::uint64_t debt_after = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Experiment 3: stale-read economy.
+
+struct ReadCost {
+  double rounds_per_op = 0;
+  double bytes_per_op = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int digest_keys = smoke ? 300 : 2000;
+  const int ghost_rounds_n = smoke ? 3 : 6;
+  const int ghost_keys_per_round = smoke ? 40 : 200;
+  const int read_ops = smoke ? 100 : 1000;
+
+  std::printf(
+      "Anti-entropy economics (%s): digest repair vs full state, ghost\n"
+      "debt drain, and stale-read savings. All numbers are protocol\n"
+      "counts over the deterministic in-process transport.\n\n",
+      smoke ? "smoke" : "full");
+
+  // -- Experiment 1 --------------------------------------------------------
+  std::printf("[1] digest economy, %d keys x %zu-byte values\n", digest_keys,
+              kValueBytes);
+  std::printf("%7s %12s %12s %12s %8s %10s %9s\n", "stale%", "full B",
+              "digest B", "repair B", "vs full", "ranges", "installed");
+  std::vector<DigestCell> digest_cells;
+  bool audits_ok = true;
+  for (const int pct : {1, 5, 25}) {
+    DigestCell cell = RunDigestCell(digest_keys, pct);
+    if (!cell.identical_after) {
+      audits_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: repair left node 3 differing from node 1 at "
+                   "stale%%=%d\n",
+                   pct);
+    }
+    // The economics have a crossover: repair works leaf-at-a-time, so at
+    // high spread-out staleness a full transfer wins. The audit pins the
+    // low-staleness regime - the one anti-entropy actually runs in - and
+    // the table reports the crossover honestly.
+    if (pct <= 1 &&
+        cell.digest_bytes + cell.repair_bytes >= cell.full_state_bytes) {
+      audits_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: reconciliation (%llu B) did not undercut the "
+                   "full-state transfer (%llu B) at stale%%=%d\n",
+                   static_cast<unsigned long long>(cell.digest_bytes +
+                                                   cell.repair_bytes),
+                   static_cast<unsigned long long>(cell.full_state_bytes),
+                   pct);
+    }
+    if (pct <= 5 && cell.digest_bytes >= cell.full_state_bytes / 2) {
+      audits_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: digest walk alone (%llu B) is not a small "
+                   "fraction of the full state (%llu B) at stale%%=%d\n",
+                   static_cast<unsigned long long>(cell.digest_bytes),
+                   static_cast<unsigned long long>(cell.full_state_bytes),
+                   pct);
+    }
+    std::printf("%7d %12llu %12llu %12llu %7.2f%% %5llu/%-4llu %9llu\n",
+                cell.stale_pct,
+                static_cast<unsigned long long>(cell.full_state_bytes),
+                static_cast<unsigned long long>(cell.digest_bytes),
+                static_cast<unsigned long long>(cell.repair_bytes),
+                100.0 *
+                    static_cast<double>(cell.digest_bytes + cell.repair_bytes) /
+                    static_cast<double>(cell.full_state_bytes),
+                static_cast<unsigned long long>(cell.ranges_mismatched),
+                static_cast<unsigned long long>(cell.ranges_checked),
+                static_cast<unsigned long long>(cell.entries_installed));
+    digest_cells.push_back(cell);
+  }
+
+  // -- Experiments 2 + 3 share one weak-replica deployment -----------------
+  const rep::QuorumConfig weak_config({{1, 1}, {2, 1}, {3, 1}, {kWeak, 0}}, 2,
+                                      2);
+  Deployment weak_d(weak_config);
+  MetricsRegistry registry;
+  rep::SuiteOptions weak_options;
+  weak_options.config = weak_config;
+  weak_options.metrics = &registry;
+  weak_options.enable_stale_reads = true;  // defaults to the weak node
+  rep::DirectorySuite weak_suite(weak_d.transport, 100,
+                                 std::move(weak_options));
+  rep::Reconciler weak_rec(weak_d.transport, kReconcilerNode, weak_config);
+
+  std::printf("\n[2] ghost debt drain, 3-2-2 + weak hint node, %d keys and "
+              "%d deletes per round\n",
+              ghost_keys_per_round, ghost_keys_per_round / 2);
+  std::printf("%6s %12s %10s %11s\n", "round", "debt before", "collected",
+              "debt after");
+  std::map<UserKey, Value> model;
+  std::vector<GhostRound> ghost_rounds;
+  int next_key = 0;
+  for (int round = 0; round < ghost_rounds_n; ++round) {
+    const int base = next_key;
+    for (int i = 0; i < ghost_keys_per_round; ++i, ++next_key) {
+      const std::string key = "g" + KeyAt(next_key);
+      if (!weak_suite.Insert(key, ValueFor(next_key, 'v')).ok()) std::exit(1);
+      model[key] = ValueFor(next_key, 'v');
+    }
+    for (int i = 0; i < ghost_keys_per_round / 2; ++i) {
+      const std::string key = "g" + KeyAt(base + i * 2);
+      if (!weak_suite.Delete(key).ok()) std::exit(1);
+      model.erase(key);
+    }
+    GhostRound gr;
+    gr.debt_before = GhostCount(weak_d, kWeak, model);
+    const std::uint64_t collected0 = weak_rec.stats().ghosts_collected;
+    if (!weak_rec.SyncReplica(kWeak).ok()) std::exit(1);
+    gr.collected = weak_rec.stats().ghosts_collected - collected0;
+    gr.debt_after = GhostCount(weak_d, kWeak, model);
+    if (gr.debt_after != 0 || gr.collected < gr.debt_before) {
+      audits_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: round %d ghost census: before=%llu collected=%llu "
+                   "after=%llu\n",
+                   round, static_cast<unsigned long long>(gr.debt_before),
+                   static_cast<unsigned long long>(gr.collected),
+                   static_cast<unsigned long long>(gr.debt_after));
+    }
+    std::printf("%6d %12llu %10llu %11llu\n", round,
+                static_cast<unsigned long long>(gr.debt_before),
+                static_cast<unsigned long long>(gr.collected),
+                static_cast<unsigned long long>(gr.debt_after));
+    ghost_rounds.push_back(gr);
+  }
+
+  // -- Experiment 3 --------------------------------------------------------
+  std::printf("\n[3] stale-read economy, %d lookups of live keys\n", read_ops);
+  std::vector<UserKey> live;
+  for (const auto& [key, value] : model) live.push_back(key);
+  auto& waves = registry.distribution("rpc.wave_width");
+  auto& sent = registry.counter("rpc.bytes_sent");
+  auto& received = registry.counter("rpc.bytes_received");
+
+  const auto measure = [&](bool stale) {
+    const std::uint64_t waves0 = waves.count();
+    const std::uint64_t bytes0 = sent.value() + received.value();
+    for (int i = 0; i < read_ops; ++i) {
+      const UserKey& key = live[static_cast<std::size_t>(i) % live.size()];
+      const auto r = stale ? weak_suite.LookupStale(key)
+                           : weak_suite.Lookup(key);
+      if (!r.ok() || !r->found || r->value != model[key]) {
+        audits_ok = false;
+        std::fprintf(stderr, "FAIL: %s read of %s wrong\n",
+                     stale ? "stale" : "quorum", key.c_str());
+        break;
+      }
+    }
+    ReadCost cost;
+    cost.rounds_per_op = static_cast<double>(waves.count() - waves0) /
+                         static_cast<double>(read_ops);
+    cost.bytes_per_op =
+        static_cast<double>(sent.value() + received.value() - bytes0) /
+        static_cast<double>(read_ops);
+    return cost;
+  };
+  const ReadCost quorum_cost = measure(/*stale=*/false);
+  const ReadCost stale_cost = measure(/*stale=*/true);
+  if (stale_cost.bytes_per_op >= quorum_cost.bytes_per_op) {
+    audits_ok = false;
+    std::fprintf(stderr,
+                 "FAIL: stale reads (%.1f B/op) did not undercut quorum "
+                 "reads (%.1f B/op)\n",
+                 stale_cost.bytes_per_op, quorum_cost.bytes_per_op);
+  }
+  std::printf("%8s %12s %12s\n", "read", "rounds/op", "bytes/op");
+  std::printf("%8s %12.2f %12.1f\n", "quorum", quorum_cost.rounds_per_op,
+              quorum_cost.bytes_per_op);
+  std::printf("%8s %12.2f %12.1f\n", "stale", stale_cost.rounds_per_op,
+              stale_cost.bytes_per_op);
+
+  if (std::FILE* json = std::fopen("BENCH_reconcile.json", "w")) {
+    std::fprintf(json,
+                 "{\n  \"mode\": \"%s\",\n  \"digest_economy\": {\n"
+                 "    \"keys\": %d,\n    \"value_bytes\": %zu,\n"
+                 "    \"cells\": [\n",
+                 smoke ? "smoke" : "full", digest_keys, kValueBytes);
+    for (std::size_t i = 0; i < digest_cells.size(); ++i) {
+      const DigestCell& c = digest_cells[i];
+      std::fprintf(
+          json,
+          "      {\"stale_pct\": %d, \"full_state_bytes\": %llu,\n"
+          "       \"digest_bytes\": %llu, \"repair_bytes\": %llu,\n"
+          "       \"ranges_checked\": %llu, \"ranges_mismatched\": %llu,\n"
+          "       \"entries_installed\": %llu, \"identical_after\": %s}%s\n",
+          c.stale_pct, static_cast<unsigned long long>(c.full_state_bytes),
+          static_cast<unsigned long long>(c.digest_bytes),
+          static_cast<unsigned long long>(c.repair_bytes),
+          static_cast<unsigned long long>(c.ranges_checked),
+          static_cast<unsigned long long>(c.ranges_mismatched),
+          static_cast<unsigned long long>(c.entries_installed),
+          c.identical_after ? "true" : "false",
+          i + 1 < digest_cells.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "    ]\n  },\n  \"ghost_drain\": {\n"
+                 "    \"keys_per_round\": %d,\n    \"rounds\": [\n",
+                 ghost_keys_per_round);
+    for (std::size_t i = 0; i < ghost_rounds.size(); ++i) {
+      const GhostRound& r = ghost_rounds[i];
+      std::fprintf(json,
+                   "      {\"debt_before\": %llu, \"collected\": %llu, "
+                   "\"debt_after\": %llu}%s\n",
+                   static_cast<unsigned long long>(r.debt_before),
+                   static_cast<unsigned long long>(r.collected),
+                   static_cast<unsigned long long>(r.debt_after),
+                   i + 1 < ghost_rounds.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "    ]\n  },\n  \"stale_reads\": {\n"
+                 "    \"ops\": %d,\n"
+                 "    \"quorum_rounds_per_op\": %.3f, "
+                 "\"quorum_bytes_per_op\": %.1f,\n"
+                 "    \"stale_rounds_per_op\": %.3f, "
+                 "\"stale_bytes_per_op\": %.1f\n"
+                 "  },\n  \"audits_ok\": %s\n}\n",
+                 read_ops, quorum_cost.rounds_per_op, quorum_cost.bytes_per_op,
+                 stale_cost.rounds_per_op, stale_cost.bytes_per_op,
+                 audits_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nWrote BENCH_reconcile.json\n");
+  }
+
+  if (!audits_ok) {
+    std::fprintf(stderr, "\nFAILED: anti-entropy audits violated.\n");
+    return 1;
+  }
+  std::printf("\nAll anti-entropy audits passed.\n");
+  return 0;
+}

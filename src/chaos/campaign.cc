@@ -7,6 +7,7 @@
 
 #include "chaos/deployment.h"
 #include "common/rng.h"
+#include "rep/reconciler.h"
 #include "rep/shard_map.h"
 #include "rep/shard_manager.h"
 #include "rep/sharded_dir.h"
@@ -19,6 +20,10 @@ constexpr NodeId kClient = Deployment::kClientNode;
 
 /// The node id the one-shot bootstrap shard manager identifies as.
 constexpr NodeId kManager = 90;
+
+/// Reconciler client node ids start here (one per replica set, so their
+/// transaction ids never collide with each other or with the suites).
+constexpr NodeId kReconcilerBase = 101;
 
 /// FNV-1a, so a scenario name perturbs the seed identically across runs
 /// (std::hash makes no such promise).
@@ -276,7 +281,17 @@ struct Run {
         deployment(config, WalNodeOptions()),
         suite(deployment.NewSuite(kClient, nullptr, seed,
                                   spec.enable_cache)),
-        seed(seed) {}
+        seed(seed) {
+    if (spec.reconcile_every > 0) {
+      rep::Reconciler::Options options;
+      options.decision_hook = [this](TxnId txn, bool committed) {
+        decisions[txn] = committed;
+      };
+      reconciler = std::make_unique<rep::Reconciler>(
+          deployment.transport(), kReconcilerBase, config,
+          std::move(options));
+    }
+  }
 
   static rep::DirRepNodeOptions WalNodeOptions() {
     rep::DirRepNodeOptions options = Deployment::DefaultNodeOptions();
@@ -287,6 +302,9 @@ struct Run {
   rep::QuorumConfig config;
   Deployment deployment;
   std::unique_ptr<rep::DirectorySuite> suite;
+  /// Anti-entropy driver (spec.reconcile_every > 0 only); its repair
+  /// transactions report into `decisions` like every other transaction.
+  std::unique_ptr<rep::Reconciler> reconciler;
   std::uint64_t seed;
 
   /// Coordinator-side outcome of every finished transaction, by id. The
@@ -712,6 +730,42 @@ struct ShardedRun {
     };
     router = std::make_unique<rep::ShardedDirectory>(transport, kClient,
                                                      authority, options);
+    if (spec.split_during_run) {
+      // The midpoint split's target: one more replica set of the same
+      // topology on its own node ids, booted now so the schedule replays
+      // deterministically. The fence cuts shard 1's range in half.
+      const std::uint32_t stride = ShardStride(spec);
+      std::vector<rep::Replica> replicas;
+      replicas.reserve(spec.topology.votes.size());
+      for (std::size_t i = 0; i < spec.topology.votes.size(); ++i) {
+        replicas.push_back(
+            {static_cast<NodeId>(configs.size() * stride + i + 1),
+             spec.topology.votes[i]});
+      }
+      split_target_config =
+          rep::QuorumConfig(std::move(replicas), spec.topology.read_quorum,
+                            spec.topology.write_quorum);
+      split_target_shard = static_cast<rep::ShardId>(configs.size() + 1);
+      split_fence = KeyName(static_cast<std::uint32_t>(
+          spec.key_space / (2 * configs.size())));
+      for (const auto& replica : split_target_config.replicas()) {
+        auto node = std::make_unique<rep::DirRepNode>(replica.node,
+                                                      Run::WalNodeOptions());
+        transport.RegisterNode(replica.node, node->server());
+        nodes.emplace(replica.node, std::move(node));
+      }
+    }
+    if (spec.reconcile_every > 0) {
+      for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+        rep::Reconciler::Options roptions;
+        roptions.decision_hook = [this](TxnId txn, bool committed) {
+          decisions[txn] = committed;
+        };
+        reconcilers.push_back(std::make_unique<rep::Reconciler>(
+            transport, static_cast<NodeId>(kReconcilerBase + idx),
+            configs[idx], std::move(roptions)));
+      }
+    }
   }
 
   rep::DirRepNode& node(NodeId id) { return *nodes.at(id); }
@@ -722,6 +776,13 @@ struct ShardedRun {
   std::map<NodeId, std::unique_ptr<rep::DirRepNode>> nodes;
   rep::ShardMapAuthority authority;
   std::unique_ptr<rep::ShardedDirectory> router;
+  /// One anti-entropy driver per replica set (spec.reconcile_every > 0);
+  /// a mid-run split appends one for the new shard after it completes.
+  std::vector<std::unique_ptr<rep::Reconciler>> reconcilers;
+  /// Midpoint-split parameters (spec.split_during_run only).
+  rep::QuorumConfig split_target_config;
+  rep::ShardId split_target_shard = 0;
+  UserKey split_fence;
   std::uint64_t seed;
 
   /// Filled by the router's decision hook - it is the coordinator for
@@ -799,6 +860,90 @@ Model SliceModel(const Model& model, const UserKey& low, bool has_high,
   return out;
 }
 
+/// The schedule-midpoint split (spec.split_during_run): pause an online
+/// split of shard 1 right after its copy step - the moving range now lives
+/// on BOTH replica sets while the map still routes it to the source - then
+/// cut the source replica set with a partition, run anti-entropy over the
+/// half-migrated deployment, heal, and let a successor manager resume the
+/// flip and retire. The reconciler must neither re-spread the moving range
+/// nor disturb what the resumed retire expects.
+void MidRunSplit(ShardedRun& run, const ScenarioSpec& spec) {
+  const auto fail = [&run](const std::string& msg) {
+    run.out.verdict = Status::Corruption("mid-run split: " + msg);
+  };
+
+  // The manager's configure and copy waves need every replica of the
+  // source and target reachable: stabilize first. The schedule's own
+  // faults resume once the split is rolling again.
+  run.network.HealAll();
+  run.network.ResetLinks();
+  for (const NodeId id : std::set<NodeId>(run.down)) {
+    run.network.SetNodeUp(id, true);
+    if (const Status st = RecoverNodeImpl(run.node(id), run.decisions);
+        !st.ok()) {
+      fail("pre-split recovery of node " + std::to_string(id) + " failed: " +
+           st.ToString());
+      return;
+    }
+    ++run.out.recoveries;
+  }
+  run.down.clear();
+
+  rep::MemShardJournal journal;
+  rep::ShardManager::Options crash;
+  crash.journal = &journal;
+  crash.fail_after_step = 4;  // copy done; flip and retire still pending
+  rep::ShardManager paused(run.transport, kManager, run.authority, crash);
+  const Status split = paused.Split(1, run.split_fence,
+                                    run.split_target_shard,
+                                    run.split_target_config);
+  if (split.code() != StatusCode::kAborted) {
+    fail("expected the injected manager crash, got: " + split.ToString());
+    return;
+  }
+
+  // Partition straight through the source replica set while the migration
+  // hangs, and reconcile everything that is reachable.
+  const auto& source = run.configs.front().replicas();
+  run.network.Partition(source[0].node, source[1].node);
+  for (const auto& rec : run.reconcilers) (void)rec->RunOnce();
+
+  // Heal, then crash + recover every node before the successor takes over:
+  // repair transactions cut off by the partition may have left prepared
+  // locks behind, and presumed-abort recovery is what clears them (exactly
+  // as the final convergence barrier does). The successor's retire would
+  // otherwise block on an abandoned range lock.
+  run.network.HealAll();
+  for (const auto& [id, node] : run.nodes) {
+    node->Crash();
+    if (const Status st = RecoverNodeImpl(*node, run.decisions); !st.ok()) {
+      fail("post-partition recovery of node " + std::to_string(id) +
+           " failed: " + st.ToString());
+      return;
+    }
+  }
+  rep::ShardManager::Options resume;
+  resume.journal = &journal;
+  if (const Status st =
+          rep::ShardManager(run.transport, kManager, run.authority, resume)
+              .Resume();
+      !st.ok()) {
+    fail("resume failed: " + st.ToString());
+    return;
+  }
+  if (spec.reconcile_every > 0) {
+    // The new shard's replica set joins the reconcile rotation.
+    rep::Reconciler::Options roptions;
+    roptions.decision_hook = [&run](TxnId txn, bool committed) {
+      run.decisions[txn] = committed;
+    };
+    run.reconcilers.push_back(std::make_unique<rep::Reconciler>(
+        run.transport,
+        static_cast<NodeId>(kReconcilerBase + run.configs.size()),
+        run.split_target_config, std::move(roptions)));
+  }
+}
+
 RunOutcome RunShardedSchedule(const ScenarioSpec& spec,
                               const Schedule& schedule, std::uint64_t seed) {
   ShardedRun run(spec, seed);
@@ -806,9 +951,22 @@ RunOutcome RunShardedSchedule(const ScenarioSpec& spec,
 
   std::vector<std::pair<std::size_t, ChaosEvent>> group;
   const std::size_t batch = std::max<std::uint32_t>(1, spec.batch_size);
+  bool split_done = false;
 
   for (std::size_t i = 0; i < schedule.size() && run.out.verdict.ok(); ++i) {
     const ChaosEvent& e = schedule[i];
+    if (spec.split_during_run && !split_done && i >= schedule.size() / 2) {
+      split_done = true;
+      ExecuteRouterBatchGroup(run, group);
+      if (!run.out.verdict.ok()) break;
+      MidRunSplit(run, spec);
+      if (!run.out.verdict.ok()) break;
+    }
+    if (spec.reconcile_every > 0 && i > 0 && i % spec.reconcile_every == 0) {
+      ExecuteRouterBatchGroup(run, group);
+      if (!run.out.verdict.ok()) break;
+      for (const auto& rec : run.reconcilers) (void)rec->RunOnce();
+    }
     if (batch > 1 && Batchable(e)) {
       group.emplace_back(i, e);
       if (group.size() >= batch) ExecuteRouterBatchGroup(run, group);
@@ -890,6 +1048,11 @@ RunOutcome RunShardedSchedule(const ScenarioSpec& spec,
     }
   }
 
+  // Post-barrier anti-entropy: with every node back, a full pass must
+  // converge the stragglers and collect ghost debt without perturbing the
+  // committed state the checks below verdict.
+  for (const auto& rec : run.reconcilers) (void)rec->RunOnce();
+
   // Verdict, shard by shard: each replica set must satisfy EVERY invariant
   // against the model slice of its range - quorum agreement included.
   const auto map = run.authority.Get();
@@ -939,7 +1102,9 @@ RunOutcome RunShardedSchedule(const ScenarioSpec& spec,
 
 RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
                        std::uint64_t seed) {
-  if (spec.shards > 1) return RunShardedSchedule(spec, schedule, seed);
+  if (spec.shards > 1 || spec.split_during_run) {
+    return RunShardedSchedule(spec, schedule, seed);
+  }
   Run run(spec, seed);
 
   // Batched execution: consecutive batchable ops accumulate here and flush
@@ -950,6 +1115,14 @@ RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
 
   for (std::size_t i = 0; i < schedule.size() && run.out.verdict.ok(); ++i) {
     const ChaosEvent& e = schedule[i];
+    if (run.reconciler && i > 0 && i % spec.reconcile_every == 0) {
+      // Anti-entropy pass between schedule windows: repairs ride ordinary
+      // transactions, so whatever faults are in flight, the committed-ops
+      // model must stay intact (failed pairs are just counted).
+      ExecuteBatchGroup(run, group);
+      if (!run.out.verdict.ok()) break;
+      (void)run.reconciler->RunOnce();
+    }
     if (batch > 1 && Batchable(e)) {
       group.emplace_back(i, e);
       if (group.size() >= batch) ExecuteBatchGroup(run, group);
@@ -1036,6 +1209,10 @@ RunOutcome RunSchedule(const ScenarioSpec& spec, const Schedule& schedule,
       return std::move(run.out);
     }
   }
+
+  // Post-barrier anti-entropy: a full pass over the healed deployment must
+  // converge every straggler without perturbing committed state.
+  if (run.reconciler) (void)run.reconciler->RunOnce();
 
   run.out.verdict =
       CheckAll(run.config, run.deployment.Scans(), run.out.committed);
@@ -1260,6 +1437,39 @@ std::vector<ScenarioSpec> BuiltinScenarios() {
     s.topology = {{1, 1, 1}, 2, 2};
     s.shards = 2;
     s.batch_size = 4;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Anti-entropy under fire: a reconciler pass sweeps the replica set
+    // after every 40-event window and after the final barrier. Repairs
+    // ride ordinary transactions, so the committed-ops model and every
+    // invariant must hold whatever faults each pass races.
+    ScenarioSpec s;
+    s.name = "reconcile-3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    s.reconcile_every = 40;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // A weak (zero-vote) replica shedding ghost debt through periodic
+    // reconciliation while crashes and partitions fly.
+    ScenarioSpec s;
+    s.name = "reconcile-weak-4-2-2";
+    s.topology = {{1, 1, 1, 0}, 2, 2};
+    s.reconcile_every = 30;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Online split paused right after its copy step, a partition cut
+    // through the source replica set, reconciler passes over the
+    // half-migrated deployment, then resume: the moving range must never
+    // be duplicated, dropped, or re-spread.
+    ScenarioSpec s;
+    s.name = "split-reconcile-2x3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    s.shards = 2;
+    s.reconcile_every = 50;
+    s.split_during_run = true;
     scenarios.push_back(std::move(s));
   }
   {

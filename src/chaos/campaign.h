@@ -57,6 +57,23 @@ struct ScenarioSpec {
   /// op by op; a transaction-level failure must leave it untouched.
   std::uint32_t batch_size = 1;
 
+  /// >0: an anti-entropy pass (rep::Reconciler::RunOnce over every replica
+  /// set) runs after each window of this many schedule events, and once
+  /// more after the final convergence barrier. Repairs ride ordinary
+  /// transactions, so a pass racing the schedule's faults must never
+  /// disturb the committed-ops model - that is exactly what the run
+  /// verdicts.
+  std::uint32_t reconcile_every = 0;
+
+  /// Sharded runs only: at the schedule midpoint the executor starts an
+  /// online split of shard 1 and crashes the manager right after the copy
+  /// step (both replica sets hold the moving range, the map still routes
+  /// it to the source), injects a partition, runs a reconciler pass over
+  /// the half-migrated deployment, heals, and resumes the split with a
+  /// successor manager. The final checks then hold all three shards to
+  /// the model.
+  bool split_during_run = false;
+
   // Per-step fault mix; the remainder (roughly 3/4) is directory
   // operations. The generator respects quorum viability: it never crashes
   // a node if the surviving voters could not muster max(R, W) votes.

@@ -23,6 +23,16 @@ using Empty = repdir::EmptyMessage;
 /// directions keeps the byte accounting transport-independent.
 inline constexpr std::size_t kEnvelopeOverheadBytes = 24;
 
+/// Bytes `msg` occupies on the wire as one enveloped message - payload plus
+/// the fixed envelope cost above. The reconciler accounts its digest and
+/// repair traffic with this (so "digest bytes vs full-state transfer" uses
+/// the same arithmetic as the rpc.bytes_* counters) without reaching into
+/// the transport.
+template <WireMessage M>
+std::size_t EncodedWireSize(const M& msg) {
+  return EncodeToString(msg).size() + kEnvelopeOverheadBytes;
+}
+
 /// TCP framing of the multiplexed transport. Every frame, both directions,
 /// is [u32 payload length][u64 correlation id][payload], little-endian.
 /// The correlation id pairs a pipelined response with its request: a client

@@ -223,6 +223,47 @@ void DirRepNode::RegisterHandlers() {
         return Status::Ok();
       });
 
+  server_.RegisterTyped<RangeDigestRequest, RangeDigestReply>(
+      kRangeDigest,
+      [this](const RpcRequest& env, const RangeDigestRequest& req,
+             RangeDigestReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
+        REPDIR_ASSIGN_OR_RETURN(
+            out.parts, participant_->DigestRange(req.low, req.high,
+                                                 req.fanout));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<RangeDigestSpansRequest, RangeDigestReply>(
+      kRangeDigestSpans,
+      [this](const RpcRequest& env, const RangeDigestSpansRequest& req,
+             RangeDigestReply& out) {
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
+        std::vector<std::pair<storage::RepKey, storage::RepKey>> spans;
+        spans.reserve(req.spans.size());
+        for (const auto& s : req.spans) spans.emplace_back(s.low, s.high);
+        REPDIR_ASSIGN_OR_RETURN(out.parts, participant_->DigestSpans(spans));
+        return Status::Ok();
+      });
+
+  server_.RegisterTyped<FetchRangeRequest, FetchRangeReply>(
+      kFetchRange,
+      [this](const RpcRequest& env, const FetchRangeRequest& req,
+             FetchRangeReply& out) {
+        // Bounds are deliberately not checked (like kCoalesce): the
+        // reconciler may fetch across a not-yet-retired migrating tail,
+        // and repairs themselves re-check ownership per installed key.
+        REPDIR_RETURN_IF_ERROR(CheckEpoch(env));
+        REPDIR_ASSIGN_OR_RETURN(
+            storage::SegmentState seg,
+            participant_->FetchRange(env.txn, req.low, req.high));
+        out.low_gap = seg.low_gap;
+        out.has_low_entry = seg.low_entry.has_value();
+        if (seg.low_entry.has_value()) out.low_entry = *seg.low_entry;
+        out.entries = std::move(seg.entries);
+        return Status::Ok();
+      });
+
   server_.RegisterTyped<CoalesceRequest, CoalesceReply>(
       kCoalesce,
       [this](const RpcRequest& env, const CoalesceRequest& req,

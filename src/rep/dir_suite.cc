@@ -72,6 +72,8 @@ DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
   fast_path_writes_ = &metrics_->counter(Metric("write.fast_path"));
   validated_reads_ = &metrics_->counter(Metric("read.validated"));
   cache_fallbacks_ = &metrics_->counter(Metric("cache.fallbacks"));
+  stale_reads_ = &metrics_->counter(Metric("read.stale"));
+  stale_fallbacks_ = &metrics_->counter(Metric("read.stale_fallbacks"));
 }
 
 template <WireMessage Resp, WireMessage Req>
@@ -916,6 +918,44 @@ Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
   });
   REPDIR_RETURN_IF_ERROR(Record(st, &OpCounters::lookups,
                                 &metrics_->counter(Metric("ops.lookups"))));
+  return result;
+}
+
+Result<DirectorySuite::LookupResult> DirectorySuite::LookupStale(
+    const UserKey& key) {
+  if (!options_.enable_stale_reads) {
+    return Status::FailedPrecondition(
+        "stale reads are disabled (SuiteOptions::enable_stale_reads)");
+  }
+  NodeId node = options_.stale_read_node;
+  if (node == kInvalidNode) {
+    node = weak_nodes_.empty() ? options_.config.replicas().front().node
+                               : weak_nodes_.front();
+  }
+  // One lookup under a fresh transaction; the single read lock is released
+  // by a read-only commit round to the same node. No quorum is consulted -
+  // freshness is whatever reconciliation last established for this replica.
+  const TxnId txn = txn_ids_->Next();
+  const auto reply = client_.Call<LookupReply>(node, kLookup,
+                                               KeyRequest{RepKey::User(key)},
+                                               txn);
+  if (!reply.ok()) {
+    // The failed call may still have left a lock behind.
+    committer_.Abort(txn, {node});
+    if (options_.decision_hook) options_.decision_hook(txn, false);
+    stale_fallbacks_->Increment();
+    return Lookup(key);
+  }
+  const Status done = committer_.CommitReadOnly(txn, {node});
+  if (options_.decision_hook) options_.decision_hook(txn, done.ok());
+  if (!done.ok()) {
+    stale_fallbacks_->Increment();
+    return Lookup(key);
+  }
+  stale_reads_->Increment();
+  LookupResult result;
+  result.found = reply->present;
+  if (reply->present) result.value = reply->value;
   return result;
 }
 

@@ -97,6 +97,20 @@ class DirectorySuite {
     bool enable_version_cache = false;
     std::size_t version_cache_capacity = 1024;
 
+    /// Bounded-staleness reads (LookupStale): answer from ONE designated
+    /// representative, no quorum round. The answer is only as fresh as
+    /// that replica, so this is meaningful when a rep::Reconciler
+    /// periodically folds a read quorum's state into it - the staleness
+    /// bound is then the reconciliation interval. Off by default; when
+    /// off, LookupStale fails with kFailedPrecondition.
+    bool enable_stale_reads = false;
+
+    /// The representative LookupStale reads from. 0 (default) picks the
+    /// first weak (zero-vote) member - the natural read offload target,
+    /// since it never serves quorum traffic - falling back to the first
+    /// voting member when the suite has no weak members.
+    NodeId stale_read_node = 0;
+
     /// Metric scope. Empty publishes the classic "suite.*" names; a shard
     /// id (e.g. "shard2") publishes "suite.shard2.*" instead, so a router's
     /// per-shard suites can share one registry and still break out cleanly.
@@ -150,6 +164,13 @@ class DirectorySuite {
 
   /// Removes the entry; kNotFound if the key is absent.
   Status Delete(const UserKey& key);
+
+  /// Single-replica read of `key` from Options::stale_read_node - one
+  /// lookup RPC plus one read-only commit round to that node, no quorum.
+  /// May return data as stale as the replica; see
+  /// Options::enable_stale_reads for when that bound is trustworthy. A
+  /// replica failure falls back to the quorum Lookup ("read.stale_fallbacks").
+  Result<LookupResult> LookupStale(const UserKey& key);
 
   /// The smallest current entry with key > `key` (pass "" with
   /// `inclusive_from_low=true` via FirstKey() to start a scan).
@@ -448,6 +469,8 @@ class DirectorySuite {
   Counter* fast_path_writes_ = nullptr;    ///< "suite.write.fast_path".
   Counter* validated_reads_ = nullptr;     ///< "suite.read.validated".
   Counter* cache_fallbacks_ = nullptr;     ///< "suite.cache.fallbacks".
+  Counter* stale_reads_ = nullptr;         ///< "suite.read.stale".
+  Counter* stale_fallbacks_ = nullptr;     ///< "suite.read.stale_fallbacks".
 };
 
 /// The name tests and tools use for suite construction options.

@@ -5,6 +5,7 @@
 #include "common/serde.h"
 #include "net/message.h"
 #include "storage/dir_rep_core.h"
+#include "storage/range_digest.h"
 
 namespace repdir::rep {
 
@@ -27,6 +28,12 @@ enum DirRepMethod : net::MethodId {
   kLookupValidated = 10,
   kLookupBatch = 11,
   kInsertBatch = 12,
+  // Anti-entropy reconciliation (rep/reconciler.h). Digests are lock-free
+  // consistency hints; kFetchRange runs under the caller's transaction with
+  // read locks, so repairs act only on state that holds until the decision.
+  kRangeDigest = 13,
+  kRangeDigestSpans = 14,
+  kFetchRange = 15,
   kPrepare = 100,
   kCommit = 101,
   kAbortTxn = 102,
@@ -278,6 +285,132 @@ struct CoalesceReply {
       RepKey k;
       REPDIR_RETURN_IF_ERROR(k.Decode(r));
       erased.push_back(std::move(k));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Anti-entropy: asks a representative to digest segment (low, high] of its
+/// local state, split into at most `fanout` child segments cut at its own
+/// entry keys. The reconciler compares the children against the lagging
+/// replica's digests of the same spans and recurses only into mismatches.
+struct RangeDigestRequest {
+  RepKey low;
+  RepKey high;
+  std::uint32_t fanout = 8;
+
+  void Encode(ByteWriter& w) const {
+    low.Encode(w);
+    high.Encode(w);
+    w.PutU32(fanout);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(low.Decode(r));
+    REPDIR_RETURN_IF_ERROR(high.Decode(r));
+    return r.GetU32(fanout);
+  }
+};
+
+/// Child-segment digests, covering the requested range end to end.
+struct RangeDigestReply {
+  std::vector<storage::RangeDigest> parts;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(parts.size());
+    for (const auto& p : parts) p.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    parts.clear();
+    parts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      storage::RangeDigest p;
+      REPDIR_RETURN_IF_ERROR(p.Decode(r));
+      parts.push_back(std::move(p));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Anti-entropy: digests of explicitly-bounded segments (the spans a source
+/// replica's SplitDigest produced), answered in request order with a
+/// RangeDigestReply. Lets the reconciler compare both replicas over
+/// identical boundaries even though their stored keys differ.
+struct RangeDigestSpansRequest {
+  struct Span {
+    RepKey low;
+    RepKey high;
+  };
+  std::vector<Span> spans;
+
+  void Encode(ByteWriter& w) const {
+    w.PutVarint(spans.size());
+    for (const auto& s : spans) {
+      s.low.Encode(w);
+      s.high.Encode(w);
+    }
+  }
+  Status Decode(ByteReader& r) {
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    spans.clear();
+    spans.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Span s;
+      REPDIR_RETURN_IF_ERROR(s.low.Decode(r));
+      REPDIR_RETURN_IF_ERROR(s.high.Decode(r));
+      spans.push_back(std::move(s));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Anti-entropy: full state of segment (low, high] under the caller's
+/// transaction (read-locked until the 2PC decision - see
+/// TxnParticipant::FetchRange). The repair leg of reconciliation fetches
+/// the same segment from the source and the target and derives the minimal
+/// set of guarded inserts and coalesces client-side.
+struct FetchRangeRequest {
+  RepKey low;
+  RepKey high;
+
+  void Encode(ByteWriter& w) const {
+    low.Encode(w);
+    high.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(low.Decode(r));
+    return high.Decode(r);
+  }
+};
+
+/// See storage::SegmentState for the field semantics.
+struct FetchRangeReply {
+  Version low_gap = kLowestVersion;
+  bool has_low_entry = false;
+  storage::StoredEntry low_entry;
+  std::vector<storage::StoredEntry> entries;
+
+  void Encode(ByteWriter& w) const {
+    w.PutU64(low_gap);
+    w.PutBool(has_low_entry);
+    low_entry.Encode(w);
+    w.PutVarint(entries.size());
+    for (const auto& e : entries) e.Encode(w);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(r.GetU64(low_gap));
+    REPDIR_RETURN_IF_ERROR(r.GetBool(has_low_entry));
+    REPDIR_RETURN_IF_ERROR(low_entry.Decode(r));
+    std::uint64_t count = 0;
+    REPDIR_RETURN_IF_ERROR(r.GetVarint(count));
+    entries.clear();
+    entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      storage::StoredEntry e;
+      REPDIR_RETURN_IF_ERROR(e.Decode(r));
+      entries.push_back(std::move(e));
     }
     return Status::Ok();
   }

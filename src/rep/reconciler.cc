@@ -1,0 +1,408 @@
+#include "rep/reconciler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace repdir::rep {
+
+namespace {
+
+constexpr txn::TxnControlMethods kTxnMethods{kPrepare, kCommit, kAbortTxn};
+
+using storage::RepKey;
+using storage::StoredEntry;
+
+std::string Scope(const std::string& metric_scope) {
+  std::string s = "suite.";
+  if (!metric_scope.empty()) s += metric_scope + ".";
+  return s + "reconcile.";
+}
+
+}  // namespace
+
+Reconciler::Reconciler(net::Transport& transport, NodeId client_node,
+                       QuorumConfig config, Options options)
+    : config_(std::move(config)),
+      options_(std::move(options)),
+      client_(transport, client_node, options_.metrics),
+      own_txn_ids_(client_node),
+      txn_ids_(options_.txn_ids != nullptr ? options_.txn_ids
+                                           : &own_txn_ids_),
+      committer_(client_, kTxnMethods, options_.rpc_retry),
+      scope_(Scope(options_.metric_scope)),
+      runs_(&client_.metrics().counter(scope_ + "runs")),
+      pairs_synced_(&client_.metrics().counter(scope_ + "pairs_synced")),
+      pair_errors_(&client_.metrics().counter(scope_ + "pair_errors")),
+      ranges_checked_(&client_.metrics().counter(scope_ + "ranges_checked")),
+      ranges_mismatched_(
+          &client_.metrics().counter(scope_ + "ranges_mismatched")),
+      repair_txns_(&client_.metrics().counter(scope_ + "repair_txns")),
+      repair_aborts_(&client_.metrics().counter(scope_ + "repair_aborts")),
+      entries_installed_(
+          &client_.metrics().counter(scope_ + "entries_installed")),
+      ghosts_collected_(
+          &client_.metrics().counter(scope_ + "ghosts_collected")),
+      gap_bumps_(&client_.metrics().counter(scope_ + "gap_bumps")),
+      skipped_newer_(&client_.metrics().counter(scope_ + "skipped_newer")),
+      digest_bytes_(&client_.metrics().counter(scope_ + "digest_bytes")),
+      repair_bytes_(&client_.metrics().counter(scope_ + "repair_bytes")) {
+  if (options_.fanout < 2) options_.fanout = 2;
+  if (options_.leaf_entries == 0) options_.leaf_entries = 1;
+  if (options_.max_depth == 0) options_.max_depth = 1;
+}
+
+Status Reconciler::SyncPair(NodeId source, NodeId target) {
+  struct Item {
+    RepKey low;
+    RepKey high;
+    std::uint32_t depth = 0;
+  };
+  std::vector<Item> stack;
+  stack.push_back({RepKey::Low(), RepKey::High(), 0});
+  bool clean = true;
+
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+
+    RangeDigestRequest sreq;
+    sreq.low = item.low;
+    sreq.high = item.high;
+    sreq.fanout = options_.fanout;
+    auto sres = client_.Call<RangeDigestReply>(source, kRangeDigest, sreq);
+    if (!sres.ok()) return sres.status();
+    std::uint64_t bytes = net::EncodedWireSize(sreq) +
+                          net::EncodedWireSize(*sres);
+
+    RangeDigestSpansRequest treq;
+    treq.spans.reserve(sres->parts.size());
+    for (const auto& part : sres->parts) {
+      treq.spans.push_back({part.low, part.high});
+    }
+    auto tres = client_.Call<RangeDigestReply>(target, kRangeDigestSpans,
+                                               treq);
+    if (!tres.ok()) return tres.status();
+    bytes += net::EncodedWireSize(treq) + net::EncodedWireSize(*tres);
+    stats_.digest_bytes += bytes;
+    digest_bytes_->Increment(bytes);
+
+    if (tres->parts.size() != sres->parts.size()) {
+      return Status::Internal("digest span count mismatch from node " +
+                              std::to_string(target));
+    }
+    for (std::size_t i = 0; i < sres->parts.size(); ++i) {
+      const storage::RangeDigest& sp = sres->parts[i];
+      ++stats_.ranges_checked;
+      ranges_checked_->Increment();
+      if (sp == tres->parts[i]) continue;
+      ++stats_.ranges_mismatched;
+      ranges_mismatched_->Increment();
+      // A single-child reply cannot be split further (the source holds at
+      // most one entry in the segment); repair it directly.
+      const bool leaf = sp.count <= options_.leaf_entries ||
+                        sres->parts.size() <= 1 ||
+                        item.depth + 1 >= options_.max_depth;
+      if (leaf) {
+        if (!RepairSegment(source, target, sp.low, sp.high).ok()) {
+          clean = false;  // counted in repair_aborts; keep walking
+        }
+      } else {
+        stack.push_back({sp.low, sp.high, item.depth + 1});
+      }
+    }
+  }
+  if (!clean) {
+    return Status::Aborted("reconcile pair " + std::to_string(source) +
+                           " -> " + std::to_string(target) +
+                           " left unrepaired segments");
+  }
+  return Status::Ok();
+}
+
+Status Reconciler::RepairSegment(NodeId source, NodeId target,
+                                 const RepKey& low, const RepKey& high) {
+  const TxnId txn = txn_ids_->Next();
+  std::set<NodeId> participants;
+  bool wrote = false;
+  // Effects staged until the commit succeeds (exact-effect accounting).
+  std::uint64_t installed = 0;
+  std::uint64_t ghosts = 0;
+  std::uint64_t bumps = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t bytes = 0;
+
+  ++stats_.repair_txns;
+  repair_txns_->Increment();
+
+  const auto fail = [&](Status st) {
+    committer_.Abort(txn, participants);
+    if (options_.decision_hook) options_.decision_hook(txn, false);
+    ++stats_.repair_aborts;
+    repair_aborts_->Increment();
+    stats_.repair_bytes += bytes;
+    repair_bytes_->Increment(bytes);
+    return st;
+  };
+
+  FetchRangeRequest freq;
+  freq.low = low;
+  freq.high = high;
+  participants.insert(source);
+  auto sres = client_.Call<FetchRangeReply>(source, kFetchRange, freq, txn);
+  if (!sres.ok()) return fail(sres.status());
+  participants.insert(target);
+  auto tres = client_.Call<FetchRangeReply>(target, kFetchRange, freq, txn);
+  if (!tres.ok()) return fail(tres.status());
+  bytes += 2 * net::EncodedWireSize(freq) + net::EncodedWireSize(*sres) +
+           net::EncodedWireSize(*tres);
+  const FetchRangeReply& src = *sres;
+  const FetchRangeReply& tgt = *tres;
+
+  // Client-side model of the target segment, maintained through the
+  // repairs below. Both fetches hold read locks until the 2PC decision, so
+  // the model - and every plan derived from it - stays true while we work.
+  std::map<RepKey, StoredEntry> tentries;
+  if (tgt.has_low_entry) tentries[tgt.low_entry.key] = tgt.low_entry;
+  for (const StoredEntry& e : tgt.entries) tentries[e.key] = e;
+  // Gap versions by start point: `low` plus every target entry key below
+  // `high` (the gap leaving an entry at `high` belongs to the next
+  // segment). Between starts, the version at a point is that of the
+  // greatest start at or below it.
+  std::map<RepKey, Version> pieces;
+  pieces[low] = tgt.low_gap;
+  for (const StoredEntry& e : tgt.entries) {
+    if (e.key < high) pieces[e.key] = e.gap_after;
+  }
+  const auto piece_at = [&](const RepKey& k) {
+    auto it = pieces.upper_bound(k);
+    assert(it != pieces.begin());
+    return (--it)->second;
+  };
+
+  // --- Install leg: copy source entries the target lacks. ---
+  std::vector<StoredEntry> install;
+  if (src.has_low_entry) install.push_back(src.low_entry);
+  install.insert(install.end(), src.entries.begin(), src.entries.end());
+
+  for (const StoredEntry& e : install) {
+    // For keys above `low`, the fetched state decides locally. The entry
+    // AT `low` sits in the gap below the segment, which we did not fetch -
+    // the server-side guard arbitrates that one alone.
+    if (e.key != low) {
+      const auto it = tentries.find(e.key);
+      if (it != tentries.end() && it->second.version >= e.version) {
+        if (it->second.version > e.version) {
+          ++skipped;  // target is ahead: a newer committed write
+        }
+        continue;  // anchor already present
+      }
+      if (it == tentries.end() && piece_at(e.key) > e.version) {
+        ++skipped;  // a newer committed gap (delete) supersedes this entry
+        continue;
+      }
+    }
+    GuardedInsertRequest ireq;
+    ireq.key = e.key;
+    ireq.version = e.version;
+    ireq.value = e.value;
+    ireq.expected_version = e.version;
+    auto ir = client_.Call<net::Empty>(target, kGuardedInsert, ireq, txn);
+    bytes += net::EncodedWireSize(ireq);
+    if (ir.ok()) {
+      bytes += net::EncodedWireSize(*ir);
+      ++installed;
+      wrote = true;
+      // Insert splits (or overwrites within) the containing gap; the gap
+      // partition's versions are unchanged.
+      StoredEntry ne;
+      ne.key = e.key;
+      ne.version = e.version;
+      ne.value = e.value;
+      const auto it = tentries.find(e.key);
+      if (it != tentries.end()) {
+        ne.gap_after = it->second.gap_after;
+      } else if (e.key == low) {
+        ne.gap_after = tgt.low_gap;
+      } else {
+        ne.gap_after = piece_at(e.key);
+        if (e.key < high) pieces[e.key] = ne.gap_after;
+      }
+      tentries[e.key] = ne;
+    } else if (ir.status().code() == StatusCode::kVersionMismatch) {
+      ++skipped;  // lost to state outside the fetched segment (key == low)
+    } else if (ir.status().code() == StatusCode::kWrongShard) {
+      // Target does not own the key (migration in flight). Leave it
+      // absent: adjacent spans lose their anchor and are skipped below, so
+      // a retiring range is never re-spread.
+    } else {
+      return fail(ir.status());
+    }
+  }
+
+  // --- Coalesce leg: bump stale gaps, erase ghosts. ---
+  // Source gap spans: consecutive source entry keys (plus the segment
+  // bounds), each with the source's committed gap version.
+  std::vector<RepKey> bounds;
+  bounds.push_back(low);
+  for (const StoredEntry& e : src.entries) bounds.push_back(e.key);
+  if (bounds.back() != high) bounds.push_back(high);
+
+  const auto present = [&](const RepKey& k) {
+    return k.is_sentinel() || tentries.count(k) != 0;
+  };
+
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const RepKey& a = bounds[i];
+    const RepKey& b = bounds[i + 1];
+    const Version g = i == 0 ? src.low_gap : src.entries[i - 1].gap_after;
+    // DirRepCoalesce needs stored entries at both bounds; an anchor we
+    // could not materialize (newer target delete, wrong shard) skips the
+    // span - a later pass against a caught-up source will close it.
+    if (!present(a) || !present(b)) continue;
+
+    // Target entries inside (a, b) with version >= g are NOT ghosts of
+    // this gap (newer committed writes, or an exact tie we leave alone);
+    // they bound sub-spans so the coalesce never touches them.
+    std::vector<RepKey> sub;
+    sub.push_back(a);
+    for (auto it = tentries.upper_bound(a);
+         it != tentries.end() && it->first < b; ++it) {
+      if (it->second.version >= g) sub.push_back(it->first);
+    }
+    sub.push_back(b);
+
+    for (std::size_t j = 0; j + 1 < sub.size(); ++j) {
+      const RepKey& p = sub[j];
+      const RepKey& q = sub[j + 1];
+      // Ghosts: target entries strictly inside (p, q) - all of version
+      // < g by construction, i.e. superseded by the committed gap.
+      bool have_ghosts = false;
+      {
+        auto it = tentries.upper_bound(p);
+        have_ghosts = it != tentries.end() && it->first < q;
+      }
+      // Target gap pieces starting in [p, q): the versions the coalesce
+      // would overwrite.
+      Version min_piece = g;
+      Version max_piece = kLowestVersion;
+      for (auto it = pieces.lower_bound(p);
+           it != pieces.end() && it->first < q; ++it) {
+        min_piece = std::min(min_piece, it->second);
+        max_piece = std::max(max_piece, it->second);
+      }
+      if (max_piece > g) {
+        ++skipped;  // target already committed a newer gap in here
+        continue;
+      }
+      if (!have_ghosts && min_piece >= g) continue;  // already converged
+      CoalesceRequest creq;
+      creq.low = p;
+      creq.high = q;
+      creq.gap_version = g;
+      auto cres = client_.Call<CoalesceReply>(target, kCoalesce, creq, txn);
+      bytes += net::EncodedWireSize(creq);
+      if (!cres.ok()) return fail(cres.status());
+      bytes += net::EncodedWireSize(*cres);
+      wrote = true;
+      ++bumps;
+      ghosts += cres->erased.size();
+      for (const RepKey& k : cres->erased) {
+        tentries.erase(k);
+        pieces.erase(k);
+      }
+      pieces[p] = g;
+    }
+  }
+
+  const Status decision = wrote ? committer_.Commit(txn, participants)
+                                : committer_.CommitReadOnly(txn, participants);
+  if (options_.decision_hook) options_.decision_hook(txn, decision.ok());
+  stats_.repair_bytes += bytes;
+  repair_bytes_->Increment(bytes);
+  if (!decision.ok()) {
+    ++stats_.repair_aborts;
+    repair_aborts_->Increment();
+    return decision;
+  }
+  stats_.entries_installed += installed;
+  entries_installed_->Increment(installed);
+  stats_.ghosts_collected += ghosts;
+  ghosts_collected_->Increment(ghosts);
+  stats_.gap_bumps += bumps;
+  gap_bumps_->Increment(bumps);
+  stats_.skipped_newer += skipped;
+  skipped_newer_->Increment(skipped);
+  return Status::Ok();
+}
+
+Status Reconciler::SyncReplica(NodeId target) {
+  Votes have = config_.VotesOf(target);
+  const Votes need = config_.read_quorum();
+  Status last = Status::Ok();
+  for (const Replica& r : config_.replicas()) {
+    if (have >= need) break;
+    if (r.node == target || r.votes == 0) continue;
+    const Status st = SyncPair(r.node, target);
+    if (st.ok()) {
+      ++stats_.pairs_synced;
+      pairs_synced_->Increment();
+      have += r.votes;
+    } else {
+      ++stats_.pair_errors;
+      pair_errors_->Increment();
+      last = st;
+    }
+  }
+  if (have < need) {
+    return Status::Unavailable(
+        "replica " + std::to_string(target) + " folded only " +
+        std::to_string(have) + "/" + std::to_string(need) +
+        " votes" + (last.ok() ? "" : ": " + last.message()));
+  }
+  return Status::Ok();
+}
+
+Status Reconciler::RunOnce() {
+  ++stats_.runs;
+  runs_->Increment();
+  for (const NodeId node : config_.Nodes()) {
+    if (!SyncReplica(node).ok()) {
+      ++stats_.replicas_failed;
+    }
+  }
+  return Status::Ok();
+}
+
+// --- BackgroundReconciler ---
+
+BackgroundReconciler::BackgroundReconciler(Reconciler& reconciler,
+                                           DurationMicros interval_micros)
+    : reconciler_(&reconciler), interval_micros_(interval_micros) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void BackgroundReconciler::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundReconciler::Loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, std::chrono::microseconds(interval_micros_),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lk.unlock();
+    (void)reconciler_->RunOnce();
+    lk.lock();
+  }
+}
+
+}  // namespace repdir::rep

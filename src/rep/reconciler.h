@@ -1,0 +1,208 @@
+// Anti-entropy reconciliation: digest-driven replica repair.
+//
+// Quorum operations keep the SUITE correct while individual representatives
+// drift: a replica that misses writes (crash, partition, weak/zero-vote
+// member) serves stale versions until some operation happens to overwrite
+// them, and ghosts - entries superseded by a committed higher-version gap -
+// accumulate on members that missed the delete's coalesce. The Reconciler
+// repairs a lagging representative directly against a current one:
+//
+//   1. Digest walk: the source splits a segment (low, high] into at most
+//      `fanout` children cut at its own entry keys (kRangeDigest) and the
+//      target digests the same spans (kRangeDigestSpans). Matching digests
+//      prune the subtree; mismatches recurse until a segment holds at most
+//      `leaf_entries` source entries.
+//   2. Repair: for each mismatched leaf, one repair transaction fetches the
+//      full segment from both replicas under read locks (kFetchRange,
+//      strict 2PL - the plan stays valid until the 2PC decision), then
+//        * installs source entries the target lacks via guarded inserts
+//          (expected = source version, so a newer target version is never
+//          regressed and a concurrent committed write wins);
+//        * coalesces each source gap span to its committed gap version,
+//          erasing target ghosts (entries older than that committed gap)
+//          and bumping stale gap pieces - skipping any sub-span where the
+//          target already knows a NEWER gap (the target is ahead there);
+//      and finishes with one two-phase commit over {source, target}.
+//
+// Repairs only ever move the target FORWARD to committed state, so
+// reconciliation is idempotent and safe to run concurrently with live
+// traffic: every mutation rides ordinary participant operations under the
+// ordinary locking protocol. Guarded inserts respect shard ownership
+// (kWrongShard skips the key and its adjacent spans), so a reconciler
+// racing an online split never re-spreads a retiring range.
+//
+// SyncReplica folds sources into a target until the folded votes (including
+// the target's own) reach the read quorum R: afterwards, for every key the
+// target's version is at least the maximum over some read quorum at sync
+// time - which is what makes single-replica reads of a freshly reconciled
+// (even zero-vote) member trustworthy up to that staleness bound (see
+// SuiteOptions::enable_stale_reads).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/retry.h"
+#include "net/rpc_client.h"
+#include "rep/messages.h"
+#include "rep/quorum.h"
+#include "txn/coordinator.h"
+#include "txn/txn_id.h"
+
+namespace repdir::rep {
+
+/// Cumulative effect counters of one Reconciler instance. Mutation counts
+/// (entries_installed, ghosts_collected, gap_bumps, skipped_newer) are
+/// staged per repair transaction and folded in only when its commit
+/// succeeds, so they count exactly what took effect.
+struct ReconcileStats {
+  std::uint64_t runs = 0;              ///< RunOnce invocations.
+  std::uint64_t pairs_synced = 0;      ///< Source->target walks completed.
+  std::uint64_t pair_errors = 0;       ///< Walks that failed or left damage.
+  std::uint64_t replicas_failed = 0;   ///< SyncReplica calls short of R.
+  std::uint64_t ranges_checked = 0;    ///< Digest pairs compared.
+  std::uint64_t ranges_mismatched = 0; ///< ... of which differed.
+  std::uint64_t repair_txns = 0;       ///< Repair transactions started.
+  std::uint64_t repair_aborts = 0;     ///< ... of which aborted.
+  std::uint64_t entries_installed = 0; ///< Entries copied to targets.
+  std::uint64_t ghosts_collected = 0;  ///< Ghost entries erased.
+  std::uint64_t gap_bumps = 0;         ///< Coalesces that advanced a gap.
+  std::uint64_t skipped_newer = 0;     ///< Keys/spans where target was ahead.
+  std::uint64_t digest_bytes = 0;      ///< Wire bytes of the digest walk.
+  std::uint64_t repair_bytes = 0;      ///< Wire bytes of fetch + repair.
+};
+
+/// Background repair driver for one suite's representatives. One instance
+/// is a single client (distinct node id from every representative and every
+/// other client); drive it from one thread at a time.
+class Reconciler {
+ public:
+  struct Options {
+    /// Children per digest split. Higher fan-out prunes deeper per round
+    /// trip but ships more digests per message.
+    std::uint32_t fanout = 8;
+
+    /// A mismatched segment with at most this many source entries is
+    /// repaired directly instead of split further.
+    std::uint64_t leaf_entries = 32;
+
+    /// Digest recursion backstop.
+    std::uint32_t max_depth = 64;
+
+    /// Retry policy of the 2PC control waves (prepare/commit/abort).
+    net::RetryPolicy rpc_retry{1};
+
+    /// Registry for the "suite[.<scope>].reconcile.*" counters; null means
+    /// the process-wide default.
+    MetricsRegistry* metrics = nullptr;
+
+    /// Same scoping rule as SuiteOptions::metric_scope.
+    std::string metric_scope;
+
+    /// Invoked after every repair transaction's decision: (txn, true) on
+    /// commit, (txn, false) on abort. Chaos harnesses feed their
+    /// coordinator decision map with this.
+    std::function<void(TxnId, bool)> decision_hook;
+
+    /// Shared transaction-id factory (see SuiteOptions::txn_ids); null:
+    /// private factory seeded by the client node id.
+    txn::TxnIdFactory* txn_ids = nullptr;
+  };
+
+  Reconciler(net::Transport& transport, NodeId client_node,
+             QuorumConfig config, Options options);
+  Reconciler(net::Transport& transport, NodeId client_node,
+             QuorumConfig config)
+      : Reconciler(transport, client_node, std::move(config), Options()) {}
+
+  /// Walks the whole keyspace of `source` against `target`, repairing every
+  /// mismatched leaf segment. OK means the walk completed and every repair
+  /// committed - the target now holds, for every key, a version at least as
+  /// new as the source held at walk time (except where the target's shard
+  /// bounds refused a key). Digest failures stop the walk; a failed repair
+  /// transaction is skipped (counted) and the walk continues, but the pair
+  /// then reports kAborted.
+  Status SyncPair(NodeId source, NodeId target);
+
+  /// Folds sources into `target` (voting members first, in config order)
+  /// until the synced votes - counting the target's own - reach the read
+  /// quorum; kUnavailable if the members are exhausted first.
+  Status SyncReplica(NodeId target);
+
+  /// One full anti-entropy pass: SyncReplica for every representative,
+  /// weak members included. Best-effort - per-replica failures are counted
+  /// in stats().replicas_failed, and the pass itself always completes.
+  Status RunOnce();
+
+  /// Shard-map version stamped into outgoing envelopes (see
+  /// DirectorySuite::set_shard_epoch). 0 disables the fence.
+  void set_shard_epoch(std::uint64_t epoch) { client_.set_shard_epoch(epoch); }
+
+  const ReconcileStats& stats() const { return stats_; }
+  const QuorumConfig& config() const { return config_; }
+
+ private:
+  /// One repair transaction over segment (low, high] of {source, target}.
+  Status RepairSegment(NodeId source, NodeId target,
+                       const storage::RepKey& low,
+                       const storage::RepKey& high);
+
+  QuorumConfig config_;
+  Options options_;
+  net::RpcClient client_;
+  txn::TxnIdFactory own_txn_ids_;
+  txn::TxnIdFactory* txn_ids_;  ///< Options::txn_ids or &own_txn_ids_.
+  txn::TwoPhaseCommitter committer_;
+  ReconcileStats stats_;
+  std::string scope_;  ///< "suite.reconcile." or "suite.<id>.reconcile.".
+
+  Counter* runs_;
+  Counter* pairs_synced_;
+  Counter* pair_errors_;
+  Counter* ranges_checked_;
+  Counter* ranges_mismatched_;
+  Counter* repair_txns_;
+  Counter* repair_aborts_;
+  Counter* entries_installed_;
+  Counter* ghosts_collected_;
+  Counter* gap_bumps_;
+  Counter* skipped_newer_;
+  Counter* digest_bytes_;
+  Counter* repair_bytes_;
+};
+
+/// Periodic RunOnce driver on a private thread. Construction starts the
+/// loop; Stop() (or destruction) joins it. The wrapped Reconciler must not
+/// be driven from other threads while the loop runs; read its stats after
+/// Stop() (the registry counters are safe to read any time).
+class BackgroundReconciler {
+ public:
+  BackgroundReconciler(Reconciler& reconciler, DurationMicros interval_micros);
+  ~BackgroundReconciler() { Stop(); }
+
+  BackgroundReconciler(const BackgroundReconciler&) = delete;
+  BackgroundReconciler& operator=(const BackgroundReconciler&) = delete;
+
+  void Stop();
+
+ private:
+  void Loop();
+
+  Reconciler* reconciler_;
+  DurationMicros interval_micros_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace repdir::rep

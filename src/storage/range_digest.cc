@@ -1,0 +1,127 @@
+#include "storage/range_digest.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repdir::storage {
+
+namespace {
+
+/// FNV-1a 64-bit, mixed field-by-field. Lengths are mixed alongside string
+/// bytes so ("ab","c") and ("a","bc") cannot collide structurally.
+class Mixer {
+ public:
+  void MixU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void MixBytes(const std::string& s) {
+    MixU64(s.size());
+    for (const char c : s) MixByte(static_cast<std::uint8_t>(c));
+  }
+  void MixKey(const RepKey& k) {
+    MixByte(static_cast<std::uint8_t>(k.kind()));
+    MixBytes(k.is_user() ? k.user() : std::string());
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  void MixByte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 1099511628211ULL;
+  }
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+/// Mixes one entry of segment (low, high] into `m`: key, version, value,
+/// and the trailing gap version unless the entry sits exactly at `high`
+/// (that gap belongs to the next segment).
+void MixEntry(Mixer& m, const StoredEntry& e, const RepKey& high) {
+  m.MixKey(e.key);
+  m.MixU64(e.version);
+  m.MixBytes(e.value);
+  if (e.key != high) m.MixU64(e.gap_after);
+}
+
+/// User entries with low < key <= high, in key order.
+std::vector<StoredEntry> EntriesIn(const RepStorage& stg, const RepKey& low,
+                                   const RepKey& high) {
+  std::vector<StoredEntry> out;
+  StoredEntry cur = stg.StrictSuccessor(low);
+  while (!cur.key.is_high() && cur.key <= high) {
+    out.push_back(cur);
+    cur = stg.StrictSuccessor(cur.key);
+  }
+  return out;
+}
+
+}  // namespace
+
+RangeDigest DigestOf(const RepStorage& stg, const RepKey& low,
+                     const RepKey& high) {
+  assert(low < high);
+  RangeDigest d;
+  d.low = low;
+  d.high = high;
+  Mixer m;
+  m.MixU64(stg.Floor(low).gap_after);
+  StoredEntry cur = stg.StrictSuccessor(low);
+  while (!cur.key.is_high() && cur.key <= high) {
+    MixEntry(m, cur, high);
+    ++d.count;
+    cur = stg.StrictSuccessor(cur.key);
+  }
+  d.hash = m.value();
+  return d;
+}
+
+std::vector<RangeDigest> SplitDigest(const RepStorage& stg, const RepKey& low,
+                                     const RepKey& high,
+                                     std::uint32_t fanout) {
+  assert(low < high);
+  assert(fanout >= 1);
+  const std::vector<StoredEntry> entries = EntriesIn(stg, low, high);
+  const std::size_t n = entries.size();
+  std::vector<RangeDigest> children;
+  if (n < 2 || fanout < 2) {
+    children.push_back(DigestOf(stg, low, high));
+    return children;
+  }
+  const std::size_t chunk = (n + fanout - 1) / fanout;
+  RepKey child_low = low;
+  Version child_low_gap = stg.Floor(low).gap_after;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    RangeDigest d;
+    d.low = child_low;
+    // The last chunk stretches to the parent bound so the trailing gap
+    // region past the final entry stays covered.
+    d.high = end == n ? high : entries[end - 1].key;
+    Mixer m;
+    m.MixU64(child_low_gap);
+    for (std::size_t i = begin; i < end; ++i) {
+      MixEntry(m, entries[i], d.high);
+      ++d.count;
+    }
+    d.hash = m.value();
+    children.push_back(std::move(d));
+    child_low = entries[end - 1].key;
+    child_low_gap = entries[end - 1].gap_after;
+  }
+  return children;
+}
+
+SegmentState CollectSegment(const RepStorage& stg, const RepKey& low,
+                            const RepKey& high) {
+  assert(low < high);
+  SegmentState s;
+  s.low_gap = stg.Floor(low).gap_after;
+  if (low.is_user()) {
+    s.low_entry = stg.Get(low);
+  }
+  s.entries = EntriesIn(stg, low, high);
+  return s;
+}
+
+}  // namespace repdir::storage

@@ -1,0 +1,74 @@
+// Range hash summaries of a representative's (key, version) state - the
+// anti-entropy building block ("Directory Reconciliation", Mitzenmacher &
+// Morgan: exchange cheap digests, recurse only into ranges that differ).
+//
+// The keyspace is carved into half-open *segments* (low, high]: a segment
+// owns the gap leaving `low` (its version), every stored user entry with
+// low < key <= high (key, version, value), and each such entry's trailing
+// gap version except the entry at `high` itself - whose gap belongs to the
+// next segment. Two replicas whose segment states are identical produce
+// identical hashes; anchors (`low`/`high`) need not be stored locally, the
+// gap version covering the point just above `low` stands in.
+//
+// These helpers are pure functions over RepStorage; synchronization is the
+// caller's job (TxnParticipant computes digests under its storage mutex).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/rep_storage.h"
+
+namespace repdir::storage {
+
+/// Digest of one segment (low, high].
+struct RangeDigest {
+  RepKey low;
+  RepKey high;
+  std::uint64_t hash = 0;
+  std::uint64_t count = 0;  ///< User entries with low < key <= high.
+
+  void Encode(ByteWriter& w) const {
+    low.Encode(w);
+    high.Encode(w);
+    w.PutU64(hash);
+    w.PutU64(count);
+  }
+  Status Decode(ByteReader& r) {
+    REPDIR_RETURN_IF_ERROR(low.Decode(r));
+    REPDIR_RETURN_IF_ERROR(high.Decode(r));
+    REPDIR_RETURN_IF_ERROR(r.GetU64(hash));
+    return r.GetU64(count);
+  }
+  bool operator==(const RangeDigest&) const = default;
+};
+
+/// Full segment state, shipped when a mismatched segment is small enough to
+/// repair directly: the gap version at the point just above `low`, the
+/// entry stored exactly at `low` (anchor materialization on the target
+/// needs its version/value), and every user entry in (low, high] with its
+/// trailing gap version.
+struct SegmentState {
+  Version low_gap = kLowestVersion;
+  std::optional<StoredEntry> low_entry;
+  std::vector<StoredEntry> entries;
+};
+
+/// Hash and entry count of segment (low, high]. Requires low < high.
+RangeDigest DigestOf(const RepStorage& stg, const RepKey& low,
+                     const RepKey& high);
+
+/// Splits (low, high] into at most `fanout` child segments of roughly equal
+/// entry count, cutting at stored entry keys (so every child's bounds are
+/// keys the source holds), and digests each. A segment with fewer than two
+/// entries comes back as a single child. Requires low < high, fanout >= 1.
+std::vector<RangeDigest> SplitDigest(const RepStorage& stg, const RepKey& low,
+                                     const RepKey& high, std::uint32_t fanout);
+
+/// Collects the full state of segment (low, high]. Requires low < high.
+SegmentState CollectSegment(const RepStorage& stg, const RepKey& low,
+                            const RepKey& high);
+
+}  // namespace repdir::storage

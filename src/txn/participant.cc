@@ -166,6 +166,50 @@ Result<CoalesceEffect> TxnParticipant::Coalesce(TxnId txn, const RepKey& l,
   return effect;
 }
 
+Result<std::vector<storage::RangeDigest>> TxnParticipant::DigestRange(
+    const RepKey& low, const RepKey& high, std::uint32_t fanout) const {
+  if (!(low < high)) {
+    return Status::InvalidArgument("DigestRange requires low < high");
+  }
+  if (fanout == 0 || fanout > 64) {
+    return Status::InvalidArgument("digest fanout out of range");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  return storage::SplitDigest(core_.storage(), low, high, fanout);
+}
+
+Result<std::vector<storage::RangeDigest>> TxnParticipant::DigestSpans(
+    const std::vector<std::pair<RepKey, RepKey>>& spans) const {
+  if (spans.empty() || spans.size() > 1024) {
+    return Status::InvalidArgument("digest span count out of range");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<storage::RangeDigest> out;
+  out.reserve(spans.size());
+  for (const auto& [low, high] : spans) {
+    if (!(low < high)) {
+      return Status::InvalidArgument("DigestSpans requires low < high");
+    }
+    out.push_back(storage::DigestOf(core_.storage(), low, high));
+  }
+  return out;
+}
+
+Result<storage::SegmentState> TxnParticipant::FetchRange(TxnId txn,
+                                                         const RepKey& low,
+                                                         const RepKey& high) {
+  if (!(low < high)) {
+    return Status::InvalidArgument("FetchRange requires low < high");
+  }
+  // Locks RepLookup(low, high): the whole segment, gap versions included,
+  // stays put until this transaction's decision.
+  REPDIR_RETURN_IF_ERROR(AcquireLock(txn, LockMode::kLookup,
+                                     KeyRange{low, high}));
+  std::lock_guard<std::mutex> guard(mu_);
+  StateFor(txn);
+  return storage::CollectSegment(core_.storage(), low, high);
+}
+
 // Decision discipline: the decision record is appended under mu_ (so it
 // lands in the log in storage-mutation order), but the flush that makes it
 // durable runs OUTSIDE mu_ via WalWriter::SyncDecision. Concurrently

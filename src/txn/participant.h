@@ -15,11 +15,13 @@
 
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "lock/range_lock_manager.h"
 #include "storage/dir_rep_core.h"
+#include "storage/range_digest.h"
 #include "storage/wal.h"
 
 namespace repdir::txn {
@@ -76,6 +78,28 @@ class TxnParticipant {
                        const Value& value, Version expected_version);
   Result<CoalesceEffect> Coalesce(TxnId txn, const RepKey& l, const RepKey& h,
                                   Version gap_version);
+
+  // --- Anti-entropy (rep/reconciler.h) ---
+
+  /// Digests segment (low, high] split into at most `fanout` children cut
+  /// at local entry keys. Deliberately lock-free (storage mutex only): a
+  /// digest is a hint about where replicas differ, never acted on directly
+  /// - the repair leg re-reads everything under FetchRange's read locks,
+  /// so a digest that raced a writer costs at worst a wasted comparison.
+  Result<std::vector<storage::RangeDigest>> DigestRange(
+      const RepKey& low, const RepKey& high, std::uint32_t fanout) const;
+
+  /// Digests each explicitly-bounded segment, in request order. Lock-free
+  /// like DigestRange.
+  Result<std::vector<storage::RangeDigest>> DigestSpans(
+      const std::vector<std::pair<RepKey, RepKey>>& spans) const;
+
+  /// Full state of segment (low, high] under a RepLookup range lock held by
+  /// `txn` (strict 2PL: the segment cannot change until the decision), so
+  /// repairs derived from the fetch act on state that is still true when
+  /// they apply.
+  Result<storage::SegmentState> FetchRange(TxnId txn, const RepKey& low,
+                                           const RepKey& high);
 
   // --- Two-phase commit ---
 

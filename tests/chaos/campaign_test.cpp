@@ -177,6 +177,56 @@ TEST(Run, ShardedAndSingleSuiteAgreeOnAFaultFreeSchedule) {
   EXPECT_EQ(single.ops_committed, routed.ops_committed);
 }
 
+TEST(Run, ReconcilerPassesStayGreenAndDeterministic) {
+  // Anti-entropy sweeps interleaved with the schedule: repairs ride
+  // ordinary transactions, so the committed-ops model and the final
+  // invariants must hold, and the run must replay bit-identically.
+  ScenarioSpec spec = Small();
+  spec.name = "test-reconcile-3-2-2";
+  spec.reconcile_every = 25;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Schedule schedule = GenerateSchedule(spec, seed);
+    const RunOutcome a = RunSchedule(spec, schedule, seed);
+    const RunOutcome b = RunSchedule(spec, schedule, seed);
+    EXPECT_TRUE(a.ok()) << "seed " << seed << ": " << a.verdict.ToString();
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ops_committed, b.ops_committed);
+  }
+}
+
+TEST(Run, ReconcilerShedsWeakReplicaGhostsUnderFire) {
+  ScenarioSpec spec = Small();
+  spec.name = "test-reconcile-weak-4-2-2";
+  spec.topology = {{1, 1, 1, 0}, 2, 2};
+  spec.reconcile_every = 20;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Schedule schedule = GenerateSchedule(spec, seed);
+    const RunOutcome outcome = RunSchedule(spec, schedule, seed);
+    EXPECT_TRUE(outcome.ok())
+        << "seed " << seed << ": " << outcome.verdict.ToString();
+  }
+}
+
+TEST(Run, MidScheduleSplitWithPartitionAndReconcilerConverges) {
+  // The satellite regression as a campaign: split paused after the copy,
+  // partition through the source replica set, reconcile, resume - every
+  // shard must still match its model slice and the stitched scan the
+  // whole model.
+  ScenarioSpec spec = Small();
+  spec.name = "test-split-reconcile";
+  spec.shards = 2;
+  spec.reconcile_every = 30;
+  spec.split_during_run = true;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Schedule schedule = GenerateSchedule(spec, seed);
+    const RunOutcome a = RunSchedule(spec, schedule, seed);
+    const RunOutcome b = RunSchedule(spec, schedule, seed);
+    EXPECT_TRUE(a.ok()) << "seed " << seed << ": " << a.verdict.ToString();
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ops_committed, b.ops_committed);
+  }
+}
+
 TEST(Run, SurvivesFaultHeavySchedules) {
   // Crank every fault probability: the run must still verdict OK (ops may
   // all fail, but invariants hold).

@@ -1,0 +1,194 @@
+// Reconciler vs in-flight shard migration: a repair pass racing an online
+// split must never duplicate a copied-but-not-yet-retired entry onto the
+// source shard's replicas, nor make one vanish before the retire step runs.
+// Guarded installs carry the ordinary shard-ownership check, so a repair of
+// a key the source shard no longer owns bounces with kWrongShard and the
+// reconciler simply leaves it to the new owner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rep/reconciler.h"
+#include "rep/shard_manager.h"
+#include "rep/sharded_dir.h"
+#include "shard_harness.h"
+#include "storage/dir_rep_core.h"
+
+namespace repdir::rep {
+namespace {
+
+using test::ShardHarness;
+
+constexpr NodeId kReconcilerNode = 101;
+
+std::vector<std::string> Keys() {
+  std::vector<std::string> keys;
+  for (char c = 'a'; c <= 'z'; ++c) keys.emplace_back(1, c);
+  return keys;
+}
+
+class ReconcileShardTest : public ::testing::Test {
+ protected:
+  ReconcileShardTest() {
+    EXPECT_TRUE(
+        harness_
+            .Bootstrap(SingleShardMap(1, QuorumConfig::Uniform(3, 2, 2, 1)))
+            .ok());
+    harness_.AddReplicas(TargetConfig());
+    router_ = harness_.NewRouter();
+    for (const auto& k : Keys()) {
+      EXPECT_TRUE(router_->Insert(k, "v-" + k).ok());
+    }
+  }
+
+  static QuorumConfig TargetConfig() {
+    return QuorumConfig::Uniform(3, 2, 2, 11);
+  }
+
+  static QuorumConfig SourceConfig() {
+    return QuorumConfig::Uniform(3, 2, 2, 1);
+  }
+
+  /// Updates `key` while source replica 3 is partitioned away, leaving it
+  /// stale there (the quorum {1, 2} carries the write).
+  void StaleOnNode3(const std::string& key, const std::string& value) {
+    harness_.network().SetNodeUp(3, false);
+    ASSERT_TRUE(router_->Update(key, value).ok());
+    harness_.network().SetNodeUp(3, true);
+  }
+
+  std::vector<std::string> ScanKeys(ShardedDirectory& router) {
+    auto scan = router.Scan();
+    EXPECT_TRUE(scan.ok());
+    std::vector<std::string> keys;
+    for (const auto& e : scan.value()) keys.push_back(e.key);
+    return keys;
+  }
+
+  void ExpectAllWellFormed() {
+    for (NodeId n : {1, 2, 3, 11, 12, 13}) {
+      EXPECT_TRUE(storage::CheckRepInvariants(harness_.node(n).storage()).ok())
+          << "replica " << n;
+    }
+  }
+
+  ShardHarness harness_;
+  std::unique_ptr<ShardedDirectory> router_;
+  MemShardJournal journal_;
+};
+
+TEST_F(ReconcileShardTest, RepairAfterFlipNeverRespreadsTheRetiringRange) {
+  // Replica 3 misses an update on each side of the fence "m".
+  StaleOnNode3("c", "fresh-c");
+  StaleOnNode3("q", "fresh-q");
+
+  // Crash the split right after step 5: the copy ran, the map flipped -
+  // shard 2 owns [m, ..) - but the source replicas still HOLD every copied
+  // entry (retire is step 6, still pending).
+  ShardManager::Options crash;
+  crash.journal = &journal_;
+  crash.fail_after_step = 5;
+  ASSERT_EQ(harness_.NewManager(crash)->Split(1, "m", 2, TargetConfig()).code(),
+            StatusCode::kAborted);
+
+  // Anti-entropy pass over the source shard's replica set, mid-migration.
+  // The owned side ("c") must repair; the copied-but-not-retired side
+  // ("q") must bounce off the narrowed shard bounds and stay untouched.
+  Reconciler rec(harness_.transport(), kReconcilerNode, SourceConfig());
+  ASSERT_TRUE(rec.RunOnce().ok());
+  EXPECT_GT(rec.stats().entries_installed, 0u) << "owned-side repair landed";
+
+  const auto Find = [&](NodeId n, const std::string& key)
+      -> std::optional<storage::StoredEntry> {
+    for (const auto& e : harness_.node(n).storage().Scan()) {
+      if (e.key.is_user() && e.key.user() == key) return e;
+    }
+    return std::nullopt;
+  };
+  ASSERT_TRUE(Find(3, "c").has_value());
+  EXPECT_EQ(Find(3, "c")->value, "fresh-c") << "owned range must repair";
+  ASSERT_TRUE(Find(3, "q").has_value());
+  EXPECT_EQ(Find(3, "q")->value, "v-q")
+      << "retiring range must NOT be re-spread by the reconciler";
+  ExpectAllWellFormed();
+
+  // A successor manager retires the moved range; afterwards every key
+  // lives exactly once, in its new home, at its newest value.
+  ShardManager::Options resume;
+  resume.journal = &journal_;
+  ASSERT_TRUE(harness_.NewManager(resume)->Resume().ok());
+
+  auto after = harness_.NewRouter(ShardHarness::kRouterNode + 1);
+  EXPECT_EQ(ScanKeys(*after), Keys()) << "no key duplicated or vanished";
+  EXPECT_EQ(after->Lookup("q").value().value, "fresh-q");
+  EXPECT_EQ(after->Lookup("c").value().value, "fresh-c");
+  for (NodeId n : {1, 2, 3}) {
+    for (const auto& e : harness_.node(n).storage().Scan()) {
+      if (e.key.is_user()) {
+        EXPECT_LT(e.key.user(), std::string("m"))
+            << "replica " << n << " kept a retired entry";
+      }
+    }
+  }
+  ExpectAllWellFormed();
+}
+
+TEST_F(ReconcileShardTest, RepairDuringDualWritePhaseKeepsTheCopyHonest) {
+  StaleOnNode3("c", "fresh-c");
+  StaleOnNode3("q", "fresh-q");
+
+  // Crash right after step 3: dual-writes armed, source fenced, copy NOT
+  // yet run. The source shard still owns its full range, so repairing the
+  // stale replica here is legitimate - and the later copy must pick up the
+  // repaired (newest) values, not resurrect stale ones.
+  ShardManager::Options crash;
+  crash.journal = &journal_;
+  crash.fail_after_step = 3;
+  ASSERT_EQ(harness_.NewManager(crash)->Split(1, "m", 2, TargetConfig()).code(),
+            StatusCode::kAborted);
+
+  Reconciler rec(harness_.transport(), kReconcilerNode, SourceConfig());
+  ASSERT_TRUE(rec.RunOnce().ok());
+  EXPECT_EQ(rec.stats().repair_aborts, 0u);
+  EXPECT_GT(rec.stats().entries_installed, 0u);
+
+  ShardManager::Options resume;
+  resume.journal = &journal_;
+  ASSERT_TRUE(harness_.NewManager(resume)->Resume().ok());
+
+  auto after = harness_.NewRouter(ShardHarness::kRouterNode + 1);
+  EXPECT_EQ(ScanKeys(*after), Keys());
+  EXPECT_EQ(after->Lookup("q").value().value, "fresh-q");
+  EXPECT_EQ(after->Lookup("c").value().value, "fresh-c");
+  ExpectAllWellFormed();
+}
+
+TEST_F(ReconcileShardTest, TargetShardReconcilesCleanlyAfterTheSplit) {
+  ASSERT_TRUE(harness_.NewManager()->Split(1, "m", 2, TargetConfig()).ok());
+
+  // Post-split traffic that leaves target replica 13 stale.
+  auto router = harness_.NewRouter(ShardHarness::kRouterNode + 1);
+  harness_.network().SetNodeUp(13, false);
+  ASSERT_TRUE(router->Update("q", "post-split").ok());
+  ASSERT_TRUE(router->Delete("r").ok());
+  harness_.network().SetNodeUp(13, true);
+
+  Reconciler rec(harness_.transport(), kReconcilerNode, TargetConfig());
+  ASSERT_TRUE(rec.RunOnce().ok());
+  EXPECT_EQ(rec.stats().replicas_failed, 0u);
+  EXPECT_EQ(harness_.node(11).storage().Scan(),
+            harness_.node(13).storage().Scan())
+      << "stale target replica should converge";
+  ExpectAllWellFormed();
+
+  std::vector<std::string> want = Keys();
+  want.erase(std::find(want.begin(), want.end(), "r"));
+  EXPECT_EQ(ScanKeys(*router), want);
+}
+
+}  // namespace
+}  // namespace repdir::rep

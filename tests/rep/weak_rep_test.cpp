@@ -85,6 +85,77 @@ TEST_F(WeakRepTest, StaleWeakGhostNeverCorruptsReads) {
   }
 }
 
+TEST_F(WeakRepTest, StaleWeakReplyRacingDeleteCoalesceNeverWins) {
+  // Regression for the weak-reply fold-in audit: a weak copy that missed
+  // BOTH a later update and the delete holds a ghost whose version is
+  // lower than the committed gap. Every read quorum intersects the
+  // delete's write quorum, so some folded member reports the higher gap
+  // version and the ghost must lose the fold on version order - never on
+  // a present-beats-absent tie-break.
+  ASSERT_TRUE(suite_->Insert("k", "v1").ok());
+  ASSERT_TRUE(suite_->Update("k", "v2").ok());
+  harness_.network().SetNodeUp(kWeak, false);
+  ASSERT_TRUE(suite_->Update("k", "v3").ok());
+  ASSERT_TRUE(suite_->Delete("k").ok());
+  harness_.network().SetNodeUp(kWeak, true);
+
+  // The weak copy is a ghost at the update-2 version.
+  ASSERT_TRUE(
+      harness_.node(kWeak).storage().Get(RepKey::User("k")).has_value());
+  for (int i = 0; i < 10; ++i) {
+    const auto r = suite_->Lookup("k");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->found) << "stale weak ghost folded over the delete";
+  }
+
+  // Re-creating the key mints a version above the delete's gap, so the
+  // fold must now pick the NEW value over the still-ghosted old one.
+  ASSERT_TRUE(suite_->Insert("k", "reborn").ok());
+  for (int i = 0; i < 10; ++i) {
+    const auto r = suite_->Lookup("k");
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->found);
+    EXPECT_EQ(r->value, "reborn") << "fold resurrected a pre-delete value";
+  }
+}
+
+TEST_F(WeakRepTest, WeakGhostNeverShadowsNeighborIteration) {
+  // The neighbor search that backs NextKey consults only quorum members -
+  // a ghost held by the weak node must not reappear in ordered iteration.
+  ASSERT_TRUE(suite_->Insert("a", "1").ok());
+  ASSERT_TRUE(suite_->Insert("b", "2").ok());
+  ASSERT_TRUE(suite_->Insert("c", "3").ok());
+  harness_.network().SetNodeUp(kWeak, false);
+  ASSERT_TRUE(suite_->Delete("b").ok());
+  harness_.network().SetNodeUp(kWeak, true);
+  ASSERT_TRUE(
+      harness_.node(kWeak).storage().Get(RepKey::User("b")).has_value())
+      << "scenario requires the weak node to hold the ghost";
+
+  const auto next = suite_->NextKey("a");
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->found);
+  EXPECT_EQ(next->key, "c") << "ghost \"b\" leaked into iteration";
+  EXPECT_FALSE(suite_->Lookup("b")->found);
+}
+
+TEST_F(WeakRepTest, AbortedWriteLeavesNoTraceOnTheWeakNode) {
+  // Weak representatives are transaction participants: a mutation that
+  // cannot reach its write quorum must roll back everywhere, including the
+  // best-effort weak copy - otherwise the weak node would hold uncommitted
+  // data and later folds could serve it.
+  harness_.network().SetNodeUp(2, false);
+  harness_.network().SetNodeUp(3, false);
+  EXPECT_FALSE(suite_->Insert("orphan", "uncommitted").ok());
+  harness_.network().SetNodeUp(2, true);
+  harness_.network().SetNodeUp(3, true);
+  EXPECT_FALSE(
+      harness_.node(kWeak).storage().Get(RepKey::User("orphan")).has_value())
+      << "aborted write left data on the weak representative";
+  EXPECT_FALSE(suite_->Lookup("orphan")->found);
+  EXPECT_TRUE(AllRepsWellFormed(harness_));
+}
+
 TEST_F(WeakRepTest, ModelAgreementWithWeakNodeInPlay) {
   // Random workload against the model, with the weak node flapping.
   std::map<UserKey, Value> model;

@@ -21,9 +21,11 @@
 //   down <node>              up <node>
 //   crash <node>             recover <node>
 //   begin | commit | abort   (multi-op transaction)
+//   reconcile [node]         (anti-entropy pass; with a node: repair just it)
 //   stats                    metrics [json]
 //   map                      (sharded mode: the routing table)
 //   trace on|off|dump|clear  help | quit
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -36,6 +38,7 @@
 #include "net/inproc_transport.h"
 #include "rep/dir_rep_node.h"
 #include "rep/dir_suite.h"
+#include "rep/reconciler.h"
 #include "rep/shard_manager.h"
 #include "rep/sharded_dir.h"
 #include "sim/network_model.h"
@@ -134,7 +137,8 @@ struct Shell {
       std::printf(
           "insert/update <key> <value> | lookup/delete <key> | scan | dump\n"
           "down/up/crash/recover <node> | begin/commit/abort | stats\n"
-          "metrics [json] | map | trace on|off|dump|clear | quit\n");
+          "reconcile [node] | metrics [json] | map | "
+          "trace on|off|dump|clear | quit\n");
     } else if (cmd == "insert" || cmd == "update") {
       std::string key;
       std::string value;
@@ -242,6 +246,11 @@ struct Shell {
         txn_.reset();
         std::printf("aborted\n");
       }
+    } else if (cmd == "reconcile") {
+      NodeId id = 0;
+      const bool targeted = bool(in >> id);
+      if (targeted && Node(id) == nullptr) return Usage("reconcile [node]");
+      Reconcile(targeted, id);
     } else if (cmd == "stats") {
       if (router_ != nullptr) {
         PrintShardedStats();
@@ -353,6 +362,52 @@ struct Shell {
         "are per shard, router.* is the routing layer)\n");
   }
 
+  /// Anti-entropy by hand: a full RunOnce over every shard's replica set,
+  /// or - with a node - one SyncReplica folding a read quorum into it.
+  /// Prints the per-pass deltas so the repair work is visible.
+  void Reconcile(bool targeted, NodeId target) {
+    if (reconcilers_.empty()) {
+      // Lazily built, one per shard, on client ids no suite uses.
+      for (std::size_t s = 0; s < configs_.size(); ++s) {
+        reconcilers_.push_back(std::make_unique<rep::Reconciler>(
+            transport_, static_cast<NodeId>(120 + s), configs_[s]));
+      }
+    }
+    for (std::size_t s = 0; s < reconcilers_.size(); ++s) {
+      auto& rec = *reconcilers_[s];
+      const auto members = rec.config().Nodes();
+      if (targeted &&
+          std::find(members.begin(), members.end(), target) == members.end()) {
+        continue;
+      }
+      const rep::ReconcileStats before = rec.stats();
+      const Status st = targeted ? rec.SyncReplica(target) : rec.RunOnce();
+      const rep::ReconcileStats& a = rec.stats();
+      const char* label = configs_.size() > 1 ? "shard" : "suite";
+      std::printf(
+          "%s%s: %s; %llu/%llu ranges mismatched, %llu entries installed, "
+          "%llu ghosts collected, %llu gap bumps, %llu skipped newer\n",
+          label,
+          configs_.size() > 1 ? std::to_string(s + 1).c_str() : "",
+          st.ToString().c_str(),
+          (unsigned long long)(a.ranges_mismatched - before.ranges_mismatched),
+          (unsigned long long)(a.ranges_checked - before.ranges_checked),
+          (unsigned long long)(a.entries_installed - before.entries_installed),
+          (unsigned long long)(a.ghosts_collected - before.ghosts_collected),
+          (unsigned long long)(a.gap_bumps - before.gap_bumps),
+          (unsigned long long)(a.skipped_newer - before.skipped_newer));
+      std::printf(
+          "%s%s: %llu repair txns (%llu aborted), %llu digest B, "
+          "%llu repair B\n",
+          label,
+          configs_.size() > 1 ? std::to_string(s + 1).c_str() : "",
+          (unsigned long long)(a.repair_txns - before.repair_txns),
+          (unsigned long long)(a.repair_aborts - before.repair_aborts),
+          (unsigned long long)(a.digest_bytes - before.digest_bytes),
+          (unsigned long long)(a.repair_bytes - before.repair_bytes));
+    }
+  }
+
   Status Apply(bool is_insert, const std::string& key,
                const std::string& value) {
     if (txn_) {
@@ -379,6 +434,7 @@ struct Shell {
   std::unique_ptr<rep::DirectorySuite> suite_;        ///< 1-shard mode.
   std::unique_ptr<rep::ShardedDirectory> router_;     ///< sharded mode.
   std::optional<rep::SuiteTxn> txn_;
+  std::vector<std::unique_ptr<rep::Reconciler>> reconcilers_;
 };
 
 }  // namespace

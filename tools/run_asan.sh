@@ -23,6 +23,7 @@ targets=(
   net/net_tcp_transport_test
   rep/rep_version_cache_test rep/rep_op_batch_test
   rep/rep_shard_map_test rep/rep_sharded_dir_test rep/rep_shard_split_test
+  rep/rep_reconcile_test rep/rep_reconcile_shard_test
   chaos/chaos_invariants_test
   chaos/chaos_campaign_test
   integration/integration_observability_test

@@ -7,6 +7,9 @@
 #                          batched-vs-unbatched saturation speedup)
 #   bench_sharding      -> BENCH_sharding.json (also asserts the >=3x
 #                          4-shard aggregate speedup on both transports)
+#   bench_reconcile     -> BENCH_reconcile.json (digest repair vs full-state
+#                          bytes, ghost-debt drain, stale-read savings; the
+#                          audits are protocol invariants)
 #
 # Uses the dedicated build-release/ tree so the regular build/ stays intact.
 set -euo pipefail
@@ -17,7 +20,7 @@ jobs="${JOBS:-$(nproc)}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 
-benches=(bench_concurrency bench_version_cache bench_throughput bench_sharding)
+benches=(bench_concurrency bench_version_cache bench_throughput bench_sharding bench_reconcile)
 cmake --build "$build" -j"$jobs" --target "${benches[@]}"
 
 # Benches write their JSON into the working directory; run from the repo

@@ -26,6 +26,7 @@ targets=(
   rep/rep_parallel_fanout_test
   rep/rep_version_cache_test
   rep/rep_shard_map_test rep/rep_sharded_dir_test rep/rep_shard_split_test
+  rep/rep_reconcile_test rep/rep_reconcile_shard_test
   chaos/chaos_invariants_test
   chaos/chaos_campaign_test
   integration/integration_threaded_test
