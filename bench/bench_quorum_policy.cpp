@@ -1,0 +1,406 @@
+// Latency-aware quorum planning + hedged reads: does the adaptive policy
+// actually buy what it promises?
+//
+// Three legs, mirroring the three transports the suite runs on:
+//
+//  1. Sim (deterministic): a 5-node R=W=3 deployment on the in-process
+//     transport with a virtual clock and heterogeneous one-way link
+//     latencies. Per-op cost is virtual microseconds advanced by the
+//     modeled links - exact, zero noise. Adaptive must beat both the
+//     random policy (the paper's §4 uniform selection) and a stable
+//     order that does not know the latencies.
+//  2. Threaded (real sleeps): a 3-2-2 deployment where node 3 is a 10x
+//     straggler. Random planning eats the straggler in most read quorums;
+//     the adaptive planner steers around it and the hedge wave covers the
+//     residual tail. The full run asserts the hedged+adaptive p99 is at
+//     least 2x below the random baseline AND that hedging costs <= 10%
+//     extra messages over the same policy unhedged.
+//  3. TCP (real loopback sockets): homogeneous links - the honest
+//     negative control. Adaptive+hedged should ride within noise of the
+//     default policy with (near) zero hedges fired: the machinery must
+//     not cost anything when there is nothing to win.
+//
+// Emits BENCH_quorum_policy.json. `--smoke` runs a seconds-scale subset:
+// the deterministic sim leg keeps its ordering audit (virtual time is
+// exact even in smoke), the wall-clock legs drop their perf assertions
+// (CI timing is noise).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/deployment.h"
+#include "common/metrics.h"
+#include "lock/deadlock.h"
+#include "net/tcp_transport.h"
+#include "net/threaded_transport.h"
+#include "rep/dir_rep_node.h"
+#include "rep/dir_suite.h"
+#include "rep/quorum_policy.h"
+
+namespace {
+
+using namespace repdir;
+using WallClock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+// --- Leg 1: deterministic sim, heterogeneous links, virtual cost ---
+
+// One-way latencies by replica index: two fast replicas (150us), a medium
+// pair, and one far node. R = 3 of 5: the best read set sums 700us one-way,
+// a stable order oblivious to latency pays for the 3000us node on every op.
+constexpr DurationMicros kSimOneWayUs[5] = {400, 3000, 150, 900, 150};
+
+struct SimSample {
+  std::string policy;
+  double p50_us = 0, p90_us = 0, mean_us = 0;
+};
+
+enum class PolicyKind { kRandom, kStable, kAdaptive };
+
+SimSample RunSim(PolicyKind kind, int lookups) {
+  chaos::Deployment deployment(rep::QuorumConfig::Uniform(5, 3, 3));
+  const auto nodes = deployment.config().Nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const sim::LinkSpec link{kSimOneWayUs[i], 0, 0.0};
+    deployment.network().SetLink(chaos::Deployment::kClientNode, nodes[i],
+                                 link);
+    deployment.network().SetLink(nodes[i], chaos::Deployment::kClientNode,
+                                 link);
+  }
+
+  // The adaptive suite measures on the deployment's virtual clock, so the
+  // scoreboard sees exactly the modeled latencies - deterministic.
+  MetricsRegistry metrics(&deployment.clock());
+  std::unique_ptr<rep::DirectorySuite> suite;
+  SimSample sample;
+  switch (kind) {
+    case PolicyKind::kRandom:
+      sample.policy = "random";
+      suite = deployment.NewSuite(chaos::Deployment::kClientNode, nullptr, 7);
+      break;
+    case PolicyKind::kStable:
+      sample.policy = "stable";
+      suite = deployment.NewSuite(
+          chaos::Deployment::kClientNode,
+          std::make_unique<rep::StableQuorumPolicy>(deployment.config()));
+      break;
+    case PolicyKind::kAdaptive: {
+      sample.policy = "adaptive";
+      rep::SuiteOptions options;
+      options.policy_seed = 7;
+      options.enable_adaptive_policy = true;
+      options.metrics = &metrics;
+      suite = deployment.NewSuiteWithOptions(chaos::Deployment::kClientNode,
+                                             std::move(options));
+      break;
+    }
+  }
+
+  // Seeding doubles as the adaptive warm-up: every write wave completes
+  // against real links, so the EWMAs converge before we measure.
+  for (int k = 0; k < 32; ++k) {
+    if (!suite->Insert("k" + std::to_string(k), "0").ok()) std::exit(1);
+  }
+
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(lookups));
+  for (int i = 0; i < lookups; ++i) {
+    const TimeMicros t0 = deployment.clock().Now();
+    const auto r = suite->Lookup("k" + std::to_string(i % 32));
+    if (!r.ok() || !r->found) std::exit(1);
+    costs.push_back(static_cast<double>(deployment.clock().Now() - t0));
+  }
+  std::sort(costs.begin(), costs.end());
+  sample.p50_us = Percentile(costs, 0.50);
+  sample.p90_us = Percentile(costs, 0.90);
+  double sum = 0;
+  for (const double c : costs) sum += c;
+  sample.mean_us = sum / static_cast<double>(costs.size());
+  return sample;
+}
+
+// --- Legs 2 and 3: wall-clock deployments (threaded / tcp) ---
+
+enum class Wire { kThreaded, kTcp };
+
+/// Same shape as bench_throughput's deployment: N representatives behind
+/// either the threaded transport (NetworkModel latencies, real sleeps) or
+/// real loopback TCP.
+struct Deployment {
+  lock::DeadlockDetector detector;
+  rep::QuorumConfig config = rep::QuorumConfig::Uniform(3, 2, 2);
+  std::unique_ptr<sim::NetworkModel> network;
+  std::unique_ptr<net::ThreadedTransport> threaded;
+  std::unique_ptr<net::TcpTransport> tcp;
+  std::vector<std::unique_ptr<rep::DirRepNode>> nodes;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+
+  explicit Deployment(Wire wire) {
+    rep::DirRepNodeOptions node_options;
+    node_options.detector = &detector;
+    node_options.participant.blocking_locks = true;
+
+    if (wire == Wire::kThreaded) {
+      network = std::make_unique<sim::NetworkModel>(1);
+      threaded = std::make_unique<net::ThreadedTransport>(network.get());
+    } else {
+      tcp = std::make_unique<net::TcpTransport>();
+    }
+    for (const auto& replica : config.replicas()) {
+      nodes.push_back(
+          std::make_unique<rep::DirRepNode>(replica.node, node_options));
+      if (wire == Wire::kThreaded) {
+        threaded->RegisterNode(replica.node, nodes.back()->server());
+      } else {
+        servers.push_back(
+            std::make_unique<net::TcpServer>(nodes.back()->server()));
+        const auto port = servers.back()->Start();
+        if (!port.ok()) {
+          std::fprintf(stderr, "tcp listen failed: %s\n",
+                       port.status().ToString().c_str());
+          std::exit(1);
+        }
+        tcp->AddRoute(replica.node, "127.0.0.1", *port);
+      }
+    }
+  }
+
+  net::Transport& transport() {
+    return threaded ? static_cast<net::Transport&>(*threaded) : *tcp;
+  }
+};
+
+constexpr NodeId kClient = 100;
+constexpr DurationMicros kFastOneWayUs = 200;
+constexpr DurationMicros kStragglerOneWayUs = 2000;  // the 10x straggler
+constexpr DurationMicros kJitterUs = 50;
+constexpr NodeId kStragglerNode = 3;
+
+enum class SuiteMode { kRandom, kAdaptive, kAdaptiveHedged };
+
+const char* ModeName(SuiteMode m) {
+  switch (m) {
+    case SuiteMode::kRandom: return "random";
+    case SuiteMode::kAdaptive: return "adaptive";
+    case SuiteMode::kAdaptiveHedged: return "adaptive+hedged";
+  }
+  return "?";
+}
+
+struct WallSample {
+  std::string mode;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  std::uint64_t attempts = 0;  ///< Transport messages in the measured loop.
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+};
+
+WallSample RunWall(Wire wire, SuiteMode mode, int lookups, int warmup) {
+  Deployment deployment(wire);
+  if (wire == Wire::kThreaded) {
+    deployment.network->SetDefaultLink(
+        sim::LinkSpec{kFastOneWayUs, kJitterUs, 0.0});
+    const sim::LinkSpec slow{kStragglerOneWayUs, kJitterUs, 0.0};
+    deployment.network->SetLink(kClient, kStragglerNode, slow);
+    deployment.network->SetLink(kStragglerNode, kClient, slow);
+  }
+
+  MetricsRegistry metrics;  // wall clock backs the scoreboard + hedge delay
+  rep::SuiteOptions options;
+  options.config = deployment.config;
+  options.policy_seed = 7;
+  options.metrics = &metrics;
+  options.enable_adaptive_policy = mode != SuiteMode::kRandom;
+  options.enable_hedged_reads = mode == SuiteMode::kAdaptiveHedged;
+  rep::DirectorySuite suite(deployment.transport(), kClient,
+                            std::move(options));
+
+  // Seed + warm-up: converge the EWMAs and fill the per-method latency
+  // distribution the p95 hedge delay derives from. Not measured.
+  for (int k = 0; k < 16; ++k) {
+    if (!suite.Insert("k" + std::to_string(k), "0").ok()) std::exit(1);
+  }
+  for (int i = 0; i < warmup; ++i) {
+    if (!suite.Lookup("k" + std::to_string(i % 16)).ok()) std::exit(1);
+  }
+
+  const std::uint64_t attempts_before = deployment.transport().TotalAttempts();
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(lookups));
+  for (int i = 0; i < lookups; ++i) {
+    const auto t0 = WallClock::now();
+    const auto r = suite.Lookup("k" + std::to_string(i % 16));
+    if (!r.ok() || !r->found) std::exit(1);
+    lat.push_back(
+        std::chrono::duration<double, std::micro>(WallClock::now() - t0)
+            .count());
+  }
+
+  WallSample sample;
+  sample.mode = ModeName(mode);
+  sample.attempts = deployment.transport().TotalAttempts() - attempts_before;
+  sample.hedges = metrics.counter("rpc.hedges").value();
+  sample.hedge_wins = metrics.counter("rpc.hedge_wins").value();
+  std::sort(lat.begin(), lat.end());
+  sample.p50_us = Percentile(lat, 0.50);
+  sample.p95_us = Percentile(lat, 0.95);
+  sample.p99_us = Percentile(lat, 0.99);
+  return sample;
+}
+
+void PrintWall(const WallSample& s) {
+  std::printf("%16s %10.0f %10.0f %10.0f %10llu %7llu %7llu\n",
+              s.mode.c_str(), s.p50_us, s.p95_us, s.p99_us,
+              static_cast<unsigned long long>(s.attempts),
+              static_cast<unsigned long long>(s.hedges),
+              static_cast<unsigned long long>(s.hedge_wins));
+}
+
+void JsonWall(std::FILE* json, const WallSample& s, const char* trailer) {
+  std::fprintf(json,
+               "    {\"mode\": \"%s\", \"p50_us\": %.1f, \"p95_us\": %.1f, "
+               "\"p99_us\": %.1f, \"attempts\": %llu, \"hedges\": %llu, "
+               "\"hedge_wins\": %llu}%s\n",
+               s.mode.c_str(), s.p50_us, s.p95_us, s.p99_us,
+               static_cast<unsigned long long>(s.attempts),
+               static_cast<unsigned long long>(s.hedges),
+               static_cast<unsigned long long>(s.hedge_wins), trailer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // Leg 1: deterministic sim. Virtual time is exact, so the ordering audit
+  // runs in smoke mode too - it is an invariant, not a timing guess.
+  std::printf(
+      "Sim leg: 5-3-3 inproc + virtual clock, one-way us = "
+      "{400, 3000, 150, 900, 150}; cost = virtual us per lookup\n");
+  std::printf("%10s %10s %10s %10s\n", "policy", "p50 us", "p90 us", "mean");
+  const int sim_lookups = smoke ? 60 : 400;
+  std::vector<SimSample> sim;
+  for (const PolicyKind kind :
+       {PolicyKind::kRandom, PolicyKind::kStable, PolicyKind::kAdaptive}) {
+    sim.push_back(RunSim(kind, sim_lookups));
+    const auto& s = sim.back();
+    std::printf("%10s %10.0f %10.0f %10.0f\n", s.policy.c_str(), s.p50_us,
+                s.p90_us, s.mean_us);
+  }
+  const bool sim_ok =
+      sim[2].p50_us < sim[0].p50_us && sim[2].p50_us < sim[1].p50_us;
+  std::printf("Ordering audit (adaptive p50 beats random AND stable): %s\n\n",
+              sim_ok ? "PASS" : "FAIL");
+  if (!sim_ok) return 1;
+
+  // Leg 2: threaded transport, 10x straggler on node 3.
+  std::printf(
+      "Threaded leg: 3-2-2, one-way %llu/%lluus (+%lluus jitter), node %u "
+      "is the straggler\n",
+      static_cast<unsigned long long>(kFastOneWayUs),
+      static_cast<unsigned long long>(kStragglerOneWayUs),
+      static_cast<unsigned long long>(kJitterUs),
+      static_cast<unsigned>(kStragglerNode));
+  std::printf("%16s %10s %10s %10s %10s %7s %7s\n", "mode", "p50 us", "p95 us",
+              "p99 us", "attempts", "hedges", "wins");
+  const int wall_lookups = smoke ? 80 : 500;
+  const int wall_warmup = smoke ? 24 : 80;
+  std::vector<WallSample> threaded;
+  for (const SuiteMode mode : {SuiteMode::kRandom, SuiteMode::kAdaptive,
+                               SuiteMode::kAdaptiveHedged}) {
+    threaded.push_back(RunWall(Wire::kThreaded, mode, wall_lookups,
+                               wall_warmup));
+    PrintWall(threaded.back());
+  }
+  const double p99_cut = threaded[0].p99_us / threaded[2].p99_us;
+  const double msg_overhead =
+      static_cast<double>(threaded[2].attempts) /
+      static_cast<double>(threaded[1].attempts);
+  std::printf(
+      "p99: random %.0fus -> adaptive+hedged %.0fus (%.1fx); messages "
+      "vs unhedged adaptive: %.3fx\n\n",
+      threaded[0].p99_us, threaded[2].p99_us, p99_cut, msg_overhead);
+
+  // Leg 3: real TCP loopback, homogeneous - the negative control.
+  std::printf("TCP leg: 3-2-2 loopback sockets, homogeneous links\n");
+  std::printf("%16s %10s %10s %10s %10s %7s %7s\n", "mode", "p50 us", "p95 us",
+              "p99 us", "attempts", "hedges", "wins");
+  const int tcp_lookups = smoke ? 60 : 300;
+  std::vector<WallSample> tcp;
+  for (const SuiteMode mode : {SuiteMode::kRandom, SuiteMode::kAdaptiveHedged}) {
+    tcp.push_back(RunWall(Wire::kTcp, mode, tcp_lookups, wall_warmup));
+    PrintWall(tcp.back());
+  }
+  std::printf("\n");
+
+  if (!smoke) {
+    if (std::FILE* json = std::fopen("BENCH_quorum_policy.json", "w")) {
+      std::fprintf(json,
+                   "{\n  \"sim\": {\n"
+                   "    \"config\": \"5-3-3 inproc, virtual clock\",\n"
+                   "    \"one_way_us\": [400, 3000, 150, 900, 150],\n"
+                   "    \"samples\": [\n");
+      for (std::size_t i = 0; i < sim.size(); ++i) {
+        std::fprintf(json,
+                     "      {\"policy\": \"%s\", \"p50_us\": %.0f, "
+                     "\"p90_us\": %.0f, \"mean_us\": %.0f}%s\n",
+                     sim[i].policy.c_str(), sim[i].p50_us, sim[i].p90_us,
+                     sim[i].mean_us, i + 1 < sim.size() ? "," : "");
+      }
+      std::fprintf(json, "    ]\n  },\n  \"threaded\": {\n");
+      std::fprintf(json,
+                   "    \"config\": \"3-2-2, one-way %llu/%lluus, straggler "
+                   "node %u\",\n    \"samples\": [\n",
+                   static_cast<unsigned long long>(kFastOneWayUs),
+                   static_cast<unsigned long long>(kStragglerOneWayUs),
+                   static_cast<unsigned>(kStragglerNode));
+      for (std::size_t i = 0; i < threaded.size(); ++i) {
+        JsonWall(json, threaded[i], i + 1 < threaded.size() ? "," : "");
+      }
+      std::fprintf(json,
+                   "    ],\n    \"p99_cut_vs_random\": %.2f,\n"
+                   "    \"message_overhead_vs_unhedged\": %.3f\n  },\n",
+                   p99_cut, msg_overhead);
+      std::fprintf(json, "  \"tcp\": {\n    \"config\": \"3-2-2 loopback, "
+                         "homogeneous\",\n    \"samples\": [\n");
+      for (std::size_t i = 0; i < tcp.size(); ++i) {
+        JsonWall(json, tcp[i], i + 1 < tcp.size() ? "," : "");
+      }
+      std::fprintf(json, "    ]\n  }\n}\n");
+      std::fclose(json);
+      std::printf("Wrote BENCH_quorum_policy.json\n");
+    }
+
+    if (p99_cut < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: adaptive+hedged p99 cut %.2fx < 2x vs the random "
+                   "baseline under a 10x straggler\n",
+                   p99_cut);
+      return 1;
+    }
+    if (msg_overhead > 1.10) {
+      std::fprintf(stderr,
+                   "FAIL: hedging cost %.3fx > 1.10x messages vs the "
+                   "unhedged adaptive run\n",
+                   msg_overhead);
+      return 1;
+    }
+    std::printf("PASS: p99 cut %.2fx >= 2x, hedge message overhead %.3fx "
+                "<= 1.10x\n",
+                p99_cut, msg_overhead);
+  }
+  return 0;
+}

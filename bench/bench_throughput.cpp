@@ -438,6 +438,29 @@ int main(int argc, char** argv) {
     }
     std::printf("PASS: batched saturation speedup %.2fx >= 5x\n",
                 threaded_speedup);
+
+    // Client-scaling tripwire: hardcoded 16-thread server pools once
+    // oversubscribed small containers badly enough that 8 tcp clients ran
+    // ~21% SLOWER than 4 (34.1k vs 43.0k ops/s on one core). Pools now
+    // size to the hardware; going wide again must never collapse the
+    // curve. 0.85 leaves room for scheduler noise, not for the bug.
+    double tcp4 = 0, tcp8 = 0;
+    for (const auto& s : sweep) {
+      if (s.wire == Wire::kTcp && s.batch > 1) {
+        if (s.clients == 4) tcp4 = s.ops_per_sec;
+        if (s.clients == 8) tcp8 = s.ops_per_sec;
+      }
+    }
+    if (tcp4 > 0 && tcp8 < 0.85 * tcp4) {
+      std::fprintf(stderr,
+                   "FAIL: tcp batched throughput fell from %.0f ops/s at 4 "
+                   "clients to %.0f at 8 - thread oversubscription is back\n",
+                   tcp4, tcp8);
+      return 1;
+    }
+    std::printf("PASS: tcp batched 8-client throughput %.0f >= 0.85 * "
+                "4-client %.0f\n",
+                tcp8, tcp4);
   }
   return 0;
 }

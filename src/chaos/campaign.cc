@@ -279,9 +279,21 @@ struct Run {
   Run(const ScenarioSpec& spec, std::uint64_t seed)
       : config(spec.topology.Config()),
         deployment(config, WalNodeOptions()),
-        suite(deployment.NewSuite(kClient, nullptr, seed,
-                                  spec.enable_cache)),
+        metrics(spec.adaptive
+                    ? std::make_unique<MetricsRegistry>(&deployment.clock())
+                    : nullptr),
+        suite(MakeSuite(deployment, spec, metrics.get(), seed)),
         seed(seed) {
+    if (spec.slow_node != 0) {
+      // Persistent straggler: both legs of the client<->node link carry the
+      // extra virtual latency (the reconciler client included).
+      sim::LinkSpec slow;
+      slow.base_latency = spec.slow_latency_us;
+      for (const NodeId client : {kClient, kReconcilerBase}) {
+        deployment.network().SetLink(client, spec.slow_node, slow);
+        deployment.network().SetLink(spec.slow_node, client, slow);
+      }
+    }
     if (spec.reconcile_every > 0) {
       rep::Reconciler::Options options;
       options.decision_hook = [this](TxnId txn, bool committed) {
@@ -299,8 +311,23 @@ struct Run {
     return options;
   }
 
+  static std::unique_ptr<rep::DirectorySuite> MakeSuite(
+      Deployment& deployment, const ScenarioSpec& spec,
+      MetricsRegistry* metrics, std::uint64_t seed) {
+    rep::SuiteOptions options;
+    options.policy_seed = seed;
+    options.enable_version_cache = spec.enable_cache;
+    options.enable_adaptive_policy = spec.adaptive;
+    options.enable_hedged_reads = spec.adaptive;
+    options.metrics = metrics;
+    return deployment.NewSuiteWithOptions(kClient, std::move(options));
+  }
+
   rep::QuorumConfig config;
   Deployment deployment;
+  /// Private registry on the deployment's virtual clock (adaptive runs
+  /// only): scoreboard latency measurements replay deterministically.
+  std::unique_ptr<MetricsRegistry> metrics;
   std::unique_ptr<rep::DirectorySuite> suite;
   /// Anti-entropy driver (spec.reconcile_every > 0 only); its repair
   /// transactions report into `decisions` like every other transaction.
@@ -1470,6 +1497,35 @@ std::vector<ScenarioSpec> BuiltinScenarios() {
     s.shards = 2;
     s.reconcile_every = 50;
     s.split_during_run = true;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Latency-aware planning around a persistent straggler: node 2's links
+    // carry heavy virtual latency, the adaptive policy steers quorums away
+    // from it and hedged reads fire around it, while crashes and
+    // partitions keep reshuffling which R-vote sets are even reachable.
+    // The invariants are the point: ANY quorum the planner picks - steered,
+    // hedged, or fallback - must agree with the committed-ops model.
+    ScenarioSpec s;
+    s.name = "slow-node-3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    s.adaptive = true;
+    s.slow_node = 2;
+    s.slow_latency_us = 5'000;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // A rapidly flapping membership under the adaptive policy: crash and
+    // recovery probabilities are cranked so nodes cycle through failure
+    // streaks, quarantine, probation probes, and recovery. A quarantined
+    // node must re-earn traffic (never be starved into unavailability)
+    // and every quorum the planner assembles must stay correct.
+    ScenarioSpec s;
+    s.name = "flapping-node-3-2-2";
+    s.topology = {{1, 1, 1}, 2, 2};
+    s.adaptive = true;
+    s.p_crash = 0.08;
+    s.p_recover = 0.20;
     scenarios.push_back(std::move(s));
   }
   {

@@ -65,6 +65,21 @@ struct ScenarioSpec {
   /// verdicts.
   std::uint32_t reconcile_every = 0;
 
+  /// Enables the latency-aware layer in the run's suite client: the
+  /// AdaptiveQuorumPolicy over a node scoreboard plus hedged single-shot
+  /// read inquiries. The suite gets a private MetricsRegistry on the
+  /// deployment's virtual clock, so scoreboard measurements (and thus the
+  /// preference orders) replay deterministically. The invariants don't
+  /// change: ANY R-vote quorum the planner picks must stay correct.
+  bool adaptive = false;
+
+  /// >0: links between the clients and this representative carry
+  /// `slow_latency_us` one-way virtual latency from the start of the run -
+  /// a persistent straggler the adaptive planner should learn to avoid
+  /// (and hedge around) without ever violating an invariant.
+  NodeId slow_node = 0;
+  DurationMicros slow_latency_us = 0;
+
   /// Sharded runs only: at the schedule midpoint the executor starts an
   /// online split of shard 1 and crashes the manager right after the copy
   /// step (both replica sets hold the moving range, the map still routes

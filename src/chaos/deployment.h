@@ -29,7 +29,7 @@ class Deployment {
                       std::uint64_t network_seed = 99)
       : config_(std::move(config)),
         network_(network_seed),
-        transport_(nullptr, &network_) {
+        transport_(&clock_, &network_) {
     for (const auto& replica : config_.replicas()) {
       nodes_.push_back(
           std::make_unique<rep::DirRepNode>(replica.node, node_options));
@@ -81,6 +81,11 @@ class Deployment {
   sim::NetworkModel& network() { return network_; }
   net::InProcTransport& transport() { return transport_; }
 
+  /// The deployment's virtual clock, advanced by the transport's modeled
+  /// link latency. Latency-aware runs hand a MetricsRegistry on this clock
+  /// to their suite so scoreboard measurements are deterministic.
+  VirtualClock& clock() { return clock_; }
+
   /// Storage snapshots of every representative, for the invariant checks.
   ScanMap Scans() const {
     ScanMap scans;
@@ -94,6 +99,7 @@ class Deployment {
 
  private:
   rep::QuorumConfig config_;
+  VirtualClock clock_;  ///< Declared before transport_ (handed to its ctor).
   sim::NetworkModel network_;
   net::InProcTransport transport_;
   std::vector<std::unique_ptr<rep::DirRepNode>> nodes_;

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -37,6 +38,7 @@
 
 #include "common/metrics.h"
 #include "net/retry.h"
+#include "net/scoreboard.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
@@ -58,11 +60,16 @@ struct CallSlot {
 
 /// Outcome of a ParallelCall. `replies[i]` is empty iff slot i was never
 /// issued (the stop predicate fired first); slots [0, issued) were handed
-/// to the transport, in order, and have replies.
+/// to the transport, in order, and have replies. A HedgedParallelCall may
+/// additionally leave an ISSUED slot's reply empty: the quota closed while
+/// the slot was still in flight and it was detached (the transport layer
+/// sends it a best-effort cancel on late completion - see the hedging
+/// contract on HedgedParallelCall).
 template <WireMessage Resp>
 struct FanOutResult {
   std::vector<std::optional<Result<Resp>>> replies;
   std::size_t issued = 0;
+  bool hedged = false;  ///< A hedge wave was launched (hedged calls only).
 };
 
 struct FanOutOptions {
@@ -98,6 +105,20 @@ struct FanOutState {
   Counter* bytes_sent = nullptr;
   Counter* bytes_received = nullptr;
   PerMethodMetrics method;
+
+  /// Optional latency/health scoreboard fed per slot issue/completion.
+  std::shared_ptr<NodeScoreboard> scoreboard;
+
+  /// Hedging support: once the caller has returned (quota closed with
+  /// slots still in flight) `abandoned` flips and each late completion
+  /// fires `cancel_request` at its node - best effort, no reply awaited -
+  /// so any server-side state the detached call created (read locks under
+  /// strict 2PL) is released rather than leaked. The shared_ptr keeps this
+  /// state alive until the last detached slot has completed.
+  std::atomic<bool> abandoned{false};
+  bool has_cancel = false;
+  RpcRequest cancel_request;
+  Counter* hedge_cancels = nullptr;
 };
 
 template <WireMessage Resp>
@@ -116,6 +137,7 @@ void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
   state->method.calls->Increment();
   state->bytes_sent->Increment(state->requests[i].payload.size() +
                                kEnvelopeOverheadBytes);
+  if (state->scoreboard) state->scoreboard->OnIssue(state->to[i]);
   const TimeMicros start = state->metrics->NowMicros();
   state->transport->CallAsync(
       state->to[i], state->requests[i],
@@ -127,11 +149,22 @@ void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
         }
         Result<Resp> out = MergeReply<Resp>(st, resp);
         const TimeMicros now = state->metrics->NowMicros();
-        state->method.latency->Record(
-            now >= start ? static_cast<double>(now - start) : 0.0);
+        const double latency_us =
+            now >= start ? static_cast<double>(now - start) : 0.0;
+        state->method.latency->Record(latency_us);
+        if (state->scoreboard) {
+          // Reachability, not application success: an application error
+          // proves the node alive (see NodeScoreboard::OnComplete).
+          const bool reachable =
+              out.ok() || out.status().code() != StatusCode::kUnavailable;
+          state->scoreboard->OnComplete(state->to[i],
+                                        state->requests[i].method, latency_us,
+                                        reachable);
+        }
         if (!out.ok()) state->failures->Increment();
         if (!out.ok() && RetryPolicy::Retriable(out.status()) &&
-            attempts_left > 1) {
+            attempts_left > 1 &&
+            !state->abandoned.load(std::memory_order_acquire)) {
           state->retries->Increment();
           const std::uint32_t retry_no = state->max_attempts - attempts_left + 1;
           state->metrics->distribution("rpc.backoff_us")
@@ -143,14 +176,30 @@ void IssueSlot(const std::shared_ptr<FanOutState<Resp>>& state, std::size_t i,
           IssueSlot(state, i, attempts_left - 1);
           return;
         }
-        std::lock_guard<std::mutex> lk(state->mu);
-        state->replies[i] = std::move(out);
-        ++state->completed;
-        if (!state->stop && state->stop_fn &&
-            state->stop_fn(i, *state->replies[i])) {
-          state->stop = true;
+        bool late = false;
+        {
+          std::lock_guard<std::mutex> lk(state->mu);
+          state->replies[i] = std::move(out);
+          ++state->completed;
+          late = state->abandoned.load(std::memory_order_relaxed);
+          if (!state->stop && state->stop_fn &&
+              state->stop_fn(i, *state->replies[i])) {
+            state->stop = true;
+          }
+          state->cv.notify_all();
         }
-        state->cv.notify_all();
+        if (late && state->has_cancel) {
+          // The caller returned without this slot: whether the call
+          // executed (reply in hand) or may have executed with the reply
+          // lost, the node must not be left holding transaction state.
+          // The cancel rides strictly behind the data call, so it cannot
+          // release locks the winning quorum still relies on.
+          if (state->hedge_cancels != nullptr) {
+            state->hedge_cancels->Increment();
+          }
+          state->transport->CallAsync(state->to[i], state->cancel_request,
+                                      [state](Status, RpcResponse) {});
+        }
       });
 }
 
@@ -178,6 +227,17 @@ class RpcClient {
   Transport& transport() const { return *transport_; }
   MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// Attaches a latency/health scoreboard: every slot this client issues
+  /// (sync and fan-out alike) reports its completion latency and
+  /// reachability. Null detaches. The shared_ptr is copied into in-flight
+  /// fan-out state, so detached hedge slots may outlive the client safely.
+  void set_scoreboard(std::shared_ptr<NodeScoreboard> scoreboard) {
+    scoreboard_ = std::move(scoreboard);
+  }
+  const std::shared_ptr<NodeScoreboard>& scoreboard() const {
+    return scoreboard_;
+  }
+
   /// Shard-map version stamped into every outgoing envelope (0 = not
   /// shard-aware; representatives skip the epoch check). Shared between
   /// copies of the client so a router refresh reaches every fan-out path.
@@ -198,6 +258,7 @@ class RpcClient {
     attempts_->Increment();
     pm.calls->Increment();
     bytes_sent_->Increment(req.payload.size() + kEnvelopeOverheadBytes);
+    if (scoreboard_) scoreboard_->OnIssue(to);
     const TimeMicros start = metrics_->NowMicros();
 
     Status st = transport_->Call(to, req, resp);
@@ -211,7 +272,14 @@ class RpcClient {
     if (st.ok()) st = DecodeFromString(resp.payload, typed);
 
     const TimeMicros now = metrics_->NowMicros();
-    pm.latency->Record(now >= start ? static_cast<double>(now - start) : 0.0);
+    const double latency_us =
+        now >= start ? static_cast<double>(now - start) : 0.0;
+    pm.latency->Record(latency_us);
+    if (scoreboard_) {
+      scoreboard_->OnComplete(
+          to, method, latency_us,
+          st.ok() || st.code() != StatusCode::kUnavailable);
+    }
     if (!st.ok()) {
       failures_->Increment();
       return st;
@@ -252,6 +320,7 @@ class RpcClient {
     state->bytes_sent = bytes_sent_;
     state->bytes_received = bytes_received_;
     state->method = MetricsFor(method);
+    state->scoreboard = scoreboard_;
     wave_width_->Record(static_cast<double>(slots.size()));
     for (std::size_t i = 0; i < slots.size(); ++i) {
       {
@@ -284,6 +353,121 @@ class RpcClient {
     for (const NodeId node : to) slots.push_back({node, request});
     return ParallelCall<Resp>(slots, method, txn, std::move(options),
                               std::move(stop));
+  }
+
+  /// Hedged scatter-gather for READ-ONLY single-wave operations.
+  ///
+  /// Slots [0, primary_count) issue immediately; the rest are spares held
+  /// in reserve. The call returns as soon as `quota` (invoked under the
+  /// fan-out lock over the reply vector) is satisfied, without waiting for
+  /// stragglers. If the quota has not closed once every issued slot has
+  /// completed, or after `hedge_delay_us` elapses with slots still in
+  /// flight, ONE hedge wave issues every spare ("rpc.hedges"; a spare
+  /// reply that then helps close the quota counts "rpc.hedge_wins").
+  ///
+  /// Detachment contract: slots still in flight at return are NOT awaited.
+  /// Each one, on late completion, fires `cancel_method` (with `txn`) at
+  /// its node - best effort, "rpc.hedge_cancels" - so locks a detached
+  /// call acquired under strict 2PL are released. Callers must therefore
+  /// (a) never enroll a reply-less slot as a transaction participant, and
+  /// (b) only hedge transactions whose ONLY wave this is: a later wave
+  /// re-touching a cancelled node would race its own cancellation. The
+  /// transport must outlive detached completions (it already must outlive
+  /// every in-flight call).
+  ///
+  /// On an inline transport every primary completes during issuance, so
+  /// the wait never blocks, the hedge never fires when the quota closes,
+  /// and the call is bit-identical to ParallelCall over the primaries.
+  template <WireMessage Resp, WireMessage Req>
+  FanOutResult<Resp> HedgedParallelCall(
+      const std::vector<CallSlot<Req>>& slots, std::size_t primary_count,
+      MethodId method, TxnId txn, FanOutOptions options,
+      DurationMicros hedge_delay_us,
+      std::function<bool(const std::vector<std::optional<Result<Resp>>>&)>
+          quota,
+      MethodId cancel_method) const {
+    auto state = std::make_shared<detail::FanOutState<Resp>>();
+    state->transport = transport_;
+    state->to.reserve(slots.size());
+    state->requests.reserve(slots.size());
+    for (const CallSlot<Req>& slot : slots) {
+      state->to.push_back(slot.to);
+      state->requests.push_back(
+          Envelope(method, txn, EncodeToString(slot.request)));
+    }
+    state->replies.resize(slots.size());
+
+    const std::uint32_t attempts =
+        options.retry.max_attempts == 0 ? 1 : options.retry.max_attempts;
+    state->retry = options.retry;
+    state->max_attempts = attempts;
+    state->metrics = metrics_;
+    state->attempts = attempts_;
+    state->failures = failures_;
+    state->retries = retries_;
+    state->bytes_sent = bytes_sent_;
+    state->bytes_received = bytes_received_;
+    state->method = MetricsFor(method);
+    state->scoreboard = scoreboard_;
+    state->has_cancel = cancel_method != 0;
+    if (state->has_cancel) {
+      state->cancel_request =
+          Envelope(cancel_method, txn, EncodeToString(Empty{}));
+      state->hedge_cancels = &metrics_->counter("rpc.hedge_cancels");
+    }
+
+    primary_count = std::min(primary_count, slots.size());
+    wave_width_->Record(static_cast<double>(primary_count));
+    for (std::size_t i = 0; i < primary_count; ++i) {
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        ++state->issued;
+      }
+      detail::IssueSlot(state, i, attempts);
+    }
+
+    FanOutResult<Resp> result;
+    std::unique_lock<std::mutex> lk(state->mu);
+    const auto quota_met = [&] { return quota(state->replies); };
+    const auto settled = [&] {
+      return quota_met() || state->completed == state->issued;
+    };
+    if (!settled()) {
+      state->cv.wait_for(lk, std::chrono::microseconds(hedge_delay_us),
+                         settled);
+    }
+    if (!quota_met() && primary_count < slots.size()) {
+      // One hedge wave, ever: every spare, issued together. Bounding the
+      // hedge keeps worst-case message overhead at one extra wave per op.
+      result.hedged = true;
+      metrics_->counter("rpc.hedges").Increment();
+      const std::size_t spares = slots.size() - primary_count;
+      state->issued += spares;
+      lk.unlock();
+      for (std::size_t i = primary_count; i < slots.size(); ++i) {
+        detail::IssueSlot(state, i, attempts);
+      }
+      lk.lock();
+      state->cv.wait(lk, settled);
+    } else {
+      state->cv.wait(lk, settled);
+    }
+    if (state->completed < state->issued) {
+      // Quota closed with slots in flight: detach them (late completions
+      // self-cancel, see IssueSlot) and snapshot what we have.
+      state->abandoned.store(true, std::memory_order_release);
+    }
+    result.replies = state->replies;
+    result.issued = state->issued;
+    if (result.hedged && quota_met()) {
+      for (std::size_t i = primary_count; i < slots.size(); ++i) {
+        if (state->replies[i].has_value() && state->replies[i]->ok()) {
+          metrics_->counter("rpc.hedge_wins").Increment();
+          break;
+        }
+      }
+    }
+    return result;
   }
 
  private:
@@ -327,6 +511,7 @@ class RpcClient {
   Counter* bytes_sent_;
   Counter* bytes_received_;
   DistributionStat* wave_width_;
+  std::shared_ptr<NodeScoreboard> scoreboard_;
   std::shared_ptr<MethodTable> methods_;
   std::shared_ptr<std::atomic<std::uint64_t>> shard_epoch_ =
       std::make_shared<std::atomic<std::uint64_t>>(0);

@@ -1,0 +1,175 @@
+// Per-node latency and health scoreboard feeding adaptive quorum planning.
+//
+// Every RPC slot the client issues reports back here: an EWMA of per-method
+// latency, a count of requests currently in flight, and a failure streak per
+// node. The scoreboard turns those into two signals the planner consumes:
+//
+//   * Score(node, method) - predicted completion cost: the EWMA latency
+//     scaled by (1 + outstanding), so a node already loaded with in-flight
+//     work predicts slower than an idle one even at equal measured latency.
+//   * HealthOf(node) - kHealthy / kProbation / kQuarantined. A streak of
+//     transport failures quarantines the node for a bounded, doubling
+//     interval; when the interval expires the node enters probation, where
+//     the planner deliberately ranks it FIRST so one live operation probes
+//     it. A successful probe clears the streak and the backoff (the node
+//     re-earns traffic); another failure re-quarantines it for twice as
+//     long, up to the cap. This is what keeps a recovered node from being
+//     starved forever by its own history.
+//
+// Time comes from MetricsRegistry::NowMicros, so deterministic harnesses
+// (virtual clock) drive quarantine expiry deterministically and unit tests
+// can inject a fake clock. All methods are thread-safe; feeding the board
+// from transport completion threads is the intended use.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace repdir::net {
+
+class NodeScoreboard {
+ public:
+  struct Options {
+    /// EWMA smoothing: new = alpha * sample + (1 - alpha) * old.
+    double alpha = 0.2;
+    /// Latency assumed for a (node, method) with no samples yet. Unmeasured
+    /// nodes therefore tie with each other and the power-of-two-choices
+    /// tie-break spreads the first wave of traffic across them.
+    double default_latency_us = 1000.0;
+    /// Consecutive transport failures that quarantine a node.
+    std::uint32_t quarantine_after = 3;
+    /// First quarantine interval; doubles per re-quarantine up to the cap.
+    DurationMicros quarantine_base_us = 250'000;
+    DurationMicros quarantine_cap_us = 30'000'000;
+  };
+
+  enum class Health : std::uint8_t { kHealthy, kProbation, kQuarantined };
+
+  explicit NodeScoreboard(MetricsRegistry* metrics = nullptr)
+      : NodeScoreboard(metrics, Options()) {}
+
+  NodeScoreboard(MetricsRegistry* metrics, Options options)
+      : options_(options),
+        metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Default()),
+        quarantines_(&metrics_->counter("scoreboard.quarantines")),
+        probations_(&metrics_->counter("scoreboard.probations")),
+        recoveries_(&metrics_->counter("scoreboard.recoveries")) {}
+
+  /// A request to `node` was handed to the transport.
+  void OnIssue(NodeId node) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++nodes_[node].outstanding;
+  }
+
+  /// The request completed. `ok` is transport-level reachability: an
+  /// application error (kNotFound, kVersionMismatch, ...) proves the node
+  /// alive and counts as success; only kUnavailable counts as failure.
+  /// `latency_us` is meaningful only when `ok`.
+  void OnComplete(NodeId node, MethodId method, double latency_us, bool ok) {
+    std::lock_guard<std::mutex> lk(mu_);
+    NodeState& s = nodes_[node];
+    if (s.outstanding > 0) --s.outstanding;
+    if (ok) {
+      Ewma& e = s.by_method[method];
+      e.value = e.samples == 0
+                    ? latency_us
+                    : options_.alpha * latency_us +
+                          (1.0 - options_.alpha) * e.value;
+      ++e.samples;
+      s.overall.value = s.overall.samples == 0
+                            ? latency_us
+                            : options_.alpha * latency_us +
+                                  (1.0 - options_.alpha) * s.overall.value;
+      ++s.overall.samples;
+      if (s.failure_streak >= options_.quarantine_after) {
+        recoveries_->Increment();  // probation probe answered: re-earned
+      }
+      s.failure_streak = 0;
+      s.quarantine_backoff_us = 0;
+      s.quarantined_until = 0;
+      return;
+    }
+    ++s.failure_streak;
+    if (s.failure_streak >= options_.quarantine_after &&
+        Now() >= s.quarantined_until) {
+      s.quarantine_backoff_us =
+          s.quarantine_backoff_us == 0
+              ? options_.quarantine_base_us
+              : std::min<DurationMicros>(s.quarantine_backoff_us * 2,
+                                         options_.quarantine_cap_us);
+      s.quarantined_until = Now() + s.quarantine_backoff_us;
+      quarantines_->Increment();
+    }
+  }
+
+  Health HealthOf(NodeId node) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = nodes_.find(node);
+    if (it == nodes_.end()) return Health::kHealthy;
+    const NodeState& s = it->second;
+    if (s.failure_streak < options_.quarantine_after) return Health::kHealthy;
+    if (Now() < s.quarantined_until) return Health::kQuarantined;
+    probations_->Increment();
+    return Health::kProbation;
+  }
+
+  /// EWMA latency prediction for (node, method); falls back to the node's
+  /// overall EWMA, then to Options::default_latency_us.
+  double PredictedLatency(NodeId node, MethodId method) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = nodes_.find(node);
+    if (it == nodes_.end()) return options_.default_latency_us;
+    const auto mit = it->second.by_method.find(method);
+    if (mit != it->second.by_method.end() && mit->second.samples > 0) {
+      return mit->second.value;
+    }
+    if (it->second.overall.samples > 0) return it->second.overall.value;
+    return options_.default_latency_us;
+  }
+
+  std::uint32_t Outstanding(NodeId node) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = nodes_.find(node);
+    return it == nodes_.end() ? 0 : it->second.outstanding;
+  }
+
+  /// Predicted completion cost: EWMA latency scaled by queue depth.
+  double Score(NodeId node, MethodId method) const {
+    return PredictedLatency(node, method) *
+           (1.0 + static_cast<double>(Outstanding(node)));
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Ewma {
+    double value = 0.0;
+    std::uint64_t samples = 0;
+  };
+  struct NodeState {
+    std::map<MethodId, Ewma> by_method;
+    Ewma overall;
+    std::uint32_t outstanding = 0;
+    std::uint32_t failure_streak = 0;
+    DurationMicros quarantine_backoff_us = 0;
+    TimeMicros quarantined_until = 0;
+  };
+
+  TimeMicros Now() const { return metrics_->NowMicros(); }
+
+  Options options_;
+  MetricsRegistry* metrics_;
+  Counter* quarantines_;
+  Counter* probations_;
+  Counter* recoveries_;
+  mutable std::mutex mu_;
+  std::map<NodeId, NodeState> nodes_;
+};
+
+}  // namespace repdir::net

@@ -83,7 +83,11 @@ class TcpServer {
   std::mutex mu_;
   std::vector<std::thread> readers_;             // guarded by mu_
   std::vector<std::shared_ptr<Conn>> conns_;     // guarded by mu_
-  WorkerPool pool_{16};
+  /// Handler pool, sized to the hardware: request execution is CPU-bound
+  /// (storage + locks), so a 16-thread pool per server on a small host
+  /// oversubscribes the machine once several servers and clients share it
+  /// - measured as TCP throughput REGRESSING from 4 to 8 bench clients.
+  WorkerPool pool_{WorkerPool::DefaultThreads(16)};
 };
 
 class TcpTransport final : public Transport {
@@ -177,7 +181,8 @@ class TcpTransport final : public Transport {
   /// fd -> conn, loop thread only; holds the loop's reference.
   std::map<int, std::shared_ptr<Conn>> loop_conns_;
 
-  WorkerPool done_pool_{8};
+  /// Completion pool, sized to the hardware (see TcpServer::pool_).
+  WorkerPool done_pool_{WorkerPool::DefaultThreads(8)};
 };
 
 }  // namespace repdir::net

@@ -9,6 +9,7 @@
 // tasks submitted after Shutdown execute inline on the submitter.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -23,6 +24,19 @@ class WorkerPool {
  public:
   explicit WorkerPool(std::size_t threads)
       : threads_(threads == 0 ? 1 : threads) {}
+
+  /// Pool size for CPU-bound work: the hardware concurrency clamped to
+  /// [2, cap]. Sizing compute pools past the core count only adds
+  /// scheduler pressure - on a small host a fleet of transports each
+  /// spawning `cap` workers oversubscribes the machine and throughput
+  /// REGRESSES as clients are added (pools whose threads mostly sleep,
+  /// like ThreadedTransport's latency simulation, should keep an explicit
+  /// large size instead).
+  static std::size_t DefaultThreads(std::size_t cap) {
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = cap;  // unknown: keep the historical size
+    return std::min(cap, std::max<std::size_t>(2, hw));
+  }
   ~WorkerPool() { Shutdown(); }
 
   WorkerPool(const WorkerPool&) = delete;

@@ -1,0 +1,124 @@
+// Latency-aware quorum planning over the NodeScoreboard.
+//
+// The paper's weighted voting makes ANY set holding R (or W) votes a legal
+// quorum, so quorum selection is pure policy - and the static policies in
+// quorum_policy.h let one slow representative drag every wave it lands in.
+// AdaptiveQuorumPolicy instead orders representatives by predicted
+// completion cost (scoreboard EWMA latency x queue depth):
+//
+//   * The minimal voting prefix of the returned order is the minimal-vote
+//     set with the lowest predicted makespan; CollectQuorum's prefix-wave
+//     walk (and OptimisticQuorum's prefix cut) consume it directly, and
+//     when the preferred set can't close the quota the walk naturally
+//     falls through to the rest of the order - full fan-out as a fallback,
+//     not a separate code path.
+//   * Vote-equivalent candidates whose predictions sit within a tie band
+//     are broken by power-of-two-choices (sample two, keep the one with
+//     fewer outstanding requests) instead of deterministically, so a fleet
+//     of clients sharing one scoreboard does not herd onto the single
+//     cheapest node and create the very queue it was avoiding.
+//   * Fairness: quarantined nodes sort last (they still appear - the
+//     order must stay a permutation). A node whose quarantine has expired
+//     is on probation and deliberately ranks FIRST, so the next operation
+//     probes it; one success re-earns normal ranking (see scoreboard.h).
+//
+// Determinism: the tie-break Rng is seeded, and on deterministic
+// transports the scoreboard's inputs (virtual-clock latencies) are
+// reproducible, so runs with the same seed produce identical orders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/scoreboard.h"
+#include "rep/messages.h"
+#include "rep/quorum_policy.h"
+
+namespace repdir::rep {
+
+class AdaptiveQuorumPolicy final : public QuorumPolicy {
+ public:
+  /// Candidates within `tie_band` (relative) of the cheapest prediction -
+  /// plus a small absolute slack so all-unmeasured nodes tie - are
+  /// considered vote-equivalent and broken by power-of-two-choices.
+  AdaptiveQuorumPolicy(const QuorumConfig& config,
+                       std::shared_ptr<net::NodeScoreboard> scoreboard,
+                       std::uint64_t seed, double tie_band = 0.2)
+      : nodes_(config.Nodes()),
+        scoreboard_(std::move(scoreboard)),
+        rng_(seed),
+        tie_band_(tie_band) {}
+
+  std::vector<NodeId> PreferenceOrder(OpClass op) override {
+    // Reads are dominated by the inquiry, writes by the insert wave; score
+    // with the matching method's EWMA (scoreboard falls back to the node's
+    // overall EWMA for methods it has not seen).
+    const net::MethodId method = op == OpClass::kRead
+                                     ? static_cast<net::MethodId>(kLookup)
+                                     : static_cast<net::MethodId>(kInsert);
+    struct Cand {
+      NodeId node;
+      double score;
+      std::uint32_t outstanding;
+    };
+    std::vector<Cand> active;
+    std::vector<NodeId> quarantined;
+    active.reserve(nodes_.size());
+    for (const NodeId node : nodes_) {
+      switch (scoreboard_->HealthOf(node)) {
+        case net::NodeScoreboard::Health::kQuarantined:
+          quarantined.push_back(node);
+          break;
+        case net::NodeScoreboard::Health::kProbation:
+          // Probe priority: rank ahead of everything measured so exactly
+          // the next wave re-tests the node instead of starving it.
+          active.push_back({node, 0.0, scoreboard_->Outstanding(node)});
+          break;
+        case net::NodeScoreboard::Health::kHealthy:
+          active.push_back({node, scoreboard_->Score(node, method),
+                            scoreboard_->Outstanding(node)});
+          break;
+      }
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    while (!active.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        if (active[i].score < active[best].score) best = i;
+      }
+      std::vector<std::size_t> band;
+      const double cutoff = active[best].score * (1.0 + tie_band_) + 1.0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (active[i].score <= cutoff) band.push_back(i);
+      }
+      std::size_t chosen = band.front();
+      if (band.size() > 1) {
+        // Power of two choices: two uniform samples from the band, keep
+        // the one with the shorter queue (ties keep the first sample, so
+        // a quiescent board still mixes).
+        const std::size_t a = band[rng_.Index(band.size())];
+        const std::size_t b = band[rng_.Index(band.size())];
+        chosen = active[b].outstanding < active[a].outstanding ? b : a;
+      }
+      order.push_back(active[chosen].node);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+    // Quarantined nodes close the permutation: the prefix walk only
+    // reaches them when the healthy set cannot close the quota.
+    order.insert(order.end(), quarantined.begin(), quarantined.end());
+    return order;
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::shared_ptr<net::NodeScoreboard> scoreboard_;
+  Rng rng_;
+  double tie_band_;
+};
+
+}  // namespace repdir::rep

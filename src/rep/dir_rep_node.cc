@@ -62,7 +62,13 @@ Result<storage::RecoveryOutcome> DirRepNode::Recover() {
     REPDIR_RETURN_IF_ERROR(log_device_->Rewrite(
         std::string_view(bytes).substr(0, valid_bytes)));
   }
-  return storage::RecoverRepresentative(*storage_, log);
+  // Recovery writes storage behind the participant's back; cached digests
+  // (a reconciler may probe a node the instant it is back) must not
+  // describe pre-crash state.
+  Result<storage::RecoveryOutcome> out =
+      storage::RecoverRepresentative(*storage_, log);
+  participant_->ClearDigestCache();
+  return out;
 }
 
 DirRepNode::ShardBounds DirRepNode::shard_bounds() const {
@@ -103,7 +109,9 @@ Status DirRepNode::ResolveInDoubt(TxnId txn, bool commit) {
     return Status::FailedPrecondition("recovery requires a WAL");
   }
   REPDIR_ASSIGN_OR_RETURN(const auto log, storage::ReadLog(*log_device_));
-  return storage::ResolveInDoubt(*storage_, log, txn, commit, *wal_);
+  const Status st = storage::ResolveInDoubt(*storage_, log, txn, commit, *wal_);
+  participant_->ClearDigestCache();  // resolution wrote storage directly
+  return st;
 }
 
 void DirRepNode::RegisterHandlers() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rep/adaptive_policy.h"
+
 namespace repdir::rep {
 
 namespace {
@@ -51,8 +53,17 @@ DirectorySuite::DirectorySuite(net::Transport& transport, NodeId client_node,
   metrics_ = &client_.metrics();
   trace_ = options_.trace != nullptr ? options_.trace : &TraceSink::Default();
   weak_nodes_ = options_.config.WeakNodes();
+  if (options_.enable_adaptive_policy || options_.enable_hedged_reads) {
+    if (options_.scoreboard == nullptr) {
+      options_.scoreboard = std::make_shared<net::NodeScoreboard>(metrics_);
+    }
+    client_.set_scoreboard(options_.scoreboard);
+  }
   if (options_.policy != nullptr) {
     policy_ = std::move(options_.policy);
+  } else if (options_.enable_adaptive_policy) {
+    policy_ = std::make_unique<AdaptiveQuorumPolicy>(
+        options_.config, options_.scoreboard, options_.policy_seed);
   } else {
     policy_ = std::make_unique<RandomQuorumPolicy>(options_.config,
                                                    options_.policy_seed);
@@ -197,15 +208,25 @@ Result<DirectorySuite::VersionedLookup> DirectorySuite::SuiteLookup(
     OpCtx& ctx, const RepKey& k,
     const std::optional<VersionCache::Entry>& hint) {
   std::vector<NodeId> quorum;
+  bool hedged = false;
   if (hint.has_value() && ctx.allow_fast) {
+    ctx.used_fast = true;
+    REPDIR_ASSIGN_OR_RETURN(quorum, OptimisticQuorum(OpClass::kRead));
+  } else if (options_.enable_hedged_reads && ctx.hedge_ok && ctx.allow_fast) {
+    // Hedged inquiry: optimistic quorum, no ping round - the hedge wave IS
+    // the failure handling. Losing the bet (quota unclosable even hedged)
+    // surfaces as kUnavailable and used_fast sends the single-shot wrapper
+    // back through the pinged slow path, like any optimistic miss.
+    hedged = true;
     ctx.used_fast = true;
     REPDIR_ASSIGN_OR_RETURN(quorum, OptimisticQuorum(OpClass::kRead));
   } else {
     REPDIR_ASSIGN_OR_RETURN(quorum, CollectQuorum(OpClass::kRead));
   }
-  Result<VersionedLookup> out = hint.has_value()
-                                    ? ValidatedLookupOn(ctx, quorum, k, *hint)
-                                    : SuiteLookupOn(ctx, quorum, k);
+  Result<VersionedLookup> out =
+      hint.has_value() ? ValidatedLookupOn(ctx, quorum, k, *hint)
+      : hedged         ? HedgedLookupOn(ctx, quorum, k)
+                       : SuiteLookupOn(ctx, quorum, k);
   if (out.ok() && cache_ != nullptr) {
     VersionCache::Entry fresh;
     fresh.present = out->present;
@@ -290,6 +311,110 @@ Result<DirectorySuite::VersionedLookup> DirectorySuite::ValidatedLookupOn(
     best.value = hint.value;
     ++stats_.counters().validated_reads;
     validated_reads_->Increment();
+  }
+  return best;
+}
+
+DurationMicros DirectorySuite::HedgeDelayMicros() const {
+  // The per-method latency distribution the RpcClient already records is
+  // the straggler detector: waiting past its p95 means this wave is slower
+  // than 19 of 20 recent lookups. Until enough samples exist the floor
+  // stands in.
+  DistributionStat& lat = metrics_->distribution(
+      "rpc.method." + std::to_string(static_cast<int>(kLookup)) +
+      ".latency_us");
+  double delay = static_cast<double>(options_.hedge_delay_floor_us);
+  if (lat.count() >= 16) {
+    delay = std::max(delay, static_cast<double>(lat.ApproxQuantile(0.95)));
+  }
+  return static_cast<DurationMicros>(std::min(
+      delay, static_cast<double>(options_.hedge_delay_cap_us)));
+}
+
+Result<DirectorySuite::VersionedLookup> DirectorySuite::HedgedLookupOn(
+    OpCtx& ctx, const std::vector<NodeId>& quorum, const RepKey& k) {
+  // Primaries: the optimistic quorum plus the weak hints (matching the
+  // unhedged wave shape). Spares: every remaining voter, config order.
+  std::vector<net::CallSlot<KeyRequest>> slots;
+  std::vector<NodeId> nodes;
+  slots.reserve(quorum.size() + weak_nodes_.size());
+  for (const NodeId node : quorum) {
+    slots.push_back({node, KeyRequest{k}});
+    nodes.push_back(node);
+  }
+  for (const NodeId node : weak_nodes_) {
+    slots.push_back({node, KeyRequest{k}});
+    nodes.push_back(node);
+  }
+  const std::size_t primary_count = slots.size();
+  for (const NodeId node : options_.config.Nodes()) {
+    if (options_.config.VotesOf(node) == 0) continue;
+    if (std::find(quorum.begin(), quorum.end(), node) != quorum.end()) {
+      continue;
+    }
+    slots.push_back({node, KeyRequest{k}});
+    nodes.push_back(node);
+  }
+
+  // Quota: any R votes' worth of successful replies is a legal read quorum
+  // (R + W > V intersects it with every write quorum), so the first set to
+  // close the quota wins and stragglers need not be awaited.
+  const Votes quota = options_.config.read_quorum();
+  const QuorumConfig& config = options_.config;
+  auto quota_fn =
+      [&config, nodes,
+       quota](const std::vector<std::optional<Result<LookupReply>>>& replies) {
+        Votes votes = 0;
+        for (std::size_t i = 0; i < replies.size(); ++i) {
+          if (replies[i].has_value() && replies[i]->ok()) {
+            votes += config.VotesOf(nodes[i]);
+          }
+        }
+        return votes >= quota;
+      };
+
+  net::FanOutOptions fan_options;
+  fan_options.retry = options_.rpc_retry;
+  const auto fan = client_.HedgedParallelCall<LookupReply>(
+      slots, primary_count, kLookup, ctx.txn, fan_options, HedgeDelayMicros(),
+      quota_fn, kAbortTxn);
+
+  // Accounting differs from FanOutRep: the winning set is vote-counted, not
+  // all-strong-required. Completed slots that executed enroll (their locks
+  // persist to the read-only commit); completed-unreachable slots get the
+  // same best-effort abort as weak misses; detached slots were already
+  // cancelled by the transport layer and must NOT enroll.
+  Votes votes = 0;
+  VersionedLookup best;
+  bool first = true;
+  for (std::size_t i = 0; i < fan.issued; ++i) {
+    ++read_rpcs_[nodes[i]];
+    if (!fan.replies[i].has_value()) continue;  // detached straggler
+    const Result<LookupReply>& reply = *fan.replies[i];
+    const bool executed =
+        reply.ok() || reply.status().code() != StatusCode::kUnavailable;
+    if (executed) {
+      ctx.participants.insert(nodes[i]);
+    } else {
+      (void)client_.Call<net::Empty>(nodes[i], kAbortTxn, net::Empty{},
+                                     ctx.txn);
+    }
+    if (!reply.ok()) continue;
+    votes += options_.config.VotesOf(nodes[i]);
+    const bool better =
+        first || reply->version > best.version ||
+        (reply->version == best.version && reply->present && !best.present);
+    if (better) {
+      best.present = reply->present;
+      best.version = reply->version;
+      best.value = reply->value;
+      first = false;
+    }
+  }
+  if (votes < quota) {
+    return Status::Unavailable("read quorum unavailable (hedged: " +
+                               std::to_string(votes) + "/" +
+                               std::to_string(quota) + " votes)");
   }
   return best;
 }
@@ -437,8 +562,10 @@ Status DirectorySuite::RunTxn(const char* op_name, bool allow_fast,
 template <typename Fn>
 Status DirectorySuite::RunTxnCached(const char* op_name, Fn&& body) {
   bool used_fast = false;
-  Status st = RunTxn(op_name, /*allow_fast=*/cache_ != nullptr, &used_fast,
-                     body);
+  // Fast paths arm when the cache can supply hints OR hedged reads may
+  // skip the ping round; both recover from a lost bet the same way below.
+  const bool allow_fast = cache_ != nullptr || options_.enable_hedged_reads;
+  Status st = RunTxn(op_name, allow_fast, &used_fast, body);
   if (used_fast && (st.code() == StatusCode::kVersionMismatch ||
                     st.code() == StatusCode::kUnavailable)) {
     // The optimistic bet lost - stale cache (guard refused) or an unpinged
@@ -913,6 +1040,8 @@ Result<DirectorySuite::LookupResult> DirectorySuite::Lookup(
     const UserKey& key) {
   LookupResult result;
   const Status st = RunTxnCached("lookup", [&](OpCtx& ctx) -> Status {
+    // The inquiry is this transaction's only wave, so hedging is safe.
+    ctx.hedge_ok = true;
     REPDIR_ASSIGN_OR_RETURN(result, LookupIn(ctx, key));
     return Status::Ok();
   });

@@ -131,6 +131,37 @@ class DirectorySuite {
     /// Detached transactions (see SuiteTxn::Detach) never reach it - their
     /// decision belongs to the external coordinator.
     std::function<void(TxnId, bool)> decision_hook;
+
+    /// Latency-aware quorum planning (rep/adaptive_policy.h): measured
+    /// per-node latency and health feed the preference order, so slow or
+    /// quarantined representatives drop out of the minimal quorum while
+    /// remaining reachable as fallback. Only used when `policy` is null.
+    /// This deliberately feeds metrics-derived measurements back into
+    /// behaviour; on deterministic transports the measurements themselves
+    /// are deterministic (virtual clock), so runs stay reproducible.
+    bool enable_adaptive_policy = false;
+
+    /// Hedged single-shot read inquiries: the lookup wave goes to an
+    /// optimistic read quorum with no ping round, returns as soon as R
+    /// votes' replies are in, and after a p95-derived delay launches at
+    /// most ONE backup wave to the spare voters ("rpc.hedges" /
+    /// "rpc.hedge_wins"); straggler slots are detached and their locks
+    /// released by a trailing abort ("rpc.hedge_cancels"). Applies only
+    /// to the single-shot Lookup - multi-op transactions and write legs
+    /// never hedge (a detached slot's cancel may not race later waves of
+    /// the same transaction). On an inline transport the hedge never
+    /// fires and results are bit-identical to the unhedged suite.
+    bool enable_hedged_reads = false;
+
+    /// Hedge delay = clamp(p95 of the lookup RPC latency, floor, cap);
+    /// the floor also serves while fewer than 16 samples exist.
+    DurationMicros hedge_delay_floor_us = 500;
+    DurationMicros hedge_delay_cap_us = 100'000;
+
+    /// Scoreboard feeding the adaptive policy and hedging decisions.
+    /// Share one instance across suites (clients) to pool measurements;
+    /// null creates a private one when either feature above is enabled.
+    std::shared_ptr<net::NodeScoreboard> scoreboard;
   };
 
   /// `client_node` identifies this client on the transport (distinct from
@@ -282,6 +313,13 @@ class DirectorySuite {
     bool allow_fast = false;
     bool used_fast = false;  ///< An optimistic path was actually taken.
 
+    /// This transaction is a single-shot read-only Lookup, whose inquiry
+    /// is its ONLY wave - the precondition for hedging it (a detached
+    /// slot's trailing cancel aborts the whole transaction at that node,
+    /// which is only safe when no other wave can touch the node). Set
+    /// exclusively by DirectorySuite::Lookup.
+    bool hedge_ok = false;
+
     /// Cache updates staged by the operation body. The cache must only
     /// ever hold committed data, so Finish applies these iff the commit
     /// succeeds; an abort just drops them.
@@ -354,6 +392,21 @@ class DirectorySuite {
                                             const std::vector<NodeId>& quorum,
                                             const RepKey& k,
                                             const VersionCache::Entry& hint);
+
+  /// Hedged Fig. 8 inquiry (Options::enable_hedged_reads): primaries are
+  /// `quorum` plus the weak hints, spares are the remaining voters in
+  /// preference order; the fold takes the highest version among any
+  /// R-vote set of successful replies (quorum intersection makes every
+  /// such set a legal read quorum). kUnavailable when even the hedge wave
+  /// cannot close the quota - the single-shot wrapper then retries on the
+  /// pinged, unhedged path.
+  Result<VersionedLookup> HedgedLookupOn(OpCtx& ctx,
+                                         const std::vector<NodeId>& quorum,
+                                         const RepKey& k);
+
+  /// Current hedge delay: p95 of "rpc.method.<kLookup>.latency_us"
+  /// clamped to [hedge_delay_floor_us, hedge_delay_cap_us].
+  DurationMicros HedgeDelayMicros() const;
 
   /// Single-round optimistic write: guarded DirRepInsert of
   /// (x, expected+1) to an optimistic write quorum, no read round. A

@@ -383,6 +383,21 @@ BackgroundReconciler::BackgroundReconciler(Reconciler& reconciler,
   thread_ = std::thread([this] { Loop(); });
 }
 
+BackgroundReconciler::BackgroundReconciler(Reconciler& reconciler,
+                                           ReconcileIntervalPolicy policy)
+    : reconciler_(&reconciler),
+      adaptive_(true),
+      policy_(policy),
+      last_stats_(reconciler.stats()),
+      interval_micros_(policy.current()) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+DurationMicros BackgroundReconciler::current_interval_micros() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return interval_micros_;
+}
+
 void BackgroundReconciler::Stop() {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -401,7 +416,17 @@ void BackgroundReconciler::Loop() {
     }
     lk.unlock();
     (void)reconciler_->RunOnce();
+    DurationMicros next = 0;
+    if (adaptive_) {
+      // The reconciler is only driven from this thread while the loop
+      // runs, so reading its stats here is race-free.
+      const ReconcileStats& now = reconciler_->stats();
+      next = policy_.OnPass(ReconcileIntervalPolicy::FoundWork(
+          last_stats_, now));
+      last_stats_ = now;
+    }
     lk.lock();
+    if (adaptive_) interval_micros_ = next;
   }
 }
 

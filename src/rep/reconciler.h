@@ -81,6 +81,64 @@ struct ReconcileStats {
   std::uint64_t repair_bytes = 0;      ///< Wire bytes of fetch + repair.
 };
 
+/// Pure state machine that adapts the background anti-entropy cadence to
+/// observed drift. A pass whose stats deltas show the repair leg found work
+/// (mismatched ranges, repaired entries, or errors suggesting damage is
+/// still out there) tightens the interval multiplicatively; a no-op pass
+/// backs off exponentially, so a quiescent suite converges to
+/// max_interval_us and a churning one to min_interval_us. Deliberately
+/// time-free (it consumes pass outcomes, not timestamps), so unit tests
+/// drive it deterministically with synthetic ReconcileStats deltas.
+class ReconcileIntervalPolicy {
+ public:
+  struct Options {
+    DurationMicros min_interval_us = 50'000;
+    DurationMicros initial_interval_us = 1'000'000;
+    DurationMicros max_interval_us = 60'000'000;
+    double tighten_factor = 0.5;  ///< Applied when a pass found work.
+    double backoff_factor = 2.0;  ///< Applied on a no-op pass.
+  };
+
+  ReconcileIntervalPolicy() : ReconcileIntervalPolicy(Options()) {}
+  explicit ReconcileIntervalPolicy(Options options)
+      : options_(options), current_(Clamp(static_cast<double>(
+                               options.initial_interval_us))) {}
+
+  DurationMicros current() const { return current_; }
+  const Options& options() const { return options_; }
+
+  /// Whether the stats movement between two snapshots means the pass found
+  /// repair work (or evidence of unrepaired damage - failed pairs/replicas
+  /// keep the cadence tight until a pass gets through cleanly).
+  static bool FoundWork(const ReconcileStats& before,
+                        const ReconcileStats& after) {
+    return after.ranges_mismatched != before.ranges_mismatched ||
+           after.entries_installed != before.entries_installed ||
+           after.ghosts_collected != before.ghosts_collected ||
+           after.gap_bumps != before.gap_bumps ||
+           after.pair_errors != before.pair_errors ||
+           after.replicas_failed != before.replicas_failed;
+  }
+
+  /// Folds one completed pass in and returns the next interval.
+  DurationMicros OnPass(bool found_work) {
+    const double factor = found_work ? options_.tighten_factor
+                                     : options_.backoff_factor;
+    current_ = Clamp(static_cast<double>(current_) * factor);
+    return current_;
+  }
+
+ private:
+  DurationMicros Clamp(double interval) const {
+    const double lo = static_cast<double>(options_.min_interval_us);
+    const double hi = static_cast<double>(options_.max_interval_us);
+    return static_cast<DurationMicros>(std::min(hi, std::max(lo, interval)));
+  }
+
+  Options options_;
+  DurationMicros current_;
+};
+
 /// Background repair driver for one suite's representatives. One instance
 /// is a single client (distinct node id from every representative and every
 /// other client); drive it from one thread at a time.
@@ -184,9 +242,17 @@ class Reconciler {
 /// loop; Stop() (or destruction) joins it. The wrapped Reconciler must not
 /// be driven from other threads while the loop runs; read its stats after
 /// Stop() (the registry counters are safe to read any time).
+///
+/// The fixed-interval constructor sleeps `interval_micros` between passes.
+/// The adaptive constructor instead feeds each pass's ReconcileStats deltas
+/// into a ReconcileIntervalPolicy: passes that found drift tighten the
+/// cadence, no-op passes back off exponentially (current cadence readable
+/// via current_interval_micros()).
 class BackgroundReconciler {
  public:
   BackgroundReconciler(Reconciler& reconciler, DurationMicros interval_micros);
+  BackgroundReconciler(Reconciler& reconciler,
+                       ReconcileIntervalPolicy policy);
   ~BackgroundReconciler() { Stop(); }
 
   BackgroundReconciler(const BackgroundReconciler&) = delete;
@@ -194,12 +260,18 @@ class BackgroundReconciler {
 
   void Stop();
 
+  /// The sleep the loop will take before the next pass.
+  DurationMicros current_interval_micros() const;
+
  private:
   void Loop();
 
   Reconciler* reconciler_;
-  DurationMicros interval_micros_;
-  std::mutex mu_;
+  bool adaptive_ = false;
+  ReconcileIntervalPolicy policy_;    ///< Meaningful when adaptive_.
+  ReconcileStats last_stats_;         ///< Snapshot after the previous pass.
+  mutable std::mutex mu_;
+  DurationMicros interval_micros_;    ///< Guarded by mu_ when adaptive_.
   std::condition_variable cv_;
   bool stop_ = false;
   std::thread thread_;

@@ -106,6 +106,7 @@ Status TxnParticipant::Insert(TxnId txn, const RepKey& k, Version v,
   std::lock_guard<std::mutex> guard(mu_);
   REPDIR_ASSIGN_OR_RETURN(const InsertEffect effect,
                           core_.Insert(k, v, value));
+  InvalidateDigestsLocked(k, k);
   Undo undo;
   undo.kind = Undo::Kind::kInsert;
   undo.key = k;
@@ -131,6 +132,7 @@ Status TxnParticipant::GuardedInsert(TxnId txn, const RepKey& k, Version v,
   StateFor(txn);
   REPDIR_ASSIGN_OR_RETURN(const InsertEffect effect,
                           core_.GuardedInsert(k, v, value, expected_version));
+  InvalidateDigestsLocked(k, k);
   Undo undo;
   undo.kind = Undo::Kind::kInsert;
   undo.key = k;
@@ -154,9 +156,11 @@ Result<CoalesceEffect> TxnParticipant::Coalesce(TxnId txn, const RepKey& l,
   std::lock_guard<std::mutex> guard(mu_);
   REPDIR_ASSIGN_OR_RETURN(CoalesceEffect effect,
                           core_.Coalesce(l, h, gap_version));
+  InvalidateDigestsLocked(l, h);
   Undo undo;
   undo.kind = Undo::Kind::kCoalesce;
   undo.key = l;
+  undo.high = h;
   undo.coalesce_effect = effect;
   StateFor(txn).undo.push_back(std::move(undo));
   if (wal_ != nullptr) {
@@ -175,7 +179,17 @@ Result<std::vector<storage::RangeDigest>> TxnParticipant::DigestRange(
     return Status::InvalidArgument("digest fanout out of range");
   }
   std::lock_guard<std::mutex> guard(mu_);
-  return storage::SplitDigest(core_.storage(), low, high, fanout);
+  const auto key = std::make_tuple(low, high, fanout);
+  if (const auto it = split_cache_.find(key); it != split_cache_.end()) {
+    digest_hits_->Increment();
+    return it->second;
+  }
+  digest_misses_->Increment();
+  std::vector<storage::RangeDigest> out =
+      storage::SplitDigest(core_.storage(), low, high, fanout);
+  if (split_cache_.size() >= kDigestCacheCap) split_cache_.clear();
+  split_cache_.emplace(key, out);
+  return out;
 }
 
 Result<std::vector<storage::RangeDigest>> TxnParticipant::DigestSpans(
@@ -190,9 +204,40 @@ Result<std::vector<storage::RangeDigest>> TxnParticipant::DigestSpans(
     if (!(low < high)) {
       return Status::InvalidArgument("DigestSpans requires low < high");
     }
+    const auto key = std::make_pair(low, high);
+    if (const auto it = span_cache_.find(key); it != span_cache_.end()) {
+      digest_hits_->Increment();
+      out.push_back(it->second);
+      continue;
+    }
+    digest_misses_->Increment();
     out.push_back(storage::DigestOf(core_.storage(), low, high));
+    if (span_cache_.size() >= kDigestCacheCap) span_cache_.clear();
+    span_cache_.emplace(key, out.back());
   }
   return out;
+}
+
+void TxnParticipant::ClearDigestCache() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  split_cache_.clear();
+  span_cache_.clear();
+}
+
+void TxnParticipant::InvalidateDigestsLocked(const RepKey& lo,
+                                             const RepKey& hi) const {
+  // Linear scans are fine: the caches only fill while a reconciler is
+  // walking this node, and both maps are bounded by kDigestCacheCap.
+  for (auto it = split_cache_.begin(); it != split_cache_.end();) {
+    const auto& [slow, shigh, fanout] = it->first;
+    it = (slow <= hi && lo <= shigh) ? split_cache_.erase(it)
+                                     : std::next(it);
+  }
+  for (auto it = span_cache_.begin(); it != span_cache_.end();) {
+    const auto& [slow, shigh] = it->first;
+    it = (slow <= hi && lo <= shigh) ? span_cache_.erase(it)
+                                     : std::next(it);
+  }
 }
 
 Result<storage::SegmentState> TxnParticipant::FetchRange(TxnId txn,
@@ -283,15 +328,19 @@ Status TxnParticipant::Abort(TxnId txn) {
       locks_.ReleaseAll(txn);  // may hold read locks from a stateless touch
       return Status::Ok();
     }
-    // Undo in reverse execution order.
+    // Undo in reverse execution order. Each replayed undo mutates storage,
+    // so it invalidates cached digests exactly like the forward op did (a
+    // lock-free digest may have repopulated the cache since execution).
     auto& undo_list = it->second.undo;
     for (auto u = undo_list.rbegin(); u != undo_list.rend(); ++u) {
       switch (u->kind) {
         case Undo::Kind::kInsert:
           core_.UndoInsert(u->key, u->insert_effect);
+          InvalidateDigestsLocked(u->key, u->key);
           break;
         case Undo::Kind::kCoalesce:
           core_.UndoCoalesce(u->key, u->coalesce_effect);
+          InvalidateDigestsLocked(u->key, u->high);
           break;
       }
     }

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -51,7 +52,11 @@ class TxnParticipant {
   TxnParticipant(storage::RepStorage& stg, lock::DeadlockDetector* detector,
                  storage::WalWriter* wal, ParticipantOptions options = {})
       : core_(stg), locks_(detector, options.metrics), wal_(wal),
-        options_(options) {}
+        options_(options),
+        digest_hits_(&RegistryOf(options).counter(
+            "participant.digest_cache.hits")),
+        digest_misses_(&RegistryOf(options).counter(
+            "participant.digest_cache.misses")) {}
 
   // --- Figure 6 operations, transactional ---
 
@@ -86,13 +91,22 @@ class TxnParticipant {
   /// digest is a hint about where replicas differ, never acted on directly
   /// - the repair leg re-reads everything under FetchRange's read locks,
   /// so a digest that raced a writer costs at worst a wasted comparison.
+  ///
+  /// Results are served from a digest checkpoint cache invalidated by the
+  /// mutations that overlap a cached segment, so idempotent anti-entropy
+  /// passes over a quiescent keyspace re-hash only what changed (counters
+  /// "participant.digest_cache.{hits,misses}").
   Result<std::vector<storage::RangeDigest>> DigestRange(
       const RepKey& low, const RepKey& high, std::uint32_t fanout) const;
 
   /// Digests each explicitly-bounded segment, in request order. Lock-free
-  /// like DigestRange.
+  /// and cached like DigestRange.
   Result<std::vector<storage::RangeDigest>> DigestSpans(
       const std::vector<std::pair<RepKey, RepKey>>& spans) const;
+
+  /// Drops every cached digest. Call after any mutation that bypasses this
+  /// participant (WAL recovery, in-doubt resolution write storage directly).
+  void ClearDigestCache() const;
 
   /// Full state of segment (low, high] under a RepLookup range lock held by
   /// `txn` (strict 2PL: the segment cannot change until the decision), so
@@ -131,7 +145,8 @@ class TxnParticipant {
   /// One recorded undo action.
   struct Undo {
     enum class Kind : std::uint8_t { kInsert, kCoalesce } kind;
-    RepKey key;  ///< Insert: key; Coalesce: lower bound l.
+    RepKey key;   ///< Insert: key; Coalesce: lower bound l.
+    RepKey high;  ///< Coalesce only: upper bound h (digest invalidation).
     InsertEffect insert_effect;
     CoalesceEffect coalesce_effect;
   };
@@ -146,13 +161,38 @@ class TxnParticipant {
   /// Looks up txn state, creating it on first touch. mu_ held.
   TxnState& StateFor(TxnId txn);
 
+  /// Erases every cached digest whose segment (slow, shigh] could be
+  /// affected by a mutation touching keys or gap versions in [lo, hi]:
+  /// slow <= hi && lo <= shigh (slow == hi matters because the gap leaving
+  /// a segment's low bound belongs to that segment). mu_ held.
+  void InvalidateDigestsLocked(const RepKey& lo, const RepKey& hi) const;
+
+  static MetricsRegistry& RegistryOf(const ParticipantOptions& options) {
+    return options.metrics != nullptr ? *options.metrics
+                                      : MetricsRegistry::Default();
+  }
+
   storage::DirRepCore core_;
   lock::RangeLockManager locks_;
   storage::WalWriter* wal_;
   ParticipantOptions options_;
 
+  Counter* digest_hits_;
+  Counter* digest_misses_;
+
   mutable std::mutex mu_;  ///< Guards storage structure + txn table + WAL.
   std::map<TxnId, TxnState> txns_;
+
+  /// Digest checkpoint caches (guarded by mu_; mutable because the digest
+  /// reads are const). Keyed by segment bounds (+ fanout for splits); every
+  /// write through this participant invalidates overlapping segments, so a
+  /// reconcile pass over a cold range is answered without re-hashing it.
+  static constexpr std::size_t kDigestCacheCap = 8192;
+  mutable std::map<std::tuple<RepKey, RepKey, std::uint32_t>,
+                   std::vector<storage::RangeDigest>>
+      split_cache_;
+  mutable std::map<std::pair<RepKey, RepKey>, storage::RangeDigest>
+      span_cache_;
 };
 
 }  // namespace repdir::txn

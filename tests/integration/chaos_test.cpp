@@ -41,13 +41,18 @@ TEST_P(ChaosTest, RandomFaultsNeverBreakConsistency) {
   EXPECT_GT(outcome.crashes, 0u);
 }
 
-// Three topologies from the builtin library: the classic 3-node uniform
-// config, a 5-node weighted config (votes 2-1-1-1-2, R=W=4), and a 5-node
-// config with a weak replica running with the version cache enabled.
+// Five topologies from the builtin library: the classic 3-node uniform
+// config, a 5-node weighted config (votes 2-1-1-1-2, R=W=4), a 5-node
+// config with a weak replica running with the version cache enabled, and
+// two latency-aware runs - a persistent straggler the adaptive planner
+// steers (and hedges) around, and a flapping membership cycling through
+// quarantine and probation.
 INSTANTIATE_TEST_SUITE_P(
     Seeds, ChaosTest,
     ::testing::Combine(::testing::Values("uniform-3-2-2", "weighted-5-4-4",
-                                         "cached-weak-5-2-3"),
+                                         "cached-weak-5-2-3",
+                                         "slow-node-3-2-2",
+                                         "flapping-node-3-2-2"),
                        ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u)),
     [](const auto& param_info) {
       std::string name = std::get<0>(param_info.param);

@@ -1,0 +1,133 @@
+// NodeScoreboard semantics: EWMA latency prediction with per-method and
+// overall fallbacks, queue-depth scaling, and the failure-streak ->
+// quarantine -> probation -> recovery lifecycle on an injectable clock.
+#include "net/scoreboard.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace repdir::net {
+namespace {
+
+constexpr MethodId kMethodA = 2;
+constexpr MethodId kMethodB = 5;
+
+class ScoreboardTest : public ::testing::Test {
+ protected:
+  ScoreboardTest() : metrics_(&clock_), board_(&metrics_) {}
+
+  VirtualClock clock_;
+  MetricsRegistry metrics_;
+  NodeScoreboard board_;
+};
+
+TEST_F(ScoreboardTest, UnmeasuredNodesUseDefaultLatency) {
+  EXPECT_DOUBLE_EQ(board_.PredictedLatency(1, kMethodA),
+                   board_.options().default_latency_us);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kHealthy);
+  EXPECT_EQ(board_.Outstanding(1), 0u);
+}
+
+TEST_F(ScoreboardTest, EwmaTracksPerMethodLatency) {
+  board_.OnComplete(1, kMethodA, 1000.0, true);
+  EXPECT_DOUBLE_EQ(board_.PredictedLatency(1, kMethodA), 1000.0);
+  // new = alpha * sample + (1 - alpha) * old.
+  board_.OnComplete(1, kMethodA, 2000.0, true);
+  const double alpha = board_.options().alpha;
+  EXPECT_DOUBLE_EQ(board_.PredictedLatency(1, kMethodA),
+                   alpha * 2000.0 + (1.0 - alpha) * 1000.0);
+}
+
+TEST_F(ScoreboardTest, UnseenMethodFallsBackToOverallEwma) {
+  board_.OnComplete(1, kMethodA, 700.0, true);
+  // kMethodB was never measured on node 1: the node's overall EWMA (one
+  // sample, 700) stands in, not the global default.
+  EXPECT_DOUBLE_EQ(board_.PredictedLatency(1, kMethodB), 700.0);
+}
+
+TEST_F(ScoreboardTest, OutstandingRequestsScaleTheScore) {
+  board_.OnComplete(1, kMethodA, 100.0, true);
+  const double idle = board_.Score(1, kMethodA);
+  board_.OnIssue(1);
+  board_.OnIssue(1);
+  EXPECT_DOUBLE_EQ(board_.Score(1, kMethodA), idle * 3.0);
+  board_.OnComplete(1, kMethodA, 100.0, true);
+  EXPECT_EQ(board_.Outstanding(1), 1u);
+}
+
+TEST_F(ScoreboardTest, ApplicationErrorsCountAsReachable) {
+  // Only transport-level unavailability is a failure; kNotFound et al.
+  // prove the node alive (callers pass ok=true for those).
+  for (int i = 0; i < 10; ++i) board_.OnComplete(1, kMethodA, 50.0, true);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kHealthy);
+}
+
+TEST_F(ScoreboardTest, FailureStreakQuarantines) {
+  const auto streak = board_.options().quarantine_after;
+  for (std::uint32_t i = 0; i + 1 < streak; ++i) {
+    board_.OnComplete(1, kMethodA, 0.0, false);
+    EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kHealthy);
+  }
+  board_.OnComplete(1, kMethodA, 0.0, false);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kQuarantined);
+  EXPECT_EQ(metrics_.counter("scoreboard.quarantines").value(), 1u);
+}
+
+TEST_F(ScoreboardTest, QuarantineExpiresIntoProbationAndProbeRecovers) {
+  for (std::uint32_t i = 0; i < board_.options().quarantine_after; ++i) {
+    board_.OnComplete(1, kMethodA, 0.0, false);
+  }
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kQuarantined);
+
+  // The quarantine interval elapses on the injected clock: the node is on
+  // probation (the planner will rank it first so one op probes it).
+  clock_.AdvanceBy(board_.options().quarantine_base_us);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kProbation);
+  EXPECT_GE(metrics_.counter("scoreboard.probations").value(), 1u);
+
+  // A successful probe clears the streak AND the backoff: the node has
+  // fully re-earned traffic and is never permanently starved.
+  board_.OnComplete(1, kMethodA, 400.0, true);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kHealthy);
+  EXPECT_EQ(metrics_.counter("scoreboard.recoveries").value(), 1u);
+}
+
+TEST_F(ScoreboardTest, RequarantineDoublesBackoffUpToCap) {
+  const auto& opt = board_.options();
+  for (std::uint32_t i = 0; i < opt.quarantine_after; ++i) {
+    board_.OnComplete(1, kMethodA, 0.0, false);
+  }
+  // First interval: base. A failed probe after expiry doubles it.
+  clock_.AdvanceBy(opt.quarantine_base_us);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kProbation);
+  board_.OnComplete(1, kMethodA, 0.0, false);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kQuarantined);
+  clock_.AdvanceBy(opt.quarantine_base_us);  // base elapsed, but backoff 2x
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kQuarantined);
+  clock_.AdvanceBy(opt.quarantine_base_us);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kProbation);
+  EXPECT_EQ(metrics_.counter("scoreboard.quarantines").value(), 2u);
+
+  // Recovery resets the backoff: the next quarantine starts at base again.
+  board_.OnComplete(1, kMethodA, 100.0, true);
+  for (std::uint32_t i = 0; i < opt.quarantine_after; ++i) {
+    board_.OnComplete(1, kMethodA, 0.0, false);
+  }
+  clock_.AdvanceBy(opt.quarantine_base_us);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kProbation);
+}
+
+TEST_F(ScoreboardTest, NodesAreIndependent) {
+  for (std::uint32_t i = 0; i < board_.options().quarantine_after; ++i) {
+    board_.OnComplete(1, kMethodA, 0.0, false);
+  }
+  board_.OnComplete(2, kMethodA, 300.0, true);
+  EXPECT_EQ(board_.HealthOf(1), NodeScoreboard::Health::kQuarantined);
+  EXPECT_EQ(board_.HealthOf(2), NodeScoreboard::Health::kHealthy);
+  EXPECT_DOUBLE_EQ(board_.PredictedLatency(2, kMethodA), 300.0);
+}
+
+}  // namespace
+}  // namespace repdir::net

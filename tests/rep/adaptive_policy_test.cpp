@@ -1,0 +1,148 @@
+// AdaptiveQuorumPolicy ordering: measured-fast nodes lead, quarantined
+// nodes close the permutation (reachable as fallback, never dropped),
+// probation nodes rank first so the next wave probes them, and the order
+// is always a permutation of the configuration.
+#include "rep/adaptive_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "rep/quorum.h"
+
+namespace repdir::rep {
+namespace {
+
+constexpr net::MethodId kLookupMethod = static_cast<net::MethodId>(kLookup);
+
+class AdaptivePolicyTest : public ::testing::Test {
+ protected:
+  AdaptivePolicyTest()
+      : metrics_(&clock_),
+        board_(std::make_shared<net::NodeScoreboard>(&metrics_)),
+        config_(QuorumConfig::Uniform(5, 3, 3)),
+        policy_(config_, board_, /*seed=*/7) {}
+
+  /// Seeds a stable EWMA by repeating the sample.
+  void Measure(NodeId node, double latency_us) {
+    for (int i = 0; i < 12; ++i) {
+      board_->OnComplete(node, kLookupMethod, latency_us, true);
+    }
+  }
+
+  void Quarantine(NodeId node) {
+    for (std::uint32_t i = 0; i < board_->options().quarantine_after; ++i) {
+      board_->OnComplete(node, kLookupMethod, 0.0, false);
+    }
+  }
+
+  VirtualClock clock_;
+  MetricsRegistry metrics_;
+  std::shared_ptr<net::NodeScoreboard> board_;
+  QuorumConfig config_;
+  AdaptiveQuorumPolicy policy_;
+};
+
+bool IsPermutationOfConfig(const std::vector<NodeId>& order,
+                           const QuorumConfig& config) {
+  std::vector<NodeId> a = order;
+  std::vector<NodeId> b = config.Nodes();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+TEST_F(AdaptivePolicyTest, OrderIsAlwaysAPermutation) {
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(IsPermutationOfConfig(policy_.PreferenceOrder(OpClass::kRead),
+                                      config_));
+  }
+  Measure(1, 50.0);
+  Quarantine(2);
+  Measure(3, 9000.0);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(IsPermutationOfConfig(policy_.PreferenceOrder(OpClass::kRead),
+                                      config_));
+    EXPECT_TRUE(IsPermutationOfConfig(policy_.PreferenceOrder(OpClass::kWrite),
+                                      config_));
+  }
+}
+
+TEST_F(AdaptivePolicyTest, MeasuredSlowNodeSortsOutOfTheMinimalPrefix) {
+  Measure(1, 100.0);
+  Measure(2, 100.0);
+  Measure(3, 100.0);
+  Measure(4, 100.0);
+  Measure(5, 10'000.0);  // the straggler
+  for (int round = 0; round < 20; ++round) {
+    const auto order = policy_.PreferenceOrder(OpClass::kRead);
+    ASSERT_EQ(order.size(), 5u);
+    // R = 3: the minimal voting prefix must never include the straggler.
+    EXPECT_NE(order[0], 5u);
+    EXPECT_NE(order[1], 5u);
+    EXPECT_NE(order[2], 5u);
+  }
+}
+
+TEST_F(AdaptivePolicyTest, QuarantinedNodesCloseTheOrder) {
+  Quarantine(4);
+  Quarantine(5);
+  for (int round = 0; round < 20; ++round) {
+    const auto order = policy_.PreferenceOrder(OpClass::kRead);
+    ASSERT_EQ(order.size(), 5u);
+    // Still present (the prefix walk can reach them as fallback), but only
+    // after every healthy candidate.
+    EXPECT_TRUE((order[3] == 4 && order[4] == 5) ||
+                (order[3] == 5 && order[4] == 4));
+  }
+}
+
+TEST_F(AdaptivePolicyTest, ProbationNodeRanksFirstAndRecoversOnProbe) {
+  Measure(1, 100.0);
+  Measure(2, 100.0);
+  Measure(3, 100.0);
+  Measure(4, 100.0);
+  Quarantine(5);
+  EXPECT_EQ(policy_.PreferenceOrder(OpClass::kRead).back(), 5u);
+
+  // Quarantine expires -> probation: the policy deliberately ranks the
+  // node FIRST, so the very next wave probes it instead of starving it.
+  clock_.AdvanceBy(board_->options().quarantine_base_us);
+  EXPECT_EQ(policy_.PreferenceOrder(OpClass::kRead).front(), 5u);
+
+  // The probe succeeds: the node is healthy again and competes on its
+  // measured latency like everyone else - never permanently starved.
+  board_->OnComplete(5, kLookupMethod, 100.0, true);
+  EXPECT_EQ(board_->HealthOf(5), net::NodeScoreboard::Health::kHealthy);
+  const auto order = policy_.PreferenceOrder(OpClass::kRead);
+  EXPECT_TRUE(IsPermutationOfConfig(order, config_));
+}
+
+TEST_F(AdaptivePolicyTest, TieBandSpreadsLoadAcrossEquivalentNodes) {
+  // All nodes unmeasured: every candidate ties at the default latency, so
+  // power-of-two-choices should not herd every order onto one fixed head.
+  std::set<NodeId> heads;
+  for (int round = 0; round < 64; ++round) {
+    heads.insert(policy_.PreferenceOrder(OpClass::kRead).front());
+  }
+  EXPECT_GT(heads.size(), 1u);
+}
+
+TEST_F(AdaptivePolicyTest, SameSeedSameMeasurementsSameOrders) {
+  Measure(1, 100.0);
+  Measure(3, 2000.0);
+  AdaptiveQuorumPolicy a(config_, board_, 99);
+  AdaptiveQuorumPolicy b(config_, board_, 99);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(a.PreferenceOrder(OpClass::kRead),
+              b.PreferenceOrder(OpClass::kRead));
+  }
+}
+
+}  // namespace
+}  // namespace repdir::rep

@@ -1,0 +1,141 @@
+// Hedged single-shot read inquiries (SuiteOptions::enable_hedged_reads):
+// on the inline deterministic transport the hedge wave fires exactly when
+// the optimistic primaries cannot close the read quota, results match the
+// unhedged suite, and same-seed runs stay bit-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "invariants.h"
+#include "suite_harness.h"
+
+namespace repdir::test {
+namespace {
+
+/// A 3-node R=W=2 deployment with a hedged suite whose quorum order is
+/// scripted to {1, 2, 3}: the optimistic read quorum is always the prefix
+/// {1, 2} and node 3 is the hedge spare.
+class HedgedReadTest : public ::testing::Test {
+ protected:
+  HedgedReadTest() : harness_(QuorumConfig::Uniform(3, 2, 2)) {
+    rep::SuiteOptions options;
+    options.enable_hedged_reads = true;
+    options.metrics = &metrics_;
+    auto policy = std::make_unique<ScriptedPolicy>(
+        std::vector<NodeId>{1, 2, 3});
+    options.policy = std::move(policy);
+    suite_ = harness_.NewSuiteWithOptions(100, std::move(options));
+  }
+
+  std::uint64_t Hedges() { return metrics_.counter("rpc.hedges").value(); }
+
+  MetricsRegistry metrics_;
+  SuiteHarness harness_;
+  std::unique_ptr<DirectorySuite> suite_;
+};
+
+TEST_F(HedgedReadTest, NoHedgeOnAHealthyDeployment) {
+  ASSERT_TRUE(suite_->Insert("k", "v").ok());
+  for (int i = 0; i < 10; ++i) {
+    const auto r = suite_->Lookup("k");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->found);
+    EXPECT_EQ(r->value, "v");
+  }
+  // Inline transport: every primary reply lands during issuance, the quota
+  // closes before the hedge decision, so no backup wave ever launches.
+  EXPECT_EQ(Hedges(), 0u);
+  EXPECT_EQ(metrics_.counter("rpc.hedge_wins").value(), 0u);
+}
+
+TEST_F(HedgedReadTest, HedgeWaveClosesQuorumAroundADownPrimary) {
+  ASSERT_TRUE(suite_->Insert("k", "v").ok());
+  // Node 2 sits in the optimistic quorum {1, 2}; with it down the
+  // primaries muster only 1 of 2 votes and the (inline) hedge wave to the
+  // spare node 3 must close the quota in the same attempt.
+  harness_.network().SetNodeUp(2, false);
+  const auto r = suite_->Lookup("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->value, "v");
+  EXPECT_EQ(Hedges(), 1u);
+  EXPECT_EQ(metrics_.counter("rpc.hedge_wins").value(), 1u);
+}
+
+TEST_F(HedgedReadTest, FallsBackToPingedPathWhenQuorumTrulyGone) {
+  ASSERT_TRUE(suite_->Insert("k", "v").ok());
+  harness_.network().SetNodeUp(2, false);
+  harness_.network().SetNodeUp(3, false);
+  // One vote total: the hedged attempt and the pinged fallback both come
+  // up short - the op reports unavailability, it does not hang or lie.
+  EXPECT_EQ(suite_->Lookup("k").status().code(), StatusCode::kUnavailable);
+
+  harness_.network().SetNodeUp(2, true);
+  harness_.network().SetNodeUp(3, true);
+  const auto r = suite_->Lookup("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, "v");
+}
+
+TEST_F(HedgedReadTest, HedgedResultsMatchUnhedgedSuite) {
+  // A second deployment without hedging runs the same operations; every
+  // result and the final replica states must agree.
+  SuiteHarness plain_harness(QuorumConfig::Uniform(3, 2, 2));
+  rep::SuiteOptions plain_options;
+  plain_options.policy =
+      std::make_unique<ScriptedPolicy>(std::vector<NodeId>{1, 2, 3});
+  auto plain = plain_harness.NewSuiteWithOptions(100, std::move(plain_options));
+
+  std::map<UserKey, Value> model;
+  for (int i = 0; i < 16; ++i) {
+    const std::string key = "k" + std::to_string(i % 5);
+    const std::string value = "v" + std::to_string(i);
+    const Status a = suite_->Insert(key, value);
+    const Status b = plain->Insert(key, value);
+    EXPECT_EQ(a.code(), b.code());
+    if (a.ok()) model[key] = value;
+    const auto ra = suite_->Lookup(key);
+    const auto rb = plain->Lookup(key);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra->found, rb->found);
+    EXPECT_EQ(ra->value, rb->value);
+  }
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model));
+  EXPECT_TRUE(AllQuorumsAgree(plain_harness, model));
+}
+
+TEST(HedgedReadDeterminism, SameSeedRunsAreBitIdentical) {
+  // Two fresh deployments, same seed, same ops, hedging AND the adaptive
+  // policy enabled: per-op results and the total message count must match
+  // exactly - on the deterministic transport the latency-aware layer adds
+  // no nondeterminism.
+  auto run = [](std::vector<std::string>& results) -> std::uint64_t {
+    SuiteHarness harness(QuorumConfig::Uniform(3, 2, 2));
+    MetricsRegistry metrics(&harness.clock());
+    rep::SuiteOptions options;
+    options.policy_seed = 1234;
+    options.enable_hedged_reads = true;
+    options.enable_adaptive_policy = true;
+    options.metrics = &metrics;
+    auto suite = harness.NewSuiteWithOptions(100, std::move(options));
+    for (int i = 0; i < 24; ++i) {
+      const std::string key = "k" + std::to_string(i % 7);
+      results.push_back(suite->Insert(key, "v" + std::to_string(i)).ToString());
+      const auto r = suite->Lookup(key);
+      results.push_back(r.ok() ? r->value : r.status().ToString());
+    }
+    return harness.transport().TotalAttempts();
+  };
+  std::vector<std::string> first, second;
+  const std::uint64_t attempts_first = run(first);
+  const std::uint64_t attempts_second = run(second);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(attempts_first, attempts_second);
+}
+
+}  // namespace
+}  // namespace repdir::test

@@ -5,8 +5,11 @@
 // reconciled weak replica serves trustworthy single-replica stale reads.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "invariants.h"
 #include "net/wire.h"
@@ -327,6 +330,150 @@ TEST_F(WeakReconcileTest, StaleReadsRequireOptIn) {
   auto plain = h.NewSuite(100);
   EXPECT_EQ(plain->LookupStale("k").status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// --- Digest checkpoints: cached subtree digests on the participant ---
+
+/// Process-wide deltas of the participant digest-cache counters (test
+/// nodes run with default ParticipantOptions, so they share the default
+/// registry).
+struct DigestCacheDelta {
+  std::uint64_t hits0, misses0;
+  DigestCacheDelta()
+      : hits0(MetricsRegistry::Default()
+                  .counter("participant.digest_cache.hits")
+                  .value()),
+        misses0(MetricsRegistry::Default()
+                    .counter("participant.digest_cache.misses")
+                    .value()) {}
+  std::uint64_t hits() const {
+    return MetricsRegistry::Default()
+               .counter("participant.digest_cache.hits")
+               .value() -
+           hits0;
+  }
+  std::uint64_t misses() const {
+    return MetricsRegistry::Default()
+               .counter("participant.digest_cache.misses")
+               .value() -
+           misses0;
+  }
+};
+
+TEST_F(ReconcileTest, SecondIdempotentPassReusesCachedDigests) {
+  const std::string pad(48, 'd');
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        suite_->Insert("dk" + std::to_string(1000 + i), "v" + pad).ok());
+  }
+
+  Reconciler::Options options;
+  options.leaf_entries = 8;
+  Reconciler rec = MakeReconciler(std::move(options));
+
+  // First pass walks (and fills) the digest caches on both replicas.
+  DigestCacheDelta first;
+  ASSERT_TRUE(rec.SyncPair(1, 3).ok());
+  ASSERT_GT(first.misses(), 0u) << "cold caches must compute digests";
+
+  // Second, idempotent pass: NOTHING changed, so every digest the walk
+  // requests is served from cache - zero re-hashing, O(changed) = O(0).
+  DigestCacheDelta second;
+  ASSERT_TRUE(rec.SyncPair(1, 3).ok());
+  EXPECT_EQ(second.misses(), 0u)
+      << "an idempotent pass must not re-hash any subtree";
+  EXPECT_GT(second.hits(), 0u);
+
+  // One point-write invalidates only the segments overlapping the key:
+  // the next pass recomputes a bounded sliver (the spine above the key),
+  // not the whole keyspace worth of cached segments.
+  ASSERT_TRUE(suite_->Update("dk1042", "w" + pad).ok());
+  DigestCacheDelta third;
+  ASSERT_TRUE(rec.SyncPair(1, 3).ok());
+  EXPECT_GT(third.misses(), 0u) << "the dirtied spine must recompute";
+  EXPECT_LE(third.misses(), first.misses() / 4)
+      << "a single write must not flush the whole digest cache ("
+      << third.misses() << " vs cold " << first.misses() << ")";
+  EXPECT_EQ(harness_.node(1).storage().Scan(),
+            harness_.node(3).storage().Scan());
+}
+
+// --- Adaptive reconciliation cadence (ReconcileIntervalPolicy) ---
+
+using rep::ReconcileIntervalPolicy;
+
+ReconcileIntervalPolicy::Options TinyPolicyOptions() {
+  ReconcileIntervalPolicy::Options o;
+  o.min_interval_us = 100;
+  o.initial_interval_us = 800;
+  o.max_interval_us = 6400;
+  return o;
+}
+
+TEST(ReconcileIntervalPolicyTest, TightensOnWorkAndClampsAtMin) {
+  ReconcileIntervalPolicy policy(TinyPolicyOptions());
+  EXPECT_EQ(policy.current(), 800);
+  EXPECT_EQ(policy.OnPass(true), 400);
+  EXPECT_EQ(policy.OnPass(true), 200);
+  EXPECT_EQ(policy.OnPass(true), 100);
+  EXPECT_EQ(policy.OnPass(true), 100) << "clamped at min_interval_us";
+}
+
+TEST(ReconcileIntervalPolicyTest, BacksOffOnQuietPassesAndClampsAtMax) {
+  ReconcileIntervalPolicy policy(TinyPolicyOptions());
+  EXPECT_EQ(policy.OnPass(false), 1600);
+  EXPECT_EQ(policy.OnPass(false), 3200);
+  EXPECT_EQ(policy.OnPass(false), 6400);
+  EXPECT_EQ(policy.OnPass(false), 6400) << "clamped at max_interval_us";
+  // Fresh drift snaps the cadence back down immediately.
+  EXPECT_EQ(policy.OnPass(true), 3200);
+}
+
+TEST(ReconcileIntervalPolicyTest, FoundWorkComparesDriftCounters) {
+  ReconcileStats a;
+  ReconcileStats b = a;
+  EXPECT_FALSE(ReconcileIntervalPolicy::FoundWork(a, b));
+  b.ranges_checked += 50;  // pure digest traffic is NOT drift
+  EXPECT_FALSE(ReconcileIntervalPolicy::FoundWork(a, b));
+  b.entries_installed += 1;
+  EXPECT_TRUE(ReconcileIntervalPolicy::FoundWork(a, b));
+  ReconcileStats c = b;
+  c.replicas_failed += 1;  // an unreachable replica keeps the cadence hot
+  EXPECT_TRUE(ReconcileIntervalPolicy::FoundWork(b, c));
+  ReconcileStats d = c;
+  d.ghosts_collected += 2;
+  EXPECT_TRUE(ReconcileIntervalPolicy::FoundWork(c, d));
+}
+
+TEST_F(ReconcileTest, BackgroundReconcilerAdaptsItsInterval) {
+  for (int i = 0; i < 30; ++i) Apply(i, "b" + std::to_string(i % 6));
+  harness_.network().SetNodeUp(3, false);
+  for (int i = 30; i < 60; ++i) Apply(i, "b" + std::to_string(i % 6));
+  harness_.network().SetNodeUp(3, true);
+
+  Reconciler rec = MakeReconciler();
+  ReconcileIntervalPolicy::Options o;
+  o.min_interval_us = 200;
+  o.initial_interval_us = 500;
+  o.max_interval_us = 16'000;
+  {
+    rep::BackgroundReconciler bg(rec, ReconcileIntervalPolicy(o));
+    // The first pass repairs node 3 (tighten); every later pass is a
+    // no-op, so the cadence must back off toward max_interval_us.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (bg.current_interval_micros() < o.max_interval_us &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(bg.current_interval_micros(), o.max_interval_us)
+        << "quiet passes should have walked the interval up to the cap";
+  }
+  EXPECT_GT(rec.stats().runs, 1u);
+  EXPECT_GT(rec.stats().entries_installed, 0u) << "first pass found drift";
+  EXPECT_EQ(harness_.node(1).storage().Scan(),
+            harness_.node(3).storage().Scan());
+  EXPECT_TRUE(AllQuorumsAgree(harness_, model_));
 }
 
 }  // namespace

@@ -20,8 +20,9 @@ targets=(
   storage/storage_wal_test
   net/net_rpc_test net/net_parallel_call_test
   net/net_retry_backoff_test net/net_failure_injector_test
-  net/net_tcp_transport_test
+  net/net_tcp_transport_test net/net_scoreboard_test
   rep/rep_version_cache_test rep/rep_op_batch_test
+  rep/rep_adaptive_policy_test rep/rep_hedged_read_test
   rep/rep_shard_map_test rep/rep_sharded_dir_test rep/rep_shard_split_test
   rep/rep_reconcile_test rep/rep_reconcile_shard_test
   chaos/chaos_invariants_test

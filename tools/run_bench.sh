@@ -10,6 +10,9 @@
 #   bench_reconcile     -> BENCH_reconcile.json (digest repair vs full-state
 #                          bytes, ghost-debt drain, stale-read savings; the
 #                          audits are protocol invariants)
+#   bench_quorum_policy -> BENCH_quorum_policy.json (adaptive planning vs
+#                          random/stable orders; asserts the >=2x hedged p99
+#                          cut under a 10x straggler at <=10% extra messages)
 #
 # Uses the dedicated build-release/ tree so the regular build/ stays intact.
 set -euo pipefail
@@ -20,7 +23,7 @@ jobs="${JOBS:-$(nproc)}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 
-benches=(bench_concurrency bench_version_cache bench_throughput bench_sharding bench_reconcile)
+benches=(bench_concurrency bench_version_cache bench_throughput bench_sharding bench_reconcile bench_quorum_policy)
 cmake --build "$build" -j"$jobs" --target "${benches[@]}"
 
 # Benches write their JSON into the working directory; run from the repo

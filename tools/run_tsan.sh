@@ -19,7 +19,9 @@ targets=(
   storage/storage_wal_test
   net/net_rpc_test net/net_duplication_test net/net_tcp_transport_test
   net/net_parallel_call_test net/net_retry_backoff_test
+  net/net_scoreboard_test
   rep/rep_op_batch_test
+  rep/rep_adaptive_policy_test rep/rep_hedged_read_test
   rep/rep_quorum_test rep/rep_dir_rep_node_test rep/rep_suite_api_test
   rep/rep_suite_txn_test rep/rep_paper_figures_test rep/rep_weak_rep_test
   rep/rep_readonly_2pc_test rep/rep_failure_test rep/rep_batching_test
